@@ -1,0 +1,30 @@
+# Developer entry points for the SNAPS reproduction.
+
+.PHONY: install test bench bench-full examples clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	pytest tests/
+
+# The full evaluation harness: one bench per paper table/figure plus the
+# design-choice ablations.  REPRO_BENCH_SCALE=1.0 approximates paper-sized
+# datasets (slow); the default 0.25 finishes in minutes.
+bench:
+	pytest benchmarks/ --benchmark-only
+
+bench-full:
+	REPRO_BENCH_SCALE=1.0 pytest benchmarks/ --benchmark-only
+
+examples:
+	python examples/quickstart.py
+	python examples/anonymisation_demo.py
+	python examples/census_linkage.py
+	python examples/pedigree_search.py
+	python examples/scalability_sweep.py
+	python examples/baseline_comparison.py
+
+clean:
+	rm -rf benchmarks/results .pytest_cache .benchmarks .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

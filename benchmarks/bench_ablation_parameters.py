@@ -1,0 +1,65 @@
+"""Ablation — parameter sensitivity (t_m, γ), as in the paper's
+"parameter sensitivity analysis" that produced the published defaults.
+
+Sweeps the merge threshold and the AMB weight γ on IOS and reports
+P/R/F*; the published defaults (t_m=0.85, γ=0.6) should sit at or near
+the F* optimum of each sweep.
+"""
+
+from __future__ import annotations
+
+from common import emit, format_table, ios_dataset
+from repro.core import SnapsConfig, SnapsResolver
+from repro.eval import evaluate_linkage
+
+_TM_VALUES = (0.75, 0.85, 0.95)
+_GAMMA_VALUES = (0.4, 0.6, 0.8, 1.0)
+
+
+def test_ablation_parameters(benchmark):
+    dataset = ios_dataset()
+    truth = dataset.true_match_pairs("Bp-Bp")
+
+    def run():
+        rows = []
+        f_by_tm = {}
+        for tm in _TM_VALUES:
+            result = SnapsResolver(SnapsConfig(merge_threshold=tm)).resolve(dataset)
+            ev = evaluate_linkage(result.matched_pairs("Bp-Bp"), truth)
+            rows.append(["t_m", f"{tm:.2f}", f"{ev.precision:.2f}",
+                         f"{ev.recall:.2f}", f"{ev.f_star:.2f}"])
+            f_by_tm[tm] = ev
+        f_by_gamma = {}
+        for gamma in _GAMMA_VALUES:
+            result = SnapsResolver(SnapsConfig(gamma=gamma)).resolve(dataset)
+            ev = evaluate_linkage(result.matched_pairs("Bp-Bp"), truth)
+            rows.append(["gamma", f"{gamma:.2f}", f"{ev.precision:.2f}",
+                         f"{ev.recall:.2f}", f"{ev.f_star:.2f}"])
+            f_by_gamma[gamma] = ev
+        # Optional scoring features (off in the paper's configuration).
+        for label, config in (
+            ("decay=10y", SnapsConfig(temporal_decay_half_life=10.0)),
+            ("geo-addresses", SnapsConfig(use_geocoded_addresses=True)),
+        ):
+            result = SnapsResolver(config).resolve(dataset)
+            ev = evaluate_linkage(result.matched_pairs("Bp-Bp"), truth)
+            rows.append(["option", label, f"{ev.precision:.2f}",
+                         f"{ev.recall:.2f}", f"{ev.f_star:.2f}"])
+        return rows, f_by_tm, f_by_gamma
+
+    rows, f_by_tm, f_by_gamma = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "ablation_parameters",
+        format_table(
+            "Ablation — parameter sensitivity on IOS (Bp-Bp)",
+            ["parameter", "value", "P", "R", "F*"],
+            rows,
+        ),
+    )
+    # Threshold trade-off: raising t_m raises precision, lowers recall.
+    assert f_by_tm[0.95].precision >= f_by_tm[0.75].precision - 1.0
+    assert f_by_tm[0.75].recall >= f_by_tm[0.95].recall - 1.0
+    # The published default should be within a few F* points of the sweep
+    # optimum (it needn't be exactly optimal on synthetic data).
+    best_tm = max(ev.f_star for ev in f_by_tm.values())
+    assert f_by_tm[0.85].f_star >= best_tm - 5.0

@@ -1,0 +1,73 @@
+"""Ablation — similarity-aware index threshold s_t (DESIGN.md design
+choice; the paper picks s_t = 0.5 as the size/recall sweet spot).
+
+Sweeps s_t over the IOS surname universe and reports the index size
+(pre-computed pairs), build time, and the recall of approximate retrieval
+for single-typo misspellings.
+"""
+
+from __future__ import annotations
+
+import time
+
+from common import emit, format_table, ios_dataset
+from repro.index import SimilarityAwareIndex
+from repro.utils.rng import make_rng
+
+_THRESHOLDS = (0.3, 0.5, 0.7, 0.9)
+
+
+def _misspellings(values, n, seed=31):
+    rng = make_rng(seed)
+    candidates = [v for v in values if len(v) > 4]
+    out = []
+    for _ in range(n):
+        value = rng.choice(candidates)
+        pos = rng.randrange(1, len(value))
+        out.append((value[:pos] + value[pos + 1 :], value))
+    return out
+
+
+def test_ablation_simindex(benchmark):
+    dataset = ios_dataset()
+    surnames = sorted({
+        record.get("surname") for record in dataset if record.get("surname")
+    })
+    probes = _misspellings(surnames, n=150)
+
+    def run():
+        rows = []
+        recalls = {}
+        for threshold in _THRESHOLDS:
+            start = time.perf_counter()
+            index = SimilarityAwareIndex(surnames, threshold=threshold)
+            build_s = time.perf_counter() - start
+            found = 0
+            start = time.perf_counter()
+            for misspelt, original in probes:
+                matches = dict(index.matches(misspelt))
+                if original in matches:
+                    found += 1
+            probe_ms = 1000.0 * (time.perf_counter() - start) / len(probes)
+            recall = found / len(probes)
+            rows.append([
+                f"{threshold:.1f}", index.n_precomputed_pairs(),
+                f"{build_s:.2f}", f"{probe_ms:.3f}", f"{100 * recall:.1f}%",
+            ])
+            recalls[threshold] = (recall, index.n_precomputed_pairs())
+        return rows, recalls
+
+    rows, recalls = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "ablation_simindex",
+        format_table(
+            "Ablation — similarity-aware index threshold s_t (IOS surnames)",
+            ["s_t", "stored pairs", "build (s)", "probe (ms)", "typo recall"],
+            rows,
+        ),
+    )
+    # Lower thresholds store more pairs and retrieve at least as well.
+    assert recalls[0.3][1] >= recalls[0.9][1]
+    assert recalls[0.3][0] >= recalls[0.9][0]
+    # The paper's default keeps near-max recall for single-typo queries.
+    assert recalls[0.5][0] >= recalls[0.3][0] - 0.05

@@ -1,0 +1,70 @@
+"""Extension — census-data incorporation (the paper's stated future work:
+"we plan to investigate how census data can be incorporated into our ER
+techniques to improve linkage quality", Section 12).
+
+Resolves the same simulated population with and without decennial census
+households and compares vital-record linkage quality.  Census records add
+positive evidence (a person's changing surnames/addresses accumulate
+through PROP-A) and negative evidence (one household per person per
+census year is a new link constraint).
+"""
+
+from __future__ import annotations
+
+from common import BENCH_SCALE, emit, format_table
+from repro.core import SnapsConfig, SnapsResolver
+from repro.data.synthetic import make_ios_census_dataset, make_ios_dataset
+from repro.eval import evaluate_linkage
+
+
+def test_extension_census(benchmark):
+    plain = make_ios_dataset(scale=BENCH_SCALE * 0.8)
+    census = make_ios_census_dataset(scale=BENCH_SCALE * 0.8)
+
+    def run():
+        rows = []
+        scores = {}
+        for dataset, label in ((plain, "vital records only"),
+                               (census, "with census")):
+            result = SnapsResolver(SnapsConfig()).resolve(dataset)
+            for role_pair in ("Bp-Bp", "Bp-Dp"):
+                ev = evaluate_linkage(
+                    result.matched_pairs(role_pair),
+                    dataset.true_match_pairs(role_pair),
+                )
+                rows.append([
+                    label, role_pair, len(dataset),
+                    f"{ev.precision:.2f}", f"{ev.recall:.2f}", f"{ev.f_star:.2f}",
+                ])
+                scores[(label, role_pair)] = ev
+            if dataset is census:
+                ev = evaluate_linkage(
+                    result.matched_pairs("Cp-Cp"),
+                    dataset.true_match_pairs("Cp-Cp"),
+                )
+                rows.append([
+                    label, "Cp-Cp", len(dataset),
+                    f"{ev.precision:.2f}", f"{ev.recall:.2f}", f"{ev.f_star:.2f}",
+                ])
+        return rows, scores
+
+    rows, scores = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "extension_census",
+        format_table(
+            "Extension — linkage quality with vs without census households",
+            ["configuration", "role pair", "records", "P", "R", "F*"],
+            rows,
+        ),
+    )
+    # Census evidence must not degrade vital-record linkage, and should
+    # lift Bp-Bp precision (the extra per-census-year link constraint
+    # blocks same-name conflations).
+    for role_pair in ("Bp-Bp", "Bp-Dp"):
+        with_census = scores[("with census", role_pair)]
+        without = scores[("vital records only", role_pair)]
+        assert with_census.f_star >= without.f_star - 2.0
+    assert (
+        scores[("with census", "Bp-Bp")].precision
+        >= scores[("vital records only", "Bp-Bp")].precision - 0.5
+    )

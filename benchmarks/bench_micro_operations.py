@@ -1,0 +1,63 @@
+"""Micro-benchmarks of the hot inner operations.
+
+Not a paper table — these quantify the per-operation costs that the
+scalability model of Table 6 is built from: one name comparison, one
+MinHash signature, one blocking-key computation, one query, one pedigree
+extraction.  pytest-benchmark's statistics (many rounds) apply here,
+unlike the one-shot pipeline benches.
+"""
+
+from __future__ import annotations
+
+from common import ios_dataset
+from repro.blocking.lsh import LshBlocker
+from repro.core import SnapsConfig, SnapsResolver
+from repro.pedigree import build_pedigree_graph, extract_pedigree
+from repro.query import Query, QueryEngine
+from repro.similarity.jaro import jaro_winkler_similarity
+from repro.similarity.levenshtein import levenshtein_distance
+from repro.similarity.phonetic import soundex
+
+
+def test_micro_jaro_winkler(benchmark):
+    result = benchmark(jaro_winkler_similarity, "catherine", "katherine")
+    assert 0.0 < result <= 1.0
+
+
+def test_micro_levenshtein(benchmark):
+    assert benchmark(levenshtein_distance, "macdonald", "mcdonnell") > 0
+
+
+def test_micro_soundex(benchmark):
+    assert benchmark(soundex, "macdonald") == soundex("macdonald")
+
+
+def test_micro_lsh_block_keys(benchmark):
+    dataset = ios_dataset()
+    blocker = LshBlocker()
+    record = next(iter(dataset))
+
+    def keys():
+        blocker._signature_cache.clear()  # measure the uncached path
+        return blocker.block_keys(record)
+
+    assert len(benchmark(keys)) == blocker.n_bands
+
+
+def test_micro_query(benchmark):
+    dataset = ios_dataset()
+    result = SnapsResolver(SnapsConfig()).resolve(dataset)
+    graph = build_pedigree_graph(dataset, result.entities)
+    engine = QueryEngine(graph)
+    query = Query(first_name="mary", surname="macdonald")
+    hits = benchmark(engine.search, query, 10)
+    assert isinstance(hits, list)
+
+
+def test_micro_pedigree_extraction(benchmark):
+    dataset = ios_dataset()
+    result = SnapsResolver(SnapsConfig()).resolve(dataset)
+    graph = build_pedigree_graph(dataset, result.entities)
+    root = next(e for e in graph if graph.children(e.entity_id))
+    pedigree = benchmark(extract_pedigree, graph, root.entity_id, 2)
+    assert len(pedigree) >= 1

@@ -1,0 +1,12 @@
+"""Benchmark harness configuration.
+
+Run with ``pytest benchmarks/ --benchmark-only`` (the deliverable
+command); result tables additionally land in ``benchmarks/results/``.
+"""
+
+import sys
+from pathlib import Path
+
+# Make the sibling ``common`` module importable when pytest runs from the
+# repository root.
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,70 @@
+"""Graph anonymisation for public release (paper Section 9).
+
+Shows how a sensitive certificate collection is rendered publishable
+while keeping the application usable:
+
+* names are mapped cluster-to-cluster into a public name universe, so
+  string-similarity structure (and hence blocking and approximate
+  search) survives;
+* all years shift by one secret offset, preserving temporal distances;
+* rare causes of death are generalised k-anonymously, stratified by
+  gender and age band.
+
+The demo verifies the key property: entity resolution on the anonymised
+data recovers (nearly) the same linkage structure as on the original.
+
+Run:  python examples/anonymisation_demo.py
+"""
+
+from repro import SnapsConfig, SnapsResolver, make_tiny_dataset
+from repro.anonymize import anonymise_dataset
+from repro.data.roles import Role
+from repro.eval import evaluate_linkage
+
+
+def main() -> None:
+    sensitive = make_tiny_dataset(seed=3)
+    anonymised, report = anonymise_dataset(sensitive, k=5, seed=11)
+
+    print("anonymisation report:")
+    print(f"  records processed:    {report.n_records}")
+    print(f"  female names mapped:  {report.n_female_names_mapped}")
+    print(f"  male names mapped:    {report.n_male_names_mapped}")
+    print(f"  surnames mapped:      {report.n_surnames_mapped}")
+    print(f"  causes generalised:   {report.n_causes_generalised}")
+    print(f"  frequent causes kept: {report.n_frequent_causes}")
+
+    print("\nbefore/after sample (deceased persons):")
+    shown = 0
+    for record in sensitive.records_with_role([Role.DD]):
+        anon = anonymised.record(record.record_id)
+        print(
+            f"  {record.get('first_name')} {record.get('surname')} "
+            f"({record.get('event_year')}, {record.get('cause_of_death')})"
+            f"  →  {anon.get('first_name')} {anon.get('surname')} "
+            f"({anon.get('event_year')}, {anon.get('cause_of_death')})"
+        )
+        shown += 1
+        if shown == 6:
+            break
+
+    print("\nresolving both versions to compare linkage structure ...")
+    resolver = SnapsResolver(SnapsConfig())
+    for dataset in (sensitive, anonymised):
+        result = resolver.resolve(dataset)
+        ev = evaluate_linkage(
+            result.matched_pairs("Bp-Bp"), dataset.true_match_pairs("Bp-Bp")
+        )
+        print(
+            f"  {dataset.name:10}: P={ev.precision:.1f}% R={ev.recall:.1f}% "
+            f"F*={ev.f_star:.1f}%"
+        )
+    print(
+        "\nthe anonymised data resolves with comparable quality — family"
+        "\nstructure and name-similarity relationships survive anonymisation,"
+        "\nso the public demo behaves like the sensitive system."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Baseline shoot-out: SNAPS vs Attr-Sim, Dep-Graph, Rel-Cluster, and the
+supervised Magellan-style pipeline (a miniature of the paper's Table 4).
+
+Run:  python examples/baseline_comparison.py
+"""
+
+import statistics
+import time
+
+from repro import SnapsConfig, SnapsResolver, make_ios_dataset
+from repro.baselines import (
+    AttrSimLinker,
+    DepGraphLinker,
+    FellegiSunterLinker,
+    RelClusterLinker,
+    SupervisedLinker,
+)
+from repro.eval import evaluate_linkage
+
+
+def main() -> None:
+    # Ambiguity (and with it the gaps between systems) grows with the
+    # population; 0.2 is large enough for the paper's orderings to show.
+    dataset = make_ios_dataset(scale=0.2)
+    print(f"dataset: {dataset.describe()}\n")
+    truth = {rp: dataset.true_match_pairs(rp) for rp in ("Bp-Bp", "Bp-Dp")}
+
+    header = f"{'system':15} {'role pair':9} {'P':>7} {'R':>7} {'F*':>7} {'time':>7}"
+    print(header)
+    print("-" * len(header))
+
+    systems = [
+        ("SNAPS", lambda: SnapsResolver(SnapsConfig()).resolve(dataset)),
+        ("Attr-Sim", lambda: AttrSimLinker().link(dataset)),
+        ("Fellegi-Sunter", lambda: FellegiSunterLinker().link(dataset)),
+        ("Dep-Graph", lambda: DepGraphLinker().link(dataset)),
+        ("Rel-Cluster", lambda: RelClusterLinker().link(dataset)),
+    ]
+    for name, run in systems:
+        start = time.perf_counter()
+        result = run()
+        elapsed = time.perf_counter() - start
+        for role_pair in ("Bp-Bp", "Bp-Dp"):
+            ev = evaluate_linkage(result.matched_pairs(role_pair), truth[role_pair])
+            print(
+                f"{name:15} {role_pair:9} {ev.precision:7.2f} {ev.recall:7.2f} "
+                f"{ev.f_star:7.2f} {elapsed:6.1f}s"
+            )
+
+    # Supervised baseline: mean ± std across classifiers and regimes.
+    for role_pair in ("Bp-Bp", "Bp-Dp"):
+        start = time.perf_counter()
+        outcomes = SupervisedLinker(seed=7).run(dataset, role_pair)
+        elapsed = time.perf_counter() - start
+        f_stars = [
+            evaluate_linkage(o.predicted_pairs, truth[role_pair]).f_star
+            for o in outcomes
+        ]
+        print(
+            f"{'Magellan-style':15} {role_pair:9} {'':7} {'':7} "
+            f"{statistics.mean(f_stars):5.1f}±{statistics.pstdev(f_stars):4.1f} "
+            f"{elapsed:6.1f}s"
+        )
+    print(
+        "\nexpected shape (paper Table 4): SNAPS leads every F* column;"
+        "\nAttr-Sim keeps recall but bleeds precision; the supervised"
+        "\nbaseline swings widely across classifiers and training regimes."
+    )
+
+
+if __name__ == "__main__":
+    main()

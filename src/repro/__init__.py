@@ -1,0 +1,67 @@
+"""SNAPS reproduction: unsupervised graph-based entity resolution for
+family pedigree search (Kirielle et al., EDBT 2022).
+
+Public API quick tour::
+
+    from repro import make_ios_dataset, SnapsResolver, SnapsConfig
+    from repro.pedigree import build_pedigree_graph, extract_pedigree
+    from repro.query import QueryEngine, Query
+
+    dataset = make_ios_dataset(scale=0.1)
+    result = SnapsResolver(SnapsConfig()).resolve(dataset)
+    pedigree_graph = build_pedigree_graph(dataset, result.entities)
+    engine = QueryEngine(pedigree_graph)
+    hits = engine.search(Query(first_name="mary", surname="macdonald"))
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the paper
+reproduction results.
+"""
+
+__version__ = "1.0.0"
+
+# Lazy re-exports (PEP 562): importing ``repro`` stays cheap and free of
+# import cycles; symbols resolve from their home package on first access.
+_EXPORTS = {
+    "Certificate": "repro.data",
+    "CertificateType": "repro.data",
+    "Dataset": "repro.data",
+    "Record": "repro.data",
+    "Role": "repro.data",
+    "make_ios_dataset": "repro.data",
+    "make_kil_dataset": "repro.data",
+    "make_bhic_dataset": "repro.data",
+    "make_tiny_dataset": "repro.data",
+    "SnapsConfig": "repro.core",
+    "SnapsResolver": "repro.core",
+    "LinkageResult": "repro.core",
+    "LinkageEvaluation": "repro.eval",
+    "evaluate_linkage": "repro.eval",
+    "make_ios_census_dataset": "repro.data",
+    "build_pedigree_graph": "repro.pedigree",
+    "extract_pedigree": "repro.pedigree",
+    "render_ascii_tree": "repro.pedigree",
+    "render_dot": "repro.pedigree",
+    "render_gedcom": "repro.pedigree",
+    "save_pedigree_graph": "repro.pedigree",
+    "load_pedigree_graph": "repro.pedigree",
+    "QueryEngine": "repro.query",
+    "Query": "repro.query",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = getattr(module, name)
+    globals()[name] = value  # cache for subsequent lookups
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -1,0 +1,32 @@
+"""Graph data anonymisation (paper Section 9).
+
+Renders a sensitive certificate dataset publishable while preserving the
+properties the application depends on:
+
+* **cluster-based name mapping** — female first names, male first names,
+  and surnames are clustered by string similarity separately in the
+  sensitive and a *public* name universe; each sensitive cluster maps to
+  the public cluster with the most similar intra-cluster similarity
+  profile, and each sensitive name to a public replacement, consistently
+  across the whole dataset — so similarity structure between names (and
+  hence blocking/query behaviour) survives;
+* **global date offset** — all years shift by one secret offset,
+  preserving every temporal distance;
+* **k-anonymous causes of death** — causes occurring fewer than ``k``
+  times are replaced by their most similar frequent cause, stratified by
+  gender and age band so no one dies of an implausible cause.
+"""
+
+from repro.anonymize.names import NameAnonymiser, cluster_names
+from repro.anonymize.dates import DateShifter
+from repro.anonymize.causes import CauseOfDeathAnonymiser
+from repro.anonymize.graph_anon import AnonymisationReport, anonymise_dataset
+
+__all__ = [
+    "NameAnonymiser",
+    "cluster_names",
+    "DateShifter",
+    "CauseOfDeathAnonymiser",
+    "AnonymisationReport",
+    "anonymise_dataset",
+]

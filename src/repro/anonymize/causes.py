@@ -1,0 +1,86 @@
+"""k-anonymous generalisation of causes of death (paper Section 9).
+
+Causes occurring at least ``k`` times are frequent and kept; every rarer
+(potentially identifying) cause is replaced by its most similar frequent
+cause using Jaccard similarity over token sets.  Replacement is
+stratified by gender and by the paper's age bands (*young* < 20,
+*middle* 20–40, *old* ≥ 40) so men do not die of ovarian cancer nor
+infants of old age; when no frequent similar cause exists within the
+stratum the cause becomes ``"not known"``.
+"""
+
+from __future__ import annotations
+
+from repro.similarity.jaccard import token_jaccard
+
+__all__ = ["CauseOfDeathAnonymiser", "age_band"]
+
+NOT_KNOWN = "not known"
+
+
+def age_band(age: int | None) -> str:
+    """The paper's age stratification: young / middle / old."""
+    if age is None:
+        return "old"  # the safest default stratum for historical data
+    if age < 0:
+        raise ValueError(f"age cannot be negative: {age}")
+    if age < 20:
+        return "young"
+    if age < 40:
+        return "middle"
+    return "old"
+
+
+class CauseOfDeathAnonymiser:
+    """Replaces rare causes of death with frequent similar ones."""
+
+    def __init__(self, k: int = 10, min_similarity: float = 0.05) -> None:
+        if k < 2:
+            raise ValueError(f"k must be at least 2, got {k}")
+        self.k = k
+        self.min_similarity = min_similarity
+        # (gender, band) -> frequent causes in that stratum
+        self._frequent: dict[tuple[str, str], list[str]] = {}
+        self._fitted = False
+
+    def fit(self, observations: list[tuple[str, str, int | None]]) -> "CauseOfDeathAnonymiser":
+        """Learn the frequent causes from (cause, gender, age) tuples."""
+        counts: dict[str, int] = {}
+        strata: dict[tuple[str, str], set[str]] = {}
+        for cause, gender, age in observations:
+            cause = cause.strip().lower()
+            if not cause:
+                continue
+            counts[cause] = counts.get(cause, 0) + 1
+            strata.setdefault((gender, age_band(age)), set()).add(cause)
+        frequent = {cause for cause, count in counts.items() if count >= self.k}
+        self._frequent = {
+            stratum: sorted(c for c in causes if c in frequent)
+            for stratum, causes in strata.items()
+        }
+        self._fitted = True
+        return self
+
+    @property
+    def n_frequent(self) -> int:
+        """Distinct frequent causes across all strata."""
+        return len({c for causes in self._frequent.values() for c in causes})
+
+    def anonymise(self, cause: str, gender: str, age: int | None) -> str:
+        """The publishable cause for one death record."""
+        if not self._fitted:
+            raise RuntimeError("anonymiser is not fitted")
+        cause = cause.strip().lower()
+        if not cause:
+            return NOT_KNOWN
+        stratum = (gender, age_band(age))
+        frequent = self._frequent.get(stratum, [])
+        if cause in frequent:
+            return cause
+        best: str | None = None
+        best_sim = self.min_similarity
+        for candidate in frequent:
+            similarity = token_jaccard(cause, candidate)
+            if similarity > best_sim:
+                best, best_sim = candidate, similarity
+        return best if best is not None else NOT_KNOWN

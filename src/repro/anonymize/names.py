@@ -1,0 +1,142 @@
+"""Cluster-based name mapping against a public name universe.
+
+Following Nanayakkara, Christen & Ranbaduge (CIKM EYRE 2020), as used in
+the paper: names are clustered so that similar names share a cluster;
+sensitive clusters are matched to public clusters by comparing
+intra-cluster similarity profiles; and each sensitive name receives a
+unique public replacement from its mapped cluster.  Two names that were
+similar before anonymisation map to names that are similar after it —
+the property the SNAPS web demo needs so approximate search still behaves
+realistically on the anonymised data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.similarity.jaro import jaro_winkler_similarity
+from repro.similarity.phonetic import soundex
+from repro.utils.rng import make_rng
+
+__all__ = ["cluster_names", "NameAnonymiser"]
+
+
+def cluster_names(names: list[str], threshold: float = 0.8) -> list[list[str]]:
+    """Greedy similarity clustering of a name list.
+
+    Names are bucketed by Soundex first (cheap recall), then each bucket
+    is split greedily: a name joins the first cluster whose seed it
+    matches with Jaro-Winkler ≥ ``threshold``, else starts a new cluster.
+    Deterministic for a given input order; callers sort beforehand.
+    """
+    if not 0.0 < threshold <= 1.0:
+        raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+    by_code: dict[str, list[str]] = {}
+    for name in sorted(set(names)):
+        by_code.setdefault(soundex(name), []).append(name)
+    clusters: list[list[str]] = []
+    for code in sorted(by_code):
+        for name in by_code[code]:
+            for cluster in clusters:
+                if soundex(cluster[0]) != code:
+                    continue
+                if jaro_winkler_similarity(name, cluster[0]) >= threshold:
+                    cluster.append(name)
+                    break
+            else:
+                clusters.append([name])
+    return clusters
+
+
+def _profile(cluster: list[str]) -> tuple[float, float]:
+    """(size-normalised length, mean intra-cluster similarity)."""
+    mean_length = sum(len(n) for n in cluster) / len(cluster)
+    if len(cluster) == 1:
+        return (mean_length, 1.0)
+    sims = []
+    for i, a in enumerate(cluster):
+        for b in cluster[i + 1 :]:
+            sims.append(jaro_winkler_similarity(a, b))
+    return (mean_length, sum(sims) / len(sims))
+
+
+@dataclass
+class NameAnonymiser:
+    """Maps one universe of sensitive names onto public replacements."""
+
+    mapping: dict[str, str]
+
+    @classmethod
+    def fit(
+        cls,
+        sensitive_names: list[str],
+        public_names: list[str],
+        threshold: float = 0.8,
+        seed: int = 0,
+    ) -> "NameAnonymiser":
+        """Build the sensitive→public mapping via cluster matching.
+
+        Every sensitive name gets a replacement; public names are reused
+        across clusters only when the public universe is smaller than the
+        sensitive one (with a numeric suffix to stay injective).
+        """
+        rng = make_rng(seed)
+        sensitive_clusters = cluster_names(sensitive_names, threshold)
+        public_clusters = cluster_names(public_names, threshold)
+        if not public_clusters:
+            raise ValueError("public name universe is empty")
+        # Match clusters by similarity of (mean length, intra-similarity)
+        # profiles; larger sensitive clusters pick first.
+        public_profiles = [_profile(c) for c in public_clusters]
+        available = list(range(len(public_clusters)))
+        mapping: dict[str, str] = {}
+        used_public: set[str] = set()
+        order = sorted(
+            range(len(sensitive_clusters)),
+            key=lambda i: -len(sensitive_clusters[i]),
+        )
+        for index in order:
+            cluster = sensitive_clusters[index]
+            length, intra = _profile(cluster)
+            best = min(
+                available if available else range(len(public_clusters)),
+                key=lambda j: (
+                    abs(public_profiles[j][0] - length)
+                    + 2.0 * abs(public_profiles[j][1] - intra)
+                    # Prefer public clusters big enough for this one.
+                    + (0.5 if len(public_clusters[j]) < len(cluster) else 0.0)
+                ),
+            )
+            if best in available:
+                available.remove(best)
+            replacements = list(public_clusters[best])
+            rng.shuffle(replacements)
+            for position, name in enumerate(sorted(cluster)):
+                if position < len(replacements):
+                    candidate = replacements[position]
+                else:
+                    candidate = f"{replacements[position % len(replacements)]}{position}"
+                while candidate in used_public:
+                    candidate = f"{candidate}x"
+                used_public.add(candidate)
+                mapping[name] = candidate
+        return cls(mapping=mapping)
+
+    def anonymise(self, name: str) -> str:
+        """Replacement for ``name`` (token-wise for compound names).
+
+        Unknown tokens map deterministically to a hash-derived existing
+        replacement so the output universe never leaks a sensitive name.
+        """
+        tokens = name.split()
+        out = []
+        for token in tokens:
+            mapped = self.mapping.get(token)
+            if mapped is None:
+                # Deterministic fallback for unseen tokens.
+                values = sorted(set(self.mapping.values()))
+                import zlib
+
+                mapped = values[zlib.crc32(token.encode()) % len(values)]
+            out.append(mapped)
+        return " ".join(out)

@@ -1,0 +1,33 @@
+"""The four baseline ER systems of the paper's Table 4.
+
+All baselines share SNAPS's blocking front-end and comparator registry
+(the paper uses the same indexing for every system), so the evaluation
+isolates the *decision model*:
+
+* :class:`~repro.baselines.attr_sim.AttrSimLinker` — plain pairwise
+  threshold classification + transitive closure, no relationships;
+* :class:`~repro.baselines.dep_graph.DepGraphLinker` — Dong et al. 2005
+  style propagation of link decisions with constraints, but no
+  disambiguation, no partial-match-group handling, no refinement;
+* :class:`~repro.baselines.rel_cluster.RelClusterLinker` — Bhattacharya &
+  Getoor 2007 style collective relational clustering with ambiguity but
+  static attribute values;
+* :class:`~repro.baselines.supervised.SupervisedLinker` — a
+  Magellan-style feature-vector pipeline over four classifiers in two
+  training regimes.
+"""
+
+from repro.baselines.attr_sim import AttrSimLinker
+from repro.baselines.dep_graph import DepGraphLinker
+from repro.baselines.fellegi_sunter import FellegiSunterLinker
+from repro.baselines.rel_cluster import RelClusterLinker
+from repro.baselines.supervised import SupervisedLinker, SupervisedOutcome
+
+__all__ = [
+    "AttrSimLinker",
+    "DepGraphLinker",
+    "FellegiSunterLinker",
+    "RelClusterLinker",
+    "SupervisedLinker",
+    "SupervisedOutcome",
+]

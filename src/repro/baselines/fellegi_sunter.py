@@ -1,0 +1,249 @@
+"""Fellegi-Sunter probabilistic record linkage with EM estimation.
+
+The classical probabilistic decision model (Fellegi & Sunter 1969, cited
+by the paper as the foundational decision model).  Candidate pairs are
+reduced to binary agreement patterns over the QID attributes; the m- and
+u-probabilities (P(agree | match) and P(agree | non-match)) and the match
+prevalence are estimated **unsupervised** with
+expectation-maximisation under the usual conditional-independence
+assumption; pairs whose log-likelihood ratio
+
+    R = Σ_a  log( m_a / u_a )          for agreeing attributes
+      + Σ_a  log( (1-m_a) / (1-u_a) )  for disagreeing attributes
+
+exceeds the upper threshold are classified matches.  Like Attr-Sim this
+is pairwise (no relationships, no constraints beyond candidate
+filtering); it completes the baseline family with the probabilistic
+generation of ER systems.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.blocking.candidates import generate_candidate_pairs
+from repro.blocking.composite import CompositeBlocker, PhoneticNameKeyBlocker
+from repro.blocking.lsh import LshBlocker
+from repro.core.config import SnapsConfig
+from repro.data.records import Dataset
+from repro.data.roles import PARENT_ROLE_GROUPS
+from repro.similarity.registry import ComparatorRegistry, default_registry
+from repro.utils.timer import Stopwatch
+from repro.utils.union_find import UnionFind
+
+__all__ = ["FellegiSunterLinker", "FellegiSunterResult", "EmEstimate"]
+
+_AGREE_THRESHOLD = 0.85  # similarity above which an attribute "agrees"
+
+
+@dataclass
+class EmEstimate:
+    """EM-fitted parameters of the Fellegi-Sunter model."""
+
+    attributes: tuple[str, ...]
+    m: np.ndarray          # P(agreement | match) per attribute
+    u: np.ndarray          # P(agreement | non-match) per attribute
+    prevalence: float      # P(match) among candidate pairs
+    n_iterations: int
+
+    def weight(self, pattern: np.ndarray) -> float:
+        """Log-likelihood ratio of one agreement pattern.
+
+        ``pattern`` entries: 1 = agree, 0 = disagree, -1 = missing (a
+        missing comparison contributes nothing, following the standard
+        treatment)."""
+        total = 0.0
+        for agree, m_a, u_a in zip(pattern, self.m, self.u):
+            if agree < 0:
+                continue
+            if agree == 1:
+                total += math.log(m_a / u_a)
+            else:
+                total += math.log((1.0 - m_a) / (1.0 - u_a))
+        return total
+
+
+@dataclass
+class FellegiSunterResult:
+    """Classified pairs plus the fitted model, for inspection."""
+
+    dataset: Dataset
+    components: UnionFind
+    estimate: EmEstimate
+    timings: Stopwatch = field(default_factory=Stopwatch)
+
+    def matched_pairs(self, role_pair: str) -> set[tuple[int, int]]:
+        left_name, right_name = role_pair.split("-")
+        left = PARENT_ROLE_GROUPS[left_name]
+        right = PARENT_ROLE_GROUPS[right_name]
+        pairs: set[tuple[int, int]] = set()
+        for members in self.components.groups().values():
+            if len(members) < 2:
+                continue
+            records = [self.dataset.record(rid) for rid in members]
+            for i, a in enumerate(records):
+                for b in records[i + 1 :]:
+                    if (a.role in left and b.role in right) or (
+                        a.role in right and b.role in left
+                    ):
+                        lo, hi = sorted((a.record_id, b.record_id))
+                        pairs.add((lo, hi))
+        return pairs
+
+
+class FellegiSunterLinker:
+    """Unsupervised probabilistic pairwise linkage."""
+
+    def __init__(
+        self,
+        attributes: tuple[str, ...] = (
+            "first_name", "surname", "parish", "address", "occupation",
+        ),
+        match_weight_threshold: float | None = None,
+        config: SnapsConfig | None = None,
+        registry: ComparatorRegistry | None = None,
+        max_em_iterations: int = 100,
+        seed: int = 0,
+    ) -> None:
+        """``match_weight_threshold=None`` derives the threshold from the
+        fitted model: the weight at which the posterior match probability
+        reaches 0.95."""
+        if not attributes:
+            raise ValueError("need at least one comparison attribute")
+        self.attributes = attributes
+        self.match_weight_threshold = match_weight_threshold
+        self.config = config or SnapsConfig()
+        self.registry = registry or default_registry()
+        self.max_em_iterations = max_em_iterations
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+
+    def _patterns(self, dataset: Dataset) -> tuple[np.ndarray, list[tuple[int, int]]]:
+        config = self.config
+        blocker = CompositeBlocker(
+            [
+                LshBlocker(
+                    n_bands=config.lsh_bands,
+                    rows_per_band=config.lsh_rows_per_band,
+                    seed=config.lsh_seed,
+                ),
+                PhoneticNameKeyBlocker(),
+            ]
+        )
+        sim_cache: dict[tuple[str, str, str], float] = {}
+        rows = []
+        keys = []
+        for pair in generate_candidate_pairs(
+            dataset, blocker, config.temporal_slack_years
+        ):
+            a = dataset.record(pair.rid_a)
+            b = dataset.record(pair.rid_b)
+            pattern = []
+            for attribute in self.attributes:
+                value_a, value_b = a.get(attribute), b.get(attribute)
+                if value_a is None or value_b is None:
+                    pattern.append(-1)
+                    continue
+                lo, hi = sorted((value_a, value_b))
+                cache_key = (attribute, lo, hi)
+                similarity = sim_cache.get(cache_key)
+                if similarity is None:
+                    similarity = (
+                        self.registry.compare(attribute, value_a, value_b) or 0.0
+                    )
+                    sim_cache[cache_key] = similarity
+                pattern.append(1 if similarity >= _AGREE_THRESHOLD else 0)
+            rows.append(pattern)
+            keys.append(pair.key())
+        return np.asarray(rows, dtype=np.int8), keys
+
+    def fit_em(self, patterns: np.ndarray) -> EmEstimate:
+        """Estimate m/u/prevalence by EM over agreement patterns."""
+        if len(patterns) == 0:
+            raise ValueError("no candidate pairs to fit on")
+        d = patterns.shape[1]
+        # Sensible initialisation: matches agree often, non-matches rarely.
+        m = np.full(d, 0.9)
+        u = np.full(d, 0.1)
+        prevalence = 0.05
+        agree = (patterns == 1).astype(float)
+        disagree = (patterns == 0).astype(float)
+        iterations = 0
+        for iterations in range(1, self.max_em_iterations + 1):
+            # E-step: posterior match probability per pair (missing
+            # comparisons contribute factor 1).
+            log_match = agree @ np.log(m) + disagree @ np.log(1.0 - m)
+            log_non = agree @ np.log(u) + disagree @ np.log(1.0 - u)
+            log_post = (
+                math.log(prevalence) + log_match
+            ) - np.logaddexp(
+                math.log(prevalence) + log_match,
+                math.log(1.0 - prevalence) + log_non,
+            )
+            posterior = np.exp(log_post)
+            # M-step.
+            new_prevalence = float(posterior.mean())
+            observed = agree + disagree  # 1 where the comparison exists
+            m_num = (posterior[:, None] * agree).sum(axis=0)
+            m_den = (posterior[:, None] * observed).sum(axis=0)
+            u_num = ((1.0 - posterior)[:, None] * agree).sum(axis=0)
+            u_den = ((1.0 - posterior)[:, None] * observed).sum(axis=0)
+            new_m = np.clip(m_num / np.maximum(m_den, 1e-9), 1e-4, 1.0 - 1e-4)
+            new_u = np.clip(u_num / np.maximum(u_den, 1e-9), 1e-4, 1.0 - 1e-4)
+            new_prevalence = min(max(new_prevalence, 1e-6), 1.0 - 1e-6)
+            converged = (
+                np.abs(new_m - m).max() < 1e-6
+                and np.abs(new_u - u).max() < 1e-6
+                and abs(new_prevalence - prevalence) < 1e-8
+            )
+            m, u, prevalence = new_m, new_u, new_prevalence
+            if converged:
+                break
+        return EmEstimate(
+            attributes=self.attributes,
+            m=m,
+            u=u,
+            prevalence=prevalence,
+            n_iterations=iterations,
+        )
+
+    def _threshold(self, estimate: EmEstimate) -> float:
+        if self.match_weight_threshold is not None:
+            return self.match_weight_threshold
+        # Weight w where posterior P(match | w) = 0.95 under the prior:
+        # logit(0.95) = log(prevalence/(1-prevalence)) + w.
+        prior_logit = math.log(estimate.prevalence / (1.0 - estimate.prevalence))
+        return math.log(0.95 / 0.05) - prior_logit
+
+    def link(self, dataset: Dataset) -> FellegiSunterResult:
+        """Fit the model unsupervised and classify all candidate pairs."""
+        timings = Stopwatch()
+        with timings.phase("comparison"):
+            patterns, keys = self._patterns(dataset)
+        with timings.phase("em"):
+            estimate = self.fit_em(patterns)
+        threshold = self._threshold(estimate)
+        components: UnionFind = UnionFind(r.record_id for r in dataset)
+        with timings.phase("classification"):
+            log_m = np.log(estimate.m)
+            log_1m = np.log(1.0 - estimate.m)
+            log_u = np.log(estimate.u)
+            log_1u = np.log(1.0 - estimate.u)
+            agree = (patterns == 1).astype(float)
+            disagree = (patterns == 0).astype(float)
+            weights = (
+                agree @ (log_m - log_u) + disagree @ (log_1m - log_1u)
+            )
+            for (rid_a, rid_b), weight in zip(keys, weights):
+                if weight >= threshold:
+                    components.union(rid_a, rid_b)
+        return FellegiSunterResult(
+            dataset=dataset,
+            components=components,
+            estimate=estimate,
+            timings=timings,
+        )

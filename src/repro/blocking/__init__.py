@@ -1,0 +1,35 @@
+"""Blocking/indexing substrate: reduce the quadratic comparison space.
+
+SNAPS and all baselines use the same blocking front-end (paper Section 10,
+"Implementation and Parameter Settings"): a locality-sensitive-hashing
+(MinHash-over-bigrams) blocker that maps records with similar name strings
+to common buckets.  Standard key blocking and phonetic blocking are also
+provided for the blocking ablation bench.
+
+A blocker consumes records and yields *candidate record pairs*; the
+role-compatibility and temporal filters of Section 4.1 are applied on top
+by :func:`repro.blocking.candidates.generate_candidate_pairs`.
+"""
+
+from repro.blocking.base import Blocker, block_key_pairs
+from repro.blocking.standard import StandardBlocker
+from repro.blocking.phonetic import PhoneticBlocker
+from repro.blocking.minhash import MinHasher
+from repro.blocking.lsh import LshBlocker
+from repro.blocking.sorted_neighbourhood import SortedNeighbourhoodBlocker
+from repro.blocking.composite import CompositeBlocker, PhoneticNameKeyBlocker
+from repro.blocking.candidates import CandidatePair, generate_candidate_pairs
+
+__all__ = [
+    "Blocker",
+    "block_key_pairs",
+    "StandardBlocker",
+    "PhoneticBlocker",
+    "PhoneticNameKeyBlocker",
+    "CompositeBlocker",
+    "MinHasher",
+    "LshBlocker",
+    "SortedNeighbourhoodBlocker",
+    "CandidatePair",
+    "generate_candidate_pairs",
+]

@@ -1,0 +1,45 @@
+"""Blocker protocol and helpers shared by all blocking strategies."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Protocol
+
+from repro.data.records import Record
+
+__all__ = ["Blocker", "block_key_pairs"]
+
+
+class Blocker(Protocol):
+    """Strategy mapping each record to one or more block keys.
+
+    Records sharing at least one block key become candidate pairs.  A
+    record mapped to no keys is never compared (this happens for records
+    whose blocking attributes are all missing).
+    """
+
+    def block_keys(self, record: Record) -> list[str]:
+        """Block keys for ``record``."""
+        ...
+
+
+def block_key_pairs(
+    records: Iterable[Record], blocker: Blocker
+) -> Iterator[tuple[int, int]]:
+    """Yield unique unordered record-id pairs sharing a block key.
+
+    Pairs are deduplicated across blocks (a pair sharing several keys is
+    yielded once) and yielded as sorted ``(low_id, high_id)`` tuples.
+    """
+    blocks: dict[str, list[int]] = {}
+    for record in records:
+        for key in blocker.block_keys(record):
+            blocks.setdefault(key, []).append(record.record_id)
+    seen: set[tuple[int, int]] = set()
+    for members in blocks.values():
+        members.sort()
+        for i, rid_a in enumerate(members):
+            for rid_b in members[i + 1 :]:
+                pair = (rid_a, rid_b)
+                if pair not in seen:
+                    seen.add(pair)
+                    yield pair

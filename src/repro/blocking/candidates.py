@@ -1,0 +1,99 @@
+"""Candidate record-pair generation: blocking + role/temporal filters.
+
+Implements the two filtering steps of paper Section 4.1: after blocking,
+record pairs of *impossible role types* (incompatible genders, unlinkable
+role combinations, same certificate) are dropped, and pairs violating the
+temporal constraints (non-overlapping plausible birth-year ranges) are
+dropped.  What remains becomes the relational nodes of the dependency
+graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.blocking.base import Blocker, block_key_pairs
+from repro.data.records import Dataset, Record
+from repro.data.roles import CENSUS_ROLES, LINKABLE_ROLE_PAIRS, Role
+
+__all__ = ["CandidatePair", "generate_candidate_pairs", "roles_linkable"]
+
+
+@dataclass(frozen=True)
+class CandidatePair:
+    """An unordered pair of records that survived blocking and filtering.
+
+    ``rid_a < rid_b`` always holds, so a pair has one canonical identity.
+    """
+
+    rid_a: int
+    rid_b: int
+
+    def __post_init__(self) -> None:
+        if self.rid_a >= self.rid_b:
+            raise ValueError(f"pair must be ordered: ({self.rid_a}, {self.rid_b})")
+
+    def key(self) -> tuple[int, int]:
+        return (self.rid_a, self.rid_b)
+
+
+def roles_linkable(role_a: Role, role_b: Role) -> bool:
+    """True when one person could hold both roles (see repro.data.roles)."""
+    pair = tuple(sorted((role_a, role_b), key=lambda r: r.value))
+    return pair in LINKABLE_ROLE_PAIRS
+
+
+def _genders_compatible(a: Record, b: Record) -> bool:
+    gender_a, gender_b = a.gender, b.gender
+    if gender_a is None or gender_b is None:
+        return True  # unknown gender carries no evidence either way
+    return gender_a == gender_b
+
+
+def _temporally_compatible(a: Record, b: Record, slack_years: int) -> bool:
+    lo_a, hi_a = a.birth_range()
+    lo_b, hi_b = b.birth_range()
+    return lo_a - slack_years <= hi_b and lo_b - slack_years <= hi_a
+
+
+def generate_candidate_pairs(
+    dataset: Dataset,
+    blocker: Blocker,
+    temporal_slack_years: int = 2,
+    roles: Iterable[Role] | None = None,
+) -> Iterator[CandidatePair]:
+    """Yield filtered candidate pairs for ``dataset`` under ``blocker``.
+
+    Filters applied, in order:
+
+    1. both records share a block key (the blocker's job);
+    2. the records come from *different* certificates — two roles on one
+       certificate are distinct people by construction;
+    3. the role combination is linkable and genders agree;
+    4. the plausible birth-year ranges overlap within ``slack`` years
+       (the temporal constraints of Section 4.2.2 as a pre-filter).
+
+    ``roles`` optionally restricts which records participate at all.
+    """
+    if roles is None:
+        records: list[Record] = list(dataset)
+    else:
+        records = dataset.records_with_role(roles)
+    for rid_a, rid_b in block_key_pairs(records, blocker):
+        a, b = dataset.record(rid_a), dataset.record(rid_b)
+        if a.cert_id == b.cert_id:
+            continue
+        if not roles_linkable(a.role, b.role):
+            continue
+        if (
+            a.role in CENSUS_ROLES
+            and b.role in CENSUS_ROLES
+            and a.event_year == b.event_year
+        ):
+            continue  # one household per person per census
+        if not _genders_compatible(a, b):
+            continue
+        if not _temporally_compatible(a, b, temporal_slack_years):
+            continue
+        yield CandidatePair(rid_a, rid_b)

@@ -1,0 +1,55 @@
+"""Composite blocker: union of several blocking strategies.
+
+Records become candidates when *any* member blocker co-blocks them.  SNAPS
+uses an LSH blocker unioned with a composite phonetic key
+(Soundex(first name) | Soundex(surname)): MinHash-LSH catches small edit
+variations, the phonetic key catches sound-alike respellings that bigram
+overlap misses ("euphemia"/"effie" style substitutions still need the
+variant dictionary, but "macdonald"/"mcdonald" collapse to one code).
+"""
+
+from __future__ import annotations
+
+from repro.blocking.base import Blocker
+from repro.data.normalize import canonical_name_phrase
+from repro.data.records import Record
+from repro.similarity.phonetic import soundex
+
+__all__ = ["CompositeBlocker", "PhoneticNameKeyBlocker"]
+
+
+class PhoneticNameKeyBlocker:
+    """Single composite key: Soundex(first) | Soundex(surname).
+
+    Unlike :class:`~repro.blocking.phonetic.PhoneticBlocker` (one key per
+    attribute, producing very large blocks for common names), the
+    composite key keeps blocks small enough for population-scale use.
+    """
+
+    def __init__(self, attributes: tuple[str, str] = ("first_name", "surname")) -> None:
+        self.attributes = attributes
+
+    def block_keys(self, record: Record) -> list[str]:
+        codes = []
+        for attribute in self.attributes:
+            value = record.get(attribute)
+            if value is None:
+                return []
+            codes.append(soundex(canonical_name_phrase(value.lower())))
+        return ["px:" + "|".join(codes)]
+
+
+class CompositeBlocker:
+    """Union of member blockers' key sets (keys are namespaced per member
+    so different strategies never collide on a key)."""
+
+    def __init__(self, blockers: list[Blocker]) -> None:
+        if not blockers:
+            raise ValueError("need at least one member blocker")
+        self.blockers = blockers
+
+    def block_keys(self, record: Record) -> list[str]:
+        keys: list[str] = []
+        for index, blocker in enumerate(self.blockers):
+            keys.extend(f"{index}#{key}" for key in blocker.block_keys(record))
+        return keys

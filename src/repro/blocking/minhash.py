@@ -1,0 +1,65 @@
+"""MinHash signatures over character bigram sets.
+
+A MinHash signature of a string's bigram set approximates its Jaccard
+similarity to other strings: the probability that two signatures agree at
+one position equals the Jaccard coefficient of the underlying sets.  The
+LSH blocker bands these signatures to bucket likely-similar names.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.similarity.qgram import qgrams
+from repro.utils.rng import make_rng
+
+__all__ = ["MinHasher"]
+
+_MERSENNE_PRIME = (1 << 61) - 1
+_MAX_HASH = (1 << 32) - 1
+
+
+class MinHasher:
+    """Computes fixed-length MinHash signatures of strings.
+
+    Uses the standard family of universal hash functions
+    ``h_i(x) = (a_i * x + b_i) mod p`` over 61-bit arithmetic, seeded
+    deterministically so signatures are stable across runs.
+    """
+
+    def __init__(self, n_hashes: int = 64, q: int = 2, seed: int = 42) -> None:
+        if n_hashes <= 0:
+            raise ValueError(f"n_hashes must be positive, got {n_hashes}")
+        self.n_hashes = n_hashes
+        self.q = q
+        rng = make_rng(seed)
+        self._params = [
+            (rng.randrange(1, _MERSENNE_PRIME), rng.randrange(0, _MERSENNE_PRIME))
+            for _ in range(n_hashes)
+        ]
+
+    def signature(self, value: str) -> tuple[int, ...]:
+        """MinHash signature of ``value``'s bigram set.
+
+        The empty string gets a sentinel all-max signature that collides
+        with nothing real.
+        """
+        grams = qgrams(value, q=self.q)
+        if not grams:
+            return tuple([_MAX_HASH + 1] * self.n_hashes)
+        # crc32 rather than built-in hash(): string hashing is randomised
+        # per process, and signatures must be stable across runs.
+        gram_hashes = [zlib.crc32(g.encode("utf-8")) & _MAX_HASH for g in grams]
+        signature = []
+        for a, b in self._params:
+            signature.append(
+                min(((a * gh + b) % _MERSENNE_PRIME) & _MAX_HASH for gh in gram_hashes)
+            )
+        return tuple(signature)
+
+    def estimate_jaccard(self, sig_a: tuple[int, ...], sig_b: tuple[int, ...]) -> float:
+        """Fraction of agreeing positions — an unbiased Jaccard estimate."""
+        if len(sig_a) != len(sig_b):
+            raise ValueError("signatures have different lengths")
+        agreements = sum(1 for x, y in zip(sig_a, sig_b) if x == y)
+        return agreements / len(sig_a)

@@ -1,0 +1,40 @@
+"""Phonetic blocking: block key = Soundex (or NYSIIS) of name attributes.
+
+More typo-tolerant than exact-key blocking ("macdonald" and "mcdonald"
+share a code) at the cost of larger blocks for common codes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.data.records import Record
+from repro.similarity.phonetic import soundex
+
+__all__ = ["PhoneticBlocker"]
+
+
+class PhoneticBlocker:
+    """Blocks on the phonetic codes of the configured attributes.
+
+    Emits one key per attribute (not a composite), so records agreeing on
+    *either* name phonetically become candidates.
+    """
+
+    def __init__(
+        self,
+        attributes: tuple[str, ...] = ("first_name", "surname"),
+        encoder: Callable[[str], str] = soundex,
+    ) -> None:
+        if not attributes:
+            raise ValueError("need at least one blocking attribute")
+        self.attributes = attributes
+        self.encoder = encoder
+
+    def block_keys(self, record: Record) -> list[str]:
+        keys = []
+        for attribute in self.attributes:
+            value = record.get(attribute)
+            if value is not None:
+                keys.append(f"{attribute}:{self.encoder(value.lower())}")
+        return keys

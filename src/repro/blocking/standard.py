@@ -1,0 +1,41 @@
+"""Standard (exact-key) blocking.
+
+Each record's block key is the concatenation of selected attribute values
+(by default first-name initial + surname prefix).  Cheap and simple, but
+brittle under typos — it serves as the low-recall ablation point in the
+blocking bench.
+"""
+
+from __future__ import annotations
+
+from repro.data.records import Record
+
+__all__ = ["StandardBlocker"]
+
+
+class StandardBlocker:
+    """Blocks on exact prefixes of the given attributes.
+
+    ``prefix_lengths`` maps attribute name to how many leading characters
+    of the value participate in the key; 0 means the whole value.
+    """
+
+    def __init__(
+        self,
+        prefix_lengths: dict[str, int] | None = None,
+    ) -> None:
+        if prefix_lengths is None:
+            prefix_lengths = {"first_name": 1, "surname": 4}
+        if not prefix_lengths:
+            raise ValueError("need at least one blocking attribute")
+        self.prefix_lengths = prefix_lengths
+
+    def block_keys(self, record: Record) -> list[str]:
+        parts: list[str] = []
+        for attribute, length in self.prefix_lengths.items():
+            value = record.get(attribute)
+            if value is None:
+                return []  # cannot form the composite key
+            value = value.lower()
+            parts.append(value[:length] if length > 0 else value)
+        return ["|".join(parts)]

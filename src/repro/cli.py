@@ -1,0 +1,223 @@
+"""Command-line interface: simulate → resolve → query → pedigree.
+
+The CLI mirrors the SNAPS deployment split: ``resolve`` runs the offline
+phase and saves a pedigree graph; ``query`` and ``pedigree`` serve the
+online phase from that file.  ``simulate`` and ``anonymise`` manage
+datasets.
+
+Examples::
+
+    python -m repro simulate --dataset ios --scale 0.1 --out data/ios
+    python -m repro resolve  --data data/ios --out data/ios.graph.json
+    python -m repro query    --graph data/ios.graph.json \
+        --first-name mary --surname macdonald --top 5
+    python -m repro pedigree --graph data/ios.graph.json \
+        --entity 42 --format gedcom
+    python -m repro anonymise --data data/ios --out data/ios-anon
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SNAPS family-pedigree search (EDBT 2022 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser("simulate", help="generate a synthetic dataset")
+    simulate.add_argument(
+        "--dataset", choices=("ios", "kil", "tiny", "ios-census"), default="tiny"
+    )
+    simulate.add_argument("--scale", type=float, default=0.1)
+    simulate.add_argument("--seed", type=int, default=11)
+    simulate.add_argument("--out", required=True, help="output CSV stem")
+
+    resolve = sub.add_parser("resolve", help="run offline ER, save pedigree graph")
+    resolve.add_argument("--data", required=True, help="dataset CSV stem")
+    resolve.add_argument("--out", required=True, help="pedigree graph JSON path")
+    resolve.add_argument("--merge-threshold", type=float, default=0.85)
+    resolve.add_argument("--no-propagation", action="store_true")
+    resolve.add_argument("--no-ambiguity", action="store_true")
+    resolve.add_argument("--no-relational", action="store_true")
+    resolve.add_argument("--no-refinement", action="store_true")
+
+    query = sub.add_parser("query", help="search the pedigree graph")
+    query.add_argument("--graph", required=True)
+    query.add_argument("--first-name", required=True)
+    query.add_argument("--surname", required=True)
+    query.add_argument("--gender", choices=("m", "f"))
+    query.add_argument("--year-from", type=int)
+    query.add_argument("--year-to", type=int)
+    query.add_argument("--parish")
+    query.add_argument("--record-type", choices=("birth", "death"))
+    query.add_argument("--top", type=int, default=10)
+    query.add_argument(
+        "--geo", action="store_true",
+        help="score parishes by geographic distance instead of spelling",
+    )
+
+    pedigree = sub.add_parser("pedigree", help="extract one entity's pedigree")
+    pedigree.add_argument("--graph", required=True)
+    pedigree.add_argument("--entity", type=int, required=True)
+    pedigree.add_argument("--generations", type=int, default=2)
+    pedigree.add_argument(
+        "--format", choices=("ascii", "dot", "gedcom"), default="ascii"
+    )
+
+    anonymise = sub.add_parser("anonymise", help="anonymise a dataset for release")
+    anonymise.add_argument("--data", required=True, help="input CSV stem")
+    anonymise.add_argument("--out", required=True, help="output CSV stem")
+    anonymise.add_argument("--k", type=int, default=10)
+    anonymise.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.data.loader import save_dataset_csv
+    from repro.data.synthetic import (
+        make_ios_census_dataset,
+        make_ios_dataset,
+        make_kil_dataset,
+        make_tiny_dataset,
+    )
+
+    if args.dataset == "ios":
+        dataset = make_ios_dataset(scale=args.scale, seed=args.seed)
+    elif args.dataset == "kil":
+        dataset = make_kil_dataset(scale=args.scale, seed=args.seed)
+    elif args.dataset == "ios-census":
+        dataset = make_ios_census_dataset(scale=args.scale, seed=args.seed)
+    else:
+        dataset = make_tiny_dataset(seed=args.seed)
+    records_path, certs_path = save_dataset_csv(dataset, args.out)
+    print(f"wrote {records_path} and {certs_path}")
+    print(dataset.describe())
+    return 0
+
+
+def _cmd_resolve(args: argparse.Namespace) -> int:
+    from repro.core import SnapsConfig, SnapsResolver
+    from repro.data.loader import load_dataset_csv
+    from repro.eval import evaluate_linkage
+    from repro.pedigree import build_pedigree_graph, save_pedigree_graph
+
+    dataset = load_dataset_csv(args.data)
+    config = SnapsConfig(
+        merge_threshold=args.merge_threshold,
+        use_propagation=not args.no_propagation,
+        use_ambiguity=not args.no_ambiguity,
+        use_relational=not args.no_relational,
+        use_refinement=not args.no_refinement,
+    )
+    result = SnapsResolver(config).resolve(dataset)
+    print(
+        f"resolved {len(dataset)} records: |N_A|={result.n_atomic} "
+        f"|N_R|={result.n_relational} in {result.timings.total():.1f}s"
+    )
+    for role_pair in ("Bp-Bp", "Bp-Dp"):
+        truth = dataset.true_match_pairs(role_pair)
+        if truth:
+            ev = evaluate_linkage(result.matched_pairs(role_pair), truth, role_pair)
+            print(
+                f"  {role_pair}: P={ev.precision:.1f}% R={ev.recall:.1f}% "
+                f"F*={ev.f_star:.1f}%"
+            )
+    graph = build_pedigree_graph(dataset, result.entities)
+    path = save_pedigree_graph(graph, args.out)
+    print(f"pedigree graph ({len(graph)} entities) written to {path}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.pedigree import load_pedigree_graph
+    from repro.query import Query, QueryEngine
+
+    graph = load_pedigree_graph(args.graph)
+    engine = QueryEngine(graph, use_geographic_distance=args.geo)
+    query = Query(
+        first_name=args.first_name,
+        surname=args.surname,
+        gender=args.gender,
+        year_from=args.year_from,
+        year_to=args.year_to,
+        parish=args.parish,
+        record_type=args.record_type,
+    )
+    hits = engine.search(query, top_m=args.top)
+    if not hits:
+        print("no matches")
+        return 1
+    print(f"{'entity':>8}  {'score':>7}  name")
+    for hit in hits:
+        print(
+            f"{hit.entity.entity_id:>8}  {hit.score_percent:6.2f}%  "
+            f"{hit.entity.display_name()}"
+        )
+    return 0
+
+
+def _cmd_pedigree(args: argparse.Namespace) -> int:
+    from repro.pedigree import (
+        extract_pedigree,
+        load_pedigree_graph,
+        render_ascii_tree,
+        render_dot,
+        render_gedcom,
+    )
+
+    graph = load_pedigree_graph(args.graph)
+    try:
+        pedigree = extract_pedigree(graph, args.entity, args.generations)
+    except KeyError:
+        print(f"unknown entity id: {args.entity}", file=sys.stderr)
+        return 1
+    if args.format == "dot":
+        print(render_dot(pedigree))
+    elif args.format == "gedcom":
+        print(render_gedcom(pedigree))
+    else:
+        print(render_ascii_tree(pedigree))
+    return 0
+
+
+def _cmd_anonymise(args: argparse.Namespace) -> int:
+    from repro.anonymize import anonymise_dataset
+    from repro.data.loader import load_dataset_csv, save_dataset_csv
+
+    dataset = load_dataset_csv(args.data)
+    anonymised, report = anonymise_dataset(dataset, k=args.k, seed=args.seed)
+    records_path, certs_path = save_dataset_csv(anonymised, args.out)
+    print(f"wrote {records_path} and {certs_path}")
+    print(
+        f"mapped {report.n_female_names_mapped + report.n_male_names_mapped} "
+        f"first names, {report.n_surnames_mapped} surnames; "
+        f"generalised {report.n_causes_generalised} causes of death"
+    )
+    return 0
+
+
+_COMMANDS = {
+    "simulate": _cmd_simulate,
+    "resolve": _cmd_resolve,
+    "query": _cmd_query,
+    "pedigree": _cmd_pedigree,
+    "anonymise": _cmd_anonymise,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,117 @@
+"""Configuration of the SNAPS resolver.
+
+Defaults are the paper's published parameter values (Section 10,
+"Implementation and Parameter Settings"), found there by a parameter
+sensitivity analysis:
+
+====================  ======  =========================================
+``bootstrap_threshold``  0.95  minimum group-average similarity to merge
+                               during bootstrapping (``t_b``)
+``merge_threshold``      0.85  minimum group-average similarity to merge
+                               during iterative merging (``t_m``)
+``atomic_threshold``     0.90  minimum QID value-pair similarity for an
+                               atomic node to enter the graph (``t_a``)
+``gamma``                0.60  weight of atomic vs disambiguation
+                               similarity in Equation (3) (``γ``)
+``bridge_node_limit``      15  cluster size above which bridges split the
+                               cluster (``t_n``)
+``density_threshold``    0.30  minimum cluster density before the
+                               loosest record is removed (``t_d``)
+====================  ======  =========================================
+
+The ``use_*`` switches implement the Table 3 ablation: each disables one
+of the paper's four novel techniques.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.data.schema import Schema, default_schema
+
+__all__ = ["SnapsConfig"]
+
+
+@dataclass
+class SnapsConfig:
+    """All knobs of the offline ER pipeline; defaults follow the paper."""
+
+    # Thresholds (paper notation in parentheses).
+    bootstrap_threshold: float = 0.95   # t_b
+    merge_threshold: float = 0.85       # t_m
+    atomic_threshold: float = 0.90      # t_a
+    gamma: float = 0.60                 # γ in Eq. (3)
+    density_threshold: float = 0.30     # t_d
+    bridge_node_limit: int = 15         # t_n
+    temporal_slack_years: int = 2
+
+    # Ablation switches (Table 3).
+    use_propagation: bool = True        # PROP-A + PROP-C
+    use_ambiguity: bool = True          # AMB (γ < 1)
+    use_relational: bool = True         # REL (iterative node dropping)
+    use_refinement: bool = True         # REF (bridge/density refinement)
+
+    # Merge-gate policy.  Groups with two or more supporting nodes are
+    # gated on their mean *atomic* similarity (relationship evidence
+    # substitutes for disambiguation evidence); a lone node is gated on
+    # the *combined* similarity of Eq. (3) when this flag is set, so an
+    # ambiguous (common-name) pair without family support cannot merge.
+    # See DESIGN.md "Deviations".
+    gate_on_combined: bool = True
+    # Temporal decay of Extra-attribute disagreement (temporal record
+    # linkage, Li et al. 2011 / Hu et al. 2017, both cited by the paper):
+    # an address mismatch between records 20 years apart is much weaker
+    # negative evidence than between records 1 year apart, because people
+    # move.  When set, a present-but-dissimilar Extra attribute's zero
+    # contribution is down-weighted by 0.5^(gap / half_life); None
+    # disables decay (the paper's behaviour).
+    temporal_decay_half_life: float | None = None
+    # Compare addresses by geocoded geodesic distance instead of token
+    # overlap (the paper does this for the IOS data, Section 10; it needs
+    # a usable gazetteer, which KIL/BHIC lack there and synthetic KIL
+    # mimics by worse address quality).
+    use_geocoded_addresses: bool = False
+    # Nodes whose atomic similarity falls below this floor are dropped
+    # from a group by REL even when the group average passes ``t_m`` —
+    # a strong group must not drag a clearly-dissimilar pair (e.g. a
+    # sibling node) into the merge.
+    node_floor: float = 0.55
+
+    # Blocking parameters (MinHash LSH, Section 4.1).
+    lsh_bands: int = 16
+    lsh_rows_per_band: int = 4
+    lsh_seed: int = 42
+    # Union the LSH blocker with a composite phonetic key so sound-alike
+    # respellings that share few bigrams still become candidates.
+    use_phonetic_blocking: bool = True
+    # Additionally union per-attribute phonetic blocking (one key per name
+    # attribute).  Raises pair completeness from ~93% to ~98% and final
+    # recall by ~3 points, at ~3x candidate pairs and runtime — see
+    # benchmarks/bench_ablation_blocking.py for the measured trade-off.
+    use_per_attribute_phonetic_blocking: bool = False
+
+    # Attribute schema (Must/Core/Extra categories + weights, Eq. (1)).
+    schema: Schema = field(default_factory=default_schema)
+
+    def __post_init__(self) -> None:
+        for name in (
+            "bootstrap_threshold",
+            "merge_threshold",
+            "atomic_threshold",
+            "gamma",
+            "density_threshold",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.bridge_node_limit < 3:
+            raise ValueError("bridge_node_limit must be at least 3")
+        if self.temporal_decay_half_life is not None and self.temporal_decay_half_life <= 0:
+            raise ValueError("temporal_decay_half_life must be positive or None")
+        if self.temporal_slack_years < 0:
+            raise ValueError("temporal_slack_years cannot be negative")
+
+    @property
+    def effective_gamma(self) -> float:
+        """γ actually used: 1.0 (pure atomic similarity) when AMB is off."""
+        return self.gamma if self.use_ambiguity else 1.0

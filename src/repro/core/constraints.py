@@ -1,0 +1,120 @@
+"""Temporal and link constraints with global propagation (PROP-C).
+
+Paper Section 4.2.2: relationships observed at different points in time
+cannot be compared directly, but their *characteristics* constrain links:
+
+* **temporal constraints** — each role implies a plausible birth-year
+  range given the certificate year (e.g. a birth mother is 15–55 years
+  older than her baby); every record a cluster accumulates narrows the
+  cluster's feasible birth-year interval, and a merge requiring an empty
+  interval is rejected;
+* **link constraints** — a person has exactly one birth and one death
+  record (one-to-one), cannot appear twice on the same certificate, and
+  two roles can only co-refer when biologically linkable
+  (:data:`repro.data.roles.LINKABLE_ROLE_PAIRS`).
+
+*Propagation* means the constraints are evaluated against the **entities**
+records currently belong to — every previously accepted link tightens what
+future links are admissible.  With PROP-C disabled (ablation), only the
+two original records are checked, so earlier decisions exert no negative
+evidence.
+"""
+
+from __future__ import annotations
+
+from repro.core.entities import Entity, EntityStore
+from repro.data.records import Record
+from repro.data.roles import CENSUS_ROLES, SINGLETON_ROLES
+from repro.blocking.candidates import roles_linkable
+
+__all__ = ["ConstraintChecker"]
+
+
+class ConstraintChecker:
+    """Validates whether two records (or their entities) may co-refer."""
+
+    def __init__(self, temporal_slack_years: int = 2, propagate: bool = True) -> None:
+        if temporal_slack_years < 0:
+            raise ValueError("slack cannot be negative")
+        self.slack = temporal_slack_years
+        self.propagate = propagate
+
+    # ------------------------------------------------------------------
+    # Record-level checks (always applied)
+    # ------------------------------------------------------------------
+
+    def records_compatible(self, a: Record, b: Record) -> bool:
+        """Constraints between the two raw records only."""
+        if a.cert_id == b.cert_id:
+            return False
+        if not roles_linkable(a.role, b.role):
+            return False
+        if (
+            a.role in CENSUS_ROLES
+            and b.role in CENSUS_ROLES
+            and a.event_year == b.event_year
+        ):
+            # Two households of the same census never share a person.
+            return False
+        if a.role in SINGLETON_ROLES and a.role is b.role:
+            return False
+        gender_a, gender_b = a.gender, b.gender
+        if gender_a is not None and gender_b is not None and gender_a != gender_b:
+            return False
+        lo_a, hi_a = a.birth_range()
+        lo_b, hi_b = b.birth_range()
+        return lo_a - self.slack <= hi_b and lo_b - self.slack <= hi_a
+
+    # ------------------------------------------------------------------
+    # Entity-level checks (PROP-C)
+    # ------------------------------------------------------------------
+
+    def entities_compatible(self, ea: Entity, eb: Entity) -> bool:
+        """Constraints between two whole clusters.
+
+        Checks certificate disjointness, combined singleton-role counts,
+        gender consensus, the intersection of birth-year intervals, and
+        pairwise role linkability across the clusters.
+        """
+        if ea.entity_id == eb.entity_id:
+            return True
+        if ea.cert_ids & eb.cert_ids:
+            return False
+        for role in SINGLETON_ROLES:
+            if ea.role_counts.get(role, 0) + eb.role_counts.get(role, 0) > 1:
+                return False
+        if (
+            ea.gender is not None
+            and eb.gender is not None
+            and ea.gender != eb.gender
+        ):
+            return False
+        if (
+            ea.birth_lo - self.slack > eb.birth_hi
+            or eb.birth_lo - self.slack > ea.birth_hi
+        ):
+            return False
+        if ea.census_years & eb.census_years:
+            # A person appears in exactly one household per census year.
+            return False
+        for role_a in ea.role_counts:
+            for role_b in eb.role_counts:
+                if not roles_linkable(role_a, role_b):
+                    return False
+        return True
+
+    def can_merge(self, store: EntityStore, a: Record, b: Record) -> bool:
+        """Full validation of merging the entities of ``a`` and ``b``.
+
+        With propagation enabled this is the PROP-C behaviour: the check
+        runs between the records' *current entities*, so every earlier
+        link contributes negative evidence.  Without propagation only the
+        two records themselves are checked (Table 3 ablation).
+        """
+        if not self.records_compatible(a, b):
+            return False
+        if not self.propagate:
+            return True
+        ea = store.entity_of(a.record_id)
+        eb = store.entity_of(b.record_id)
+        return self.entities_compatible(ea, eb)

@@ -1,0 +1,219 @@
+"""Dependency graph G_D: atomic nodes, relational nodes, relationship edges.
+
+Paper Section 4.1: the dependency graph contains
+
+* **atomic nodes** (``N_A``) — pairs of QID values with their similarity,
+  admitted when the similarity reaches the threshold ``t_a``;
+* **relational nodes** (``N_R``) — pairs of records that may refer to the
+  same person (the blocked, filtered candidate pairs);
+* **edges** — a relational node depends on its atomic nodes, and
+  relational nodes arising from the same certificate pair are connected
+  by relationship edges (*motherOf*, *fatherOf*, *spouseOf*, *childOf*).
+
+Relational nodes from one certificate pair form a *node group* — the unit
+the bootstrap and merging steps operate on (e.g. for two birth
+certificates the group holds the mother, father, and baby pair nodes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.blocking.candidates import CandidatePair
+from repro.core.config import SnapsConfig
+from repro.data.records import Dataset, Record
+from repro.similarity.registry import ComparatorRegistry, default_registry
+
+__all__ = [
+    "AtomicNode",
+    "RelationalNode",
+    "NodeGroup",
+    "DependencyGraph",
+    "build_dependency_graph",
+]
+
+GroupKey = tuple[int, int]  # sorted certificate-id pair
+
+
+@dataclass(frozen=True)
+class AtomicNode:
+    """A pair of QID values of one attribute and their similarity."""
+
+    attribute: str
+    value_a: str
+    value_b: str
+    similarity: float
+
+    def key(self) -> tuple[str, str, str]:
+        lo, hi = sorted((self.value_a, self.value_b))
+        return (self.attribute, lo, hi)
+
+
+@dataclass
+class RelationalNode:
+    """A candidate record pair, with its currently attached atomic nodes.
+
+    ``atomic`` maps attribute name to the best-matching atomic node; under
+    PROP-A these are re-pointed as entities accumulate alternative QID
+    values (the (Smith, Taylor) → (Tayler, Taylor) example of Figure 4).
+    """
+
+    rid_a: int
+    rid_b: int
+    group: GroupKey
+    atomic: dict[str, AtomicNode] = field(default_factory=dict)
+    merged: bool = False
+
+    def key(self) -> tuple[int, int]:
+        return (self.rid_a, self.rid_b)
+
+    def atomic_mean(self) -> float:
+        """Unweighted mean of attached atomic similarities (0 if none)."""
+        if not self.atomic:
+            return 0.0
+        return sum(n.similarity for n in self.atomic.values()) / len(self.atomic)
+
+
+@dataclass
+class NodeGroup:
+    """All relational nodes sharing one certificate pair, plus the
+    relationship edges between them."""
+
+    key: GroupKey
+    node_keys: list[tuple[int, int]] = field(default_factory=list)
+    # Edges: (node_key_a, relationship, node_key_b).
+    edges: list[tuple[tuple[int, int], str, tuple[int, int]]] = field(
+        default_factory=list
+    )
+
+
+class DependencyGraph:
+    """Container for the relational nodes, atomic registry, and groups."""
+
+    def __init__(self, dataset: Dataset) -> None:
+        self.dataset = dataset
+        self.nodes: dict[tuple[int, int], RelationalNode] = {}
+        self.groups: dict[GroupKey, NodeGroup] = {}
+        self._atomic_registry: set[tuple[str, str, str]] = set()
+
+    # ------------------------------------------------------------------
+
+    def add_node(self, node: RelationalNode) -> None:
+        """Insert a relational node and register it with its group."""
+        self.nodes[node.key()] = node
+        group = self.groups.get(node.group)
+        if group is None:
+            group = NodeGroup(key=node.group)
+            self.groups[node.group] = group
+        group.node_keys.append(node.key())
+        for atomic in node.atomic.values():
+            self._atomic_registry.add(atomic.key())
+
+    def register_atomic(self, atomic: AtomicNode) -> None:
+        """Count a (possibly re-pointed) atomic node in |N_A|."""
+        self._atomic_registry.add(atomic.key())
+
+    def node(self, key: tuple[int, int]) -> RelationalNode:
+        return self.nodes[key]
+
+    def records_of(self, node: RelationalNode) -> tuple[Record, Record]:
+        return (
+            self.dataset.record(node.rid_a),
+            self.dataset.record(node.rid_b),
+        )
+
+    def alive_group_nodes(self, group: NodeGroup) -> list[RelationalNode]:
+        """Unmerged nodes of ``group`` (merging consumes nodes)."""
+        return [
+            self.nodes[key] for key in group.node_keys if not self.nodes[key].merged
+        ]
+
+    @property
+    def n_atomic(self) -> int:
+        """|N_A| — distinct atomic (value-pair) nodes ever admitted."""
+        return len(self._atomic_registry)
+
+    @property
+    def n_relational(self) -> int:
+        """|N_R| — relational (record-pair) nodes."""
+        return len(self.nodes)
+
+    def __iter__(self) -> Iterator[RelationalNode]:
+        return iter(self.nodes.values())
+
+    def merged_nodes(self) -> list[RelationalNode]:
+        return [n for n in self.nodes.values() if n.merged]
+
+
+def _group_edges(graph: DependencyGraph, group: NodeGroup) -> None:
+    """Derive relationship edges inside one certificate-pair group.
+
+    Two relational nodes (ra, rc) and (rb, rd) are connected with label
+    ``rel`` when certificate A relates ra→rb and certificate B relates
+    rc→rd with the same relationship (Figure 3).  ``childOf`` edges are
+    the reverses of Mof/Fof and are represented implicitly.
+    """
+    cert_a = graph.dataset.certificates[group.key[0]]
+    cert_b = graph.dataset.certificates[group.key[1]]
+    present = set(group.node_keys)
+    rels_a = cert_a.relationships()
+    rels_b = cert_b.relationships()
+    for ra, rel_a, rb in rels_a:
+        for rc, rel_b, rd in rels_b:
+            if rel_a != rel_b:
+                continue
+            for left, right in (((ra, rc), (rb, rd)),):
+                key_left = tuple(sorted(left))
+                key_right = tuple(sorted(right))
+                if key_left in present and key_right in present:
+                    group.edges.append((key_left, rel_a, key_right))
+            if rel_a == "Sof":
+                # Spouse links are symmetric: also try the crossed pairing.
+                key_left = tuple(sorted((ra, rd)))
+                key_right = tuple(sorted((rb, rc)))
+                if key_left in present and key_right in present:
+                    group.edges.append((key_left, "Sof", key_right))
+
+
+def build_dependency_graph(
+    dataset: Dataset,
+    candidate_pairs: Iterable[CandidatePair],
+    config: SnapsConfig,
+    registry: ComparatorRegistry | None = None,
+) -> DependencyGraph:
+    """Construct G_D from filtered candidate pairs.
+
+    For each candidate pair a relational node is created; each schema
+    attribute present on both records whose similarity reaches ``t_a``
+    contributes an atomic node.  A shared cache keyed on value pairs makes
+    the cost proportional to *distinct* value pairs rather than record
+    pairs (names repeat heavily — that is the ambiguity problem itself).
+    """
+    registry = registry or default_registry()
+    graph = DependencyGraph(dataset)
+    sim_cache: dict[tuple[str, str, str], float] = {}
+    attributes = config.schema.names()
+    for pair in candidate_pairs:
+        a = dataset.record(pair.rid_a)
+        b = dataset.record(pair.rid_b)
+        group_key: GroupKey = tuple(sorted((a.cert_id, b.cert_id)))  # type: ignore[assignment]
+        node = RelationalNode(rid_a=pair.rid_a, rid_b=pair.rid_b, group=group_key)
+        for attribute in attributes:
+            value_a, value_b = a.get(attribute), b.get(attribute)
+            if value_a is None or value_b is None:
+                continue
+            lo, hi = sorted((value_a, value_b))
+            cache_key = (attribute, lo, hi)
+            similarity = sim_cache.get(cache_key)
+            if similarity is None:
+                similarity = registry.compare(attribute, value_a, value_b) or 0.0
+                sim_cache[cache_key] = similarity
+            if similarity >= config.atomic_threshold:
+                node.atomic[attribute] = AtomicNode(
+                    attribute, value_a, value_b, similarity
+                )
+        graph.add_node(node)
+    for group in graph.groups.values():
+        _group_edges(graph, group)
+    return graph

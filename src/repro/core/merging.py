@@ -1,0 +1,191 @@
+"""Iterative merging: priority-queue processing of node groups.
+
+Paper Section 4.2.6.  The queue holds all relational node groups, larger
+groups first, ties broken by higher average node similarity — with AMB
+enabled the average uses the combined similarity of Eq. (3), so groups of
+*unambiguous* (rare-name) pairs are processed before ambiguous ones and
+their links constrain later decisions (this ordering effect is AMB's main
+contribution; see DESIGN.md "Deviations").
+
+Processing one group (the REL technique, Section 4.2.4):
+
+1. drop nodes violating temporal/link constraints against the current
+   entities (PROP-C as negative evidence);
+2. re-point each remaining node's atomic nodes against the entities'
+   accumulated QID values (PROP-A as positive evidence);
+3. if the group's mean gate similarity reaches ``t_m`` merge every node,
+   otherwise remove the lowest-scoring node and repeat, until a merge
+   happens or the group is exhausted.
+
+Without REL, a group either merges in full on first evaluation or not at
+all — partial-match groups (a sibling node dragging the average down)
+then block their parents' merge, which is exactly the Table 3 ablation
+result (Bp-Dp quality collapses to zero).
+"""
+
+from __future__ import annotations
+
+from repro.core.config import SnapsConfig
+from repro.core.constraints import ConstraintChecker
+from repro.core.dependency_graph import DependencyGraph, RelationalNode
+from repro.core.entities import EntityStore
+from repro.core.scoring import PairScorer
+from repro.data.schema import AttributeCategory
+
+__all__ = ["iterative_merge"]
+
+
+def iterative_merge(
+    graph: DependencyGraph,
+    store: EntityStore,
+    scorer: PairScorer,
+    checker: ConstraintChecker,
+    config: SnapsConfig,
+) -> int:
+    """Run the merging step over all groups; return nodes merged."""
+    groups = list(graph.groups.values())
+    # Initial priorities: group size, then mean combined similarity.  The
+    # queue is static (merging never creates groups), so a sorted list is
+    # the priority queue.
+    def priority(group) -> tuple[int, float]:
+        nodes = graph.alive_group_nodes(group)
+        if not nodes:
+            return (0, 0.0)
+        mean = sum(scorer.combined_similarity(n) for n in nodes) / len(nodes)
+        return (len(nodes), mean)
+
+    groups.sort(key=priority, reverse=True)
+    merged_count = 0
+    for group in groups:
+        nodes = graph.alive_group_nodes(group)
+        if not nodes:
+            continue
+        merged_count += _process_group(
+            nodes, graph, store, scorer, checker, config
+        )
+    return merged_count
+
+
+def _process_group(
+    nodes: list[RelationalNode],
+    graph: DependencyGraph,
+    store: EntityStore,
+    scorer: PairScorer,
+    checker: ConstraintChecker,
+    config: SnapsConfig,
+) -> int:
+    """Apply the REL loop to one group; return nodes merged.
+
+    Gate policy: a group of two or more mutually-supporting nodes is
+    gated on its mean atomic similarity (Eq. 1) — relationship structure
+    substitutes for disambiguation evidence.  A lone node has no such
+    support, so it is gated on the combined similarity (Eq. 3): an
+    ambiguous pair on its own cannot merge, however well its names agree.
+    """
+    use_rel = config.use_relational
+    # Nodes removed because their records *actively disagree* (both Must
+    # values present yet dissimilar) are remembered as negative evidence:
+    # if the disagreeing nodes come to outnumber the survivors, the group
+    # is rejected.  This separates the sibling case (one sibling node vs
+    # two agreeing parent nodes → merge parents) from the father-and-son
+    # namesake case (one agreeing father node vs one disagreeing wife
+    # node → no merge).
+    disagreements = 0
+    while nodes:
+        valid: list[RelationalNode] = []
+        invalid: list[RelationalNode] = []
+        for node in nodes:
+            a, b = graph.records_of(node)
+            if checker.can_merge(store, a, b) or store.same_entity(
+                node.rid_a, node.rid_b
+            ):
+                valid.append(node)
+            else:
+                invalid.append(node)
+        if invalid:
+            if not use_rel:
+                return 0  # a violating node blocks the whole group
+            nodes = valid
+            continue
+        if not valid:
+            return 0
+        if config.use_propagation:
+            for node in valid:
+                scorer.propagate_values(graph, node, store)
+        unsupported = [n for n in valid if not scorer.has_must_evidence(n)]
+        if unsupported and use_rel:
+            # REL's node-dropping: nodes without Must-attribute evidence
+            # may never merge.  A node whose Must values are present on
+            # both sides yet dissimilar is *active disagreement*; one with
+            # a missing Must value is merely uninformative and is dropped
+            # silently.  Without REL the weak node stays and drags the
+            # group average down — the paper's partial-match-group
+            # failure mode.
+            disagreements += sum(
+                1
+                for n in unsupported
+                if _must_values_disagree(graph, scorer, n, config)
+            )
+            nodes = [n for n in valid if scorer.has_must_evidence(n)]
+            continue
+        atomic = [scorer.atomic_similarity(n) for n in valid]
+        if use_rel and len(valid) > 1 and min(atomic) < config.node_floor:
+            # A clearly-dissimilar node (a sibling pair, say) must not be
+            # dragged into a merge by an otherwise-strong group.
+            kept = [n for n, s in zip(valid, atomic) if s >= config.node_floor]
+            disagreements += sum(
+                1
+                for n, s in zip(valid, atomic)
+                if s < config.node_floor and _must_values_disagree(graph, scorer, n, config)
+            )
+            nodes = kept
+            continue
+        if disagreements >= len(valid):
+            return 0
+        if len(valid) >= 2:
+            mean_gate = sum(atomic) / len(atomic)
+        elif config.gate_on_combined:
+            mean_gate = scorer.combined_similarity(valid[0])
+        else:
+            mean_gate = atomic[0]
+        if mean_gate >= config.merge_threshold:
+            merged = 0
+            for node in valid:
+                a, b = graph.records_of(node)
+                if store.same_entity(node.rid_a, node.rid_b) or checker.can_merge(
+                    store, a, b
+                ):
+                    store.merge(node.rid_a, node.rid_b)
+                    node.merged = True
+                    merged += 1
+            return merged
+        if not use_rel or len(valid) == 1:
+            return 0
+        # Drop the weakest node by combined similarity (ambiguous pairs
+        # are least trustworthy) and retry with the rest.
+        combined = [scorer.combined_similarity(n) for n in valid]
+        weakest = min(range(len(valid)), key=lambda i: combined[i])
+        if _must_values_disagree(graph, scorer, valid[weakest], config):
+            disagreements += 1
+        nodes = valid[:weakest] + valid[weakest + 1 :]
+    return 0
+
+
+def _must_values_disagree(
+    graph: DependencyGraph,
+    scorer: PairScorer,
+    node: RelationalNode,
+    config: SnapsConfig,
+) -> bool:
+    """True when the node's records both carry a Must attribute whose best
+    similarity still falls below the atomic threshold — active negative
+    evidence, as opposed to mere missing values."""
+    a, b = graph.records_of(node)
+    for attribute in config.schema.names_in(AttributeCategory.MUST):
+        value_a, value_b = a.get(attribute), b.get(attribute)
+        if value_a is None or value_b is None:
+            continue
+        if attribute in node.atomic:
+            continue  # an atomic node exists, so the values agree
+        return True
+    return False

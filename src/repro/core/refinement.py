@@ -1,0 +1,118 @@
+"""Dynamic cluster refinement (REF): bridge/density error detection.
+
+Paper Section 4.2.5, following Randall et al.: loosely connected record
+clusters (chains) are more likely to contain wrong links than densely
+connected ones (cliques).  After bootstrapping and after merging:
+
+* a cluster of at least three records whose link-graph *density* falls
+  below ``t_d`` loses its lowest-degree record (the most weakly attached
+  one), repeatedly until the density recovers or the cluster shrinks to
+  a pair;
+* a cluster with more than ``t_n`` records is split at its *bridges*
+  (edges whose removal disconnects the graph).
+
+Unmerged records return to singleton status and can be re-linked
+correctly in a later iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import SnapsConfig
+from repro.core.entities import Entity, EntityStore
+
+__all__ = ["find_bridges", "refine_clusters", "RefinementStats"]
+
+
+@dataclass
+class RefinementStats:
+    """What one refinement pass did."""
+
+    records_removed: int = 0
+    bridges_cut: int = 0
+    clusters_examined: int = 0
+
+
+def find_bridges(entity: Entity) -> list[tuple[int, int]]:
+    """Bridges of the entity's link graph (Tarjan's algorithm, iterative).
+
+    A bridge is an edge whose removal disconnects the graph.
+    """
+    adjacency: dict[int, list[int]] = {rid: [] for rid in entity.record_ids}
+    for a, b in entity.links:
+        adjacency[a].append(b)
+        adjacency[b].append(a)
+    disc: dict[int, int] = {}
+    low: dict[int, int] = {}
+    bridges: list[tuple[int, int]] = []
+    counter = 0
+    for root in adjacency:
+        if root in disc:
+            continue
+        # Iterative DFS: stack holds (node, parent, neighbour-iterator).
+        stack = [(root, None, iter(adjacency[root]))]
+        disc[root] = low[root] = counter
+        counter += 1
+        while stack:
+            node, parent, neighbours = stack[-1]
+            advanced = False
+            for neighbour in neighbours:
+                if neighbour not in disc:
+                    disc[neighbour] = low[neighbour] = counter
+                    counter += 1
+                    stack.append((neighbour, node, iter(adjacency[neighbour])))
+                    advanced = True
+                    break
+                if neighbour != parent:
+                    low[node] = min(low[node], disc[neighbour])
+            if not advanced:
+                stack.pop()
+                if stack:
+                    parent_node = stack[-1][0]
+                    low[parent_node] = min(low[parent_node], low[node])
+                    if low[node] > disc[parent_node]:
+                        bridges.append(tuple(sorted((parent_node, node))))  # type: ignore[arg-type]
+    return bridges
+
+
+def refine_clusters(store: EntityStore, config: SnapsConfig) -> RefinementStats:
+    """One refinement pass over all clusters of three or more records.
+
+    Split-off sub-clusters are re-examined in the same pass (a split can
+    expose a still-too-sparse component).
+    """
+    stats = RefinementStats()
+    pending = [e.entity_id for e in store.entities(min_size=3)]
+    processed: set[int] = set()
+    while pending:
+        entity_id = pending.pop()
+        if entity_id in processed:
+            continue
+        processed.add(entity_id)
+        entity = store.get_entity(entity_id)
+        if entity is None or len(entity) < 3:
+            continue
+        stats.clusters_examined += 1
+        if len(entity) > config.bridge_node_limit:
+            bridges = find_bridges(entity)
+            if bridges:
+                stats.bridges_cut += len(bridges)
+                created = store.remove_links(entity, bridges)
+                pending.extend(e.entity_id for e in created if len(e) >= 3)
+                continue
+        while len(entity) >= 3 and entity.density() < config.density_threshold:
+            loosest = min(entity.record_ids, key=entity.degree)
+            created = store.remove_record(loosest)
+            stats.records_removed += 1
+            survivors = [e for e in created if len(e) >= 2]
+            if not survivors:
+                break
+            entity = max(survivors, key=len)
+            # Any other split-off components deserve their own examination.
+            pending.extend(
+                e.entity_id
+                for e in created
+                if e is not entity and len(e) >= 3
+            )
+    return stats

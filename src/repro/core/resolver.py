@@ -1,0 +1,160 @@
+"""End-to-end SNAPS resolver: blocking → G_D → bootstrap → merge → refine.
+
+``SnapsResolver`` is the public entry point of the offline component.  It
+runs the full pipeline of paper Section 4 and returns a
+:class:`LinkageResult` with the final entity clusters, per-phase timings
+(feeding the Table 5/6 benches), and graph statistics (|N_A|, |N_R|).
+
+Every one of the four techniques can be ablated through
+:class:`~repro.core.config.SnapsConfig` — the Table 3 experiment is just
+four resolver runs with one switch off each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.blocking.lsh import LshBlocker
+from repro.blocking.composite import CompositeBlocker, PhoneticNameKeyBlocker
+from repro.blocking.candidates import generate_candidate_pairs
+from repro.core.bootstrap import bootstrap_merge
+from repro.core.config import SnapsConfig
+from repro.core.constraints import ConstraintChecker
+from repro.core.dependency_graph import DependencyGraph, build_dependency_graph
+from repro.core.entities import EntityStore
+from repro.core.merging import iterative_merge
+from repro.core.refinement import RefinementStats, refine_clusters
+from repro.core.scoring import NameFrequencyIndex, PairScorer
+from repro.data.records import Dataset
+from repro.data.roles import Role
+from repro.similarity.registry import ComparatorRegistry, default_registry
+from repro.utils.timer import Stopwatch
+
+__all__ = ["LinkageResult", "SnapsResolver"]
+
+
+@dataclass
+class LinkageResult:
+    """Output of one resolver run."""
+
+    dataset: Dataset
+    entities: EntityStore
+    graph: DependencyGraph
+    timings: Stopwatch = field(default_factory=Stopwatch)
+    bootstrap_merges: int = 0
+    iterative_merges: int = 0
+    refinement: RefinementStats = field(default_factory=RefinementStats)
+
+    def matched_pairs(self, role_pair: str) -> set[tuple[int, int]]:
+        """Predicted matching record pairs for a paper-notation role pair
+        (e.g. ``"Bp-Bp"``, ``"Bp-Dp"``, ``"Bb-Dd"``)."""
+        from repro.data.roles import PARENT_ROLE_GROUPS
+
+        left, right = role_pair.split("-")
+        return self.entities.matched_pairs(
+            PARENT_ROLE_GROUPS[left], PARENT_ROLE_GROUPS[right]
+        )
+
+    @property
+    def n_atomic(self) -> int:
+        return self.graph.n_atomic
+
+    @property
+    def n_relational(self) -> int:
+        return self.graph.n_relational
+
+    def summary(self) -> dict[str, float]:
+        """Key counts and timings for benchmarking output."""
+        return {
+            "records": len(self.dataset),
+            "n_atomic": self.n_atomic,
+            "n_relational": self.n_relational,
+            "bootstrap_merges": self.bootstrap_merges,
+            "iterative_merges": self.iterative_merges,
+            "refined_records_removed": self.refinement.records_removed,
+            "refined_bridges_cut": self.refinement.bridges_cut,
+            **{f"time_{k}": round(v, 4) for k, v in self.timings.times.items()},
+            "time_total": round(self.timings.total(), 4),
+        }
+
+
+class SnapsResolver:
+    """Runs the unsupervised graph-based ER pipeline of Section 4."""
+
+    def __init__(
+        self,
+        config: SnapsConfig | None = None,
+        registry: ComparatorRegistry | None = None,
+    ) -> None:
+        self.config = config or SnapsConfig()
+        if registry is None:
+            registry = default_registry()
+            if self.config.use_geocoded_addresses:
+                from repro.geocode import geo_address_comparator
+
+                registry.register("address", geo_address_comparator())
+        self.registry = registry
+
+    def resolve(self, dataset: Dataset, roles: list[Role] | None = None) -> LinkageResult:
+        """Resolve ``dataset`` and return the linkage result.
+
+        ``roles`` optionally restricts which record roles participate
+        (useful for focused experiments); by default all records do.
+        """
+        config = self.config
+        timings = Stopwatch()
+        blocker: object = LshBlocker(
+            n_bands=config.lsh_bands,
+            rows_per_band=config.lsh_rows_per_band,
+            seed=config.lsh_seed,
+        )
+        if config.use_phonetic_blocking:
+            blocker = CompositeBlocker([blocker, PhoneticNameKeyBlocker()])
+        if config.use_per_attribute_phonetic_blocking:
+            from repro.blocking.phonetic import PhoneticBlocker
+
+            blocker = CompositeBlocker([blocker, PhoneticBlocker()])
+        with timings.phase("blocking"):
+            pairs = list(
+                generate_candidate_pairs(
+                    dataset,
+                    blocker,
+                    temporal_slack_years=config.temporal_slack_years,
+                    roles=roles,
+                )
+            )
+        with timings.phase("graph_generation"):
+            graph = build_dependency_graph(dataset, pairs, config, self.registry)
+        store = EntityStore(dataset)
+        frequency_index = NameFrequencyIndex(dataset)
+        scorer = PairScorer(dataset, config, self.registry, frequency_index)
+        checker = ConstraintChecker(
+            temporal_slack_years=config.temporal_slack_years,
+            propagate=config.use_propagation,
+        )
+        with timings.phase("bootstrap"):
+            bootstrap_merges = bootstrap_merge(graph, store, scorer, checker, config)
+        refinement = RefinementStats()
+        if config.use_refinement:
+            with timings.phase("refine_bootstrap"):
+                stats = refine_clusters(store, config)
+                refinement.records_removed += stats.records_removed
+                refinement.bridges_cut += stats.bridges_cut
+                refinement.clusters_examined += stats.clusters_examined
+        with timings.phase("merging"):
+            iterative_merges = iterative_merge(graph, store, scorer, checker, config)
+        if config.use_refinement:
+            with timings.phase("refine_merge"):
+                stats = refine_clusters(store, config)
+                refinement.records_removed += stats.records_removed
+                refinement.bridges_cut += stats.bridges_cut
+                refinement.clusters_examined += stats.clusters_examined
+        return LinkageResult(
+            dataset=dataset,
+            entities=store,
+            graph=graph,
+            timings=timings,
+            bootstrap_merges=bootstrap_merges,
+            iterative_merges=iterative_merges,
+            refinement=refinement,
+        )

@@ -1,0 +1,224 @@
+"""Node similarity: Equations (1)–(3) with AMB and PROP-A.
+
+``PairScorer`` computes, for a relational node:
+
+* the **atomic similarity** ``s_a`` (Eq. 1) — weighted combination of the
+  Must/Core/Extra category averages of the node's atomic-node
+  similarities;
+* the **disambiguation similarity** ``s_d`` (Eq. 2) — a normalised
+  inverse-document-frequency of the records' name combinations, so rare
+  names carry more evidence than "John Macdonald";
+* the **combined similarity** ``s = γ·s_a + (1-γ)·s_d`` (Eq. 3).
+
+Under PROP-A the scorer first *re-points* the node's atomic nodes: each
+attribute of one record is compared against **all values of the other
+record's current entity**, and the best-matching value pair becomes the
+node's atomic node for that attribute (the (Smith, Taylor) →
+(Tayler, Taylor) example of Figure 4).  This is what lets SNAPS link a
+woman's maiden-name records to her married-name records.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import SnapsConfig
+from repro.core.dependency_graph import AtomicNode, DependencyGraph, RelationalNode
+from repro.core.entities import EntityStore
+from repro.data.records import Dataset, Record
+from repro.data.schema import AttributeCategory
+from repro.similarity.registry import ComparatorRegistry, default_registry
+
+__all__ = ["NameFrequencyIndex", "PairScorer"]
+
+
+class NameFrequencyIndex:
+    """Frequencies of name combinations, for Eq. (2).
+
+    A record's key is its (first name, surname) pair; ``frequency``
+    returns how many records in the dataset share that key.  Records with
+    a missing component fall back to the frequency of the present
+    component alone (ambiguity evidence degrades gracefully rather than
+    vanishing).
+    """
+
+    def __init__(self, dataset: Dataset) -> None:
+        self._combo: dict[tuple[str, str], int] = {}
+        self._first: dict[str, int] = {}
+        self._surname: dict[str, int] = {}
+        for record in dataset:
+            first = (record.get("first_name") or "").lower()
+            surname = (record.get("surname") or "").lower()
+            if first and surname:
+                key = (first, surname)
+                self._combo[key] = self._combo.get(key, 0) + 1
+            if first:
+                self._first[first] = self._first.get(first, 0) + 1
+            if surname:
+                self._surname[surname] = self._surname.get(surname, 0) + 1
+        self.total_records = len(dataset)
+
+    def frequency(self, record: Record) -> int:
+        """Occurrences of the record's name combination (at least 1)."""
+        first = (record.get("first_name") or "").lower()
+        surname = (record.get("surname") or "").lower()
+        if first and surname:
+            return max(1, self._combo.get((first, surname), 1))
+        if first:
+            return max(1, self._first.get(first, 1))
+        if surname:
+            return max(1, self._surname.get(surname, 1))
+        # No name at all: treat as maximally ambiguous.
+        return max(1, self.total_records // 2)
+
+
+class PairScorer:
+    """Scores relational nodes per Equations (1)–(3)."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        config: SnapsConfig,
+        registry: ComparatorRegistry | None = None,
+        frequency_index: NameFrequencyIndex | None = None,
+    ) -> None:
+        self.dataset = dataset
+        self.config = config
+        self.registry = registry or default_registry()
+        self.frequencies = frequency_index or NameFrequencyIndex(dataset)
+        self._sim_cache: dict[tuple[str, str, str], float] = {}
+
+    # ------------------------------------------------------------------
+    # Cached value-pair similarity
+    # ------------------------------------------------------------------
+
+    def value_similarity(self, attribute: str, value_a: str, value_b: str) -> float:
+        """Comparator output for one value pair, memoised."""
+        lo, hi = sorted((value_a, value_b))
+        key = (attribute, lo, hi)
+        cached = self._sim_cache.get(key)
+        if cached is None:
+            cached = self.registry.compare(attribute, value_a, value_b) or 0.0
+            self._sim_cache[key] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # PROP-A: re-point atomic nodes using entity value sets
+    # ------------------------------------------------------------------
+
+    def propagate_values(
+        self,
+        graph: DependencyGraph,
+        node: RelationalNode,
+        store: EntityStore,
+    ) -> None:
+        """Update ``node.atomic`` with the best value pairs across the two
+        records' current entities (global propagation of QID values).
+
+        For each schema attribute, every value the two entities have been
+        seen under is considered; the highest-similarity cross pair wins.
+        An attribute whose best pair still falls below ``t_a`` keeps no
+        atomic node.
+        """
+        entity_a = store.entity_of(node.rid_a)
+        entity_b = store.entity_of(node.rid_b)
+        for attribute in self.config.schema.names():
+            values_a = store.values_of(entity_a, attribute)
+            values_b = store.values_of(entity_b, attribute)
+            if not values_a or not values_b:
+                continue
+            best: AtomicNode | None = None
+            for va in values_a:
+                for vb in values_b:
+                    similarity = self.value_similarity(attribute, va, vb)
+                    if best is None or similarity > best.similarity:
+                        best = AtomicNode(attribute, va, vb, similarity)
+            if best is not None and best.similarity >= self.config.atomic_threshold:
+                node.atomic[attribute] = best
+                graph.register_atomic(best)
+            elif attribute in node.atomic:
+                del node.atomic[attribute]
+
+    # ------------------------------------------------------------------
+    # Equations (1)-(3)
+    # ------------------------------------------------------------------
+
+    def has_must_evidence(self, node: RelationalNode) -> bool:
+        """True when at least one Must attribute has an atomic node.
+
+        The paper requires records to "have highly similar values in the
+        Must attributes" to be classified similar; a pair whose Must
+        attributes are missing or dissimilar must not merge on Core/Extra
+        agreement alone (surname + address match any two household
+        members).
+        """
+        must = self.config.schema.names_in(AttributeCategory.MUST)
+        return any(attribute in node.atomic for attribute in must)
+
+    def atomic_similarity(self, node: RelationalNode) -> float:
+        """Equation (1): weighted Must/Core/Extra category combination.
+
+        An attribute present on both records but lacking an atomic node
+        (its best similarity fell below ``t_a``) contributes 0 to its
+        category — disagreement on a Must attribute is strong negative
+        evidence.  Categories with no comparable attribute are excluded
+        and the remaining weights renormalised; a node with no comparable
+        Must attribute cannot score above the merge threshold on category
+        evidence alone, which the caller's threshold handles naturally.
+        """
+        a, b = self.dataset.record(node.rid_a), self.dataset.record(node.rid_b)
+        schema = self.config.schema
+        half_life = self.config.temporal_decay_half_life
+        decay = 1.0
+        if half_life is not None:
+            gap = abs(a.event_year - b.event_year)
+            decay = 0.5 ** (gap / half_life)
+        weighted_sum = 0.0
+        weight_total = 0.0
+        for category in AttributeCategory:
+            # Per-attribute (similarity, weight) pairs: matched attributes
+            # weigh 1; present-but-dissimilar attributes contribute 0 with
+            # a weight that decays over the records' time gap for the
+            # mutable Extra attributes (people move, change occupations).
+            scored: list[tuple[float, float]] = []
+            for attribute in schema.names_in(category):
+                atomic = node.atomic.get(attribute)
+                if atomic is not None:
+                    scored.append((atomic.similarity, 1.0))
+                elif a.get(attribute) is not None and b.get(attribute) is not None:
+                    weight = (
+                        decay if category is AttributeCategory.EXTRA else 1.0
+                    )
+                    scored.append((0.0, weight))
+            denominator = sum(weight for _, weight in scored)
+            if denominator <= 0.0:
+                continue
+            category_sim = (
+                sum(sim * weight for sim, weight in scored) / denominator
+            )
+            # A category whose evidence has decayed counts proportionally
+            # less in the overall combination — in the limit a fully
+            # decayed disagreement behaves like a missing value.
+            weight = schema.weight(category) * (denominator / len(scored))
+            weighted_sum += weight * category_sim
+            weight_total += weight
+        if weight_total == 0.0:
+            return 0.0
+        return weighted_sum / weight_total
+
+    def disambiguation_similarity(self, node: RelationalNode) -> float:
+        """Equation (2): normalised IDF of the two records' name combos."""
+        import math
+
+        a, b = self.dataset.record(node.rid_a), self.dataset.record(node.rid_b)
+        n = max(2, self.frequencies.total_records)
+        freq = self.frequencies.frequency(a) + self.frequencies.frequency(b)
+        score = math.log2(n / freq) / math.log2(n)
+        return min(1.0, max(0.0, score))
+
+    def combined_similarity(self, node: RelationalNode) -> float:
+        """Equation (3): γ·s_a + (1-γ)·s_d (γ=1 when AMB is ablated)."""
+        gamma = self.config.effective_gamma
+        s_a = self.atomic_similarity(node)
+        if gamma >= 1.0:
+            return s_a
+        s_d = self.disambiguation_similarity(node)
+        return gamma * s_a + (1.0 - gamma) * s_d

@@ -1,0 +1,64 @@
+"""Certificate/record data model and synthetic population generation.
+
+The model follows the paper's Section 3: a *certificate* (birth, death, or
+marriage) contributes several *records*, one per person role appearing on
+it — e.g. a birth certificate yields a baby (Bb), mother (Bm), and father
+(Bf) record.  Entity resolution operates over records; ground truth is the
+hidden person identifier each record carries.
+
+Real Scottish vital-record datasets (IOS, KIL, DS, BHIC) are not publicly
+redistributable, so this package also provides a demographic population
+simulator that emits certificates with the same structural characteristics
+(skewed name frequencies, surname change at marriage, missing values,
+transcription errors) together with complete ground truth — see DESIGN.md
+"Substitutions".
+"""
+
+from repro.data.roles import (
+    CertificateType,
+    Role,
+    birth_year_range,
+    role_gender,
+    LINKABLE_ROLE_PAIRS,
+    PARENT_ROLE_GROUPS,
+)
+from repro.data.records import Certificate, Dataset, Record
+from repro.data.schema import AttributeCategory, AttributeSpec, Schema, default_schema
+from repro.data.corruption import CorruptionConfig, Corruptor
+from repro.data.population import PopulationConfig, PopulationSimulator, Person
+from repro.data.synthetic import (
+    make_bhic_dataset,
+    make_ios_census_dataset,
+    make_ios_dataset,
+    make_kil_dataset,
+    make_tiny_dataset,
+)
+from repro.data.loader import load_dataset_csv, save_dataset_csv
+
+__all__ = [
+    "CertificateType",
+    "Role",
+    "birth_year_range",
+    "role_gender",
+    "LINKABLE_ROLE_PAIRS",
+    "PARENT_ROLE_GROUPS",
+    "Certificate",
+    "Dataset",
+    "Record",
+    "AttributeCategory",
+    "AttributeSpec",
+    "Schema",
+    "default_schema",
+    "CorruptionConfig",
+    "Corruptor",
+    "PopulationConfig",
+    "PopulationSimulator",
+    "Person",
+    "make_ios_dataset",
+    "make_ios_census_dataset",
+    "make_kil_dataset",
+    "make_bhic_dataset",
+    "make_tiny_dataset",
+    "load_dataset_csv",
+    "save_dataset_csv",
+]

@@ -1,0 +1,111 @@
+"""CSV persistence for datasets.
+
+Two files are written per dataset: ``<stem>.records.csv`` (one row per
+record, QID attributes as columns, plus role/certificate/person columns)
+and ``<stem>.certs.csv`` (one row per certificate).  The format round
+trips exactly, including missing values (empty cells).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.data.records import Certificate, Dataset, Record
+from repro.data.roles import CertificateType, Role
+
+__all__ = ["save_dataset_csv", "load_dataset_csv"]
+
+_RECORD_FIXED = ("record_id", "cert_id", "role", "person_id")
+_CERT_FIXED = ("cert_id", "cert_type", "year", "parish")
+
+
+def save_dataset_csv(dataset: Dataset, stem: str | Path) -> tuple[Path, Path]:
+    """Write ``dataset`` to ``<stem>.records.csv`` and ``<stem>.certs.csv``.
+
+    Returns the two paths written.
+    """
+    stem = Path(stem)
+    stem.parent.mkdir(parents=True, exist_ok=True)
+    attr_names = sorted({k for r in dataset for k in r.attributes})
+    records_path = stem.with_suffix(".records.csv")
+    with records_path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(_RECORD_FIXED) + attr_names)
+        for record in sorted(dataset, key=lambda r: r.record_id):
+            row = [
+                record.record_id,
+                record.cert_id,
+                record.role.value,
+                record.person_id,
+            ]
+            row += [record.attributes.get(a, "") for a in attr_names]
+            writer.writerow(row)
+    certs_path = stem.with_suffix(".certs.csv")
+    with certs_path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        role_cols = [role.value for role in Role]
+        writer.writerow(list(_CERT_FIXED) + role_cols + ["children", "others"])
+        for cert in sorted(dataset.certificates.values(), key=lambda c: c.cert_id):
+            row = [cert.cert_id, cert.cert_type.value, cert.year, cert.parish]
+            row += [cert.roles.get(role, "") for role in Role]
+            row += [
+                ";".join(str(rid) for rid in cert.children),
+                ";".join(str(rid) for rid in cert.others),
+            ]
+            writer.writerow(row)
+    return records_path, certs_path
+
+
+def load_dataset_csv(stem: str | Path, name: str | None = None) -> Dataset:
+    """Load a dataset previously written by :func:`save_dataset_csv`."""
+    stem = Path(stem)
+    records_path = stem.with_suffix(".records.csv")
+    certs_path = stem.with_suffix(".certs.csv")
+    records: list[Record] = []
+    with records_path.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        for row in reader:
+            attributes = {
+                key: value
+                for key, value in row.items()
+                if key not in _RECORD_FIXED and value != ""
+            }
+            records.append(
+                Record(
+                    record_id=int(row["record_id"]),
+                    cert_id=int(row["cert_id"]),
+                    role=Role(row["role"]),
+                    attributes=attributes,
+                    person_id=int(row["person_id"]),
+                )
+            )
+    certificates: list[Certificate] = []
+    with certs_path.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        for row in reader:
+            roles = {
+                role: int(row[role.value])
+                for role in Role
+                if row.get(role.value)
+            }
+            # Multi-member census columns are absent from files written by
+            # older versions; treat them as empty.
+            children = [
+                int(rid) for rid in (row.get("children") or "").split(";") if rid
+            ]
+            others = [
+                int(rid) for rid in (row.get("others") or "").split(";") if rid
+            ]
+            certificates.append(
+                Certificate(
+                    cert_id=int(row["cert_id"]),
+                    cert_type=CertificateType(row["cert_type"]),
+                    year=int(row["year"]),
+                    parish=row["parish"],
+                    roles=roles,
+                    children=children,
+                    others=others,
+                )
+            )
+    return Dataset(name or stem.name, records, certificates)

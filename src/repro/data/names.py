@@ -1,0 +1,271 @@
+"""Name pools, gazetteers, occupations, and causes of death for the
+population simulator.
+
+The pools mimic the characteristics reported in the paper's Table 1 and
+Figure 2 for 19th-century Scottish registers: a *small* set of distinct
+names with a *very skewed* frequency distribution (the top first name and
+surname each cover >8% of records on the Isle of Skye).  Sampling uses a
+Zipf-like weighting over these ordered pools — earlier entries are far more
+frequent — so the synthetic data reproduces the ambiguity challenge that
+motivates the disambiguation similarity (AMB).
+
+``PUBLIC_*`` pools are a disjoint name universe standing in for the US
+voter database the paper uses as the public source for anonymisation.
+"""
+
+from __future__ import annotations
+
+from repro.similarity.geo import GeoPoint
+
+__all__ = [
+    "FEMALE_FIRST_NAMES",
+    "MALE_FIRST_NAMES",
+    "SURNAMES",
+    "PARISHES",
+    "PARISH_COORDINATES",
+    "ADDRESSES_BY_PARISH",
+    "OCCUPATIONS_MALE",
+    "OCCUPATIONS_FEMALE",
+    "CAUSES_OF_DEATH_COMMON",
+    "CAUSES_OF_DEATH_RARE",
+    "NAME_VARIANTS",
+    "PUBLIC_FEMALE_FIRST_NAMES",
+    "PUBLIC_MALE_FIRST_NAMES",
+    "PUBLIC_SURNAMES",
+    "zipf_weights",
+]
+
+# Ordered by (intended) frequency, most common first.
+_FEMALE_BASE = [
+    "mary", "margaret", "catherine", "ann", "christina", "janet", "elizabeth",
+    "isabella", "jane", "flora", "marion", "helen", "agnes", "jessie",
+    "effie", "euphemia", "rachel", "johanna", "mary ann", "grace",
+    "barbara", "sarah", "julia", "peggy", "kate", "annabella", "henrietta",
+    "williamina", "dolina", "christy", "lexy", "jemima", "charlotte",
+    "wilhelmina", "joan", "betsy", "sophia", "harriet", "lilias", "mor",
+    "marjory", "janetta", "susan", "ellen", "martha", "marianne", "frances",
+    "lucy", "alice", "emily", "jean", "eliza", "marie", "dorothea",
+    "matilda", "louisa", "victoria", "edith", "florence", "amelia",
+    "beatrice", "caroline", "clara", "emma", "esther", "fanny", "georgina",
+    "hannah", "ida", "josephine", "lydia", "mabel", "nellie", "olive",
+    "phoebe", "rose", "ruth", "selina", "teresa", "ursula", "violet",
+]
+
+_MALE_BASE = [
+    "john", "donald", "alexander", "angus", "william", "malcolm", "james",
+    "norman", "murdo", "neil", "duncan", "kenneth", "roderick", "archibald",
+    "hugh", "peter", "charles", "ewen", "lachlan", "allan",
+    "samuel", "farquhar", "hector", "george", "robert", "david", "thomas",
+    "finlay", "dugald", "martin", "ronald", "colin", "andrew", "torquil",
+    "alasdair", "gilbert", "evander", "simon", "aeneas", "coll",
+    "edward", "francis", "frederick", "henry", "joseph", "matthew",
+    "michael", "patrick", "philip", "richard", "stephen", "walter",
+    "adam", "albert", "arthur", "benjamin", "daniel", "ernest", "harry",
+    "herbert", "isaac", "jacob", "lewis", "nathaniel", "oliver", "owen",
+    "percy", "reginald", "sidney", "theodore", "victor", "vincent",
+    "abraham", "alfred", "augustus", "bernard", "cecil", "clement", "cyril",
+]
+
+# Scottish registers are full of "-ina" feminisations of male names
+# (Donaldina, Angusina, Murdina ...); appending them gives the female pool
+# a realistic long tail of rarer names.
+FEMALE_FIRST_NAMES = _FEMALE_BASE + sorted(
+    {
+        (m[:-1] if m.endswith(("a", "e", "o")) else m) + "ina"
+        for m in _MALE_BASE[:40]
+    }
+    # A few feminisations coincide with base names (williamina, georgina).
+    - {n for n in _FEMALE_BASE}
+)
+
+MALE_FIRST_NAMES = list(_MALE_BASE)
+
+_SURNAME_BASE = [
+    "macdonald", "macleod", "mackinnon", "nicolson", "mackenzie", "mackay",
+    "matheson", "campbell", "beaton", "macpherson", "ross", "stewart",
+    "macrae", "gillies", "maclean", "robertson", "fraser", "grant",
+    "ferguson", "macintyre", "munro", "cameron", "macinnes", "maclennan",
+    "chisholm", "macaskill", "mclachlan", "buchanan", "macmillan", "morrison",
+    "smith", "brown", "wilson", "thomson", "anderson", "scott", "murray",
+    "taylor", "mitchell", "walker", "paterson", "watson", "johnston",
+    "gibson", "hamilton", "graham", "kerr", "henderson", "simpson", "boyd",
+    "macgregor", "macfarlane", "macarthur", "maccallum", "macnab",
+    "macewan", "macgillivray", "macquarrie", "macsween", "maccrimmon",
+    "maccuish", "macharold", "shaw", "urquhart", "sutherland", "sinclair",
+    "gunn", "bain", "bruce", "craig", "davidson", "dewar", "drummond",
+    "elliot", "forbes", "galbraith", "gordon", "hay", "innes", "irvine",
+    "keith", "kennedy", "lamont", "leitch", "lindsay", "logan", "lyon",
+    "maitland", "maxwell", "menzies", "moffat", "napier", "ogilvie",
+    "pringle", "rankin", "reid", "rutherford", "spence", "tait", "wallace",
+    "wemyss", "whyte", "young",
+]
+
+SURNAMES = list(_SURNAME_BASE)
+
+# Isle-of-Skye-flavoured registration districts with rough coordinates
+# (the synthetic gazetteer the geo comparator works against).
+PARISH_COORDINATES: dict[str, GeoPoint] = {
+    "portree": GeoPoint(57.413, -6.196),
+    "duirinish": GeoPoint(57.440, -6.580),
+    "snizort": GeoPoint(57.480, -6.320),
+    "kilmuir": GeoPoint(57.655, -6.340),
+    "strath": GeoPoint(57.230, -5.980),
+    "sleat": GeoPoint(57.120, -5.890),
+    "bracadale": GeoPoint(57.340, -6.400),
+    "kilmore": GeoPoint(57.140, -5.862),
+    "stenscholl": GeoPoint(57.620, -6.170),
+    "raasay": GeoPoint(57.395, -6.040),
+    "uig": GeoPoint(57.586, -6.363),
+    "dunvegan": GeoPoint(57.436, -6.587),
+}
+
+PARISHES = list(PARISH_COORDINATES)
+
+# A handful of address stems per parish; combined with house numbers by the
+# simulator so address frequencies stay skewed but not degenerate.
+ADDRESSES_BY_PARISH: dict[str, list[str]] = {
+    parish: [
+        f"{stem} {parish}"
+        for stem in (
+            "main street", "high street", "church road", "shore road",
+            "mill lane", "harbour view", "croft", "glen road", "bridge end",
+            "school brae",
+        )
+    ]
+    for parish in PARISHES
+}
+
+OCCUPATIONS_MALE = [
+    "crofter", "fisherman", "agricultural labourer", "shepherd", "weaver",
+    "shoemaker", "carpenter", "blacksmith", "mason", "tailor", "merchant",
+    "seaman", "miner", "gamekeeper", "farmer", "joiner", "cooper",
+    "ploughman", "slater", "teacher", "minister", "boatman", "innkeeper",
+    "carter", "baker",
+]
+
+OCCUPATIONS_FEMALE = [
+    "domestic servant", "housekeeper", "dressmaker", "knitter", "spinner",
+    "fish worker", "dairy maid", "field worker", "laundress", "midwife",
+    "weaver", "teacher", "seamstress", "cook", "nurse",
+]
+
+# Causes of death: common ones satisfy k-anonymity; rare ones are the
+# sensitive tail that the anonymiser generalises (paper Section 9).
+CAUSES_OF_DEATH_COMMON = [
+    "phthisis", "bronchitis", "old age", "whooping cough", "measles",
+    "scarlet fever", "typhus fever", "pneumonia", "debility", "convulsions",
+    "heart disease", "dropsy", "paralysis", "croup", "diarrhoea",
+    "typhoid fever", "cancer", "influenza", "asthma", "apoplexy",
+    "smallpox", "tuberculosis", "enteritis", "jaundice", "rheumatic fever",
+]
+
+CAUSES_OF_DEATH_RARE = [
+    "drowned at sea near the harbour", "killed by fall from cart",
+    "burned in house fire", "struck by lightning", "kicked by horse",
+    "crushed in quarry accident", "found dead on the moor",
+    "poisoned by tainted shellfish", "fell from cliff while fowling",
+    "killed in mill machinery", "died of exposure in snowstorm",
+    "gunshot wound by misadventure", "scalded by boiling water",
+    "suffocated in peat bog", "thrown from gig on market day",
+]
+
+# Spelling variants seen in transcriptions of Scottish registers; the
+# corruption model swaps a value for one of its variants.  Keys and values
+# are all lowercase.
+NAME_VARIANTS: dict[str, list[str]] = {
+    "catherine": ["cathrine", "katherine", "catharine", "katie"],
+    "margaret": ["margret", "maggie", "margt"],
+    "mary": ["marry", "maire"],
+    "christina": ["christy", "christena", "chirsty"],
+    "isabella": ["isobel", "ishbel", "bella"],
+    "elizabeth": ["elisabeth", "eliza", "betsy"],
+    "janet": ["jessie", "jannet"],
+    "euphemia": ["effie", "euphemie"],
+    "ann": ["anne", "anna"],
+    "john": ["jon", "jhon", "iain"],
+    "alexander": ["alexr", "alex", "sandy"],
+    "donald": ["donld", "domhnall"],
+    "angus": ["aonghas", "anguss"],
+    "william": ["wm", "willm", "willie"],
+    "kenneth": ["keneth", "kennith"],
+    "roderick": ["rodk", "rory"],
+    "archibald": ["archd", "archie"],
+    "macdonald": ["mcdonald", "m'donald", "macdonal"],
+    "macleod": ["mcleod", "m'leod", "maclead"],
+    "mackinnon": ["mckinnon", "m'kinnon"],
+    "mackenzie": ["mckenzie", "m'kenzie", "mackenzy"],
+    "mackay": ["mckay", "m'kay", "mackey"],
+    "macpherson": ["mcpherson", "m'pherson"],
+    "macrae": ["mcrae", "m'rae", "macrea"],
+    "maclean": ["mclean", "m'lean", "maclaine"],
+    "macintyre": ["mcintyre", "m'intyre"],
+    "nicolson": ["nicholson", "nickolson"],
+    "matheson": ["mathieson", "mathison"],
+    "thomson": ["thompson"],
+    "johnston": ["johnstone"],
+}
+
+# ---------------------------------------------------------------------------
+# Public name universe for the anonymiser (stands in for the US voter data).
+# Deliberately disjoint from the Scottish pools above.
+# ---------------------------------------------------------------------------
+
+_PUBLIC_FEMALE_RAW = [
+    "jennifer", "linda", "patricia", "barbra", "susan", "deborah", "carol",
+    "nancy", "karen", "donna", "cynthia", "sandra", "pamela", "sharon",
+    "kathleen", "brenda", "diane", "janice", "carolyn", "judith",
+    "michelle", "laura", "amy", "angela", "melissa", "rebecca", "stephanie",
+    "dorothy", "virginia", "judy", "cheryl", "katie", "gloria", "teresa",
+    "doris", "evelyn", "joyce", "mildred", "lucille", "edna",
+]
+
+_PUBLIC_MALE_RAW = [
+    "michael", "richard", "mark", "steven", "gary", "larry", "dennis",
+    "jerry", "frank", "raymond", "gregory", "joshua", "dougls", "henry",
+    "carl", "arthur", "ryan", "roger", "joe", "juan",
+    "jack", "albert", "jonathan", "justin", "terry", "gerald", "keith",
+    "harold", "doyd", "ralph", "roy", "louis", "philip", "eugene", "wayne",
+    "randy", "howard", "vincent", "russell", "bobby",
+]
+
+_PUBLIC_SURNAMES_RAW = [
+    "miller", "davis", "garcia", "rodriguez", "martinez", "hernandez",
+    "lopez", "gonzalez", "perez", "sanchez", "ramirez", "torres", "flores",
+    "rivera", "gomez", "diaz", "cruz", "reyes", "morales", "ortiz",
+    "jackson", "harris", "martin", "lee", "lewis", "clark", "hall",
+    "allen", "young", "king", "wright", "hill", "green", "adams", "baker",
+    "nelson", "carter", "madgar", "macdougall", "mcdufford", "martone",
+    "martinat", "moufid",
+]
+
+
+# The public universes must be disjoint from the sensitive (Scottish)
+# pools — the whole point of the mapping is that no sensitive name can
+# appear in the published data.  Filter defensively in case the curated
+# lists drift.
+_SENSITIVE_TOKENS = (
+    {t for n in FEMALE_FIRST_NAMES for t in n.split()}
+    | {t for n in MALE_FIRST_NAMES for t in n.split()}
+    | set(SURNAMES)
+)
+PUBLIC_FEMALE_FIRST_NAMES = [
+    n for n in _PUBLIC_FEMALE_RAW if n not in _SENSITIVE_TOKENS
+]
+PUBLIC_MALE_FIRST_NAMES = [
+    n for n in _PUBLIC_MALE_RAW if n not in _SENSITIVE_TOKENS
+]
+PUBLIC_SURNAMES = [n for n in _PUBLIC_SURNAMES_RAW if n not in _SENSITIVE_TOKENS]
+
+
+def zipf_weights(n: int, exponent: float = 0.85) -> list[float]:
+    """Zipf-like sampling weights for an ordered pool of ``n`` items.
+
+    ``weight[i] ∝ 1 / (i + 1)^exponent``.  With pools of 100+ names and an
+    exponent slightly below 1, the most common name covers roughly 8% of
+    draws — the Figure-2 shape of the Isle of Skye registers.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    raw = [1.0 / (i + 1) ** exponent for i in range(n)]
+    total = sum(raw)
+    return [w / total for w in raw]

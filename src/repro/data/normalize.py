@@ -1,0 +1,56 @@
+"""Name standardisation for blocking.
+
+Historical record linkage conventionally standardises names before
+indexing ("Wm" → "william", "M'Donald" → "macdonald") using variant
+dictionaries compiled by domain experts; the paper's production setting
+(Scotland's People search) does the same.  Standardisation is applied only
+in *blocking* — similarity scoring always compares the raw transcribed
+values, so a variant still costs similarity, it just no longer prevents a
+pair from being considered at all.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.data.names import NAME_VARIANTS
+
+__all__ = ["canonical_name", "canonical_name_phrase"]
+
+
+def _build_variant_map() -> dict[str, str]:
+    mapping: dict[str, str] = {}
+    for canonical, variants in NAME_VARIANTS.items():
+        for variant in variants:
+            # First writer wins on conflicting variants; dictionary order
+            # is by descending name frequency, which is the right tiebreak.
+            mapping.setdefault(variant, canonical)
+    return mapping
+
+
+_VARIANT_TO_CANONICAL = _build_variant_map()
+
+
+@lru_cache(maxsize=65536)
+def canonical_name(token: str) -> str:
+    """Canonical form of one name token.
+
+    Applies the variant dictionary and normalises Scottish surname
+    prefixes (``mc`` / ``m'`` → ``mac``).
+    """
+    token = token.strip().lower()
+    if not token:
+        return token
+    mapped = _VARIANT_TO_CANONICAL.get(token)
+    if mapped is not None:
+        token = mapped
+    if token.startswith("m'"):
+        token = "mac" + token[2:]
+    elif token.startswith("mc") and not token.startswith("mac"):
+        token = "mac" + token[2:]
+    return _VARIANT_TO_CANONICAL.get(token, token)
+
+
+def canonical_name_phrase(value: str) -> str:
+    """Canonicalise each whitespace-separated token of ``value``."""
+    return " ".join(canonical_name(token) for token in value.split())

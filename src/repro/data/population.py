@@ -1,0 +1,582 @@
+"""Agent-based demographic population simulator.
+
+Simulates a closed-ish 19th-century Scottish population year by year —
+marriages, births, deaths, migration, residential moves — and registers
+each vital event as a certificate, exactly the record layout of the paper's
+data (Section 2/3).  Every emitted record carries the true person id, so
+the simulator yields *complete* ground truth where the real IOS/KIL data
+only had partial expert links.
+
+The simulator deliberately produces every ER challenge the paper
+enumerates:
+
+* **changing QID values** — women take their husband's surname at
+  marriage; families move between addresses and parishes;
+* **different roles over time** — one person appears as Bb, later Mb/Mg,
+  Bm/Bf, possibly Dm/Df and Ds, and finally Dd;
+* **ambiguity** — names are drawn from small Zipf-weighted pools, so a
+  handful of names dominates (Figure 2's shape);
+* **partial match groups** — siblings share surname, address, and parents;
+* transcription noise and missing values are added afterwards by
+  :class:`repro.data.corruption.Corruptor`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.data.names import (
+    ADDRESSES_BY_PARISH,
+    CAUSES_OF_DEATH_COMMON,
+    CAUSES_OF_DEATH_RARE,
+    FEMALE_FIRST_NAMES,
+    MALE_FIRST_NAMES,
+    OCCUPATIONS_FEMALE,
+    OCCUPATIONS_MALE,
+    PARISHES,
+    SURNAMES,
+    zipf_weights,
+)
+from repro.data.records import Certificate, Dataset, Record
+from repro.data.roles import CertificateType, Role
+from repro.utils.rng import make_rng, spawn_rng
+
+__all__ = ["PopulationConfig", "Person", "PopulationSimulator"]
+
+
+@dataclass
+class PopulationConfig:
+    """Tunable parameters of the demographic simulation.
+
+    Defaults approximate Isle-of-Skye registers 1861–1901: high infant
+    mortality, large completed family sizes, little remarriage.  Scale the
+    population with ``n_founder_couples``.
+    """
+
+    start_year: int = 1861
+    end_year: int = 1901
+    n_founder_couples: int = 120
+    # Demography.
+    annual_birth_prob: float = 0.33      # per eligible married couple
+    min_birth_spacing_years: int = 2
+    infant_mortality: float = 0.11       # death in first year of life
+    child_mortality: float = 0.02        # ages 1-9, per year
+    adult_mortality_base: float = 0.006  # per year at age 20, doubles /12y
+    marriage_prob: float = 0.16          # per eligible single adult per year
+    min_marriage_age: int = 18
+    max_marriage_age: int = 50
+    max_mother_age: int = 45
+    move_prob: float = 0.045             # family changes address, per year
+    parish_move_prob: float = 0.25       # given a move, it crosses parishes
+    immigrant_couples_per_year: int = 1
+    compound_name_prob: float = 0.14     # "mary ann"-style double names
+    rare_cause_prob: float = 0.05        # death gets a rare (sensitive) cause
+    # Which parishes this population lives in (a subset makes KIL urban-ish).
+    parishes: tuple[str, ...] = tuple(PARISHES)
+    # Decennial census snapshots (paper future work): every living person
+    # is enumerated in exactly one household in each of these years.
+    census_years: tuple[int, ...] = ()
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.end_year <= self.start_year:
+            raise ValueError("end_year must be after start_year")
+        if self.n_founder_couples <= 0:
+            raise ValueError("need at least one founder couple")
+        if not self.parishes:
+            raise ValueError("need at least one parish")
+
+
+@dataclass
+class Person:
+    """Ground-truth state of one simulated individual."""
+
+    person_id: int
+    gender: str                      # "m" | "f"
+    first_name: str
+    maiden_surname: str              # surname at birth, never changes
+    surname: str                     # current surname (changes at marriage)
+    birth_year: int
+    parish: str
+    address: str
+    occupation: str | None = None
+    mother_id: int | None = None
+    father_id: int | None = None
+    spouse_id: int | None = None
+    alive: bool = True
+    death_year: int | None = None
+    # Year the person entered the simulated population: their birth year
+    # for natives, the arrival year for immigrant founders.
+    present_from: int = 0
+    last_birth_year: int | None = None
+    marriage_year: int | None = None
+    children: list[int] = field(default_factory=list)
+
+    def age_in(self, year: int) -> int:
+        return year - self.birth_year
+
+
+class PopulationSimulator:
+    """Runs the demographic simulation and registers certificates.
+
+    Usage::
+
+        sim = PopulationSimulator(PopulationConfig(n_founder_couples=50))
+        dataset = sim.run()
+    """
+
+    def __init__(self, config: PopulationConfig | None = None) -> None:
+        self.config = config or PopulationConfig()
+        root = make_rng(self.config.seed)
+        self._rng_names = spawn_rng(root, "names")
+        self._rng_demo = spawn_rng(root, "demography")
+        self._rng_geo = spawn_rng(root, "geography")
+        self.people: dict[int, Person] = {}
+        self._person_ids = itertools.count(1)
+        self._record_ids = itertools.count(1)
+        self._cert_ids = itertools.count(1)
+        self._records: list[Record] = []
+        self._certificates: list[Certificate] = []
+        self._female_weights = zipf_weights(len(FEMALE_FIRST_NAMES))
+        self._male_weights = zipf_weights(len(MALE_FIRST_NAMES))
+        self._surname_weights = zipf_weights(len(SURNAMES))
+
+    # ------------------------------------------------------------------
+    # Sampling helpers
+    # ------------------------------------------------------------------
+
+    def _sample_first_name(self, gender: str) -> str:
+        if gender == "f":
+            pool, weights = FEMALE_FIRST_NAMES, self._female_weights
+        else:
+            pool, weights = MALE_FIRST_NAMES, self._male_weights
+        name = self._rng_names.choices(pool, weights=weights, k=1)[0]
+        if self._rng_names.random() < self.config.compound_name_prob:
+            second = self._rng_names.choices(pool, weights=weights, k=1)[0]
+            if second != name.split()[0]:
+                name = f"{name.split()[0]} {second.split()[0]}"
+        return name
+
+    def _sample_surname(self) -> str:
+        return self._rng_names.choices(SURNAMES, weights=self._surname_weights, k=1)[0]
+
+    def _sample_parish(self) -> str:
+        return self._rng_geo.choice(self.config.parishes)
+
+    def _sample_address(self, parish: str) -> str:
+        stem = self._rng_geo.choice(ADDRESSES_BY_PARISH[parish])
+        number = self._rng_geo.randint(1, 30)
+        return f"{number} {stem}"
+
+    def _sample_occupation(self, gender: str) -> str:
+        pool = OCCUPATIONS_MALE if gender == "m" else OCCUPATIONS_FEMALE
+        weights = zipf_weights(len(pool))
+        return self._rng_names.choices(pool, weights=weights, k=1)[0]
+
+    def _sample_cause_of_death(self, age: int) -> str:
+        if self._rng_demo.random() < self.config.rare_cause_prob:
+            return self._rng_demo.choice(CAUSES_OF_DEATH_RARE)
+        # Young deaths skew to infectious causes (front of the list).
+        pool = CAUSES_OF_DEATH_COMMON
+        if age < 10:
+            pool = pool[:12]
+        weights = zipf_weights(len(pool), exponent=0.7)
+        return self._rng_demo.choices(pool, weights=weights, k=1)[0]
+
+    # ------------------------------------------------------------------
+    # Person creation
+    # ------------------------------------------------------------------
+
+    def _new_person(
+        self,
+        gender: str,
+        birth_year: int,
+        parish: str,
+        address: str,
+        surname: str | None = None,
+        mother_id: int | None = None,
+        father_id: int | None = None,
+    ) -> Person:
+        person = Person(
+            person_id=next(self._person_ids),
+            gender=gender,
+            first_name=self._sample_first_name(gender),
+            maiden_surname=surname or self._sample_surname(),
+            surname=surname or "",
+            birth_year=birth_year,
+            parish=parish,
+            address=address,
+            mother_id=mother_id,
+            father_id=father_id,
+        )
+        if not person.surname:
+            person.surname = person.maiden_surname
+        person.present_from = birth_year
+        self.people[person.person_id] = person
+        return person
+
+    def _add_founder_couple(self, year: int) -> tuple[Person, Person]:
+        """Create an already-married adult couple (no parents on record)."""
+        parish = self._sample_parish()
+        address = self._sample_address(parish)
+        husband_age = self._rng_demo.randint(21, 40)
+        wife_age = husband_age - self._rng_demo.randint(0, 6)
+        wife_age = max(18, wife_age)
+        husband = self._new_person("m", year - husband_age, parish, address)
+        wife = self._new_person("f", year - wife_age, parish, address)
+        husband.occupation = self._sample_occupation("m")
+        if self._rng_demo.random() < 0.35:
+            wife.occupation = self._sample_occupation("f")
+        husband.spouse_id = wife.person_id
+        wife.spouse_id = husband.person_id
+        wife.surname = husband.surname
+        marriage_year = year - self._rng_demo.randint(0, min(husband_age - 20, 10))
+        husband.marriage_year = wife.marriage_year = marriage_year
+        husband.present_from = wife.present_from = year
+        return husband, wife
+
+    # ------------------------------------------------------------------
+    # Record emission
+    # ------------------------------------------------------------------
+
+    def _emit(self, cert: Certificate, role: Role, person: Person,
+              attrs: dict[str, str]) -> None:
+        record = Record(
+            record_id=next(self._record_ids),
+            cert_id=cert.cert_id,
+            role=role,
+            attributes=attrs,
+            person_id=person.person_id,
+        )
+        cert.roles[role] = record.record_id
+        self._records.append(record)
+
+    def _base_attrs(self, person: Person, year: int, parish: str) -> dict[str, str]:
+        return {
+            "first_name": person.first_name,
+            "surname": person.surname,
+            "gender": person.gender,
+            "event_year": str(year),
+            "parish": parish,
+            "address": person.address,
+        }
+
+    def _register_birth(self, baby: Person, mother: Person, father: Person,
+                        year: int) -> None:
+        cert = Certificate(
+            cert_id=next(self._cert_ids),
+            cert_type=CertificateType.BIRTH,
+            year=year,
+            parish=mother.parish,
+        )
+        self._certificates.append(cert)
+        self._emit(cert, Role.BB, baby, self._base_attrs(baby, year, cert.parish))
+        mother_attrs = self._base_attrs(mother, year, cert.parish)
+        if mother.occupation:
+            mother_attrs["occupation"] = mother.occupation
+        self._emit(cert, Role.BM, mother, mother_attrs)
+        father_attrs = self._base_attrs(father, year, cert.parish)
+        if father.occupation:
+            father_attrs["occupation"] = father.occupation
+        self._emit(cert, Role.BF, father, father_attrs)
+
+    def _register_death(self, deceased: Person, year: int) -> None:
+        cert = Certificate(
+            cert_id=next(self._cert_ids),
+            cert_type=CertificateType.DEATH,
+            year=year,
+            parish=deceased.parish,
+        )
+        self._certificates.append(cert)
+        age = deceased.age_in(year)
+        attrs = self._base_attrs(deceased, year, cert.parish)
+        attrs["age"] = str(age)
+        attrs["cause_of_death"] = self._sample_cause_of_death(age)
+        if deceased.occupation:
+            attrs["occupation"] = deceased.occupation
+        self._emit(cert, Role.DD, deceased, attrs)
+        mother = self.people.get(deceased.mother_id or -1)
+        father = self.people.get(deceased.father_id or -1)
+        if mother is not None:
+            mattrs = self._base_attrs(mother, year, cert.parish)
+            self._emit(cert, Role.DM, mother, mattrs)
+        if father is not None:
+            fattrs = self._base_attrs(father, year, cert.parish)
+            if father.occupation:
+                fattrs["occupation"] = father.occupation
+            self._emit(cert, Role.DF, father, fattrs)
+        spouse = self.people.get(deceased.spouse_id or -1)
+        if spouse is not None:
+            sattrs = self._base_attrs(spouse, year, cert.parish)
+            self._emit(cert, Role.DS, spouse, sattrs)
+
+    def _register_census(self, year: int) -> None:
+        """Enumerate the living population into households.
+
+        Household composition: a married couple with the husband as head
+        and his wife and their unmarried co-resident children as members;
+        unmarried adults and widowed persons head their own household
+        (with their own unmarried children, if any).
+        """
+        placed: set[int] = set()
+
+        def census_attrs(person: Person, parish: str) -> dict[str, str]:
+            attrs = self._base_attrs(person, year, parish)
+            attrs["age"] = str(person.age_in(year))
+            if person.occupation and person.age_in(year) >= 14:
+                attrs["occupation"] = person.occupation
+            return attrs
+
+        def household_children(head: Person) -> list[Person]:
+            kids = []
+            for child_id in head.children:
+                child = self.people[child_id]
+                if (
+                    child.alive
+                    and child.person_id not in placed
+                    and child.spouse_id is None
+                    and child.birth_year <= year
+                    and child.age_in(year) < 26
+                ):
+                    kids.append(child)
+            return kids
+
+        def emit_household(head: Person, wife: Person | None) -> None:
+            cert = Certificate(
+                cert_id=next(self._cert_ids),
+                cert_type=CertificateType.CENSUS,
+                year=year,
+                parish=head.parish,
+            )
+            self._certificates.append(cert)
+            self._emit(cert, Role.CH, head, census_attrs(head, cert.parish))
+            placed.add(head.person_id)
+            if wife is not None:
+                self._emit(cert, Role.CW, wife, census_attrs(wife, cert.parish))
+                placed.add(wife.person_id)
+            kids = household_children(head)
+            if wife is not None:
+                kids += [k for k in household_children(wife) if k not in kids]
+            for child in sorted(kids, key=lambda p: p.birth_year):
+                record = Record(
+                    record_id=next(self._record_ids),
+                    cert_id=cert.cert_id,
+                    role=Role.CC,
+                    attributes=census_attrs(child, cert.parish),
+                    person_id=child.person_id,
+                )
+                cert.children.append(record.record_id)
+                self._records.append(record)
+                placed.add(child.person_id)
+
+        # Married couples first (husband heads the household).
+        for person in list(self.people.values()):
+            if (
+                person.alive
+                and person.gender == "m"
+                and person.spouse_id is not None
+                and person.person_id not in placed
+                and person.birth_year <= year
+            ):
+                spouse = self.people.get(person.spouse_id)
+                wife = spouse if spouse is not None and spouse.alive else None
+                if wife is not None and wife.person_id in placed:
+                    wife = None
+                emit_household(person, wife)
+        # Everyone left who is an adult heads their own household; their
+        # unmarried children (widows' children) join them.
+        for person in list(self.people.values()):
+            if (
+                person.alive
+                and person.person_id not in placed
+                and person.birth_year <= year
+                and person.age_in(year) >= 16
+            ):
+                emit_household(person, None)
+        # Orphaned minors: enumerate as "other member" of a fresh
+        # household headed by the first available adult in their parish
+        # (simplified boarding-out), or alone if none exists.
+        for person in list(self.people.values()):
+            if (
+                person.alive
+                and person.person_id not in placed
+                and person.birth_year <= year
+            ):
+                cert = Certificate(
+                    cert_id=next(self._cert_ids),
+                    cert_type=CertificateType.CENSUS,
+                    year=year,
+                    parish=person.parish,
+                )
+                self._certificates.append(cert)
+                record = Record(
+                    record_id=next(self._record_ids),
+                    cert_id=cert.cert_id,
+                    role=Role.CO,
+                    attributes=census_attrs(person, cert.parish),
+                    person_id=person.person_id,
+                )
+                cert.others.append(record.record_id)
+                self._records.append(record)
+                placed.add(person.person_id)
+
+    def _register_marriage(self, groom: Person, bride: Person, year: int) -> None:
+        cert = Certificate(
+            cert_id=next(self._cert_ids),
+            cert_type=CertificateType.MARRIAGE,
+            year=year,
+            parish=bride.parish,
+        )
+        self._certificates.append(cert)
+        battrs = self._base_attrs(bride, year, cert.parish)
+        battrs["age"] = str(bride.age_in(year))
+        self._emit(cert, Role.MB, bride, battrs)
+        gattrs = self._base_attrs(groom, year, cert.parish)
+        gattrs["age"] = str(groom.age_in(year))
+        if groom.occupation:
+            gattrs["occupation"] = groom.occupation
+        self._emit(cert, Role.MG, groom, gattrs)
+
+    # ------------------------------------------------------------------
+    # Yearly dynamics
+    # ------------------------------------------------------------------
+
+    def _mortality(self, person: Person, year: int) -> float:
+        age = person.age_in(year)
+        if age <= 0:
+            return self.config.infant_mortality
+        if age < 10:
+            return self.config.child_mortality
+        if age < 20:
+            return self.config.adult_mortality_base * 0.8
+        # Gompertz-ish: hazard doubles every 12 years past 20.
+        return min(0.9, self.config.adult_mortality_base * 2 ** ((age - 20) / 12.0))
+
+    def _year_marriages(self, year: int) -> None:
+        cfg = self.config
+        singles_m = [
+            p for p in self.people.values()
+            if p.alive and p.gender == "m" and p.spouse_id is None
+            and cfg.min_marriage_age <= p.age_in(year) <= cfg.max_marriage_age
+        ]
+        singles_f = [
+            p for p in self.people.values()
+            if p.alive and p.gender == "f" and p.spouse_id is None
+            and cfg.min_marriage_age <= p.age_in(year) <= cfg.max_marriage_age
+        ]
+        self._rng_demo.shuffle(singles_m)
+        self._rng_demo.shuffle(singles_f)
+        for groom, bride in zip(singles_m, singles_f):
+            if self._rng_demo.random() > cfg.marriage_prob:
+                continue
+            # Avoid sibling marriages in the synthetic truth.
+            if (
+                groom.mother_id is not None
+                and groom.mother_id == bride.mother_id
+            ):
+                continue
+            groom.spouse_id = bride.person_id
+            bride.spouse_id = groom.person_id
+            groom.marriage_year = bride.marriage_year = year
+            if not groom.occupation:
+                groom.occupation = self._sample_occupation("m")
+            self._register_marriage(groom, bride, year)
+            # Bride takes the groom's surname and joins his household.
+            bride.surname = groom.surname
+            bride.parish = groom.parish
+            bride.address = groom.address
+
+    def _year_births(self, year: int) -> None:
+        cfg = self.config
+        couples = [
+            (p, self.people[p.spouse_id])
+            for p in self.people.values()
+            if p.alive and p.gender == "f" and p.spouse_id is not None
+            and self.people[p.spouse_id].alive
+        ]
+        for mother, father in couples:
+            age = mother.age_in(year)
+            if age < 16 or age > cfg.max_mother_age:
+                continue
+            if (
+                mother.last_birth_year is not None
+                and year - mother.last_birth_year < cfg.min_birth_spacing_years
+            ):
+                continue
+            if self._rng_demo.random() > cfg.annual_birth_prob:
+                continue
+            gender = "f" if self._rng_demo.random() < 0.49 else "m"
+            baby = self._new_person(
+                gender,
+                year,
+                mother.parish,
+                mother.address,
+                surname=father.surname,
+                mother_id=mother.person_id,
+                father_id=father.person_id,
+            )
+            mother.last_birth_year = year
+            mother.children.append(baby.person_id)
+            father.children.append(baby.person_id)
+            self._register_birth(baby, mother, father, year)
+
+    def _year_deaths(self, year: int) -> None:
+        for person in list(self.people.values()):
+            if not person.alive or person.birth_year > year:
+                continue
+            if self._rng_demo.random() < self._mortality(person, year):
+                person.alive = False
+                person.death_year = year
+                self._register_death(person, year)
+                spouse = self.people.get(person.spouse_id or -1)
+                if spouse is not None:
+                    spouse.spouse_id = None  # widowed; may remarry
+
+    def _year_moves(self, year: int) -> None:
+        cfg = self.config
+        # Moves happen per (living adult male-headed or single) household;
+        # approximate by iterating over living adults who head a household.
+        for person in self.people.values():
+            if not person.alive or person.age_in(year) < 18:
+                continue
+            if person.gender == "f" and person.spouse_id is not None:
+                continue  # household handled via the husband
+            if self._rng_demo.random() > cfg.move_prob:
+                continue
+            parish = person.parish
+            if self._rng_demo.random() < cfg.parish_move_prob:
+                parish = self._sample_parish()
+            address = self._sample_address(parish)
+            members = [person]
+            spouse = self.people.get(person.spouse_id or -1)
+            if spouse is not None and spouse.alive:
+                members.append(spouse)
+            for child_id in person.children:
+                child = self.people[child_id]
+                if child.alive and child.age_in(year) < 16 and child.spouse_id is None:
+                    members.append(child)
+            for member in members:
+                member.parish = parish
+                member.address = address
+
+    def _year_immigration(self, year: int) -> None:
+        for _ in range(self.config.immigrant_couples_per_year):
+            self._add_founder_couple(year)
+
+    # ------------------------------------------------------------------
+
+    def run(self, name: str = "synthetic") -> Dataset:
+        """Simulate the configured period and return the registered dataset."""
+        cfg = self.config
+        for _ in range(cfg.n_founder_couples):
+            self._add_founder_couple(cfg.start_year)
+        for year in range(cfg.start_year, cfg.end_year + 1):
+            self._year_immigration(year)
+            self._year_marriages(year)
+            self._year_births(year)
+            self._year_deaths(year)
+            self._year_moves(year)
+            if year in cfg.census_years:
+                self._register_census(year)
+        return Dataset(name, self._records, self._certificates)

@@ -1,0 +1,270 @@
+"""Record, certificate, and dataset containers.
+
+A ``Record`` is a single occurrence of a person on one certificate (one
+role).  A ``Certificate`` groups the records extracted from it and carries
+the intra-certificate relationships (mother-of, father-of, spouse-of) that
+the dependency graph turns into relationship edges between relational
+nodes.  A ``Dataset`` bundles records, certificates, and ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.data.roles import (
+    CertificateType,
+    Role,
+    birth_year_range,
+    role_gender,
+)
+
+__all__ = ["Record", "Certificate", "Dataset"]
+
+# Attributes every record may carry.  ``person_id`` is deliberately *not*
+# among them: ground truth lives on the Record object, outside the QID
+# payload the resolver sees.
+QID_ATTRIBUTES = (
+    "first_name",
+    "surname",
+    "gender",
+    "event_year",
+    "birth_year",
+    "age",
+    "address",
+    "parish",
+    "occupation",
+    "cause_of_death",
+)
+
+
+@dataclass
+class Record:
+    """One person-role occurrence on one certificate.
+
+    ``attributes`` holds the QID values the resolver is allowed to use;
+    missing values are absent keys (or empty strings after CSV round
+    trips).  ``person_id`` is ground truth used only for evaluation and is
+    never consulted by any linkage algorithm.
+    """
+
+    record_id: int
+    cert_id: int
+    role: Role
+    attributes: dict[str, str]
+    person_id: int
+
+    def get(self, attribute: str) -> str | None:
+        """QID value for ``attribute``, or ``None`` when missing/blank."""
+        value = self.attributes.get(attribute)
+        if value is None or value == "":
+            return None
+        return value
+
+    @property
+    def event_year(self) -> int:
+        """Registration year of the record's certificate."""
+        value = self.get("event_year")
+        if value is None:
+            raise ValueError(f"record {self.record_id} has no event_year")
+        return int(value)
+
+    @property
+    def gender(self) -> str | None:
+        """Gender implied by the role, else the recorded value."""
+        return role_gender(self.role, self.get("gender"))
+
+    @property
+    def age(self) -> int | None:
+        """Recorded age at the event, when present."""
+        value = self.get("age")
+        return int(value) if value is not None else None
+
+    def birth_range(self) -> tuple[int, int]:
+        """Plausible (min, max) birth year implied by role + certificate."""
+        return birth_year_range(self.role, self.event_year, self.age)
+
+    def __hash__(self) -> int:
+        return hash(self.record_id)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Record) and other.record_id == self.record_id
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        name = f"{self.get('first_name') or '?'} {self.get('surname') or '?'}"
+        return (
+            f"Record({self.record_id}, {self.role.value}, {name!r}, "
+            f"y={self.attributes.get('event_year')})"
+        )
+
+
+@dataclass
+class Certificate:
+    """One statutory certificate (or census household) and its records.
+
+    ``roles`` maps each singular role present to the record id of that
+    occurrence.  Census households additionally carry any number of
+    children (role Cc) in ``children`` and other members (role Co —
+    lodgers, servants, relatives) in ``others``.  Intra-certificate
+    relationships are derived from the role structure (e.g. on a birth
+    certificate Bm is *motherOf* Bb).
+    """
+
+    cert_id: int
+    cert_type: CertificateType
+    year: int
+    parish: str
+    roles: dict[Role, int] = field(default_factory=dict)
+    children: list[int] = field(default_factory=list)
+    others: list[int] = field(default_factory=list)
+
+    def record_id(self, role: Role) -> int | None:
+        """Record id of singular ``role`` on this certificate, if present."""
+        return self.roles.get(role)
+
+    def member_record_ids(self) -> list[int]:
+        """All record ids on this certificate/household."""
+        return list(self.roles.values()) + self.children + self.others
+
+    def relationships(self) -> list[tuple[int, str, int]]:
+        """Intra-certificate relationship triples ``(rid_a, rel, rid_b)``.
+
+        Relations follow the paper's Figure 3: ``Mof``/``Fof`` point from
+        parent to child, ``Sof`` links spouses symmetrically (emitted once).
+        Census households relate the head and wife as spouses and both as
+        parents of the household's children.
+        """
+        triples: list[tuple[int, str, int]] = []
+
+        def rel(role_a: Role, relation: str, role_b: Role) -> None:
+            rid_a, rid_b = self.roles.get(role_a), self.roles.get(role_b)
+            if rid_a is not None and rid_b is not None:
+                triples.append((rid_a, relation, rid_b))
+
+        if self.cert_type is CertificateType.BIRTH:
+            rel(Role.BM, "Mof", Role.BB)
+            rel(Role.BF, "Fof", Role.BB)
+            rel(Role.BM, "Sof", Role.BF)
+        elif self.cert_type is CertificateType.DEATH:
+            rel(Role.DM, "Mof", Role.DD)
+            rel(Role.DF, "Fof", Role.DD)
+            rel(Role.DM, "Sof", Role.DF)
+            rel(Role.DS, "Sof", Role.DD)
+        elif self.cert_type is CertificateType.MARRIAGE:
+            rel(Role.MB, "Sof", Role.MG)
+        elif self.cert_type is CertificateType.CENSUS:
+            rel(Role.CH, "Sof", Role.CW)
+            head = self.roles.get(Role.CH)
+            wife = self.roles.get(Role.CW)
+            for child in self.children:
+                if head is not None:
+                    triples.append((head, "Fof", child))
+                if wife is not None:
+                    triples.append((wife, "Mof", child))
+        return triples
+
+
+class Dataset:
+    """Records + certificates + complete ground truth for one experiment.
+
+    Ground truth is the ``person_id`` on each record: two records are a
+    true match iff they share it.  The evaluation helpers expose the truth
+    restricted to a role pair in the paper's notation (e.g. ``"Bp-Bp"``).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        records: Iterable[Record],
+        certificates: Iterable[Certificate],
+    ) -> None:
+        self.name = name
+        self.records: dict[int, Record] = {r.record_id: r for r in records}
+        self.certificates: dict[int, Certificate] = {
+            c.cert_id: c for c in certificates
+        }
+        self._validate()
+
+    def _validate(self) -> None:
+        for cert in self.certificates.values():
+            members = [(role, rid) for role, rid in cert.roles.items()]
+            members += [(Role.CC, rid) for rid in cert.children]
+            members += [(Role.CO, rid) for rid in cert.others]
+            for role, rid in members:
+                record = self.records.get(rid)
+                if record is None:
+                    raise ValueError(
+                        f"certificate {cert.cert_id} references missing record {rid}"
+                    )
+                if record.role is not role or record.cert_id != cert.cert_id:
+                    raise ValueError(
+                        f"record {rid} inconsistent with certificate {cert.cert_id}"
+                    )
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self.records.values())
+
+    def records_with_role(self, roles: Iterable[Role]) -> list[Record]:
+        """All records whose role is in ``roles``."""
+        role_set = set(roles)
+        return [r for r in self.records.values() if r.role in role_set]
+
+    def record(self, record_id: int) -> Record:
+        """Record by id (KeyError if absent)."""
+        return self.records[record_id]
+
+    def certificate_of(self, record: Record) -> Certificate:
+        """The certificate a record was extracted from."""
+        return self.certificates[record.cert_id]
+
+    def n_people(self) -> int:
+        """Number of distinct ground-truth persons appearing in records."""
+        return len({r.person_id for r in self.records.values()})
+
+    def true_match_pairs(self, role_pair: str) -> set[tuple[int, int]]:
+        """Ground-truth matching record-id pairs for ``role_pair``.
+
+        ``role_pair`` uses the paper's notation ``"Bp-Bp"`` / ``"Bp-Dp"`` /
+        ``"Bb-Dd"``: the two sides name role groups from
+        ``repro.data.roles.PARENT_ROLE_GROUPS``.  A pair (sorted record
+        ids) is a true match when both records refer to the same person
+        and the two records' roles fall one on each side.
+        """
+        from repro.data.roles import PARENT_ROLE_GROUPS
+
+        left_name, right_name = role_pair.split("-")
+        left = PARENT_ROLE_GROUPS[left_name]
+        right = PARENT_ROLE_GROUPS[right_name]
+        by_person: dict[int, list[Record]] = {}
+        for record in self.records.values():
+            if record.role in left or record.role in right:
+                by_person.setdefault(record.person_id, []).append(record)
+        pairs: set[tuple[int, int]] = set()
+        for group in by_person.values():
+            for i, a in enumerate(group):
+                for b in group[i + 1 :]:
+                    if (a.role in left and b.role in right) or (
+                        a.role in right and b.role in left
+                    ):
+                        if a.record_id != b.record_id:
+                            lo, hi = sorted((a.record_id, b.record_id))
+                            pairs.add((lo, hi))
+        return pairs
+
+    def describe(self) -> dict[str, int]:
+        """Summary counts used by the dataset-characteristics benches."""
+        by_type = {t: 0 for t in CertificateType}
+        for cert in self.certificates.values():
+            by_type[cert.cert_type] += 1
+        return {
+            "records": len(self.records),
+            "certificates": len(self.certificates),
+            "people": self.n_people(),
+            "birth_certs": by_type[CertificateType.BIRTH],
+            "death_certs": by_type[CertificateType.DEATH],
+            "marriage_certs": by_type[CertificateType.MARRIAGE],
+            "census_households": by_type[CertificateType.CENSUS],
+        }

@@ -1,0 +1,251 @@
+"""Certificate types, person roles, and role-pair linkage rules.
+
+A person appears on certificates in different *roles* (paper Section 3):
+
+=====  =============================  ======
+Role   Meaning                        Gender
+=====  =============================  ======
+Bb     baby on a birth certificate    any
+Bm     mother on a birth certificate  f
+Bf     father on a birth certificate  m
+Dd     deceased on a death cert.      any
+Dm     mother of the deceased         f
+Df     father of the deceased         m
+Ds     spouse of the deceased         any
+Mb     bride on a marriage cert.      f
+Mg     groom on a marriage cert.      m
+=====  =============================  ======
+
+Two records can only refer to the same person if their roles are
+*linkable*: genders must agree and the combination must be biologically
+possible (``LINKABLE_ROLE_PAIRS``).  A person has exactly one birth and
+one death, so Bb–Bb and Dd–Dd pairs are never linkable — this is the
+paper's one-to-one *link constraint* applied structurally.
+
+Each role also implies a range of plausible birth years given the
+certificate's event year (``birth_year_range``); the paper's *temporal
+constraints* (e.g. a mother is 15–55 years older than her baby) become
+"the birth-year ranges of co-referent records must intersect".
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = [
+    "CertificateType",
+    "Role",
+    "role_gender",
+    "birth_year_range",
+    "LINKABLE_ROLE_PAIRS",
+    "PARENT_ROLE_GROUPS",
+    "SINGLETON_ROLES",
+]
+
+# Biological bounds used by the temporal constraints (paper Section 4.2.2:
+# a birth baby becomes a birth mother after at least 15 and at most ~55
+# years; fatherhood extends to ~70; extreme recorded lifespan bounds the
+# rest).
+MIN_PARENT_AGE = 15
+MAX_MOTHER_AGE = 55
+MAX_FATHER_AGE = 70
+MIN_MARRIAGE_AGE = 16
+MAX_LIFESPAN = 105
+
+
+class CertificateType(enum.Enum):
+    """The three statutory certificate types held since 1855, plus the
+    decennial census snapshot (the paper's future-work data source)."""
+
+    BIRTH = "birth"
+    DEATH = "death"
+    MARRIAGE = "marriage"
+    CENSUS = "census"
+
+
+class Role(enum.Enum):
+    """A person's role on one certificate (see module docstring)."""
+
+    BB = "Bb"
+    BM = "Bm"
+    BF = "Bf"
+    DD = "Dd"
+    DM = "Dm"
+    DF = "Df"
+    DS = "Ds"
+    MB = "Mb"
+    MG = "Mg"
+    # Census household roles (paper future work: incorporating census
+    # data into the ER process).  A household lists a head, optionally a
+    # wife, any number of children, and other members (lodgers, servants).
+    CH = "Ch"
+    CW = "Cw"
+    CC = "Cc"
+    CO = "Co"
+
+    @property
+    def certificate_type(self) -> CertificateType:
+        """The certificate type this role appears on."""
+        return _ROLE_CERT_TYPE[self]
+
+    @property
+    def is_parent(self) -> bool:
+        """True for mother/father roles (Bm, Bf, Dm, Df)."""
+        return self in {Role.BM, Role.BF, Role.DM, Role.DF}
+
+
+_ROLE_CERT_TYPE = {
+    Role.BB: CertificateType.BIRTH,
+    Role.BM: CertificateType.BIRTH,
+    Role.BF: CertificateType.BIRTH,
+    Role.DD: CertificateType.DEATH,
+    Role.DM: CertificateType.DEATH,
+    Role.DF: CertificateType.DEATH,
+    Role.DS: CertificateType.DEATH,
+    Role.MB: CertificateType.MARRIAGE,
+    Role.MG: CertificateType.MARRIAGE,
+    Role.CH: CertificateType.CENSUS,
+    Role.CW: CertificateType.CENSUS,
+    Role.CC: CertificateType.CENSUS,
+    Role.CO: CertificateType.CENSUS,
+}
+
+CENSUS_ROLES = frozenset({Role.CH, Role.CW, Role.CC, Role.CO})
+
+# Fixed-gender roles; Bb, Dd, and Ds take the gender recorded on the
+# certificate.
+_ROLE_GENDER = {
+    Role.BM: "f",
+    Role.BF: "m",
+    Role.DM: "f",
+    Role.DF: "m",
+    Role.MB: "f",
+    Role.MG: "m",
+    Role.CW: "f",
+}
+
+# Roles a single person can hold at most once across their life: one birth
+# record, one death record (paper's one-to-one link constraints).
+SINGLETON_ROLES = frozenset({Role.BB, Role.DD})
+
+
+def role_gender(role: Role, recorded_gender: str | None = None) -> str | None:
+    """Gender implied by ``role``, falling back to the recorded value.
+
+    Returns ``"m"``, ``"f"``, or ``None`` when unknown.
+    """
+    implied = _ROLE_GENDER.get(role)
+    if implied is not None:
+        return implied
+    return recorded_gender
+
+
+def _linkable_pairs() -> frozenset[tuple[Role, Role]]:
+    """Enumerate linkable role pairs as unordered (canonically sorted) pairs.
+
+    A pair is linkable when one person could plausibly hold both roles:
+    genders must be compatible and neither singleton role may repeat.
+    Built explicitly rather than generated so domain exceptions are visible.
+    """
+    pairs = {
+        # Parents recurring across certificates of their children.
+        (Role.BM, Role.BM), (Role.BF, Role.BF),
+        (Role.BM, Role.DM), (Role.BF, Role.DF),
+        (Role.DM, Role.DM), (Role.DF, Role.DF),
+        # A person's own life-course links.
+        (Role.BB, Role.DD),                      # born, then died
+        (Role.BB, Role.BM), (Role.BB, Role.BF),  # born, then became a parent
+        (Role.BB, Role.DM), (Role.BB, Role.DF),  # born, then their child died
+        (Role.BB, Role.MB), (Role.BB, Role.MG),  # born, then married
+        (Role.BB, Role.DS),                      # born, then widowed
+        # A parent's own death record, and spouse-of-deceased links.
+        (Role.BM, Role.DD), (Role.BF, Role.DD),
+        (Role.BM, Role.DS), (Role.BF, Role.DS),
+        (Role.DM, Role.DD), (Role.DF, Role.DD),
+        (Role.DM, Role.DS), (Role.DF, Role.DS),
+        (Role.DS, Role.DS), (Role.DS, Role.DD),
+        # Marriage roles joining the rest of the life course.
+        (Role.MB, Role.BM), (Role.MG, Role.BF),
+        (Role.MB, Role.DM), (Role.MG, Role.DF),
+        (Role.MB, Role.DD), (Role.MG, Role.DD),
+        (Role.MB, Role.DS), (Role.MG, Role.DS),
+        (Role.MB, Role.MB), (Role.MG, Role.MG),  # remarriage
+    }
+    # Census roles: anyone alive at a census appears in some household
+    # role, so every (census role, other role) combination is plausible —
+    # gender and temporal filters do the real pruning.  Census roles also
+    # link to each other (the same person across censuses).
+    census = (Role.CH, Role.CW, Role.CC, Role.CO)
+    for census_role in census:
+        for other in Role:
+            pairs.add((census_role, other))
+    # ... except a census person can of course still have only one birth
+    # and one death record; pairs with Bb/Dd stay (those are different
+    # roles), nothing to remove here.
+    canonical = set()
+    for a, b in pairs:
+        canonical.add(tuple(sorted((a, b), key=lambda r: r.value)))
+    return frozenset(canonical)  # type: ignore[arg-type]
+
+
+LINKABLE_ROLE_PAIRS: frozenset[tuple[Role, Role]] = _linkable_pairs()
+
+# Role groups used by the evaluation's "role pair" notation: Bp = birth
+# parents (Bm or Bf), Dp = death parents (Dm or Df).
+PARENT_ROLE_GROUPS: dict[str, frozenset[Role]] = {
+    "Bp": frozenset({Role.BM, Role.BF}),
+    "Dp": frozenset({Role.DM, Role.DF}),
+    "Bb": frozenset({Role.BB}),
+    "Dd": frozenset({Role.DD}),
+    "Cp": frozenset({Role.CH, Role.CW, Role.CC, Role.CO}),
+}
+
+
+def birth_year_range(
+    role: Role,
+    event_year: int,
+    age_at_event: int | None = None,
+) -> tuple[int, int]:
+    """Plausible (min, max) birth year for a person in ``role`` on a
+    certificate registered in ``event_year``.
+
+    ``age_at_event`` narrows the range when the certificate records an age
+    (deceased persons, brides, grooms).  These ranges encode the paper's
+    temporal constraints: two records can co-refer only if their ranges
+    intersect.
+
+    >>> birth_year_range(Role.BB, 1870)
+    (1870, 1870)
+    >>> birth_year_range(Role.BM, 1870)
+    (1815, 1855)
+    """
+    if age_at_event is not None:
+        if age_at_event < 0:
+            raise ValueError(f"age cannot be negative: {age_at_event}")
+        # Recorded ages are rounded or mis-stated by a year either way.
+        return (event_year - age_at_event - 1, event_year - age_at_event + 1)
+    if role is Role.BB:
+        return (event_year, event_year)
+    if role is Role.BM:
+        return (event_year - MAX_MOTHER_AGE, event_year - MIN_PARENT_AGE)
+    if role is Role.BF:
+        return (event_year - MAX_FATHER_AGE, event_year - MIN_PARENT_AGE)
+    if role is Role.DD:
+        return (event_year - MAX_LIFESPAN, event_year)
+    if role is Role.DM:
+        # Mother of a deceased person of unknown age: she was born at least
+        # MIN_PARENT_AGE before the deceased, who died in event_year.
+        return (event_year - MAX_LIFESPAN - MAX_MOTHER_AGE, event_year - MIN_PARENT_AGE)
+    if role is Role.DF:
+        return (event_year - MAX_LIFESPAN - MAX_FATHER_AGE, event_year - MIN_PARENT_AGE)
+    if role is Role.DS:
+        return (event_year - MAX_LIFESPAN, event_year - MIN_MARRIAGE_AGE)
+    if role in (Role.MB, Role.MG):
+        return (event_year - MAX_LIFESPAN, event_year - MIN_MARRIAGE_AGE)
+    if role in (Role.CH, Role.CW):
+        # Household heads and wives are adults.
+        return (event_year - MAX_LIFESPAN, event_year - MIN_MARRIAGE_AGE)
+    if role in (Role.CC, Role.CO):
+        # A child or other member can be any age at the census.
+        return (event_year - MAX_LIFESPAN, event_year)
+    raise ValueError(f"unhandled role: {role}")

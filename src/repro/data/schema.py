@@ -1,0 +1,99 @@
+"""Attribute schema: Must / Core / Extra categories and weights.
+
+The paper (Section 4.2.3) categorises QID attributes by their importance
+in the ER process: *Must* attributes (first name) need high similarity for
+a link, *Core* attributes (surname) may be somewhat lower (surnames change
+at marriage), *Extra* attributes (occupation, address) add supporting
+evidence.  Equation (1) averages within each category and combines the
+category averages with weights ``w_M``, ``w_C``, ``w_E``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["AttributeCategory", "AttributeSpec", "Schema", "default_schema"]
+
+
+class AttributeCategory(enum.Enum):
+    """Importance class of a QID attribute (paper Section 4.2.3)."""
+
+    MUST = "must"
+    CORE = "core"
+    EXTRA = "extra"
+
+
+@dataclass(frozen=True)
+class AttributeSpec:
+    """Declares one QID attribute used in linkage."""
+
+    name: str
+    category: AttributeCategory
+
+
+@dataclass
+class Schema:
+    """The set of QID attributes compared in linkage plus category weights.
+
+    The default weights are the paper's worked example: ``w_M=0.5``,
+    ``w_C=0.3``, ``w_E=0.2``.
+    """
+
+    attributes: tuple[AttributeSpec, ...]
+    weight_must: float = 0.5
+    weight_core: float = 0.3
+    weight_extra: float = 0.2
+
+    def __post_init__(self) -> None:
+        if not self.attributes:
+            raise ValueError("schema needs at least one attribute")
+        for weight in (self.weight_must, self.weight_core, self.weight_extra):
+            if weight < 0:
+                raise ValueError(f"weights must be non-negative, got {weight}")
+        if self.weight_must + self.weight_core + self.weight_extra <= 0:
+            raise ValueError("at least one category weight must be positive")
+        names = [spec.name for spec in self.attributes]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate attribute names in schema: {names}")
+
+    def category(self, attribute: str) -> AttributeCategory | None:
+        """Category of ``attribute``, or None if not part of the schema."""
+        for spec in self.attributes:
+            if spec.name == attribute:
+                return spec.category
+        return None
+
+    def names(self) -> list[str]:
+        """All attribute names in declaration order."""
+        return [spec.name for spec in self.attributes]
+
+    def names_in(self, category: AttributeCategory) -> list[str]:
+        """Attribute names in ``category``."""
+        return [s.name for s in self.attributes if s.category is category]
+
+    def weight(self, category: AttributeCategory) -> float:
+        """Weight assigned to ``category``."""
+        return {
+            AttributeCategory.MUST: self.weight_must,
+            AttributeCategory.CORE: self.weight_core,
+            AttributeCategory.EXTRA: self.weight_extra,
+        }[category]
+
+
+def default_schema() -> Schema:
+    """Schema matching the paper's attribute usage on the Scottish data.
+
+    First name is *Must* (complete, stable over time); surname is *Core*
+    (changes at marriage); address/parish/occupation are *Extra* (often
+    missing, change over time).
+    """
+    return Schema(
+        attributes=(
+            AttributeSpec("first_name", AttributeCategory.MUST),
+            AttributeSpec("surname", AttributeCategory.CORE),
+            AttributeSpec("parish", AttributeCategory.EXTRA),
+            AttributeSpec("address", AttributeCategory.EXTRA),
+            AttributeSpec("occupation", AttributeCategory.EXTRA),
+        )
+    )

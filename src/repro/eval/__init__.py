@@ -1,0 +1,49 @@
+"""Evaluation: linkage-quality metrics and dataset profiling.
+
+Metrics follow the paper's Section 10: precision, recall, and the
+F*-measure (Hand, Christen & Kirielle 2021) — the paper explicitly avoids
+the F-measure because its implicit weighting of precision vs recall
+depends on the number of classified matches.
+"""
+
+from repro.eval.metrics import (
+    ConfusionCounts,
+    LinkageEvaluation,
+    confusion_counts,
+    evaluate_linkage,
+    f_measure,
+    f_star,
+    precision,
+    recall,
+)
+from repro.eval.profiling import (
+    attribute_profile,
+    rank_frequency_series,
+    AttributeProfile,
+)
+from repro.eval.cluster_metrics import (
+    BCubedScores,
+    b_cubed,
+    cluster_purity,
+    clustering_from_entities,
+    variation_of_information,
+)
+
+__all__ = [
+    "BCubedScores",
+    "b_cubed",
+    "cluster_purity",
+    "clustering_from_entities",
+    "variation_of_information",
+    "ConfusionCounts",
+    "LinkageEvaluation",
+    "confusion_counts",
+    "evaluate_linkage",
+    "precision",
+    "recall",
+    "f_star",
+    "f_measure",
+    "attribute_profile",
+    "rank_frequency_series",
+    "AttributeProfile",
+]

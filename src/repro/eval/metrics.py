@@ -1,0 +1,108 @@
+"""Pair-level linkage-quality metrics: precision, recall, F*, F-measure.
+
+All metrics operate on sets of unordered record-id pairs:
+
+* ``predicted`` — pairs the linkage classified as matches;
+* ``truth`` — ground-truth matching pairs.
+
+TP/FP/FN follow directly; TN is the (astronomically large) rest of the
+pair space and none of the reported measures need it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "ConfusionCounts",
+    "confusion_counts",
+    "precision",
+    "recall",
+    "f_star",
+    "f_measure",
+    "LinkageEvaluation",
+    "evaluate_linkage",
+]
+
+Pair = tuple[int, int]
+
+
+@dataclass(frozen=True)
+class ConfusionCounts:
+    """True positives, false positives, false negatives of a linkage."""
+
+    tp: int
+    fp: int
+    fn: int
+
+
+def confusion_counts(predicted: set[Pair], truth: set[Pair]) -> ConfusionCounts:
+    """Count TP/FP/FN between predicted and true match-pair sets."""
+    tp = len(predicted & truth)
+    return ConfusionCounts(tp=tp, fp=len(predicted) - tp, fn=len(truth) - tp)
+
+
+def precision(counts: ConfusionCounts) -> float:
+    """TP / (TP + FP); defined as 1.0 when nothing was predicted."""
+    denom = counts.tp + counts.fp
+    return counts.tp / denom if denom else 1.0
+
+
+def recall(counts: ConfusionCounts) -> float:
+    """TP / (TP + FN); defined as 1.0 when there are no true matches."""
+    denom = counts.tp + counts.fn
+    return counts.tp / denom if denom else 1.0
+
+
+def f_star(counts: ConfusionCounts) -> float:
+    """F* = TP / (TP + FP + FN) (Hand, Christen & Kirielle 2021).
+
+    A monotone transformation of the F-measure with a direct
+    interpretation: the fraction of relevant-or-retrieved pairs that are
+    both.  This is the paper's headline quality measure.
+    """
+    denom = counts.tp + counts.fp + counts.fn
+    return counts.tp / denom if denom else 1.0
+
+
+def f_measure(counts: ConfusionCounts) -> float:
+    """Classic F1 (reported for completeness; the paper prefers F*)."""
+    p, r = precision(counts), recall(counts)
+    return 2 * p * r / (p + r) if (p + r) else 0.0
+
+
+@dataclass(frozen=True)
+class LinkageEvaluation:
+    """Precision/recall/F* of one linkage on one role pair (percentages)."""
+
+    role_pair: str
+    counts: ConfusionCounts
+    precision: float
+    recall: float
+    f_star: float
+
+    def row(self) -> dict[str, float | str]:
+        """Flat dict for table printing."""
+        return {
+            "role_pair": self.role_pair,
+            "P": round(self.precision, 2),
+            "R": round(self.recall, 2),
+            "F*": round(self.f_star, 2),
+            "TP": self.counts.tp,
+            "FP": self.counts.fp,
+            "FN": self.counts.fn,
+        }
+
+
+def evaluate_linkage(
+    predicted: set[Pair], truth: set[Pair], role_pair: str = ""
+) -> LinkageEvaluation:
+    """Evaluate predicted pairs against truth; percentages like the paper."""
+    counts = confusion_counts(predicted, truth)
+    return LinkageEvaluation(
+        role_pair=role_pair,
+        counts=counts,
+        precision=100.0 * precision(counts),
+        recall=100.0 * recall(counts),
+        f_star=100.0 * f_star(counts),
+    )

@@ -1,0 +1,89 @@
+"""Dataset profiling: missing-value counts and QID frequency statistics.
+
+Backs the Table 1 reproduction (missing values; min/avg/max value
+frequencies of deceased people's QIDs) and the Figure 2 reproduction
+(rank-frequency series of the 100 most common names/addresses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.data.records import Dataset, Record
+from repro.data.roles import Role
+
+__all__ = ["AttributeProfile", "attribute_profile", "rank_frequency_series"]
+
+
+@dataclass(frozen=True)
+class AttributeProfile:
+    """Missing-value count and frequency stats of one QID attribute."""
+
+    attribute: str
+    n_records: int
+    missing: int
+    min_freq: int
+    avg_freq: float
+    max_freq: int
+
+    def row(self) -> dict[str, float | str]:
+        return {
+            "attribute": self.attribute,
+            "missing": self.missing,
+            "min": self.min_freq,
+            "avg": round(self.avg_freq, 1),
+            "max": self.max_freq,
+        }
+
+
+def _value_counts(records: Iterable[Record], attribute: str) -> tuple[dict[str, int], int]:
+    counts: dict[str, int] = {}
+    missing = 0
+    for record in records:
+        value = record.get(attribute)
+        if value is None:
+            missing += 1
+        else:
+            counts[value] = counts.get(value, 0) + 1
+    return counts, missing
+
+
+def attribute_profile(
+    dataset: Dataset,
+    attribute: str,
+    roles: Iterable[Role] = (Role.DD,),
+) -> AttributeProfile:
+    """Profile ``attribute`` over records in ``roles`` (default: deceased
+    persons, matching Table 1's population)."""
+    records = dataset.records_with_role(roles)
+    counts, missing = _value_counts(records, attribute)
+    if counts:
+        freqs = list(counts.values())
+        min_freq, max_freq = min(freqs), max(freqs)
+        avg_freq = sum(freqs) / len(freqs)
+    else:
+        min_freq = max_freq = 0
+        avg_freq = 0.0
+    return AttributeProfile(
+        attribute=attribute,
+        n_records=len(records),
+        missing=missing,
+        min_freq=min_freq,
+        avg_freq=avg_freq,
+        max_freq=max_freq,
+    )
+
+
+def rank_frequency_series(
+    dataset: Dataset,
+    attribute: str,
+    roles: Iterable[Role] = (Role.DD,),
+    top_k: int = 100,
+) -> list[tuple[str, int]]:
+    """The ``top_k`` most frequent values of ``attribute`` with counts,
+    most frequent first — the series plotted in Figure 2."""
+    records = dataset.records_with_role(roles)
+    counts, _ = _value_counts(records, attribute)
+    ranked = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+    return ranked[:top_k]

@@ -1,0 +1,31 @@
+"""Historical address geocoding (Kirielle, Christen & Ranbaduge, AusDM
+2019 — the technique the paper uses to compare IOS addresses by distance).
+
+Components:
+
+* :class:`~repro.geocode.gazetteer.Gazetteer` — the reference source of
+  coordinates: parishes and street stems (synthetic stand-in for the
+  Ordnance Survey data the authors used);
+* :func:`~repro.geocode.parser.parse_address` — splits a raw historical
+  address into house number, street, and parish;
+* :class:`~repro.geocode.geocoder.Geocoder` — assigns coordinates to
+  addresses, resolving ambiguous street names by outlier detection over
+  candidate locations;
+* :func:`~repro.geocode.geocoder.geo_address_comparator` — an
+  address comparator for the similarity registry that scores by geodesic
+  distance instead of token overlap (how the paper compares IOS
+  addresses).
+"""
+
+from repro.geocode.gazetteer import Gazetteer, default_gazetteer
+from repro.geocode.parser import ParsedAddress, parse_address
+from repro.geocode.geocoder import Geocoder, geo_address_comparator
+
+__all__ = [
+    "Gazetteer",
+    "default_gazetteer",
+    "ParsedAddress",
+    "parse_address",
+    "Geocoder",
+    "geo_address_comparator",
+]

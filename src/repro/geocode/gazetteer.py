@@ -1,0 +1,78 @@
+"""Gazetteer: the reference coordinates for parishes and streets.
+
+The real system geocodes against Ordnance Survey data; our synthetic
+stand-in derives street coordinates deterministically from the parish
+centre plus a stable per-street offset, so the same street always maps to
+the same point and distances behave sensibly (streets of one parish lie
+within ~2 km of its centre; parishes are 5–40 km apart).
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+
+from repro.data.names import PARISH_COORDINATES
+from repro.similarity.geo import GeoPoint
+
+__all__ = ["Gazetteer", "default_gazetteer"]
+
+# 1 degree of latitude ≈ 111 km; street jitter radius ~2 km.
+_STREET_RADIUS_DEG = 2.0 / 111.0
+
+
+class Gazetteer:
+    """Maps parishes and (street, parish) pairs to coordinates."""
+
+    def __init__(self, parish_coordinates: dict[str, GeoPoint]) -> None:
+        if not parish_coordinates:
+            raise ValueError("gazetteer needs at least one parish")
+        self._parishes = {
+            name.lower(): point for name, point in parish_coordinates.items()
+        }
+
+    def parishes(self) -> list[str]:
+        """All known parish names."""
+        return sorted(self._parishes)
+
+    def parish_location(self, parish: str) -> GeoPoint | None:
+        """Coordinates of the parish centre, if known."""
+        return self._parishes.get(parish.lower())
+
+    def street_location(self, street: str, parish: str) -> GeoPoint | None:
+        """Deterministic coordinates for a street within a parish.
+
+        The street's offset from the parish centre is derived from a
+        stable hash of the street name, so repeated lookups (and lookups
+        across processes) agree.
+        """
+        centre = self.parish_location(parish)
+        if centre is None:
+            return None
+        street = street.strip().lower()
+        if not street:
+            return centre
+        digest = zlib.crc32(f"{parish.lower()}|{street}".encode("utf-8"))
+        angle = (digest & 0xFFFF) / 0xFFFF * 2.0 * math.pi
+        radius = ((digest >> 16) & 0xFFFF) / 0xFFFF * _STREET_RADIUS_DEG
+        return GeoPoint(
+            lat=max(-90.0, min(90.0, centre.lat + radius * math.sin(angle))),
+            lon=centre.lon + radius * math.cos(angle) / max(
+                0.2, math.cos(math.radians(centre.lat))
+            ),
+        )
+
+    def candidate_locations(self, street: str) -> list[tuple[str, GeoPoint]]:
+        """All (parish, location) candidates for a street of unknown
+        parish — the ambiguous case the outlier-detection step resolves."""
+        out = []
+        for parish in self.parishes():
+            point = self.street_location(street, parish)
+            if point is not None:
+                out.append((parish, point))
+        return out
+
+
+def default_gazetteer() -> Gazetteer:
+    """Gazetteer over the synthetic Skye parishes and their streets."""
+    return Gazetteer(PARISH_COORDINATES)

@@ -1,0 +1,67 @@
+"""Historical address parsing: "23 high street portree" → components.
+
+Addresses in the registers follow the loose pattern
+``[house number] <street words> [parish]``; the parser recognises a
+leading number and a trailing known-parish token, leaving the middle as
+the street.  Unknown structure degrades gracefully (everything becomes
+the street), which matters because parsing must never lose data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ParsedAddress", "parse_address"]
+
+
+@dataclass(frozen=True)
+class ParsedAddress:
+    """Components of one address string."""
+
+    house_number: int | None
+    street: str
+    parish: str | None
+
+    def normalised(self) -> str:
+        parts = []
+        if self.house_number is not None:
+            parts.append(str(self.house_number))
+        if self.street:
+            parts.append(self.street)
+        if self.parish:
+            parts.append(self.parish)
+        return " ".join(parts)
+
+
+def parse_address(value: str, known_parishes: list[str] | None = None) -> ParsedAddress:
+    """Parse a raw address string.
+
+    ``known_parishes`` (lowercase) enables the trailing-parish rule; when
+    omitted, the last token is treated as a parish only if there are at
+    least three tokens (number street parish).
+
+    >>> parse_address("23 high street portree", ["portree"])
+    ParsedAddress(house_number=23, street='high street', parish='portree')
+    """
+    tokens = value.strip().lower().split()
+    if not tokens:
+        return ParsedAddress(house_number=None, street="", parish=None)
+    house_number: int | None = None
+    if tokens[0].isdigit():
+        house_number = int(tokens[0])
+        tokens = tokens[1:]
+    parish: str | None = None
+    if tokens:
+        last = tokens[-1]
+        if known_parishes is not None:
+            if last in known_parishes:
+                parish = last
+                tokens = tokens[:-1]
+        elif len(tokens) >= 2:
+            parish = last
+            tokens = tokens[:-1]
+    return ParsedAddress(
+        house_number=house_number,
+        street=" ".join(tokens),
+        parish=parish,
+    )

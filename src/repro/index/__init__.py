@@ -1,0 +1,16 @@
+"""Index structures for the online phase (paper Section 6).
+
+* :class:`~repro.index.keyword.KeywordIndex` (``K``) — inverted index
+  from QID values (first name, surname, gender, year, location) to
+  entity ids in the pedigree graph;
+* :class:`~repro.index.simindex.SimilarityAwareIndex` (``S``) — the
+  pre-computed approximate-match index of Christen, Gayler & Hawking
+  (CIKM 2009): for every indexed string, all other indexed strings
+  sharing at least one bigram whose Jaro-Winkler similarity reaches
+  ``s_t`` (default 0.5), with the similarity stored.
+"""
+
+from repro.index.keyword import KeywordIndex
+from repro.index.simindex import SimilarityAwareIndex
+
+__all__ = ["KeywordIndex", "SimilarityAwareIndex"]

@@ -1,0 +1,69 @@
+"""Keyword index K: QID value → entity ids (paper Section 6).
+
+Built once from the pedigree graph in the offline phase.  Name and
+location values index under every distinct value an entity carries (a
+woman is findable under maiden and married surnames); years index under
+every event year of the entity's records so a query year can hit any of
+the person's vital events.
+"""
+
+from __future__ import annotations
+
+from repro.pedigree.graph import PedigreeGraph
+
+__all__ = ["KeywordIndex"]
+
+# Attributes the query interface exposes (Figure 5): names, gender, year,
+# and location (parish/district).
+_STRING_ATTRIBUTES = ("first_name", "surname", "parish")
+
+
+class KeywordIndex:
+    """Inverted index from QID values to pedigree-graph entity ids."""
+
+    def __init__(self, graph: PedigreeGraph) -> None:
+        self._by_value: dict[tuple[str, str], set[int]] = {}
+        self._years: dict[int, set[int]] = {}
+        self._genders: dict[str, set[int]] = {}
+        for entity in graph:
+            for attribute in _STRING_ATTRIBUTES:
+                for value in entity.values.get(attribute, ()):
+                    key = (attribute, value.lower())
+                    self._by_value.setdefault(key, set()).add(entity.entity_id)
+            for year_value in entity.values.get("event_year", ()):
+                try:
+                    year = int(year_value)
+                except ValueError:
+                    continue
+                self._years.setdefault(year, set()).add(entity.entity_id)
+            if entity.gender:
+                self._genders.setdefault(entity.gender, set()).add(entity.entity_id)
+
+    # ------------------------------------------------------------------
+
+    def lookup(self, attribute: str, value: str) -> set[int]:
+        """Entity ids whose ``attribute`` exactly equals ``value``."""
+        return set(self._by_value.get((attribute, value.lower()), ()))
+
+    def lookup_year_range(self, year_from: int, year_to: int) -> set[int]:
+        """Entity ids with any event year inside [year_from, year_to]."""
+        if year_to < year_from:
+            raise ValueError(f"empty year range: {year_from}..{year_to}")
+        out: set[int] = set()
+        for year in range(year_from, year_to + 1):
+            out |= self._years.get(year, set())
+        return out
+
+    def lookup_gender(self, gender: str) -> set[int]:
+        """Entity ids of the given gender ('m' or 'f')."""
+        return set(self._genders.get(gender, ()))
+
+    def values(self, attribute: str) -> list[str]:
+        """All distinct indexed values of ``attribute`` (for S-building)."""
+        return sorted(
+            value for (attr, value) in self._by_value if attr == attribute
+        )
+
+    def n_keys(self) -> int:
+        """Total number of distinct (attribute, value) keys."""
+        return len(self._by_value) + len(self._years) + len(self._genders)

@@ -1,0 +1,94 @@
+"""Similarity-aware index S (Christen, Gayler & Hawking, CIKM 2009).
+
+For every string value in the keyword index, pre-compute all other values
+of the same attribute that share at least one bigram and have
+Jaro-Winkler similarity ≥ ``s_t``; store those neighbour lists with their
+similarities.  At query time an unseen value is compared only against
+values sharing a bigram, and the result is *cached back into S* so
+repeated queries of the same misspelling are instant (paper Section 7).
+"""
+
+from __future__ import annotations
+
+from repro.similarity.jaro import jaro_winkler_similarity
+from repro.similarity.qgram import bigrams
+
+__all__ = ["SimilarityAwareIndex"]
+
+
+class SimilarityAwareIndex:
+    """Pre-computed approximate-match neighbourhoods for one attribute's
+    value universe."""
+
+    def __init__(
+        self,
+        values: list[str],
+        threshold: float = 0.5,
+        precompute: bool = True,
+    ) -> None:
+        if not 0.0 < threshold < 1.0:
+            raise ValueError(f"threshold must be in (0, 1), got {threshold}")
+        self.threshold = threshold
+        self._values = sorted(set(v.lower() for v in values))
+        # Bigram inverted index over the value universe.
+        self._gram_index: dict[str, list[str]] = {}
+        for value in self._values:
+            for gram in bigrams(value):
+                self._gram_index.setdefault(gram, []).append(value)
+        # value -> [(neighbour, similarity)] with similarity >= threshold,
+        # sorted by descending similarity.  The value itself is included
+        # with similarity 1.0 so lookups need no special case.
+        self._neighbours: dict[str, list[tuple[str, float]]] = {}
+        if precompute:
+            for value in self._values:
+                self._neighbours[value] = self._compute_neighbours(value)
+
+    # ------------------------------------------------------------------
+
+    def _candidates(self, value: str) -> set[str]:
+        out: set[str] = set()
+        for gram in bigrams(value):
+            out.update(self._gram_index.get(gram, ()))
+        return out
+
+    def _compute_neighbours(self, value: str) -> list[tuple[str, float]]:
+        scored: list[tuple[str, float]] = []
+        for candidate in self._candidates(value):
+            similarity = (
+                1.0 if candidate == value
+                else jaro_winkler_similarity(value, candidate)
+            )
+            if similarity >= self.threshold:
+                scored.append((candidate, similarity))
+        if value in self._values and all(v != value for v, _ in scored):
+            scored.append((value, 1.0))
+        scored.sort(key=lambda pair: (-pair[1], pair[0]))
+        return scored
+
+    # ------------------------------------------------------------------
+
+    def matches(self, value: str) -> list[tuple[str, float]]:
+        """Indexed values similar to ``value`` with their similarities.
+
+        Known values answer from the pre-computed lists; unseen values are
+        resolved against bigram-sharing candidates and the result is
+        cached into the index for future queries (the paper's Section 7
+        behaviour).
+        """
+        value = value.lower()
+        cached = self._neighbours.get(value)
+        if cached is None:
+            cached = self._compute_neighbours(value)
+            self._neighbours[value] = cached
+        return list(cached)
+
+    def __contains__(self, value: str) -> bool:
+        return value.lower() in self._neighbours
+
+    def n_values(self) -> int:
+        """Number of distinct values in the indexed universe."""
+        return len(self._values)
+
+    def n_precomputed_pairs(self) -> int:
+        """Total stored (value, neighbour) similarity entries."""
+        return sum(len(v) for v in self._neighbours.values())

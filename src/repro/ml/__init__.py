@@ -1,0 +1,26 @@
+"""From-scratch classifiers for the supervised ("Magellan-style") baseline.
+
+The paper's Table 4 baseline averages a SVM, a random forest, a logistic
+regression, and a decision tree from the Magellan entity-matching system.
+Magellan itself is not redistributable here, so this package implements
+the same four classifier families on numpy — enough to reproduce the
+qualitative result: good quality when trained on the evaluated role pair,
+poor when trained across role pairs, and a large variance between the
+regimes.
+"""
+
+from repro.ml.base import Classifier, StandardScaler, train_test_split
+from repro.ml.logistic import LogisticRegression
+from repro.ml.tree import DecisionTree
+from repro.ml.forest import RandomForest
+from repro.ml.svm import LinearSVM
+
+__all__ = [
+    "Classifier",
+    "StandardScaler",
+    "train_test_split",
+    "LogisticRegression",
+    "DecisionTree",
+    "RandomForest",
+    "LinearSVM",
+]

@@ -1,0 +1,81 @@
+"""Classifier protocol and small ML utilities (scaling, splitting)."""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+__all__ = ["Classifier", "StandardScaler", "train_test_split"]
+
+
+class Classifier(Protocol):
+    """Binary classifier over float feature matrices.
+
+    ``fit`` takes ``X`` of shape (n, d) and ``y`` of 0/1 labels;
+    ``predict`` returns 0/1 labels for new rows.
+    """
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "Classifier": ...
+
+    def predict(self, X: np.ndarray) -> np.ndarray: ...
+
+
+def _validate_xy(X: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y, dtype=float).ravel()
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-D, got shape {X.shape}")
+    if len(X) != len(y):
+        raise ValueError(f"X and y length mismatch: {len(X)} vs {len(y)}")
+    if len(X) == 0:
+        raise ValueError("cannot fit on empty data")
+    if not np.isin(np.unique(y), (0.0, 1.0)).all():
+        raise ValueError("labels must be 0/1")
+    return X, y
+
+
+class StandardScaler:
+    """Column-wise standardisation to zero mean / unit variance.
+
+    Constant columns are left centred but unscaled (variance floor).
+    """
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        X = np.asarray(X, dtype=float)
+        self.mean_ = X.mean(axis=0)
+        scale = X.std(axis=0)
+        scale[scale < 1e-12] = 1.0
+        self.scale_ = scale
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("scaler is not fitted")
+        return (np.asarray(X, dtype=float) - self.mean_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+
+def train_test_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    test_fraction: float = 0.3,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffled split into (X_train, X_test, y_train, y_test)."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must be in (0,1), got {test_fraction}")
+    X, y = _validate_xy(X, y)
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(X))
+    cut = int(round(len(X) * (1.0 - test_fraction)))
+    if cut == 0 or cut == len(X):
+        raise ValueError("split leaves one side empty; need more data")
+    train, test = order[:cut], order[cut:]
+    return X[train], X[test], y[train], y[test]

@@ -1,0 +1,59 @@
+"""Random forest: bagged decision trees with per-split feature sampling."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.ml.base import _validate_xy
+from repro.ml.tree import DecisionTree
+
+__all__ = ["RandomForest"]
+
+
+class RandomForest:
+    """Majority-vote ensemble of CART trees on bootstrap samples."""
+
+    def __init__(
+        self,
+        n_trees: int = 15,
+        max_depth: int = 10,
+        min_samples_leaf: int = 3,
+        seed: int = 0,
+    ) -> None:
+        if n_trees <= 0:
+            raise ValueError(f"n_trees must be positive, got {n_trees}")
+        self.n_trees = n_trees
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.seed = seed
+        self.trees_: list[DecisionTree] = []
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForest":
+        X, y = _validate_xy(X, y)
+        n, d = X.shape
+        rng = np.random.default_rng(self.seed)
+        max_features = max(1, int(math.sqrt(d)))
+        self.trees_ = []
+        for t in range(self.n_trees):
+            sample = rng.integers(0, n, size=n)
+            tree = DecisionTree(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=max_features,
+                seed=self.seed * 1000 + t,
+            )
+            tree.fit(X[sample], y[sample])
+            self.trees_.append(tree)
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Mean of member-tree probabilities."""
+        if not self.trees_:
+            raise RuntimeError("classifier is not fitted")
+        X = np.asarray(X, dtype=float)
+        return np.mean([tree.predict_proba(X) for tree in self.trees_], axis=0)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(X) >= 0.5).astype(int)

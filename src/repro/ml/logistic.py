@@ -1,0 +1,65 @@
+"""Logistic regression via full-batch gradient descent with L2 penalty."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import _validate_xy
+
+__all__ = ["LogisticRegression"]
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    # Clipping keeps exp() finite for extreme margins.
+    return 1.0 / (1.0 + np.exp(-np.clip(z, -35.0, 35.0)))
+
+
+class LogisticRegression:
+    """Binary logistic regression.
+
+    Plain gradient descent is adequate here: the feature spaces are tiny
+    (≈10 similarity features) and datasets are tens of thousands of pairs.
+    """
+
+    def __init__(
+        self,
+        learning_rate: float = 0.5,
+        n_iterations: int = 300,
+        l2: float = 1e-4,
+        threshold: float = 0.5,
+    ) -> None:
+        if learning_rate <= 0 or n_iterations <= 0 or l2 < 0:
+            raise ValueError("invalid hyper-parameters")
+        self.learning_rate = learning_rate
+        self.n_iterations = n_iterations
+        self.l2 = l2
+        self.threshold = threshold
+        self.weights_: np.ndarray | None = None
+        self.bias_: float = 0.0
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LogisticRegression":
+        X, y = _validate_xy(X, y)
+        n, d = X.shape
+        weights = np.zeros(d)
+        bias = 0.0
+        for _ in range(self.n_iterations):
+            margin = X @ weights + bias
+            probs = _sigmoid(margin)
+            error = probs - y
+            grad_w = X.T @ error / n + self.l2 * weights
+            grad_b = float(error.mean())
+            weights -= self.learning_rate * grad_w
+            bias -= self.learning_rate * grad_b
+        self.weights_ = weights
+        self.bias_ = bias
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """P(match) per row."""
+        if self.weights_ is None:
+            raise RuntimeError("classifier is not fitted")
+        X = np.asarray(X, dtype=float)
+        return _sigmoid(X @ self.weights_ + self.bias_)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(X) >= self.threshold).astype(int)

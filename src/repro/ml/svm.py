@@ -1,0 +1,62 @@
+"""Linear SVM trained with the Pegasos stochastic sub-gradient method."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import _validate_xy
+
+__all__ = ["LinearSVM"]
+
+
+class LinearSVM:
+    """Hinge-loss linear classifier (primal Pegasos).
+
+    Labels are converted to ±1 internally; ``lambda_reg`` is the usual
+    Pegasos regularisation strength (smaller = wider margins allowed).
+    """
+
+    def __init__(
+        self,
+        lambda_reg: float = 1e-3,
+        n_epochs: int = 20,
+        seed: int = 0,
+    ) -> None:
+        if lambda_reg <= 0 or n_epochs <= 0:
+            raise ValueError("invalid hyper-parameters")
+        self.lambda_reg = lambda_reg
+        self.n_epochs = n_epochs
+        self.seed = seed
+        self.weights_: np.ndarray | None = None
+        self.bias_: float = 0.0
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LinearSVM":
+        X, y = _validate_xy(X, y)
+        n, d = X.shape
+        signs = np.where(y > 0.5, 1.0, -1.0)
+        rng = np.random.default_rng(self.seed)
+        weights = np.zeros(d)
+        bias = 0.0
+        step = 0
+        for _ in range(self.n_epochs):
+            for i in rng.permutation(n):
+                step += 1
+                eta = 1.0 / (self.lambda_reg * step)
+                margin = signs[i] * (X[i] @ weights + bias)
+                weights *= 1.0 - eta * self.lambda_reg
+                if margin < 1.0:
+                    weights += eta * signs[i] * X[i]
+                    bias += eta * signs[i]
+        self.weights_ = weights
+        self.bias_ = bias
+        return self
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """Signed margins (positive = match side)."""
+        if self.weights_ is None:
+            raise RuntimeError("classifier is not fitted")
+        X = np.asarray(X, dtype=float)
+        return X @ self.weights_ + self.bias_
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return (self.decision_function(X) >= 0.0).astype(int)

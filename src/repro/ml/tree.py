@@ -1,0 +1,135 @@
+"""CART decision tree (Gini impurity, axis-aligned splits)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml.base import _validate_xy
+
+__all__ = ["DecisionTree"]
+
+
+@dataclass
+class _Node:
+    """Internal or leaf node of the fitted tree."""
+
+    prediction: float
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _gini(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    p = counts / total
+    return float(1.0 - (p * p).sum())
+
+
+class DecisionTree:
+    """Greedy CART with depth / leaf-size stopping.
+
+    ``max_features`` (if set) samples a feature subset per split, which
+    is what the random forest uses for decorrelation.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 8,
+        min_samples_leaf: int = 5,
+        max_features: int | None = None,
+        seed: int = 0,
+    ) -> None:
+        if max_depth <= 0 or min_samples_leaf <= 0:
+            raise ValueError("invalid hyper-parameters")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self._rng = np.random.default_rng(seed)
+        self.root_: _Node | None = None
+
+    # ------------------------------------------------------------------
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTree":
+        X, y = _validate_xy(X, y)
+        self.root_ = self._grow(X, y, depth=0)
+        return self
+
+    def _grow(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        prediction = float(y.mean())
+        node = _Node(prediction=prediction)
+        if (
+            depth >= self.max_depth
+            or len(y) < 2 * self.min_samples_leaf
+            or prediction in (0.0, 1.0)
+        ):
+            return node
+        split = self._best_split(X, y)
+        if split is None:
+            return node
+        feature, threshold = split
+        mask = X[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(X[mask], y[mask], depth + 1)
+        node.right = self._grow(X[~mask], y[~mask], depth + 1)
+        return node
+
+    def _best_split(self, X: np.ndarray, y: np.ndarray) -> tuple[int, float] | None:
+        n, d = X.shape
+        features = np.arange(d)
+        if self.max_features is not None and self.max_features < d:
+            features = self._rng.choice(d, size=self.max_features, replace=False)
+        best: tuple[float, int, float] | None = None
+        parent_counts = np.array([np.sum(y == 0), np.sum(y == 1)], dtype=float)
+        parent_gini = _gini(parent_counts)
+        for feature in features:
+            order = np.argsort(X[:, feature], kind="stable")
+            xs, ys = X[order, feature], y[order]
+            left_counts = np.zeros(2)
+            right_counts = parent_counts.copy()
+            for i in range(n - 1):
+                label = int(ys[i])
+                left_counts[label] += 1
+                right_counts[label] -= 1
+                if xs[i] == xs[i + 1]:
+                    continue
+                n_left = i + 1
+                n_right = n - n_left
+                if n_left < self.min_samples_leaf or n_right < self.min_samples_leaf:
+                    continue
+                impurity = (
+                    n_left * _gini(left_counts) + n_right * _gini(right_counts)
+                ) / n
+                gain = parent_gini - impurity
+                if gain > 1e-9 and (best is None or gain > best[0]):
+                    best = (gain, int(feature), float((xs[i] + xs[i + 1]) / 2.0))
+        if best is None:
+            return None
+        return best[1], best[2]
+
+    # ------------------------------------------------------------------
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """P(match) per row (leaf class frequency)."""
+        if self.root_ is None:
+            raise RuntimeError("classifier is not fitted")
+        X = np.asarray(X, dtype=float)
+        out = np.empty(len(X))
+        for i, row in enumerate(X):
+            node = self.root_
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right  # type: ignore[assignment]
+            out[i] = node.prediction
+        return out
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(X) >= 0.5).astype(int)

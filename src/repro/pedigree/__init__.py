@@ -1,0 +1,33 @@
+"""Pedigree graph G_P: entities with family relationships, plus extraction
+and visualisation of family pedigrees (paper Sections 5 and 8).
+
+The pedigree graph's nodes are resolved entities carrying the merged QID
+values of their records; edges carry the relationships *motherOf*,
+*fatherOf*, *spouseOf*, and *childOf* derived from the certificate
+structure.  ``extract_pedigree`` returns the g-hop neighbourhood of an
+entity (default g=2: grandparents to grandchildren), and the visualiser
+renders it as an ASCII tree or Graphviz DOT.
+"""
+
+from repro.pedigree.graph import (
+    PedigreeEntity,
+    PedigreeGraph,
+    build_pedigree_graph,
+)
+from repro.pedigree.extraction import Pedigree, extract_pedigree
+from repro.pedigree.visualize import render_ascii_tree, render_dot
+from repro.pedigree.gedcom import render_gedcom
+from repro.pedigree.serialize import load_pedigree_graph, save_pedigree_graph
+
+__all__ = [
+    "PedigreeEntity",
+    "PedigreeGraph",
+    "build_pedigree_graph",
+    "Pedigree",
+    "extract_pedigree",
+    "render_ascii_tree",
+    "render_dot",
+    "render_gedcom",
+    "save_pedigree_graph",
+    "load_pedigree_graph",
+]

@@ -1,0 +1,118 @@
+"""GEDCOM 5.5.1 export of extracted pedigrees.
+
+GEDCOM is the lingua franca of genealogy software; exporting SNAPS
+pedigrees lets the Genetics Genealogy Team's output flow into standard
+pedigree-drawing and analysis tools.  The export covers individuals
+(INDI: name, sex, event-year span) and families (FAM: husband, wife,
+children) reconstructed from the pedigree's spouse and parent edges.
+"""
+
+from __future__ import annotations
+
+from repro.pedigree.extraction import Pedigree
+from repro.pedigree.graph import FATHER_OF, MOTHER_OF, SPOUSE_OF
+
+__all__ = ["render_gedcom"]
+
+
+def _families(pedigree: Pedigree) -> list[tuple[int | None, int | None, list[int]]]:
+    """Group the pedigree's edges into (husband, wife, children) families.
+
+    A family is keyed by its parent couple; single parents form families
+    with the other spouse unknown.
+    """
+    spouse_pairs: set[tuple[int, int]] = set()
+    children_of: dict[int, set[int]] = {}
+    father_of_child: dict[int, int] = {}
+    mother_of_child: dict[int, int] = {}
+    for source, rel, target in pedigree.edges:
+        if rel == SPOUSE_OF:
+            spouse_pairs.add((min(source, target), max(source, target)))
+        elif rel == FATHER_OF:
+            father_of_child[target] = source
+            children_of.setdefault(source, set()).add(target)
+        elif rel == MOTHER_OF:
+            mother_of_child[target] = source
+            children_of.setdefault(source, set()).add(target)
+    families: dict[tuple[int | None, int | None], list[int]] = {}
+    seen_children: set[int] = set()
+    for child in sorted(set(father_of_child) | set(mother_of_child)):
+        father = father_of_child.get(child)
+        mother = mother_of_child.get(child)
+        families.setdefault((father, mother), []).append(child)
+        seen_children.add(child)
+    # Childless couples still form families.
+    for a, b in sorted(spouse_pairs):
+        ea = pedigree.entities.get(a)
+        eb = pedigree.entities.get(b)
+        if ea is None or eb is None:
+            continue
+        husband = a if (ea.gender or "m") == "m" else b
+        wife = b if husband == a else a
+        if (husband, wife) not in families:
+            families.setdefault((husband, wife), [])
+    out = []
+    for (father, mother), children in sorted(
+        families.items(), key=lambda kv: (kv[0][0] or 0, kv[0][1] or 0)
+    ):
+        out.append((father, mother, sorted(children)))
+    return out
+
+
+def _gedcom_name(entity) -> str:
+    first = (entity.first("first_name") or "Unknown").title()
+    surname = (entity.first("surname") or "Unknown").title()
+    return f"{first} /{surname}/"
+
+
+def render_gedcom(pedigree: Pedigree, source_name: str = "SNAPS") -> str:
+    """GEDCOM 5.5.1 text for ``pedigree``.
+
+    Entity ids become ``@I<n>@`` individual ids; families get ``@F<n>@``.
+    Years are exported as the entity's earliest event year (an
+    approximation — certificates record events, not birth dates, except
+    for Bb records).
+    """
+    lines = [
+        "0 HEAD",
+        "1 SOUR " + source_name,
+        "1 GEDC",
+        "2 VERS 5.5.1",
+        "2 FORM LINEAGE-LINKED",
+        "1 CHAR UTF-8",
+    ]
+    families = _families(pedigree)
+    # Family memberships per individual.
+    fams_of: dict[int, list[str]] = {}
+    famc_of: dict[int, str] = {}
+    for index, (father, mother, children) in enumerate(families, start=1):
+        fam_id = f"@F{index}@"
+        for parent in (father, mother):
+            if parent is not None:
+                fams_of.setdefault(parent, []).append(fam_id)
+        for child in children:
+            famc_of[child] = fam_id
+    for entity_id in sorted(pedigree.entities):
+        entity = pedigree.entities[entity_id]
+        lines.append(f"0 @I{entity_id}@ INDI")
+        lines.append(f"1 NAME {_gedcom_name(entity)}")
+        if entity.gender in ("m", "f"):
+            lines.append(f"1 SEX {entity.gender.upper()}")
+        span = entity.year_range()
+        if span is not None:
+            lines.append("1 BIRT")
+            lines.append(f"2 DATE ABT {span[0]}")
+        for fam_id in fams_of.get(entity_id, []):
+            lines.append(f"1 FAMS {fam_id}")
+        if entity_id in famc_of:
+            lines.append(f"1 FAMC {famc_of[entity_id]}")
+    for index, (father, mother, children) in enumerate(families, start=1):
+        lines.append(f"0 @F{index}@ FAM")
+        if father is not None:
+            lines.append(f"1 HUSB @I{father}@")
+        if mother is not None:
+            lines.append(f"1 WIFE @I{mother}@")
+        for child in children:
+            lines.append(f"1 CHIL @I{child}@")
+    lines.append("0 TRLR")
+    return "\n".join(lines)

@@ -1,0 +1,97 @@
+"""Pedigree-graph persistence: JSON save/load.
+
+The offline phase (ER + graph building) runs once on a server; the online
+query service loads the resulting pedigree graph at startup.  This module
+provides that hand-off: a versioned JSON format holding all entities with
+their merged QID values, roles, and the typed relationship edges.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.data.roles import Role
+from repro.pedigree.graph import (
+    FATHER_OF,
+    MOTHER_OF,
+    SPOUSE_OF,
+    PedigreeEntity,
+    PedigreeGraph,
+)
+
+__all__ = ["save_pedigree_graph", "load_pedigree_graph"]
+
+_FORMAT_VERSION = 1
+# Only canonical relationships are persisted; Cof and the reverse Sof
+# direction are re-derived by add_edge on load.
+_CANONICAL_RELS = (MOTHER_OF, FATHER_OF, SPOUSE_OF)
+
+
+def save_pedigree_graph(graph: PedigreeGraph, path: str | Path) -> Path:
+    """Write ``graph`` to ``path`` as JSON; returns the path written."""
+    path = Path(path)
+    entities = []
+    for entity in sorted(graph, key=lambda e: e.entity_id):
+        entities.append(
+            {
+                "id": entity.entity_id,
+                "records": list(entity.record_ids),
+                "values": {k: list(v) for k, v in entity.values.items()},
+                "gender": entity.gender,
+                "roles": [role.value for role in entity.roles],
+            }
+        )
+    edges = []
+    seen: set[tuple[int, str, int]] = set()
+    for entity in graph:
+        for rel in _CANONICAL_RELS:
+            for target in graph.neighbours(entity.entity_id, rel):
+                if rel == SPOUSE_OF:
+                    key = (min(entity.entity_id, target), rel,
+                           max(entity.entity_id, target))
+                else:
+                    key = (entity.entity_id, rel, target)
+                if key not in seen:
+                    seen.add(key)
+                    edges.append(list(key))
+    payload = {
+        "format": "snaps-pedigree-graph",
+        "version": _FORMAT_VERSION,
+        "entities": entities,
+        "edges": edges,
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        json.dump(payload, handle)
+    return path
+
+
+def load_pedigree_graph(path: str | Path) -> PedigreeGraph:
+    """Load a graph previously written by :func:`save_pedigree_graph`.
+
+    Raises ``ValueError`` on format/version mismatch.
+    """
+    path = Path(path)
+    with path.open() as handle:
+        payload = json.load(handle)
+    if payload.get("format") != "snaps-pedigree-graph":
+        raise ValueError(f"{path} is not a pedigree-graph file")
+    if payload.get("version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported pedigree-graph version {payload.get('version')}"
+        )
+    graph = PedigreeGraph()
+    for blob in payload["entities"]:
+        graph.add_entity(
+            PedigreeEntity(
+                entity_id=blob["id"],
+                record_ids=tuple(blob["records"]),
+                values={k: tuple(v) for k, v in blob["values"].items()},
+                gender=blob.get("gender"),
+                roles=tuple(Role(v) for v in blob.get("roles", [])),
+            )
+        )
+    for source, rel, target in payload["edges"]:
+        graph.add_edge(source, rel, target)
+    return graph

@@ -1,0 +1,12 @@
+"""Online query processing and ranking (paper Section 7).
+
+``QueryEngine`` wraps a pedigree graph with the keyword and similarity
+indices and answers :class:`Query` objects — mandatory first name and
+surname, optional record type, gender, year range, and parish — with a
+ranked list of matching entities, each carrying per-attribute match
+scores and an overall percentage like the paper's Figure 6 result table.
+"""
+
+from repro.query.engine import Query, QueryEngine, RankedMatch
+
+__all__ = ["Query", "QueryEngine", "RankedMatch"]

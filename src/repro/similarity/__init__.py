@@ -1,0 +1,47 @@
+"""Approximate string, numeric, and geographic comparison functions.
+
+This package is the comparison substrate of SNAPS (paper Section 4.1): all
+similarities are normalised to [0, 1] where 1 means identical and 0 means
+no resemblance.  The choice of comparator per attribute follows the paper:
+Jaro-Winkler for personal names, Jaccard for other textual strings,
+maximum-absolute-difference for numeric values (years), and geodesic
+distance for geocoded addresses.
+"""
+
+from repro.similarity.levenshtein import (
+    damerau_levenshtein_distance,
+    levenshtein_distance,
+    levenshtein_similarity,
+)
+from repro.similarity.jaro import jaro_similarity, jaro_winkler_similarity
+from repro.similarity.qgram import bigrams, qgram_similarity, qgrams
+from repro.similarity.jaccard import dice_similarity, jaccard_similarity, token_jaccard
+from repro.similarity.monge_elkan import monge_elkan_similarity
+from repro.similarity.phonetic import nysiis, soundex
+from repro.similarity.numeric import gaussian_year_similarity, max_abs_diff_similarity
+from repro.similarity.geo import GeoPoint, geo_similarity, haversine_km
+from repro.similarity.registry import ComparatorRegistry, default_registry
+
+__all__ = [
+    "levenshtein_distance",
+    "damerau_levenshtein_distance",
+    "levenshtein_similarity",
+    "jaro_similarity",
+    "jaro_winkler_similarity",
+    "qgrams",
+    "bigrams",
+    "qgram_similarity",
+    "jaccard_similarity",
+    "token_jaccard",
+    "dice_similarity",
+    "soundex",
+    "nysiis",
+    "monge_elkan_similarity",
+    "max_abs_diff_similarity",
+    "gaussian_year_similarity",
+    "GeoPoint",
+    "haversine_km",
+    "geo_similarity",
+    "ComparatorRegistry",
+    "default_registry",
+]

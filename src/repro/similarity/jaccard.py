@@ -1,0 +1,56 @@
+"""Set-overlap similarities: Jaccard and Dice coefficients.
+
+The paper uses the Jaccard coefficient for general textual strings
+(addresses, occupations, causes of death) where token overlap matters more
+than character order.
+"""
+
+from __future__ import annotations
+
+from typing import Collection, Hashable
+
+__all__ = ["jaccard_similarity", "token_jaccard", "dice_similarity"]
+
+
+def jaccard_similarity(a: Collection[Hashable], b: Collection[Hashable]) -> float:
+    """Jaccard coefficient |a ∩ b| / |a ∪ b| of two collections, in [0, 1].
+
+    Two empty collections compare as identical (1.0).
+
+    >>> jaccard_similarity({1, 2}, {2, 3})
+    0.3333333333333333
+    """
+    set_a, set_b = set(a), set(b)
+    if not set_a and not set_b:
+        return 1.0
+    union = len(set_a | set_b)
+    if union == 0:
+        return 1.0
+    return len(set_a & set_b) / union
+
+
+def token_jaccard(a: str, b: str) -> float:
+    """Jaccard coefficient over whitespace-separated lowercase tokens.
+
+    This is the comparator used for multi-word strings such as street
+    addresses ("high street kilmarnock") and occupations.
+
+    >>> token_jaccard("high street", "high road")
+    0.3333333333333333
+    """
+    return jaccard_similarity(a.lower().split(), b.lower().split())
+
+
+def dice_similarity(a: Collection[Hashable], b: Collection[Hashable]) -> float:
+    """Sørensen-Dice coefficient 2|a ∩ b| / (|a| + |b|), in [0, 1].
+
+    >>> dice_similarity({1, 2}, {2, 3})
+    0.5
+    """
+    set_a, set_b = set(a), set(b)
+    if not set_a and not set_b:
+        return 1.0
+    denom = len(set_a) + len(set_b)
+    if denom == 0:
+        return 1.0
+    return 2.0 * len(set_a & set_b) / denom

@@ -1,0 +1,101 @@
+"""Edit-distance comparators.
+
+``levenshtein_distance`` is the classic dynamic-programming algorithm with
+two-row memory; ``damerau_levenshtein_distance`` additionally counts
+adjacent transpositions, which matter for transcription errors in
+historical records ("jonh" vs "john").
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "levenshtein_distance",
+    "damerau_levenshtein_distance",
+    "levenshtein_similarity",
+]
+
+
+def levenshtein_distance(a: str, b: str) -> int:
+    """Minimum number of insert/delete/substitute edits turning ``a`` into ``b``.
+
+    >>> levenshtein_distance("kitten", "sitting")
+    3
+    """
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    if len(a) > len(b):
+        a, b = b, a
+    previous = list(range(len(a) + 1))
+    for j, cb in enumerate(b, start=1):
+        current = [j]
+        for i, ca in enumerate(a, start=1):
+            cost = 0 if ca == cb else 1
+            current.append(
+                min(
+                    previous[i] + 1,      # deletion
+                    current[i - 1] + 1,   # insertion
+                    previous[i - 1] + cost,  # substitution
+                )
+            )
+        previous = current
+    return previous[-1]
+
+
+def damerau_levenshtein_distance(a: str, b: str) -> int:
+    """Edit distance counting adjacent transpositions as one edit.
+
+    This is the restricted (optimal string alignment) variant: a substring
+    may not be edited after being transposed.
+
+    >>> damerau_levenshtein_distance("ca", "ac")
+    1
+    """
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    rows = len(a) + 1
+    cols = len(b) + 1
+    dist = [[0] * cols for _ in range(rows)]
+    for i in range(rows):
+        dist[i][0] = i
+    for j in range(cols):
+        dist[0][j] = j
+    for i in range(1, rows):
+        for j in range(1, cols):
+            cost = 0 if a[i - 1] == b[j - 1] else 1
+            dist[i][j] = min(
+                dist[i - 1][j] + 1,
+                dist[i][j - 1] + 1,
+                dist[i - 1][j - 1] + cost,
+            )
+            if (
+                i > 1
+                and j > 1
+                and a[i - 1] == b[j - 2]
+                and a[i - 2] == b[j - 1]
+            ):
+                dist[i][j] = min(dist[i][j], dist[i - 2][j - 2] + 1)
+    return dist[-1][-1]
+
+
+def levenshtein_similarity(a: str, b: str) -> float:
+    """Edit distance normalised to [0, 1]: ``1 - dist / max(len)``.
+
+    Both strings empty compares as identical (1.0).
+
+    >>> levenshtein_similarity("smith", "smith")
+    1.0
+    """
+    if a == b:
+        return 1.0
+    longest = max(len(a), len(b))
+    if longest == 0:
+        return 1.0
+    return 1.0 - levenshtein_distance(a, b) / longest

@@ -1,0 +1,48 @@
+"""Monge-Elkan similarity for multi-token names.
+
+Compound names ("mary ann" vs "ann mary", "margaret kate" vs "margaret")
+compare poorly under whole-string Jaro-Winkler because token order and
+count dominate.  Monge-Elkan scores each token of one string against its
+best-matching token of the other and averages — the standard remedy.  The
+symmetric variant averages both directions so the function stays
+symmetric like every other comparator in the library.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.similarity.jaro import jaro_winkler_similarity
+
+__all__ = ["monge_elkan_similarity"]
+
+
+def _directed(tokens_a: list[str], tokens_b: list[str],
+              inner: Callable[[str, str], float]) -> float:
+    total = 0.0
+    for token_a in tokens_a:
+        total += max(inner(token_a, token_b) for token_b in tokens_b)
+    return total / len(tokens_a)
+
+
+def monge_elkan_similarity(
+    a: str,
+    b: str,
+    inner: Callable[[str, str], float] = jaro_winkler_similarity,
+) -> float:
+    """Symmetric Monge-Elkan similarity in [0, 1].
+
+    >>> monge_elkan_similarity("mary ann", "ann mary")
+    1.0
+    >>> monge_elkan_similarity("", "")
+    1.0
+    """
+    tokens_a = a.split()
+    tokens_b = b.split()
+    if not tokens_a and not tokens_b:
+        return 1.0
+    if not tokens_a or not tokens_b:
+        return 0.0
+    forward = _directed(tokens_a, tokens_b, inner)
+    backward = _directed(tokens_b, tokens_a, inner)
+    return (forward + backward) / 2.0

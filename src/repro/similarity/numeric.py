@@ -1,0 +1,42 @@
+"""Numeric comparators for year and age attributes.
+
+The paper uses the maximum-absolute-difference comparator for numerical
+QIDs: similarity decays linearly from 1 at equality to 0 at a configured
+maximum difference.  A Gaussian variant is provided for softer decay in
+query scoring.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["max_abs_diff_similarity", "gaussian_year_similarity"]
+
+
+def max_abs_diff_similarity(a: float, b: float, max_diff: float) -> float:
+    """Linear similarity: 1 at ``a == b``, 0 at ``|a - b| >= max_diff``.
+
+    >>> max_abs_diff_similarity(1880, 1882, max_diff=4)
+    0.5
+    """
+    if max_diff <= 0:
+        raise ValueError(f"max_diff must be positive, got {max_diff}")
+    diff = abs(a - b)
+    if diff >= max_diff:
+        return 0.0
+    return 1.0 - diff / max_diff
+
+
+def gaussian_year_similarity(a: float, b: float, sigma: float = 2.0) -> float:
+    """Gaussian-kernel similarity ``exp(-(a-b)^2 / (2 sigma^2))`` in (0, 1].
+
+    Softer than the linear comparator: small year differences (common when
+    users guess a birth year) are penalised gently, large ones sharply.
+
+    >>> gaussian_year_similarity(1880, 1880)
+    1.0
+    """
+    if sigma <= 0:
+        raise ValueError(f"sigma must be positive, got {sigma}")
+    diff = a - b
+    return math.exp(-(diff * diff) / (2.0 * sigma * sigma))

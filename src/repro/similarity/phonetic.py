@@ -1,0 +1,120 @@
+"""Phonetic encodings: Soundex and NYSIIS.
+
+Used by the phonetic blocking baseline and by the anonymiser's name
+clustering — names that *sound* the same land in the same block even when
+spelled quite differently ("macdonald"/"mcdonald").
+"""
+
+from __future__ import annotations
+
+__all__ = ["soundex", "nysiis"]
+
+_SOUNDEX_CODES = {
+    "b": "1", "f": "1", "p": "1", "v": "1",
+    "c": "2", "g": "2", "j": "2", "k": "2", "q": "2",
+    "s": "2", "x": "2", "z": "2",
+    "d": "3", "t": "3",
+    "l": "4",
+    "m": "5", "n": "5",
+    "r": "6",
+}
+
+
+def soundex(value: str, length: int = 4) -> str:
+    """American Soundex code of ``value`` (default 4 characters).
+
+    Empty or fully non-alphabetic input encodes to ``"0" * length`` so that
+    blocking on the code never crashes on dirty data.
+
+    >>> soundex("robert")
+    'R163'
+    >>> soundex("rupert")
+    'R163'
+    """
+    letters = [c for c in value.lower() if c.isalpha()]
+    if not letters:
+        return "0" * length
+    first = letters[0]
+    encoded = [first.upper()]
+    prev_code = _SOUNDEX_CODES.get(first, "")
+    for char in letters[1:]:
+        code = _SOUNDEX_CODES.get(char, "")
+        if char in "hw":
+            # h and w are transparent: they do not reset the previous code.
+            continue
+        if code and code != prev_code:
+            encoded.append(code)
+            if len(encoded) == length:
+                break
+        prev_code = code
+    return "".join(encoded).ljust(length, "0")
+
+
+def nysiis(value: str) -> str:
+    """NYSIIS phonetic code (New York State Identification and Intelligence
+    System), a finer-grained alternative to Soundex for Anglo names.
+
+    >>> nysiis("macdonald") == nysiis("mcdonald")
+    True
+    """
+    word = "".join(c for c in value.lower() if c.isalpha())
+    if not word:
+        return ""
+    # Initial-letter transformations.
+    for old, new in (
+        ("mac", "mcc"), ("kn", "nn"), ("k", "c"),
+        ("ph", "ff"), ("pf", "ff"), ("sch", "sss"),
+    ):
+        if word.startswith(old):
+            word = new + word[len(old):]
+            break
+    # Final-letter transformations.
+    for old, new in (("ee", "y"), ("ie", "y"), ("dt", "d"), ("rt", "d"),
+                     ("rd", "d"), ("nt", "d"), ("nd", "d")):
+        if word.endswith(old):
+            word = word[: -len(old)] + new
+            break
+    key = [word[0]]
+    i = 1
+    while i < len(word):
+        chunk = word[i:]
+        if chunk.startswith("ev"):
+            repl, step = "af", 2
+        elif word[i] in "aeiou":
+            repl, step = "a", 1
+        elif chunk.startswith("q"):
+            repl, step = "g", 1
+        elif chunk.startswith("z"):
+            repl, step = "s", 1
+        elif chunk.startswith("m"):
+            repl, step = "n", 1
+        elif chunk.startswith("kn"):
+            repl, step = "nn", 2
+        elif chunk.startswith("k"):
+            repl, step = "c", 1
+        elif chunk.startswith("sch"):
+            repl, step = "sss", 3
+        elif chunk.startswith("ph"):
+            repl, step = "ff", 2
+        elif word[i] == "h" and (
+            word[i - 1] not in "aeiou"
+            or (i + 1 < len(word) and word[i + 1] not in "aeiou")
+        ):
+            repl, step = word[i - 1], 1
+        elif word[i] == "w" and word[i - 1] in "aeiou":
+            repl, step = "a", 1
+        else:
+            repl, step = word[i], 1
+        for char in repl:
+            if char != key[-1]:
+                key.append(char)
+        i += step
+    # Trim trailing s / ay / a.
+    out = "".join(key)
+    if out.endswith("s"):
+        out = out[:-1]
+    if out.endswith("ay"):
+        out = out[:-2] + "y"
+    if len(out) > 1 and out.endswith("a"):
+        out = out[:-1]
+    return out.upper()

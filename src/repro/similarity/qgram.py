@@ -1,0 +1,57 @@
+"""q-gram (character n-gram) extraction and overlap similarity.
+
+Bigrams (q=2) drive the similarity-aware index of Section 6: two strings
+are only candidate approximate matches if they share at least one bigram,
+which is how the pre-computation and the query-time fallback prune the
+comparison space.
+"""
+
+from __future__ import annotations
+
+__all__ = ["qgrams", "bigrams", "qgram_similarity"]
+
+
+def qgrams(value: str, q: int = 2, padded: bool = False) -> set[str]:
+    """Return the set of ``q``-length substrings of ``value``.
+
+    With ``padded=True`` the string is wrapped in ``q - 1`` sentinel
+    characters on each side so leading/trailing characters contribute full
+    weight.  Strings shorter than ``q`` (unpadded) yield the whole string
+    as a single gram so that short names still index somewhere.
+
+    >>> sorted(qgrams("anna"))
+    ['an', 'na', 'nn']
+    """
+    if q <= 0:
+        raise ValueError(f"q must be positive, got {q}")
+    if not value:
+        return set()
+    if padded:
+        pad = "#" * (q - 1)
+        value = f"{pad}{value}{pad}"
+    if len(value) < q:
+        return {value}
+    return {value[i : i + q] for i in range(len(value) - q + 1)}
+
+
+def bigrams(value: str) -> set[str]:
+    """Convenience wrapper: unpadded 2-grams of ``value``."""
+    return qgrams(value, q=2)
+
+
+def qgram_similarity(a: str, b: str, q: int = 2, padded: bool = False) -> float:
+    """Jaccard overlap of the two strings' q-gram sets, in [0, 1].
+
+    >>> qgram_similarity("anna", "anna")
+    1.0
+    """
+    if a == b:
+        return 1.0
+    grams_a = qgrams(a, q=q, padded=padded)
+    grams_b = qgrams(b, q=q, padded=padded)
+    if not grams_a and not grams_b:
+        return 1.0
+    if not grams_a or not grams_b:
+        return 0.0
+    union = len(grams_a | grams_b)
+    return len(grams_a & grams_b) / union

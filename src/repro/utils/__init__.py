@@ -1,0 +1,21 @@
+"""Shared utilities: deterministic RNG plumbing, timers, heaps, union-find.
+
+These are small, dependency-free building blocks used across the whole
+library.  Everything here is deliberately simple and heavily tested, since
+the ER pipeline's correctness rests on them.
+"""
+
+from repro.utils.rng import make_rng, spawn_rng
+from repro.utils.timer import Stopwatch, Timer
+from repro.utils.heaps import TopK, UpdatablePriorityQueue
+from repro.utils.union_find import UnionFind
+
+__all__ = [
+    "make_rng",
+    "spawn_rng",
+    "Stopwatch",
+    "Timer",
+    "TopK",
+    "UpdatablePriorityQueue",
+    "UnionFind",
+]

@@ -1,0 +1,139 @@
+"""Heap-based containers: bounded top-k selection and an updatable
+priority queue.
+
+``TopK`` backs query ranking (Section 7): the accumulator may hold tens of
+thousands of scored entities but the interface shows only the best ``m``.
+
+``UpdatablePriorityQueue`` backs the iterative merging step (Section 4.2.6):
+node groups are processed by priority and their priorities change as other
+groups merge, which requires decrease/increase-key support.  It uses the
+standard lazy-invalidation technique over ``heapq``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Generic, Hashable, Iterator, TypeVar
+
+__all__ = ["TopK", "UpdatablePriorityQueue"]
+
+T = TypeVar("T")
+K = TypeVar("K", bound=Hashable)
+
+
+class TopK(Generic[T]):
+    """Keep the ``k`` items with the highest scores seen so far.
+
+    Ties are broken by insertion order (earlier item wins), which makes
+    ranked query output deterministic.
+
+    >>> top = TopK(2)
+    >>> for score, item in [(0.5, "a"), (0.9, "b"), (0.7, "c")]:
+    ...     top.push(score, item)
+    >>> [item for _, item in top.items()]
+    ['b', 'c']
+    """
+
+    def __init__(self, k: int) -> None:
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        self.k = k
+        self._heap: list[tuple[float, int, T]] = []
+        self._counter = itertools.count()
+
+    def push(self, score: float, item: T) -> None:
+        """Offer ``item`` with ``score``; keep it only if in the top k."""
+        # Negated counter => among equal scores, the earliest item is the
+        # largest entry and survives eviction.
+        entry = (score, -next(self._counter), item)
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, entry)
+        elif entry > self._heap[0]:
+            heapq.heapreplace(self._heap, entry)
+
+    def items(self) -> list[tuple[float, T]]:
+        """Return ``(score, item)`` pairs, best first."""
+        ordered = sorted(self._heap, reverse=True)
+        return [(score, item) for score, _, item in ordered]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class UpdatablePriorityQueue(Generic[K]):
+    """Max-priority queue with O(log n) update and removal by key.
+
+    Priorities are arbitrary comparable tuples; the queue pops the largest
+    priority first.  Updates are handled by lazy invalidation: superseded
+    entries stay in the heap but are skipped on pop.
+
+    >>> q = UpdatablePriorityQueue()
+    >>> q.push("a", (1, 0.5))
+    >>> q.push("b", (2, 0.1))
+    >>> q.push("a", (3, 0.9))   # update
+    >>> q.pop()
+    ('a', (3, 0.9))
+    >>> q.pop()
+    ('b', (2, 0.1))
+    """
+
+    _REMOVED = object()
+
+    def __init__(self) -> None:
+        self._heap: list[list[Any]] = []
+        self._entries: dict[K, list[Any]] = {}
+        self._counter = itertools.count()
+
+    def push(self, key: K, priority: Any) -> None:
+        """Insert ``key`` or update its priority."""
+        if key in self._entries:
+            self._entries[key][2] = self._REMOVED
+        entry = [_Neg(priority), next(self._counter), key]
+        self._entries[key] = entry
+        heapq.heappush(self._heap, entry)
+
+    def remove(self, key: K) -> None:
+        """Remove ``key`` if present (no-op otherwise)."""
+        entry = self._entries.pop(key, None)
+        if entry is not None:
+            entry[2] = self._REMOVED
+
+    def pop(self) -> tuple[K, Any]:
+        """Remove and return ``(key, priority)`` with the largest priority.
+
+        Raises ``KeyError`` when empty.
+        """
+        while self._heap:
+            neg, _, key = heapq.heappop(self._heap)
+            if key is not self._REMOVED:
+                del self._entries[key]
+                return key, neg.value
+        raise KeyError("pop from empty priority queue")
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def keys(self) -> Iterator[K]:
+        return iter(self._entries)
+
+
+class _Neg:
+    """Order-inverting wrapper so heapq's min-heap acts as a max-heap."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def __lt__(self, other: "_Neg") -> bool:
+        return other.value < self.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Neg) and other.value == self.value

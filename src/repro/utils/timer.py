@@ -1,0 +1,74 @@
+"""Wall-clock timing helpers used by the benchmark harness.
+
+``Timer`` is a context manager measuring one interval; ``Stopwatch``
+accumulates named intervals so the scalability bench (Table 6) can report
+per-phase times (graph generation, bootstrap, merging) from a single run.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Timer", "Stopwatch"]
+
+
+class Timer:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates elapsed time under named phases.
+
+    >>> sw = Stopwatch()
+    >>> with sw.phase("load"):
+    ...     pass
+    >>> "load" in sw.times
+    True
+    """
+
+    times: dict[str, float] = field(default_factory=dict)
+
+    def phase(self, name: str) -> "_Phase":
+        """Return a context manager adding its elapsed time to ``name``."""
+        return _Phase(self, name)
+
+    def total(self) -> float:
+        """Total seconds across all phases."""
+        return sum(self.times.values())
+
+    def add(self, name: str, seconds: float) -> None:
+        """Add ``seconds`` to phase ``name``."""
+        self.times[name] = self.times.get(name, 0.0) + seconds
+
+
+class _Phase:
+    def __init__(self, watch: Stopwatch, name: str) -> None:
+        self._watch = watch
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Phase":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._watch.add(self._name, time.perf_counter() - self._start)

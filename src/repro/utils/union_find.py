@@ -1,0 +1,84 @@
+"""Disjoint-set (union-find) with path compression and union by size.
+
+The entity store (a record cluster is an entity) and the transitive-closure
+step of the Attr-Sim baseline are both built on this structure.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Hashable, Iterable, Iterator, TypeVar
+
+__all__ = ["UnionFind"]
+
+K = TypeVar("K", bound=Hashable)
+
+
+class UnionFind(Generic[K]):
+    """Disjoint sets over hashable keys, created lazily on first use.
+
+    >>> uf = UnionFind()
+    >>> uf.union("a", "b")
+    True
+    >>> uf.connected("a", "b")
+    True
+    >>> uf.connected("a", "c")
+    False
+    """
+
+    def __init__(self, keys: Iterable[K] = ()) -> None:
+        self._parent: dict[K, K] = {}
+        self._size: dict[K, int] = {}
+        for key in keys:
+            self.add(key)
+
+    def add(self, key: K) -> None:
+        """Register ``key`` as a singleton set if unseen."""
+        if key not in self._parent:
+            self._parent[key] = key
+            self._size[key] = 1
+
+    def find(self, key: K) -> K:
+        """Return the representative of ``key``'s set (adds ``key`` if new)."""
+        self.add(key)
+        root = key
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # Path compression.
+        while self._parent[key] != root:
+            self._parent[key], key = root, self._parent[key]
+        return root
+
+    def union(self, a: K, b: K) -> bool:
+        """Merge the sets of ``a`` and ``b``; return True if they were separate."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        return True
+
+    def connected(self, a: K, b: K) -> bool:
+        """True if ``a`` and ``b`` are currently in the same set."""
+        return self.find(a) == self.find(b)
+
+    def size(self, key: K) -> int:
+        """Number of members in ``key``'s set."""
+        return self._size[self.find(key)]
+
+    def groups(self) -> dict[K, list[K]]:
+        """Map each representative to the members of its set."""
+        out: dict[K, list[K]] = {}
+        for key in self._parent:
+            out.setdefault(self.find(key), []).append(key)
+        return out
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._parent
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def __iter__(self) -> Iterator[K]:
+        return iter(self._parent)

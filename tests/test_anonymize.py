@@ -1,0 +1,192 @@
+"""Tests for the graph anonymisation subsystem (Section 9)."""
+
+import pytest
+
+from repro.anonymize import (
+    CauseOfDeathAnonymiser,
+    DateShifter,
+    NameAnonymiser,
+    anonymise_dataset,
+    cluster_names,
+)
+from repro.anonymize.causes import NOT_KNOWN, age_band
+
+
+class TestClusterNames:
+    def test_similar_names_cluster_together(self):
+        clusters = cluster_names(["macdonald", "mcdonald", "stewart"])
+        for cluster in clusters:
+            if "macdonald" in cluster:
+                # mcdonald has a different soundex? No — same code; and
+                # JW similarity is high, so they share a cluster.
+                assert "mcdonald" in cluster
+
+    def test_dissimilar_names_split(self):
+        clusters = cluster_names(["mary", "wilhelmina"])
+        assert len(clusters) == 2
+
+    def test_all_names_assigned_once(self):
+        names = ["anna", "ann", "annie", "flora", "florrie", "grace"]
+        clusters = cluster_names(names)
+        flattened = [n for c in clusters for n in c]
+        assert sorted(flattened) == sorted(set(names))
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            cluster_names(["a"], threshold=0.0)
+
+
+class TestNameAnonymiser:
+    def test_every_name_mapped(self):
+        sensitive = ["mary", "marion", "margaret", "flora", "ann"]
+        public = ["linda", "lynda", "karen", "susan", "donna"]
+        anonymiser = NameAnonymiser.fit(sensitive, public, seed=1)
+        assert set(anonymiser.mapping) == set(sensitive)
+
+    def test_mapping_is_injective(self):
+        sensitive = ["mary", "marion", "margaret", "flora", "ann", "annie"]
+        public = ["linda", "karen", "susan"]
+        anonymiser = NameAnonymiser.fit(sensitive, public, seed=1)
+        values = list(anonymiser.mapping.values())
+        assert len(values) == len(set(values))
+
+    def test_no_sensitive_name_survives(self):
+        sensitive = ["mary", "flora"]
+        public = ["karen", "susan", "linda"]
+        anonymiser = NameAnonymiser.fit(sensitive, public, seed=1)
+        for replacement in anonymiser.mapping.values():
+            assert replacement not in sensitive
+
+    def test_compound_names_token_wise(self):
+        anonymiser = NameAnonymiser.fit(["mary", "ann"], ["karen", "susan"], seed=1)
+        out = anonymiser.anonymise("mary ann")
+        assert len(out.split()) == 2
+
+    def test_unknown_token_deterministic(self):
+        anonymiser = NameAnonymiser.fit(["mary"], ["karen", "linda"], seed=1)
+        assert anonymiser.anonymise("zeta") == anonymiser.anonymise("zeta")
+
+    def test_empty_public_rejected(self):
+        with pytest.raises(ValueError):
+            NameAnonymiser.fit(["mary"], [])
+
+
+class TestDateShifter:
+    def test_constant_offset(self):
+        shifter = DateShifter(offset=12)
+        assert shifter.shift_year(1870) == 1882
+        assert shifter.shift_year(1900) - shifter.shift_year(1880) == 20
+
+    def test_attributes_shifted(self):
+        shifter = DateShifter(offset=-7)
+        attrs = shifter.shift_attributes({"event_year": "1870", "first_name": "x"})
+        assert attrs["event_year"] == "1863"
+        assert attrs["first_name"] == "x"
+
+    def test_random_offset_nonzero(self):
+        shifter = DateShifter(seed=5)
+        assert shifter.shift_year(1900) != 1900
+
+    def test_zero_offset_rejected(self):
+        with pytest.raises(ValueError):
+            DateShifter(offset=0)
+
+
+class TestAgeBand:
+    @pytest.mark.parametrize("age,band", [(0, "young"), (19, "young"),
+                                          (20, "middle"), (39, "middle"),
+                                          (40, "old"), (90, "old"),
+                                          (None, "old")])
+    def test_bands(self, age, band):
+        assert age_band(age) == band
+
+    def test_negative_age(self):
+        with pytest.raises(ValueError):
+            age_band(-1)
+
+
+class TestCauseAnonymiser:
+    @pytest.fixture()
+    def fitted(self):
+        observations = (
+            [("phthisis", "m", 30)] * 12
+            + [("phthisis", "f", 30)] * 12
+            + [("bronchitis", "m", 70)] * 15
+            + [("drowned at sea", "m", 30)] * 2
+            + [("old age", "f", 85)] * 11
+        )
+        return CauseOfDeathAnonymiser(k=10).fit(observations)
+
+    def test_frequent_cause_kept(self, fitted):
+        assert fitted.anonymise("phthisis", "m", 30) == "phthisis"
+
+    def test_rare_cause_generalised(self, fitted):
+        out = fitted.anonymise("drowned at sea", "m", 30)
+        assert out != "drowned at sea"
+
+    def test_stratification_respected(self, fitted):
+        # "old age" is frequent only for old women; a young man's rare
+        # cause must not become "old age".
+        out = fitted.anonymise("strange young death", "m", 25)
+        assert out != "old age"
+
+    def test_no_match_becomes_not_known(self, fitted):
+        assert fitted.anonymise("zzz unusual", "f", 5) == NOT_KNOWN
+
+    def test_empty_cause(self, fitted):
+        assert fitted.anonymise("", "m", 30) == NOT_KNOWN
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            CauseOfDeathAnonymiser().anonymise("x", "m", 30)
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            CauseOfDeathAnonymiser(k=1)
+
+
+class TestAnonymiseDataset:
+    @pytest.fixture(scope="class")
+    def anonymised(self, tiny_dataset):
+        return anonymise_dataset(tiny_dataset, k=5, seed=2)
+
+    def test_structure_preserved(self, tiny_dataset, anonymised):
+        anon, _ = anonymised
+        assert len(anon) == len(tiny_dataset)
+        assert anon.certificates.keys() == tiny_dataset.certificates.keys()
+        assert anon.true_match_pairs("Bp-Bp") == tiny_dataset.true_match_pairs("Bp-Bp")
+
+    def test_names_replaced(self, tiny_dataset, anonymised):
+        anon, _ = anonymised
+        originals = {
+            r.get("first_name") for r in tiny_dataset if r.get("first_name")
+        }
+        replaced = {r.get("first_name") for r in anon if r.get("first_name")}
+        assert not (originals & replaced)
+
+    def test_years_shifted_consistently(self, tiny_dataset, anonymised):
+        anon, _ = anonymised
+        offsets = set()
+        for record in tiny_dataset:
+            other = anon.record(record.record_id)
+            if record.get("event_year") and other.get("event_year"):
+                offsets.add(int(other.get("event_year")) - record.event_year)
+        assert len(offsets) == 1
+        assert 0 not in offsets
+
+    def test_consistent_replacement_per_person(self, tiny_dataset, anonymised):
+        """The same original name maps to the same replacement everywhere —
+        otherwise linkage structure would be destroyed."""
+        anon, _ = anonymised
+        mapping = {}
+        for record in tiny_dataset:
+            original = record.get("surname")
+            replaced = anon.record(record.record_id).get("surname")
+            if original is None:
+                continue
+            assert mapping.setdefault(original, replaced) == replaced
+
+    def test_report_counts(self, anonymised):
+        _, report = anonymised
+        assert report.n_records > 0
+        assert report.n_surnames_mapped > 0

@@ -1,0 +1,141 @@
+"""Tests for the four baseline ER systems."""
+
+import pytest
+
+from repro.baselines import (
+    AttrSimLinker,
+    DepGraphLinker,
+    RelClusterLinker,
+    SupervisedLinker,
+)
+from repro.core import SnapsConfig
+from repro.eval import evaluate_linkage
+
+
+@pytest.fixture(scope="module")
+def truth(tiny_dataset):
+    return {rp: tiny_dataset.true_match_pairs(rp) for rp in ("Bp-Bp", "Bp-Dp")}
+
+
+class TestAttrSim:
+    @pytest.fixture(scope="class")
+    def result(self, tiny_dataset):
+        return AttrSimLinker().link(tiny_dataset)
+
+    def test_produces_matches(self, result, truth):
+        assert result.matched_pairs("Bp-Bp")
+
+    def test_transitive_closure(self, result):
+        """Components are closed: any two records in one component of the
+        same role pair appear as a matched pair."""
+        groups = result.components.groups()
+        multi = [g for g in groups.values() if len(g) >= 3]
+        if not multi:
+            pytest.skip("no component of size 3+")
+        pairs = result.matched_pairs("Bp-Bp")
+        from repro.data.roles import Role
+
+        for members in multi[:5]:
+            parents = [
+                rid for rid in members
+                if result.dataset.record(rid).role in (Role.BM, Role.BF)
+            ]
+            for i, a in enumerate(parents):
+                for b in parents[i + 1 :]:
+                    ra, rb = result.dataset.record(a), result.dataset.record(b)
+                    if ra.gender == rb.gender:
+                        assert tuple(sorted((a, b))) in pairs
+
+    def test_reasonable_recall(self, result, truth):
+        ev = evaluate_linkage(result.matched_pairs("Bp-Bp"), truth["Bp-Bp"])
+        assert ev.recall > 60.0
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            AttrSimLinker(threshold=1.5)
+
+    def test_timings_recorded(self, result):
+        assert {"blocking", "comparison", "classification"} <= set(
+            result.timings.times
+        )
+
+
+class TestDepGraph:
+    def test_config_switches(self):
+        linker = DepGraphLinker()
+        assert linker.config.use_propagation
+        assert not linker.config.use_ambiguity
+        assert not linker.config.use_relational
+        assert not linker.config.use_refinement
+
+    def test_custom_thresholds_preserved(self):
+        linker = DepGraphLinker(SnapsConfig(merge_threshold=0.9))
+        assert linker.config.merge_threshold == 0.9
+        assert not linker.config.use_ambiguity
+
+    def test_runs_and_links(self, tiny_dataset, truth):
+        result = DepGraphLinker().link(tiny_dataset)
+        ev = evaluate_linkage(result.matched_pairs("Bp-Bp"), truth["Bp-Bp"])
+        assert ev.recall > 30.0
+
+
+class TestRelCluster:
+    @pytest.fixture(scope="class")
+    def result(self, tiny_dataset):
+        return RelClusterLinker().link(tiny_dataset)
+
+    def test_produces_clusters(self, result):
+        assert result.merges > 0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            RelClusterLinker(alpha=1.5)
+        with pytest.raises(ValueError):
+            RelClusterLinker(threshold=-0.1)
+
+    def test_constraints_respected(self, result, tiny_dataset):
+        from repro.data.roles import Role
+
+        for entity in result.entities.entities(min_size=2):
+            assert entity.role_counts.get(Role.BB, 0) <= 1
+            assert entity.role_counts.get(Role.DD, 0) <= 1
+
+    def test_quality_nontrivial(self, result, truth):
+        ev = evaluate_linkage(result.matched_pairs("Bp-Bp"), truth["Bp-Bp"])
+        assert ev.f_star > 20.0
+
+
+class TestSupervised:
+    @pytest.fixture(scope="class")
+    def outcomes(self, tiny_dataset):
+        return SupervisedLinker(seed=1).run(tiny_dataset, "Bp-Bp")
+
+    def test_all_classifier_regime_combinations(self, outcomes):
+        combos = {(o.classifier_name, o.regime) for o in outcomes}
+        assert len(combos) == 8
+
+    def test_predictions_restricted_to_role_pair(self, outcomes, tiny_dataset):
+        from repro.data.roles import Role
+
+        parents = {Role.BM, Role.BF, Role.DM, Role.DF}
+        for outcome in outcomes:
+            for a, b in list(outcome.predicted_pairs)[:50]:
+                assert tiny_dataset.record(a).role in parents
+                assert tiny_dataset.record(b).role in parents
+
+    def test_quality_decent_per_role_pair(self, outcomes, truth):
+        best = max(
+            evaluate_linkage(o.predicted_pairs, truth["Bp-Bp"]).f_star
+            for o in outcomes
+            if o.regime == "per_role_pair"
+        )
+        assert best > 60.0
+
+    def test_train_fraction_validation(self):
+        with pytest.raises(ValueError):
+            SupervisedLinker(train_fraction=0.0)
+
+    def test_timings_present(self, outcomes):
+        for outcome in outcomes:
+            assert "train" in outcome.timings.times
+            assert "predict" in outcome.timings.times

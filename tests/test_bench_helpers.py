@@ -1,0 +1,38 @@
+"""Tests for the benchmark harness helpers (table formatting, emit)."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "benchmarks"))
+
+from common import format_table  # noqa: E402
+
+
+class TestFormatTable:
+    def test_columns_aligned(self):
+        text = format_table(
+            "Title",
+            ["name", "value"],
+            [["alpha", 1], ["b", 22222]],
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Title"
+        header = lines[2]
+        separator = lines[3]
+        assert len(header) == len(separator)
+        assert "name" in header and "value" in header
+
+    def test_empty_rows(self):
+        text = format_table("T", ["a"], [])
+        assert "a" in text
+
+    def test_cell_stringification(self):
+        text = format_table("T", ["x"], [[3.14159]])
+        assert "3.14159" in text
+
+    def test_wide_cells_expand_columns(self):
+        text = format_table("T", ["x"], [["a-very-long-cell-value"]])
+        lines = text.splitlines()
+        assert len(lines[3]) >= len("a-very-long-cell-value")

@@ -1,0 +1,205 @@
+"""Tests for blocking strategies and candidate generation."""
+
+import pytest
+
+from repro.blocking import (
+    LshBlocker,
+    MinHasher,
+    PhoneticBlocker,
+    StandardBlocker,
+    block_key_pairs,
+    generate_candidate_pairs,
+)
+from repro.blocking.composite import CompositeBlocker, PhoneticNameKeyBlocker
+from repro.data.records import Record
+from repro.data.roles import Role
+
+
+def _record(rid, first, surname, role=Role.BM, cert=None, year=1880, person=0):
+    return Record(
+        rid,
+        cert if cert is not None else rid,
+        role,
+        {"first_name": first, "surname": surname, "event_year": str(year)},
+        person,
+    )
+
+
+class TestStandardBlocker:
+    def test_same_prefixes_same_key(self):
+        blocker = StandardBlocker()
+        a = _record(1, "mary", "macdonald")
+        b = _record(2, "margaret", "macdonell")
+        # Same initial 'm' and same surname prefix 'macd'.
+        assert blocker.block_keys(a) == blocker.block_keys(b)
+
+    def test_missing_attribute_yields_no_key(self):
+        blocker = StandardBlocker()
+        record = _record(1, "", "macdonald")
+        assert blocker.block_keys(record) == []
+
+    def test_whole_value_with_zero_length(self):
+        blocker = StandardBlocker({"surname": 0})
+        assert blocker.block_keys(_record(1, "x", "macleod")) == ["macleod"]
+
+    def test_empty_config_rejected(self):
+        with pytest.raises(ValueError):
+            StandardBlocker({})
+
+
+class TestPhoneticBlocker:
+    def test_sound_alikes_share_keys(self):
+        blocker = PhoneticBlocker()
+        a = _record(1, "catherine", "macdonald")
+        b = _record(2, "katherine", "mcdonald")
+        assert set(blocker.block_keys(a)) & set(blocker.block_keys(b))
+
+    def test_keys_per_attribute(self):
+        blocker = PhoneticBlocker()
+        keys = blocker.block_keys(_record(1, "mary", "beaton"))
+        assert len(keys) == 2
+
+    def test_empty_attributes_rejected(self):
+        with pytest.raises(ValueError):
+            PhoneticBlocker(attributes=())
+
+
+class TestMinHasher:
+    def test_signature_deterministic(self):
+        h = MinHasher(seed=1)
+        assert h.signature("macdonald") == h.signature("macdonald")
+
+    def test_signature_length(self):
+        h = MinHasher(n_hashes=32)
+        assert len(h.signature("mary")) == 32
+
+    def test_jaccard_estimate_tracks_true_similarity(self):
+        h = MinHasher(n_hashes=256, seed=2)
+        close = h.estimate_jaccard(h.signature("macdonald"), h.signature("mcdonald"))
+        far = h.estimate_jaccard(h.signature("macdonald"), h.signature("stewart"))
+        assert close > far
+
+    def test_identical_strings_estimate_one(self):
+        h = MinHasher()
+        sig = h.signature("campbell")
+        assert h.estimate_jaccard(sig, sig) == 1.0
+
+    def test_mismatched_signature_lengths_rejected(self):
+        h = MinHasher(n_hashes=8)
+        g = MinHasher(n_hashes=16)
+        with pytest.raises(ValueError):
+            h.estimate_jaccard(h.signature("a"), g.signature("a"))
+
+    def test_invalid_n_hashes(self):
+        with pytest.raises(ValueError):
+            MinHasher(n_hashes=0)
+
+
+class TestLshBlocker:
+    def test_identical_names_always_co_blocked(self):
+        blocker = LshBlocker()
+        a = _record(1, "mary", "macdonald")
+        b = _record(2, "mary", "macdonald")
+        assert set(blocker.block_keys(a)) == set(blocker.block_keys(b))
+
+    def test_similar_names_share_some_band(self):
+        blocker = LshBlocker()
+        a = _record(1, "catherine", "macdonald")
+        b = _record(2, "cathrine", "macdonald")
+        assert set(blocker.block_keys(a)) & set(blocker.block_keys(b))
+
+    def test_unrelated_names_rarely_collide(self):
+        blocker = LshBlocker()
+        a = _record(1, "angus", "gunn")
+        b = _record(2, "wilhelmina", "sutherland")
+        assert not set(blocker.block_keys(a)) & set(blocker.block_keys(b))
+
+    def test_missing_names_produce_no_keys(self):
+        blocker = LshBlocker()
+        assert blocker.block_keys(_record(1, "", "")) == []
+
+    def test_s_curve_probability(self):
+        blocker = LshBlocker(n_bands=16, rows_per_band=4)
+        low = blocker.estimated_pair_probability(0.2)
+        high = blocker.estimated_pair_probability(0.8)
+        assert low < 0.3 < 0.9 < high
+
+    def test_probability_bounds_validated(self):
+        blocker = LshBlocker()
+        with pytest.raises(ValueError):
+            blocker.estimated_pair_probability(1.5)
+
+    def test_variant_names_canonicalised(self):
+        blocker = LshBlocker()
+        a = _record(1, "effie", "grant")
+        b = _record(2, "euphemia", "grant")
+        assert set(blocker.block_keys(a)) & set(blocker.block_keys(b))
+
+
+class TestCompositeBlocker:
+    def test_union_of_keys(self):
+        composite = CompositeBlocker([LshBlocker(), PhoneticNameKeyBlocker()])
+        keys = composite.block_keys(_record(1, "mary", "ross"))
+        assert any(key.startswith("0#") for key in keys)
+        assert any(key.startswith("1#") for key in keys)
+
+    def test_empty_members_rejected(self):
+        with pytest.raises(ValueError):
+            CompositeBlocker([])
+
+    def test_phonetic_key_requires_both_names(self):
+        blocker = PhoneticNameKeyBlocker()
+        assert blocker.block_keys(_record(1, "mary", "")) == []
+
+
+class TestBlockKeyPairs:
+    def test_pairs_deduplicated_and_sorted(self):
+        records = [
+            _record(3, "mary", "ross"),
+            _record(1, "mary", "ross"),
+            _record(2, "mary", "ross"),
+        ]
+        pairs = list(block_key_pairs(records, LshBlocker()))
+        assert sorted(pairs) == [(1, 2), (1, 3), (2, 3)]
+        assert len(pairs) == len(set(pairs))
+
+
+class TestGenerateCandidatePairs:
+    def test_same_certificate_filtered(self, tiny_dataset):
+        pairs = generate_candidate_pairs(tiny_dataset, LshBlocker())
+        for pair in pairs:
+            a = tiny_dataset.record(pair.rid_a)
+            b = tiny_dataset.record(pair.rid_b)
+            assert a.cert_id != b.cert_id
+
+    def test_roles_and_gender_compatible(self, tiny_dataset):
+        for pair in generate_candidate_pairs(tiny_dataset, LshBlocker()):
+            a = tiny_dataset.record(pair.rid_a)
+            b = tiny_dataset.record(pair.rid_b)
+            if a.gender and b.gender:
+                assert a.gender == b.gender
+
+    def test_temporal_overlap_respected(self, tiny_dataset):
+        slack = 2
+        for pair in generate_candidate_pairs(
+            tiny_dataset, LshBlocker(), temporal_slack_years=slack
+        ):
+            lo_a, hi_a = tiny_dataset.record(pair.rid_a).birth_range()
+            lo_b, hi_b = tiny_dataset.record(pair.rid_b).birth_range()
+            assert lo_a - slack <= hi_b and lo_b - slack <= hi_a
+
+    def test_candidate_pair_ordering_enforced(self):
+        from repro.blocking.candidates import CandidatePair
+
+        with pytest.raises(ValueError):
+            CandidatePair(5, 5)
+        with pytest.raises(ValueError):
+            CandidatePair(7, 3)
+
+    def test_role_restriction(self, tiny_dataset):
+        pairs = generate_candidate_pairs(
+            tiny_dataset, LshBlocker(), roles=[Role.BM, Role.DM]
+        )
+        for pair in pairs:
+            assert tiny_dataset.record(pair.rid_a).role in (Role.BM, Role.DM)
+            assert tiny_dataset.record(pair.rid_b).role in (Role.BM, Role.DM)

@@ -1,0 +1,72 @@
+"""Tests for sorted-neighbourhood blocking."""
+
+import pytest
+
+from repro.blocking.base import block_key_pairs
+from repro.blocking.sorted_neighbourhood import SortedNeighbourhoodBlocker
+from repro.data.records import Record
+from repro.data.roles import Role
+
+
+def _record(rid, first, surname):
+    return Record(rid, rid, Role.BM,
+                  {"first_name": first, "surname": surname,
+                   "event_year": "1880"}, rid)
+
+
+@pytest.fixture()
+def records():
+    return [
+        _record(1, "ann", "beaton"),
+        _record(2, "ann", "beaton"),
+        _record(3, "mary", "beaton"),
+        _record(4, "flora", "macrae"),
+        _record(5, "flora", "macrea"),   # sorts adjacent to macrae
+        _record(6, "john", "young"),
+    ]
+
+
+class TestSortedNeighbourhood:
+    def test_adjacent_keys_share_bucket(self, records):
+        blocker = SortedNeighbourhoodBlocker(window=4).fit(records)
+        pairs = set(block_key_pairs(records, blocker))
+        assert (1, 2) in pairs       # identical keys
+        assert (4, 5) in pairs       # adjacent after sorting
+
+    def test_distant_keys_do_not_pair(self, records):
+        blocker = SortedNeighbourhoodBlocker(window=2).fit(records)
+        pairs = set(block_key_pairs(records, blocker))
+        assert (1, 6) not in pairs   # beaton vs young, far apart
+
+    def test_unfitted_records_produce_no_keys(self, records):
+        blocker = SortedNeighbourhoodBlocker().fit(records[:2])
+        assert blocker.block_keys(records[5]) == []
+
+    def test_missing_attributes_skipped(self):
+        blocker = SortedNeighbourhoodBlocker()
+        nameless = Record(9, 9, Role.BM, {"event_year": "1880"}, 9)
+        blocker.fit([nameless, _record(1, "ann", "beaton")])
+        assert blocker.block_keys(nameless) == []
+
+    def test_window_bounds_bucket_size(self, records):
+        many = [_record(i, "ann", "beaton") for i in range(1, 40)]
+        blocker = SortedNeighbourhoodBlocker(window=6).fit(many)
+        buckets = {}
+        for record in many:
+            for key in blocker.block_keys(record):
+                buckets.setdefault(key, 0)
+                buckets[key] += 1
+        assert max(buckets.values()) <= 6 + 1
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            SortedNeighbourhoodBlocker(window=1)
+
+    def test_variant_names_sort_together(self):
+        records = [
+            _record(1, "effie", "grant"),
+            _record(2, "euphemia", "grant"),
+        ]
+        blocker = SortedNeighbourhoodBlocker(window=2).fit(records)
+        pairs = set(block_key_pairs(records, blocker))
+        assert (1, 2) in pairs  # canonicalised keys sort identically

@@ -1,0 +1,114 @@
+"""Tests for the command-line interface (in-process)."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def simulated(tmp_path_factory):
+    stem = tmp_path_factory.mktemp("cli") / "data"
+    code = main(["simulate", "--dataset", "tiny", "--out", str(stem), "--seed", "3"])
+    assert code == 0
+    return stem
+
+
+@pytest.fixture(scope="module")
+def resolved(simulated, tmp_path_factory):
+    graph_path = tmp_path_factory.mktemp("cli-graph") / "graph.json"
+    code = main(["resolve", "--data", str(simulated), "--out", str(graph_path)])
+    assert code == 0
+    return graph_path
+
+
+class TestSimulate:
+    def test_writes_csvs(self, simulated):
+        assert simulated.with_suffix(".records.csv").exists()
+        assert simulated.with_suffix(".certs.csv").exists()
+
+    def test_census_variant(self, tmp_path):
+        stem = tmp_path / "census"
+        code = main([
+            "simulate", "--dataset", "ios-census", "--scale", "0.03",
+            "--out", str(stem),
+        ])
+        assert code == 0
+
+
+class TestResolve:
+    def test_graph_written(self, resolved):
+        assert resolved.exists()
+
+    def test_ablation_flags_accepted(self, simulated, tmp_path):
+        out = tmp_path / "g.json"
+        code = main([
+            "resolve", "--data", str(simulated), "--out", str(out),
+            "--no-relational", "--no-refinement",
+        ])
+        assert code == 0
+
+
+class TestQuery:
+    def test_query_finds_hits(self, resolved, capsys):
+        code = main([
+            "query", "--graph", str(resolved),
+            "--first-name", "mary", "--surname", "macdonald", "--top", "3",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "score" in out
+
+    def test_query_no_match_exit_code(self, resolved):
+        code = main([
+            "query", "--graph", str(resolved),
+            "--first-name", "zxzx", "--surname", "wvwv",
+        ])
+        assert code == 1
+
+    def test_geo_flag(self, resolved):
+        code = main([
+            "query", "--graph", str(resolved),
+            "--first-name", "mary", "--surname", "macdonald",
+            "--parish", "portree", "--geo",
+        ])
+        assert code in (0, 1)
+
+
+class TestPedigree:
+    def _any_entity(self, resolved):
+        from repro.pedigree import load_pedigree_graph
+
+        graph = load_pedigree_graph(resolved)
+        return next(e.entity_id for e in graph if graph.children(e.entity_id))
+
+    @pytest.mark.parametrize("fmt,marker", [
+        ("ascii", "==="),
+        ("dot", "digraph"),
+        ("gedcom", "0 HEAD"),
+    ])
+    def test_formats(self, resolved, capsys, fmt, marker):
+        entity = self._any_entity(resolved)
+        code = main([
+            "pedigree", "--graph", str(resolved),
+            "--entity", str(entity), "--format", fmt,
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert marker in out
+
+    def test_unknown_entity(self, resolved):
+        code = main([
+            "pedigree", "--graph", str(resolved), "--entity", "999999",
+        ])
+        assert code == 1
+
+
+class TestAnonymise:
+    def test_round_trip(self, simulated, tmp_path):
+        out = tmp_path / "anon"
+        code = main([
+            "anonymise", "--data", str(simulated), "--out", str(out),
+            "--k", "5",
+        ])
+        assert code == 0
+        assert out.with_suffix(".records.csv").exists()

@@ -1,0 +1,97 @@
+"""Tests for dependency-graph construction (G_D)."""
+
+import pytest
+
+from repro.blocking.candidates import CandidatePair
+from repro.core.config import SnapsConfig
+from repro.core.dependency_graph import build_dependency_graph
+from repro.data.records import Certificate, Dataset, Record
+from repro.data.roles import CertificateType, Role
+
+
+@pytest.fixture()
+def two_family_dataset():
+    """Two birth certificates of the same couple (a sibling pair)."""
+    records = [
+        Record(1, 1, Role.BB, {"first_name": "john", "surname": "ross",
+                               "gender": "m", "event_year": "1870"}, 11),
+        Record(2, 1, Role.BM, {"first_name": "mary", "surname": "ross",
+                               "event_year": "1870"}, 12),
+        Record(3, 1, Role.BF, {"first_name": "angus", "surname": "ross",
+                               "event_year": "1870"}, 13),
+        Record(4, 2, Role.BB, {"first_name": "flora", "surname": "ross",
+                               "gender": "f", "event_year": "1873"}, 14),
+        Record(5, 2, Role.BM, {"first_name": "mary", "surname": "ross",
+                               "event_year": "1873"}, 12),
+        Record(6, 2, Role.BF, {"first_name": "angus", "surname": "ross",
+                               "event_year": "1873"}, 13),
+    ]
+    certs = [
+        Certificate(1, CertificateType.BIRTH, 1870, "uig",
+                    {Role.BB: 1, Role.BM: 2, Role.BF: 3}),
+        Certificate(2, CertificateType.BIRTH, 1873, "uig",
+                    {Role.BB: 4, Role.BM: 5, Role.BF: 6}),
+    ]
+    return Dataset("fam", records, certs)
+
+
+class TestBuildDependencyGraph:
+    def test_nodes_created_per_candidate(self, two_family_dataset):
+        pairs = [CandidatePair(2, 5), CandidatePair(3, 6)]
+        graph = build_dependency_graph(two_family_dataset, pairs, SnapsConfig())
+        assert graph.n_relational == 2
+        assert set(graph.nodes) == {(2, 5), (3, 6)}
+
+    def test_atomic_nodes_require_threshold(self, two_family_dataset):
+        pairs = [CandidatePair(2, 5)]
+        graph = build_dependency_graph(two_family_dataset, pairs, SnapsConfig())
+        node = graph.node((2, 5))
+        assert node.atomic["first_name"].similarity == 1.0
+        assert node.atomic["surname"].similarity == 1.0
+
+    def test_dissimilar_values_get_no_atomic_node(self, two_family_dataset):
+        pairs = [CandidatePair(1, 4)]  # john vs flora
+        graph = build_dependency_graph(two_family_dataset, pairs, SnapsConfig())
+        assert "first_name" not in graph.node((1, 4)).atomic
+
+    def test_groups_by_certificate_pair(self, two_family_dataset):
+        pairs = [CandidatePair(2, 5), CandidatePair(3, 6)]
+        graph = build_dependency_graph(two_family_dataset, pairs, SnapsConfig())
+        assert len(graph.groups) == 1
+        group = graph.groups[(1, 2)]
+        assert sorted(group.node_keys) == [(2, 5), (3, 6)]
+
+    def test_relationship_edges_between_parent_nodes(self, two_family_dataset):
+        pairs = [CandidatePair(2, 5), CandidatePair(3, 6)]
+        graph = build_dependency_graph(two_family_dataset, pairs, SnapsConfig())
+        group = graph.groups[(1, 2)]
+        # Mother node and father node are linked by the spouse relation.
+        assert any(rel == "Sof" for _, rel, _ in group.edges)
+
+    def test_mother_baby_edge(self, two_family_dataset):
+        pairs = [CandidatePair(1, 4), CandidatePair(2, 5)]
+        graph = build_dependency_graph(two_family_dataset, pairs, SnapsConfig())
+        group = graph.groups[(1, 2)]
+        assert ((1, 4) in {e[0] for e in group.edges} or
+                (1, 4) in {e[2] for e in group.edges})
+
+    def test_n_atomic_counts_distinct_value_pairs(self, two_family_dataset):
+        pairs = [CandidatePair(2, 5), CandidatePair(3, 6)]
+        graph = build_dependency_graph(two_family_dataset, pairs, SnapsConfig())
+        # (mary,mary), (angus,angus) first names; (ross,ross) surname is
+        # shared by both nodes → counted once.
+        assert graph.n_atomic == 3
+
+    def test_alive_group_nodes_excludes_merged(self, two_family_dataset):
+        pairs = [CandidatePair(2, 5), CandidatePair(3, 6)]
+        graph = build_dependency_graph(two_family_dataset, pairs, SnapsConfig())
+        group = graph.groups[(1, 2)]
+        graph.node((2, 5)).merged = True
+        alive = graph.alive_group_nodes(group)
+        assert [n.key() for n in alive] == [(3, 6)]
+
+    def test_records_of(self, two_family_dataset):
+        pairs = [CandidatePair(2, 5)]
+        graph = build_dependency_graph(two_family_dataset, pairs, SnapsConfig())
+        a, b = graph.records_of(graph.node((2, 5)))
+        assert (a.record_id, b.record_id) == (2, 5)

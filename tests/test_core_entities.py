@@ -1,0 +1,142 @@
+"""Tests for the entity store (record clusters + link structure)."""
+
+import pytest
+
+from repro.core.entities import EntityStore
+from repro.data.records import Certificate, Dataset, Record
+from repro.data.roles import CertificateType, Role
+
+
+@pytest.fixture()
+def small_store():
+    """Five mother records on five birth certificates (all linkable)."""
+    records, certs = [], []
+    for i in range(1, 6):
+        records.append(
+            Record(i, i, Role.BM,
+                   {"first_name": "mary", "surname": "ross",
+                    "event_year": str(1870 + i)}, person_id=1)
+        )
+        certs.append(
+            Certificate(i, CertificateType.BIRTH, 1870 + i, "uig", {Role.BM: i})
+        )
+    dataset = Dataset("s", records, certs)
+    return dataset, EntityStore(dataset)
+
+
+class TestEntityStoreBasics:
+    def test_initial_singletons(self, small_store):
+        dataset, store = small_store
+        assert len(store) == len(dataset)
+        for record in dataset:
+            assert len(store.entity_of(record.record_id)) == 1
+
+    def test_merge_combines(self, small_store):
+        _, store = small_store
+        entity = store.merge(1, 2)
+        assert entity.record_ids == {1, 2}
+        assert store.same_entity(1, 2)
+        assert len(store) == 4
+
+    def test_merge_intersects_birth_ranges(self, small_store):
+        _, store = small_store
+        entity = store.merge(1, 2)
+        lo1, hi1 = (1871 - 55, 1871 - 15)
+        lo2, hi2 = (1872 - 55, 1872 - 15)
+        assert entity.birth_lo == max(lo1, lo2)
+        assert entity.birth_hi == min(hi1, hi2)
+
+    def test_merge_tracks_roles_and_certs(self, small_store):
+        _, store = small_store
+        entity = store.merge(1, 2)
+        assert entity.role_counts[Role.BM] == 2
+        assert entity.cert_ids == {1, 2}
+
+    def test_merge_within_entity_adds_link(self, small_store):
+        _, store = small_store
+        store.merge(1, 2)
+        store.merge(2, 3)
+        entity = store.merge(1, 3)  # closes the triangle
+        assert (1, 3) in entity.links
+        assert len(entity.links) == 3
+
+    def test_values_of(self, small_store):
+        dataset, store = small_store
+        dataset.record(2).attributes["surname"] = "taylor"
+        entity = store.merge(1, 2)
+        assert store.values_of(entity, "surname") == {"ross", "taylor"}
+
+
+class TestDensityAndDegree:
+    def test_pair_density_is_one(self, small_store):
+        _, store = small_store
+        assert store.merge(1, 2).density() == 1.0
+
+    def test_chain_density(self, small_store):
+        _, store = small_store
+        store.merge(1, 2)
+        entity = store.merge(2, 3)
+        assert entity.density() == pytest.approx(2 / 3)
+
+    def test_degree(self, small_store):
+        _, store = small_store
+        store.merge(1, 2)
+        entity = store.merge(2, 3)
+        assert entity.degree(2) == 2
+        assert entity.degree(1) == 1
+
+
+class TestRemoval:
+    def test_remove_record_makes_singleton(self, small_store):
+        _, store = small_store
+        store.merge(1, 2)
+        store.merge(2, 3)
+        created = store.remove_record(2)
+        assert any(e.record_ids == {2} for e in created)
+        # 1 and 3 were only connected through 2 → both singletons now.
+        assert not store.same_entity(1, 3)
+
+    def test_remove_record_keeps_connected_rest(self, small_store):
+        _, store = small_store
+        store.merge(1, 2)
+        store.merge(2, 3)
+        store.merge(1, 3)
+        store.remove_record(3)
+        assert store.same_entity(1, 2)
+
+    def test_remove_links_splits_components(self, small_store):
+        _, store = small_store
+        store.merge(1, 2)
+        store.merge(3, 4)
+        entity = store.merge(2, 3)
+        created = store.remove_links(entity, [(2, 3)])
+        assert len(created) == 2
+        assert store.same_entity(1, 2)
+        assert store.same_entity(3, 4)
+        assert not store.same_entity(2, 3)
+
+    def test_remove_singleton_is_noop(self, small_store):
+        _, store = small_store
+        before = len(store)
+        store.remove_record(5)
+        assert len(store) == before
+
+
+class TestMatchedPairs:
+    def test_matched_pairs_roles(self, small_store):
+        _, store = small_store
+        store.merge(1, 2)
+        pairs = store.matched_pairs(frozenset({Role.BM}), frozenset({Role.BM}))
+        assert pairs == {(1, 2)}
+
+    def test_all_matched_pairs_transitive(self, small_store):
+        _, store = small_store
+        store.merge(1, 2)
+        store.merge(2, 3)
+        assert store.all_matched_pairs() == {(1, 2), (1, 3), (2, 3)}
+
+    def test_cluster_sizes(self, small_store):
+        _, store = small_store
+        store.merge(1, 2)
+        store.merge(2, 3)
+        assert store.cluster_sizes() == [3]

@@ -1,0 +1,107 @@
+"""Tests for REF: bridge finding and density-based cluster refinement."""
+
+import pytest
+
+from repro.core.config import SnapsConfig
+from repro.core.entities import EntityStore
+from repro.core.refinement import find_bridges, refine_clusters
+from repro.data.records import Certificate, Dataset, Record
+from repro.data.roles import CertificateType, Role
+
+
+def _chain_dataset(n):
+    """n linkable mother records on n distinct certificates."""
+    records = [
+        Record(i, i, Role.BM, {"first_name": "mary", "surname": "ross",
+                               "event_year": str(1870 + (i % 5))}, 1)
+        for i in range(1, n + 1)
+    ]
+    certs = [
+        Certificate(i, CertificateType.BIRTH, 1870 + (i % 5), "uig", {Role.BM: i})
+        for i in range(1, n + 1)
+    ]
+    return Dataset("chain", records, certs)
+
+
+class TestFindBridges:
+    def test_chain_every_edge_is_bridge(self):
+        dataset = _chain_dataset(4)
+        store = EntityStore(dataset)
+        store.merge(1, 2)
+        store.merge(2, 3)
+        entity = store.merge(3, 4)
+        assert sorted(find_bridges(entity)) == [(1, 2), (2, 3), (3, 4)]
+
+    def test_cycle_has_no_bridges(self):
+        dataset = _chain_dataset(3)
+        store = EntityStore(dataset)
+        store.merge(1, 2)
+        store.merge(2, 3)
+        entity = store.merge(3, 1)
+        assert find_bridges(entity) == []
+
+    def test_lollipop(self):
+        # Triangle 1-2-3 plus pendant 4 attached at 3.
+        dataset = _chain_dataset(4)
+        store = EntityStore(dataset)
+        store.merge(1, 2)
+        store.merge(2, 3)
+        store.merge(3, 1)
+        entity = store.merge(3, 4)
+        assert find_bridges(entity) == [(3, 4)]
+
+
+class TestRefineClusters:
+    def test_dense_cluster_untouched(self):
+        dataset = _chain_dataset(3)
+        store = EntityStore(dataset)
+        store.merge(1, 2)
+        store.merge(2, 3)
+        store.merge(3, 1)
+        stats = refine_clusters(store, SnapsConfig())
+        assert stats.records_removed == 0
+        assert store.same_entity(1, 3)
+
+    def test_sparse_star_pruned(self):
+        # A star of 8 records (hub 1): density 2·7/(8·7) = 0.25 < 0.3.
+        dataset = _chain_dataset(8)
+        store = EntityStore(dataset)
+        for i in range(2, 9):
+            store.merge(1, i)
+        stats = refine_clusters(store, SnapsConfig())
+        assert stats.records_removed >= 1
+
+    def test_oversize_cluster_split_at_bridges(self):
+        # Two dense 4-cliques joined by one bridge; force the size limit
+        # low so the bridge rule fires.
+        dataset = _chain_dataset(8)
+        store = EntityStore(dataset)
+        import itertools
+
+        for a, b in itertools.combinations((1, 2, 3, 4), 2):
+            store.merge(a, b)
+        for a, b in itertools.combinations((5, 6, 7, 8), 2):
+            store.merge(a, b)
+        store.merge(4, 5)
+        config = SnapsConfig(bridge_node_limit=6)
+        stats = refine_clusters(store, config)
+        assert stats.bridges_cut == 1
+        assert store.same_entity(1, 4)
+        assert store.same_entity(5, 8)
+        assert not store.same_entity(4, 5)
+
+    def test_pairs_never_refined(self):
+        dataset = _chain_dataset(2)
+        store = EntityStore(dataset)
+        store.merge(1, 2)
+        stats = refine_clusters(store, SnapsConfig())
+        assert stats.clusters_examined == 0
+        assert store.same_entity(1, 2)
+
+    def test_stats_counts_clusters(self):
+        dataset = _chain_dataset(3)
+        store = EntityStore(dataset)
+        store.merge(1, 2)
+        store.merge(2, 3)
+        stats = refine_clusters(store, SnapsConfig())
+        assert stats.clusters_examined == 1

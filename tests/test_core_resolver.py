@@ -1,0 +1,110 @@
+"""Tests for the end-to-end resolver and its ablation switches."""
+
+import pytest
+
+from repro.core import SnapsConfig, SnapsResolver
+from repro.eval import evaluate_linkage
+
+
+class TestConfigValidation:
+    def test_threshold_bounds(self):
+        with pytest.raises(ValueError):
+            SnapsConfig(merge_threshold=1.5)
+        with pytest.raises(ValueError):
+            SnapsConfig(gamma=-0.1)
+
+    def test_bridge_limit(self):
+        with pytest.raises(ValueError):
+            SnapsConfig(bridge_node_limit=2)
+
+    def test_effective_gamma(self):
+        assert SnapsConfig(use_ambiguity=False).effective_gamma == 1.0
+        assert SnapsConfig(gamma=0.6).effective_gamma == 0.6
+
+    def test_negative_slack(self):
+        with pytest.raises(ValueError):
+            SnapsConfig(temporal_slack_years=-1)
+
+
+class TestResolver:
+    def test_result_counts_consistent(self, resolved_tiny, tiny_dataset):
+        assert resolved_tiny.n_relational > 0
+        assert resolved_tiny.n_atomic > 0
+        summary = resolved_tiny.summary()
+        assert summary["records"] == len(tiny_dataset)
+        assert summary["time_total"] > 0
+
+    def test_linkage_quality_reasonable(self, resolved_tiny, tiny_dataset):
+        """SNAPS on clean-ish tiny data should be strong (sanity bound,
+        far below the paper's numbers to avoid flakiness)."""
+        for role_pair in ("Bp-Bp", "Bp-Dp"):
+            ev = evaluate_linkage(
+                resolved_tiny.matched_pairs(role_pair),
+                tiny_dataset.true_match_pairs(role_pair),
+                role_pair,
+            )
+            assert ev.precision > 80.0
+            assert ev.recall > 70.0
+
+    def test_no_entity_contains_two_births(self, resolved_tiny):
+        from repro.data.roles import Role
+
+        for entity in resolved_tiny.entities.entities(min_size=2):
+            assert entity.role_counts.get(Role.BB, 0) <= 1
+            assert entity.role_counts.get(Role.DD, 0) <= 1
+
+    def test_no_entity_mixes_genders(self, resolved_tiny, tiny_dataset):
+        for entity in resolved_tiny.entities.entities(min_size=2):
+            genders = {
+                tiny_dataset.record(rid).gender
+                for rid in entity.record_ids
+            } - {None}
+            assert len(genders) <= 1
+
+    def test_no_entity_spans_one_certificate_twice(self, resolved_tiny, tiny_dataset):
+        for entity in resolved_tiny.entities.entities(min_size=2):
+            certs = [tiny_dataset.record(rid).cert_id for rid in entity.record_ids]
+            assert len(certs) == len(set(certs))
+
+    def test_deterministic(self, tiny_dataset):
+        a = SnapsResolver(SnapsConfig()).resolve(tiny_dataset)
+        b = SnapsResolver(SnapsConfig()).resolve(tiny_dataset)
+        assert a.matched_pairs("Bp-Bp") == b.matched_pairs("Bp-Bp")
+
+    def test_role_restriction(self, tiny_dataset):
+        from repro.data.roles import Role
+
+        result = SnapsResolver(SnapsConfig()).resolve(
+            tiny_dataset, roles=[Role.BM, Role.BF]
+        )
+        assert result.matched_pairs("Bb-Dd") == set()
+
+
+class TestAblations:
+    """Each disabled technique must not crash and should not *improve*
+    overall F* (allowing small noise)."""
+
+    @pytest.mark.parametrize(
+        "flag",
+        ["use_propagation", "use_ambiguity", "use_relational", "use_refinement"],
+    )
+    def test_ablation_runs(self, tiny_dataset, flag):
+        config = SnapsConfig(**{flag: False})
+        result = SnapsResolver(config).resolve(tiny_dataset)
+        ev = evaluate_linkage(
+            result.matched_pairs("Bp-Bp"),
+            tiny_dataset.true_match_pairs("Bp-Bp"),
+        )
+        assert 0.0 <= ev.f_star <= 100.0
+
+    def test_full_system_not_worse_than_no_rel(self, tiny_dataset, resolved_tiny):
+        no_rel = SnapsResolver(SnapsConfig(use_relational=False)).resolve(tiny_dataset)
+        full = evaluate_linkage(
+            resolved_tiny.matched_pairs("Bp-Dp"),
+            tiny_dataset.true_match_pairs("Bp-Dp"),
+        )
+        ablated = evaluate_linkage(
+            no_rel.matched_pairs("Bp-Dp"),
+            tiny_dataset.true_match_pairs("Bp-Dp"),
+        )
+        assert full.f_star >= ablated.f_star - 1.0

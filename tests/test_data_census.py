@@ -1,0 +1,182 @@
+"""Tests for the census substrate (roles, households, constraints)."""
+
+import pytest
+
+from repro.core import SnapsConfig, SnapsResolver
+from repro.core.constraints import ConstraintChecker
+from repro.core.entities import EntityStore
+from repro.data.population import PopulationConfig, PopulationSimulator
+from repro.data.records import Certificate, Dataset, Record
+from repro.data.roles import (
+    CENSUS_ROLES,
+    CertificateType,
+    Role,
+    birth_year_range,
+)
+from repro.blocking.candidates import roles_linkable
+
+
+@pytest.fixture(scope="module")
+def census_run():
+    config = PopulationConfig(
+        start_year=1861, end_year=1891, n_founder_couples=15,
+        census_years=(1861, 1871, 1881, 1891), seed=21,
+    )
+    sim = PopulationSimulator(config)
+    return sim, sim.run("census-test")
+
+
+class TestCensusRoles:
+    def test_census_roles_linkable_to_vital_roles(self):
+        assert roles_linkable(Role.CC, Role.BB)
+        assert roles_linkable(Role.CH, Role.BF)
+        assert roles_linkable(Role.CW, Role.BM)
+        assert roles_linkable(Role.CH, Role.DD)
+        assert roles_linkable(Role.CC, Role.CC)
+
+    def test_census_birth_ranges(self):
+        lo, hi = birth_year_range(Role.CH, 1881)
+        assert hi == 1881 - 16
+        lo, hi = birth_year_range(Role.CC, 1881)
+        assert hi == 1881
+        lo, hi = birth_year_range(Role.CC, 1881, age_at_event=10)
+        assert (lo, hi) == (1870, 1872)
+
+    def test_cw_gender_fixed(self):
+        record = Record(1, 1, Role.CW, {"event_year": "1881"}, 1)
+        assert record.gender == "f"
+
+
+class TestCensusEmission:
+    def test_households_emitted_each_census_year(self, census_run):
+        _, dataset = census_run
+        years = {
+            c.year for c in dataset.certificates.values()
+            if c.cert_type is CertificateType.CENSUS
+        }
+        assert years == {1861, 1871, 1881, 1891}
+
+    def test_every_living_person_enumerated_once(self, census_run):
+        sim, dataset = census_run
+        for year in (1861, 1871, 1881, 1891):
+            enumerated = [
+                r.person_id
+                for r in dataset
+                if r.role in CENSUS_ROLES and r.event_year == year
+            ]
+            assert len(enumerated) == len(set(enumerated)), (
+                f"{year}: someone enumerated twice"
+            )
+            present = {
+                p.person_id for p in sim.people.values()
+                if p.present_from <= year
+                and (p.death_year is None or p.death_year > year)
+            }
+            assert present <= set(enumerated)
+
+    def test_household_relationships(self, census_run):
+        _, dataset = census_run
+        for cert in dataset.certificates.values():
+            if cert.cert_type is not CertificateType.CENSUS:
+                continue
+            triples = cert.relationships()
+            head = cert.roles.get(Role.CH)
+            for child in cert.children:
+                if head is not None:
+                    assert (head, "Fof", child) in triples or any(
+                        rel == "Mof" and target == child
+                        for _, rel, target in triples
+                    )
+
+    def test_children_live_with_parents(self, census_run):
+        sim, dataset = census_run
+        for cert in dataset.certificates.values():
+            if cert.cert_type is not CertificateType.CENSUS:
+                continue
+            head = cert.roles.get(Role.CH)
+            if head is None:
+                continue
+            head_person = dataset.record(head).person_id
+            wife = cert.roles.get(Role.CW)
+            wife_person = dataset.record(wife).person_id if wife else None
+            for child_rid in cert.children:
+                child = sim.people[dataset.record(child_rid).person_id]
+                assert head_person in (child.father_id, child.mother_id) or (
+                    wife_person in (child.father_id, child.mother_id)
+                )
+
+    def test_census_records_have_ages(self, census_run):
+        _, dataset = census_run
+        for record in dataset:
+            if record.role in CENSUS_ROLES:
+                assert record.age is not None
+
+
+class TestCensusConstraints:
+    def _dataset(self):
+        records = [
+            Record(1, 1, Role.CH, {"first_name": "john", "surname": "ross",
+                                   "gender": "m", "event_year": "1881",
+                                   "age": "40"}, 1),
+            Record(2, 2, Role.CH, {"first_name": "john", "surname": "ross",
+                                   "gender": "m", "event_year": "1881",
+                                   "age": "40"}, 2),
+            Record(3, 3, Role.CH, {"first_name": "john", "surname": "ross",
+                                   "gender": "m", "event_year": "1891",
+                                   "age": "50"}, 1),
+        ]
+        certs = [
+            Certificate(i, CertificateType.CENSUS, 1881 if i < 3 else 1891,
+                        "uig", {Role.CH: i})
+            for i in (1, 2, 3)
+        ]
+        return Dataset("cc", records, certs)
+
+    def test_same_census_year_not_linkable(self):
+        dataset = self._dataset()
+        checker = ConstraintChecker()
+        assert not checker.records_compatible(dataset.record(1), dataset.record(2))
+
+    def test_cross_census_linkable(self):
+        dataset = self._dataset()
+        checker = ConstraintChecker()
+        assert checker.records_compatible(dataset.record(1), dataset.record(3))
+
+    def test_entity_census_year_uniqueness_propagates(self):
+        dataset = self._dataset()
+        store = EntityStore(dataset)
+        checker = ConstraintChecker()
+        store.merge(1, 3)  # entity now covers censuses 1881 and 1891
+        # Record 2 (census 1881) conflicts with the merged entity.
+        assert not checker.can_merge(store, dataset.record(2), dataset.record(3))
+
+
+class TestCensusResolution:
+    def test_resolver_handles_census_dataset(self, census_run):
+        _, dataset = census_run
+        result = SnapsResolver(SnapsConfig()).resolve(dataset)
+        # Census records must participate in entities.
+        census_linked = sum(
+            1
+            for entity in result.entities.entities(min_size=2)
+            for rid in entity.record_ids
+            if dataset.record(rid).role in CENSUS_ROLES
+        )
+        assert census_linked > 0
+        # And census-year uniqueness must hold in the output.
+        for entity in result.entities.entities(min_size=2):
+            years = [
+                dataset.record(rid).event_year
+                for rid in entity.record_ids
+                if dataset.record(rid).role in CENSUS_ROLES
+            ]
+            assert len(years) == len(set(years))
+
+    def test_pedigree_graph_includes_census_edges(self, census_run):
+        from repro.pedigree import build_pedigree_graph
+
+        _, dataset = census_run
+        result = SnapsResolver(SnapsConfig()).resolve(dataset)
+        graph = build_pedigree_graph(dataset, result.entities)
+        assert len(graph) > 0
+        assert graph.n_edges() > 0

@@ -1,0 +1,109 @@
+"""Tests for the transcription-noise model."""
+
+import pytest
+
+from repro.data.corruption import CorruptionConfig, Corruptor
+from repro.data.records import Record
+from repro.data.roles import Role
+from repro.data.synthetic import make_tiny_dataset
+from repro.data.population import PopulationConfig, PopulationSimulator
+
+
+def _record(**attrs):
+    base = {"first_name": "catherine", "surname": "macdonald",
+            "event_year": "1880", "age": "30",
+            "occupation": "crofter", "address": "5 high street portree"}
+    base.update(attrs)
+    return Record(1, 1, Role.DD, base, 7)
+
+
+class TestConfigValidation:
+    def test_bad_probability(self):
+        with pytest.raises(ValueError):
+            CorruptionConfig(typo_prob=1.5)
+
+    def test_bad_missing_prob(self):
+        with pytest.raises(ValueError):
+            CorruptionConfig(missing_probs={"x": -0.1})
+
+
+class TestCorruptor:
+    def test_ground_truth_preserved(self):
+        corruptor = Corruptor(CorruptionConfig(seed=1))
+        record = _record()
+        corrupted = corruptor.corrupt_record(record)
+        assert corrupted.person_id == record.person_id
+        assert corrupted.record_id == record.record_id
+        assert corrupted.role == record.role
+
+    def test_deterministic_given_seed(self):
+        clean = PopulationSimulator(
+            PopulationConfig(start_year=1870, end_year=1880,
+                             n_founder_couples=10, seed=2)
+        ).run()
+        a = Corruptor(CorruptionConfig(seed=3)).corrupt_dataset(clean)
+        b = Corruptor(CorruptionConfig(seed=3)).corrupt_dataset(clean)
+        for record in a:
+            assert record.attributes == b.record(record.record_id).attributes
+
+    def test_missing_values_injected_at_roughly_configured_rate(self):
+        config = CorruptionConfig(
+            typo_prob=0.0, variant_prob=0.0,
+            missing_probs={"occupation": 0.5}, seed=4,
+        )
+        corruptor = Corruptor(config)
+        missing = sum(
+            1 for i in range(1000)
+            if corruptor.corrupt_record(_record()).get("occupation") is None
+        )
+        assert 400 < missing < 600
+
+    def test_zero_noise_is_identity(self):
+        config = CorruptionConfig(
+            typo_prob=0.0, variant_prob=0.0, age_error_prob=0.0,
+            missing_probs={}, seed=1,
+        )
+        record = _record()
+        assert Corruptor(config).corrupt_record(record).attributes == record.attributes
+
+    def test_typos_change_single_characters(self):
+        config = CorruptionConfig(
+            typo_prob=1.0, variant_prob=0.0, age_error_prob=0.0,
+            missing_probs={}, seed=5,
+        )
+        corruptor = Corruptor(config)
+        from repro.similarity.levenshtein import damerau_levenshtein_distance
+        for _ in range(50):
+            corrupted = corruptor.corrupt_record(_record())
+            name = corrupted.get("first_name")
+            assert name is not None
+            assert damerau_levenshtein_distance(name, "catherine") <= 2
+
+    def test_variants_come_from_dictionary(self):
+        from repro.data.names import NAME_VARIANTS
+        config = CorruptionConfig(
+            typo_prob=0.0, variant_prob=1.0, age_error_prob=0.0,
+            missing_probs={}, seed=6,
+        )
+        corruptor = Corruptor(config)
+        seen = {
+            corruptor.corrupt_record(_record()).get("first_name")
+            for _ in range(30)
+        }
+        allowed = set(NAME_VARIANTS["catherine"]) | {"catherine"}
+        assert seen <= allowed
+
+    def test_age_perturbation_is_one_year(self):
+        config = CorruptionConfig(
+            typo_prob=0.0, variant_prob=0.0, age_error_prob=1.0,
+            missing_probs={}, seed=7,
+        )
+        corruptor = Corruptor(config)
+        ages = {int(corruptor.corrupt_record(_record()).get("age")) for _ in range(20)}
+        assert ages <= {29, 31}
+
+    def test_corrupt_dataset_keeps_structure(self):
+        dataset = make_tiny_dataset()
+        corrupted = Corruptor(CorruptionConfig(seed=8)).corrupt_dataset(dataset)
+        assert len(corrupted) == len(dataset)
+        assert corrupted.certificates.keys() == dataset.certificates.keys()

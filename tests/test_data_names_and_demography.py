@@ -1,0 +1,126 @@
+"""Tests for the name pools, Zipf weighting, gazetteer data, and deeper
+demographic invariants of the simulator."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.data.names import (
+    ADDRESSES_BY_PARISH,
+    FEMALE_FIRST_NAMES,
+    MALE_FIRST_NAMES,
+    PARISH_COORDINATES,
+    PARISHES,
+    PUBLIC_FEMALE_FIRST_NAMES,
+    PUBLIC_MALE_FIRST_NAMES,
+    PUBLIC_SURNAMES,
+    SURNAMES,
+    zipf_weights,
+)
+from repro.data.population import PopulationConfig, PopulationSimulator
+
+
+class TestZipfWeights:
+    @given(n=st.integers(1, 500))
+    def test_normalised(self, n):
+        weights = zipf_weights(n)
+        assert sum(weights) == pytest.approx(1.0)
+        assert all(w > 0 for w in weights)
+
+    @given(n=st.integers(2, 500))
+    def test_monotone_decreasing(self, n):
+        weights = zipf_weights(n)
+        assert all(a >= b for a, b in zip(weights, weights[1:]))
+
+    def test_top_share_realistic(self):
+        """The most common name's share approximates Figure 2's ~8%."""
+        weights = zipf_weights(len(FEMALE_FIRST_NAMES))
+        assert 0.04 < weights[0] < 0.15
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+
+
+class TestNamePools:
+    def test_pools_are_nonempty_and_lowercase(self):
+        for pool in (FEMALE_FIRST_NAMES, MALE_FIRST_NAMES, SURNAMES):
+            assert len(pool) >= 75
+            assert all(name == name.lower() for name in pool)
+
+    def test_no_duplicates(self):
+        for pool in (FEMALE_FIRST_NAMES, MALE_FIRST_NAMES, SURNAMES):
+            assert len(pool) == len(set(pool))
+
+    def test_public_pools_disjoint_from_sensitive(self):
+        sensitive = (
+            {t for n in FEMALE_FIRST_NAMES for t in n.split()}
+            | {t for n in MALE_FIRST_NAMES for t in n.split()}
+            | set(SURNAMES)
+        )
+        for pool in (PUBLIC_FEMALE_FIRST_NAMES, PUBLIC_MALE_FIRST_NAMES,
+                     PUBLIC_SURNAMES):
+            assert not (set(pool) & sensitive)
+            assert pool  # filtering must not empty the pool
+
+    def test_parishes_have_coordinates_and_addresses(self):
+        for parish in PARISHES:
+            assert parish in PARISH_COORDINATES
+            assert len(ADDRESSES_BY_PARISH[parish]) >= 5
+
+    def test_parish_coordinates_on_skye(self):
+        for point in PARISH_COORDINATES.values():
+            assert 56.9 < point.lat < 57.8
+            assert -7.0 < point.lon < -5.5
+
+
+class TestDemographicInvariants:
+    @pytest.fixture(scope="class")
+    def run(self):
+        config = PopulationConfig(
+            start_year=1861, end_year=1901, n_founder_couples=25, seed=37
+        )
+        sim = PopulationSimulator(config)
+        return sim, sim.run()
+
+    def test_no_sibling_marriages(self, run):
+        sim, _ = run
+        for person in sim.people.values():
+            if person.spouse_id is None:
+                continue
+            spouse = sim.people[person.spouse_id]
+            if person.mother_id is not None and spouse.mother_id is not None:
+                assert person.mother_id != spouse.mother_id
+
+    def test_brides_take_groom_surname(self, run):
+        sim, _ = run
+        for person in sim.people.values():
+            if (
+                person.gender == "f"
+                and person.spouse_id is not None
+                and sim.people[person.spouse_id].alive
+            ):
+                assert person.surname == sim.people[person.spouse_id].surname
+
+    def test_children_know_both_parents(self, run):
+        sim, _ = run
+        for person in sim.people.values():
+            if person.mother_id is not None:
+                assert person.father_id is not None
+                mother = sim.people[person.mother_id]
+                father = sim.people[person.father_id]
+                assert person.person_id in mother.children
+                assert person.person_id in father.children
+
+    def test_marriage_age_bounds(self, run):
+        sim, _ = run
+        config = sim.config
+        for person in sim.people.values():
+            if person.marriage_year is not None and person.mother_id is not None:
+                # Natives only (founders marry before the simulation).
+                age = person.marriage_year - person.birth_year
+                assert age >= config.min_marriage_age
+
+    def test_population_grows(self, run):
+        sim, dataset = run
+        assert dataset.describe()["people"] > 25 * 2

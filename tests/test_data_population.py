@@ -1,0 +1,110 @@
+"""Tests for the demographic population simulator."""
+
+import pytest
+
+from repro.data.population import PopulationConfig, PopulationSimulator
+from repro.data.roles import CertificateType, Role
+
+
+@pytest.fixture(scope="module")
+def small_run():
+    config = PopulationConfig(
+        start_year=1870, end_year=1895, n_founder_couples=20, seed=5
+    )
+    sim = PopulationSimulator(config)
+    dataset = sim.run("test")
+    return sim, dataset
+
+
+class TestConfigValidation:
+    def test_bad_year_order(self):
+        with pytest.raises(ValueError):
+            PopulationConfig(start_year=1900, end_year=1890)
+
+    def test_zero_founders(self):
+        with pytest.raises(ValueError):
+            PopulationConfig(n_founder_couples=0)
+
+    def test_no_parishes(self):
+        with pytest.raises(ValueError):
+            PopulationConfig(parishes=())
+
+
+class TestSimulation:
+    def test_deterministic_given_seed(self):
+        config = PopulationConfig(
+            start_year=1870, end_year=1880, n_founder_couples=10, seed=9
+        )
+        a = PopulationSimulator(config).run()
+        b = PopulationSimulator(config).run()
+        assert len(a) == len(b)
+        ra = sorted(r.attributes.get("first_name", "") for r in a)
+        rb = sorted(r.attributes.get("first_name", "") for r in b)
+        assert ra == rb
+
+    def test_emits_all_certificate_types(self, small_run):
+        _, dataset = small_run
+        stats = dataset.describe()
+        assert stats["birth_certs"] > 0
+        assert stats["death_certs"] > 0
+        assert stats["marriage_certs"] > 0
+
+    def test_birth_certificates_have_three_roles(self, small_run):
+        _, dataset = small_run
+        for cert in dataset.certificates.values():
+            if cert.cert_type is CertificateType.BIRTH:
+                assert {Role.BB, Role.BM, Role.BF} <= set(cert.roles)
+
+    def test_ground_truth_consistent_with_simulated_people(self, small_run):
+        sim, dataset = small_run
+        for record in dataset:
+            person = sim.people[record.person_id]
+            if record.role in (Role.BM, Role.DM, Role.MB):
+                assert person.gender == "f"
+            if record.role in (Role.BF, Role.DF, Role.MG):
+                assert person.gender == "m"
+
+    def test_mothers_in_childbearing_age(self, small_run):
+        sim, dataset = small_run
+        for record in dataset.records_with_role([Role.BM]):
+            person = sim.people[record.person_id]
+            age = record.event_year - person.birth_year
+            assert 15 <= age <= 55
+
+    def test_surname_change_at_marriage_exists(self, small_run):
+        sim, dataset = small_run
+        changed = [
+            p for p in sim.people.values()
+            if p.gender == "f" and p.spouse_id is not None
+            and p.surname != p.maiden_surname
+        ]
+        assert changed, "some married women should have changed surname"
+
+    def test_no_person_dies_twice(self, small_run):
+        _, dataset = small_run
+        deceased = [r.person_id for r in dataset.records_with_role([Role.DD])]
+        assert len(deceased) == len(set(deceased))
+
+    def test_no_person_born_twice(self, small_run):
+        _, dataset = small_run
+        born = [r.person_id for r in dataset.records_with_role([Role.BB])]
+        assert len(born) == len(set(born))
+
+    def test_death_after_birth(self, small_run):
+        sim, _ = small_run
+        for person in sim.people.values():
+            if person.death_year is not None:
+                assert person.death_year >= person.birth_year
+
+    def test_event_years_within_period(self, small_run):
+        _, dataset = small_run
+        for cert in dataset.certificates.values():
+            assert 1870 <= cert.year <= 1895
+
+    def test_infant_deaths_produce_bp_dp_truth(self, small_run):
+        _, dataset = small_run
+        assert len(dataset.true_match_pairs("Bp-Dp")) > 0
+
+    def test_sibling_births_produce_bp_bp_truth(self, small_run):
+        _, dataset = small_run
+        assert len(dataset.true_match_pairs("Bp-Bp")) > 0

@@ -1,0 +1,131 @@
+"""Tests for Record, Certificate, and Dataset containers."""
+
+import pytest
+
+from repro.data.records import Certificate, Dataset, Record
+from repro.data.roles import CertificateType, Role
+
+
+def _birth_cert(cert_id=1, year=1870, baby_id=1, mother_id=2, father_id=3,
+                person_offset=100):
+    records = [
+        Record(baby_id, cert_id, Role.BB,
+               {"first_name": "john", "surname": "macleod", "gender": "m",
+                "event_year": str(year)}, person_offset + 1),
+        Record(mother_id, cert_id, Role.BM,
+               {"first_name": "mary", "surname": "macleod",
+                "event_year": str(year)}, person_offset + 2),
+        Record(father_id, cert_id, Role.BF,
+               {"first_name": "donald", "surname": "macleod",
+                "event_year": str(year), "occupation": "crofter"},
+               person_offset + 3),
+    ]
+    cert = Certificate(cert_id, CertificateType.BIRTH, year, "portree",
+                       {Role.BB: baby_id, Role.BM: mother_id, Role.BF: father_id})
+    return records, cert
+
+
+class TestRecord:
+    def test_get_returns_none_for_missing(self):
+        record = Record(1, 1, Role.BB, {"first_name": ""}, 1)
+        assert record.get("first_name") is None
+        assert record.get("surname") is None
+
+    def test_event_year(self):
+        record = Record(1, 1, Role.BB, {"event_year": "1870"}, 1)
+        assert record.event_year == 1870
+
+    def test_event_year_missing_raises(self):
+        record = Record(1, 1, Role.BB, {}, 1)
+        with pytest.raises(ValueError):
+            record.event_year
+
+    def test_gender_from_role(self):
+        record = Record(1, 1, Role.BM, {"event_year": "1870"}, 1)
+        assert record.gender == "f"
+
+    def test_age_parsing(self):
+        record = Record(1, 1, Role.DD, {"age": "42", "event_year": "1890"}, 1)
+        assert record.age == 42
+        assert record.birth_range() == (1847, 1849)
+
+    def test_equality_by_record_id(self):
+        a = Record(5, 1, Role.BB, {}, 1)
+        b = Record(5, 2, Role.DD, {}, 9)
+        assert a == b and hash(a) == hash(b)
+
+
+class TestCertificate:
+    def test_birth_relationships(self):
+        records, cert = _birth_cert()
+        triples = cert.relationships()
+        assert (2, "Mof", 1) in triples
+        assert (3, "Fof", 1) in triples
+        assert (2, "Sof", 3) in triples
+
+    def test_death_relationships(self):
+        cert = Certificate(1, CertificateType.DEATH, 1890, "strath",
+                           {Role.DD: 1, Role.DM: 2, Role.DS: 4})
+        triples = cert.relationships()
+        assert (2, "Mof", 1) in triples
+        assert (4, "Sof", 1) in triples
+        # No father on this certificate.
+        assert all("Fof" != rel for _, rel, _ in triples)
+
+    def test_marriage_relationships(self):
+        cert = Certificate(1, CertificateType.MARRIAGE, 1880, "sleat",
+                           {Role.MB: 1, Role.MG: 2})
+        assert cert.relationships() == [(1, "Sof", 2)]
+
+    def test_record_id_lookup(self):
+        _, cert = _birth_cert()
+        assert cert.record_id(Role.BB) == 1
+        assert cert.record_id(Role.DS) is None
+
+
+class TestDataset:
+    def test_construction_and_len(self):
+        records, cert = _birth_cert()
+        dataset = Dataset("t", records, [cert])
+        assert len(dataset) == 3
+        assert dataset.n_people() == 3
+
+    def test_validation_rejects_dangling_reference(self):
+        records, cert = _birth_cert()
+        cert.roles[Role.DS] = 999
+        with pytest.raises(ValueError):
+            Dataset("t", records, [cert])
+
+    def test_validation_rejects_role_mismatch(self):
+        records, cert = _birth_cert()
+        cert.roles[Role.BB], cert.roles[Role.BM] = cert.roles[Role.BM], cert.roles[Role.BB]
+        with pytest.raises(ValueError):
+            Dataset("t", records, [cert])
+
+    def test_records_with_role(self):
+        records, cert = _birth_cert()
+        dataset = Dataset("t", records, [cert])
+        assert [r.role for r in dataset.records_with_role([Role.BM])] == [Role.BM]
+
+    def test_true_match_pairs_same_person_across_certs(self):
+        records1, cert1 = _birth_cert(cert_id=1, baby_id=1, mother_id=2, father_id=3)
+        records2, cert2 = _birth_cert(cert_id=2, year=1872, baby_id=4, mother_id=5,
+                                      father_id=6, person_offset=200)
+        # Make the two mothers the same person.
+        records2[1].person_id = records1[1].person_id
+        dataset = Dataset("t", records1 + records2, [cert1, cert2])
+        assert dataset.true_match_pairs("Bp-Bp") == {(2, 5)}
+        assert dataset.true_match_pairs("Bp-Dp") == set()
+
+    def test_describe_counts(self, tiny_dataset):
+        stats = tiny_dataset.describe()
+        assert stats["records"] == len(tiny_dataset)
+        assert (
+            stats["birth_certs"] + stats["death_certs"] + stats["marriage_certs"]
+            == stats["certificates"]
+        )
+
+    def test_certificate_of(self, tiny_dataset):
+        record = next(iter(tiny_dataset))
+        cert = tiny_dataset.certificate_of(record)
+        assert cert.roles[record.role] == record.record_id

@@ -1,0 +1,93 @@
+"""Tests for roles, linkable pairs, and birth-year ranges."""
+
+import pytest
+
+from repro.data.roles import (
+    LINKABLE_ROLE_PAIRS,
+    CertificateType,
+    Role,
+    birth_year_range,
+    role_gender,
+)
+from repro.blocking.candidates import roles_linkable
+
+
+class TestRoleBasics:
+    def test_certificate_types(self):
+        assert Role.BB.certificate_type is CertificateType.BIRTH
+        assert Role.DS.certificate_type is CertificateType.DEATH
+        assert Role.MG.certificate_type is CertificateType.MARRIAGE
+
+    def test_parent_roles(self):
+        assert Role.BM.is_parent and Role.DF.is_parent
+        assert not Role.BB.is_parent and not Role.DS.is_parent
+
+    def test_fixed_gender_roles(self):
+        assert role_gender(Role.BM) == "f"
+        assert role_gender(Role.BF) == "m"
+        assert role_gender(Role.MB) == "f"
+
+    def test_recorded_gender_fallback(self):
+        assert role_gender(Role.BB, "m") == "m"
+        assert role_gender(Role.DD, None) is None
+
+
+class TestLinkablePairs:
+    def test_singleton_roles_never_self_link(self):
+        assert not roles_linkable(Role.BB, Role.BB)
+        assert not roles_linkable(Role.DD, Role.DD)
+
+    def test_life_course_links(self):
+        assert roles_linkable(Role.BB, Role.DD)
+        assert roles_linkable(Role.BB, Role.BM)
+        assert roles_linkable(Role.BB, Role.MG)
+
+    def test_parent_recurrence(self):
+        assert roles_linkable(Role.BM, Role.BM)
+        assert roles_linkable(Role.BF, Role.DF)
+
+    def test_cross_gender_impossible(self):
+        assert not roles_linkable(Role.BM, Role.BF)
+        assert not roles_linkable(Role.MB, Role.MG)
+        assert not roles_linkable(Role.BM, Role.DF)
+
+    def test_order_independent(self):
+        assert roles_linkable(Role.DD, Role.BB) == roles_linkable(Role.BB, Role.DD)
+
+    def test_pairs_are_canonical(self):
+        for a, b in LINKABLE_ROLE_PAIRS:
+            assert a.value <= b.value
+
+
+class TestBirthYearRange:
+    def test_baby_is_exact(self):
+        assert birth_year_range(Role.BB, 1870) == (1870, 1870)
+
+    def test_mother_range(self):
+        lo, hi = birth_year_range(Role.BM, 1870)
+        assert lo == 1870 - 55 and hi == 1870 - 15
+
+    def test_father_wider_than_mother(self):
+        m_lo, _ = birth_year_range(Role.BM, 1870)
+        f_lo, _ = birth_year_range(Role.BF, 1870)
+        assert f_lo < m_lo
+
+    def test_age_narrows_range(self):
+        lo, hi = birth_year_range(Role.DD, 1890, age_at_event=40)
+        assert (lo, hi) == (1849, 1851)
+
+    def test_age_overrides_role(self):
+        assert birth_year_range(Role.MB, 1880, age_at_event=25) == (1854, 1856)
+
+    def test_negative_age_rejected(self):
+        with pytest.raises(ValueError):
+            birth_year_range(Role.DD, 1890, age_at_event=-1)
+
+    def test_deceased_without_age_is_wide(self):
+        lo, hi = birth_year_range(Role.DD, 1890)
+        assert hi == 1890 and hi - lo >= 100
+
+    def test_all_roles_covered(self):
+        for role in Role:
+            lo, hi = birth_year_range(role, 1880)
+            assert lo <= hi

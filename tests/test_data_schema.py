@@ -1,0 +1,62 @@
+"""Tests for the attribute schema (Must/Core/Extra)."""
+
+import pytest
+
+from repro.data.schema import AttributeCategory, AttributeSpec, Schema, default_schema
+
+
+class TestSchema:
+    def test_default_schema_structure(self):
+        schema = default_schema()
+        assert schema.names_in(AttributeCategory.MUST) == ["first_name"]
+        assert schema.names_in(AttributeCategory.CORE) == ["surname"]
+        assert "occupation" in schema.names_in(AttributeCategory.EXTRA)
+
+    def test_default_weights_match_paper(self):
+        schema = default_schema()
+        assert schema.weight(AttributeCategory.MUST) == 0.5
+        assert schema.weight(AttributeCategory.CORE) == 0.3
+        assert schema.weight(AttributeCategory.EXTRA) == 0.2
+
+    def test_category_lookup(self):
+        schema = default_schema()
+        assert schema.category("first_name") is AttributeCategory.MUST
+        assert schema.category("nonexistent") is None
+
+    def test_names_order_preserved(self):
+        schema = Schema(
+            attributes=(
+                AttributeSpec("b", AttributeCategory.MUST),
+                AttributeSpec("a", AttributeCategory.CORE),
+            )
+        )
+        assert schema.names() == ["b", "a"]
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(ValueError):
+            Schema(attributes=())
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            Schema(
+                attributes=(
+                    AttributeSpec("x", AttributeCategory.MUST),
+                    AttributeSpec("x", AttributeCategory.CORE),
+                )
+            )
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            Schema(
+                attributes=(AttributeSpec("x", AttributeCategory.MUST),),
+                weight_must=-0.1,
+            )
+
+    def test_all_zero_weights_rejected(self):
+        with pytest.raises(ValueError):
+            Schema(
+                attributes=(AttributeSpec("x", AttributeCategory.MUST),),
+                weight_must=0.0,
+                weight_core=0.0,
+                weight_extra=0.0,
+            )

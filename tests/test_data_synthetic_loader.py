@@ -1,0 +1,91 @@
+"""Tests for dataset builders, CSV round trips, and name normalisation."""
+
+import pytest
+
+from repro.data.loader import load_dataset_csv, save_dataset_csv
+from repro.data.normalize import canonical_name, canonical_name_phrase
+from repro.data.synthetic import make_bhic_dataset, make_ios_dataset, make_tiny_dataset
+
+
+class TestSyntheticBuilders:
+    def test_tiny_dataset_reproducible(self):
+        a = make_tiny_dataset(seed=3)
+        b = make_tiny_dataset(seed=3)
+        assert len(a) == len(b)
+
+    def test_scale_grows_dataset(self):
+        small = make_ios_dataset(scale=0.05, seed=1)
+        larger = make_ios_dataset(scale=0.15, seed=1)
+        assert len(larger) > len(small)
+
+    def test_bhic_window_grows_dataset(self):
+        short = make_bhic_dataset(1920, 1935, scale=0.05)
+        long = make_bhic_dataset(1900, 1935, scale=0.05)
+        assert len(long) > len(short)
+
+    def test_missing_values_present(self):
+        dataset = make_ios_dataset(scale=0.05)
+        n_missing_occ = sum(1 for r in dataset if r.get("occupation") is None)
+        assert n_missing_occ > len(dataset) * 0.3
+
+    def test_has_ground_truth_links(self):
+        dataset = make_tiny_dataset()
+        assert dataset.true_match_pairs("Bp-Bp")
+
+
+class TestCsvRoundTrip:
+    def test_round_trip_identical(self, tmp_path, tiny_dataset):
+        stem = tmp_path / "tiny"
+        save_dataset_csv(tiny_dataset, stem)
+        loaded = load_dataset_csv(stem, name=tiny_dataset.name)
+        assert len(loaded) == len(tiny_dataset)
+        for record in tiny_dataset:
+            other = loaded.record(record.record_id)
+            assert other.role == record.role
+            assert other.person_id == record.person_id
+            # Attributes match modulo empty-string removal.
+            original = {k: v for k, v in record.attributes.items() if v != ""}
+            assert other.attributes == original
+
+    def test_round_trip_certificates(self, tmp_path, tiny_dataset):
+        stem = tmp_path / "tiny"
+        save_dataset_csv(tiny_dataset, stem)
+        loaded = load_dataset_csv(stem)
+        for cert in tiny_dataset.certificates.values():
+            other = loaded.certificates[cert.cert_id]
+            assert other.cert_type == cert.cert_type
+            assert other.year == cert.year
+            assert other.roles == cert.roles
+
+    def test_truth_preserved(self, tmp_path, tiny_dataset):
+        stem = tmp_path / "t"
+        save_dataset_csv(tiny_dataset, stem)
+        loaded = load_dataset_csv(stem)
+        assert loaded.true_match_pairs("Bp-Bp") == tiny_dataset.true_match_pairs("Bp-Bp")
+
+
+class TestNormalize:
+    @pytest.mark.parametrize(
+        "variant,canonical",
+        [
+            ("effie", "euphemia"),
+            ("maggie", "margaret"),
+            ("wm", "william"),
+            ("mcdonald", "macdonald"),
+            ("m'leod", "macleod"),
+        ],
+    )
+    def test_variant_mapping(self, variant, canonical):
+        assert canonical_name(variant) == canonical
+
+    def test_unknown_name_unchanged(self):
+        assert canonical_name("zebedee") == "zebedee"
+
+    def test_mac_names_not_double_prefixed(self):
+        assert canonical_name("macdonald") == "macdonald"
+
+    def test_phrase_normalises_tokens(self):
+        assert canonical_name_phrase("mary effie") == "mary euphemia"
+
+    def test_case_and_whitespace(self):
+        assert canonical_name("  Effie ") == "euphemia"

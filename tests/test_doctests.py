@@ -1,0 +1,42 @@
+"""Run the doctests embedded in the library's docstrings.
+
+The similarity and utility modules carry worked examples in their
+docstrings; this keeps them honest.
+"""
+
+import doctest
+
+import pytest
+
+import repro.similarity.geo
+import repro.similarity.jaccard
+import repro.similarity.jaro
+import repro.similarity.levenshtein
+import repro.similarity.numeric
+import repro.similarity.phonetic
+import repro.similarity.qgram
+import repro.utils.heaps
+import repro.utils.timer
+import repro.utils.union_find
+import repro.data.roles
+
+_MODULES = [
+    repro.similarity.levenshtein,
+    repro.similarity.jaro,
+    repro.similarity.qgram,
+    repro.similarity.jaccard,
+    repro.similarity.phonetic,
+    repro.similarity.numeric,
+    repro.similarity.geo,
+    repro.utils.heaps,
+    repro.utils.timer,
+    repro.utils.union_find,
+    repro.data.roles,
+]
+
+
+@pytest.mark.parametrize("module", _MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    failures, tests = doctest.testmod(module).failed, doctest.testmod(module).attempted
+    assert tests > 0, f"{module.__name__} has no doctests"
+    assert failures == 0

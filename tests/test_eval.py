@@ -1,0 +1,98 @@
+"""Tests for linkage metrics and dataset profiling."""
+
+import pytest
+
+from repro.eval import (
+    ConfusionCounts,
+    attribute_profile,
+    confusion_counts,
+    evaluate_linkage,
+    f_measure,
+    f_star,
+    precision,
+    rank_frequency_series,
+    recall,
+)
+
+
+class TestConfusion:
+    def test_counts(self):
+        predicted = {(1, 2), (3, 4), (5, 6)}
+        truth = {(1, 2), (7, 8)}
+        counts = confusion_counts(predicted, truth)
+        assert (counts.tp, counts.fp, counts.fn) == (1, 2, 1)
+
+    def test_empty_sets(self):
+        counts = confusion_counts(set(), set())
+        assert (counts.tp, counts.fp, counts.fn) == (0, 0, 0)
+
+
+class TestMetrics:
+    def test_perfect_linkage(self):
+        counts = ConfusionCounts(tp=10, fp=0, fn=0)
+        assert precision(counts) == recall(counts) == f_star(counts) == 1.0
+
+    def test_known_values(self):
+        counts = ConfusionCounts(tp=6, fp=2, fn=4)
+        assert precision(counts) == 0.75
+        assert recall(counts) == 0.6
+        assert f_star(counts) == 0.5
+
+    def test_fstar_below_min_of_p_r(self):
+        counts = ConfusionCounts(tp=6, fp=2, fn=4)
+        assert f_star(counts) <= min(precision(counts), recall(counts))
+
+    def test_fstar_monotone_transform_of_f(self):
+        a = ConfusionCounts(tp=6, fp=2, fn=4)
+        b = ConfusionCounts(tp=8, fp=2, fn=4)
+        assert (f_star(a) < f_star(b)) == (f_measure(a) < f_measure(b))
+
+    def test_fstar_equals_f_over_two_minus_f(self):
+        counts = ConfusionCounts(tp=6, fp=2, fn=4)
+        f = f_measure(counts)
+        assert f_star(counts) == pytest.approx(f / (2 - f))
+
+    def test_degenerate_conventions(self):
+        empty = ConfusionCounts(tp=0, fp=0, fn=0)
+        assert precision(empty) == recall(empty) == f_star(empty) == 1.0
+        assert f_measure(ConfusionCounts(0, 0, 0)) == 1.0
+
+    def test_evaluate_linkage_percentages(self):
+        ev = evaluate_linkage({(1, 2)}, {(1, 2), (3, 4)}, "Bp-Bp")
+        assert ev.precision == 100.0
+        assert ev.recall == 50.0
+        assert ev.f_star == 50.0
+        assert ev.row()["role_pair"] == "Bp-Bp"
+
+
+class TestProfiling:
+    def test_attribute_profile_counts(self, tiny_dataset):
+        from repro.data.roles import Role
+
+        profile = attribute_profile(tiny_dataset, "occupation", roles=(Role.DD,))
+        n_deceased = len(tiny_dataset.records_with_role([Role.DD]))
+        assert profile.missing <= n_deceased
+        assert profile.missing > 0  # occupation is mostly missing by design
+
+    def test_profile_min_avg_max_ordering(self, tiny_dataset):
+        profile = attribute_profile(tiny_dataset, "first_name")
+        assert profile.min_freq <= profile.avg_freq <= profile.max_freq
+
+    def test_rank_frequency_sorted(self, tiny_dataset):
+        series = rank_frequency_series(tiny_dataset, "first_name", top_k=20)
+        counts = [c for _, c in series]
+        assert counts == sorted(counts, reverse=True)
+        assert len(series) <= 20
+
+    def test_rank_frequency_skewed(self, tiny_dataset):
+        from repro.data.roles import Role
+
+        series = rank_frequency_series(
+            tiny_dataset, "surname", roles=list(Role), top_k=100
+        )
+        if len(series) >= 10:
+            assert series[0][1] > series[-1][1]
+
+    def test_profile_row_shape(self, tiny_dataset):
+        row = attribute_profile(tiny_dataset, "surname").row()
+        assert set(row) == {"attribute", "missing", "min", "avg", "max"}

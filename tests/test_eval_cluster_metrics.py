@@ -1,0 +1,118 @@
+"""Tests for cluster-level metrics: B-cubed, purity, VI."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.cluster_metrics import (
+    b_cubed,
+    cluster_purity,
+    clustering_from_entities,
+    variation_of_information,
+)
+
+
+def _ids(assignment):
+    return dict(assignment)
+
+
+PERFECT = {1: 10, 2: 10, 3: 20, 4: 20}
+ALL_MERGED = {1: 1, 2: 1, 3: 1, 4: 1}
+ALL_SPLIT = {1: 1, 2: 2, 3: 3, 4: 4}
+
+
+class TestBCubed:
+    def test_perfect(self):
+        scores = b_cubed(PERFECT, PERFECT)
+        assert scores.precision == scores.recall == scores.f1 == 1.0
+
+    def test_all_merged_hurts_precision_not_recall(self):
+        scores = b_cubed(ALL_MERGED, PERFECT)
+        assert scores.recall == 1.0
+        assert scores.precision == 0.5
+
+    def test_all_split_hurts_recall_not_precision(self):
+        scores = b_cubed(ALL_SPLIT, PERFECT)
+        assert scores.precision == 1.0
+        assert scores.recall == 0.5
+
+    def test_mismatched_keys_rejected(self):
+        with pytest.raises(ValueError):
+            b_cubed({1: 1}, {2: 2})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            b_cubed({}, {})
+
+    @given(
+        assignment=st.dictionaries(
+            st.integers(0, 20), st.integers(0, 5), min_size=1, max_size=20
+        )
+    )
+    @settings(max_examples=40)
+    def test_self_evaluation_is_perfect(self, assignment):
+        scores = b_cubed(assignment, assignment)
+        assert scores.precision == pytest.approx(1.0)
+        assert scores.recall == pytest.approx(1.0)
+
+    @given(
+        predicted=st.dictionaries(
+            st.integers(0, 15), st.integers(0, 4), min_size=1, max_size=16
+        ),
+        relabel=st.integers(0, 4),
+    )
+    @settings(max_examples=40)
+    def test_bounds(self, predicted, relabel):
+        truth = {k: (v + relabel) % 3 for k, v in predicted.items()}
+        scores = b_cubed(predicted, truth)
+        assert 0.0 < scores.precision <= 1.0
+        assert 0.0 < scores.recall <= 1.0
+
+
+class TestPurity:
+    def test_perfect(self):
+        assert cluster_purity(PERFECT, PERFECT) == 1.0
+
+    def test_all_merged(self):
+        assert cluster_purity(ALL_MERGED, PERFECT) == 0.5
+
+    def test_singletons_always_pure(self):
+        assert cluster_purity(ALL_SPLIT, PERFECT) == 1.0
+
+
+class TestVariationOfInformation:
+    def test_identity_is_zero(self):
+        assert variation_of_information(PERFECT, PERFECT) == pytest.approx(0.0)
+
+    def test_symmetry(self):
+        a = variation_of_information(ALL_MERGED, PERFECT)
+        b = variation_of_information(PERFECT, ALL_MERGED)
+        assert a == pytest.approx(b)
+
+    def test_bounded_by_log_n(self):
+        vi = variation_of_information(ALL_SPLIT, ALL_MERGED)
+        assert 0.0 < vi <= math.log(4) * 2
+
+    @given(
+        assignment=st.dictionaries(
+            st.integers(0, 15), st.integers(0, 4), min_size=2, max_size=16
+        )
+    )
+    @settings(max_examples=40)
+    def test_nonnegative(self, assignment):
+        truth = {k: k % 3 for k in assignment}
+        assert variation_of_information(assignment, truth) >= 0.0
+
+
+class TestIntegrationWithResolver:
+    def test_snaps_clusters_score_well(self, tiny_dataset, resolved_tiny):
+        predicted = clustering_from_entities(resolved_tiny.entities)
+        truth = {r.record_id: r.person_id for r in tiny_dataset}
+        scores = b_cubed(predicted, truth)
+        assert scores.precision > 0.9
+        assert scores.recall > 0.6
+        assert cluster_purity(predicted, truth) > 0.9
+        vi = variation_of_information(predicted, truth)
+        assert vi < 1.0  # close to the truth clustering

@@ -1,0 +1,53 @@
+"""Smoke tests for the example scripts.
+
+The fast examples run end to end (their output is the documentation);
+the heavier ones are compile-checked so doc rot still fails the suite.
+"""
+
+import py_compile
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+class TestFastExamples:
+    def test_quickstart_runs(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.chdir(tmp_path)
+        import importlib.util
+
+        spec = importlib.util.spec_from_file_location(
+            "quickstart", EXAMPLES / "quickstart.py"
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        module.main()
+        out = capsys.readouterr().out
+        assert "family pedigree of" in out
+        assert "F*=" in out
+
+    def test_anonymisation_demo_runs(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.chdir(tmp_path)
+        import importlib.util
+
+        spec = importlib.util.spec_from_file_location(
+            "anonymisation_demo", EXAMPLES / "anonymisation_demo.py"
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        module.main()
+        out = capsys.readouterr().out
+        assert "anonymisation report" in out
+
+
+class TestAllExamplesCompile:
+    @pytest.mark.parametrize(
+        "script",
+        sorted(EXAMPLES.glob("*.py")),
+        ids=lambda p: p.name,
+    )
+    def test_compiles(self, script, tmp_path):
+        py_compile.compile(
+            str(script), cfile=str(tmp_path / "out.pyc"), doraise=True
+        )

@@ -1,0 +1,214 @@
+"""Tests for the extension features: GEDCOM export, pedigree-graph
+serialisation, geo-aware querying, and the expert-feedback loop."""
+
+import pytest
+
+from repro.core import SnapsConfig, SnapsResolver
+from repro.core.feedback import FeedbackSession
+from repro.pedigree import (
+    extract_pedigree,
+    load_pedigree_graph,
+    render_gedcom,
+    save_pedigree_graph,
+)
+from repro.query import Query, QueryEngine
+
+
+@pytest.fixture(scope="module")
+def family_pedigree(tiny_pedigree_graph):
+    for entity in tiny_pedigree_graph:
+        if (
+            tiny_pedigree_graph.children(entity.entity_id)
+            and tiny_pedigree_graph.spouses(entity.entity_id)
+        ):
+            return extract_pedigree(tiny_pedigree_graph, entity.entity_id, 2)
+    pytest.skip("no family entity")
+
+
+class TestGedcom:
+    def test_header_and_trailer(self, family_pedigree):
+        text = render_gedcom(family_pedigree)
+        assert text.startswith("0 HEAD")
+        assert text.rstrip().endswith("0 TRLR")
+        assert "2 VERS 5.5.1" in text
+
+    def test_every_entity_exported(self, family_pedigree):
+        text = render_gedcom(family_pedigree)
+        for entity_id in family_pedigree.entities:
+            assert f"0 @I{entity_id}@ INDI" in text
+
+    def test_family_records_link_parents_and_children(self, family_pedigree):
+        text = render_gedcom(family_pedigree)
+        assert "0 @F1@ FAM" in text
+        assert "1 CHIL @I" in text
+        assert "1 HUSB @I" in text or "1 WIFE @I" in text
+
+    def test_children_carry_famc(self, family_pedigree):
+        text = render_gedcom(family_pedigree)
+        assert "1 FAMC @F" in text
+
+    def test_sex_lines_valid(self, family_pedigree):
+        for line in render_gedcom(family_pedigree).splitlines():
+            if line.startswith("1 SEX"):
+                assert line in ("1 SEX M", "1 SEX F")
+
+    def test_name_format(self, family_pedigree):
+        text = render_gedcom(family_pedigree)
+        name_lines = [l for l in text.splitlines() if l.startswith("1 NAME")]
+        assert name_lines
+        for line in name_lines:
+            assert line.count("/") == 2  # surname delimiters
+
+
+class TestSerialization:
+    def test_round_trip_entities(self, tiny_pedigree_graph, tmp_path):
+        path = save_pedigree_graph(tiny_pedigree_graph, tmp_path / "g.json")
+        loaded = load_pedigree_graph(path)
+        assert len(loaded) == len(tiny_pedigree_graph)
+        for entity in tiny_pedigree_graph:
+            other = loaded.entity(entity.entity_id)
+            assert other.values == entity.values
+            assert other.gender == entity.gender
+            assert other.roles == entity.roles
+            assert other.record_ids == entity.record_ids
+
+    def test_round_trip_edges(self, tiny_pedigree_graph, tmp_path):
+        path = save_pedigree_graph(tiny_pedigree_graph, tmp_path / "g.json")
+        loaded = load_pedigree_graph(path)
+        for entity in tiny_pedigree_graph:
+            eid = entity.entity_id
+            assert loaded.children(eid) == tiny_pedigree_graph.children(eid)
+            assert loaded.parents(eid) == tiny_pedigree_graph.parents(eid)
+            assert loaded.spouses(eid) == tiny_pedigree_graph.spouses(eid)
+
+    def test_query_engine_works_on_loaded_graph(self, tiny_pedigree_graph, tmp_path):
+        path = save_pedigree_graph(tiny_pedigree_graph, tmp_path / "g.json")
+        loaded = load_pedigree_graph(path)
+        engine = QueryEngine(loaded)
+        target = next(
+            e for e in loaded if e.first("first_name") and e.first("surname")
+        )
+        hits = engine.search(
+            Query(first_name=target.first("first_name"),
+                  surname=target.first("surname"))
+        )
+        assert hits and hits[0].score_percent > 90.0
+
+    def test_bad_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "something-else"}')
+        with pytest.raises(ValueError):
+            load_pedigree_graph(path)
+
+    def test_bad_version_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "snaps-pedigree-graph", "version": 99}')
+        with pytest.raises(ValueError):
+            load_pedigree_graph(path)
+
+
+class TestGeoQuery:
+    def test_geo_mode_scores_nearby_parish(self, tiny_pedigree_graph):
+        engine = QueryEngine(tiny_pedigree_graph, use_geographic_distance=True)
+        # Find an entity with a parish, query with a *different but
+        # nearby* parish: geographic scoring should still give partial
+        # parish credit.
+        target = next(
+            e
+            for e in tiny_pedigree_graph
+            if e.first("first_name") and e.first("surname") and e.first("parish")
+        )
+        from repro.data.names import PARISH_COORDINATES
+        from repro.similarity.geo import haversine_km
+
+        own = target.first("parish")
+        if own not in PARISH_COORDINATES:
+            pytest.skip("parish not in gazetteer")
+        nearby = min(
+            (p for p in PARISH_COORDINATES if p != own),
+            key=lambda p: haversine_km(
+                PARISH_COORDINATES[own], PARISH_COORDINATES[p]
+            ),
+        )
+        hits = engine.search(
+            Query(
+                first_name=target.first("first_name"),
+                surname=target.first("surname"),
+                parish=nearby,
+            ),
+            top_m=10,
+        )
+        hit = next(
+            (h for h in hits if h.entity.entity_id == target.entity_id), None
+        )
+        assert hit is not None
+        assert hit.attribute_scores.get("parish", 0.0) > 0.0
+
+    def test_geo_mode_unknown_parish_falls_back(self, tiny_pedigree_graph):
+        engine = QueryEngine(tiny_pedigree_graph, use_geographic_distance=True)
+        matches = engine._parish_matches("notaparish")
+        assert isinstance(matches, list)
+
+
+class TestFeedback:
+    @pytest.fixture()
+    def session(self, tiny_dataset):
+        result = SnapsResolver(SnapsConfig()).resolve(tiny_dataset)
+        return FeedbackSession(tiny_dataset, result.entities)
+
+    def _linked_pair(self, session):
+        for entity in session.store.entities(min_size=2):
+            link = next(iter(entity.links))
+            return link
+        pytest.skip("no linked pair")
+
+    def _unlinked_compatible_pair(self, session):
+        from repro.core.constraints import ConstraintChecker
+
+        checker = ConstraintChecker()
+        records = list(session.dataset)
+        for i, a in enumerate(records):
+            for b in records[i + 1 : i + 200]:
+                if session.store.same_entity(a.record_id, b.record_id):
+                    continue
+                if checker.can_merge(session.store, a, b):
+                    return (a.record_id, b.record_id)
+        pytest.skip("no compatible unlinked pair")
+
+    def test_confirm_merges(self, session):
+        pair = self._unlinked_compatible_pair(session)
+        session.confirm(*pair)
+        assert session.store.same_entity(*pair)
+        assert session.summary()["confirmed"] == 1
+
+    def test_reject_splits(self, session):
+        pair = self._linked_pair(session)
+        session.reject(*pair)
+        assert not session.store.same_entity(*pair)
+
+    def test_reject_then_confirm_conflicts(self, session):
+        pair = self._linked_pair(session)
+        session.reject(*pair)
+        with pytest.raises(ValueError):
+            session.confirm(*pair)
+
+    def test_confirm_impossible_pair_rejected(self, session, tiny_dataset):
+        from repro.data.roles import Role
+
+        babies = tiny_dataset.records_with_role([Role.BB])
+        if len(babies) < 2:
+            pytest.skip("not enough babies")
+        with pytest.raises(ValueError):
+            session.confirm(babies[0].record_id, babies[1].record_id)
+
+    def test_self_link_rejected(self, session):
+        with pytest.raises(ValueError):
+            session.reject(1, 1)
+
+    def test_checker_vetoes_rejected_merge(self, session):
+        pair = self._linked_pair(session)
+        session.reject(*pair)
+        checker = session.checker()
+        a = session.dataset.record(pair[0])
+        b = session.dataset.record(pair[1])
+        assert not checker.can_merge(session.store, a, b)

@@ -1,0 +1,67 @@
+"""Interplay of feedback with the pedigree graph: corrected links must be
+reflected when the graph is rebuilt."""
+
+import pytest
+
+from repro.core import SnapsConfig, SnapsResolver
+from repro.core.feedback import FeedbackSession
+from repro.pedigree import build_pedigree_graph
+
+
+class TestFeedbackToPedigree:
+    def test_rejected_link_splits_pedigree_entity(self, tiny_dataset):
+        result = SnapsResolver(SnapsConfig()).resolve(tiny_dataset)
+        session = FeedbackSession(tiny_dataset, result.entities)
+        entity = next(iter(session.store.entities(min_size=2)), None)
+        if entity is None:
+            pytest.skip("no multi-record entity")
+        link = next(iter(entity.links))
+        session.reject(*link)
+        graph = build_pedigree_graph(tiny_dataset, session.store)
+        entity_a = graph.entity_of_record(link[0])
+        entity_b = graph.entity_of_record(link[1])
+        assert entity_a.entity_id != entity_b.entity_id
+
+    def test_confirmed_link_joins_pedigree_entity(self, tiny_dataset):
+        from repro.core.constraints import ConstraintChecker
+
+        result = SnapsResolver(SnapsConfig()).resolve(tiny_dataset)
+        session = FeedbackSession(tiny_dataset, result.entities)
+        checker = ConstraintChecker()
+        records = list(tiny_dataset)
+        pair = None
+        for i, a in enumerate(records):
+            for b in records[i + 1 : i + 100]:
+                if not session.store.same_entity(a.record_id, b.record_id) and (
+                    checker.can_merge(session.store, a, b)
+                ):
+                    pair = (a.record_id, b.record_id)
+                    break
+            if pair:
+                break
+        if pair is None:
+            pytest.skip("no confirmable pair")
+        session.confirm(*pair)
+        graph = build_pedigree_graph(tiny_dataset, session.store)
+        assert (
+            graph.entity_of_record(pair[0]).entity_id
+            == graph.entity_of_record(pair[1]).entity_id
+        )
+
+    def test_feedback_survives_graph_round_trip(self, tiny_dataset, tmp_path):
+        from repro.pedigree import load_pedigree_graph, save_pedigree_graph
+
+        result = SnapsResolver(SnapsConfig()).resolve(tiny_dataset)
+        session = FeedbackSession(tiny_dataset, result.entities)
+        entity = next(iter(session.store.entities(min_size=2)), None)
+        if entity is None:
+            pytest.skip("no multi-record entity")
+        link = next(iter(entity.links))
+        session.reject(*link)
+        graph = build_pedigree_graph(tiny_dataset, session.store)
+        path = save_pedigree_graph(graph, tmp_path / "g.json")
+        loaded = load_pedigree_graph(path)
+        assert (
+            loaded.entity_of_record(link[0]).entity_id
+            != loaded.entity_of_record(link[1]).entity_id
+        )

@@ -1,0 +1,81 @@
+"""Deeper GEDCOM structure tests: family reconstruction correctness."""
+
+import re
+
+import pytest
+
+from repro.pedigree import extract_pedigree, render_gedcom
+from repro.pedigree.gedcom import _families
+from repro.pedigree.graph import FATHER_OF, MOTHER_OF
+
+
+@pytest.fixture(scope="module")
+def pedigree(tiny_pedigree_graph):
+    for entity in tiny_pedigree_graph:
+        if (
+            len(tiny_pedigree_graph.children(entity.entity_id)) >= 2
+            and tiny_pedigree_graph.spouses(entity.entity_id)
+        ):
+            return extract_pedigree(tiny_pedigree_graph, entity.entity_id, 2)
+    pytest.skip("no suitable family")
+
+
+class TestFamilyReconstruction:
+    def test_children_grouped_under_one_family_per_couple(self, pedigree):
+        families = _families(pedigree)
+        seen_children = set()
+        for _, _, children in families:
+            for child in children:
+                assert child not in seen_children, "child in two families"
+                seen_children.add(child)
+
+    def test_family_parents_match_edges(self, pedigree):
+        father_of = {
+            target: source
+            for source, rel, target in pedigree.edges
+            if rel == FATHER_OF
+        }
+        mother_of = {
+            target: source
+            for source, rel, target in pedigree.edges
+            if rel == MOTHER_OF
+        }
+        for father, mother, children in _families(pedigree):
+            for child in children:
+                if child in father_of:
+                    assert father_of[child] == father
+                if child in mother_of:
+                    assert mother_of[child] == mother
+
+    def test_gedcom_cross_references_consistent(self, pedigree):
+        """Every FAMS/FAMC pointer must reference a FAM record that in
+        turn points back at the individual."""
+        text = render_gedcom(pedigree)
+        # Parse a minimal model of the GEDCOM output.
+        indi_blocks: dict[str, list[str]] = {}
+        fam_blocks: dict[str, list[str]] = {}
+        current = None
+        bucket = None
+        for line in text.splitlines():
+            match = re.match(r"0 (@[IF]\d+@) (INDI|FAM)", line)
+            if match:
+                current = match.group(1)
+                bucket = indi_blocks if match.group(2) == "INDI" else fam_blocks
+                bucket[current] = []
+            elif line.startswith("0 "):
+                current = None
+            elif current is not None:
+                bucket[current].append(line)
+        for indi, lines in indi_blocks.items():
+            for line in lines:
+                if line.startswith("1 FAMS "):
+                    fam = line.split()[-1]
+                    members = " ".join(fam_blocks[fam])
+                    assert indi in members
+                if line.startswith("1 FAMC "):
+                    fam = line.split()[-1]
+                    assert f"1 CHIL {indi}" in fam_blocks[fam]
+        for fam, lines in fam_blocks.items():
+            for line in lines:
+                if line.startswith(("1 HUSB", "1 WIFE", "1 CHIL")):
+                    assert line.split()[-1] in indi_blocks

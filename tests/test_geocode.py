@@ -1,0 +1,152 @@
+"""Tests for the geocoding substrate (gazetteer, parser, geocoder)."""
+
+import pytest
+
+from repro.geocode import (
+    Geocoder,
+    default_gazetteer,
+    geo_address_comparator,
+    parse_address,
+)
+from repro.similarity.geo import haversine_km
+
+
+class TestParser:
+    def test_full_address(self):
+        parsed = parse_address("23 high street portree", ["portree"])
+        assert parsed.house_number == 23
+        assert parsed.street == "high street"
+        assert parsed.parish == "portree"
+
+    def test_no_number(self):
+        parsed = parse_address("mill lane sleat", ["sleat"])
+        assert parsed.house_number is None
+        assert parsed.street == "mill lane"
+        assert parsed.parish == "sleat"
+
+    def test_unknown_parish_stays_in_street(self):
+        parsed = parse_address("5 high street atlantis", ["portree"])
+        assert parsed.parish is None
+        assert parsed.street == "high street atlantis"
+
+    def test_empty(self):
+        parsed = parse_address("   ")
+        assert parsed.street == ""
+        assert parsed.house_number is None
+
+    def test_number_only(self):
+        parsed = parse_address("42", ["portree"])
+        assert parsed.house_number == 42
+        assert parsed.street == ""
+
+    def test_normalised_round_trip(self):
+        parsed = parse_address("7 shore road strath", ["strath"])
+        assert parsed.normalised() == "7 shore road strath"
+
+    def test_without_parish_list_heuristic(self):
+        parsed = parse_address("7 shore road strath")
+        assert parsed.parish == "strath"
+
+
+class TestGazetteer:
+    def test_parish_lookup(self):
+        gazetteer = default_gazetteer()
+        assert gazetteer.parish_location("portree") is not None
+        assert gazetteer.parish_location("PORTREE") is not None
+        assert gazetteer.parish_location("atlantis") is None
+
+    def test_street_deterministic(self):
+        gazetteer = default_gazetteer()
+        a = gazetteer.street_location("high street", "portree")
+        b = gazetteer.street_location("high street", "portree")
+        assert a == b
+
+    def test_street_near_parish_centre(self):
+        gazetteer = default_gazetteer()
+        centre = gazetteer.parish_location("portree")
+        street = gazetteer.street_location("high street", "portree")
+        assert haversine_km(centre, street) < 3.0
+
+    def test_same_street_name_differs_across_parishes(self):
+        gazetteer = default_gazetteer()
+        a = gazetteer.street_location("high street", "portree")
+        b = gazetteer.street_location("high street", "sleat")
+        assert haversine_km(a, b) > 3.0
+
+    def test_candidates_cover_all_parishes(self):
+        gazetteer = default_gazetteer()
+        candidates = gazetteer.candidate_locations("high street")
+        assert len(candidates) == len(gazetteer.parishes())
+
+    def test_empty_gazetteer_rejected(self):
+        from repro.geocode.gazetteer import Gazetteer
+
+        with pytest.raises(ValueError):
+            Gazetteer({})
+
+
+class TestGeocoder:
+    @pytest.fixture()
+    def geocoder(self):
+        return Geocoder()
+
+    def test_full_address_geocodes(self, geocoder):
+        assert geocoder.geocode("23 high street portree") is not None
+
+    def test_ambiguous_street_without_context_is_none(self, geocoder):
+        assert geocoder.geocode("23 high street") is None
+
+    def test_context_resolves_ambiguity(self, geocoder):
+        point = geocoder.geocode("23 high street", context_parish="portree")
+        centre = default_gazetteer().parish_location("portree")
+        assert point is not None
+        assert haversine_km(point, centre) < 3.0
+
+    def test_unknown_everything_falls_back_to_context(self, geocoder):
+        point = geocoder.geocode("", context_parish="sleat")
+        assert point == default_gazetteer().parish_location("sleat")
+
+    def test_nothing_at_all(self, geocoder):
+        assert geocoder.geocode("") is None
+
+    def test_cache_consistency(self, geocoder):
+        a = geocoder.geocode("5 mill lane strath")
+        b = geocoder.geocode("5 mill lane strath")
+        assert a == b
+
+    def test_coverage(self, geocoder):
+        addresses = ["23 high street portree", "7 mill lane sleat", ""]
+        assert 0.0 <= geocoder.coverage(addresses) <= 1.0
+        assert geocoder.coverage([]) == 1.0
+
+
+class TestGeoAddressComparator:
+    def test_same_address_is_one(self):
+        compare = geo_address_comparator()
+        assert compare("5 high street portree", "5 high street portree") == 1.0
+
+    def test_same_street_different_number_is_one(self):
+        # Street-level geocoding: house numbers share coordinates.
+        compare = geo_address_comparator()
+        assert compare("5 high street portree", "9 high street portree") == 1.0
+
+    def test_nearby_streets_score_high(self):
+        compare = geo_address_comparator()
+        close = compare("5 high street portree", "5 mill lane portree")
+        far = compare("5 high street portree", "5 mill lane sleat")
+        assert close > far
+
+    def test_ungeocodable_falls_back_to_tokens(self):
+        compare = geo_address_comparator()
+        score = compare("somewhere unknowable", "somewhere unknowable")
+        assert score == 1.0
+
+    def test_registry_integration(self):
+        from repro.similarity.registry import default_registry
+
+        registry = default_registry()
+        registry.register("address", geo_address_comparator())
+        score = registry.compare(
+            "address", "5 high street portree", "5 mill lane sleat"
+        )
+        assert score is not None and 0.0 <= score <= 1.0

@@ -1,0 +1,52 @@
+"""Hypothesis property tests for the index structures."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index import SimilarityAwareIndex
+
+words = st.lists(
+    st.text(alphabet=string.ascii_lowercase, min_size=2, max_size=10),
+    min_size=1,
+    max_size=25,
+    unique=True,
+)
+
+
+class TestSimilarityIndexProperties:
+    @given(values=words)
+    @settings(max_examples=40)
+    def test_every_value_matches_itself_at_one(self, values):
+        index = SimilarityAwareIndex(values, threshold=0.5)
+        for value in values:
+            matches = dict(index.matches(value))
+            assert matches.get(value) == 1.0
+
+    @given(values=words)
+    @settings(max_examples=40)
+    def test_matches_respect_threshold(self, values):
+        index = SimilarityAwareIndex(values, threshold=0.6)
+        for value in values[:5]:
+            for _, similarity in index.matches(value):
+                assert similarity >= 0.6
+
+    @given(values=words, probe=st.text(alphabet=string.ascii_lowercase,
+                                       min_size=2, max_size=10))
+    @settings(max_examples=40)
+    def test_probe_results_subset_of_universe(self, values, probe):
+        index = SimilarityAwareIndex(values, threshold=0.5)
+        universe = {v.lower() for v in values}
+        for matched, _ in index.matches(probe):
+            assert matched in universe
+
+    @given(values=words)
+    @settings(max_examples=30)
+    def test_lower_threshold_returns_superset(self, values):
+        lax = SimilarityAwareIndex(values, threshold=0.4)
+        strict = SimilarityAwareIndex(values, threshold=0.8)
+        for value in values[:5]:
+            lax_matches = {v for v, _ in lax.matches(value)}
+            strict_matches = {v for v, _ in strict.matches(value)}
+            assert strict_matches <= lax_matches

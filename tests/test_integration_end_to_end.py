@@ -1,0 +1,132 @@
+"""End-to-end integration tests: the full SNAPS workflow of Figure 1.
+
+Offline: simulate → corrupt → resolve → pedigree graph → indices.
+Online: query → rank → select → extract pedigree → render.
+"""
+
+import pytest
+
+from repro.anonymize import anonymise_dataset
+from repro.core import SnapsConfig, SnapsResolver
+from repro.eval import evaluate_linkage
+from repro.pedigree import (
+    build_pedigree_graph,
+    extract_pedigree,
+    render_ascii_tree,
+    render_dot,
+)
+from repro.query import Query, QueryEngine
+
+
+class TestOfflineOnlineWorkflow:
+    def test_full_pipeline(self, tiny_dataset, resolved_tiny, tiny_pedigree_graph):
+        engine = QueryEngine(tiny_pedigree_graph)
+        # Pick a person who died (so they have a Dd record) and query for
+        # them the way the Genetics Genealogy Team would.
+        from repro.data.roles import Role
+
+        target = next(
+            e
+            for e in tiny_pedigree_graph
+            if Role.DD in e.roles and e.first("first_name") and e.first("surname")
+        )
+        query = Query(
+            first_name=target.first("first_name"),
+            surname=target.first("surname"),
+            record_type="death",
+            gender=target.gender,
+        )
+        results = engine.search(query, top_m=10)
+        assert results, "query should return candidates"
+        hit = next(
+            (r for r in results if r.entity.entity_id == target.entity_id), None
+        )
+        assert hit is not None, "the true person must be retrievable"
+        pedigree = extract_pedigree(tiny_pedigree_graph, hit.entity.entity_id, 2)
+        assert pedigree.root_id == target.entity_id
+        text = render_ascii_tree(pedigree)
+        dot = render_dot(pedigree)
+        assert target.display_name() in text
+        assert "digraph" in dot
+
+    def test_resolution_recovers_family_structure(
+        self, tiny_dataset, tiny_pedigree_graph
+    ):
+        """Parents resolved across sibling certificates collapse into one
+        pedigree node with several children."""
+        multi_child = [
+            e
+            for e in tiny_pedigree_graph
+            if len(tiny_pedigree_graph.children(e.entity_id)) >= 2
+        ]
+        assert multi_child, "resolution should produce multi-child parents"
+
+    def test_pedigree_children_are_distinct_people(
+        self, tiny_dataset, tiny_pedigree_graph
+    ):
+        """The partial-match-group problem: siblings must remain separate
+        entities even though they share surname/address/parents."""
+        # Collect ground-truth sibling sets (children of one mother).
+        from repro.data.roles import Role
+
+        by_mother: dict[int, set[int]] = {}
+        for cert in tiny_dataset.certificates.values():
+            baby = cert.roles.get(Role.BB)
+            mother = cert.roles.get(Role.BM)
+            if baby is None or mother is None:
+                continue
+            mother_person = tiny_dataset.record(mother).person_id
+            by_mother.setdefault(mother_person, set()).add(
+                tiny_dataset.record(baby).person_id
+            )
+        # No resolved entity may contain records of two different siblings.
+        for entity in tiny_pedigree_graph:
+            persons = {
+                tiny_dataset.record(rid).person_id for rid in entity.record_ids
+            }
+            if len(persons) < 2:
+                continue
+            for siblings in by_mother.values():
+                assert len(persons & siblings) <= 1, "two siblings merged"
+
+    def test_anonymised_dataset_still_resolvable(self, tiny_dataset):
+        """Anonymisation preserves linkage structure: resolving the
+        anonymised data gives comparable quality."""
+        anon, _ = anonymise_dataset(tiny_dataset, k=5, seed=4)
+        original = SnapsResolver(SnapsConfig()).resolve(tiny_dataset)
+        anonymised = SnapsResolver(SnapsConfig()).resolve(anon)
+        ev_orig = evaluate_linkage(
+            original.matched_pairs("Bp-Bp"), tiny_dataset.true_match_pairs("Bp-Bp")
+        )
+        ev_anon = evaluate_linkage(
+            anonymised.matched_pairs("Bp-Bp"), anon.true_match_pairs("Bp-Bp")
+        )
+        assert abs(ev_orig.f_star - ev_anon.f_star) < 25.0
+
+    def test_query_on_anonymised_data(self, tiny_dataset):
+        anon, _ = anonymise_dataset(tiny_dataset, k=5, seed=4)
+        result = SnapsResolver(SnapsConfig()).resolve(anon)
+        graph = build_pedigree_graph(anon, result.entities)
+        engine = QueryEngine(graph)
+        target = next(
+            e for e in graph if e.first("first_name") and e.first("surname")
+        )
+        results = engine.search(
+            Query(first_name=target.first("first_name"),
+                  surname=target.first("surname"))
+        )
+        assert results
+        assert results[0].score_percent > 50.0
+
+
+class TestBaselineOrdering:
+    """The paper's headline claim: SNAPS beats every baseline on F*."""
+
+    def test_snaps_beats_attr_sim(self, tiny_dataset, resolved_tiny):
+        from repro.baselines import AttrSimLinker
+
+        attr = AttrSimLinker().link(tiny_dataset)
+        truth = tiny_dataset.true_match_pairs("Bp-Bp")
+        snaps_f = evaluate_linkage(resolved_tiny.matched_pairs("Bp-Bp"), truth).f_star
+        attr_f = evaluate_linkage(attr.matched_pairs("Bp-Bp"), truth).f_star
+        assert snaps_f >= attr_f - 2.0  # tiny data is easy; allow noise

@@ -1,0 +1,151 @@
+"""Tests for the from-scratch classifiers."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    DecisionTree,
+    LinearSVM,
+    LogisticRegression,
+    RandomForest,
+    StandardScaler,
+    train_test_split,
+)
+
+
+@pytest.fixture(scope="module")
+def separable():
+    """Linearly separable 2-D blobs."""
+    rng = np.random.default_rng(0)
+    X0 = rng.normal(loc=-1.5, scale=0.5, size=(150, 2))
+    X1 = rng.normal(loc=+1.5, scale=0.5, size=(150, 2))
+    X = np.vstack([X0, X1])
+    y = np.array([0] * 150 + [1] * 150)
+    return X, y
+
+
+@pytest.fixture(scope="module")
+def xor_data():
+    """XOR pattern — linearly inseparable, trees should handle it."""
+    rng = np.random.default_rng(1)
+    X = rng.uniform(-1, 1, size=(400, 2))
+    y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+    return X, y
+
+
+ALL_CLASSIFIERS = [
+    lambda: LogisticRegression(),
+    lambda: DecisionTree(seed=0),
+    lambda: RandomForest(n_trees=7, seed=0),
+    lambda: LinearSVM(seed=0),
+]
+
+
+class TestAllClassifiers:
+    @pytest.mark.parametrize("factory", ALL_CLASSIFIERS)
+    def test_separable_accuracy(self, factory, separable):
+        X, y = separable
+        model = factory().fit(X, y)
+        accuracy = (model.predict(X) == y).mean()
+        assert accuracy > 0.95
+
+    @pytest.mark.parametrize("factory", ALL_CLASSIFIERS)
+    def test_predictions_are_binary(self, factory, separable):
+        X, y = separable
+        predictions = factory().fit(X, y).predict(X)
+        assert set(np.unique(predictions)) <= {0, 1}
+
+    @pytest.mark.parametrize("factory", ALL_CLASSIFIERS)
+    def test_unfitted_predict_raises(self, factory):
+        with pytest.raises(RuntimeError):
+            factory().predict(np.zeros((2, 2)))
+
+    @pytest.mark.parametrize("factory", ALL_CLASSIFIERS)
+    def test_rejects_non_binary_labels(self, factory):
+        with pytest.raises(ValueError):
+            factory().fit(np.zeros((4, 2)), np.array([0, 1, 2, 1]))
+
+    @pytest.mark.parametrize("factory", ALL_CLASSIFIERS)
+    def test_rejects_empty(self, factory):
+        with pytest.raises(ValueError):
+            factory().fit(np.zeros((0, 2)), np.array([]))
+
+
+class TestTreesOnXor:
+    def test_tree_beats_linear_on_xor(self, xor_data):
+        X, y = xor_data
+        tree_acc = (DecisionTree(seed=0).fit(X, y).predict(X) == y).mean()
+        linear_acc = (LogisticRegression().fit(X, y).predict(X) == y).mean()
+        assert tree_acc > 0.9
+        assert tree_acc > linear_acc + 0.2
+
+    def test_forest_at_least_as_good_as_tree(self, xor_data):
+        X, y = xor_data
+        tree_acc = (DecisionTree(max_depth=4, seed=0).fit(X, y).predict(X) == y).mean()
+        forest_acc = (
+            RandomForest(n_trees=15, max_depth=4, seed=0).fit(X, y).predict(X) == y
+        ).mean()
+        assert forest_acc >= tree_acc - 0.05
+
+
+class TestLogisticRegression:
+    def test_probabilities_in_range(self, separable):
+        X, y = separable
+        probs = LogisticRegression().fit(X, y).predict_proba(X)
+        assert np.all((probs >= 0) & (probs <= 1))
+
+    def test_deterministic(self, separable):
+        X, y = separable
+        a = LogisticRegression().fit(X, y).predict_proba(X)
+        b = LogisticRegression().fit(X, y).predict_proba(X)
+        assert np.allclose(a, b)
+
+    def test_invalid_hyperparams(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(learning_rate=0)
+
+
+class TestSvm:
+    def test_margin_signs_match_predictions(self, separable):
+        X, y = separable
+        model = LinearSVM(seed=0).fit(X, y)
+        margins = model.decision_function(X)
+        assert np.array_equal((margins >= 0).astype(int), model.predict(X))
+
+    def test_invalid_hyperparams(self):
+        with pytest.raises(ValueError):
+            LinearSVM(lambda_reg=0)
+
+
+class TestScalerAndSplit:
+    def test_scaler_standardises(self, separable):
+        X, _ = separable
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z.mean(axis=0), 0, atol=1e-9)
+        assert np.allclose(Z.std(axis=0), 1, atol=1e-9)
+
+    def test_scaler_constant_column_safe(self):
+        X = np.ones((10, 2))
+        Z = StandardScaler().fit_transform(X)
+        assert np.all(np.isfinite(Z))
+
+    def test_scaler_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.zeros((2, 2)))
+
+    def test_split_sizes(self, separable):
+        X, y = separable
+        X_tr, X_te, y_tr, y_te = train_test_split(X, y, test_fraction=0.3, seed=1)
+        assert len(X_tr) + len(X_te) == len(X)
+        assert len(X_te) == pytest.approx(0.3 * len(X), abs=2)
+
+    def test_split_disjoint_and_deterministic(self, separable):
+        X, y = separable
+        a = train_test_split(X, y, seed=5)
+        b = train_test_split(X, y, seed=5)
+        assert np.array_equal(a[0], b[0])
+
+    def test_split_bad_fraction(self, separable):
+        X, y = separable
+        with pytest.raises(ValueError):
+            train_test_split(X, y, test_fraction=1.5)

@@ -1,0 +1,151 @@
+"""Tests for pedigree graph generation, extraction, and rendering."""
+
+import pytest
+
+from repro.pedigree import (
+    build_pedigree_graph,
+    extract_pedigree,
+    render_ascii_tree,
+    render_dot,
+)
+from repro.pedigree.graph import CHILD_OF, FATHER_OF, MOTHER_OF, SPOUSE_OF
+
+
+class TestPedigreeGraph:
+    def test_every_record_has_an_entity(self, tiny_dataset, tiny_pedigree_graph):
+        for record in tiny_dataset:
+            assert tiny_pedigree_graph.entity_of_record(record.record_id) is not None
+
+    def test_entities_carry_merged_values(self, tiny_pedigree_graph):
+        multi = [e for e in tiny_pedigree_graph if len(e.record_ids) > 1]
+        assert multi, "resolved graph should contain multi-record entities"
+        for entity in multi[:10]:
+            assert entity.first("first_name") is not None
+
+    def test_edges_follow_certificates(self, tiny_dataset, tiny_pedigree_graph):
+        from repro.data.roles import CertificateType, Role
+
+        checked = 0
+        for cert in tiny_dataset.certificates.values():
+            if cert.cert_type is not CertificateType.BIRTH:
+                continue
+            baby = tiny_pedigree_graph.entity_of_record(cert.roles[Role.BB])
+            mother = tiny_pedigree_graph.entity_of_record(cert.roles[Role.BM])
+            assert baby.entity_id in tiny_pedigree_graph.children(mother.entity_id)
+            assert mother.entity_id in tiny_pedigree_graph.parents(baby.entity_id)
+            checked += 1
+            if checked > 20:
+                break
+        assert checked > 0
+
+    def test_spouse_edges_symmetric(self, tiny_pedigree_graph):
+        for entity in list(tiny_pedigree_graph)[:50]:
+            for spouse in tiny_pedigree_graph.spouses(entity.entity_id):
+                assert entity.entity_id in tiny_pedigree_graph.spouses(spouse)
+
+    def test_no_self_edges(self, tiny_pedigree_graph):
+        for entity in tiny_pedigree_graph:
+            assert entity.entity_id not in tiny_pedigree_graph.all_neighbours(
+                entity.entity_id
+            )
+
+    def test_unknown_edge_entity_rejected(self, tiny_pedigree_graph):
+        with pytest.raises(KeyError):
+            tiny_pedigree_graph.add_edge(-1, MOTHER_OF, -2)
+
+    def test_display_name_and_year_range(self, tiny_pedigree_graph):
+        entity = next(iter(tiny_pedigree_graph))
+        assert " " in entity.display_name()
+        span = entity.year_range()
+        assert span is None or span[0] <= span[1]
+
+
+class TestExtraction:
+    def _root_with_family(self, graph):
+        for entity in graph:
+            if graph.children(entity.entity_id) and graph.spouses(entity.entity_id):
+                return entity
+        pytest.skip("no entity with spouse and children")
+
+    def test_zero_generations_is_root_only(self, tiny_pedigree_graph):
+        root = self._root_with_family(tiny_pedigree_graph)
+        pedigree = extract_pedigree(tiny_pedigree_graph, root.entity_id, 0)
+        assert len(pedigree) == 1
+        assert pedigree.root_id == root.entity_id
+
+    def test_one_hop_contains_direct_family(self, tiny_pedigree_graph):
+        root = self._root_with_family(tiny_pedigree_graph)
+        pedigree = extract_pedigree(tiny_pedigree_graph, root.entity_id, 1)
+        family = (
+            tiny_pedigree_graph.children(root.entity_id)
+            | tiny_pedigree_graph.spouses(root.entity_id)
+            | tiny_pedigree_graph.parents(root.entity_id)
+        )
+        assert family <= set(pedigree.entities)
+
+    def test_hops_recorded(self, tiny_pedigree_graph):
+        root = self._root_with_family(tiny_pedigree_graph)
+        pedigree = extract_pedigree(tiny_pedigree_graph, root.entity_id, 2)
+        assert pedigree.hops[root.entity_id] == 0
+        assert all(0 <= h <= 2 for h in pedigree.hops.values())
+
+    def test_two_hops_superset_of_one(self, tiny_pedigree_graph):
+        root = self._root_with_family(tiny_pedigree_graph)
+        one = extract_pedigree(tiny_pedigree_graph, root.entity_id, 1)
+        two = extract_pedigree(tiny_pedigree_graph, root.entity_id, 2)
+        assert set(one.entities) <= set(two.entities)
+
+    def test_edges_restricted_to_extracted(self, tiny_pedigree_graph):
+        root = self._root_with_family(tiny_pedigree_graph)
+        pedigree = extract_pedigree(tiny_pedigree_graph, root.entity_id, 2)
+        for source, _, target in pedigree.edges:
+            assert source in pedigree.entities
+            assert target in pedigree.entities
+
+    def test_generations_signed(self, tiny_pedigree_graph):
+        root = self._root_with_family(tiny_pedigree_graph)
+        pedigree = extract_pedigree(tiny_pedigree_graph, root.entity_id, 2)
+        assert pedigree.generation_of(root.entity_id) == 0
+        for child in tiny_pedigree_graph.children(root.entity_id):
+            if child in pedigree.entities:
+                assert pedigree.generation_of(child) == -1
+
+    def test_unknown_entity_raises(self, tiny_pedigree_graph):
+        with pytest.raises(KeyError):
+            extract_pedigree(tiny_pedigree_graph, -99)
+
+    def test_negative_generations_rejected(self, tiny_pedigree_graph):
+        root = next(iter(tiny_pedigree_graph))
+        with pytest.raises(ValueError):
+            extract_pedigree(tiny_pedigree_graph, root.entity_id, -1)
+
+
+class TestRendering:
+    def _pedigree(self, graph):
+        for entity in graph:
+            if graph.children(entity.entity_id):
+                return extract_pedigree(graph, entity.entity_id, 2)
+        pytest.skip("no suitable entity")
+
+    def test_ascii_contains_root_marker(self, tiny_pedigree_graph):
+        pedigree = self._pedigree(tiny_pedigree_graph)
+        text = render_ascii_tree(pedigree)
+        assert "*" in text
+        assert pedigree.root.display_name() in text
+
+    def test_ascii_has_generation_headers(self, tiny_pedigree_graph):
+        pedigree = self._pedigree(tiny_pedigree_graph)
+        assert "===" in render_ascii_tree(pedigree)
+
+    def test_dot_is_valid_shape(self, tiny_pedigree_graph):
+        pedigree = self._pedigree(tiny_pedigree_graph)
+        dot = render_dot(pedigree)
+        assert dot.startswith("digraph pedigree {")
+        assert dot.rstrip().endswith("}")
+        for entity_id in pedigree.entities:
+            assert f"e{entity_id} " in dot
+
+    def test_dot_edges_rendered(self, tiny_pedigree_graph):
+        pedigree = self._pedigree(tiny_pedigree_graph)
+        dot = render_dot(pedigree)
+        assert "->" in dot

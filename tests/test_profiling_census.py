@@ -1,0 +1,40 @@
+"""Profiling over census roles and multi-role populations."""
+
+import pytest
+
+from repro.data.roles import CENSUS_ROLES, Role
+from repro.data.synthetic import make_ios_census_dataset
+from repro.eval.profiling import attribute_profile, rank_frequency_series
+
+
+@pytest.fixture(scope="module")
+def census_dataset():
+    return make_ios_census_dataset(scale=0.05, seed=53)
+
+
+class TestCensusProfiling:
+    def test_profile_over_census_roles(self, census_dataset):
+        profile = attribute_profile(
+            census_dataset, "first_name", roles=CENSUS_ROLES
+        )
+        assert profile.n_records > 0
+        assert profile.min_freq >= 1
+
+    def test_age_nearly_complete_in_census(self, census_dataset):
+        profile = attribute_profile(census_dataset, "age", roles=CENSUS_ROLES)
+        # The corruption model blanks only a few percent of ages.
+        assert profile.missing < profile.n_records * 0.1
+
+    def test_rank_frequency_over_all_roles(self, census_dataset):
+        series = rank_frequency_series(
+            census_dataset, "surname", roles=list(Role), top_k=50
+        )
+        assert series
+        counts = [c for _, c in series]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_profile_empty_role_set(self, census_dataset):
+        profile = attribute_profile(census_dataset, "first_name", roles=())
+        assert profile.n_records == 0
+        assert profile.missing == 0
+        assert profile.avg_freq == 0.0

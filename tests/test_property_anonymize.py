@@ -1,0 +1,107 @@
+"""Hypothesis property tests for the anonymisation subsystem."""
+
+import string
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.anonymize.causes import NOT_KNOWN, CauseOfDeathAnonymiser, age_band
+from repro.anonymize.dates import DateShifter
+from repro.anonymize.names import NameAnonymiser, cluster_names
+
+name_strategy = st.text(alphabet=string.ascii_lowercase, min_size=2, max_size=12)
+name_lists = st.lists(name_strategy, min_size=1, max_size=15, unique=True)
+
+
+class TestClusterProperties:
+    @given(names=name_lists)
+    @settings(max_examples=40)
+    def test_clusters_partition_input(self, names):
+        clusters = cluster_names(names)
+        flattened = sorted(n for c in clusters for n in c)
+        assert flattened == sorted(set(names))
+
+    @given(names=name_lists)
+    @settings(max_examples=40)
+    def test_no_empty_clusters(self, names):
+        assert all(cluster for cluster in cluster_names(names))
+
+
+class TestNameAnonymiserProperties:
+    public = ["karen", "susan", "linda", "donna", "cynthia", "pamela",
+              "sharon", "brenda", "diane", "janice"]
+
+    @given(names=name_lists)
+    @settings(max_examples=40)
+    def test_total_and_injective(self, names):
+        anonymiser = NameAnonymiser.fit(names, self.public, seed=1)
+        assert set(anonymiser.mapping) == set(names)
+        values = list(anonymiser.mapping.values())
+        assert len(values) == len(set(values))
+
+    @given(names=name_lists)
+    @settings(max_examples=40)
+    def test_deterministic(self, names):
+        a = NameAnonymiser.fit(names, self.public, seed=5)
+        b = NameAnonymiser.fit(names, self.public, seed=5)
+        assert a.mapping == b.mapping
+
+    @given(names=name_lists, token=name_strategy)
+    @settings(max_examples=40)
+    def test_anonymise_never_leaks_sensitive_names(self, names, token):
+        assume(token not in self.public)
+        anonymiser = NameAnonymiser.fit(names, self.public, seed=2)
+        out = anonymiser.anonymise(token)
+        # Every output token derives from the public universe (possibly
+        # suffixed for uniqueness), never from the sensitive one.
+        for output_token in out.split():
+            assert not any(output_token == sensitive for sensitive in names) or (
+                token in names and False
+            ) or output_token not in names
+
+
+class TestDateShifterProperties:
+    @given(offset=st.integers(-50, 50).filter(lambda x: x != 0),
+           years=st.lists(st.integers(1700, 2000), min_size=2, max_size=10))
+    def test_distances_preserved(self, offset, years):
+        shifter = DateShifter(offset=offset)
+        shifted = [shifter.shift_year(y) for y in years]
+        for (a, b), (sa, sb) in zip(zip(years, years[1:]), zip(shifted, shifted[1:])):
+            assert b - a == sb - sa
+
+    @given(seed=st.integers(0, 1000))
+    def test_random_offset_in_documented_range(self, seed):
+        shifter = DateShifter(seed=seed)
+        offset = shifter.shift_year(0)
+        assert 5 <= abs(offset) <= 25
+
+
+class TestCauseAnonymiserProperties:
+    @given(
+        observations=st.lists(
+            st.tuples(
+                st.sampled_from(["phthisis", "bronchitis", "old age",
+                                 "drowned", "measles", "rare odd cause"]),
+                st.sampled_from(["m", "f"]),
+                st.one_of(st.none(), st.integers(0, 100)),
+            ),
+            min_size=1,
+            max_size=60,
+        ),
+        k=st.integers(2, 12),
+    )
+    @settings(max_examples=40)
+    def test_output_is_frequent_or_not_known(self, observations, k):
+        anonymiser = CauseOfDeathAnonymiser(k=k).fit(observations)
+        frequent = {
+            cause
+            for causes in anonymiser._frequent.values()
+            for cause in causes
+        }
+        for cause, gender, age in observations:
+            out = anonymiser.anonymise(cause, gender, age)
+            assert out == NOT_KNOWN or out in frequent
+
+    @given(age=st.integers(0, 120))
+    def test_age_band_total(self, age):
+        assert age_band(age) in ("young", "middle", "old")

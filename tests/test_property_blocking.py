@@ -1,0 +1,74 @@
+"""Hypothesis property tests for blocking components."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blocking.lsh import LshBlocker
+from repro.blocking.minhash import MinHasher
+from repro.data.records import Record
+from repro.data.roles import Role
+
+words = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=12)
+
+
+def _record(rid, first, surname):
+    return Record(rid, rid, Role.BM,
+                  {"first_name": first, "surname": surname,
+                   "event_year": "1880"}, rid)
+
+
+class TestLshProperties:
+    @given(
+        jaccards=st.lists(
+            st.floats(0.0, 1.0, allow_nan=False), min_size=2, max_size=10
+        )
+    )
+    def test_s_curve_monotone(self, jaccards):
+        blocker = LshBlocker()
+        ordered = sorted(jaccards)
+        probabilities = [
+            blocker.estimated_pair_probability(j) for j in ordered
+        ]
+        assert probabilities == sorted(probabilities)
+        assert all(0.0 <= p <= 1.0 for p in probabilities)
+
+    @given(first=words, surname=words)
+    @settings(max_examples=40)
+    def test_identical_records_always_co_blocked(self, first, surname):
+        blocker = LshBlocker()
+        a = _record(1, first, surname)
+        b = _record(2, first, surname)
+        assert set(blocker.block_keys(a)) == set(blocker.block_keys(b))
+
+    @given(first=words, surname=words)
+    @settings(max_examples=40)
+    def test_key_count_equals_bands(self, first, surname):
+        blocker = LshBlocker(n_bands=8, rows_per_band=4)
+        keys = blocker.block_keys(_record(1, first, surname))
+        assert len(keys) == 8
+
+    @given(first=words, surname=words)
+    @settings(max_examples=30)
+    def test_keys_deterministic_across_instances(self, first, surname):
+        a = LshBlocker(seed=5).block_keys(_record(1, first, surname))
+        b = LshBlocker(seed=5).block_keys(_record(2, first, surname))
+        assert a == b
+
+
+class TestMinHashProperties:
+    @given(value=words)
+    @settings(max_examples=40)
+    def test_signature_stable(self, value):
+        hasher = MinHasher(n_hashes=16, seed=9)
+        assert hasher.signature(value) == hasher.signature(value)
+
+    @given(a=words, b=words)
+    @settings(max_examples=40)
+    def test_estimate_symmetric_and_bounded(self, a, b):
+        hasher = MinHasher(n_hashes=32, seed=9)
+        sig_a, sig_b = hasher.signature(a), hasher.signature(b)
+        estimate = hasher.estimate_jaccard(sig_a, sig_b)
+        assert estimate == hasher.estimate_jaccard(sig_b, sig_a)
+        assert 0.0 <= estimate <= 1.0

@@ -1,0 +1,132 @@
+"""Hypothesis property tests on ER invariants.
+
+The entity store must uphold its invariants under arbitrary merge/remove
+sequences, and the metrics must satisfy their algebraic identities for
+arbitrary confusion counts.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.entities import EntityStore
+from repro.eval.metrics import ConfusionCounts, f_measure, f_star, precision, recall
+from repro.data.records import Certificate, Dataset, Record
+from repro.data.roles import CertificateType, Role
+
+
+def _dataset(n=10):
+    records = [
+        Record(i, i, Role.BM, {"first_name": "mary", "surname": "ross",
+                               "event_year": str(1870 + (i % 6))}, 1)
+        for i in range(1, n + 1)
+    ]
+    certs = [
+        Certificate(i, CertificateType.BIRTH, 1870 + (i % 6), "uig", {Role.BM: i})
+        for i in range(1, n + 1)
+    ]
+    return Dataset("prop", records, certs)
+
+
+@st.composite
+def merge_remove_ops(draw):
+    n_ops = draw(st.integers(0, 25))
+    ops = []
+    for _ in range(n_ops):
+        kind = draw(st.sampled_from(["merge", "remove"]))
+        if kind == "merge":
+            a = draw(st.integers(1, 10))
+            b = draw(st.integers(1, 10))
+            if a != b:
+                ops.append(("merge", a, b))
+        else:
+            ops.append(("remove", draw(st.integers(1, 10)), 0))
+    return ops
+
+
+class TestEntityStoreInvariants:
+    @given(ops=merge_remove_ops())
+    @settings(max_examples=60)
+    def test_partition_invariants(self, ops):
+        dataset = _dataset()
+        store = EntityStore(dataset)
+        for kind, a, b in ops:
+            if kind == "merge":
+                store.merge(a, b)
+            else:
+                store.remove_record(a)
+        # 1. Every record belongs to exactly one entity.
+        seen = {}
+        for entity in store.entities():
+            for rid in entity.record_ids:
+                assert rid not in seen
+                seen[rid] = entity.entity_id
+        assert set(seen) == set(range(1, 11))
+        # 2. Links always stay inside their entity.
+        for entity in store.entities():
+            for x, y in entity.links:
+                assert x in entity.record_ids and y in entity.record_ids
+        # 3. Entities are connected by their links (no phantom clusters).
+        for entity in store.entities(min_size=2):
+            adjacency = {rid: set() for rid in entity.record_ids}
+            for x, y in entity.links:
+                adjacency[x].add(y)
+                adjacency[y].add(x)
+            start = next(iter(entity.record_ids))
+            reached = {start}
+            frontier = [start]
+            while frontier:
+                node = frontier.pop()
+                for neighbour in adjacency[node]:
+                    if neighbour not in reached:
+                        reached.add(neighbour)
+                        frontier.append(neighbour)
+            assert reached == entity.record_ids
+        # 4. Role counts agree with membership.
+        for entity in store.entities():
+            assert sum(entity.role_counts.values()) == len(entity.record_ids)
+
+    @given(ops=merge_remove_ops())
+    @settings(max_examples=30)
+    def test_matched_pairs_symmetric_closed(self, ops):
+        dataset = _dataset()
+        store = EntityStore(dataset)
+        for kind, a, b in ops:
+            if kind == "merge":
+                store.merge(a, b)
+            else:
+                store.remove_record(a)
+        pairs = store.all_matched_pairs()
+        for a, b in pairs:
+            assert a < b
+            assert store.same_entity(a, b)
+        # Closure: pairs form disjoint cliques.
+        for a, b in pairs:
+            for c, d in pairs:
+                if b == c:
+                    assert (min(a, d), max(a, d)) in pairs or a == d
+
+
+class TestMetricIdentities:
+    @given(tp=st.integers(0, 1000), fp=st.integers(0, 1000), fn=st.integers(0, 1000))
+    def test_ranges(self, tp, fp, fn):
+        counts = ConfusionCounts(tp, fp, fn)
+        for metric in (precision, recall, f_star, f_measure):
+            assert 0.0 <= metric(counts) <= 1.0
+
+    @given(tp=st.integers(1, 1000), fp=st.integers(0, 1000), fn=st.integers(0, 1000))
+    def test_fstar_transform_identity(self, tp, fp, fn):
+        counts = ConfusionCounts(tp, fp, fn)
+        f = f_measure(counts)
+        assert abs(f_star(counts) - f / (2.0 - f)) < 1e-9
+
+    @given(tp=st.integers(0, 1000), fp=st.integers(0, 1000), fn=st.integers(0, 1000))
+    def test_fstar_leq_min_p_r(self, tp, fp, fn):
+        counts = ConfusionCounts(tp, fp, fn)
+        assert f_star(counts) <= min(precision(counts), recall(counts)) + 1e-12
+
+    @given(tp=st.integers(0, 500), fp=st.integers(0, 500), fn=st.integers(0, 500),
+           extra=st.integers(1, 100))
+    def test_more_tp_never_hurts(self, tp, fp, fn, extra):
+        worse = ConfusionCounts(tp, fp, fn)
+        better = ConfusionCounts(tp + extra, fp, fn)
+        assert f_star(better) >= f_star(worse)

@@ -1,0 +1,144 @@
+"""Hypothesis property tests for the similarity substrate.
+
+These are the invariants every comparator must satisfy regardless of
+input: range [0, 1], symmetry, identity, and agreement between the
+distance and similarity forms.
+"""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.similarity.jaro import jaro_similarity, jaro_winkler_similarity
+from repro.similarity.jaccard import dice_similarity, jaccard_similarity, token_jaccard
+from repro.similarity.levenshtein import (
+    damerau_levenshtein_distance,
+    levenshtein_distance,
+    levenshtein_similarity,
+)
+from repro.similarity.phonetic import nysiis, soundex
+from repro.similarity.qgram import qgram_similarity, qgrams
+from repro.similarity.registry import name_similarity
+
+names = st.text(alphabet=string.ascii_lowercase + " '", min_size=0, max_size=20)
+words = st.text(alphabet=string.ascii_lowercase, min_size=0, max_size=15)
+
+
+class TestRangeAndSymmetry:
+    @given(a=names, b=names)
+    def test_jaro_range_symmetry(self, a, b):
+        s = jaro_similarity(a, b)
+        assert 0.0 <= s <= 1.0
+        assert s == jaro_similarity(b, a)
+
+    @given(a=names, b=names)
+    def test_jaro_winkler_range_symmetry(self, a, b):
+        s = jaro_winkler_similarity(a, b)
+        assert 0.0 <= s <= 1.0
+        assert s == jaro_winkler_similarity(b, a)
+
+    @given(a=names, b=names)
+    def test_jaro_winkler_geq_jaro(self, a, b):
+        assert jaro_winkler_similarity(a, b) >= jaro_similarity(a, b) - 1e-12
+
+    @given(a=names, b=names)
+    def test_levenshtein_similarity_range(self, a, b):
+        s = levenshtein_similarity(a, b)
+        assert 0.0 <= s <= 1.0
+        assert s == levenshtein_similarity(b, a)
+
+    @given(a=names, b=names)
+    def test_qgram_range_symmetry(self, a, b):
+        s = qgram_similarity(a, b)
+        assert 0.0 <= s <= 1.0
+        assert s == qgram_similarity(b, a)
+
+    @given(a=names, b=names)
+    def test_token_jaccard_range(self, a, b):
+        assert 0.0 <= token_jaccard(a, b) <= 1.0
+
+    @given(a=names, b=names)
+    def test_name_similarity_range_symmetry(self, a, b):
+        s = name_similarity(a, b)
+        assert 0.0 <= s <= 1.0
+        assert s == name_similarity(b, a)
+
+
+class TestIdentity:
+    @given(a=names)
+    def test_self_similarity_is_one(self, a):
+        assert jaro_winkler_similarity(a, a) == 1.0
+        assert levenshtein_similarity(a, a) == 1.0
+        assert qgram_similarity(a, a) == 1.0
+        assert name_similarity(a, a) == 1.0
+
+    @given(a=names)
+    def test_self_distance_is_zero(self, a):
+        assert levenshtein_distance(a, a) == 0
+        assert damerau_levenshtein_distance(a, a) == 0
+
+
+class TestDistanceProperties:
+    @given(a=words, b=words)
+    def test_levenshtein_bounds(self, a, b):
+        d = levenshtein_distance(a, b)
+        assert abs(len(a) - len(b)) <= d <= max(len(a), len(b))
+
+    @given(a=words, b=words)
+    def test_damerau_leq_levenshtein(self, a, b):
+        assert damerau_levenshtein_distance(a, b) <= levenshtein_distance(a, b)
+
+    @given(a=words, b=words, c=words)
+    @settings(max_examples=50)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein_distance(a, c) <= (
+            levenshtein_distance(a, b) + levenshtein_distance(b, c)
+        )
+
+    @given(a=words, b=words)
+    def test_zero_distance_iff_equal(self, a, b):
+        assert (levenshtein_distance(a, b) == 0) == (a == b)
+
+
+class TestSetSimilarities:
+    @given(
+        a=st.frozensets(st.integers(0, 20), max_size=10),
+        b=st.frozensets(st.integers(0, 20), max_size=10),
+    )
+    def test_jaccard_dice_relationship(self, a, b):
+        j = jaccard_similarity(a, b)
+        d = dice_similarity(a, b)
+        assert 0.0 <= j <= d <= 1.0
+        if 0 < j < 1:
+            # d = 2j / (1 + j)
+            assert abs(d - 2 * j / (1 + j)) < 1e-12
+
+
+class TestPhonetic:
+    @given(a=words)
+    def test_soundex_shape(self, a):
+        code = soundex(a)
+        assert len(code) == 4
+        assert code[0].isalpha() or code[0] == "0"
+        assert all(c.isdigit() or c.isalpha() for c in code)
+
+    @given(a=words)
+    def test_soundex_deterministic(self, a):
+        assert soundex(a) == soundex(a)
+
+    @given(a=words)
+    def test_nysiis_deterministic_and_upper(self, a):
+        code = nysiis(a)
+        assert code == nysiis(a)
+        assert code == code.upper()
+
+
+class TestQgrams:
+    @given(a=words, q=st.integers(1, 4))
+    def test_qgram_count_bound(self, a, q):
+        grams = qgrams(a, q=q)
+        if len(a) >= q:
+            assert len(grams) <= len(a) - q + 1
+        for gram in grams:
+            assert gram in a

@@ -1,0 +1,114 @@
+"""Hypothesis property tests for core data structures.
+
+Union-find, TopK, the updatable priority queue, MinHash, and the entity
+store are each checked against a trivial reference implementation on
+random operation sequences.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blocking.minhash import MinHasher
+from repro.utils.heaps import TopK, UpdatablePriorityQueue
+from repro.utils.union_find import UnionFind
+
+
+class TestUnionFindModel:
+    @given(
+        ops=st.lists(
+            st.tuples(st.integers(0, 15), st.integers(0, 15)), max_size=40
+        )
+    )
+    def test_matches_naive_partition(self, ops):
+        uf = UnionFind(range(16))
+        # Reference: explicit set partition.
+        partition = {i: {i} for i in range(16)}
+
+        def find_set(x):
+            for s in set(map(frozenset, partition.values())):
+                if x in s:
+                    return s
+            raise AssertionError
+
+        for a, b in ops:
+            uf.union(a, b)
+            sa, sb = find_set(a), find_set(b)
+            merged = sa | sb
+            for member in merged:
+                partition[member] = set(merged)
+        for a in range(16):
+            for b in range(16):
+                assert uf.connected(a, b) == (b in partition[a])
+
+    @given(ops=st.lists(st.tuples(st.integers(0, 10), st.integers(0, 10)),
+                        max_size=30))
+    def test_sizes_sum_to_total(self, ops):
+        uf = UnionFind(range(11))
+        for a, b in ops:
+            uf.union(a, b)
+        roots = {uf.find(i) for i in range(11)}
+        assert sum(uf.size(r) for r in roots) == 11
+
+
+class TestTopKModel:
+    @given(
+        items=st.lists(st.tuples(st.floats(0, 1, allow_nan=False),
+                                 st.integers()), max_size=50),
+        k=st.integers(1, 10),
+    )
+    def test_matches_sorted_reference(self, items, k):
+        top = TopK(k)
+        for score, item in items:
+            top.push(score, item)
+        got_scores = [s for s, _ in top.items()]
+        expected = sorted((s for s, _ in items), reverse=True)[:k]
+        assert got_scores == expected
+
+
+class TestPriorityQueueModel:
+    @given(
+        ops=st.lists(
+            st.tuples(st.sampled_from("push remove".split()),
+                      st.integers(0, 8), st.integers(0, 100)),
+            max_size=40,
+        )
+    )
+    def test_pops_in_descending_priority(self, ops):
+        q = UpdatablePriorityQueue()
+        model = {}
+        for op, key, priority in ops:
+            if op == "push":
+                q.push(key, priority)
+                model[key] = priority
+            else:
+                q.remove(key)
+                model.pop(key, None)
+        assert len(q) == len(model)
+        drained = []
+        while q:
+            drained.append(q.pop())
+        assert sorted(model.items()) == sorted((k, p) for k, p in drained)
+        priorities = [p for _, p in drained]
+        assert priorities == sorted(priorities, reverse=True)
+
+
+class TestMinHashEstimate:
+    @given(
+        a=st.text(alphabet="abcdef", min_size=3, max_size=12),
+        b=st.text(alphabet="abcdef", min_size=3, max_size=12),
+    )
+    @settings(max_examples=40)
+    def test_estimate_close_to_true_jaccard(self, a, b):
+        from repro.similarity.qgram import bigrams
+        from repro.similarity.jaccard import jaccard_similarity
+
+        hasher = MinHasher(n_hashes=512, seed=3)
+        estimate = hasher.estimate_jaccard(hasher.signature(a), hasher.signature(b))
+        true = jaccard_similarity(bigrams(a), bigrams(b))
+        assert abs(estimate - true) < 0.2  # 512 hashes → s.e. ≈ 0.022
+
+    @given(a=st.text(alphabet="abcdef", min_size=2, max_size=12))
+    def test_estimate_identity(self, a):
+        hasher = MinHasher(n_hashes=64, seed=4)
+        sig = hasher.signature(a)
+        assert hasher.estimate_jaccard(sig, sig) == 1.0

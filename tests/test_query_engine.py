@@ -1,0 +1,163 @@
+"""Tests for the online query engine (Section 7)."""
+
+import pytest
+
+from repro.query import Query, QueryEngine
+
+
+@pytest.fixture(scope="module")
+def sample_entity(tiny_query_engine):
+    """An entity with full name values to query for."""
+    for entity in tiny_query_engine.graph:
+        if entity.first("first_name") and entity.first("surname"):
+            return entity
+    pytest.skip("no named entity")
+
+
+class TestQueryValidation:
+    def test_names_mandatory(self):
+        with pytest.raises(ValueError):
+            Query(first_name="", surname="macdonald")
+        with pytest.raises(ValueError):
+            Query(first_name="mary", surname="")
+
+    def test_record_type_restricted(self):
+        with pytest.raises(ValueError):
+            Query(first_name="a", surname="b", record_type="marriage")
+
+    def test_gender_restricted(self):
+        with pytest.raises(ValueError):
+            Query(first_name="a", surname="b", gender="x")
+
+    def test_year_range_ordering(self):
+        with pytest.raises(ValueError):
+            Query(first_name="a", surname="b", year_from=1890, year_to=1880)
+
+
+class TestSearch:
+    def test_exact_match_ranks_first(self, tiny_query_engine, sample_entity):
+        query = Query(
+            first_name=sample_entity.first("first_name"),
+            surname=sample_entity.first("surname"),
+        )
+        results = tiny_query_engine.search(query, top_m=10)
+        assert results
+        top = results[0]
+        assert top.entity.first("first_name") == sample_entity.first("first_name")
+        assert top.match_kinds.get("first_name") == "exact"
+
+    def test_exact_match_on_all_fields_is_100_percent(
+        self, tiny_query_engine, sample_entity
+    ):
+        query = Query(
+            first_name=sample_entity.first("first_name"),
+            surname=sample_entity.first("surname"),
+        )
+        results = tiny_query_engine.search(query)
+        assert results[0].score_percent == 100.0
+
+    def test_misspelled_query_still_finds_entity(
+        self, tiny_query_engine, sample_entity
+    ):
+        first = sample_entity.first("first_name")
+        surname = sample_entity.first("surname")
+        typo = surname[0] + surname[2:] if len(surname) > 3 else surname + "e"
+        query = Query(first_name=first, surname=typo)
+        results = tiny_query_engine.search(query, top_m=10)
+        assert any(r.entity.entity_id == sample_entity.entity_id for r in results)
+
+    def test_approximate_matches_marked(self, tiny_query_engine, sample_entity):
+        surname = sample_entity.first("surname")
+        typo = surname[0] + surname[2:] if len(surname) > 3 else surname + "e"
+        query = Query(first_name=sample_entity.first("first_name"), surname=typo)
+        results = tiny_query_engine.search(query, top_m=10)
+        hit = next(
+            r for r in results if r.entity.entity_id == sample_entity.entity_id
+        )
+        assert hit.match_kinds.get("surname") in ("approx", "exact")
+
+    def test_top_m_respected(self, tiny_query_engine, sample_entity):
+        query = Query(
+            first_name=sample_entity.first("first_name"),
+            surname=sample_entity.first("surname"),
+        )
+        assert len(tiny_query_engine.search(query, top_m=3)) <= 3
+
+    def test_scores_descending(self, tiny_query_engine, sample_entity):
+        query = Query(
+            first_name=sample_entity.first("first_name"),
+            surname=sample_entity.first("surname"),
+        )
+        scores = [r.score_percent for r in tiny_query_engine.search(query, top_m=10)]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_gender_filter_boosts_matching(self, tiny_query_engine, sample_entity):
+        if sample_entity.gender is None:
+            pytest.skip("unknown gender")
+        base = Query(
+            first_name=sample_entity.first("first_name"),
+            surname=sample_entity.first("surname"),
+        )
+        gendered = Query(
+            first_name=sample_entity.first("first_name"),
+            surname=sample_entity.first("surname"),
+            gender=sample_entity.gender,
+        )
+        top = tiny_query_engine.search(gendered, top_m=5)
+        assert any(r.entity.entity_id == sample_entity.entity_id for r in top)
+
+    def test_year_range_scoring(self, tiny_query_engine, sample_entity):
+        span = sample_entity.year_range()
+        if span is None:
+            pytest.skip("no years")
+        query = Query(
+            first_name=sample_entity.first("first_name"),
+            surname=sample_entity.first("surname"),
+            year_from=span[0],
+            year_to=span[1],
+        )
+        results = tiny_query_engine.search(query, top_m=5)
+        hit = next(
+            (r for r in results if r.entity.entity_id == sample_entity.entity_id),
+            None,
+        )
+        assert hit is not None
+        assert hit.attribute_scores.get("year") == 1.0
+
+    def test_record_type_filter(self, tiny_query_engine):
+        from repro.data.roles import Role
+
+        birth_entity = next(
+            (
+                e
+                for e in tiny_query_engine.graph
+                if Role.BB in e.roles and e.first("first_name") and e.first("surname")
+            ),
+            None,
+        )
+        if birth_entity is None:
+            pytest.skip("no birth entity")
+        query = Query(
+            first_name=birth_entity.first("first_name"),
+            surname=birth_entity.first("surname"),
+            record_type="birth",
+        )
+        for result in tiny_query_engine.search(query, top_m=10):
+            assert Role.BB in result.entity.roles
+
+    def test_nonsense_names_return_nothing_relevant(self, tiny_query_engine):
+        query = Query(first_name="xqzw", surname="vvkkpp")
+        results = tiny_query_engine.search(query)
+        # Either no results or only weak approximate ones.
+        assert all(r.score_percent < 80.0 for r in results)
+
+    def test_entities_without_name_match_excluded(self, tiny_query_engine, sample_entity):
+        """Accumulator seeds only on names: year/gender alone never adds."""
+        query = Query(first_name="xqzw", surname="vvkkpp", year_from=1800,
+                      year_to=1999)
+        results = tiny_query_engine.search(query, top_m=50)
+        for result in results:
+            assert (
+                "first_name" in result.attribute_scores
+                or "surname" in result.attribute_scores
+            )

@@ -1,0 +1,24 @@
+"""Quality regression guard: census evidence must not hurt vital-record
+linkage (the extension's core claim, pinned as a test)."""
+
+import pytest
+
+from repro.core import SnapsConfig, SnapsResolver
+from repro.data.synthetic import make_ios_census_dataset, make_ios_dataset
+from repro.eval import evaluate_linkage
+
+
+@pytest.mark.parametrize("role_pair", ["Bp-Bp", "Bp-Dp"])
+def test_census_evidence_does_not_degrade_linkage(role_pair):
+    plain = make_ios_dataset(scale=0.06, seed=47)
+    census = make_ios_census_dataset(scale=0.06, seed=47)
+    resolver = SnapsResolver(SnapsConfig())
+    f_plain = evaluate_linkage(
+        resolver.resolve(plain).matched_pairs(role_pair),
+        plain.true_match_pairs(role_pair),
+    ).f_star
+    f_census = evaluate_linkage(
+        resolver.resolve(census).matched_pairs(role_pair),
+        census.true_match_pairs(role_pair),
+    ).f_star
+    assert f_census >= f_plain - 5.0

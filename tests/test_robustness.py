@@ -1,0 +1,144 @@
+"""Failure-injection and edge-case robustness tests.
+
+The resolver and its substrates must handle degenerate inputs — empty
+datasets, single certificates, totally corrupted values, missing
+attributes — without crashing and with sensible outputs.
+"""
+
+import pytest
+
+from repro.core import SnapsConfig, SnapsResolver
+from repro.data.corruption import CorruptionConfig, Corruptor
+from repro.data.records import Certificate, Dataset, Record
+from repro.data.roles import CertificateType, Role
+from repro.pedigree import build_pedigree_graph
+from repro.query import Query, QueryEngine
+
+
+def _single_cert_dataset():
+    records = [
+        Record(1, 1, Role.BB, {"first_name": "john", "surname": "ross",
+                               "gender": "m", "event_year": "1870"}, 1),
+        Record(2, 1, Role.BM, {"first_name": "mary", "surname": "ross",
+                               "event_year": "1870"}, 2),
+        Record(3, 1, Role.BF, {"first_name": "angus", "surname": "ross",
+                               "event_year": "1870"}, 3),
+    ]
+    cert = Certificate(1, CertificateType.BIRTH, 1870, "uig",
+                       {Role.BB: 1, Role.BM: 2, Role.BF: 3})
+    return Dataset("one", records, [cert])
+
+
+class TestDegenerateDatasets:
+    def test_empty_dataset_resolves(self):
+        dataset = Dataset("empty", [], [])
+        result = SnapsResolver(SnapsConfig()).resolve(dataset)
+        assert result.n_relational == 0
+        assert result.matched_pairs("Bp-Bp") == set()
+
+    def test_single_certificate_no_links(self):
+        dataset = _single_cert_dataset()
+        result = SnapsResolver(SnapsConfig()).resolve(dataset)
+        # Nothing to link: all records share one certificate.
+        assert result.matched_pairs("Bp-Bp") == set()
+        assert len(result.entities) == 3
+
+    def test_pedigree_graph_on_unlinked_data(self):
+        dataset = _single_cert_dataset()
+        result = SnapsResolver(SnapsConfig()).resolve(dataset)
+        graph = build_pedigree_graph(dataset, result.entities)
+        assert len(graph) == 3
+        baby = graph.entity_of_record(1)
+        assert len(graph.parents(baby.entity_id)) == 2
+
+    def test_query_engine_on_tiny_graph(self):
+        dataset = _single_cert_dataset()
+        result = SnapsResolver(SnapsConfig()).resolve(dataset)
+        graph = build_pedigree_graph(dataset, result.entities)
+        engine = QueryEngine(graph)
+        hits = engine.search(Query(first_name="john", surname="ross"))
+        assert hits
+        assert hits[0].entity.first("first_name") == "john"
+
+    def test_records_with_all_names_missing(self):
+        records = [
+            Record(1, 1, Role.BM, {"event_year": "1870"}, 1),
+            Record(2, 2, Role.BM, {"event_year": "1872"}, 1),
+        ]
+        certs = [
+            Certificate(1, CertificateType.BIRTH, 1870, "uig", {Role.BM: 1}),
+            Certificate(2, CertificateType.BIRTH, 1872, "uig", {Role.BM: 2}),
+        ]
+        dataset = Dataset("nameless", records, certs)
+        result = SnapsResolver(SnapsConfig()).resolve(dataset)
+        # Nameless records produce no blocking keys and no links — but no
+        # crash either.
+        assert result.matched_pairs("Bp-Bp") == set()
+
+
+class TestHeavyCorruption:
+    def test_resolver_survives_maximum_noise(self):
+        from repro.data.population import PopulationConfig, PopulationSimulator
+
+        clean = PopulationSimulator(
+            PopulationConfig(start_year=1870, end_year=1885,
+                             n_founder_couples=10, seed=13)
+        ).run()
+        shredder = Corruptor(
+            CorruptionConfig(
+                typo_prob=1.0,
+                variant_prob=1.0,
+                age_error_prob=1.0,
+                missing_probs={"address": 0.9, "occupation": 0.95,
+                               "parish": 0.9},
+                seed=13,
+            )
+        )
+        noisy = shredder.corrupt_dataset(clean)
+        result = SnapsResolver(SnapsConfig()).resolve(noisy)
+        # Quality will be poor, but the pipeline must complete and the
+        # constraints must still hold.
+        from repro.data.roles import Role
+
+        for entity in result.entities.entities(min_size=2):
+            assert entity.role_counts.get(Role.BB, 0) <= 1
+
+    def test_precision_degrades_gracefully_with_noise(self):
+        """More noise must not crash and should reduce recall."""
+        from repro.data.population import PopulationConfig, PopulationSimulator
+        from repro.eval import evaluate_linkage
+
+        clean = PopulationSimulator(
+            PopulationConfig(start_year=1865, end_year=1895,
+                             n_founder_couples=25, seed=17)
+        ).run()
+        recalls = []
+        for typo_prob in (0.02, 0.35):
+            noisy = Corruptor(
+                CorruptionConfig(typo_prob=typo_prob, seed=17)
+            ).corrupt_dataset(clean)
+            result = SnapsResolver(SnapsConfig()).resolve(noisy)
+            ev = evaluate_linkage(
+                result.matched_pairs("Bp-Bp"), noisy.true_match_pairs("Bp-Bp")
+            )
+            recalls.append(ev.recall)
+        assert recalls[1] < recalls[0]
+
+
+class TestQueryEdgeCases:
+    def test_empty_graph_engine(self):
+        from repro.pedigree.graph import PedigreeGraph
+
+        engine = QueryEngine(PedigreeGraph())
+        hits = engine.search(Query(first_name="mary", surname="ross"))
+        assert hits == []
+
+    def test_single_character_names(self, tiny_query_engine):
+        hits = tiny_query_engine.search(Query(first_name="m", surname="r"))
+        assert isinstance(hits, list)
+
+    def test_very_long_name(self, tiny_query_engine):
+        hits = tiny_query_engine.search(
+            Query(first_name="m" * 200, surname="x" * 200)
+        )
+        assert isinstance(hits, list)

@@ -1,0 +1,46 @@
+"""Tests for Jaccard/Dice set similarities."""
+
+from repro.similarity.jaccard import dice_similarity, jaccard_similarity, token_jaccard
+
+
+class TestJaccard:
+    def test_identical_sets(self):
+        assert jaccard_similarity({1, 2, 3}, {1, 2, 3}) == 1.0
+
+    def test_disjoint_sets(self):
+        assert jaccard_similarity({1}, {2}) == 0.0
+
+    def test_partial_overlap(self):
+        assert jaccard_similarity({1, 2}, {2, 3}) == 1 / 3
+
+    def test_both_empty(self):
+        assert jaccard_similarity(set(), set()) == 1.0
+
+    def test_accepts_lists_with_duplicates(self):
+        assert jaccard_similarity([1, 1, 2], [1, 2, 2]) == 1.0
+
+
+class TestTokenJaccard:
+    def test_address_overlap(self):
+        assert token_jaccard("high street", "high road") == 1 / 3
+
+    def test_case_insensitive(self):
+        assert token_jaccard("High Street", "high street") == 1.0
+
+    def test_word_order_irrelevant(self):
+        assert token_jaccard("street high", "high street") == 1.0
+
+    def test_empty_strings(self):
+        assert token_jaccard("", "") == 1.0
+
+
+class TestDice:
+    def test_partial(self):
+        assert dice_similarity({1, 2}, {2, 3}) == 0.5
+
+    def test_dice_geq_jaccard(self):
+        a, b = {1, 2, 3}, {2, 3, 4, 5}
+        assert dice_similarity(a, b) >= jaccard_similarity(a, b)
+
+    def test_identical(self):
+        assert dice_similarity({1}, {1}) == 1.0

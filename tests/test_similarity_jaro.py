@@ -1,0 +1,61 @@
+"""Tests for Jaro and Jaro-Winkler similarity."""
+
+import pytest
+
+from repro.similarity.jaro import jaro_similarity, jaro_winkler_similarity
+
+
+class TestJaro:
+    def test_identical(self):
+        assert jaro_similarity("martha", "martha") == 1.0
+
+    def test_known_value_martha_marhta(self):
+        assert jaro_similarity("martha", "marhta") == pytest.approx(0.9444, abs=1e-4)
+
+    def test_known_value_dwayne_duane(self):
+        assert jaro_similarity("dwayne", "duane") == pytest.approx(0.8222, abs=1e-4)
+
+    def test_no_common_characters(self):
+        assert jaro_similarity("abc", "xyz") == 0.0
+
+    def test_empty_vs_nonempty(self):
+        assert jaro_similarity("", "abc") == 0.0
+        assert jaro_similarity("abc", "") == 0.0
+
+    def test_symmetry(self):
+        assert jaro_similarity("catherine", "katherine") == jaro_similarity(
+            "katherine", "catherine"
+        )
+
+
+class TestJaroWinkler:
+    def test_prefix_boost(self):
+        plain = jaro_similarity("macdonald", "macdonell")
+        boosted = jaro_winkler_similarity("macdonald", "macdonell")
+        assert boosted > plain
+
+    def test_no_boost_without_common_prefix(self):
+        assert jaro_winkler_similarity("xmith", "smith") == jaro_similarity(
+            "xmith", "smith"
+        )
+
+    def test_bounded_by_one(self):
+        assert jaro_winkler_similarity("aaaa", "aaab") <= 1.0
+
+    def test_prefix_capped_at_four(self):
+        # Identical 4-char and 6-char prefixes with same jaro should boost equally.
+        s1 = jaro_winkler_similarity("abcdxx", "abcdyy")
+        s2 = jaro_winkler_similarity("abcdexx", "abcdeyy")
+        # Both have prefix >= 4, so boost factor uses 4 in both cases.
+        assert s1 <= 1.0 and s2 <= 1.0
+
+    def test_invalid_prefix_weight(self):
+        with pytest.raises(ValueError):
+            jaro_winkler_similarity("a", "b", prefix_weight=0.3)
+
+    @pytest.mark.parametrize("pair", [("smith", "smith"), ("a", "a")])
+    def test_identical_is_one(self, pair):
+        assert jaro_winkler_similarity(*pair) == 1.0
+
+    def test_typo_scores_high(self):
+        assert jaro_winkler_similarity("catherine", "cathrine") > 0.9

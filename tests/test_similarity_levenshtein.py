@@ -1,0 +1,74 @@
+"""Tests for edit-distance comparators."""
+
+import pytest
+
+from repro.similarity.levenshtein import (
+    damerau_levenshtein_distance,
+    levenshtein_distance,
+    levenshtein_similarity,
+)
+
+
+class TestLevenshteinDistance:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            ("", "", 0),
+            ("abc", "abc", 0),
+            ("", "abc", 3),
+            ("abc", "", 3),
+            ("kitten", "sitting", 3),
+            ("flaw", "lawn", 2),
+            ("a", "b", 1),
+            ("macdonald", "mcdonald", 1),
+            ("smith", "smyth", 1),
+        ],
+    )
+    def test_known_distances(self, a, b, expected):
+        assert levenshtein_distance(a, b) == expected
+
+    def test_symmetry(self):
+        assert levenshtein_distance("john", "jon") == levenshtein_distance(
+            "jon", "john"
+        )
+
+    def test_triangle_inequality(self):
+        words = ("mary", "marry", "maire", "moira")
+        for a in words:
+            for b in words:
+                for c in words:
+                    assert levenshtein_distance(a, c) <= levenshtein_distance(
+                        a, b
+                    ) + levenshtein_distance(b, c)
+
+
+class TestDamerauLevenshtein:
+    def test_transposition_counts_once(self):
+        assert damerau_levenshtein_distance("jonh", "john") == 1
+        assert levenshtein_distance("jonh", "john") == 2
+
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [("", "", 0), ("ca", "ac", 1), ("abc", "abc", 0), ("", "ab", 2)],
+    )
+    def test_known(self, a, b, expected):
+        assert damerau_levenshtein_distance(a, b) == expected
+
+    def test_never_exceeds_levenshtein(self):
+        pairs = [("mary", "army"), ("donald", "dnoald"), ("x", "yx")]
+        for a, b in pairs:
+            assert damerau_levenshtein_distance(a, b) <= levenshtein_distance(a, b)
+
+
+class TestLevenshteinSimilarity:
+    def test_identical_is_one(self):
+        assert levenshtein_similarity("smith", "smith") == 1.0
+
+    def test_both_empty_is_one(self):
+        assert levenshtein_similarity("", "") == 1.0
+
+    def test_disjoint_is_zero(self):
+        assert levenshtein_similarity("abc", "xyz") == 0.0
+
+    def test_range(self):
+        assert 0.0 < levenshtein_similarity("catherine", "cathrine") < 1.0

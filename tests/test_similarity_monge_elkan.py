@@ -1,0 +1,54 @@
+"""Tests for Monge-Elkan multi-token name similarity."""
+
+import string
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.similarity.jaro import jaro_winkler_similarity
+from repro.similarity.monge_elkan import monge_elkan_similarity
+
+phrases = st.lists(
+    st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=8),
+    min_size=0, max_size=4,
+).map(" ".join)
+
+
+class TestMongeElkan:
+    def test_token_order_invariant(self):
+        assert monge_elkan_similarity("mary ann", "ann mary") == 1.0
+
+    def test_subset_scores_high(self):
+        whole = monge_elkan_similarity("margaret kate", "margaret")
+        plain = jaro_winkler_similarity("margaret kate", "margaret")
+        assert whole > 0.85
+        assert whole > plain - 0.1
+
+    def test_single_tokens_equal_inner(self):
+        assert monge_elkan_similarity("catherine", "cathrine") == (
+            jaro_winkler_similarity("catherine", "cathrine")
+        )
+
+    def test_both_empty(self):
+        assert monge_elkan_similarity("", "") == 1.0
+
+    def test_one_empty(self):
+        assert monge_elkan_similarity("mary", "") == 0.0
+
+    def test_unrelated_low(self):
+        assert monge_elkan_similarity("mary ann", "donald hugh") < 0.6
+
+    def test_custom_inner(self):
+        exact = lambda a, b: 1.0 if a == b else 0.0
+        assert monge_elkan_similarity("mary ann", "mary jane", inner=exact) == 0.5
+
+    @given(a=phrases, b=phrases)
+    def test_range_and_symmetry(self, a, b):
+        s = monge_elkan_similarity(a, b)
+        assert 0.0 <= s <= 1.0
+        assert s == pytest.approx(monge_elkan_similarity(b, a))
+
+    @given(a=phrases)
+    def test_identity(self, a):
+        assert monge_elkan_similarity(a, a) == 1.0

@@ -1,0 +1,77 @@
+"""Tests for numeric and geographic comparators."""
+
+import pytest
+
+from repro.similarity.geo import GeoPoint, geo_similarity, haversine_km
+from repro.similarity.numeric import gaussian_year_similarity, max_abs_diff_similarity
+
+
+class TestMaxAbsDiff:
+    def test_equal_values(self):
+        assert max_abs_diff_similarity(1880, 1880, max_diff=3) == 1.0
+
+    def test_at_max_diff_is_zero(self):
+        assert max_abs_diff_similarity(1880, 1883, max_diff=3) == 0.0
+
+    def test_beyond_max_diff_is_zero(self):
+        assert max_abs_diff_similarity(1880, 1980, max_diff=3) == 0.0
+
+    def test_linear_midpoint(self):
+        assert max_abs_diff_similarity(1880, 1882, max_diff=4) == 0.5
+
+    def test_invalid_max_diff(self):
+        with pytest.raises(ValueError):
+            max_abs_diff_similarity(1, 2, max_diff=0)
+
+    def test_symmetry(self):
+        assert max_abs_diff_similarity(1, 3, 5) == max_abs_diff_similarity(3, 1, 5)
+
+
+class TestGaussianYear:
+    def test_equal_is_one(self):
+        assert gaussian_year_similarity(1880, 1880) == 1.0
+
+    def test_decreasing_with_distance(self):
+        s1 = gaussian_year_similarity(1880, 1881)
+        s2 = gaussian_year_similarity(1880, 1885)
+        assert 1.0 > s1 > s2 > 0.0
+
+    def test_invalid_sigma(self):
+        with pytest.raises(ValueError):
+            gaussian_year_similarity(1, 2, sigma=0)
+
+
+class TestGeo:
+    def test_zero_distance(self):
+        p = GeoPoint(57.4, -6.2)
+        assert haversine_km(p, p) == 0.0
+        assert geo_similarity(p, p) == 1.0
+
+    def test_known_distance_portree_dunvegan(self):
+        # ~23-24 km between the two Skye villages.
+        portree = GeoPoint(57.413, -6.196)
+        dunvegan = GeoPoint(57.436, -6.587)
+        distance = haversine_km(portree, dunvegan)
+        assert 20.0 < distance < 28.0
+
+    def test_half_distance_gives_half_similarity(self):
+        a = GeoPoint(0.0, 0.0)
+        # ~5 km east at the equator is about 0.04494 degrees longitude.
+        b = GeoPoint(0.0, 0.0449366)
+        assert geo_similarity(a, b, half_distance_km=5.0) == pytest.approx(0.5, abs=0.01)
+
+    def test_invalid_latitude(self):
+        with pytest.raises(ValueError):
+            GeoPoint(91.0, 0.0)
+
+    def test_invalid_longitude(self):
+        with pytest.raises(ValueError):
+            GeoPoint(0.0, 181.0)
+
+    def test_invalid_half_distance(self):
+        with pytest.raises(ValueError):
+            geo_similarity(GeoPoint(0, 0), GeoPoint(1, 1), half_distance_km=0)
+
+    def test_symmetry(self):
+        a, b = GeoPoint(57.4, -6.2), GeoPoint(57.6, -6.3)
+        assert haversine_km(a, b) == pytest.approx(haversine_km(b, a))

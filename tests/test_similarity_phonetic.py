@@ -1,0 +1,58 @@
+"""Tests for Soundex and NYSIIS phonetic encodings."""
+
+import pytest
+
+from repro.similarity.phonetic import nysiis, soundex
+
+
+class TestSoundex:
+    @pytest.mark.parametrize(
+        "name,code",
+        [
+            ("robert", "R163"),
+            ("rupert", "R163"),
+            ("ashcraft", "A261"),
+            ("tymczak", "T522"),
+            ("pfister", "P236"),
+            ("honeyman", "H555"),
+        ],
+    )
+    def test_reference_codes(self, name, code):
+        assert soundex(name) == code
+
+    def test_sound_alikes_collide(self):
+        assert soundex("macdonald") == soundex("mcdonald")
+        assert soundex("smith") == soundex("smyth")
+
+    def test_padding(self):
+        assert soundex("lee") == "L000"
+
+    def test_empty_input(self):
+        assert soundex("") == "0000"
+
+    def test_non_alpha_only(self):
+        assert soundex("123") == "0000"
+
+    def test_case_insensitive(self):
+        assert soundex("Campbell") == soundex("campbell")
+
+    def test_custom_length(self):
+        assert len(soundex("montgomery", length=6)) == 6
+
+
+class TestNysiis:
+    def test_mac_mc_collide(self):
+        assert nysiis("macdonald") == nysiis("mcdonald")
+
+    def test_deterministic(self):
+        assert nysiis("catherine") == nysiis("catherine")
+
+    def test_empty(self):
+        assert nysiis("") == ""
+
+    def test_distinct_names_distinct_codes(self):
+        assert nysiis("campbell") != nysiis("stewart")
+
+    def test_returns_upper(self):
+        code = nysiis("brown")
+        assert code == code.upper()

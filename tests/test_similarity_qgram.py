@@ -1,0 +1,50 @@
+"""Tests for q-gram extraction and similarity."""
+
+import pytest
+
+from repro.similarity.qgram import bigrams, qgram_similarity, qgrams
+
+
+class TestQgrams:
+    def test_basic_bigrams(self):
+        assert qgrams("anna") == {"an", "nn", "na"}
+
+    def test_padded(self):
+        grams = qgrams("ab", q=2, padded=True)
+        assert "#a" in grams and "b#" in grams
+
+    def test_short_string_yields_itself(self):
+        assert qgrams("a", q=2) == {"a"}
+
+    def test_empty(self):
+        assert qgrams("", q=2) == set()
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            qgrams("abc", q=0)
+
+    def test_trigram(self):
+        assert qgrams("abcd", q=3) == {"abc", "bcd"}
+
+    def test_bigrams_helper(self):
+        assert bigrams("john") == qgrams("john", q=2)
+
+
+class TestQgramSimilarity:
+    def test_identical(self):
+        assert qgram_similarity("smith", "smith") == 1.0
+
+    def test_disjoint(self):
+        assert qgram_similarity("aaa", "zzz") == 0.0
+
+    def test_overlap_in_range(self):
+        assert 0.0 < qgram_similarity("macdonald", "mcdonald") < 1.0
+
+    def test_symmetry(self):
+        assert qgram_similarity("abcd", "bcde") == qgram_similarity("bcde", "abcd")
+
+    def test_both_empty(self):
+        assert qgram_similarity("", "") == 1.0
+
+    def test_one_empty(self):
+        assert qgram_similarity("abc", "") == 0.0

@@ -1,0 +1,68 @@
+"""Tests for the comparator registry and name similarity."""
+
+import pytest
+
+from repro.similarity.registry import (
+    ComparatorRegistry,
+    default_registry,
+    name_similarity,
+)
+
+
+class TestComparatorRegistry:
+    def test_registered_comparator_used(self):
+        registry = ComparatorRegistry()
+        registry.register("x", lambda a, b: 0.42)
+        assert registry.compare("x", "foo", "bar") == 0.42
+
+    def test_default_fallback(self):
+        registry = ComparatorRegistry(default=lambda a, b: 0.1)
+        assert registry.compare("unknown_attr", "a", "b") == 0.1
+
+    def test_missing_values_return_none(self):
+        registry = default_registry()
+        assert registry.compare("first_name", None, "mary") is None
+        assert registry.compare("first_name", "mary", "") is None
+        assert registry.compare("first_name", "", "") is None
+
+    def test_gender_exact(self):
+        registry = default_registry()
+        assert registry.compare("gender", "m", "m") == 1.0
+        assert registry.compare("gender", "m", "f") == 0.0
+
+    def test_year_comparator(self):
+        registry = default_registry()
+        assert registry.compare("event_year", "1880", "1880") == 1.0
+        assert registry.compare("event_year", "1880", "1980") == 0.0
+        mid = registry.compare("event_year", "1880", "1881")
+        assert 0.0 < mid < 1.0
+
+    def test_year_comparator_handles_garbage(self):
+        registry = default_registry()
+        assert registry.compare("event_year", "abc", "1880") == 0.0
+
+    def test_address_uses_token_overlap(self):
+        registry = default_registry()
+        full = registry.compare("address", "5 high street portree", "5 high street portree")
+        partial = registry.compare("address", "5 high street", "9 high street")
+        assert full == 1.0
+        assert 0.0 < partial < 1.0
+
+
+class TestNameSimilarity:
+    def test_identical(self):
+        assert name_similarity("mary", "mary") == 1.0
+
+    def test_documented_variants_score_high(self):
+        assert name_similarity("effie", "euphemia") >= 0.9
+        assert name_similarity("maggie", "margaret") >= 0.9
+        assert name_similarity("mcdonald", "macdonald") >= 0.9
+
+    def test_unrelated_names_stay_low(self):
+        assert name_similarity("mary", "donald") < 0.6
+
+    def test_raw_exact_beats_variant(self):
+        assert name_similarity("effie", "effie") > name_similarity("effie", "euphemia")
+
+    def test_symmetry(self):
+        assert name_similarity("jessie", "janet") == name_similarity("janet", "jessie")

@@ -1,0 +1,95 @@
+"""Tests for TopK and UpdatablePriorityQueue."""
+
+import pytest
+
+from repro.utils.heaps import TopK, UpdatablePriorityQueue
+
+
+class TestTopK:
+    def test_keeps_best_k(self):
+        top = TopK(3)
+        for score in (0.1, 0.9, 0.5, 0.7, 0.3):
+            top.push(score, score)
+        assert [s for s, _ in top.items()] == [0.9, 0.7, 0.5]
+
+    def test_fewer_than_k(self):
+        top = TopK(10)
+        top.push(1.0, "a")
+        assert top.items() == [(1.0, "a")]
+
+    def test_ties_prefer_earlier_insertion(self):
+        top = TopK(1)
+        top.push(0.5, "first")
+        top.push(0.5, "second")
+        assert top.items() == [(0.5, "first")]
+
+    def test_len(self):
+        top = TopK(2)
+        assert len(top) == 0
+        top.push(1, "a")
+        top.push(2, "b")
+        top.push(3, "c")
+        assert len(top) == 2
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            TopK(0)
+
+    def test_ordering_is_descending(self):
+        top = TopK(5)
+        for i in range(20):
+            top.push(i % 7, i)
+        scores = [s for s, _ in top.items()]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestUpdatablePriorityQueue:
+    def test_pop_order(self):
+        q = UpdatablePriorityQueue()
+        q.push("low", 1)
+        q.push("high", 3)
+        q.push("mid", 2)
+        assert [q.pop()[0] for _ in range(3)] == ["high", "mid", "low"]
+
+    def test_update_priority(self):
+        q = UpdatablePriorityQueue()
+        q.push("a", 1)
+        q.push("b", 2)
+        q.push("a", 5)
+        assert q.pop() == ("a", 5)
+        assert q.pop() == ("b", 2)
+
+    def test_remove(self):
+        q = UpdatablePriorityQueue()
+        q.push("a", 1)
+        q.push("b", 2)
+        q.remove("b")
+        assert "b" not in q
+        assert q.pop() == ("a", 1)
+
+    def test_remove_missing_is_noop(self):
+        q = UpdatablePriorityQueue()
+        q.push("a", 1)
+        q.remove("zzz")
+        assert len(q) == 1
+
+    def test_pop_empty_raises(self):
+        q = UpdatablePriorityQueue()
+        with pytest.raises(KeyError):
+            q.pop()
+
+    def test_tuple_priorities(self):
+        q = UpdatablePriorityQueue()
+        q.push("small_group", (1, 0.99))
+        q.push("big_group", (3, 0.5))
+        q.push("mid_group", (1, 1.0))
+        assert q.pop()[0] == "big_group"
+        assert q.pop()[0] == "mid_group"
+
+    def test_len_and_bool(self):
+        q = UpdatablePriorityQueue()
+        assert not q
+        q.push("a", 1)
+        assert q and len(q) == 1
+        q.push("a", 2)
+        assert len(q) == 1  # update, not insert

@@ -1,0 +1,48 @@
+"""Tests for deterministic RNG helpers."""
+
+import random
+
+from repro.utils.rng import make_rng, spawn_rng
+
+
+class TestMakeRng:
+    def test_same_seed_same_sequence(self):
+        a, b = make_rng(42), make_rng(42)
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_seeds_differ(self):
+        a, b = make_rng(1), make_rng(2)
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_none_is_reproducible(self):
+        a, b = make_rng(None), make_rng(None)
+        assert a.random() == b.random()
+
+    def test_passthrough_of_existing_rng(self):
+        rng = random.Random(7)
+        assert make_rng(rng) is rng
+
+
+class TestSpawnRng:
+    def test_streams_are_decorrelated(self):
+        root = make_rng(0)
+        child_a = spawn_rng(root, "alpha")
+        root2 = make_rng(0)
+        child_b = spawn_rng(root2, "beta")
+        seq_a = [child_a.random() for _ in range(10)]
+        seq_b = [child_b.random() for _ in range(10)]
+        assert seq_a != seq_b
+
+    def test_same_stream_same_sequence(self):
+        a = spawn_rng(make_rng(0), "x")
+        b = spawn_rng(make_rng(0), "x")
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_spawn_does_not_share_state_with_parent(self):
+        root = make_rng(0)
+        child = spawn_rng(root, "x")
+        before = root.random()
+        child.random()
+        root2 = make_rng(0)
+        spawn_rng(root2, "x")
+        assert root2.random() == before

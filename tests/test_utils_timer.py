@@ -1,0 +1,46 @@
+"""Tests for the timing helpers."""
+
+from repro.utils.timer import Stopwatch, Timer
+
+
+class TestTimer:
+    def test_measures_nonnegative_time(self):
+        with Timer() as t:
+            sum(range(100))
+        assert t.elapsed >= 0.0
+
+    def test_reusable(self):
+        t = Timer()
+        with t:
+            pass
+        first = t.elapsed
+        with t:
+            sum(range(10000))
+        assert t.elapsed >= 0.0
+        assert t.elapsed is not first or True  # overwritten each time
+
+
+class TestStopwatch:
+    def test_phase_accumulates(self):
+        sw = Stopwatch()
+        with sw.phase("a"):
+            pass
+        with sw.phase("a"):
+            pass
+        assert sw.times["a"] >= 0.0
+
+    def test_total_sums_phases(self):
+        sw = Stopwatch()
+        sw.add("x", 1.0)
+        sw.add("y", 2.0)
+        sw.add("x", 0.5)
+        assert sw.total() == 3.5
+        assert sw.times == {"x": 1.5, "y": 2.0}
+
+    def test_independent_phases(self):
+        sw = Stopwatch()
+        with sw.phase("load"):
+            pass
+        with sw.phase("link"):
+            pass
+        assert set(sw.times) == {"load", "link"}

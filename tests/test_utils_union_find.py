@@ -1,0 +1,59 @@
+"""Tests for the union-find structure."""
+
+from repro.utils.union_find import UnionFind
+
+
+class TestUnionFind:
+    def test_initially_disconnected(self):
+        uf = UnionFind(["a", "b"])
+        assert not uf.connected("a", "b")
+
+    def test_union_connects(self):
+        uf = UnionFind()
+        assert uf.union("a", "b") is True
+        assert uf.connected("a", "b")
+
+    def test_union_same_set_returns_false(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        assert uf.union("b", "a") is False
+
+    def test_transitivity(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        uf.union("b", "c")
+        assert uf.connected("a", "c")
+
+    def test_size(self):
+        uf = UnionFind()
+        uf.union(1, 2)
+        uf.union(2, 3)
+        assert uf.size(1) == 3
+        uf.add(4)
+        assert uf.size(4) == 1
+
+    def test_groups(self):
+        uf = UnionFind()
+        uf.union(1, 2)
+        uf.add(3)
+        groups = uf.groups()
+        sizes = sorted(len(members) for members in groups.values())
+        assert sizes == [1, 2]
+
+    def test_find_is_idempotent_and_consistent(self):
+        uf = UnionFind()
+        for i in range(10):
+            uf.union(0, i)
+        root = uf.find(0)
+        assert all(uf.find(i) == root for i in range(10))
+
+    def test_lazy_key_creation(self):
+        uf = UnionFind()
+        assert "new" not in uf
+        uf.find("new")
+        assert "new" in uf
+
+    def test_len_and_iter(self):
+        uf = UnionFind([1, 2, 3])
+        assert len(uf) == 3
+        assert sorted(uf) == [1, 2, 3]
