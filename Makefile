@@ -1,12 +1,29 @@
 # Developer entry points for the SNAPS reproduction.
 
-.PHONY: install test bench bench-full examples clean
+.PHONY: install test verify bench bench-full examples clean
 
 install:
 	pip install -e . --no-build-isolation
 
 test:
 	pytest tests/
+
+# Fail-fast gate for CI and pre-commit: tier-1 tests, a bytecode compile
+# of the whole library, and a telemetry smoke run (simulate → resolve
+# with tracing → report) so observability regressions surface
+# immediately.
+VERIFY_TMP = /tmp/snaps-verify
+
+verify:
+	PYTHONPATH=src python -m pytest -x -q tests/
+	python -m compileall -q src
+	rm -rf $(VERIFY_TMP) && mkdir -p $(VERIFY_TMP)
+	PYTHONPATH=src python -m repro simulate --dataset tiny --out $(VERIFY_TMP)/data
+	PYTHONPATH=src python -m repro -v resolve --data $(VERIFY_TMP)/data \
+		--out $(VERIFY_TMP)/graph.json --trace \
+		--metrics-out $(VERIFY_TMP)/run.json
+	PYTHONPATH=src python -m repro report $(VERIFY_TMP)/run.json
+	rm -rf $(VERIFY_TMP)
 
 # The full evaluation harness: one bench per paper table/figure plus the
 # design-choice ablations.  REPRO_BENCH_SCALE=1.0 approximates paper-sized

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import time
 
-from common import emit, format_table, ios_dataset, kil_dataset
+from common import emit, emit_report, format_table, ios_dataset, kil_dataset, telemetry
 from repro.baselines import (
     AttrSimLinker,
     DepGraphLinker,
@@ -25,6 +25,7 @@ from repro.core import SnapsConfig, SnapsResolver
 def _time_systems(dataset):
     rows = []
     timings = {}
+    trace, metrics = telemetry()
 
     def timed(label, fn):
         start = time.perf_counter()
@@ -33,7 +34,15 @@ def _time_systems(dataset):
         timings[label] = elapsed
         return result, elapsed
 
-    snaps, snaps_s = timed("SNAPS", lambda: SnapsResolver(SnapsConfig()).resolve(dataset))
+    snaps, snaps_s = timed(
+        "SNAPS",
+        lambda: SnapsResolver(SnapsConfig()).resolve(
+            dataset, trace=trace, metrics=metrics
+        ),
+    )
+    emit_report(
+        f"table5_{dataset.name}", trace, metrics, meta=snaps.summary()
+    )
     _, attr_s = timed("Attr-Sim", lambda: AttrSimLinker().link(dataset))
     _, dep_s = timed("Dep-Graph", lambda: DepGraphLinker().link(dataset))
     _, rel_s = timed("Rel-Cluster", lambda: RelClusterLinker().link(dataset))

@@ -9,15 +9,20 @@ near-linearly with graph size.
 
 from __future__ import annotations
 
-from common import bhic_dataset, emit, format_table
+from common import bhic_dataset, emit, emit_report, format_table, telemetry
 from repro.core import SnapsConfig, SnapsResolver
+from repro.obs import MetricsRegistry
 
 _WINDOWS = [(1920, 1935), (1910, 1935), (1900, 1935), (1890, 1935)]
 
 
-def _run_window(start, end):
+def _run_window(start, end, harness_metrics):
     dataset = bhic_dataset(start, end)
-    result = SnapsResolver(SnapsConfig()).resolve(dataset)
+    trace, metrics = telemetry()
+    result = SnapsResolver(SnapsConfig()).resolve(
+        dataset, trace=trace, metrics=metrics
+    )
+    harness_metrics.merge(metrics)
     times = result.timings.times
     n_nodes = result.n_relational
     n_edges = sum(len(g.edges) for g in result.graph.groups.values())
@@ -32,14 +37,23 @@ def _run_window(start, end):
         "merge_s": times.get("merging", 0.0),
         "linkage_ms_per_node": 1000.0 * linkage_time / max(1, n_nodes),
         "linkage_ms_per_edge": 1000.0 * linkage_time / max(1, n_edges),
+        "candidate_pairs": metrics.counter_value("blocking.candidate_pairs"),
     }
 
 
 def test_table6_scalability(benchmark):
+    harness_metrics = MetricsRegistry()
+
     def run():
-        return [_run_window(start, end) for start, end in _WINDOWS]
+        return [
+            _run_window(start, end, harness_metrics) for start, end in _WINDOWS
+        ]
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit_report(
+        "table6", metrics=harness_metrics,
+        meta={"windows": [f"{s}-{e}" for s, e in _WINDOWS]},
+    )
     rows = [
         [
             r["window"], r["nodes"], r["edges"],

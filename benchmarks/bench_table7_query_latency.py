@@ -12,18 +12,19 @@ from __future__ import annotations
 import statistics
 import time
 
-from common import emit, format_table, ios_dataset
+from common import emit, emit_report, format_table, ios_dataset
 from repro.core import SnapsConfig, SnapsResolver
+from repro.obs import MetricsRegistry
 from repro.pedigree import build_pedigree_graph, extract_pedigree
 from repro.query import Query, QueryEngine
 from repro.utils.rng import make_rng
 
 
-def _build_engine():
+def _build_engine(metrics):
     dataset = ios_dataset()
     result = SnapsResolver(SnapsConfig()).resolve(dataset)
     graph = build_pedigree_graph(dataset, result.entities)
-    return graph, QueryEngine(graph)
+    return graph, QueryEngine(graph, metrics=metrics)
 
 
 def _workload(graph, n=100, seed=23):
@@ -45,7 +46,8 @@ def _workload(graph, n=100, seed=23):
 
 
 def test_table7_query_latency(benchmark):
-    graph, engine = _build_engine()
+    metrics = MetricsRegistry()
+    graph, engine = _build_engine(metrics)
     queries = _workload(graph)
 
     def run_workload():
@@ -86,8 +88,14 @@ def test_table7_query_latency(benchmark):
             ],
         ),
     )
+    emit_report(
+        "table7", metrics=metrics,
+        meta={"queries": len(queries), "entities": len(graph)},
+    )
     # Shape: both tasks complete well under the paper's 2-second bound
     # (our graphs are smaller; the bound must hold with huge headroom).
     assert max(query_times) < 2.0
     assert max(extract_times) < 2.0
     assert extract_times, "some queries must produce hits"
+    # The engine-side latency histogram saw every query.
+    assert metrics.histograms["query.latency_seconds"].count == len(queries)

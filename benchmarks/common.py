@@ -21,6 +21,7 @@ from pathlib import Path
 
 from repro.data.records import Dataset
 from repro.data.synthetic import make_bhic_dataset, make_ios_dataset, make_kil_dataset
+from repro.obs import MetricsRegistry, Trace, build_report, save_report
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -73,3 +74,27 @@ def emit(bench_name: str, text: str) -> None:
     with path.open("a") as handle:
         handle.write(text)
         handle.write("\n\n")
+
+
+def telemetry() -> tuple[Trace, MetricsRegistry]:
+    """A fresh (trace, metrics) pair for one instrumented bench run."""
+    return Trace(), MetricsRegistry()
+
+
+def emit_report(
+    bench_name: str,
+    trace: Trace | None = None,
+    metrics: MetricsRegistry | None = None,
+    meta: dict | None = None,
+) -> Path:
+    """Persist a machine-readable run report next to the text table.
+
+    Written to ``benchmarks/results/<bench>.metrics.json`` (overwritten
+    per run — the text table keeps history, the artefact keeps the
+    latest structured numbers for downstream tooling).
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    base_meta = {"bench": bench_name, "scale": BENCH_SCALE}
+    base_meta.update(meta or {})
+    report = build_report(trace=trace, metrics=metrics, meta=base_meta)
+    return save_report(report, RESULTS_DIR / f"{bench_name}.metrics.json")

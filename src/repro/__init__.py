@@ -46,6 +46,12 @@ _EXPORTS = {
     "load_pedigree_graph": "repro.pedigree",
     "QueryEngine": "repro.query",
     "Query": "repro.query",
+    "Trace": "repro.obs",
+    "MetricsRegistry": "repro.obs",
+    "build_report": "repro.obs",
+    "render_report": "repro.obs",
+    "save_report": "repro.obs",
+    "load_report": "repro.obs",
 }
 
 __all__ = sorted(_EXPORTS)

@@ -2,11 +2,17 @@
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Protocol
+from typing import TYPE_CHECKING, Iterable, Iterator, Protocol
 
 from repro.data.records import Record
 
-__all__ = ["Blocker", "block_key_pairs"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
+    from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["Blocker", "block_key_pairs", "BLOCK_SIZE_BUCKETS"]
+
+# Upper bounds for the block-size histogram: 1, 2, 4, ... 4096 members.
+BLOCK_SIZE_BUCKETS = [float(2**i) for i in range(13)]
 
 
 class Blocker(Protocol):
@@ -23,17 +29,28 @@ class Blocker(Protocol):
 
 
 def block_key_pairs(
-    records: Iterable[Record], blocker: Blocker
+    records: Iterable[Record],
+    blocker: Blocker,
+    metrics: "MetricsRegistry | None" = None,
 ) -> Iterator[tuple[int, int]]:
     """Yield unique unordered record-id pairs sharing a block key.
 
     Pairs are deduplicated across blocks (a pair sharing several keys is
     yielded once) and yielded as sorted ``(low_id, high_id)`` tuples.
+
+    ``metrics``, when given, receives the block-size distribution
+    (``blocking.block_size`` histogram, one observation per block) and
+    ``blocking.blocks`` / ``blocking.raw_pairs`` counters.
     """
     blocks: dict[str, list[int]] = {}
     for record in records:
         for key in blocker.block_keys(record):
             blocks.setdefault(key, []).append(record.record_id)
+    if metrics is not None:
+        metrics.inc("blocking.blocks", len(blocks))
+        histogram = metrics.histogram("blocking.block_size", BLOCK_SIZE_BUCKETS)
+        for members in blocks.values():
+            histogram.observe(len(members))
     seen: set[tuple[int, int]] = set()
     for members in blocks.values():
         members.sort()
@@ -43,3 +60,5 @@ def block_key_pairs(
                 if pair not in seen:
                     seen.add(pair)
                     yield pair
+    if metrics is not None:
+        metrics.inc("blocking.raw_pairs", len(seen))

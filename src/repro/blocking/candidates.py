@@ -11,11 +11,14 @@ graph.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 from repro.blocking.base import Blocker, block_key_pairs
 from repro.data.records import Dataset, Record
 from repro.data.roles import CENSUS_ROLES, LINKABLE_ROLE_PAIRS, Role
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
+    from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["CandidatePair", "generate_candidate_pairs", "roles_linkable"]
 
@@ -62,6 +65,7 @@ def generate_candidate_pairs(
     blocker: Blocker,
     temporal_slack_years: int = 2,
     roles: Iterable[Role] | None = None,
+    metrics: "MetricsRegistry | None" = None,
 ) -> Iterator[CandidatePair]:
     """Yield filtered candidate pairs for ``dataset`` under ``blocker``.
 
@@ -75,25 +79,48 @@ def generate_candidate_pairs(
        (the temporal constraints of Section 4.2.2 as a pre-filter).
 
     ``roles`` optionally restricts which records participate at all.
+
+    ``metrics``, when given, receives per-filter rejection counters
+    (``blocking.rejected_*``), the surviving ``blocking.candidate_pairs``
+    count, and the ``blocking.reduction_ratio`` gauge (fraction of the
+    full cross product pruned away) once the generator is exhausted.
     """
     if roles is None:
         records: list[Record] = list(dataset)
     else:
         records = dataset.records_with_role(roles)
-    for rid_a, rid_b in block_key_pairs(records, blocker):
+    candidates = 0
+    for rid_a, rid_b in block_key_pairs(records, blocker, metrics=metrics):
         a, b = dataset.record(rid_a), dataset.record(rid_b)
         if a.cert_id == b.cert_id:
+            if metrics is not None:
+                metrics.inc("blocking.rejected_same_cert")
             continue
         if not roles_linkable(a.role, b.role):
+            if metrics is not None:
+                metrics.inc("blocking.rejected_role")
             continue
         if (
             a.role in CENSUS_ROLES
             and b.role in CENSUS_ROLES
             and a.event_year == b.event_year
         ):
-            continue  # one household per person per census
+            # One household per person per census.
+            if metrics is not None:
+                metrics.inc("blocking.rejected_same_census")
+            continue
         if not _genders_compatible(a, b):
+            if metrics is not None:
+                metrics.inc("blocking.rejected_gender")
             continue
         if not _temporally_compatible(a, b, temporal_slack_years):
+            if metrics is not None:
+                metrics.inc("blocking.rejected_temporal")
             continue
+        candidates += 1
         yield CandidatePair(rid_a, rid_b)
+    if metrics is not None:
+        metrics.inc("blocking.candidate_pairs", candidates)
+        total = len(records) * (len(records) - 1) // 2
+        if total:
+            metrics.set_gauge("blocking.reduction_ratio", 1.0 - candidates / total)

@@ -14,9 +14,14 @@ familiar S-curve whose threshold is tuned by (b, r).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.blocking.minhash import MinHasher
 from repro.data.normalize import canonical_name_phrase
 from repro.data.records import Record
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
+    from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["LshBlocker"]
 
@@ -27,6 +32,10 @@ class LshBlocker:
     Defaults (16 bands × 4 rows = 64 hashes) put the S-curve threshold
     near Jaccard ≈ 0.5, which for bigram sets of personal names admits
     one-or-two-typo variants while pruning unrelated names.
+
+    ``metrics`` counts signature-cache hits and misses
+    (``lsh.signature_cache_hits`` / ``_misses``) — the cache's value
+    grows with name skew, so the ratio is worth watching at scale.
     """
 
     def __init__(
@@ -35,6 +44,7 @@ class LshBlocker:
         n_bands: int = 16,
         rows_per_band: int = 4,
         seed: int = 42,
+        metrics: "MetricsRegistry | None" = None,
     ) -> None:
         if n_bands <= 0 or rows_per_band <= 0:
             raise ValueError("n_bands and rows_per_band must be positive")
@@ -43,6 +53,7 @@ class LshBlocker:
         self.attributes = attributes
         self.n_bands = n_bands
         self.rows_per_band = rows_per_band
+        self.metrics = metrics
         self._hasher = MinHasher(n_hashes=n_bands * rows_per_band, seed=seed)
         self._signature_cache: dict[str, tuple[int, ...]] = {}
 
@@ -63,6 +74,10 @@ class LshBlocker:
         if signature is None:
             signature = self._hasher.signature(value)
             self._signature_cache[value] = signature
+            if self.metrics is not None:
+                self.metrics.inc("lsh.signature_cache_misses")
+        elif self.metrics is not None:
+            self.metrics.inc("lsh.signature_cache_hits")
         keys = []
         r = self.rows_per_band
         for band in range(self.n_bands):

@@ -14,6 +14,15 @@ Examples::
     python -m repro pedigree --graph data/ios.graph.json \
         --entity 42 --format gedcom
     python -m repro anonymise --data data/ios --out data/ios-anon
+
+Telemetry: ``resolve`` and ``query`` accept ``--trace`` (print the span
+tree after the run) and ``--metrics-out run.json`` (write the full run
+report); ``report`` renders a saved report; ``-v/-vv`` before the
+subcommand turns on INFO/DEBUG logging on stderr::
+
+    python -m repro -v resolve --data data/ios --out ios.graph.json \
+        --trace --metrics-out run.json
+    python -m repro report run.json
 """
 
 from __future__ import annotations
@@ -30,7 +39,25 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="SNAPS family-pedigree search (EDBT 2022 reproduction)",
     )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="log progress to stderr (-v INFO, -vv DEBUG)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_telemetry_flags(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--trace", action="store_true",
+            help="print the span tree and metrics after the run",
+        )
+        command.add_argument(
+            "--metrics-out", metavar="PATH",
+            help="write the run report (spans + metrics) as JSON",
+        )
+        command.add_argument(
+            "--trace-memory", action="store_true",
+            help="also capture tracemalloc peaks per span (slower)",
+        )
 
     simulate = sub.add_parser("simulate", help="generate a synthetic dataset")
     simulate.add_argument(
@@ -48,6 +75,7 @@ def build_parser() -> argparse.ArgumentParser:
     resolve.add_argument("--no-ambiguity", action="store_true")
     resolve.add_argument("--no-relational", action="store_true")
     resolve.add_argument("--no-refinement", action="store_true")
+    add_telemetry_flags(resolve)
 
     query = sub.add_parser("query", help="search the pedigree graph")
     query.add_argument("--graph", required=True)
@@ -63,6 +91,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--geo", action="store_true",
         help="score parishes by geographic distance instead of spelling",
     )
+    add_telemetry_flags(query)
+
+    report = sub.add_parser("report", help="render a saved run report")
+    report.add_argument("report", help="path to a --metrics-out JSON file")
 
     pedigree = sub.add_parser("pedigree", help="extract one entity's pedigree")
     pedigree.add_argument("--graph", required=True)
@@ -103,6 +135,30 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _telemetry(args: argparse.Namespace):
+    """(trace, metrics) for a subcommand with telemetry flags, or Nones
+    when neither output was requested."""
+    if not (args.trace or args.metrics_out):
+        return None, None
+    from repro.obs import MetricsRegistry, default_trace
+
+    return default_trace(capture_memory=args.trace_memory), MetricsRegistry()
+
+
+def _emit_telemetry(args: argparse.Namespace, report: dict) -> None:
+    from repro.obs import render_report, save_report
+
+    if args.metrics_out:
+        try:
+            path = save_report(report, args.metrics_out)
+        except OSError as exc:
+            print(f"cannot write run report: {exc}", file=sys.stderr)
+        else:
+            print(f"run report written to {path}", file=sys.stderr)
+    if args.trace:
+        print(render_report(report), file=sys.stderr, end="")
+
+
 def _cmd_resolve(args: argparse.Namespace) -> int:
     from repro.core import SnapsConfig, SnapsResolver
     from repro.data.loader import load_dataset_csv
@@ -117,7 +173,8 @@ def _cmd_resolve(args: argparse.Namespace) -> int:
         use_relational=not args.no_relational,
         use_refinement=not args.no_refinement,
     )
-    result = SnapsResolver(config).resolve(dataset)
+    trace, metrics = _telemetry(args)
+    result = SnapsResolver(config).resolve(dataset, trace=trace, metrics=metrics)
     print(
         f"resolved {len(dataset)} records: |N_A|={result.n_atomic} "
         f"|N_R|={result.n_relational} in {result.timings.total():.1f}s"
@@ -133,6 +190,8 @@ def _cmd_resolve(args: argparse.Namespace) -> int:
     graph = build_pedigree_graph(dataset, result.entities)
     path = save_pedigree_graph(graph, args.out)
     print(f"pedigree graph ({len(graph)} entities) written to {path}")
+    if trace is not None or metrics is not None:
+        _emit_telemetry(args, result.report(meta={"data": args.data}))
     return 0
 
 
@@ -141,7 +200,10 @@ def _cmd_query(args: argparse.Namespace) -> int:
     from repro.query import Query, QueryEngine
 
     graph = load_pedigree_graph(args.graph)
-    engine = QueryEngine(graph, use_geographic_distance=args.geo)
+    trace, metrics = _telemetry(args)
+    engine = QueryEngine(
+        graph, use_geographic_distance=args.geo, trace=trace, metrics=metrics
+    )
     query = Query(
         first_name=args.first_name,
         surname=args.surname,
@@ -152,6 +214,17 @@ def _cmd_query(args: argparse.Namespace) -> int:
         record_type=args.record_type,
     )
     hits = engine.search(query, top_m=args.top)
+    if trace is not None or metrics is not None:
+        from repro.obs import build_report
+
+        _emit_telemetry(
+            args,
+            build_report(
+                trace=trace,
+                metrics=metrics,
+                meta={"kind": "query", "graph": args.graph},
+            ),
+        )
     if not hits:
         print("no matches")
         return 1
@@ -161,6 +234,18 @@ def _cmd_query(args: argparse.Namespace) -> int:
             f"{hit.entity.entity_id:>8}  {hit.score_percent:6.2f}%  "
             f"{hit.entity.display_name()}"
         )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs import load_report, render_report
+
+    try:
+        report = load_report(args.report)
+    except (OSError, ValueError) as error:
+        print(f"cannot read run report: {error}", file=sys.stderr)
+        return 1
+    print(render_report(report), end="")
     return 0
 
 
@@ -208,6 +293,7 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "resolve": _cmd_resolve,
     "query": _cmd_query,
+    "report": _cmd_report,
     "pedigree": _cmd_pedigree,
     "anonymise": _cmd_anonymise,
 }
@@ -216,6 +302,10 @@ _COMMANDS = {
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    if args.verbose:
+        from repro.obs.logs import configure
+
+        configure(args.verbose)
     return _COMMANDS[args.command](args)
 
 

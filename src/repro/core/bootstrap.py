@@ -10,11 +10,16 @@ biologically impossible).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.core.config import SnapsConfig
 from repro.core.constraints import ConstraintChecker
 from repro.core.dependency_graph import DependencyGraph
 from repro.core.entities import EntityStore
 from repro.core.scoring import PairScorer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
+    from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["bootstrap_merge"]
 
@@ -25,6 +30,7 @@ def bootstrap_merge(
     scorer: PairScorer,
     checker: ConstraintChecker,
     config: SnapsConfig,
+    metrics: "MetricsRegistry | None" = None,
 ) -> int:
     """Merge all qualifying groups; return the number of nodes merged.
 
@@ -32,13 +38,25 @@ def bootstrap_merge(
     passes constraint validation, and the mean atomic similarity (Eq. 1)
     reaches ``t_b``.  Without REL (ablation) the behaviour is unchanged —
     bootstrapping never drops individual nodes in the paper either.
+
+    ``metrics`` receives the group mean-similarity distribution
+    (``similarity.bootstrap_group_mean``) and merge counters — the means
+    are computed anyway, so observing them costs one histogram insert.
     """
+    if metrics is not None:
+        from repro.obs.metrics import SIMILARITY_BUCKETS
+
+        mean_histogram = metrics.histogram(
+            "similarity.bootstrap_group_mean", SIMILARITY_BUCKETS
+        )
     merged_nodes = 0
     for group in graph.groups.values():
         nodes = graph.alive_group_nodes(group)
         if len(nodes) < 2:
             continue
         mean_atomic = sum(scorer.atomic_similarity(n) for n in nodes) / len(nodes)
+        if metrics is not None:
+            mean_histogram.observe(mean_atomic)
         if mean_atomic < config.bootstrap_threshold:
             continue
         # Validate every node before touching the store: bootstrap merges
@@ -52,4 +70,6 @@ def bootstrap_merge(
             store.merge(node.rid_a, node.rid_b)
             node.merged = True
             merged_nodes += 1
+    if metrics is not None:
+        metrics.inc("bootstrap.nodes_merged", merged_nodes)
     return merged_nodes

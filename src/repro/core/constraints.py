@@ -22,22 +22,39 @@ evidence.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.core.entities import Entity, EntityStore
 from repro.data.records import Record
 from repro.data.roles import CENSUS_ROLES, SINGLETON_ROLES
 from repro.blocking.candidates import roles_linkable
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
+    from repro.obs.metrics import MetricsRegistry
+
 __all__ = ["ConstraintChecker"]
 
 
 class ConstraintChecker:
-    """Validates whether two records (or their entities) may co-refer."""
+    """Validates whether two records (or their entities) may co-refer.
 
-    def __init__(self, temporal_slack_years: int = 2, propagate: bool = True) -> None:
+    ``metrics``, when given, counts every :meth:`can_merge` rejection
+    split by level (``constraints.rejected_record_level`` /
+    ``constraints.rejected_entity_level``) — the PROP-C negative-evidence
+    volume the telemetry reports surface.
+    """
+
+    def __init__(
+        self,
+        temporal_slack_years: int = 2,
+        propagate: bool = True,
+        metrics: "MetricsRegistry | None" = None,
+    ) -> None:
         if temporal_slack_years < 0:
             raise ValueError("slack cannot be negative")
         self.slack = temporal_slack_years
         self.propagate = propagate
+        self.metrics = metrics
 
     # ------------------------------------------------------------------
     # Record-level checks (always applied)
@@ -112,9 +129,15 @@ class ConstraintChecker:
         two records themselves are checked (Table 3 ablation).
         """
         if not self.records_compatible(a, b):
+            if self.metrics is not None:
+                self.metrics.inc("constraints.rejected_record_level")
             return False
         if not self.propagate:
             return True
         ea = store.entity_of(a.record_id)
         eb = store.entity_of(b.record_id)
-        return self.entities_compatible(ea, eb)
+        if not self.entities_compatible(ea, eb):
+            if self.metrics is not None:
+                self.metrics.inc("constraints.rejected_entity_level")
+            return False
+        return True

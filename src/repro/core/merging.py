@@ -25,12 +25,17 @@ result (Bp-Dp quality collapses to zero).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.core.config import SnapsConfig
 from repro.core.constraints import ConstraintChecker
 from repro.core.dependency_graph import DependencyGraph, RelationalNode
 from repro.core.entities import EntityStore
 from repro.core.scoring import PairScorer
 from repro.data.schema import AttributeCategory
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
+    from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["iterative_merge"]
 
@@ -41,8 +46,14 @@ def iterative_merge(
     scorer: PairScorer,
     checker: ConstraintChecker,
     config: SnapsConfig,
+    metrics: "MetricsRegistry | None" = None,
 ) -> int:
-    """Run the merging step over all groups; return nodes merged."""
+    """Run the merging step over all groups; return nodes merged.
+
+    ``metrics`` receives per-group outcome counters (groups merged /
+    rejected, nodes dropped) and the distribution of gate similarities
+    (``similarity.merge_gate``) already computed by the REL loop.
+    """
     groups = list(graph.groups.values())
     # Initial priorities: group size, then mean combined similarity.  The
     # queue is static (merging never creates groups), so a sorted list is
@@ -60,9 +71,16 @@ def iterative_merge(
         nodes = graph.alive_group_nodes(group)
         if not nodes:
             continue
-        merged_count += _process_group(
-            nodes, graph, store, scorer, checker, config
+        merged = _process_group(
+            nodes, graph, store, scorer, checker, config, metrics
         )
+        if metrics is not None:
+            metrics.inc(
+                "merging.groups_merged" if merged else "merging.groups_rejected"
+            )
+        merged_count += merged
+    if metrics is not None:
+        metrics.inc("merging.nodes_merged", merged_count)
     return merged_count
 
 
@@ -73,6 +91,7 @@ def _process_group(
     scorer: PairScorer,
     checker: ConstraintChecker,
     config: SnapsConfig,
+    metrics: "MetricsRegistry | None" = None,
 ) -> int:
     """Apply the REL loop to one group; return nodes merged.
 
@@ -148,6 +167,10 @@ def _process_group(
             mean_gate = scorer.combined_similarity(valid[0])
         else:
             mean_gate = atomic[0]
+        if metrics is not None:
+            from repro.obs.metrics import SIMILARITY_BUCKETS
+
+            metrics.observe("similarity.merge_gate", mean_gate, SIMILARITY_BUCKETS)
         if mean_gate >= config.merge_threshold:
             merged = 0
             for node in valid:
@@ -167,6 +190,8 @@ def _process_group(
         weakest = min(range(len(valid)), key=lambda i: combined[i])
         if _must_values_disagree(graph, scorer, valid[weakest], config):
             disagreements += 1
+        if metrics is not None:
+            metrics.inc("merging.nodes_dropped")
         nodes = valid[:weakest] + valid[weakest + 1 :]
     return 0
 

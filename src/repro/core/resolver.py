@@ -8,6 +8,13 @@ runs the full pipeline of paper Section 4 and returns a
 Every one of the four techniques can be ablated through
 :class:`~repro.core.config.SnapsConfig` — the Table 3 experiment is just
 four resolver runs with one switch off each.
+
+The run is fully observable through :mod:`repro.obs`: pass a
+:class:`~repro.obs.trace.Trace` and a
+:class:`~repro.obs.metrics.MetricsRegistry` to :meth:`SnapsResolver.resolve`
+and every phase becomes a span under the ``resolve`` root while the
+pipeline stages emit candidate/merge/rejection counters and similarity
+histograms.  Both default to off and cost nothing when absent.
 """
 
 from __future__ import annotations
@@ -27,10 +34,15 @@ from repro.core.refinement import RefinementStats, refine_clusters
 from repro.core.scoring import NameFrequencyIndex, PairScorer
 from repro.data.records import Dataset
 from repro.data.roles import Role
+from repro.obs.logs import get_logger
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Trace
 from repro.similarity.registry import ComparatorRegistry, default_registry
 from repro.utils.timer import Stopwatch
 
 __all__ = ["LinkageResult", "SnapsResolver"]
+
+logger = get_logger("core.resolver")
 
 
 @dataclass
@@ -44,6 +56,8 @@ class LinkageResult:
     bootstrap_merges: int = 0
     iterative_merges: int = 0
     refinement: RefinementStats = field(default_factory=RefinementStats)
+    metrics: MetricsRegistry | None = None
+    trace: Trace | None = None
 
     def matched_pairs(self, role_pair: str) -> set[tuple[int, int]]:
         """Predicted matching record pairs for a paper-notation role pair
@@ -64,8 +78,14 @@ class LinkageResult:
         return self.graph.n_relational
 
     def summary(self) -> dict[str, float]:
-        """Key counts and timings for benchmarking output."""
-        return {
+        """Key counts and timings for benchmarking output.
+
+        When the run carried a metrics registry, its pipeline counters
+        (candidate pairs, constraint rejections, reduction ratio) join
+        the summary, so bench artefacts report one consistent set of
+        numbers.
+        """
+        summary: dict[str, float] = {
             "records": len(self.dataset),
             "n_atomic": self.n_atomic,
             "n_relational": self.n_relational,
@@ -76,6 +96,32 @@ class LinkageResult:
             **{f"time_{k}": round(v, 4) for k, v in self.timings.times.items()},
             "time_total": round(self.timings.total(), 4),
         }
+        if self.metrics is not None:
+            snapshot = self.metrics.as_dict()
+            for name in (
+                "blocking.candidate_pairs",
+                "blocking.raw_pairs",
+                "constraints.rejected_record_level",
+                "constraints.rejected_entity_level",
+            ):
+                if name in snapshot["counters"]:
+                    summary[name] = snapshot["counters"][name]
+            if "blocking.reduction_ratio" in snapshot["gauges"]:
+                summary["blocking.reduction_ratio"] = round(
+                    snapshot["gauges"]["blocking.reduction_ratio"], 6
+                )
+        return summary
+
+    def report(self, meta: dict | None = None) -> dict:
+        """The run as a machine-readable report (see repro.obs.report)."""
+        from repro.obs.report import build_report
+
+        base_meta = {"kind": "resolve", "dataset": self.dataset.name}
+        base_meta.update(meta or {})
+        base_meta.update(
+            {k: v for k, v in self.summary().items() if not k.startswith("time_")}
+        )
+        return build_report(trace=self.trace, metrics=self.metrics, meta=base_meta)
 
 
 class SnapsResolver:
@@ -95,18 +141,29 @@ class SnapsResolver:
                 registry.register("address", geo_address_comparator())
         self.registry = registry
 
-    def resolve(self, dataset: Dataset, roles: list[Role] | None = None) -> LinkageResult:
+    def resolve(
+        self,
+        dataset: Dataset,
+        roles: list[Role] | None = None,
+        trace: Trace | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> LinkageResult:
         """Resolve ``dataset`` and return the linkage result.
 
         ``roles`` optionally restricts which record roles participate
         (useful for focused experiments); by default all records do.
+        ``trace``/``metrics`` plug the run into the telemetry layer; when
+        omitted the pipeline runs uninstrumented at full speed.
         """
         config = self.config
         timings = Stopwatch()
+        if trace is None:
+            trace = Trace.disabled()
         blocker: object = LshBlocker(
             n_bands=config.lsh_bands,
             rows_per_band=config.lsh_rows_per_band,
             seed=config.lsh_seed,
+            metrics=metrics,
         )
         if config.use_phonetic_blocking:
             blocker = CompositeBlocker([blocker, PhoneticNameKeyBlocker()])
@@ -114,41 +171,72 @@ class SnapsResolver:
             from repro.blocking.phonetic import PhoneticBlocker
 
             blocker = CompositeBlocker([blocker, PhoneticBlocker()])
-        with timings.phase("blocking"):
-            pairs = list(
-                generate_candidate_pairs(
-                    dataset,
-                    blocker,
-                    temporal_slack_years=config.temporal_slack_years,
-                    roles=roles,
+        logger.info("resolving %s (%d records)", dataset.name, len(dataset))
+        with trace.span("resolve"):
+            with trace.span("blocking"), timings.phase("blocking"):
+                pairs = list(
+                    generate_candidate_pairs(
+                        dataset,
+                        blocker,
+                        temporal_slack_years=config.temporal_slack_years,
+                        roles=roles,
+                        metrics=metrics,
+                    )
                 )
+            logger.info("blocking produced %d candidate pairs", len(pairs))
+            with trace.span("graph"), timings.phase("graph_generation"):
+                graph = build_dependency_graph(dataset, pairs, config, self.registry)
+            logger.info(
+                "dependency graph: |N_A|=%d |N_R|=%d",
+                graph.n_atomic,
+                graph.n_relational,
             )
-        with timings.phase("graph_generation"):
-            graph = build_dependency_graph(dataset, pairs, config, self.registry)
-        store = EntityStore(dataset)
-        frequency_index = NameFrequencyIndex(dataset)
-        scorer = PairScorer(dataset, config, self.registry, frequency_index)
-        checker = ConstraintChecker(
-            temporal_slack_years=config.temporal_slack_years,
-            propagate=config.use_propagation,
-        )
-        with timings.phase("bootstrap"):
-            bootstrap_merges = bootstrap_merge(graph, store, scorer, checker, config)
-        refinement = RefinementStats()
-        if config.use_refinement:
-            with timings.phase("refine_bootstrap"):
-                stats = refine_clusters(store, config)
-                refinement.records_removed += stats.records_removed
-                refinement.bridges_cut += stats.bridges_cut
-                refinement.clusters_examined += stats.clusters_examined
-        with timings.phase("merging"):
-            iterative_merges = iterative_merge(graph, store, scorer, checker, config)
-        if config.use_refinement:
-            with timings.phase("refine_merge"):
-                stats = refine_clusters(store, config)
-                refinement.records_removed += stats.records_removed
-                refinement.bridges_cut += stats.bridges_cut
-                refinement.clusters_examined += stats.clusters_examined
+            store = EntityStore(dataset)
+            frequency_index = NameFrequencyIndex(dataset)
+            scorer = PairScorer(dataset, config, self.registry, frequency_index)
+            checker = ConstraintChecker(
+                temporal_slack_years=config.temporal_slack_years,
+                propagate=config.use_propagation,
+                metrics=metrics,
+            )
+            with trace.span("bootstrap"), timings.phase("bootstrap"):
+                bootstrap_merges = bootstrap_merge(
+                    graph, store, scorer, checker, config, metrics
+                )
+            logger.info("bootstrap merged %d nodes", bootstrap_merges)
+            refinement = RefinementStats()
+            if config.use_refinement:
+                with trace.span("refine"), timings.phase("refine_bootstrap"):
+                    stats = refine_clusters(store, config)
+                    refinement.records_removed += stats.records_removed
+                    refinement.bridges_cut += stats.bridges_cut
+                    refinement.clusters_examined += stats.clusters_examined
+            with trace.span("merge"), timings.phase("merging"):
+                iterative_merges = iterative_merge(
+                    graph, store, scorer, checker, config, metrics
+                )
+            logger.info("iterative merging merged %d nodes", iterative_merges)
+            if config.use_refinement:
+                with trace.span("refine"), timings.phase("refine_merge"):
+                    stats = refine_clusters(store, config)
+                    refinement.records_removed += stats.records_removed
+                    refinement.bridges_cut += stats.bridges_cut
+                    refinement.clusters_examined += stats.clusters_examined
+                logger.info(
+                    "refinement removed %d records, cut %d bridges",
+                    refinement.records_removed,
+                    refinement.bridges_cut,
+                )
+        if metrics is not None:
+            metrics.inc("resolver.runs")
+            metrics.inc("resolver.records", len(dataset))
+            metrics.inc("resolver.candidate_pairs", len(pairs))
+            metrics.inc("resolver.bootstrap_merges", bootstrap_merges)
+            metrics.inc("resolver.iterative_merges", iterative_merges)
+            metrics.inc("resolver.refined_records_removed", refinement.records_removed)
+            metrics.inc("resolver.refined_bridges_cut", refinement.bridges_cut)
+            metrics.set_gauge("resolver.n_atomic", graph.n_atomic)
+            metrics.set_gauge("resolver.n_relational", graph.n_relational)
         return LinkageResult(
             dataset=dataset,
             entities=store,
@@ -157,4 +245,6 @@ class SnapsResolver:
             bootstrap_merges=bootstrap_merges,
             iterative_merges=iterative_merges,
             refinement=refinement,
+            metrics=metrics,
+            trace=trace if trace.enabled else None,
         )

@@ -7,11 +7,15 @@ frequencies of deceased people's QIDs) and the Figure 2 reproduction
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 from repro.data.records import Dataset, Record
 from repro.data.roles import Role
+
+if TYPE_CHECKING:  # pragma: no cover - hints only
+    from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["AttributeProfile", "attribute_profile", "rank_frequency_series"]
 
@@ -37,15 +41,17 @@ class AttributeProfile:
         }
 
 
-def _value_counts(records: Iterable[Record], attribute: str) -> tuple[dict[str, int], int]:
-    counts: dict[str, int] = {}
+def _value_counts(
+    records: Iterable[Record], attribute: str
+) -> tuple[Counter[str], int]:
+    counts: Counter[str] = Counter()
     missing = 0
     for record in records:
         value = record.get(attribute)
         if value is None:
             missing += 1
         else:
-            counts[value] = counts.get(value, 0) + 1
+            counts[value] += 1
     return counts, missing
 
 
@@ -53,11 +59,21 @@ def attribute_profile(
     dataset: Dataset,
     attribute: str,
     roles: Iterable[Role] = (Role.DD,),
+    metrics: "MetricsRegistry | None" = None,
 ) -> AttributeProfile:
     """Profile ``attribute`` over records in ``roles`` (default: deceased
-    persons, matching Table 1's population)."""
+    persons, matching Table 1's population).
+
+    ``metrics``, when given, receives the profiling totals
+    (``profile.<attribute>.missing`` / ``.values`` / ``.distinct``) so
+    Table 1 profiling and the telemetry layer share one counting path.
+    """
     records = dataset.records_with_role(roles)
     counts, missing = _value_counts(records, attribute)
+    if metrics is not None:
+        metrics.inc(f"profile.{attribute}.missing", missing)
+        metrics.inc(f"profile.{attribute}.values", sum(counts.values()))
+        metrics.inc(f"profile.{attribute}.distinct", len(counts))
     if counts:
         freqs = list(counts.values())
         min_freq, max_freq = min(freqs), max(freqs)

@@ -1,0 +1,61 @@
+"""Observability: tracing spans, metrics, run reports, logging.
+
+The telemetry layer under the SNAPS pipeline (see DESIGN.md):
+
+* :mod:`repro.obs.trace` — hierarchical wall-clock (and optional
+  ``tracemalloc``) spans with span-tree and JSONL export;
+* :mod:`repro.obs.metrics` — thread-safe counters, gauges, and
+  fixed-bucket histograms in a :class:`MetricsRegistry`;
+* :mod:`repro.obs.report` — run-report artefacts (JSON) and their
+  human-readable rendering (the ``repro report`` command);
+* :mod:`repro.obs.logs` — stderr logging setup behind the CLI's
+  ``-v/-vv`` flags.
+
+Everything is optional and zero-cost when off: pipeline entry points
+take ``trace=None, metrics=None`` and fall back to no-op instruments,
+and ``SNAPS_OBS=off`` disables :func:`default_trace` globally.
+
+``Stopwatch`` and ``Timer`` (the original timing helpers, still used by
+the bench harness) are re-exported here for backward compatibility.
+"""
+
+from repro.obs.logs import configure, get_logger
+from repro.obs.metrics import (
+    LATENCY_BUCKETS_S,
+    NULL_METRICS,
+    SIMILARITY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+    exponential_buckets,
+    linear_buckets,
+)
+from repro.obs.report import build_report, load_report, render_report, save_report
+from repro.obs.trace import Span, Trace, default_trace
+from repro.utils.timer import Stopwatch, Timer
+
+__all__ = [
+    "Span",
+    "Trace",
+    "default_trace",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NULL_METRICS",
+    "linear_buckets",
+    "exponential_buckets",
+    "SIMILARITY_BUCKETS",
+    "LATENCY_BUCKETS_S",
+    "build_report",
+    "render_report",
+    "save_report",
+    "load_report",
+    "configure",
+    "get_logger",
+    "Stopwatch",
+    "Timer",
+]

@@ -1,0 +1,49 @@
+"""Logging setup for the ``repro`` package.
+
+The library logs under the ``repro.*`` namespace and stays silent by
+default (standard library etiquette).  The CLI's ``-v/-vv`` flags call
+:func:`configure` to attach one stderr handler to the package root
+logger: ``-v`` shows per-phase progress (INFO), ``-vv`` adds per-group
+decisions (DEBUG).  Re-configuring replaces the handler rather than
+stacking duplicates, so tests and long-lived processes can adjust
+verbosity freely.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import IO
+
+__all__ = ["configure", "get_logger"]
+
+_ROOT_NAME = "repro"
+_HANDLER_FLAG = "_repro_obs_handler"
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+_LEVELS = {0: logging.WARNING, 1: logging.INFO, 2: logging.DEBUG}
+
+
+def configure(verbosity: int = 0, stream: IO[str] | None = None) -> logging.Logger:
+    """Attach a stderr handler to the ``repro`` logger; returns it.
+
+    ``verbosity`` 0 → WARNING, 1 → INFO, 2+ → DEBUG.
+    """
+    logger = logging.getLogger(_ROOT_NAME)
+    level = _LEVELS.get(min(max(verbosity, 0), 2), logging.DEBUG)
+    for handler in list(logger.handlers):
+        if getattr(handler, _HANDLER_FLAG, False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(logging.Formatter(_FORMAT, datefmt="%H:%M:%S"))
+    setattr(handler, _HANDLER_FLAG, True)
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    logger.propagate = False
+    return logger
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the package namespace: ``get_logger("core.resolver")``."""
+    if name.startswith(_ROOT_NAME + ".") or name == _ROOT_NAME:
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")

@@ -1,0 +1,278 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+The pipeline reports *how much work* each phase did through a
+:class:`MetricsRegistry` — candidate pairs generated, merges applied,
+constraint rejections, block-size and similarity distributions, query
+latencies.  The registry is a plain name → instrument mapping with
+get-or-create semantics, so instrumented code never has to declare its
+instruments up front.
+
+Counters take a lock per increment because the resolver's future sharded
+mode (and tests) drive them from ``concurrent.futures`` workers; gauges
+and histograms share the same lock discipline.  A :class:`NullMetrics`
+singleton (``NULL_METRICS``) implements the same surface as no-ops so
+hot paths can be written unconditionally against an always-present
+registry.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NULL_METRICS",
+    "linear_buckets",
+    "exponential_buckets",
+    "SIMILARITY_BUCKETS",
+    "LATENCY_BUCKETS_S",
+]
+
+
+def linear_buckets(start: float, width: float, count: int) -> list[float]:
+    """``count`` evenly spaced bucket upper bounds from ``start``.
+
+    >>> linear_buckets(0.1, 0.1, 3)
+    [0.1, 0.2, 0.3]
+    """
+    if count <= 0 or width <= 0:
+        raise ValueError("count and width must be positive")
+    return [round(start + i * width, 10) for i in range(count)]
+
+
+def exponential_buckets(start: float, factor: float, count: int) -> list[float]:
+    """``count`` geometrically growing bucket upper bounds from ``start``.
+
+    >>> exponential_buckets(1, 2, 4)
+    [1.0, 2.0, 4.0, 8.0]
+    """
+    if count <= 0 or start <= 0 or factor <= 1.0:
+        raise ValueError("need positive start, factor > 1, positive count")
+    return [round(float(start) * float(factor) ** i, 10) for i in range(count)]
+
+
+# Shared bucket presets: similarity scores live in [0, 1] (20 × 0.05
+# steps); latencies from 0.1 ms to ~13 s in doubling steps.
+SIMILARITY_BUCKETS = linear_buckets(0.05, 0.05, 20)
+LATENCY_BUCKETS_S = exponential_buckets(0.0001, 2, 18)
+
+
+class Counter:
+    """Monotonically increasing integer count, safe across threads."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += n
+
+
+class Gauge:
+    """A last-write-wins numeric value (e.g. reduction ratio)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-bucket histogram with sum/min/max tracking.
+
+    ``buckets`` are inclusive upper bounds in increasing order; an
+    implicit overflow bucket (+inf) catches everything above the last
+    bound.  A value exactly on a bound lands in that bound's bucket.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "count", "total", "min", "max", "_lock")
+
+    def __init__(self, name: str, buckets: Sequence[float]) -> None:
+        bounds = [float(b) for b in buckets]
+        if not bounds or bounds != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError("buckets must be strictly increasing and non-empty")
+        self.name = name
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)  # [+1] = overflow
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        index = len(self.buckets)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                index = i
+                break
+        with self._lock:
+            self.counts[index] += 1
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": round(self.total, 9),
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+
+
+class MetricsRegistry:
+    """Name → instrument mapping with get-or-create semantics."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+        self._lock = threading.Lock()
+
+    def __bool__(self) -> bool:
+        return True
+
+    # -- get-or-create ------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            instrument = self.counters.get(name)
+            if instrument is None:
+                instrument = self.counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            instrument = self.gauges.get(name)
+            if instrument is None:
+                instrument = self.gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str, buckets: Sequence[float] | None = None) -> Histogram:
+        with self._lock:
+            instrument = self.histograms.get(name)
+            if instrument is None:
+                if buckets is None:
+                    buckets = exponential_buckets(1, 2, 16)
+                instrument = self.histograms[name] = Histogram(name, buckets)
+        return instrument
+
+    # -- convenience write paths --------------------------------------
+
+    def inc(self, name: str, n: int = 1) -> None:
+        self.counter(name).inc(n)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def observe(
+        self, name: str, value: float, buckets: Sequence[float] | None = None
+    ) -> None:
+        self.histogram(name, buckets).observe(value)
+
+    # -- read / export -------------------------------------------------
+
+    def counter_value(self, name: str) -> int:
+        instrument = self.counters.get(name)
+        return instrument.value if instrument else 0
+
+    def as_dict(self) -> dict:
+        """JSON-serialisable snapshot of every instrument."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self.counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self.gauges.items())},
+            "histograms": {
+                n: h.as_dict() for n, h in sorted(self.histograms.items())
+            },
+        }
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold ``other``'s instruments into this registry (for multi-run
+        aggregation); gauges keep the *other* run's value (last write
+        wins).  Histograms must agree on buckets."""
+        for name, counter in other.counters.items():
+            self.counter(name).inc(counter.value)
+        for name, gauge in other.gauges.items():
+            self.gauge(name).set(gauge.value)
+        for name, theirs in other.histograms.items():
+            mine = self.histogram(name, theirs.buckets)
+            if mine.buckets != theirs.buckets:
+                raise ValueError(f"histogram {name!r} bucket mismatch")
+            with mine._lock:
+                for i, c in enumerate(theirs.counts):
+                    mine.counts[i] += c
+                mine.count += theirs.count
+                mine.total += theirs.total
+                mine.min = min(mine.min, theirs.min)
+                mine.max = max(mine.max, theirs.max)
+        return self
+
+
+class NullMetrics:
+    """No-op registry: same write surface, nothing recorded."""
+
+    __slots__ = ()
+
+    def __bool__(self) -> bool:
+        return False
+
+    def counter(self, name: str) -> Counter:  # pragma: no cover - trivial
+        return Counter(name)
+
+    def gauge(self, name: str) -> Gauge:  # pragma: no cover - trivial
+        return Gauge(name)
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] | None = None
+    ) -> Histogram:  # pragma: no cover - trivial
+        return Histogram(name, buckets if buckets is not None else [1.0])
+
+    def inc(self, name: str, n: int = 1) -> None:
+        return None
+
+    def set_gauge(self, name: str, value: float) -> None:
+        return None
+
+    def observe(
+        self, name: str, value: float, buckets: Sequence[float] | None = None
+    ) -> None:
+        return None
+
+    def counter_value(self, name: str) -> int:
+        return 0
+
+    def as_dict(self) -> dict:
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+NULL_METRICS = NullMetrics()

@@ -1,0 +1,141 @@
+"""Run reports: one JSON artefact per resolver/query run, plus rendering.
+
+A *run report* bundles the span tree of a :class:`~repro.obs.trace.Trace`
+with the snapshot of a :class:`~repro.obs.metrics.MetricsRegistry` and
+free-form metadata (dataset name, config, record counts).  The CLI's
+``--metrics-out`` flag writes one; ``repro report run.json`` renders it
+back as the human-readable tables below; the bench harness appends them
+next to its text tables so every Table 5/6/7 run leaves a machine-
+readable artefact.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Trace
+
+__all__ = ["build_report", "render_report", "save_report", "load_report"]
+
+REPORT_VERSION = 1
+
+
+def build_report(
+    trace: Trace | None = None,
+    metrics: MetricsRegistry | None = None,
+    meta: dict | None = None,
+) -> dict:
+    """Assemble the JSON-serialisable run-report dict."""
+    return {
+        "version": REPORT_VERSION,
+        "meta": dict(meta or {}),
+        "spans": trace.tree() if trace is not None else [],
+        "metrics": metrics.as_dict() if metrics is not None else {},
+    }
+
+
+def save_report(report: dict, path: str | Path) -> Path:
+    """Write ``report`` as indented JSON; returns the path written."""
+    path = Path(path)
+    path.write_text(json.dumps(report, indent=2, sort_keys=False) + "\n")
+    return path
+
+
+def load_report(path: str | Path) -> dict:
+    """Read a report written by :func:`save_report`."""
+    report = json.loads(Path(path).read_text())
+    if not isinstance(report, dict) or "version" not in report:
+        raise ValueError(f"{path} is not a run report")
+    return report
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+
+
+def _format_bytes(n: int) -> str:
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(value) < 1024.0 or unit == "GiB":
+            return f"{value:.1f}{unit}" if unit != "B" else f"{int(value)}B"
+        value /= 1024.0
+    return f"{value:.1f}GiB"  # pragma: no cover - unreachable
+
+
+def _render_span(node: dict, depth: int, parent_elapsed: float, lines: list[str]) -> None:
+    elapsed = node.get("elapsed_s", 0.0)
+    share = 100.0 * elapsed / parent_elapsed if parent_elapsed > 0 else 100.0
+    label = "  " * depth + node["name"]
+    extra = ""
+    if node.get("mem_peak_bytes") is not None:
+        extra += (
+            f"  alloc={_format_bytes(node['mem_alloc_bytes'])}"
+            f" peak={_format_bytes(node['mem_peak_bytes'])}"
+        )
+    if node.get("error"):
+        extra += f"  !{node['error']}"
+    lines.append(f"  {label:<40} {elapsed:>10.4f}s {share:>6.1f}%{extra}")
+    for child in node.get("children", ()):
+        _render_span(child, depth + 1, elapsed, lines)
+
+
+def _render_histogram(name: str, data: dict, lines: list[str]) -> None:
+    low = f"{data['min']:.4g}" if data["min"] is not None else "-"
+    high = f"{data['max']:.4g}" if data["max"] is not None else "-"
+    lines.append(
+        f"  {name}  (n={data['count']}, sum={data['sum']:.4g}, "
+        f"min={low}, max={high})"
+    )
+    counts = data["counts"]
+    peak = max(counts) if counts else 0
+    bounds = [f"<= {b:g}" for b in data["buckets"]] + ["> last"]
+    for bound, count in zip(bounds, counts):
+        if count == 0:
+            continue
+        bar = "#" * max(1, round(24 * count / peak)) if peak else ""
+        lines.append(f"    {bound:>12}  {count:>8}  {bar}")
+
+
+def render_report(report: dict) -> str:
+    """Human-readable rendering of a run report (the ``report`` command)."""
+    lines: list[str] = []
+    meta = report.get("meta", {})
+    if meta:
+        lines.append("run metadata")
+        for key, value in meta.items():
+            lines.append(f"  {key}: {value}")
+        lines.append("")
+    spans = report.get("spans", [])
+    if spans:
+        lines.append("spans" + " " * 38 + "elapsed    share")
+        for root in spans:
+            root_elapsed = root.get("elapsed_s", 0.0)
+            _render_span(root, 0, root_elapsed, lines)
+        lines.append("")
+    metrics = report.get("metrics", {})
+    counters = metrics.get("counters", {})
+    if counters:
+        width = max(len(n) for n in counters)
+        lines.append("counters")
+        for name, value in counters.items():
+            lines.append(f"  {name:<{width}}  {value:>12}")
+        lines.append("")
+    gauges = metrics.get("gauges", {})
+    if gauges:
+        width = max(len(n) for n in gauges)
+        lines.append("gauges")
+        for name, value in gauges.items():
+            lines.append(f"  {name:<{width}}  {value:>12.4f}")
+        lines.append("")
+    histograms = metrics.get("histograms", {})
+    if histograms:
+        lines.append("histograms")
+        for name, data in histograms.items():
+            _render_histogram(name, data, lines)
+        lines.append("")
+    if not lines:
+        lines.append("(empty report)")
+    return "\n".join(lines).rstrip() + "\n"

@@ -1,0 +1,221 @@
+"""Hierarchical tracing spans for the resolver and query pipelines.
+
+A :class:`Trace` collects a tree of named :class:`Span` objects, one per
+``with trace.span("resolve/blocking"):`` block.  Spans nest naturally —
+a span opened while another is active becomes its child — so a resolver
+run exports as the phase tree the paper's Tables 5/6 report on
+(blocking → graph → bootstrap → merge → refine).
+
+Each span records wall-clock seconds and, when the trace is built with
+``capture_memory=True``, the ``tracemalloc`` allocation delta and traced
+peak at span exit.  Traces export as a nested dict tree (:meth:`Trace.tree`)
+and as JSONL, one span per line (:meth:`Trace.to_jsonl` /
+:meth:`Trace.from_jsonl`), so run artefacts can be diffed and aggregated
+across runs.
+
+Tracing must cost nothing when off: :meth:`Trace.disabled` returns a
+trace whose ``span()`` hands back one shared no-op context manager, and
+``default_trace()`` honours the ``SNAPS_OBS=off`` environment switch.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Iterator
+
+__all__ = ["Span", "Trace", "default_trace"]
+
+_OBS_ENV_VAR = "SNAPS_OBS"
+
+
+class Span:
+    """One timed node in the trace tree."""
+
+    __slots__ = (
+        "name",
+        "elapsed",
+        "children",
+        "mem_alloc_bytes",
+        "mem_peak_bytes",
+        "error",
+        "_start",
+        "_mem_start",
+    )
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.elapsed = 0.0
+        self.children: list[Span] = []
+        # Allocation delta across the span and traced peak at exit; None
+        # unless the owning trace captures memory.
+        self.mem_alloc_bytes: int | None = None
+        self.mem_peak_bytes: int | None = None
+        # Name of the exception type that escaped the span, if any.
+        self.error: str | None = None
+        self._start = 0.0
+        self._mem_start = 0
+
+    def as_dict(self) -> dict:
+        """This span and its subtree as plain JSON-serialisable dicts."""
+        node: dict = {"name": self.name, "elapsed_s": round(self.elapsed, 6)}
+        if self.mem_alloc_bytes is not None:
+            node["mem_alloc_bytes"] = self.mem_alloc_bytes
+            node["mem_peak_bytes"] = self.mem_peak_bytes
+        if self.error is not None:
+            node["error"] = self.error
+        if self.children:
+            node["children"] = [child.as_dict() for child in self.children]
+        return node
+
+    @classmethod
+    def from_dict(cls, node: dict) -> "Span":
+        span = cls(node["name"])
+        span.elapsed = float(node["elapsed_s"])
+        span.mem_alloc_bytes = node.get("mem_alloc_bytes")
+        span.mem_peak_bytes = node.get("mem_peak_bytes")
+        span.error = node.get("error")
+        span.children = [cls.from_dict(c) for c in node.get("children", ())]
+        return span
+
+
+class _SpanContext:
+    """Context manager entering/exiting one span of a live trace."""
+
+    __slots__ = ("_trace", "_span")
+
+    def __init__(self, trace: "Trace", span: Span) -> None:
+        self._trace = trace
+        self._span = span
+
+    def __enter__(self) -> Span:
+        span = self._span
+        if self._trace.capture_memory:
+            import tracemalloc
+
+            if not tracemalloc.is_tracing():
+                tracemalloc.start()
+            span._mem_start = tracemalloc.get_traced_memory()[0]
+        span._start = time.perf_counter()
+        return span
+
+    def __exit__(self, exc_type: object, *exc_info: object) -> None:
+        span = self._span
+        span.elapsed += time.perf_counter() - span._start
+        if self._trace.capture_memory:
+            import tracemalloc
+
+            current, peak = tracemalloc.get_traced_memory()
+            span.mem_alloc_bytes = current - span._mem_start
+            span.mem_peak_bytes = peak
+        if exc_type is not None:
+            span.error = getattr(exc_type, "__name__", str(exc_type))
+        self._trace._pop(span)
+
+
+class _NullSpanContext:
+    """Shared no-op context manager for disabled traces."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NULL_CONTEXT = _NullSpanContext()
+
+
+class Trace:
+    """A tree of timed spans for one pipeline run.
+
+    >>> trace = Trace()
+    >>> with trace.span("resolve"):
+    ...     with trace.span("blocking"):
+    ...         pass
+    >>> [s.name for s in trace.roots]
+    ['resolve']
+    >>> [s.name for s in trace.roots[0].children]
+    ['blocking']
+    """
+
+    def __init__(self, capture_memory: bool = False, enabled: bool = True) -> None:
+        self.capture_memory = capture_memory
+        self.enabled = enabled
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+
+    @classmethod
+    def disabled(cls) -> "Trace":
+        """A trace whose spans compile to a shared no-op context."""
+        return cls(enabled=False)
+
+    def span(self, name: str) -> _SpanContext | _NullSpanContext:
+        """Context manager timing one named span under the current one."""
+        if not self.enabled:
+            return _NULL_CONTEXT
+        span = Span(name)
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        return _SpanContext(self, span)
+
+    def _pop(self, span: Span) -> None:
+        # Exception-safe unwind: drop everything above the closing span,
+        # so an escaped exception cannot corrupt later nesting.
+        while self._stack:
+            if self._stack.pop() is span:
+                break
+
+    # ------------------------------------------------------------------
+    # Export / import
+    # ------------------------------------------------------------------
+
+    def tree(self) -> list[dict]:
+        """The whole trace as a list of nested root dicts."""
+        return [root.as_dict() for root in self.roots]
+
+    def walk(self) -> Iterator[tuple[int, Span]]:
+        """Depth-first (depth, span) pairs over the whole trace."""
+        stack: list[tuple[int, Span]] = [(0, r) for r in reversed(self.roots)]
+        while stack:
+            depth, span = stack.pop()
+            yield depth, span
+            stack.extend((depth + 1, c) for c in reversed(span.children))
+
+    def find(self, name: str) -> Span | None:
+        """First span called ``name`` in depth-first order, or None."""
+        for _, span in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+    def total(self) -> float:
+        """Wall-clock seconds summed over root spans."""
+        return sum(root.elapsed for root in self.roots)
+
+    def to_jsonl(self) -> str:
+        """One JSON line per *root* span (children nested inside)."""
+        return "\n".join(json.dumps(root.as_dict()) for root in self.roots)
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "Trace":
+        """Rebuild a (finished) trace from :meth:`to_jsonl` output."""
+        trace = cls()
+        for line in text.splitlines():
+            line = line.strip()
+            if line:
+                trace.roots.append(Span.from_dict(json.loads(line)))
+        return trace
+
+
+def default_trace(capture_memory: bool = False) -> Trace:
+    """A fresh enabled trace, or a disabled one under ``SNAPS_OBS=off``."""
+    if os.environ.get(_OBS_ENV_VAR, "").lower() in ("off", "0", "false"):
+        return Trace.disabled()
+    return Trace(capture_memory=capture_memory)

@@ -16,15 +16,21 @@ The paper's Section 7 pipeline:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.data.roles import Role
 from repro.index.keyword import KeywordIndex
 from repro.index.simindex import SimilarityAwareIndex
+from repro.obs.logs import get_logger
+from repro.obs.metrics import LATENCY_BUCKETS_S, MetricsRegistry
+from repro.obs.trace import Trace
 from repro.pedigree.graph import PedigreeEntity, PedigreeGraph
 from repro.utils.heaps import TopK
 
 __all__ = ["Query", "QueryEngine", "RankedMatch"]
+
+logger = get_logger("query.engine")
 
 # Match-score weights per query attribute (names dominate, as discussed
 # in Section 7; locations are weakest because users often guess them).
@@ -86,17 +92,26 @@ class QueryEngine:
         weights: dict[str, float] | None = None,
         use_geographic_distance: bool = False,
         geo_half_distance_km: float = 10.0,
+        trace: Trace | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         """``use_geographic_distance`` switches parish scoring from string
         similarity to geodesic distance against the gazetteer (the paper's
         future-work geographic query refinement): a query for "portree"
         then also surfaces people registered in nearby Snizort at a
         distance-discounted score, while far-away parishes score near 0
-        even if their names are string-similar."""
+        even if their names are string-similar.
+
+        ``trace``/``metrics`` instrument every :meth:`search`: one span
+        per stage (accumulate, refine — with a nested ``parish_match``
+        span — and rank), a per-query latency histogram, and search/hit
+        counters.  Both default to off with no per-query cost."""
         self.graph = graph
         self.weights = dict(weights or DEFAULT_WEIGHTS)
         self.use_geographic_distance = use_geographic_distance
         self.geo_half_distance_km = geo_half_distance_km
+        self.trace = trace if trace is not None else Trace.disabled()
+        self.metrics = metrics
         self.keyword_index = KeywordIndex(graph)
         self.sim_index: dict[str, SimilarityAwareIndex] = {
             attribute: SimilarityAwareIndex(
@@ -169,7 +184,9 @@ class QueryEngine:
                 if entity_id in matching:
                     scores["year"] = 1.0
         if query.parish is not None:
-            for matched_value, similarity in self._parish_matches(query.parish):
+            with self.trace.span("parish_match"):
+                parish_matches = self._parish_matches(query.parish)
+            for matched_value, similarity in parish_matches:
                 for entity_id in self.keyword_index.lookup("parish", matched_value):
                     scores = accumulator.get(entity_id)
                     if scores is not None and similarity > scores.get("parish", 0.0):
@@ -191,41 +208,62 @@ class QueryEngine:
         Scores are normalised so 100% means an exact match on every QID
         value the user provided.
         """
-        accumulator = self._name_accumulator(query)
-        self._refine(query, accumulator)
-        provided = ["first_name", "surname"]
-        if query.gender is not None:
-            provided.append("gender")
-        if query.year_from is not None or query.year_to is not None:
-            provided.append("year")
-        if query.parish is not None:
-            provided.append("parish")
-        max_score = sum(self.weights[a] for a in provided)
-        top: TopK[tuple[int, dict[str, float]]] = TopK(top_m)
-        for entity_id, scores in accumulator.items():
-            entity = self.graph.entity(entity_id)
-            if not self._record_type_filter(query, entity):
-                continue
-            score = sum(
-                self.weights[attribute] * scores.get(attribute, 0.0)
-                for attribute in provided
-            )
-            top.push(score, (entity_id, scores))
-        results: list[RankedMatch] = []
-        for score, (entity_id, scores) in top.items():
-            entity = self.graph.entity(entity_id)
-            kinds = {}
-            for attribute in ("first_name", "surname", "parish"):
-                if attribute in scores:
-                    kinds[attribute] = (
-                        "exact" if scores[attribute] >= 0.9999 else "approx"
+        start = time.perf_counter()
+        with self.trace.span("query"):
+            with self.trace.span("accumulate"):
+                accumulator = self._name_accumulator(query)
+            with self.trace.span("refine"):
+                self._refine(query, accumulator)
+            with self.trace.span("rank"):
+                provided = ["first_name", "surname"]
+                if query.gender is not None:
+                    provided.append("gender")
+                if query.year_from is not None or query.year_to is not None:
+                    provided.append("year")
+                if query.parish is not None:
+                    provided.append("parish")
+                max_score = sum(self.weights[a] for a in provided)
+                top: TopK[tuple[int, dict[str, float]]] = TopK(top_m)
+                for entity_id, scores in accumulator.items():
+                    entity = self.graph.entity(entity_id)
+                    if not self._record_type_filter(query, entity):
+                        continue
+                    score = sum(
+                        self.weights[attribute] * scores.get(attribute, 0.0)
+                        for attribute in provided
                     )
-            results.append(
-                RankedMatch(
-                    entity=entity,
-                    score_percent=round(100.0 * score / max_score, 2),
-                    attribute_scores=dict(scores),
-                    match_kinds=kinds,
-                )
+                    top.push(score, (entity_id, scores))
+                results: list[RankedMatch] = []
+                for score, (entity_id, scores) in top.items():
+                    entity = self.graph.entity(entity_id)
+                    kinds = {}
+                    for attribute in ("first_name", "surname", "parish"):
+                        if attribute in scores:
+                            kinds[attribute] = (
+                                "exact" if scores[attribute] >= 0.9999 else "approx"
+                            )
+                    results.append(
+                        RankedMatch(
+                            entity=entity,
+                            score_percent=round(100.0 * score / max_score, 2),
+                            attribute_scores=dict(scores),
+                            match_kinds=kinds,
+                        )
+                    )
+        if self.metrics is not None:
+            self.metrics.inc("query.searches")
+            self.metrics.inc("query.candidates", len(accumulator))
+            self.metrics.inc("query.hits", len(results))
+            self.metrics.observe(
+                "query.latency_seconds",
+                time.perf_counter() - start,
+                LATENCY_BUCKETS_S,
             )
+        logger.debug(
+            "query %s/%s: %d accumulator entries, %d hits",
+            query.first_name,
+            query.surname,
+            len(accumulator),
+            len(results),
+        )
         return results

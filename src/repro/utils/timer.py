@@ -36,16 +36,19 @@ class Timer:
 
 @dataclass
 class Stopwatch:
-    """Accumulates elapsed time under named phases.
+    """Accumulates elapsed time and call counts under named phases.
 
     >>> sw = Stopwatch()
     >>> with sw.phase("load"):
     ...     pass
     >>> "load" in sw.times
     True
+    >>> sw.counts["load"]
+    1
     """
 
     times: dict[str, float] = field(default_factory=dict)
+    counts: dict[str, int] = field(default_factory=dict)
 
     def phase(self, name: str) -> "_Phase":
         """Return a context manager adding its elapsed time to ``name``."""
@@ -56,8 +59,18 @@ class Stopwatch:
         return sum(self.times.values())
 
     def add(self, name: str, seconds: float) -> None:
-        """Add ``seconds`` to phase ``name``."""
+        """Add ``seconds`` (one timed call) to phase ``name``."""
         self.times[name] = self.times.get(name, 0.0) + seconds
+        self.counts[name] = self.counts.get(name, 0) + 1
+
+    def merge(self, other: "Stopwatch") -> "Stopwatch":
+        """Fold ``other``'s phases into this stopwatch (multi-run
+        aggregation for the bench harness); returns ``self``."""
+        for name, seconds in other.times.items():
+            self.times[name] = self.times.get(name, 0.0) + seconds
+        for name, count in other.counts.items():
+            self.counts[name] = self.counts.get(name, 0) + count
+        return self
 
 
 class _Phase:

@@ -48,6 +48,64 @@ class TestResolve:
         assert code == 0
 
 
+class TestTelemetry:
+    def test_resolve_metrics_out_and_report(self, simulated, tmp_path, capsys):
+        import json
+
+        graph = tmp_path / "g.json"
+        run = tmp_path / "run.json"
+        code = main([
+            "resolve", "--data", str(simulated), "--out", str(graph),
+            "--metrics-out", str(run),
+        ])
+        assert code == 0
+        report = json.loads(run.read_text())
+        assert report["spans"][0]["name"] == "resolve"
+        children = [c["name"] for c in report["spans"][0]["children"]]
+        assert {"blocking", "graph", "bootstrap", "merge"} <= set(children)
+        assert report["metrics"]["counters"]["blocking.candidate_pairs"] > 0
+        assert "blocking.block_size" in report["metrics"]["histograms"]
+        capsys.readouterr()
+        code = main(["report", str(run)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "spans" in out and "blocking.candidate_pairs" in out
+
+    def test_resolve_trace_flag(self, simulated, tmp_path, capsys):
+        graph = tmp_path / "g.json"
+        code = main([
+            "-v", "resolve", "--data", str(simulated), "--out", str(graph),
+            "--trace",
+        ])
+        captured = capsys.readouterr()
+        # Reset the repro logger: the -v handler captured above holds the
+        # test-scoped stderr, which is gone once capsys tears down.
+        from repro.obs.logs import configure
+
+        configure(0)
+        assert code == 0
+        assert "resolve" in captured.err and "counters" in captured.err
+
+    def test_query_metrics_out(self, resolved, tmp_path):
+        import json
+
+        run = tmp_path / "q.json"
+        code = main([
+            "query", "--graph", str(resolved),
+            "--first-name", "mary", "--surname", "macdonald",
+            "--metrics-out", str(run),
+        ])
+        assert code == 0
+        report = json.loads(run.read_text())
+        assert report["spans"][0]["name"] == "query"
+        assert report["metrics"]["counters"]["query.searches"] == 1
+
+    def test_report_rejects_garbage(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json")
+        assert main(["report", str(bad)]) == 1
+
+
 class TestQuery:
     def test_query_finds_hits(self, resolved, capsys):
         code = main([

@@ -19,6 +19,8 @@ import repro.utils.heaps
 import repro.utils.timer
 import repro.utils.union_find
 import repro.data.roles
+import repro.obs.metrics
+import repro.obs.trace
 
 _MODULES = [
     repro.similarity.levenshtein,
@@ -32,6 +34,8 @@ _MODULES = [
     repro.utils.timer,
     repro.utils.union_find,
     repro.data.roles,
+    repro.obs.metrics,
+    repro.obs.trace,
 ]
 
 

@@ -1,0 +1,425 @@
+"""Tests for the observability subsystem (repro.obs)."""
+
+import json
+import logging
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.obs import (
+    LATENCY_BUCKETS_S,
+    SIMILARITY_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+    Trace,
+    build_report,
+    configure,
+    default_trace,
+    exponential_buckets,
+    get_logger,
+    linear_buckets,
+    load_report,
+    render_report,
+    save_report,
+)
+
+
+class TestTraceSpans:
+    def test_nesting_builds_tree(self):
+        trace = Trace()
+        with trace.span("root"):
+            with trace.span("child_a"):
+                pass
+            with trace.span("child_b"):
+                with trace.span("grandchild"):
+                    pass
+        assert [s.name for s in trace.roots] == ["root"]
+        root = trace.roots[0]
+        assert [s.name for s in root.children] == ["child_a", "child_b"]
+        assert [s.name for s in root.children[1].children] == ["grandchild"]
+
+    def test_sibling_roots(self):
+        trace = Trace()
+        with trace.span("first"):
+            pass
+        with trace.span("second"):
+            pass
+        assert [s.name for s in trace.roots] == ["first", "second"]
+        assert trace.total() == pytest.approx(
+            sum(s.elapsed for s in trace.roots)
+        )
+
+    def test_exception_safety(self):
+        trace = Trace()
+        with pytest.raises(ValueError):
+            with trace.span("outer"):
+                with trace.span("inner"):
+                    raise ValueError("boom")
+        # Both spans closed, stack unwound, error recorded.
+        assert trace._stack == []
+        outer = trace.roots[0]
+        assert outer.error == "ValueError"
+        assert outer.children[0].error == "ValueError"
+        assert outer.elapsed >= outer.children[0].elapsed >= 0.0
+        # The trace is usable again and nests at the top level.
+        with trace.span("after"):
+            pass
+        assert [s.name for s in trace.roots] == ["outer", "after"]
+
+    def test_find_and_walk(self):
+        trace = Trace()
+        with trace.span("a"):
+            with trace.span("b"):
+                pass
+        assert trace.find("b") is trace.roots[0].children[0]
+        assert trace.find("nope") is None
+        assert [(d, s.name) for d, s in trace.walk()] == [(0, "a"), (1, "b")]
+
+    def test_disabled_trace_is_noop(self):
+        trace = Trace.disabled()
+        with trace.span("anything"):
+            with trace.span("nested"):
+                pass
+        assert trace.roots == []
+        assert trace.tree() == []
+        # All spans share one null context object — no per-span allocation.
+        assert trace.span("x") is trace.span("y")
+
+    def test_env_var_disables_default_trace(self, monkeypatch):
+        monkeypatch.setenv("SNAPS_OBS", "off")
+        assert not default_trace().enabled
+        monkeypatch.delenv("SNAPS_OBS")
+        assert default_trace().enabled
+
+    def test_memory_capture(self):
+        trace = Trace(capture_memory=True)
+        with trace.span("alloc"):
+            blob = ["x" * 1000 for _ in range(1000)]
+        assert trace.roots[0].mem_peak_bytes is not None
+        assert trace.roots[0].mem_alloc_bytes > 0
+        del blob
+
+    def test_jsonl_round_trip(self):
+        trace = Trace()
+        with trace.span("root"):
+            with trace.span("child"):
+                pass
+        text = trace.to_jsonl()
+        assert len(text.splitlines()) == 1  # one line per root span
+        rebuilt = Trace.from_jsonl(text)
+        assert rebuilt.tree() == trace.tree()
+        # Each line is valid standalone JSON.
+        node = json.loads(text.splitlines()[0])
+        assert node["name"] == "root"
+        assert node["children"][0]["name"] == "child"
+
+
+class TestHistogram:
+    def test_bucket_edges_inclusive(self):
+        h = Histogram("h", [1.0, 2.0, 4.0])
+        for value in (0.5, 1.0, 1.5, 2.0, 4.0, 5.0):
+            h.observe(value)
+        # <=1: 0.5, 1.0 | <=2: 1.5, 2.0 | <=4: 4.0 | overflow: 5.0
+        assert h.counts == [2, 2, 1, 1]
+        assert h.count == 6
+        assert h.min == 0.5 and h.max == 5.0
+        assert h.mean() == pytest.approx(14.0 / 6)
+
+    def test_rejects_bad_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("h", [])
+        with pytest.raises(ValueError):
+            Histogram("h", [2.0, 1.0])
+        with pytest.raises(ValueError):
+            Histogram("h", [1.0, 1.0])
+
+    def test_bucket_helpers(self):
+        assert linear_buckets(0.1, 0.1, 3) == [0.1, 0.2, 0.3]
+        assert exponential_buckets(1, 2, 4) == [1.0, 2.0, 4.0, 8.0]
+        assert SIMILARITY_BUCKETS[-1] == 1.0
+        assert LATENCY_BUCKETS_S == sorted(LATENCY_BUCKETS_S)
+
+
+class TestMetricsRegistry:
+    def test_counter_thread_safety(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits")
+
+        def hammer(_):
+            for _ in range(1000):
+                counter.inc()
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(hammer, range(8)))
+        assert counter.value == 8000
+
+    def test_histogram_thread_safety(self):
+        registry = MetricsRegistry()
+
+        def hammer(worker):
+            for i in range(500):
+                registry.observe("h", (worker + i) % 10, buckets=[2.0, 5.0, 10.0])
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            list(pool.map(hammer, range(4)))
+        assert registry.histograms["h"].count == 2000
+
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h", [1.0]) is registry.histogram("h")
+
+    def test_as_dict_snapshot(self):
+        registry = MetricsRegistry()
+        registry.inc("pairs", 5)
+        registry.set_gauge("ratio", 0.25)
+        registry.observe("sizes", 3, buckets=[2.0, 4.0])
+        snapshot = registry.as_dict()
+        assert snapshot["counters"] == {"pairs": 5}
+        assert snapshot["gauges"] == {"ratio": 0.25}
+        assert snapshot["histograms"]["sizes"]["counts"] == [0, 1, 0]
+
+    def test_merge_aggregates_runs(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for registry, n in ((a, 2), (b, 3)):
+            registry.inc("pairs", n)
+            registry.observe("sizes", n, buckets=[2.0, 4.0])
+        b.set_gauge("ratio", 0.9)
+        a.merge(b)
+        assert a.counter_value("pairs") == 5
+        assert a.histograms["sizes"].count == 2
+        assert a.gauges["ratio"].value == 0.9
+
+    def test_merge_rejects_bucket_mismatch(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.observe("h", 1, buckets=[1.0, 2.0])
+        b.observe("h", 1, buckets=[5.0])
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_null_metrics_is_silent(self):
+        null = NullMetrics()
+        null.inc("x", 5)
+        null.observe("h", 1.0)
+        null.set_gauge("g", 2.0)
+        assert null.counter_value("x") == 0
+        assert null.as_dict() == {"counters": {}, "gauges": {}, "histograms": {}}
+        assert not null  # falsy, unlike a real registry
+        assert MetricsRegistry()
+
+
+class TestRunReport:
+    def _example_report(self):
+        trace = Trace()
+        with trace.span("resolve"):
+            with trace.span("blocking"):
+                pass
+        registry = MetricsRegistry()
+        registry.inc("blocking.candidate_pairs", 42)
+        registry.set_gauge("blocking.reduction_ratio", 0.98)
+        registry.observe("blocking.block_size", 3, buckets=[2.0, 4.0])
+        return build_report(trace, registry, meta={"dataset": "tiny"})
+
+    def test_save_load_round_trip(self, tmp_path):
+        report = self._example_report()
+        path = save_report(report, tmp_path / "run.json")
+        assert load_report(path) == report
+
+    def test_load_rejects_non_report(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ValueError):
+            load_report(path)
+
+    def test_render_contains_all_sections(self):
+        text = render_report(self._example_report())
+        assert "resolve" in text and "blocking" in text
+        assert "blocking.candidate_pairs" in text and "42" in text
+        assert "blocking.reduction_ratio" in text
+        assert "blocking.block_size" in text
+        assert "dataset: tiny" in text
+
+    def test_render_empty_report(self):
+        assert render_report(build_report()).strip() == "(empty report)"
+
+
+class TestLogs:
+    def test_configure_levels(self):
+        logger = configure(0)
+        assert logger.level == logging.WARNING
+        assert configure(1).level == logging.INFO
+        assert configure(2).level == logging.DEBUG
+        assert configure(9).level == logging.DEBUG
+
+    def test_reconfigure_does_not_stack_handlers(self):
+        before = len(configure(1).handlers)
+        after = len(configure(2).handlers)
+        assert before == after == 1
+
+    def test_get_logger_namespacing(self):
+        assert get_logger("core.resolver").name == "repro.core.resolver"
+        assert get_logger("repro.query").name == "repro.query"
+
+    def test_messages_reach_stream(self, capsys):
+        import io
+
+        stream = io.StringIO()
+        configure(1, stream=stream)
+        get_logger("test").info("phase done")
+        assert "phase done" in stream.getvalue()
+        configure(0)  # restore default quietness
+
+
+class TestStopwatchUpgrades:
+    def test_phase_counts(self):
+        from repro.obs import Stopwatch
+
+        sw = Stopwatch()
+        with sw.phase("a"):
+            pass
+        with sw.phase("a"):
+            pass
+        with sw.phase("b"):
+            pass
+        assert sw.counts == {"a": 2, "b": 1}
+
+    def test_merge(self):
+        from repro.obs import Stopwatch
+
+        a, b = Stopwatch(), Stopwatch()
+        a.add("x", 1.0)
+        b.add("x", 2.0)
+        b.add("y", 0.5)
+        assert a.merge(b) is a
+        assert a.times == {"x": 3.0, "y": 0.5}
+        assert a.counts == {"x": 2, "y": 1}
+
+    def test_reexported_for_compat(self):
+        import repro.obs
+        import repro.utils.timer
+
+        assert repro.obs.Stopwatch is repro.utils.timer.Stopwatch
+        assert repro.obs.Timer is repro.utils.timer.Timer
+
+
+class TestResolverTelemetry:
+    @pytest.fixture(scope="class")
+    def run(self):
+        from repro.core import SnapsConfig, SnapsResolver
+        from repro.data.synthetic import make_tiny_dataset
+
+        dataset = make_tiny_dataset(seed=3)
+        trace = Trace()
+        metrics = MetricsRegistry()
+        result = SnapsResolver(SnapsConfig()).resolve(
+            dataset, trace=trace, metrics=metrics
+        )
+        return result, trace, metrics
+
+    def test_span_tree_shape(self, run):
+        _, trace, _ = run
+        assert [s.name for s in trace.roots] == ["resolve"]
+        child_names = [s.name for s in trace.roots[0].children]
+        assert child_names == [
+            "blocking", "graph", "bootstrap", "refine", "merge", "refine",
+        ]
+        assert trace.roots[0].elapsed >= sum(
+            s.elapsed for s in trace.roots[0].children
+        ) * 0.5
+
+    def test_pipeline_counters_nonzero(self, run):
+        _, _, metrics = run
+        assert metrics.counter_value("blocking.candidate_pairs") > 0
+        assert metrics.counter_value("resolver.candidate_pairs") > 0
+        merges = metrics.counter_value(
+            "resolver.bootstrap_merges"
+        ) + metrics.counter_value("resolver.iterative_merges")
+        assert merges > 0
+        assert metrics.histograms["blocking.block_size"].count > 0
+        assert 0.0 < metrics.gauges["blocking.reduction_ratio"].value <= 1.0
+
+    def test_lsh_signature_cache_counters(self, run):
+        _, _, metrics = run
+        misses = metrics.counter_value("lsh.signature_cache_misses")
+        hits = metrics.counter_value("lsh.signature_cache_hits")
+        # every blocked record either hit or missed the signature cache
+        assert misses > 0
+        assert hits + misses >= misses
+
+    def test_result_carries_telemetry(self, run):
+        result, trace, metrics = run
+        assert result.metrics is metrics
+        assert result.trace is trace
+        summary = result.summary()
+        assert summary["blocking.candidate_pairs"] == metrics.counter_value(
+            "blocking.candidate_pairs"
+        )
+        assert "blocking.reduction_ratio" in summary
+
+    def test_report_artefact(self, run, tmp_path):
+        result, _, _ = run
+        report = result.report()
+        path = save_report(report, tmp_path / "run.json")
+        loaded = load_report(path)
+        assert loaded["meta"]["kind"] == "resolve"
+        assert loaded["spans"][0]["name"] == "resolve"
+        names = [c["name"] for c in loaded["spans"][0]["children"]]
+        assert "blocking" in names and "merge" in names
+        assert loaded["metrics"]["counters"]["resolver.runs"] == 1
+        assert "spans" in render_report(loaded)
+
+    def test_untraced_run_unchanged(self, run):
+        from repro.core import SnapsConfig, SnapsResolver
+        from repro.data.synthetic import make_tiny_dataset
+
+        traced_result, _, _ = run
+        plain = SnapsResolver(SnapsConfig()).resolve(make_tiny_dataset(seed=3))
+        assert plain.metrics is None and plain.trace is None
+        assert plain.bootstrap_merges == traced_result.bootstrap_merges
+        assert plain.iterative_merges == traced_result.iterative_merges
+
+
+class TestQueryTelemetry:
+    def test_query_spans_and_latency(self):
+        from repro.core import SnapsConfig, SnapsResolver
+        from repro.data.synthetic import make_tiny_dataset
+        from repro.pedigree import build_pedigree_graph
+        from repro.query import Query, QueryEngine
+
+        dataset = make_tiny_dataset(seed=3)
+        result = SnapsResolver(SnapsConfig()).resolve(dataset)
+        graph = build_pedigree_graph(dataset, result.entities)
+        trace = Trace()
+        metrics = MetricsRegistry()
+        engine = QueryEngine(graph, trace=trace, metrics=metrics)
+        engine.search(
+            Query(first_name="mary", surname="macdonald", parish="portree")
+        )
+        root = trace.roots[0]
+        assert root.name == "query"
+        stages = [s.name for s in root.children]
+        assert stages == ["accumulate", "refine", "rank"]
+        refine = root.children[1]
+        assert [s.name for s in refine.children] == ["parish_match"]
+        assert metrics.counter_value("query.searches") == 1
+        assert metrics.histograms["query.latency_seconds"].count == 1
+
+
+class TestProfilingMetrics:
+    def test_value_counts_uses_counter_and_emits(self):
+        from collections import Counter
+
+        from repro.data.synthetic import make_tiny_dataset
+        from repro.eval.profiling import _value_counts, attribute_profile
+
+        dataset = make_tiny_dataset(seed=3)
+        counts, missing = _value_counts(list(dataset), "first_name")
+        assert isinstance(counts, Counter)
+        registry = MetricsRegistry()
+        profile = attribute_profile(dataset, "first_name", metrics=registry)
+        assert registry.counter_value("profile.first_name.missing") == profile.missing
+        values = registry.counter_value("profile.first_name.values")
+        assert values + profile.missing == profile.n_records
+        assert registry.counter_value("profile.first_name.distinct") > 0

@@ -44,3 +44,24 @@ class TestStopwatch:
         with sw.phase("link"):
             pass
         assert set(sw.times) == {"load", "link"}
+
+    def test_counts_per_phase(self):
+        sw = Stopwatch()
+        with sw.phase("load"):
+            pass
+        with sw.phase("load"):
+            pass
+        sw.add("link", 0.5)
+        assert sw.counts == {"load": 2, "link": 1}
+
+    def test_merge_aggregates_runs(self):
+        a = Stopwatch()
+        b = Stopwatch()
+        a.add("load", 1.0)
+        b.add("load", 2.0)
+        b.add("link", 3.0)
+        merged = a.merge(b)
+        assert merged is a
+        assert a.times == {"load": 3.0, "link": 3.0}
+        assert a.counts == {"load": 2, "link": 1}
+        assert a.total() == 6.0
