@@ -1,6 +1,6 @@
 # Developer entry points for the SNAPS reproduction.
 
-.PHONY: install test verify bench bench-full examples clean
+.PHONY: install test verify serve-smoke bench bench-full examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -24,6 +24,13 @@ verify:
 		--metrics-out $(VERIFY_TMP)/run.json
 	PYTHONPATH=src python -m repro report $(VERIFY_TMP)/run.json
 	rm -rf $(VERIFY_TMP)
+	$(MAKE) serve-smoke
+
+# Boot the HTTP serving subsystem on an in-process tiny graph, hit
+# /healthz, /v1/search (checked against the offline engine), a pedigree,
+# and /metricz, then shut down.  See src/repro/serve/smoke.py.
+serve-smoke:
+	PYTHONPATH=src python -m repro.serve.smoke
 
 # The full evaluation harness: one bench per paper table/figure plus the
 # design-choice ablations.  REPRO_BENCH_SCALE=1.0 approximates paper-sized

@@ -1,0 +1,168 @@
+"""Serving throughput — the online subsystem under concurrent load.
+
+Beyond the paper's Table 7 (single-threaded query latency), this bench
+drives the full ``repro.serve`` HTTP stack — route dispatch, admission
+control, result cache, JSON serialisation, socket I/O — with
+multi-threaded clients replaying a skewed query workload (popular
+ancestors are searched repeatedly, as on the real SNAPS deployment), and
+reports p50/p95/p99 latency and QPS with the result cache on vs off.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from common import emit, emit_report, format_table, ios_dataset
+from repro.core import SnapsConfig, SnapsResolver
+from repro.obs import MetricsRegistry
+from repro.pedigree import build_pedigree_graph
+from repro.serve import ServeClient, ServeConfig, ServingApp, make_server
+from repro.utils.rng import make_rng
+
+N_CLIENT_THREADS = 4
+REQUESTS_PER_THREAD = 60
+N_DISTINCT_QUERIES = 24
+
+
+def _build_graph():
+    dataset = ios_dataset()
+    result = SnapsResolver(SnapsConfig()).resolve(dataset)
+    return build_pedigree_graph(dataset, result.entities)
+
+
+def _workload(graph, seed=29):
+    """Distinct query bodies, ~1/3 with a misspelled surname."""
+    rng = make_rng(seed)
+    named = [e for e in graph if e.first("first_name") and e.first("surname")]
+    queries = []
+    for _ in range(N_DISTINCT_QUERIES):
+        entity = rng.choice(named)
+        surname = entity.first("surname")
+        if rng.random() < 0.35 and len(surname) > 4:
+            pos = rng.randrange(1, len(surname))
+            surname = surname[:pos] + surname[pos + 1 :]
+        queries.append((entity.first("first_name"), surname))
+    return queries
+
+
+def _drive(app, queries, seed):
+    """Hammer a live server from N threads; per-request wall latencies."""
+    server = make_server(app, "127.0.0.1", 0)
+    host, port = server.server_address[:2]
+    server_thread = threading.Thread(target=server.serve_forever, daemon=True)
+    server_thread.start()
+    try:
+        base_url = f"http://{host}:{port}"
+
+        def client_thread(thread_index):
+            client = ServeClient(base_url)
+            rng = make_rng(seed + thread_index)
+            latencies = []
+            for _ in range(REQUESTS_PER_THREAD):
+                # Skewed popularity: squaring the uniform draw favours
+                # low indices, so some queries repeat often (cache food).
+                first, surname = queries[
+                    int(len(queries) * rng.random() ** 2)
+                ]
+                start = time.perf_counter()
+                client.search(first, surname, top=10)
+                latencies.append(time.perf_counter() - start)
+            return latencies
+
+        wall_start = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=N_CLIENT_THREADS) as pool:
+            per_thread = list(pool.map(client_thread, range(N_CLIENT_THREADS)))
+        wall = time.perf_counter() - wall_start
+    finally:
+        server.shutdown()
+        server.server_close()
+    latencies = sorted(t for thread in per_thread for t in thread)
+    return latencies, len(latencies) / wall
+
+
+def _percentile(sorted_values, fraction):
+    index = min(len(sorted_values) - 1, round(fraction * (len(sorted_values) - 1)))
+    return sorted_values[index]
+
+
+def test_serving_throughput(benchmark):
+    graph = _build_graph()
+    queries = _workload(graph)
+    apps = {
+        "cache on": ServingApp(
+            graph, ServeConfig(cache_size=256, max_concurrency=8)
+        ),
+        "cache off": ServingApp(
+            graph, ServeConfig(cache_size=0, max_concurrency=8)
+        ),
+    }
+
+    def run_all():
+        return {
+            label: _drive(app, queries, seed=37)
+            for label, app in apps.items()
+        }
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    headline = {}
+    for label, (latencies, qps) in results.items():
+        row = {
+            "p50_ms": 1000 * _percentile(latencies, 0.50),
+            "p95_ms": 1000 * _percentile(latencies, 0.95),
+            "p99_ms": 1000 * _percentile(latencies, 0.99),
+            "qps": qps,
+        }
+        headline[label.replace(" ", "_")] = {
+            k: round(v, 3) for k, v in row.items()
+        }
+        rows.append([
+            label,
+            len(latencies),
+            f"{row['p50_ms']:.2f}",
+            f"{row['p95_ms']:.2f}",
+            f"{row['p99_ms']:.2f}",
+            f"{row['qps']:.1f}",
+        ])
+    cache_stats = apps["cache on"].cache.stats()
+    hit_rate = cache_stats["hits"] / max(1, cache_stats["hits"] + cache_stats["misses"])
+    emit(
+        "serving_throughput",
+        format_table(
+            f"Serving throughput — {N_CLIENT_THREADS} client threads, "
+            f"{N_CLIENT_THREADS * REQUESTS_PER_THREAD} requests over "
+            f"{N_DISTINCT_QUERIES} distinct queries, {len(graph)} entities "
+            f"(cache-on hit rate {100 * hit_rate:.0f}%)",
+            ["configuration", "requests", "p50 ms", "p95 ms", "p99 ms", "QPS"],
+            rows,
+        ),
+    )
+    merged = MetricsRegistry()
+    for app in apps.values():
+        merged.merge(app.metrics)
+    emit_report(
+        "serving_throughput",
+        metrics=merged,
+        meta={"entities": len(graph), **headline},
+    )
+    # Shapes: the served path must stay inside the paper's interactive
+    # bound, every request must have been answered (no hangs or shed
+    # load at this gentle concurrency), and a skewed workload must feed
+    # the cache.
+    for label, (latencies, _qps) in results.items():
+        assert len(latencies) == N_CLIENT_THREADS * REQUESTS_PER_THREAD, label
+        assert _percentile(latencies, 0.99) < 2.0, label
+    assert cache_stats["hits"] > 0
+    assert apps["cache off"].cache.stats()["hits"] == 0
+    on = apps["cache on"].metrics
+    assert on.counter_value("serve.responses.2xx") == \
+        N_CLIENT_THREADS * REQUESTS_PER_THREAD
+    assert on.histograms["serve.search.latency_seconds"].count == \
+        N_CLIENT_THREADS * REQUESTS_PER_THREAD
+    # The cache shields the engine: far fewer engine searches than
+    # requests when caching is on.
+    assert on.counter_value("query.searches") < \
+        N_CLIENT_THREADS * REQUESTS_PER_THREAD

@@ -1,9 +1,10 @@
-"""Command-line interface: simulate → resolve → query → pedigree.
+"""Command-line interface: simulate → resolve → query/serve → pedigree.
 
 The CLI mirrors the SNAPS deployment split: ``resolve`` runs the offline
-phase and saves a pedigree graph; ``query`` and ``pedigree`` serve the
-online phase from that file.  ``simulate`` and ``anonymise`` manage
-datasets.
+phase and saves a pedigree graph; ``query`` and ``pedigree`` answer one
+request per process from that file, and ``serve`` keeps the graph and
+indexes loaded to answer many over HTTP (see ``repro.serve``).
+``simulate`` and ``anonymise`` manage datasets.
 
 Examples::
 
@@ -11,6 +12,7 @@ Examples::
     python -m repro resolve  --data data/ios --out data/ios.graph.json
     python -m repro query    --graph data/ios.graph.json \
         --first-name mary --surname macdonald --top 5
+    python -m repro serve    --graph data/ios.graph.json --port 8080
     python -m repro pedigree --graph data/ios.graph.json \
         --entity 42 --format gedcom
     python -m repro anonymise --data data/ios --out data/ios-anon
@@ -91,7 +93,47 @@ def build_parser() -> argparse.ArgumentParser:
         "--geo", action="store_true",
         help="score parishes by geographic distance instead of spelling",
     )
+    query.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="result rendering (json matches the /v1/search payload)",
+    )
     add_telemetry_flags(query)
+
+    serve = sub.add_parser(
+        "serve", help="serve queries over HTTP from a loaded pedigree graph"
+    )
+    serve.add_argument("--graph", required=True)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument(
+        "--cache-size", type=int, default=256,
+        help="result-cache entries (0 disables caching)",
+    )
+    serve.add_argument(
+        "--cache-ttl", type=float, default=300.0, metavar="SECONDS",
+        help="result-cache entry lifetime (0 = keep forever)",
+    )
+    serve.add_argument(
+        "--max-concurrency", type=int, default=8,
+        help="search/pedigree requests executing at once",
+    )
+    serve.add_argument(
+        "--max-pending", type=int, default=32,
+        help="requests allowed to queue for a slot before 429s",
+    )
+    serve.add_argument(
+        "--queue-timeout", type=float, default=1.0, metavar="SECONDS",
+        help="longest a request may wait for a slot before a 503",
+    )
+    serve.add_argument(
+        "--request-timeout", type=float, default=5.0, metavar="SECONDS",
+        help="per-request deadline (0 = no deadline)",
+    )
+    serve.add_argument(
+        "--geo", action="store_true",
+        help="score parishes by geographic distance instead of spelling",
+    )
+    add_telemetry_flags(serve)
 
     report = sub.add_parser("report", help="render a saved run report")
     report.add_argument("report", help="path to a --metrics-out JSON file")
@@ -101,7 +143,7 @@ def build_parser() -> argparse.ArgumentParser:
     pedigree.add_argument("--entity", type=int, required=True)
     pedigree.add_argument("--generations", type=int, default=2)
     pedigree.add_argument(
-        "--format", choices=("ascii", "dot", "gedcom"), default="ascii"
+        "--format", choices=("ascii", "dot", "gedcom", "json"), default="ascii"
     )
 
     anonymise = sub.add_parser("anonymise", help="anonymise a dataset for release")
@@ -225,6 +267,13 @@ def _cmd_query(args: argparse.Namespace) -> int:
                 meta={"kind": "query", "graph": args.graph},
             ),
         )
+    if args.format == "json":
+        import json
+
+        from repro.serve.serialization import search_payload
+
+        print(json.dumps(search_payload(hits), indent=2))
+        return 0 if hits else 1
     if not hits:
         print("no matches")
         return 1
@@ -234,6 +283,55 @@ def _cmd_query(args: argparse.Namespace) -> int:
             f"{hit.entity.entity_id:>8}  {hit.score_percent:6.2f}%  "
             f"{hit.entity.display_name()}"
         )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.obs import MetricsRegistry
+    from repro.pedigree import load_pedigree_graph
+    from repro.serve import ServeConfig, ServingApp, make_server
+
+    graph = load_pedigree_graph(args.graph)
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        cache_size=args.cache_size,
+        cache_ttl_s=args.cache_ttl or None,
+        max_concurrency=args.max_concurrency,
+        max_pending=args.max_pending,
+        queue_timeout_s=args.queue_timeout,
+        request_timeout_s=args.request_timeout or None,
+        use_geographic_distance=args.geo,
+    )
+    # /metricz always needs a live registry; the --trace/--metrics-out
+    # flags only control what is emitted at shutdown.
+    _, metrics = _telemetry(args)
+    app = ServingApp(graph, config, metrics=metrics or MetricsRegistry())
+    server = make_server(app, config.host, config.port)
+    host, port = server.server_address[:2]
+    print(
+        f"serving {len(graph)} entities on http://{host}:{port} "
+        f"(cache={config.cache_size}, concurrency={config.max_concurrency}) "
+        "— Ctrl-C to stop",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        if args.trace or args.metrics_out:
+            from repro.obs import build_report
+
+            _emit_telemetry(
+                args,
+                build_report(
+                    metrics=app.metrics,
+                    meta={"kind": "serve", "graph": args.graph},
+                ),
+            )
     return 0
 
 
@@ -264,7 +362,13 @@ def _cmd_pedigree(args: argparse.Namespace) -> int:
     except KeyError:
         print(f"unknown entity id: {args.entity}", file=sys.stderr)
         return 1
-    if args.format == "dot":
+    if args.format == "json":
+        import json
+
+        from repro.serve.serialization import pedigree_payload
+
+        print(json.dumps(pedigree_payload(pedigree), indent=2))
+    elif args.format == "dot":
         print(render_dot(pedigree))
     elif args.format == "gedcom":
         print(render_gedcom(pedigree))
@@ -293,6 +397,7 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "resolve": _cmd_resolve,
     "query": _cmd_query,
+    "serve": _cmd_serve,
     "report": _cmd_report,
     "pedigree": _cmd_pedigree,
     "anonymise": _cmd_anonymise,

@@ -5,6 +5,12 @@ location values index under every distinct value an entity carries (a
 woman is findable under maiden and married surnames); years index under
 every event year of the entity's records so a query year can hit any of
 the person's vital events.
+
+Thread safety: the index is **immutable after construction** — every
+mutation happens in ``__init__`` and all lookups return fresh copies of
+the stored sets, never the internals.  Any number of request threads
+(see ``repro.serve``) may therefore query one instance concurrently
+without locking.
 """
 
 from __future__ import annotations

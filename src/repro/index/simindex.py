@@ -6,9 +6,18 @@ Jaro-Winkler similarity ≥ ``s_t``; store those neighbour lists with their
 similarities.  At query time an unseen value is compared only against
 values sharing a bigram, and the result is *cached back into S* so
 repeated queries of the same misspelling are instant (paper Section 7).
+
+Thread safety: after ``__init__`` the value universe and bigram index are
+never mutated — only the neighbour cache grows, under a lock, when
+:meth:`matches` sees an unseen value.  Concurrent searches (the
+``repro.serve`` subsystem runs many per process) may race to compute the
+same unseen value; both arrive at the identical list and the second
+write is a harmless overwrite.
 """
 
 from __future__ import annotations
+
+import threading
 
 from repro.similarity.jaro import jaro_winkler_similarity
 from repro.similarity.qgram import bigrams
@@ -37,8 +46,11 @@ class SimilarityAwareIndex:
                 self._gram_index.setdefault(gram, []).append(value)
         # value -> [(neighbour, similarity)] with similarity >= threshold,
         # sorted by descending similarity.  The value itself is included
-        # with similarity 1.0 so lookups need no special case.
+        # with similarity 1.0 so lookups need no special case.  Writes
+        # after construction (query-time caching of unseen values) take
+        # _cache_lock; the stored lists are never mutated in place.
         self._neighbours: dict[str, list[tuple[str, float]]] = {}
+        self._cache_lock = threading.Lock()
         if precompute:
             for value in self._values:
                 self._neighbours[value] = self._compute_neighbours(value)
@@ -78,8 +90,12 @@ class SimilarityAwareIndex:
         value = value.lower()
         cached = self._neighbours.get(value)
         if cached is None:
+            # Compute outside the lock (pure function of immutable
+            # state); racing threads compute identical lists, so the
+            # last write winning is safe.
             cached = self._compute_neighbours(value)
-            self._neighbours[value] = cached
+            with self._cache_lock:
+                self._neighbours[value] = cached
         return list(cached)
 
     def __contains__(self, value: str) -> bool:
@@ -91,4 +107,5 @@ class SimilarityAwareIndex:
 
     def n_precomputed_pairs(self) -> int:
         """Total stored (value, neighbour) similarity entries."""
-        return sum(len(v) for v in self._neighbours.values())
+        with self._cache_lock:
+            return sum(len(v) for v in self._neighbours.values())

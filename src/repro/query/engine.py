@@ -12,6 +12,18 @@ The paper's Section 7 pipeline:
 3. rank by the weighted match score
    ``s_r = Σ_a w_a · sim(q_a, o_a)`` and return the top ``m`` entities,
    scores normalised to a percentage of the achievable maximum.
+
+Thread safety (audited for the ``repro.serve`` subsystem): after
+``__init__`` builds the indexes, :meth:`QueryEngine.search` touches only
+per-call local state (the accumulator, the top-k heap), the read-only
+:class:`~repro.index.keyword.KeywordIndex`, the internally locked
+:class:`~repro.index.simindex.SimilarityAwareIndex` query cache, and the
+thread-safe :class:`~repro.obs.metrics.MetricsRegistry` — so concurrent
+``search()`` calls on one engine are safe **provided the engine's
+``trace`` is the default disabled one**.  An *enabled*
+:class:`~repro.obs.trace.Trace` keeps a span stack that must not be
+shared across threads; give each thread (or request) its own trace, as
+the serving layer does.
 """
 
 from __future__ import annotations

@@ -1,0 +1,381 @@
+"""The serving application: routes, HTTP plumbing, telemetry.
+
+SNAPS's online phase (paper Section 7, Figure 5) is a web form backed by
+the keyword index ``K`` and similarity index ``S``.  :class:`ServingApp`
+is that deployment shape: it loads a resolved pedigree graph **once**,
+builds the :class:`~repro.query.engine.QueryEngine` indexes **once**,
+and then answers concurrent JSON requests forever — in contrast to the
+``repro query`` CLI which pays the full index build on every invocation.
+
+The app is deliberately split from the HTTP server: ``handle()`` maps a
+``(method, path, params, body)`` tuple to a :class:`Response`, so route
+logic is unit-testable without sockets, and the thin
+``BaseHTTPRequestHandler`` adapter only does wire I/O.  Endpoints:
+
+* ``POST /v1/search`` — ranked matches for a JSON query body;
+* ``GET /v1/pedigree/<id>?generations=N&format=json|ascii|dot|gedcom``;
+* ``GET /healthz`` — liveness + graph size;
+* ``GET /metricz`` — the :class:`~repro.obs.metrics.MetricsRegistry`
+  rendered as text (or JSON with ``?format=json``).
+
+Every request runs under its own :class:`~repro.obs.trace.Trace` (the
+span stack is not shareable across threads), emits a per-endpoint
+latency histogram, and expensive endpoints pass through the
+:class:`~repro.serve.admission.AdmissionController`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from contextlib import ExitStack
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlsplit
+
+from repro.obs.logs import get_logger
+from repro.obs.metrics import LATENCY_BUCKETS_S, MetricsRegistry
+from repro.obs.report import build_report, render_report
+from repro.obs.trace import Trace
+from repro.pedigree import extract_pedigree
+from repro.pedigree.gedcom import render_gedcom
+from repro.pedigree.graph import PedigreeGraph
+from repro.pedigree.visualize import render_ascii_tree, render_dot
+from repro.query import QueryEngine
+from repro.serve.admission import AdmissionController, Deadline, Rejected
+from repro.serve.cache import MISS, LRUTTLCache, query_cache_key
+from repro.serve.serialization import (
+    pedigree_payload,
+    query_from_mapping,
+    search_payload,
+)
+
+__all__ = ["Response", "ServeConfig", "ServeHTTPServer", "ServingApp", "make_server"]
+
+logger = get_logger("serve.app")
+
+MAX_GENERATIONS = 10
+_PEDIGREE_FORMATS = ("json", "ascii", "dot", "gedcom")
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tunables of one serving process (the ``repro serve`` flags)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    cache_size: int = 256
+    cache_ttl_s: float | None = 300.0
+    max_concurrency: int = 8
+    max_pending: int = 32
+    queue_timeout_s: float = 1.0
+    request_timeout_s: float | None = 5.0
+    similarity_threshold: float = 0.5
+    use_geographic_distance: bool = False
+    # Keep per-request span trees in ``ServingApp.recent_traces``.
+    tracing: bool = True
+
+
+@dataclass
+class Response:
+    """One materialised HTTP response, transport-independent."""
+
+    status: int
+    body: bytes
+    content_type: str = "application/json"
+    headers: dict[str, str] = field(default_factory=dict)
+
+    def json(self) -> dict:
+        """Decode the body back to JSON (test convenience)."""
+        return json.loads(self.body.decode("utf-8"))
+
+
+def _json_response(status: int, payload: dict, headers: dict | None = None) -> Response:
+    body = (json.dumps(payload, sort_keys=False) + "\n").encode("utf-8")
+    return Response(status, body, "application/json", dict(headers or {}))
+
+
+def _error_response(status: int, message: str, headers: dict | None = None) -> Response:
+    return _json_response(
+        status, {"error": {"status": status, "message": message}}, headers
+    )
+
+
+def _text_response(status: int, text: str) -> Response:
+    return Response(status, text.encode("utf-8"), "text/plain; charset=utf-8")
+
+
+class ServingApp:
+    """Route dispatch over one loaded pedigree graph."""
+
+    def __init__(
+        self,
+        graph: PedigreeGraph,
+        config: ServeConfig | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.config = config or ServeConfig()
+        self.graph = graph
+        # /metricz needs a real registry, so unlike the offline pipeline
+        # telemetry here is always on (it is thread-safe and cheap).
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        # The engine's indexes are read-only after this build (see the
+        # thread-safety notes in repro.index); the engine gets no Trace
+        # because one span stack cannot be shared across request threads.
+        self.engine = QueryEngine(
+            graph,
+            similarity_threshold=self.config.similarity_threshold,
+            use_geographic_distance=self.config.use_geographic_distance,
+            metrics=self.metrics,
+        )
+        self.cache = LRUTTLCache(
+            max_size=self.config.cache_size,
+            ttl_s=self.config.cache_ttl_s,
+            metrics=self.metrics,
+        )
+        self.gate = AdmissionController(
+            max_concurrency=self.config.max_concurrency,
+            max_pending=self.config.max_pending,
+            queue_timeout_s=self.config.queue_timeout_s,
+            metrics=self.metrics,
+        )
+        self.started_at = time.monotonic()
+        # Last few request span trees, for debugging and tests.
+        self.recent_traces: deque[Trace] = deque(maxlen=32)
+        self._traces_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def handle(
+        self,
+        method: str,
+        path: str,
+        params: dict[str, str] | None = None,
+        body: bytes | None = None,
+    ) -> Response:
+        """Answer one request; never raises (errors become responses)."""
+        params = params or {}
+        endpoint, error = self._route(method, path)
+        if error is not None:
+            self.metrics.inc("serve.requests")
+            self._count_status(error.status)
+            return error
+        trace = Trace() if self.config.tracing else Trace.disabled()
+        start = time.perf_counter()
+        try:
+            with trace.span(f"serve.{endpoint}"):
+                if endpoint == "healthz":
+                    response = self._handle_healthz()
+                elif endpoint == "metricz":
+                    response = self._handle_metricz(params)
+                elif endpoint == "search":
+                    response = self._handle_search(body, trace)
+                else:
+                    response = self._handle_pedigree(path, params, trace)
+        except Exception:  # pragma: no cover - defensive: bugs become 500s
+            logger.exception("unhandled error serving %s %s", method, path)
+            response = _error_response(500, "internal server error")
+        elapsed = time.perf_counter() - start
+        self.metrics.inc("serve.requests")
+        self._count_status(response.status)
+        self.metrics.observe(
+            f"serve.{endpoint}.latency_seconds", elapsed, LATENCY_BUCKETS_S
+        )
+        if trace.enabled:
+            with self._traces_lock:
+                self.recent_traces.append(trace)
+        return response
+
+    def _route(self, method: str, path: str) -> tuple[str, Response | None]:
+        """(endpoint name, error response or None) for a request line."""
+        if path == "/healthz":
+            endpoint = "healthz"
+        elif path == "/metricz":
+            endpoint = "metricz"
+        elif path == "/v1/search":
+            endpoint = "search"
+        elif path.startswith("/v1/pedigree/"):
+            endpoint = "pedigree"
+        else:
+            return "", _error_response(404, f"unknown path: {path}")
+        wanted = "POST" if endpoint == "search" else "GET"
+        if method != wanted:
+            return endpoint, _error_response(
+                405, f"{endpoint} requires {wanted}", {"Allow": wanted}
+            )
+        return endpoint, None
+
+    def _count_status(self, status: int) -> None:
+        self.metrics.inc(f"serve.responses.{status // 100}xx")
+
+    @staticmethod
+    def _rejected(rejected: Rejected) -> Response:
+        return _error_response(
+            rejected.status,
+            rejected.reason,
+            {"Retry-After": str(max(1, round(rejected.retry_after_s)))},
+        )
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+
+    def _handle_healthz(self) -> Response:
+        return _json_response(
+            200,
+            {
+                "status": "ok",
+                "entities": len(self.graph),
+                "edges": self.graph.n_edges(),
+                "uptime_s": round(time.monotonic() - self.started_at, 3),
+            },
+        )
+
+    def _handle_metricz(self, params: dict[str, str]) -> Response:
+        stats = self.cache.stats()
+        self.metrics.set_gauge("serve.cache.size", stats["size"])
+        self.metrics.set_gauge(
+            "serve.uptime_seconds", time.monotonic() - self.started_at
+        )
+        if params.get("format") == "json":
+            return _json_response(200, self.metrics.as_dict())
+        report = build_report(metrics=self.metrics, meta={"kind": "serve"})
+        return _text_response(200, render_report(report))
+
+    def _handle_search(self, body: bytes | None, trace: Trace) -> Response:
+        try:
+            payload = json.loads(body.decode("utf-8")) if body else None
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            return _error_response(400, f"request body is not valid JSON: {error}")
+        try:
+            query, top_m = query_from_mapping(payload)
+        except ValueError as error:
+            return _error_response(400, str(error))
+        key = query_cache_key(query, top_m)
+        with trace.span("cache_lookup"):
+            cached = self.cache.get(key)
+        if cached is not MISS:
+            return _json_response(200, {**cached, "cached": True})
+        deadline = Deadline.after(self.config.request_timeout_s)
+        with ExitStack() as held:
+            try:
+                # The admission span covers only the queue wait; the
+                # slot itself is held until the search finishes.
+                with trace.span("admission"):
+                    held.enter_context(self.gate.admit(deadline))
+            except Rejected as rejected:
+                return self._rejected(rejected)
+            with trace.span("search"):
+                hits = self.engine.search(query, top_m=top_m)
+        with trace.span("serialize"):
+            result = search_payload(hits)
+        self.cache.put(key, result)
+        return _json_response(200, {**result, "cached": False})
+
+    def _handle_pedigree(
+        self, path: str, params: dict[str, str], trace: Trace
+    ) -> Response:
+        raw_id = path[len("/v1/pedigree/"):]
+        try:
+            entity_id = int(raw_id)
+        except ValueError:
+            return _error_response(400, f"entity id must be an integer, got {raw_id!r}")
+        try:
+            generations = int(params.get("generations", "2"))
+        except ValueError:
+            return _error_response(400, "generations must be an integer")
+        if not 0 <= generations <= MAX_GENERATIONS:
+            return _error_response(
+                400, f"generations must be in [0, {MAX_GENERATIONS}]"
+            )
+        fmt = params.get("format", "json")
+        if fmt not in _PEDIGREE_FORMATS:
+            return _error_response(
+                400, f"format must be one of {', '.join(_PEDIGREE_FORMATS)}"
+            )
+        deadline = Deadline.after(self.config.request_timeout_s)
+        with ExitStack() as held:
+            try:
+                with trace.span("admission"):
+                    held.enter_context(self.gate.admit(deadline))
+            except Rejected as rejected:
+                return self._rejected(rejected)
+            with trace.span("extract"):
+                try:
+                    pedigree = extract_pedigree(self.graph, entity_id, generations)
+                except KeyError:
+                    return _error_response(404, f"unknown entity id: {entity_id}")
+            with trace.span("serialize"):
+                if fmt == "json":
+                    return _json_response(200, pedigree_payload(pedigree))
+                if fmt == "dot":
+                    return _text_response(200, render_dot(pedigree))
+                if fmt == "gedcom":
+                    return _text_response(200, render_gedcom(pedigree))
+                return _text_response(200, render_ascii_tree(pedigree))
+
+
+# ----------------------------------------------------------------------
+# HTTP plumbing
+# ----------------------------------------------------------------------
+
+
+class _RequestHandler(BaseHTTPRequestHandler):
+    """Wire adapter: parse the request line, delegate to the app."""
+
+    server_version = "snaps-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server naming
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server naming
+        self._dispatch("POST")
+
+    def _dispatch(self, method: str) -> None:
+        split = urlsplit(self.path)
+        params = {k: v[0] for k, v in parse_qs(split.query).items()}
+        body: bytes | None = None
+        if method == "POST":
+            length = int(self.headers.get("Content-Length") or 0)
+            body = self.rfile.read(length) if length else b""
+        app: ServingApp = self.server.app  # type: ignore[attr-defined]
+        response = app.handle(method, split.path, params, body)
+        try:
+            self.send_response(response.status)
+            self.send_header("Content-Type", response.content_type)
+            self.send_header("Content-Length", str(len(response.body)))
+            for name, value in response.headers.items():
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(response.body)
+        except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
+            logger.debug("client dropped connection on %s %s", method, self.path)
+
+    def log_message(self, format: str, *args) -> None:
+        # Route http.server's per-request stderr chatter through -v logging.
+        logger.debug("%s %s", self.address_string(), format % args)
+
+
+class ServeHTTPServer(ThreadingHTTPServer):
+    """Threaded HTTP server bound to one :class:`ServingApp`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: tuple[str, int], app: ServingApp) -> None:
+        super().__init__(address, _RequestHandler)
+        self.app = app
+
+
+def make_server(app: ServingApp, host: str = "127.0.0.1", port: int = 0) -> ServeHTTPServer:
+    """Bind (but don't start) a server; ``port=0`` picks an ephemeral port.
+
+    Call ``serve_forever()`` (typically on a thread) to start answering,
+    and ``shutdown()`` + ``server_close()`` to stop.
+    """
+    return ServeHTTPServer((host, port), app)

@@ -1,0 +1,157 @@
+"""Thread-safe LRU + TTL result cache for the serving layer.
+
+The paper's online phase answers the same popular queries over and over
+(family-history users search the same famous ancestors), so the server
+memoises ranked results keyed on the *normalised* query tuple.  The
+cache is a classic ``OrderedDict`` LRU with an optional per-entry TTL:
+genealogy graphs change only when the offline resolver re-runs, so a TTL
+of minutes is safe and bounds staleness after a graph swap.
+
+Counters (hits / misses / evictions / expirations) are kept locally and,
+when a :class:`~repro.obs.metrics.MetricsRegistry` is supplied, mirrored
+into it under ``<prefix>.hits`` etc. so ``/metricz`` exposes them.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, Callable, Hashable
+
+from repro.query.engine import Query
+
+__all__ = ["LRUTTLCache", "MISS", "query_cache_key"]
+
+# Sentinel distinguishing "not cached" from a cached falsy value (an
+# empty result list is a perfectly good cache entry).
+MISS = object()
+
+
+def query_cache_key(query: Query, top_m: int) -> tuple:
+    """The normalised, hashable identity of one search request.
+
+    Two requests that differ only in whitespace or letter case of their
+    string fields must hit the same cache entry, mirroring how
+    :class:`~repro.index.keyword.KeywordIndex` lower-cases its keys.
+    """
+
+    def norm(value: str | None) -> str | None:
+        return value.strip().lower() if value is not None else None
+
+    return (
+        norm(query.first_name),
+        norm(query.surname),
+        query.record_type,
+        query.gender,
+        query.year_from,
+        query.year_to,
+        norm(query.parish),
+        int(top_m),
+    )
+
+
+class LRUTTLCache:
+    """Bounded mapping with least-recently-used eviction and expiry.
+
+    ``max_size=0`` disables the cache entirely (every ``get`` misses and
+    ``put`` is a no-op) — the serving benchmark uses this for its
+    cache-off baseline.  ``ttl_s=None`` (or ``0``) stores entries
+    forever.  ``clock`` is injectable for deterministic TTL tests.
+    """
+
+    def __init__(
+        self,
+        max_size: int = 256,
+        ttl_s: float | None = 300.0,
+        clock: Callable[[], float] = time.monotonic,
+        metrics: Any = None,
+        prefix: str = "serve.cache",
+    ) -> None:
+        if max_size < 0:
+            raise ValueError(f"max_size must be >= 0, got {max_size}")
+        if ttl_s is not None and ttl_s < 0:
+            raise ValueError(f"ttl_s must be >= 0 or None, got {ttl_s}")
+        self.max_size = max_size
+        self.ttl_s = ttl_s if ttl_s else None
+        self._clock = clock
+        self._metrics = metrics
+        self._prefix = prefix
+        # key -> (value, expires_at | None); insertion order == recency.
+        self._entries: OrderedDict[Hashable, tuple[Any, float | None]] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.expirations = 0
+
+    def _count(self, what: str, n: int = 1) -> None:
+        if self._metrics is not None:
+            self._metrics.inc(f"{self._prefix}.{what}", n)
+
+    # ------------------------------------------------------------------
+
+    def get(self, key: Hashable) -> Any:
+        """The cached value for ``key``, or the :data:`MISS` sentinel."""
+        now = self._clock()
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                value, expires_at = entry
+                if expires_at is not None and now >= expires_at:
+                    del self._entries[key]
+                    self.expirations += 1
+                    self.misses += 1
+                else:
+                    self._entries.move_to_end(key)
+                    self.hits += 1
+                    self._count("hits")
+                    return value
+            else:
+                self.misses += 1
+        self._count("misses")
+        if entry is not None:  # expired above, outside the hit path
+            self._count("expirations")
+        return MISS
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert/refresh ``key``, evicting the LRU entry on overflow."""
+        if self.max_size == 0:
+            return
+        expires_at = self._clock() + self.ttl_s if self.ttl_s is not None else None
+        evicted = 0
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = (value, expires_at)
+            while len(self._entries) > self.max_size:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                evicted += 1
+        if evicted:
+            self._count("evictions", evicted)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def stats(self) -> dict:
+        """Point-in-time counter snapshot (for /metricz gauges and tests)."""
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "max_size": self.max_size,
+                "ttl_s": self.ttl_s,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "expirations": self.expirations,
+            }

@@ -1,0 +1,98 @@
+"""A small ``urllib``-based client for the serving subsystem.
+
+Used by the test suite, the ``make serve-smoke`` gate, and the load
+benchmark — anything that needs to talk to a running ``repro serve``
+without pulling in an HTTP library the container doesn't have.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(Exception):
+    """A non-2xx response, carrying status, body, and Retry-After."""
+
+    def __init__(
+        self, status: int, message: str, retry_after_s: float | None = None
+    ) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+        self.retry_after_s = retry_after_s
+
+
+class ServeClient:
+    """Typed wrappers over the four server endpoints."""
+
+    def __init__(self, base_url: str, timeout_s: float = 10.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = timeout_s
+
+    # ------------------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, payload: dict | None = None
+    ) -> tuple[int, dict[str, str], bytes]:
+        body = json.dumps(payload).encode("utf-8") if payload is not None else None
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=body,
+            method=method,
+            headers={"Content-Type": "application/json"} if body else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout_s) as response:
+                return (
+                    response.status,
+                    {k.lower(): v for k, v in response.headers.items()},
+                    response.read(),
+                )
+        except urllib.error.HTTPError as error:
+            raw = error.read()
+            retry_after = error.headers.get("Retry-After")
+            try:
+                message = json.loads(raw)["error"]["message"]
+            except (ValueError, KeyError, TypeError):
+                message = raw.decode("utf-8", "replace")
+            raise ServeError(
+                error.code,
+                message,
+                float(retry_after) if retry_after else None,
+            ) from None
+
+    def _json(self, method: str, path: str, payload: dict | None = None) -> dict:
+        _, _, raw = self._request(method, path, payload)
+        return json.loads(raw)
+
+    # ------------------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self._json("GET", "/healthz")
+
+    def metricz(self, as_json: bool = True) -> dict | str:
+        if as_json:
+            return self._json("GET", "/metricz?format=json")
+        _, _, raw = self._request("GET", "/metricz")
+        return raw.decode("utf-8")
+
+    def search(self, first_name: str, surname: str, **options) -> dict:
+        """POST /v1/search; keyword options mirror the JSON body fields
+        (``gender``, ``year_from``, ``year_to``, ``parish``,
+        ``record_type``, ``top``)."""
+        payload = {"first_name": first_name, "surname": surname}
+        payload.update({k: v for k, v in options.items() if v is not None})
+        return self._json("POST", "/v1/search", payload)
+
+    def pedigree(
+        self, entity_id: int, generations: int = 2, format: str = "json"
+    ) -> dict | str:
+        path = f"/v1/pedigree/{entity_id}?generations={generations}&format={format}"
+        if format == "json":
+            return self._json("GET", path)
+        _, _, raw = self._request("GET", path)
+        return raw.decode("utf-8")

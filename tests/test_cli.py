@@ -131,6 +131,22 @@ class TestQuery:
         ])
         assert code in (0, 1)
 
+    def test_json_format_matches_served_shape(self, resolved, capsys):
+        import json
+
+        code = main([
+            "query", "--graph", str(resolved),
+            "--first-name", "mary", "--surname", "macdonald",
+            "--top", "3", "--format", "json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == len(payload["matches"])
+        top = payload["matches"][0]
+        assert {"entity", "score_percent", "attribute_scores", "match_kinds"} \
+            <= set(top)
+        assert top["entity"]["entity_id"] >= 0
+
 
 class TestPedigree:
     def _any_entity(self, resolved):
@@ -153,6 +169,19 @@ class TestPedigree:
         out = capsys.readouterr().out
         assert code == 0
         assert marker in out
+
+    def test_json_format(self, resolved, capsys):
+        import json
+
+        entity = self._any_entity(resolved)
+        code = main([
+            "pedigree", "--graph", str(resolved),
+            "--entity", str(entity), "--format", "json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["root_id"] == entity
+        assert payload["count"] == len(payload["entities"])
 
     def test_unknown_entity(self, resolved):
         code = main([

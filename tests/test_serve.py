@@ -1,0 +1,458 @@
+"""Tests for the online serving subsystem (repro.serve)."""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.query import Query, QueryEngine
+from repro.serve import (
+    AdmissionController,
+    Deadline,
+    LRUTTLCache,
+    MISS,
+    Rejected,
+    ServeClient,
+    ServeConfig,
+    ServeError,
+    ServingApp,
+    make_server,
+    query_cache_key,
+)
+
+
+@pytest.fixture()
+def app(tiny_pedigree_graph):
+    return ServingApp(tiny_pedigree_graph, ServeConfig())
+
+
+def _named_entity(graph):
+    return next(
+        e for e in graph if e.first("first_name") and e.first("surname")
+    )
+
+
+# ----------------------------------------------------------------------
+# Cache unit tests
+# ----------------------------------------------------------------------
+
+
+class TestLRUTTLCache:
+    def test_hit_miss_counters(self):
+        cache = LRUTTLCache(max_size=4, ttl_s=None)
+        assert cache.get("a") is MISS
+        cache.put("a", [1, 2])
+        assert cache.get("a") == [1, 2]
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_falsy_values_are_cacheable(self):
+        cache = LRUTTLCache(max_size=4, ttl_s=None)
+        cache.put("empty", [])
+        assert cache.get("empty") == []
+
+    def test_lru_eviction_order(self):
+        cache = LRUTTLCache(max_size=2, ttl_s=None)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh a → b is now LRU
+        cache.put("c", 3)
+        assert cache.get("b") is MISS
+        assert cache.get("a") == 1 and cache.get("c") == 3
+        assert cache.stats()["evictions"] == 1
+
+    def test_ttl_expiry_with_fake_clock(self):
+        now = [0.0]
+        cache = LRUTTLCache(max_size=4, ttl_s=10.0, clock=lambda: now[0])
+        cache.put("a", 1)
+        now[0] = 9.9
+        assert cache.get("a") == 1
+        now[0] = 10.1
+        assert cache.get("a") is MISS
+        assert cache.stats()["expirations"] == 1
+        assert len(cache) == 0
+
+    def test_zero_size_disables(self):
+        cache = LRUTTLCache(max_size=0, ttl_s=None)
+        cache.put("a", 1)
+        assert cache.get("a") is MISS
+        assert len(cache) == 0
+
+    def test_metrics_mirroring(self):
+        metrics = MetricsRegistry()
+        cache = LRUTTLCache(max_size=1, ttl_s=None, metrics=metrics)
+        cache.get("a")
+        cache.put("a", 1)
+        cache.get("a")
+        cache.put("b", 2)  # evicts a
+        assert metrics.counter_value("serve.cache.misses") == 1
+        assert metrics.counter_value("serve.cache.hits") == 1
+        assert metrics.counter_value("serve.cache.evictions") == 1
+
+    def test_thread_safety_smoke(self):
+        cache = LRUTTLCache(max_size=64, ttl_s=None)
+
+        def worker(seed):
+            for i in range(300):
+                key = (seed * i) % 100
+                if cache.get(key) is MISS:
+                    cache.put(key, key)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(worker, range(1, 9)))
+        assert len(cache) <= 64
+
+    def test_query_key_normalisation(self):
+        key_a = query_cache_key(Query(first_name=" Mary ", surname="MacDonald"), 10)
+        key_b = query_cache_key(Query(first_name="mary", surname="macdonald"), 10)
+        key_c = query_cache_key(Query(first_name="mary", surname="macdonald"), 5)
+        assert key_a == key_b
+        assert key_a != key_c
+
+
+# ----------------------------------------------------------------------
+# Admission-control unit tests
+# ----------------------------------------------------------------------
+
+
+class TestAdmissionController:
+    def test_rejects_when_queue_full(self):
+        gate = AdmissionController(max_concurrency=1, max_pending=0,
+                                   queue_timeout_s=0.05)
+        release = threading.Event()
+        occupied = threading.Event()
+
+        def occupy():
+            with gate.admit():
+                occupied.set()
+                release.wait(timeout=5)
+
+        thread = threading.Thread(target=occupy)
+        thread.start()
+        assert occupied.wait(timeout=5)
+        with pytest.raises(Rejected) as rejected:
+            with gate.admit():
+                pass  # pragma: no cover - must not be admitted
+        assert rejected.value.status == 429
+        assert rejected.value.retry_after_s >= 1.0
+        release.set()
+        thread.join(timeout=5)
+        # Slot released: admission works again.
+        with gate.admit():
+            pass
+
+    def test_queue_timeout_yields_503(self):
+        gate = AdmissionController(max_concurrency=1, max_pending=4,
+                                   queue_timeout_s=0.05)
+        release = threading.Event()
+        occupied = threading.Event()
+
+        def occupy():
+            with gate.admit():
+                occupied.set()
+                release.wait(timeout=5)
+
+        thread = threading.Thread(target=occupy)
+        thread.start()
+        assert occupied.wait(timeout=5)
+        with pytest.raises(Rejected) as rejected:
+            with gate.admit():
+                pass  # pragma: no cover
+        assert rejected.value.status == 503
+        release.set()
+        thread.join(timeout=5)
+
+    def test_expired_deadline_is_shed(self):
+        gate = AdmissionController(max_concurrency=1, max_pending=4)
+        with pytest.raises(Rejected) as rejected:
+            with gate.admit(Deadline.after(-1.0)):
+                pass  # pragma: no cover
+        assert rejected.value.status == 503
+        # The slot must have been released despite the rejection.
+        with gate.admit():
+            pass
+
+    def test_metrics_counters(self):
+        metrics = MetricsRegistry()
+        gate = AdmissionController(max_concurrency=2, metrics=metrics)
+        with gate.admit():
+            pass
+        assert metrics.counter_value("serve.admission.admitted") == 1
+
+    def test_deadline_helpers(self):
+        assert not Deadline.after(None).expired()
+        assert Deadline.after(60).remaining() > 0
+        assert Deadline.after(0).expired()
+
+
+# ----------------------------------------------------------------------
+# Route handling (no sockets)
+# ----------------------------------------------------------------------
+
+
+class TestRoutes:
+    def test_healthz(self, app, tiny_pedigree_graph):
+        response = app.handle("GET", "/healthz")
+        assert response.status == 200
+        payload = response.json()
+        assert payload["status"] == "ok"
+        assert payload["entities"] == len(tiny_pedigree_graph)
+
+    def test_unknown_path_404(self, app):
+        assert app.handle("GET", "/nope").status == 404
+
+    def test_wrong_method_405(self, app):
+        response = app.handle("GET", "/v1/search")
+        assert response.status == 405
+        assert response.headers["Allow"] == "POST"
+        assert app.handle("POST", "/healthz").status == 405
+
+    def test_search_matches_offline_engine(self, app, tiny_pedigree_graph):
+        probe = _named_entity(tiny_pedigree_graph)
+        first, surname = probe.first("first_name"), probe.first("surname")
+        body = f'{{"first_name": "{first}", "surname": "{surname}", "top": 5}}'
+        response = app.handle("POST", "/v1/search", body=body.encode())
+        assert response.status == 200
+        served = response.json()
+        assert served["cached"] is False
+        offline = QueryEngine(tiny_pedigree_graph).search(
+            Query(first_name=first, surname=surname), top_m=5
+        )
+        assert [
+            (m["entity"]["entity_id"], m["score_percent"])
+            for m in served["matches"]
+        ] == [(m.entity.entity_id, m.score_percent) for m in offline]
+
+    def test_search_cache_hit_skips_search_span(self, app, tiny_pedigree_graph):
+        probe = _named_entity(tiny_pedigree_graph)
+        body = (
+            f'{{"first_name": "{probe.first("first_name")}", '
+            f'"surname": "{probe.first("surname")}"}}'
+        ).encode()
+        cold = app.handle("POST", "/v1/search", body=body)
+        searches_after_cold = app.metrics.counter_value("query.searches")
+        warm = app.handle("POST", "/v1/search", body=body)
+        assert cold.json()["cached"] is False
+        assert warm.json()["cached"] is True
+        assert warm.json()["matches"] == cold.json()["matches"]
+        # No new engine search ran, and the warm request's trace has a
+        # cache_lookup span but no search span.
+        assert app.metrics.counter_value("query.searches") == searches_after_cold
+        assert app.metrics.counter_value("serve.cache.hits") == 1
+        warm_trace = app.recent_traces[-1]
+        assert warm_trace.find("cache_lookup") is not None
+        assert warm_trace.find("search") is None
+
+    @pytest.mark.parametrize("body,reason", [
+        (b"not json", "valid JSON"),
+        (b"[1, 2]", "JSON object"),
+        (b'{"surname": "macdonald"}', "first_name"),
+        (b'{"first_name": "", "surname": "x"}', "mandatory"),
+        (b'{"first_name": "a", "surname": "b", "top": 0}', "top"),
+        (b'{"first_name": "a", "surname": "b", "gender": "x"}', "gender"),
+        (b'{"first_name": "a", "surname": "b", "year_from": "1880"}', "integer"),
+        (b'{"first_name": "a", "surname": "b", "bogus": 1}', "unknown"),
+        (None, "JSON"),
+    ])
+    def test_search_malformed_400(self, app, body, reason):
+        response = app.handle("POST", "/v1/search", body=body)
+        assert response.status == 400
+        assert reason.lower() in response.json()["error"]["message"].lower()
+
+    def test_pedigree_json(self, app, tiny_pedigree_graph):
+        entity = _named_entity(tiny_pedigree_graph)
+        response = app.handle(
+            "GET", f"/v1/pedigree/{entity.entity_id}", {"generations": "2"}
+        )
+        assert response.status == 200
+        payload = response.json()
+        assert payload["root_id"] == entity.entity_id
+        assert payload["count"] >= 1
+        ids = {e["entity_id"] for e in payload["entities"]}
+        assert entity.entity_id in ids
+        for source, _rel, target in payload["edges"]:
+            assert source in ids and target in ids
+
+    @pytest.mark.parametrize("fmt,marker", [
+        ("ascii", "==="), ("dot", "digraph"), ("gedcom", "0 HEAD"),
+    ])
+    def test_pedigree_text_formats(self, app, tiny_pedigree_graph, fmt, marker):
+        entity = _named_entity(tiny_pedigree_graph)
+        response = app.handle(
+            "GET", f"/v1/pedigree/{entity.entity_id}", {"format": fmt}
+        )
+        assert response.status == 200
+        assert marker in response.body.decode()
+
+    def test_pedigree_errors(self, app):
+        assert app.handle("GET", "/v1/pedigree/abc").status == 400
+        assert app.handle("GET", "/v1/pedigree/5", {"generations": "99"}).status == 400
+        assert app.handle("GET", "/v1/pedigree/5", {"format": "png"}).status == 400
+        assert app.handle("GET", "/v1/pedigree/99999999").status == 404
+
+    def test_metricz_text_and_json(self, app):
+        app.handle("GET", "/healthz")
+        text = app.handle("GET", "/metricz")
+        assert text.status == 200
+        assert text.content_type.startswith("text/plain")
+        assert "serve.requests" in text.body.decode()
+        as_json = app.handle("GET", "/metricz", {"format": "json"})
+        payload = as_json.json()
+        assert payload["counters"]["serve.requests"] >= 2
+        assert "serve.cache.size" in payload["gauges"]
+
+    def test_endpoint_latency_histograms(self, app, tiny_pedigree_graph):
+        probe = _named_entity(tiny_pedigree_graph)
+        body = (
+            f'{{"first_name": "{probe.first("first_name")}", '
+            f'"surname": "{probe.first("surname")}"}}'
+        ).encode()
+        app.handle("GET", "/healthz")
+        app.handle("POST", "/v1/search", body=body)
+        app.handle("GET", f"/v1/pedigree/{probe.entity_id}")
+        snapshot = app.metrics.as_dict()["histograms"]
+        for endpoint in ("healthz", "search", "pedigree"):
+            assert snapshot[f"serve.{endpoint}.latency_seconds"]["count"] == 1
+
+    def test_admission_rejection_over_http_route(self, app, tiny_pedigree_graph):
+        """Saturating a 1-slot gate returns 429/503, never a hang."""
+        probe = _named_entity(tiny_pedigree_graph)
+        config = ServeConfig(max_concurrency=1, max_pending=0, queue_timeout_s=0.05)
+        slow_app = ServingApp(tiny_pedigree_graph, config)
+        real_search = slow_app.engine.search
+        started = threading.Event()
+
+        def slow_search(query, top_m=10):
+            started.set()
+            time.sleep(0.5)
+            return real_search(query, top_m=top_m)
+
+        slow_app.engine.search = slow_search
+        body = (
+            f'{{"first_name": "{probe.first("first_name")}", '
+            f'"surname": "{probe.first("surname")}"}}'
+        ).encode()
+
+        def request():
+            return slow_app.handle("POST", "/v1/search", body=body)
+
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            occupant = pool.submit(request)
+            assert started.wait(timeout=5)
+            blocked = pool.submit(request)
+            rejected = blocked.result(timeout=5)
+            assert rejected.status in (429, 503)
+            assert int(rejected.headers["Retry-After"]) >= 1
+            assert occupant.result(timeout=5).status == 200
+
+
+# ----------------------------------------------------------------------
+# End-to-end over real sockets
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture()
+def running_server(tiny_pedigree_graph):
+    app = ServingApp(tiny_pedigree_graph, ServeConfig(max_concurrency=4))
+    server = make_server(app, "127.0.0.1", 0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    try:
+        yield app, ServeClient(f"http://{host}:{port}")
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+class TestEndToEnd:
+    def test_concurrent_clients_smoke(self, running_server, tiny_pedigree_graph):
+        app, client = running_server
+        assert client.healthz()["status"] == "ok"
+        named = [
+            e for e in tiny_pedigree_graph
+            if e.first("first_name") and e.first("surname")
+        ][:8]
+
+        def worker(entity):
+            result = client.search(
+                entity.first("first_name"), entity.first("surname"), top=3
+            )
+            assert result["count"] >= 1
+            found = client.pedigree(result["matches"][0]["entity"]["entity_id"])
+            assert found["count"] >= 1
+            return result["count"]
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            counts = list(pool.map(worker, named))
+        assert len(counts) == len(named)
+        metrics = client.metricz()
+        assert metrics["counters"]["serve.requests"] >= 2 * len(named) + 1
+        assert metrics["counters"]["serve.responses.2xx"] >= 2 * len(named)
+
+    def test_http_error_paths(self, running_server):
+        _, client = running_server
+        with pytest.raises(ServeError) as error:
+            client.search("", "")
+        assert error.value.status == 400
+        with pytest.raises(ServeError) as error:
+            client.pedigree(99999999)
+        assert error.value.status == 404
+        with pytest.raises(ServeError) as error:
+            client._json("GET", "/bogus")
+        assert error.value.status == 404
+
+    def test_served_cache_round_trip(self, running_server, tiny_pedigree_graph):
+        _, client = running_server
+        probe = _named_entity(tiny_pedigree_graph)
+        first, surname = probe.first("first_name"), probe.first("surname")
+        cold = client.search(first, surname)
+        warm = client.search(first, surname)
+        assert cold["cached"] is False
+        assert warm["cached"] is True
+        assert warm["matches"] == cold["matches"]
+
+
+# ----------------------------------------------------------------------
+# Concurrent QueryEngine searches (the thread-safety audit's contract)
+# ----------------------------------------------------------------------
+
+
+class TestConcurrentSearch:
+    def test_parallel_searches_match_serial(self, tiny_pedigree_graph):
+        engine = QueryEngine(tiny_pedigree_graph)
+        named = [
+            e for e in tiny_pedigree_graph
+            if e.first("first_name") and e.first("surname")
+        ][:12]
+        # Misspell some surnames so the simindex query-time cache (the
+        # one mutable structure) is exercised concurrently.
+        queries = []
+        for i, entity in enumerate(named):
+            surname = entity.first("surname")
+            if i % 2 and len(surname) > 4:
+                surname = surname[:2] + surname[3:]
+            queries.append(
+                Query(first_name=entity.first("first_name"), surname=surname)
+            )
+        serial = [
+            [(m.entity.entity_id, m.score_percent) for m in engine.search(q)]
+            for q in queries
+        ]
+        for _ in range(3):
+            with ThreadPoolExecutor(max_workers=6) as pool:
+                parallel = list(
+                    pool.map(
+                        lambda q: [
+                            (m.entity.entity_id, m.score_percent)
+                            for m in engine.search(q)
+                        ],
+                        queries,
+                    )
+                )
+            assert parallel == serial
