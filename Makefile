@@ -14,16 +14,22 @@ test:
 # immediately.
 VERIFY_TMP = /tmp/snaps-verify
 
+# The smoke-run block executes in ONE shell with an EXIT trap so
+# $(VERIFY_TMP) is removed whether the run passes or fails.
 verify:
 	PYTHONPATH=src python -m pytest -x -q tests/
 	python -m compileall -q src
-	rm -rf $(VERIFY_TMP) && mkdir -p $(VERIFY_TMP)
-	PYTHONPATH=src python -m repro simulate --dataset tiny --out $(VERIFY_TMP)/data
+	rm -rf $(VERIFY_TMP) && mkdir -p $(VERIFY_TMP); \
+	trap 'rm -rf $(VERIFY_TMP)' EXIT; \
+	set -e; \
+	PYTHONPATH=src python -m repro simulate --dataset tiny --out $(VERIFY_TMP)/data; \
 	PYTHONPATH=src python -m repro -v resolve --data $(VERIFY_TMP)/data \
-		--out $(VERIFY_TMP)/graph.json --trace \
-		--metrics-out $(VERIFY_TMP)/run.json
-	PYTHONPATH=src python -m repro report $(VERIFY_TMP)/run.json
-	rm -rf $(VERIFY_TMP)
+		--out $(VERIFY_TMP)/graph.json --snapshot-out $(VERIFY_TMP)/store \
+		--trace --metrics-out $(VERIFY_TMP)/run.json; \
+	PYTHONPATH=src python -m repro report $(VERIFY_TMP)/run.json; \
+	PYTHONPATH=src python -m repro snapshot verify --store $(VERIFY_TMP)/store; \
+	PYTHONPATH=src python -m repro query --snapshot $(VERIFY_TMP)/store \
+		--first-name john --surname macdonald --top 3
 	$(MAKE) serve-smoke
 
 # Boot the HTTP serving subsystem on an in-process tiny graph, hit

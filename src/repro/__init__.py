@@ -46,6 +46,12 @@ _EXPORTS = {
     "load_pedigree_graph": "repro.pedigree",
     "QueryEngine": "repro.query",
     "Query": "repro.query",
+    "SnapshotStore": "repro.store",
+    "IncrementalResolver": "repro.store",
+    "Manifest": "repro.store",
+    "SnapshotError": "repro.store",
+    "SnapshotIntegrityError": "repro.store",
+    "SnapshotSchemaError": "repro.store",
     "Trace": "repro.obs",
     "MetricsRegistry": "repro.obs",
     "build_report": "repro.obs",

@@ -17,6 +17,18 @@ Examples::
         --entity 42 --format gedcom
     python -m repro anonymise --data data/ios --out data/ios-anon
 
+Snapshots (``repro.store``) persist the complete offline output so the
+online commands warm-start without rebuilding anything, and new data
+batches fold in incrementally::
+
+    python -m repro resolve  --data data/ios --snapshot-out data/store
+    python -m repro serve    --snapshot data/store --port 8080
+    python -m repro query    --snapshot data/store \
+        --first-name mary --surname macdonald
+    python -m repro snapshot ingest --store data/store --data data/delta
+    python -m repro snapshot log    --store data/store
+    python -m repro snapshot verify --store data/store
+
 Telemetry: ``resolve`` and ``query`` accept ``--trace`` (print the span
 tree after the run) and ``--metrics-out run.json`` (write the full run
 report); ``report`` renders a saved report; ``-v/-vv`` before the
@@ -71,7 +83,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     resolve = sub.add_parser("resolve", help="run offline ER, save pedigree graph")
     resolve.add_argument("--data", required=True, help="dataset CSV stem")
-    resolve.add_argument("--out", required=True, help="pedigree graph JSON path")
+    resolve.add_argument("--out", help="pedigree graph JSON path")
+    resolve.add_argument(
+        "--snapshot-out", metavar="DIR",
+        help="also persist the full offline output (clusters, graph, "
+        "indexes) as a snapshot in this store directory",
+    )
     resolve.add_argument("--merge-threshold", type=float, default=0.85)
     resolve.add_argument("--no-propagation", action="store_true")
     resolve.add_argument("--no-ambiguity", action="store_true")
@@ -80,7 +97,12 @@ def build_parser() -> argparse.ArgumentParser:
     add_telemetry_flags(resolve)
 
     query = sub.add_parser("query", help="search the pedigree graph")
-    query.add_argument("--graph", required=True)
+    query_source = query.add_mutually_exclusive_group(required=True)
+    query_source.add_argument("--graph", help="pedigree graph JSON path")
+    query_source.add_argument(
+        "--snapshot", metavar="DIR",
+        help="warm-start from a snapshot store (prebuilt indexes)",
+    )
     query.add_argument("--first-name", required=True)
     query.add_argument("--surname", required=True)
     query.add_argument("--gender", choices=("m", "f"))
@@ -102,7 +124,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve = sub.add_parser(
         "serve", help="serve queries over HTTP from a loaded pedigree graph"
     )
-    serve.add_argument("--graph", required=True)
+    serve_source = serve.add_mutually_exclusive_group(required=True)
+    serve_source.add_argument("--graph", help="pedigree graph JSON path")
+    serve_source.add_argument(
+        "--snapshot", metavar="DIR",
+        help="warm-start from a snapshot store: boot without rebuilding "
+        "any index",
+    )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8080)
     serve.add_argument(
@@ -139,7 +167,12 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("report", help="path to a --metrics-out JSON file")
 
     pedigree = sub.add_parser("pedigree", help="extract one entity's pedigree")
-    pedigree.add_argument("--graph", required=True)
+    pedigree_source = pedigree.add_mutually_exclusive_group(required=True)
+    pedigree_source.add_argument("--graph", help="pedigree graph JSON path")
+    pedigree_source.add_argument(
+        "--snapshot", metavar="DIR",
+        help="read the pedigree graph from a snapshot store",
+    )
     pedigree.add_argument("--entity", type=int, required=True)
     pedigree.add_argument("--generations", type=int, default=2)
     pedigree.add_argument(
@@ -151,6 +184,49 @@ def build_parser() -> argparse.ArgumentParser:
     anonymise.add_argument("--out", required=True, help="output CSV stem")
     anonymise.add_argument("--k", type=int, default=10)
     anonymise.add_argument("--seed", type=int, default=0)
+
+    snapshot = sub.add_parser(
+        "snapshot", help="inspect and grow a snapshot store"
+    )
+    snapshot_sub = snapshot.add_subparsers(dest="snapshot_command", required=True)
+
+    def add_store_args(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--store", required=True, metavar="DIR", help="snapshot store root"
+        )
+        command.add_argument(
+            "--id", metavar="SNAPSHOT", help="snapshot id (default: HEAD)"
+        )
+
+    snap_log = snapshot_sub.add_parser(
+        "log", help="show the lineage chain of a snapshot"
+    )
+    add_store_args(snap_log)
+
+    snap_inspect = snapshot_sub.add_parser(
+        "inspect", help="print one snapshot's manifest details"
+    )
+    add_store_args(snap_inspect)
+
+    snap_verify = snapshot_sub.add_parser(
+        "verify", help="check payload checksums against the manifest"
+    )
+    add_store_args(snap_verify)
+
+    snap_ingest = snapshot_sub.add_parser(
+        "ingest", help="fold a delta dataset into a snapshot incrementally"
+    )
+    snap_ingest.add_argument(
+        "--store", required=True, metavar="DIR", help="snapshot store root"
+    )
+    snap_ingest.add_argument(
+        "--data", required=True, help="delta dataset CSV stem"
+    )
+    snap_ingest.add_argument(
+        "--parent", metavar="SNAPSHOT",
+        help="base snapshot id to ingest against (default: HEAD)",
+    )
+    add_telemetry_flags(snap_ingest)
     return parser
 
 
@@ -207,6 +283,12 @@ def _cmd_resolve(args: argparse.Namespace) -> int:
     from repro.eval import evaluate_linkage
     from repro.pedigree import build_pedigree_graph, save_pedigree_graph
 
+    if not args.out and not args.snapshot_out:
+        print(
+            "resolve needs --out and/or --snapshot-out (nowhere to write)",
+            file=sys.stderr,
+        )
+        return 2
     dataset = load_dataset_csv(args.data)
     config = SnapsConfig(
         merge_threshold=args.merge_threshold,
@@ -230,21 +312,52 @@ def _cmd_resolve(args: argparse.Namespace) -> int:
                 f"F*={ev.f_star:.1f}%"
             )
     graph = build_pedigree_graph(dataset, result.entities)
-    path = save_pedigree_graph(graph, args.out)
-    print(f"pedigree graph ({len(graph)} entities) written to {path}")
+    if args.out:
+        path = save_pedigree_graph(graph, args.out)
+        print(f"pedigree graph ({len(graph)} entities) written to {path}")
+    if args.snapshot_out:
+        from repro.store import SnapshotStore
+
+        manifest = SnapshotStore(args.snapshot_out).save(
+            result, graph=graph, config=config, trace=trace, metrics=metrics
+        )
+        print(
+            f"snapshot {manifest.snapshot_id} "
+            f"({manifest.counts['entities']} entities) written to "
+            f"{args.snapshot_out}"
+        )
     if trace is not None or metrics is not None:
         _emit_telemetry(args, result.report(meta={"data": args.data}))
     return 0
+
+
+def _load_snapshot_engine_parts(store_dir: str, graph_only: bool = False):
+    """(graph, keyword_index, sim_index) from a snapshot store's HEAD."""
+    from repro.store import SnapshotStore
+
+    loaded = SnapshotStore(store_dir).load(
+        artifacts=("graph",) if graph_only else ("graph", "indexes")
+    )
+    return loaded.graph, loaded.keyword_index, loaded.sim_index
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
     from repro.pedigree import load_pedigree_graph
     from repro.query import Query, QueryEngine
 
-    graph = load_pedigree_graph(args.graph)
+    if args.snapshot:
+        graph, keyword_index, sim_index = _load_snapshot_engine_parts(args.snapshot)
+    else:
+        graph = load_pedigree_graph(args.graph)
+        keyword_index = sim_index = None
     trace, metrics = _telemetry(args)
     engine = QueryEngine(
-        graph, use_geographic_distance=args.geo, trace=trace, metrics=metrics
+        graph,
+        use_geographic_distance=args.geo,
+        trace=trace,
+        metrics=metrics,
+        keyword_index=keyword_index,
+        sim_index=sim_index,
     )
     query = Query(
         first_name=args.first_name,
@@ -264,7 +377,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
             build_report(
                 trace=trace,
                 metrics=metrics,
-                meta={"kind": "query", "graph": args.graph},
+                meta={"kind": "query", "graph": args.graph or args.snapshot},
             ),
         )
     if args.format == "json":
@@ -291,7 +404,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.pedigree import load_pedigree_graph
     from repro.serve import ServeConfig, ServingApp, make_server
 
-    graph = load_pedigree_graph(args.graph)
+    if args.snapshot:
+        # Warm start: the snapshot carries the graph and both prebuilt
+        # indexes, so boot performs no index construction at all.
+        graph, keyword_index, sim_index = _load_snapshot_engine_parts(args.snapshot)
+    else:
+        graph = load_pedigree_graph(args.graph)
+        keyword_index = sim_index = None
     config = ServeConfig(
         host=args.host,
         port=args.port,
@@ -306,7 +425,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     # /metricz always needs a live registry; the --trace/--metrics-out
     # flags only control what is emitted at shutdown.
     _, metrics = _telemetry(args)
-    app = ServingApp(graph, config, metrics=metrics or MetricsRegistry())
+    app = ServingApp(
+        graph,
+        config,
+        metrics=metrics or MetricsRegistry(),
+        keyword_index=keyword_index,
+        sim_index=sim_index,
+    )
     server = make_server(app, config.host, config.port)
     host, port = server.server_address[:2]
     print(
@@ -329,7 +454,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 args,
                 build_report(
                     metrics=app.metrics,
-                    meta={"kind": "serve", "graph": args.graph},
+                    meta={"kind": "serve", "graph": args.graph or args.snapshot},
                 ),
             )
     return 0
@@ -356,7 +481,10 @@ def _cmd_pedigree(args: argparse.Namespace) -> int:
         render_gedcom,
     )
 
-    graph = load_pedigree_graph(args.graph)
+    if args.snapshot:
+        graph, _, _ = _load_snapshot_engine_parts(args.snapshot, graph_only=True)
+    else:
+        graph = load_pedigree_graph(args.graph)
     try:
         pedigree = extract_pedigree(graph, args.entity, args.generations)
     except KeyError:
@@ -393,6 +521,91 @@ def _cmd_anonymise(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    from repro.store import SnapshotError, SnapshotStore
+
+    store = SnapshotStore(args.store)
+    try:
+        if args.snapshot_command == "log":
+            for manifest in store.log(args.id):
+                head = " (HEAD)" if manifest.snapshot_id == store.latest() else ""
+                print(f"snapshot {manifest.snapshot_id}{head}")
+                print(f"  parent:  {manifest.parent or '(root)'}")
+                print(f"  created: {manifest.created_at}")
+                print(
+                    f"  dataset: {manifest.dataset.get('name')} "
+                    f"({manifest.dataset.get('records')} records)"
+                )
+                print(
+                    f"  counts:  {manifest.counts.get('entities')} entities, "
+                    f"{manifest.counts.get('clusters')} clusters"
+                )
+            return 0
+        if args.snapshot_command == "inspect":
+            manifest = store.manifest(args.id)
+            print(f"snapshot {manifest.snapshot_id}")
+            print(f"  schema version:     {manifest.schema_version}")
+            print(f"  parent:             {manifest.parent or '(root)'}")
+            print(f"  created:            {manifest.created_at}")
+            print(f"  config fingerprint: {manifest.config_fingerprint}")
+            print(
+                f"  dataset:            {manifest.dataset.get('name')} "
+                f"({manifest.dataset.get('records')} records, "
+                f"{manifest.dataset.get('certificates')} certificates)"
+            )
+            print(f"  dataset sha256:     {manifest.dataset.get('sha256')}")
+            for key, value in sorted(manifest.counts.items()):
+                print(f"  {key + ':':<19} {value}")
+            print("  artifacts:")
+            for name, blob in sorted(manifest.artifacts.items()):
+                print(
+                    f"    {name:<16} {blob['path']:<22} "
+                    f"{blob['bytes']:>9} B  sha256 {blob['sha256'][:16]}…"
+                )
+            return 0
+        if args.snapshot_command == "verify":
+            snapshot_id = args.id or store.latest()
+            problems = store.verify(args.id)
+            if problems:
+                print(f"snapshot {snapshot_id}: {len(problems)} problem(s)")
+                for problem in problems:
+                    print(f"  - {problem}")
+                return 1
+            print(f"snapshot {snapshot_id}: OK")
+            return 0
+        # ingest
+        from repro.data.loader import load_dataset_csv
+        from repro.store import IncrementalResolver
+
+        delta = load_dataset_csv(args.data)
+        trace, metrics = _telemetry(args)
+        result = IncrementalResolver(store).ingest(
+            delta, parent=args.parent, trace=trace, metrics=metrics
+        )
+        stats = result.stats
+        print(
+            f"ingested {stats['delta_records']} delta records: re-resolved "
+            f"{stats['dirty_pairs']}/{stats['candidate_pairs']} pairs "
+            f"({stats['dirty_records']}/{stats['combined_records']} records "
+            f"dirty), replayed {stats['replayed_clusters']} clean clusters"
+        )
+        print(
+            f"snapshot {result.manifest.snapshot_id} written "
+            f"(parent {result.manifest.parent})"
+        )
+        if trace is not None or metrics is not None:
+            _emit_telemetry(
+                args,
+                result.linkage.report(
+                    meta={"kind": "ingest", "store": args.store, "data": args.data}
+                ),
+            )
+        return 0
+    except (SnapshotError, ValueError) as error:
+        print(f"snapshot error: {error}", file=sys.stderr)
+        return 1
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "resolve": _cmd_resolve,
@@ -401,6 +614,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "pedigree": _cmd_pedigree,
     "anonymise": _cmd_anonymise,
+    "snapshot": _cmd_snapshot,
 }
 
 

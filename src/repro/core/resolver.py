@@ -141,24 +141,19 @@ class SnapsResolver:
                 registry.register("address", geo_address_comparator())
         self.registry = registry
 
-    def resolve(
+    def block(
         self,
         dataset: Dataset,
         roles: list[Role] | None = None,
-        trace: Trace | None = None,
         metrics: MetricsRegistry | None = None,
-    ) -> LinkageResult:
-        """Resolve ``dataset`` and return the linkage result.
+    ) -> list:
+        """Run the configured blocking stack alone; return candidate pairs.
 
-        ``roles`` optionally restricts which record roles participate
-        (useful for focused experiments); by default all records do.
-        ``trace``/``metrics`` plug the run into the telemetry layer; when
-        omitted the pipeline runs uninstrumented at full speed.
+        The same pairs :meth:`resolve` would generate internally — exposed
+        so callers (incremental ingest, diagnostics) can inspect or
+        restrict them before resolution.
         """
         config = self.config
-        timings = Stopwatch()
-        if trace is None:
-            trace = Trace.disabled()
         blocker: object = LshBlocker(
             n_bands=config.lsh_bands,
             rows_per_band=config.lsh_rows_per_band,
@@ -171,19 +166,49 @@ class SnapsResolver:
             from repro.blocking.phonetic import PhoneticBlocker
 
             blocker = CompositeBlocker([blocker, PhoneticBlocker()])
+        return list(
+            generate_candidate_pairs(
+                dataset,
+                blocker,
+                temporal_slack_years=config.temporal_slack_years,
+                roles=roles,
+                metrics=metrics,
+            )
+        )
+
+    def resolve(
+        self,
+        dataset: Dataset,
+        roles: list[Role] | None = None,
+        trace: Trace | None = None,
+        metrics: MetricsRegistry | None = None,
+        pairs: list | None = None,
+        store: EntityStore | None = None,
+    ) -> LinkageResult:
+        """Resolve ``dataset`` and return the linkage result.
+
+        ``roles`` optionally restricts which record roles participate
+        (useful for focused experiments); by default all records do.
+        ``trace``/``metrics`` plug the run into the telemetry layer; when
+        omitted the pipeline runs uninstrumented at full speed.
+
+        ``pairs``/``store`` support incremental ingest (``repro.store``):
+        ``pairs`` substitutes a precomputed candidate-pair list for the
+        blocking phase, and ``store`` seeds resolution with an existing
+        clustering (e.g. clusters replayed from a snapshot) instead of
+        all-singletons.  Merging then only happens along the given pairs,
+        leaving the seeded clusters intact unless refinement touches them.
+        """
+        config = self.config
+        timings = Stopwatch()
+        if trace is None:
+            trace = Trace.disabled()
         logger.info("resolving %s (%d records)", dataset.name, len(dataset))
         with trace.span("resolve"):
-            with trace.span("blocking"), timings.phase("blocking"):
-                pairs = list(
-                    generate_candidate_pairs(
-                        dataset,
-                        blocker,
-                        temporal_slack_years=config.temporal_slack_years,
-                        roles=roles,
-                        metrics=metrics,
-                    )
-                )
-            logger.info("blocking produced %d candidate pairs", len(pairs))
+            if pairs is None:
+                with trace.span("blocking"), timings.phase("blocking"):
+                    pairs = self.block(dataset, roles=roles, metrics=metrics)
+                logger.info("blocking produced %d candidate pairs", len(pairs))
             with trace.span("graph"), timings.phase("graph_generation"):
                 graph = build_dependency_graph(dataset, pairs, config, self.registry)
             logger.info(
@@ -191,7 +216,8 @@ class SnapsResolver:
                 graph.n_atomic,
                 graph.n_relational,
             )
-            store = EntityStore(dataset)
+            if store is None:
+                store = EntityStore(dataset)
             frequency_index = NameFrequencyIndex(dataset)
             scorer = PairScorer(dataset, config, self.registry, frequency_index)
             checker = ConstraintChecker(

@@ -19,7 +19,7 @@ from repro.data.roles import (
     role_gender,
 )
 
-__all__ = ["Record", "Certificate", "Dataset"]
+__all__ = ["Record", "Certificate", "Dataset", "concat_datasets"]
 
 # Attributes every record may carry.  ``person_id`` is deliberately *not*
 # among them: ground truth lives on the Record object, outside the QID
@@ -254,6 +254,51 @@ class Dataset:
                             pairs.add((lo, hi))
         return pairs
 
+    def content_fingerprint(self) -> str:
+        """SHA-256 over the dataset's canonical record/certificate content.
+
+        Stable across process runs and independent of insertion order;
+        ``repro.store`` uses it to bind a snapshot to the exact dataset
+        it was resolved from.  Empty attribute values are treated as
+        missing (as :meth:`Record.get` does), so a CSV round trip — which
+        drops empty cells — preserves the fingerprint.
+        """
+        import hashlib
+        import json
+
+        records = [
+            {
+                "record_id": r.record_id,
+                "cert_id": r.cert_id,
+                "role": r.role.value,
+                "person_id": r.person_id,
+                "attributes": {
+                    k: v for k, v in sorted(r.attributes.items()) if v != ""
+                },
+            }
+            for r in sorted(self.records.values(), key=lambda r: r.record_id)
+        ]
+        certs = [
+            {
+                "cert_id": c.cert_id,
+                "cert_type": c.cert_type.value,
+                "year": c.year,
+                "parish": c.parish,
+                "roles": {role.value: rid for role, rid in sorted(
+                    c.roles.items(), key=lambda item: item[0].value
+                )},
+                "children": list(c.children),
+                "others": list(c.others),
+            }
+            for c in sorted(self.certificates.values(), key=lambda c: c.cert_id)
+        ]
+        payload = json.dumps(
+            {"records": records, "certificates": certs},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
     def describe(self) -> dict[str, int]:
         """Summary counts used by the dataset-characteristics benches."""
         by_type = {t: 0 for t in CertificateType}
@@ -268,3 +313,32 @@ class Dataset:
             "marriage_certs": by_type[CertificateType.MARRIAGE],
             "census_households": by_type[CertificateType.CENSUS],
         }
+
+
+def concat_datasets(base: Dataset, delta: Dataset, name: str | None = None) -> Dataset:
+    """Union of two disjoint datasets (incremental-ingest input).
+
+    ``delta`` is a batch of *new* certificates arriving against an
+    existing ``base``; record ids and certificate ids must not collide —
+    the delta describes new material, not updates to existing records.
+    Raises ``ValueError`` on any id collision.
+    """
+    record_overlap = set(base.records) & set(delta.records)
+    if record_overlap:
+        raise ValueError(
+            f"delta reuses {len(record_overlap)} record id(s) of the base "
+            f"dataset (e.g. {sorted(record_overlap)[:5]}); delta batches "
+            "must carry fresh record ids"
+        )
+    cert_overlap = set(base.certificates) & set(delta.certificates)
+    if cert_overlap:
+        raise ValueError(
+            f"delta reuses {len(cert_overlap)} certificate id(s) of the "
+            f"base dataset (e.g. {sorted(cert_overlap)[:5]}); delta "
+            "batches must carry fresh certificate ids"
+        )
+    return Dataset(
+        name if name is not None else f"{base.name}+{delta.name}",
+        list(base.records.values()) + list(delta.records.values()),
+        list(base.certificates.values()) + list(delta.certificates.values()),
+    )

@@ -6,6 +6,11 @@ woman is findable under maiden and married surnames); years index under
 every event year of the entity's records so a query year can hit any of
 the person's vital events.
 
+The index round-trips through :meth:`KeywordIndex.postings` /
+:meth:`KeywordIndex.from_postings`, which is how ``repro.store``
+persists it into a snapshot so a serving process can warm-start without
+re-scanning the graph.
+
 Thread safety: the index is **immutable after construction** — every
 mutation happens in ``__init__`` and all lookups return fresh copies of
 the stored sets, never the internals.  Any number of request threads
@@ -44,6 +49,44 @@ class KeywordIndex:
                 self._years.setdefault(year, set()).add(entity.entity_id)
             if entity.gender:
                 self._genders.setdefault(entity.gender, set()).add(entity.entity_id)
+
+    # ------------------------------------------------------------------
+    # Persistence state (repro.store)
+    # ------------------------------------------------------------------
+
+    def postings(
+        self,
+    ) -> tuple[
+        dict[tuple[str, str], list[int]],
+        dict[int, list[int]],
+        dict[str, list[int]],
+    ]:
+        """The full index state as sorted posting lists.
+
+        Returns ``(by_value, years, genders)`` — plain dicts of sorted
+        entity-id lists, suitable for serialisation.  The internals are
+        copied, never exposed.
+        """
+        return (
+            {key: sorted(ids) for key, ids in self._by_value.items()},
+            {year: sorted(ids) for year, ids in self._years.items()},
+            {gender: sorted(ids) for gender, ids in self._genders.items()},
+        )
+
+    @classmethod
+    def from_postings(
+        cls,
+        by_value: dict[tuple[str, str], list[int]],
+        years: dict[int, list[int]],
+        genders: dict[str, list[int]],
+    ) -> "KeywordIndex":
+        """Rebuild an index from :meth:`postings` output, skipping the
+        graph scan entirely (snapshot warm start)."""
+        index = cls.__new__(cls)
+        index._by_value = {key: set(ids) for key, ids in by_value.items()}
+        index._years = {int(year): set(ids) for year, ids in years.items()}
+        index._genders = {gender: set(ids) for gender, ids in genders.items()}
+        return index
 
     # ------------------------------------------------------------------
 

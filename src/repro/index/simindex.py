@@ -56,6 +56,35 @@ class SimilarityAwareIndex:
                 self._neighbours[value] = self._compute_neighbours(value)
 
     # ------------------------------------------------------------------
+    # Persistence state (repro.store)
+    # ------------------------------------------------------------------
+
+    def neighbour_state(self) -> dict[str, list[tuple[str, float]]]:
+        """Copy of every stored neighbour list (including query-time
+        cached entries), for serialisation into a snapshot."""
+        with self._cache_lock:
+            return {key: list(pairs) for key, pairs in self._neighbours.items()}
+
+    @classmethod
+    def from_precomputed(
+        cls,
+        values: list[str],
+        neighbours: dict[str, list[tuple[str, float]]],
+        threshold: float,
+    ) -> "SimilarityAwareIndex":
+        """Rebuild an index from saved state, skipping the expensive
+        all-pairs neighbour computation (snapshot warm start).
+
+        The cheap bigram inverted index is rebuilt from ``values``; the
+        precomputed neighbour lists are adopted as-is.
+        """
+        index = cls(values, threshold=threshold, precompute=False)
+        index._neighbours = {
+            key: list(pairs) for key, pairs in neighbours.items()
+        }
+        return index
+
+    # ------------------------------------------------------------------
 
     def _candidates(self, value: str) -> set[str]:
         out: set[str] = set()

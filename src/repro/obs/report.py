@@ -37,8 +37,13 @@ def build_report(
 
 
 def save_report(report: dict, path: str | Path) -> Path:
-    """Write ``report`` as indented JSON; returns the path written."""
+    """Write ``report`` as indented JSON; returns the path written.
+
+    Missing parent directories are created, so ``--metrics-out
+    out/run.json`` works without a prior ``mkdir``.
+    """
     path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(report, indent=2, sort_keys=False) + "\n")
     return path
 

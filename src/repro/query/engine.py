@@ -106,6 +106,8 @@ class QueryEngine:
         geo_half_distance_km: float = 10.0,
         trace: Trace | None = None,
         metrics: MetricsRegistry | None = None,
+        keyword_index: KeywordIndex | None = None,
+        sim_index: dict[str, SimilarityAwareIndex] | None = None,
     ) -> None:
         """``use_geographic_distance`` switches parish scoring from string
         similarity to geodesic distance against the gazetteer (the paper's
@@ -117,21 +119,32 @@ class QueryEngine:
         ``trace``/``metrics`` instrument every :meth:`search`: one span
         per stage (accumulate, refine — with a nested ``parish_match``
         span — and rank), a per-query latency histogram, and search/hit
-        counters.  Both default to off with no per-query cost."""
+        counters.  Both default to off with no per-query cost.
+
+        ``keyword_index``/``sim_index`` warm-start the engine from
+        prebuilt indexes (a ``repro.store`` snapshot) instead of paying
+        the K/S construction cost here; when given they must have been
+        built from ``graph`` (``similarity_threshold`` is then ignored —
+        a prebuilt S index carries its own threshold)."""
         self.graph = graph
         self.weights = dict(weights or DEFAULT_WEIGHTS)
         self.use_geographic_distance = use_geographic_distance
         self.geo_half_distance_km = geo_half_distance_km
         self.trace = trace if trace is not None else Trace.disabled()
         self.metrics = metrics
-        self.keyword_index = KeywordIndex(graph)
-        self.sim_index: dict[str, SimilarityAwareIndex] = {
-            attribute: SimilarityAwareIndex(
-                self.keyword_index.values(attribute),
-                threshold=similarity_threshold,
-            )
-            for attribute in ("first_name", "surname", "parish")
-        }
+        self.keyword_index = (
+            keyword_index if keyword_index is not None else KeywordIndex(graph)
+        )
+        if sim_index is not None:
+            self.sim_index = dict(sim_index)
+        else:
+            self.sim_index = {
+                attribute: SimilarityAwareIndex(
+                    self.keyword_index.values(attribute),
+                    threshold=similarity_threshold,
+                )
+                for attribute in ("first_name", "surname", "parish")
+            }
 
     def _parish_matches(self, query_parish: str) -> list[tuple[str, float]]:
         """(indexed parish, score) pairs for the query's parish value.

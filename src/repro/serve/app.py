@@ -115,7 +115,12 @@ class ServingApp:
         graph: PedigreeGraph,
         config: ServeConfig | None = None,
         metrics: MetricsRegistry | None = None,
+        keyword_index=None,
+        sim_index=None,
     ) -> None:
+        """``keyword_index``/``sim_index`` (from a ``repro.store``
+        snapshot) warm-start the engine so boot skips index construction
+        entirely; both default to building from ``graph``."""
         self.config = config or ServeConfig()
         self.graph = graph
         # /metricz needs a real registry, so unlike the offline pipeline
@@ -129,6 +134,8 @@ class ServingApp:
             similarity_threshold=self.config.similarity_threshold,
             use_geographic_distance=self.config.use_geographic_distance,
             metrics=self.metrics,
+            keyword_index=keyword_index,
+            sim_index=sim_index,
         )
         self.cache = LRUTTLCache(
             max_size=self.config.cache_size,

@@ -1,0 +1,262 @@
+"""Binary codecs for snapshot payloads.
+
+The two query-time indexes are the expensive artefacts a snapshot exists
+to avoid rebuilding, and both serialise naturally as flat numpy arrays:
+
+* the keyword index ``K`` becomes concatenated int64 posting arrays with
+  offset arrays per key group (string-valued keys, event years, genders);
+* each similarity-aware index ``S`` becomes its value universe plus the
+  precomputed neighbour lists flattened into (target, similarity) arrays
+  with per-key offsets.
+
+Everything loads with ``allow_pickle=False`` — a snapshot is data, never
+code.  Entity clusters are small and irregular, so they stay JSON
+(:func:`encode_clusters` / :func:`decode_clusters`).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.entities import EntityStore
+from repro.index.keyword import KeywordIndex
+from repro.index.simindex import SimilarityAwareIndex
+from repro.store.manifest import SnapshotIntegrityError, SnapshotSchemaError
+
+__all__ = [
+    "decode_clusters",
+    "encode_clusters",
+    "load_clusters",
+    "load_keyword_index",
+    "load_sim_indexes",
+    "save_keyword_index",
+    "save_sim_indexes",
+]
+
+_CLUSTERS_FORMAT = "snaps-clusters"
+_CLUSTERS_VERSION = 1
+
+
+def _postings_arrays(
+    posting_lists: list[list[int]],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Flatten ragged posting lists into (offsets, postings) int64 arrays."""
+    offsets = np.zeros(len(posting_lists) + 1, dtype=np.int64)
+    for i, ids in enumerate(posting_lists):
+        offsets[i + 1] = offsets[i] + len(ids)
+    if posting_lists:
+        postings = np.concatenate(
+            [np.asarray(ids, dtype=np.int64) for ids in posting_lists]
+        ) if offsets[-1] else np.zeros(0, dtype=np.int64)
+    else:
+        postings = np.zeros(0, dtype=np.int64)
+    return offsets, postings
+
+
+def _str_array(values: list[str]) -> np.ndarray:
+    return np.asarray(values, dtype="U") if values else np.zeros(0, dtype="U1")
+
+
+# ----------------------------------------------------------------------
+# Keyword index K
+# ----------------------------------------------------------------------
+
+
+def save_keyword_index(index: KeywordIndex, path: Path) -> None:
+    """Serialise ``index`` to an ``.npz`` file at ``path``."""
+    by_value, years, genders = index.postings()
+    kv_keys = sorted(by_value)
+    year_keys = sorted(years)
+    gender_keys = sorted(genders)
+    kv_offsets, kv_postings = _postings_arrays([by_value[k] for k in kv_keys])
+    year_offsets, year_postings = _postings_arrays([years[k] for k in year_keys])
+    gender_offsets, gender_postings = _postings_arrays(
+        [genders[k] for k in gender_keys]
+    )
+    with path.open("wb") as handle:
+        np.savez_compressed(
+            handle,
+            kv_attrs=_str_array([attr for attr, _ in kv_keys]),
+            kv_values=_str_array([value for _, value in kv_keys]),
+            kv_offsets=kv_offsets,
+            kv_postings=kv_postings,
+            year_keys=np.asarray(year_keys, dtype=np.int64),
+            year_offsets=year_offsets,
+            year_postings=year_postings,
+            gender_keys=_str_array(gender_keys),
+            gender_offsets=gender_offsets,
+            gender_postings=gender_postings,
+        )
+
+
+def load_keyword_index(path: Path) -> KeywordIndex:
+    """Inverse of :func:`save_keyword_index`."""
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            arrays = {name: data[name] for name in data.files}
+    except FileNotFoundError:
+        raise SnapshotIntegrityError(f"missing keyword index: {path}") from None
+    except (ValueError, OSError) as exc:
+        raise SnapshotIntegrityError(
+            f"corrupt keyword index {path}: {exc}"
+        ) from None
+    required = {
+        "kv_attrs", "kv_values", "kv_offsets", "kv_postings",
+        "year_keys", "year_offsets", "year_postings",
+        "gender_keys", "gender_offsets", "gender_postings",
+    }
+    missing = required - set(arrays)
+    if missing:
+        raise SnapshotSchemaError(
+            f"keyword index {path} lacks arrays {sorted(missing)}"
+        )
+
+    def sliced(offsets: np.ndarray, postings: np.ndarray, i: int) -> list[int]:
+        return postings[offsets[i]:offsets[i + 1]].tolist()
+
+    by_value = {
+        (str(attr), str(value)): sliced(arrays["kv_offsets"], arrays["kv_postings"], i)
+        for i, (attr, value) in enumerate(
+            zip(arrays["kv_attrs"], arrays["kv_values"])
+        )
+    }
+    years = {
+        int(year): sliced(arrays["year_offsets"], arrays["year_postings"], i)
+        for i, year in enumerate(arrays["year_keys"])
+    }
+    genders = {
+        str(gender): sliced(arrays["gender_offsets"], arrays["gender_postings"], i)
+        for i, gender in enumerate(arrays["gender_keys"])
+    }
+    return KeywordIndex.from_postings(by_value, years, genders)
+
+
+# ----------------------------------------------------------------------
+# Similarity-aware indexes S (one per query attribute, one file total)
+# ----------------------------------------------------------------------
+
+
+def save_sim_indexes(sim_index: dict[str, SimilarityAwareIndex], path: Path) -> None:
+    """Serialise all per-attribute S indexes into one ``.npz`` file."""
+    arrays: dict[str, np.ndarray] = {
+        "attrs": _str_array(sorted(sim_index)),
+    }
+    for attr in sorted(sim_index):
+        index = sim_index[attr]
+        neighbours = index.neighbour_state()
+        keys = sorted(neighbours)
+        offsets = np.zeros(len(keys) + 1, dtype=np.int64)
+        targets: list[str] = []
+        sims: list[float] = []
+        for i, key in enumerate(keys):
+            pairs = neighbours[key]
+            offsets[i + 1] = offsets[i] + len(pairs)
+            for target, sim in pairs:
+                targets.append(target)
+                sims.append(sim)
+        arrays[f"{attr}__values"] = _str_array(sorted(index._values))
+        arrays[f"{attr}__nb_keys"] = _str_array(keys)
+        arrays[f"{attr}__nb_offsets"] = offsets
+        arrays[f"{attr}__nb_target"] = _str_array(targets)
+        arrays[f"{attr}__nb_sim"] = np.asarray(sims, dtype=np.float64)
+        arrays[f"{attr}__threshold"] = np.asarray([index.threshold], dtype=np.float64)
+    with path.open("wb") as handle:
+        np.savez_compressed(handle, **arrays)
+
+
+def load_sim_indexes(path: Path) -> dict[str, SimilarityAwareIndex]:
+    """Inverse of :func:`save_sim_indexes`."""
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            arrays = {name: data[name] for name in data.files}
+    except FileNotFoundError:
+        raise SnapshotIntegrityError(f"missing similarity index: {path}") from None
+    except (ValueError, OSError) as exc:
+        raise SnapshotIntegrityError(
+            f"corrupt similarity index {path}: {exc}"
+        ) from None
+    if "attrs" not in arrays:
+        raise SnapshotSchemaError(f"similarity index {path} lacks 'attrs' array")
+    out: dict[str, SimilarityAwareIndex] = {}
+    for attr in (str(a) for a in arrays["attrs"]):
+        try:
+            values = [str(v) for v in arrays[f"{attr}__values"]]
+            keys = [str(k) for k in arrays[f"{attr}__nb_keys"]]
+            offsets = arrays[f"{attr}__nb_offsets"]
+            targets = arrays[f"{attr}__nb_target"]
+            sims = arrays[f"{attr}__nb_sim"]
+            threshold = float(arrays[f"{attr}__threshold"][0])
+        except KeyError as exc:
+            raise SnapshotSchemaError(
+                f"similarity index {path} lacks array {exc} for attribute {attr!r}"
+            ) from None
+        neighbours = {
+            key: [
+                (str(targets[j]), float(sims[j]))
+                for j in range(int(offsets[i]), int(offsets[i + 1]))
+            ]
+            for i, key in enumerate(keys)
+        }
+        out[attr] = SimilarityAwareIndex.from_precomputed(
+            values, neighbours, threshold
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Entity clusters (for incremental ingest)
+# ----------------------------------------------------------------------
+
+
+def encode_clusters(store: EntityStore, graph_summary: dict) -> dict:
+    """Non-singleton clusters with their internal link structure.
+
+    Singletons are omitted: rebuilding an :class:`EntityStore` from the
+    dataset recreates them, so only merge history needs persisting.
+    """
+    clusters = []
+    for entity in sorted(store.entities(min_size=2), key=lambda e: min(e.record_ids)):
+        clusters.append(
+            {
+                "records": sorted(entity.record_ids),
+                "links": sorted([list(link) for link in entity.links]),
+            }
+        )
+    return {
+        "format": _CLUSTERS_FORMAT,
+        "version": _CLUSTERS_VERSION,
+        "clusters": clusters,
+        "graph_summary": dict(graph_summary),
+    }
+
+
+def decode_clusters(blob: dict) -> tuple[list[dict], dict]:
+    """Validate and unpack :func:`encode_clusters` output.
+
+    Returns ``(clusters, graph_summary)``.
+    """
+    if blob.get("format") != _CLUSTERS_FORMAT:
+        raise SnapshotSchemaError(
+            f"not a clusters payload (format={blob.get('format')!r})"
+        )
+    if blob.get("version") != _CLUSTERS_VERSION:
+        raise SnapshotSchemaError(
+            f"unsupported clusters payload version {blob.get('version')!r}"
+        )
+    return blob["clusters"], blob.get("graph_summary", {})
+
+
+def load_clusters(path: Path) -> tuple[list[dict], dict]:
+    """Read and decode a ``clusters.json`` payload."""
+    try:
+        blob = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise SnapshotIntegrityError(f"missing clusters payload: {path}") from None
+    except json.JSONDecodeError as exc:
+        raise SnapshotIntegrityError(
+            f"corrupt clusters payload {path}: {exc}"
+        ) from None
+    return decode_clusters(blob)

@@ -1,0 +1,458 @@
+"""The snapshot store: versioned persistence of complete offline output.
+
+A :class:`SnapshotStore` owns a directory tree
+
+.. code-block:: text
+
+    <root>/
+      HEAD                      # id of the most recently written snapshot
+      snapshots/<id>/
+        manifest.json           # schema version, checksums, lineage
+        dataset.records.csv     # the exact dataset that was resolved
+        dataset.certs.csv
+        clusters.json           # resolved entity clusters + merge links
+        graph.json              # pedigree graph (entities + edges)
+        keyword_index.npz       # keyword index K posting lists
+        simindex.npz            # similarity-aware indexes S
+
+holding everything the offline phase produces, so the online phase can
+boot **without recomputing anything**: ``repro serve --snapshot`` loads
+the graph and both indexes, skipping ER, graph building, and index
+construction entirely.
+
+Writes are atomic: a snapshot is assembled in a temporary directory
+under the store root and renamed into place only when complete, so a
+crash mid-save can never leave a half-written snapshot where a loader
+would find it.  Snapshot ids are content-addressed (see
+:mod:`repro.store.manifest`), and every load verifies payload checksums
+before deserialising — a flipped bit fails loudly as
+:class:`~repro.store.manifest.SnapshotIntegrityError`, never as a
+silently wrong answer.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable
+
+from repro.data.loader import load_dataset_csv, save_dataset_csv
+from repro.data.records import Dataset
+from repro.index.keyword import KeywordIndex
+from repro.index.simindex import SimilarityAwareIndex
+from repro.obs.logs import get_logger
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Trace
+from repro.pedigree.graph import PedigreeGraph, build_pedigree_graph
+from repro.pedigree.serialize import load_pedigree_graph, save_pedigree_graph
+from repro.store import codecs
+from repro.store.manifest import (
+    MANIFEST_FILENAME,
+    Manifest,
+    SnapshotError,
+    SnapshotIntegrityError,
+    config_fingerprint,
+    config_to_dict,
+    file_sha256,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - hints only
+    from repro.core.resolver import LinkageResult
+
+__all__ = ["LoadedSnapshot", "SnapshotStore", "SIM_ATTRIBUTES"]
+
+logger = get_logger("store.snapshot")
+
+# Attributes the query engine builds similarity-aware indexes for; a
+# snapshot persists exactly this set so a warm-started engine behaves
+# identically to a cold-built one.
+SIM_ATTRIBUTES = ("first_name", "surname", "parish")
+
+_ARTIFACT_FILES = {
+    "dataset_records": "dataset.records.csv",
+    "dataset_certs": "dataset.certs.csv",
+    "clusters": "clusters.json",
+    "graph": "graph.json",
+    "keyword_index": "keyword_index.npz",
+    "simindex": "simindex.npz",
+}
+
+# Artefact groups a caller can select on load.
+_GROUPS = {
+    "dataset": ("dataset_records", "dataset_certs"),
+    "clusters": ("clusters",),
+    "graph": ("graph",),
+    "indexes": ("keyword_index", "simindex"),
+}
+
+
+@dataclass
+class LoadedSnapshot:
+    """Materialised artefacts of one snapshot (only requested groups set)."""
+
+    manifest: Manifest
+    path: Path
+    dataset: Dataset | None = None
+    clusters: list[dict] = field(default_factory=list)
+    graph_summary: dict = field(default_factory=dict)
+    graph: PedigreeGraph | None = None
+    keyword_index: KeywordIndex | None = None
+    sim_index: dict[str, SimilarityAwareIndex] | None = None
+
+
+class SnapshotStore:
+    """Directory-backed store of versioned, content-addressed snapshots."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    @property
+    def snapshots_dir(self) -> Path:
+        return self.root / "snapshots"
+
+    @property
+    def head_path(self) -> Path:
+        return self.root / "HEAD"
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def latest(self) -> str | None:
+        """Id of the most recently written snapshot (HEAD), if any."""
+        try:
+            head = self.head_path.read_text().strip()
+        except FileNotFoundError:
+            return None
+        return head or None
+
+    def list_ids(self) -> list[str]:
+        """All snapshot ids present on disk (sorted)."""
+        if not self.snapshots_dir.is_dir():
+            return []
+        return sorted(
+            entry.name
+            for entry in self.snapshots_dir.iterdir()
+            if entry.is_dir() and (entry / MANIFEST_FILENAME).exists()
+        )
+
+    def path_of(self, snapshot_id: str) -> Path:
+        return self.snapshots_dir / snapshot_id
+
+    def manifest(self, snapshot_id: str | None = None) -> Manifest:
+        """Manifest of ``snapshot_id`` (default: HEAD)."""
+        snapshot_id = self._resolve_id(snapshot_id)
+        return Manifest.load(self.path_of(snapshot_id) / MANIFEST_FILENAME)
+
+    def log(self, snapshot_id: str | None = None) -> list[Manifest]:
+        """Lineage chain from ``snapshot_id`` (default HEAD) back to the
+        root snapshot, newest first."""
+        snapshot_id = self._resolve_id(snapshot_id)
+        chain: list[Manifest] = []
+        seen: set[str] = set()
+        cursor: str | None = snapshot_id
+        while cursor is not None:
+            if cursor in seen:
+                raise SnapshotError(f"snapshot lineage cycle at {cursor}")
+            seen.add(cursor)
+            manifest = self.manifest(cursor)
+            chain.append(manifest)
+            cursor = manifest.parent
+        return chain
+
+    def verify(self, snapshot_id: str | None = None) -> list[str]:
+        """Check every payload of a snapshot against its manifest.
+
+        Returns a list of human-readable problems; empty means the
+        snapshot is intact.
+        """
+        snapshot_id = self._resolve_id(snapshot_id)
+        directory = self.path_of(snapshot_id)
+        problems: list[str] = []
+        try:
+            manifest = Manifest.load(directory / MANIFEST_FILENAME)
+        except SnapshotError as exc:
+            return [str(exc)]
+        if manifest.snapshot_id != snapshot_id:
+            problems.append(
+                f"manifest says id {manifest.snapshot_id}, directory is {snapshot_id}"
+            )
+        for name, blob in sorted(manifest.artifacts.items()):
+            path = directory / blob["path"]
+            if not path.exists():
+                problems.append(f"{name}: missing payload {blob['path']}")
+                continue
+            actual = file_sha256(path)
+            if actual != blob["sha256"]:
+                problems.append(
+                    f"{name}: checksum mismatch "
+                    f"(manifest {blob['sha256'][:12]}…, disk {actual[:12]}…)"
+                )
+        expected_id = Manifest.compute_snapshot_id(
+            manifest.artifacts,
+            manifest.config_fingerprint,
+            manifest.dataset.get("sha256", ""),
+            manifest.parent,
+        )
+        if expected_id != manifest.snapshot_id:
+            problems.append(
+                f"content address mismatch: manifest id {manifest.snapshot_id}, "
+                f"recomputed {expected_id}"
+            )
+        return problems
+
+    def _resolve_id(self, snapshot_id: str | None) -> str:
+        if snapshot_id is not None:
+            if not self.path_of(snapshot_id).is_dir():
+                raise SnapshotError(
+                    f"no snapshot {snapshot_id!r} in {self.snapshots_dir} "
+                    f"(have: {', '.join(self.list_ids()) or 'none'})"
+                )
+            return snapshot_id
+        head = self.latest()
+        if head is None:
+            raise SnapshotError(f"snapshot store {self.root} is empty (no HEAD)")
+        return head
+
+    # ------------------------------------------------------------------
+    # Save
+    # ------------------------------------------------------------------
+
+    def save(
+        self,
+        result: "LinkageResult",
+        graph: PedigreeGraph | None = None,
+        keyword_index: KeywordIndex | None = None,
+        sim_index: dict[str, SimilarityAwareIndex] | None = None,
+        similarity_threshold: float = 0.5,
+        parent: str | None = None,
+        config=None,
+        trace: Trace | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> Manifest:
+        """Persist one resolver run as a new snapshot; returns its manifest.
+
+        ``graph``/``keyword_index``/``sim_index`` may be passed when the
+        caller already built them (avoiding a rebuild); anything omitted
+        is derived here from ``result``.  ``parent`` links the snapshot
+        into a lineage (incremental ingest sets it).  ``config`` defaults
+        to the paper configuration when the result does not carry one.
+        """
+        from repro.core.config import SnapsConfig
+
+        trace = trace if trace is not None else Trace.disabled()
+        config = config if config is not None else SnapsConfig()
+        with trace.span("snapshot_save"):
+            with trace.span("derive"):
+                if graph is None:
+                    graph = build_pedigree_graph(result.dataset, result.entities)
+                if keyword_index is None:
+                    keyword_index = KeywordIndex(graph)
+                if sim_index is None:
+                    sim_index = {
+                        attribute: SimilarityAwareIndex(
+                            keyword_index.values(attribute),
+                            threshold=similarity_threshold,
+                        )
+                        for attribute in SIM_ATTRIBUTES
+                    }
+            self.snapshots_dir.mkdir(parents=True, exist_ok=True)
+            tmp = Path(
+                tempfile.mkdtemp(prefix=".tmp-snapshot-", dir=self.root)
+            )
+            try:
+                with trace.span("write_payloads"):
+                    save_dataset_csv(result.dataset, tmp / "dataset")
+                    clusters_blob = codecs.encode_clusters(
+                        result.entities,
+                        {
+                            "n_atomic": result.graph.n_atomic,
+                            "n_relational": result.graph.n_relational,
+                        },
+                    )
+                    (tmp / _ARTIFACT_FILES["clusters"]).write_text(
+                        json.dumps(clusters_blob)
+                    )
+                    save_pedigree_graph(graph, tmp / _ARTIFACT_FILES["graph"])
+                    codecs.save_keyword_index(
+                        keyword_index, tmp / _ARTIFACT_FILES["keyword_index"]
+                    )
+                    codecs.save_sim_indexes(
+                        sim_index, tmp / _ARTIFACT_FILES["simindex"]
+                    )
+                with trace.span("manifest"):
+                    artifacts = {
+                        name: {
+                            "path": filename,
+                            "sha256": file_sha256(tmp / filename),
+                            "bytes": (tmp / filename).stat().st_size,
+                        }
+                        for name, filename in sorted(_ARTIFACT_FILES.items())
+                    }
+                    config_fp = config_fingerprint(config)
+                    dataset_sha = result.dataset.content_fingerprint()
+                    snapshot_id = Manifest.compute_snapshot_id(
+                        artifacts, config_fp, dataset_sha, parent
+                    )
+                    manifest = Manifest(
+                        snapshot_id=snapshot_id,
+                        parent=parent,
+                        created_at=datetime.now(timezone.utc).isoformat(),
+                        config=config_to_dict(config),
+                        config_fingerprint=config_fp,
+                        similarity_threshold=similarity_threshold,
+                        dataset={
+                            "name": result.dataset.name,
+                            "records": len(result.dataset),
+                            "certificates": len(result.dataset.certificates),
+                            "sha256": dataset_sha,
+                        },
+                        counts={
+                            "entities": len(graph),
+                            "clusters": sum(
+                                1 for _ in result.entities.entities(min_size=2)
+                            ),
+                            "pedigree_edges": graph.n_edges(),
+                            "keyword_keys": keyword_index.n_keys(),
+                            "sim_values": {
+                                attr: index.n_values()
+                                for attr, index in sorted(sim_index.items())
+                            },
+                        },
+                        artifacts=artifacts,
+                    )
+                    manifest.save(tmp / MANIFEST_FILENAME)
+                with trace.span("commit"):
+                    final = self.path_of(snapshot_id)
+                    if final.exists():
+                        # Content-addressed: identical content already
+                        # stored; keep the existing directory.
+                        shutil.rmtree(tmp)
+                        logger.info("snapshot %s already exists; reusing", snapshot_id)
+                    else:
+                        os.replace(tmp, final)
+                    self._write_head(snapshot_id)
+            except Exception:
+                shutil.rmtree(tmp, ignore_errors=True)
+                raise
+        if metrics is not None:
+            metrics.inc("store.snapshots_saved")
+            metrics.set_gauge(
+                "store.snapshot_bytes",
+                sum(blob["bytes"] for blob in manifest.artifacts.values()),
+            )
+        logger.info(
+            "saved snapshot %s (%d entities, parent=%s)",
+            snapshot_id,
+            manifest.counts.get("entities", 0),
+            parent,
+        )
+        return manifest
+
+    def _write_head(self, snapshot_id: str) -> None:
+        fd, tmp_name = tempfile.mkstemp(prefix=".tmp-head-", dir=self.root)
+        with os.fdopen(fd, "w") as handle:
+            handle.write(snapshot_id + "\n")
+        os.replace(tmp_name, self.head_path)
+
+    # ------------------------------------------------------------------
+    # Load
+    # ------------------------------------------------------------------
+
+    def load(
+        self,
+        snapshot_id: str | None = None,
+        artifacts: Iterable[str] = ("dataset", "clusters", "graph", "indexes"),
+        verify: bool = True,
+        trace: Trace | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> LoadedSnapshot:
+        """Materialise a snapshot (default: HEAD) from disk.
+
+        ``artifacts`` selects which groups to load — ``"dataset"``,
+        ``"clusters"``, ``"graph"``, ``"indexes"`` — so a server that only
+        needs the graph and indexes never pays for the dataset CSV parse.
+        With ``verify`` (the default) every loaded payload's checksum is
+        compared against the manifest first; mismatches raise
+        :class:`SnapshotIntegrityError`.
+        """
+        trace = trace if trace is not None else Trace.disabled()
+        groups = tuple(artifacts)
+        unknown = set(groups) - set(_GROUPS)
+        if unknown:
+            raise ValueError(
+                f"unknown artefact groups {sorted(unknown)}; "
+                f"valid: {sorted(_GROUPS)}"
+            )
+        snapshot_id = self._resolve_id(snapshot_id)
+        directory = self.path_of(snapshot_id)
+        with trace.span("snapshot_load"):
+            manifest = Manifest.load(directory / MANIFEST_FILENAME)
+            if verify:
+                with trace.span("verify"):
+                    self._verify_artifacts(manifest, directory, groups)
+            loaded = LoadedSnapshot(manifest=manifest, path=directory)
+            if "dataset" in groups:
+                with trace.span("load_dataset"):
+                    loaded.dataset = load_dataset_csv(
+                        directory / "dataset", name=manifest.dataset.get("name")
+                    )
+            if "clusters" in groups:
+                with trace.span("load_clusters"):
+                    loaded.clusters, loaded.graph_summary = codecs.load_clusters(
+                        directory / _ARTIFACT_FILES["clusters"]
+                    )
+            if "graph" in groups:
+                with trace.span("load_graph"):
+                    try:
+                        loaded.graph = load_pedigree_graph(
+                            directory / _ARTIFACT_FILES["graph"]
+                        )
+                    except ValueError as exc:
+                        raise SnapshotIntegrityError(
+                            f"pedigree graph payload of {snapshot_id}: {exc}"
+                        ) from None
+            if "indexes" in groups:
+                with trace.span("load_indexes"):
+                    loaded.keyword_index = codecs.load_keyword_index(
+                        directory / _ARTIFACT_FILES["keyword_index"]
+                    )
+                    loaded.sim_index = codecs.load_sim_indexes(
+                        directory / _ARTIFACT_FILES["simindex"]
+                    )
+        if metrics is not None:
+            metrics.inc("store.snapshots_loaded")
+        logger.info(
+            "loaded snapshot %s (%s)", snapshot_id, ", ".join(groups) or "nothing"
+        )
+        return loaded
+
+    def _verify_artifacts(
+        self, manifest: Manifest, directory: Path, groups: tuple[str, ...]
+    ) -> None:
+        for group in groups:
+            for name in _GROUPS[group]:
+                blob = manifest.artifacts.get(name)
+                if blob is None:
+                    raise SnapshotIntegrityError(
+                        f"manifest of {manifest.snapshot_id} lists no "
+                        f"artefact {name!r}"
+                    )
+                path = directory / blob["path"]
+                if not path.exists():
+                    raise SnapshotIntegrityError(
+                        f"snapshot {manifest.snapshot_id}: missing payload "
+                        f"{blob['path']}"
+                    )
+                actual = file_sha256(path)
+                if actual != blob["sha256"]:
+                    raise SnapshotIntegrityError(
+                        f"snapshot {manifest.snapshot_id}: payload "
+                        f"{blob['path']} is corrupt (manifest sha256 "
+                        f"{blob['sha256'][:12]}…, on disk {actual[:12]}…)"
+                    )

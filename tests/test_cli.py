@@ -199,3 +199,130 @@ class TestAnonymise:
         ])
         assert code == 0
         assert out.with_suffix(".records.csv").exists()
+
+
+class TestSnapshotCommands:
+    @pytest.fixture(scope="class")
+    def snapshot_store(self, simulated, tmp_path_factory):
+        store = tmp_path_factory.mktemp("cli-store") / "store"
+        code = main([
+            "resolve", "--data", str(simulated), "--snapshot-out", str(store),
+        ])
+        assert code == 0
+        return store
+
+    def test_resolve_requires_some_output(self, simulated, capsys):
+        code = main(["resolve", "--data", str(simulated)])
+        assert code == 2
+        assert "--snapshot-out" in capsys.readouterr().err
+
+    def test_resolve_out_creates_parent_dirs(self, simulated, tmp_path):
+        out = tmp_path / "deep" / "nested" / "graph.json"
+        run = tmp_path / "also" / "missing" / "run.json"
+        code = main([
+            "resolve", "--data", str(simulated),
+            "--out", str(out), "--metrics-out", str(run),
+        ])
+        assert code == 0
+        assert out.exists() and run.exists()
+
+    def test_store_layout(self, snapshot_store):
+        assert (snapshot_store / "HEAD").exists()
+        head = (snapshot_store / "HEAD").read_text().strip()
+        assert (snapshot_store / "snapshots" / head / "manifest.json").exists()
+
+    def test_snapshot_verify_ok(self, snapshot_store, capsys):
+        code = main(["snapshot", "verify", "--store", str(snapshot_store)])
+        assert code == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_snapshot_log_and_inspect(self, snapshot_store, capsys):
+        assert main(["snapshot", "log", "--store", str(snapshot_store)]) == 0
+        log_out = capsys.readouterr().out
+        assert "HEAD" in log_out and "parent" in log_out
+        assert main(["snapshot", "inspect", "--store", str(snapshot_store)]) == 0
+        inspect_out = capsys.readouterr().out
+        assert "config fingerprint" in inspect_out
+        assert "keyword_index.npz" in inspect_out
+
+    def test_query_from_snapshot_matches_graph(
+        self, snapshot_store, resolved, capsys
+    ):
+        assert main([
+            "query", "--snapshot", str(snapshot_store),
+            "--first-name", "john", "--surname", "macdonald",
+        ]) == 0
+        from_snapshot = capsys.readouterr().out
+        assert main([
+            "query", "--graph", str(resolved),
+            "--first-name", "john", "--surname", "macdonald",
+        ]) == 0
+        from_graph = capsys.readouterr().out
+        assert from_snapshot == from_graph
+
+    def test_pedigree_from_snapshot(self, snapshot_store, capsys):
+        code = main([
+            "pedigree", "--snapshot", str(snapshot_store),
+            "--entity", "16", "--generations", "1",
+        ])
+        assert code == 0
+
+    def test_graph_and_snapshot_mutually_exclusive(self, snapshot_store, resolved):
+        with pytest.raises(SystemExit):
+            main([
+                "query", "--graph", str(resolved),
+                "--snapshot", str(snapshot_store),
+                "--first-name", "a", "--surname", "b",
+            ])
+
+    def test_verify_detects_corruption(self, snapshot_store, capsys):
+        head = (snapshot_store / "HEAD").read_text().strip()
+        payload = snapshot_store / "snapshots" / head / "clusters.json"
+        original = payload.read_text()
+        try:
+            payload.write_text(original + " ")
+            code = main(["snapshot", "verify", "--store", str(snapshot_store)])
+            assert code == 1
+            assert "checksum mismatch" in capsys.readouterr().out
+        finally:
+            payload.write_text(original)
+
+    def test_ingest_colliding_delta_fails_cleanly(
+        self, snapshot_store, simulated, capsys
+    ):
+        code = main([
+            "snapshot", "ingest", "--store", str(snapshot_store),
+            "--data", str(simulated),
+        ])
+        assert code == 1
+        assert "snapshot error" in capsys.readouterr().err
+
+    def test_ingest_extends_lineage(self, snapshot_store, tmp_path, capsys):
+        from repro.data.loader import load_dataset_csv, save_dataset_csv
+        from tests.test_store import reidentify
+
+        base = load_dataset_csv(
+            snapshot_store / "snapshots"
+            / (snapshot_store / "HEAD").read_text().strip() / "dataset"
+        )
+        delta = reidentify(base, "delta", 500000, 400000, 900000)
+        # a small delta: keep only the first 4 certificates' records
+        keep_certs = sorted(delta.certificates)[:4]
+        from repro.data.records import Dataset
+
+        certs = [delta.certificates[cid] for cid in keep_certs]
+        rids = {rid for c in certs for rid in c.member_record_ids()}
+        small = Dataset(
+            "delta", [r for r in delta if r.record_id in rids], certs
+        )
+        stem = tmp_path / "delta"
+        save_dataset_csv(small, stem)
+        code = main([
+            "snapshot", "ingest", "--store", str(snapshot_store),
+            "--data", str(stem),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ingested" in out and "parent" in out
+        assert main(["snapshot", "log", "--store", str(snapshot_store)]) == 0
+        assert capsys.readouterr().out.count("snapshot ") >= 2

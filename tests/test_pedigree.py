@@ -60,6 +60,64 @@ class TestPedigreeGraph:
         assert span is None or span[0] <= span[1]
 
 
+class TestSerialization:
+    def test_round_trip_preserves_entities_and_edges(
+        self, tiny_pedigree_graph, tmp_path
+    ):
+        from repro.pedigree import load_pedigree_graph, save_pedigree_graph
+
+        path = save_pedigree_graph(tiny_pedigree_graph, tmp_path / "graph.json")
+        loaded = load_pedigree_graph(path)
+        assert len(loaded) == len(tiny_pedigree_graph)
+        assert loaded.n_edges() == tiny_pedigree_graph.n_edges()
+
+    def test_save_creates_missing_parent_directories(
+        self, tiny_pedigree_graph, tmp_path
+    ):
+        from repro.pedigree import save_pedigree_graph
+
+        path = save_pedigree_graph(
+            tiny_pedigree_graph, tmp_path / "deep" / "nested" / "graph.json"
+        )
+        assert path.exists()
+
+    def test_payload_carries_format_and_version(
+        self, tiny_pedigree_graph, tmp_path
+    ):
+        import json
+
+        from repro.pedigree import save_pedigree_graph
+
+        path = save_pedigree_graph(tiny_pedigree_graph, tmp_path / "graph.json")
+        payload = json.loads(path.read_text())
+        assert payload["format"] == "snaps-pedigree-graph"
+        assert payload["version"] == 1
+
+    def test_unknown_version_rejected_on_load(
+        self, tiny_pedigree_graph, tmp_path
+    ):
+        import json
+
+        from repro.pedigree import load_pedigree_graph, save_pedigree_graph
+
+        path = save_pedigree_graph(tiny_pedigree_graph, tmp_path / "graph.json")
+        payload = json.loads(path.read_text())
+        payload["version"] = 999
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="version"):
+            load_pedigree_graph(path)
+
+    def test_wrong_format_rejected_on_load(self, tmp_path):
+        import json
+
+        from repro.pedigree import load_pedigree_graph
+
+        path = tmp_path / "bogus.json"
+        path.write_text(json.dumps({"format": "something-else", "version": 1}))
+        with pytest.raises(ValueError, match="not a pedigree-graph"):
+            load_pedigree_graph(path)
+
+
 class TestExtraction:
     def _root_with_family(self, graph):
         for entity in graph:

@@ -456,3 +456,75 @@ class TestConcurrentSearch:
                     )
                 )
             assert parallel == serial
+
+
+# ----------------------------------------------------------------------
+# Snapshot warm start (repro.store)
+# ----------------------------------------------------------------------
+
+
+class TestSnapshotWarmStart:
+    """A snapshot-booted server must be indistinguishable from a cold one."""
+
+    @pytest.fixture(scope="class")
+    def warm_parts(self, tmp_path_factory, resolved_tiny):
+        from repro.store import SnapshotStore
+
+        store = SnapshotStore(tmp_path_factory.mktemp("servestore"))
+        store.save(resolved_tiny)
+        loaded = store.load(artifacts=("graph", "indexes"))
+        return loaded.graph, loaded.keyword_index, loaded.sim_index
+
+    @pytest.fixture()
+    def warm_app(self, warm_parts):
+        graph, keyword_index, sim_index = warm_parts
+        return ServingApp(
+            graph, ServeConfig(), keyword_index=keyword_index, sim_index=sim_index
+        )
+
+    def test_search_payload_byte_identical(
+        self, app, warm_app, tiny_pedigree_graph
+    ):
+        probe = _named_entity(tiny_pedigree_graph)
+        bodies = [
+            (
+                f'{{"first_name": "{probe.first("first_name")}", '
+                f'"surname": "{probe.first("surname")}", "top": 5}}'
+            ).encode(),
+            b'{"first_name": "jon", "surname": "macdonld", "top": 10}',
+            b'{"first_name": "mary", "surname": "mackenzie",'
+            b' "year_from": 1860, "year_to": 1900}',
+        ]
+        for body in bodies:
+            cold = app.handle("POST", "/v1/search", body=body)
+            warm = warm_app.handle("POST", "/v1/search", body=body)
+            assert cold.status == warm.status == 200
+            assert cold.body == warm.body
+
+    def test_pedigree_payload_byte_identical(
+        self, app, warm_app, tiny_pedigree_graph
+    ):
+        probe = _named_entity(tiny_pedigree_graph)
+        for fmt in ("json", "ascii", "gedcom"):
+            path = f"/v1/pedigree/{probe.entity_id}"
+            params = {"generations": "2", "format": fmt}
+            cold = app.handle("GET", path, params)
+            warm = warm_app.handle("GET", path, params)
+            assert cold.status == warm.status == 200
+            assert cold.body == warm.body
+
+    def test_warm_boot_builds_no_indexes(self, warm_parts, monkeypatch):
+        """Booting from a snapshot must not construct K or S at all."""
+        from repro.index.keyword import KeywordIndex
+        from repro.index.simindex import SimilarityAwareIndex
+
+        def forbidden(*args, **kwargs):  # pragma: no cover - failure path
+            raise AssertionError("index construction during warm boot")
+
+        monkeypatch.setattr(KeywordIndex, "__init__", forbidden)
+        monkeypatch.setattr(SimilarityAwareIndex, "__init__", forbidden)
+        graph, keyword_index, sim_index = warm_parts
+        warm = ServingApp(
+            graph, ServeConfig(), keyword_index=keyword_index, sim_index=sim_index
+        )
+        assert warm.handle("GET", "/healthz").status == 200
