@@ -1,6 +1,6 @@
 # Developer entry points for the SNAPS reproduction.
 
-.PHONY: install test verify serve-smoke bench bench-full examples clean
+.PHONY: install test verify serve-smoke chaos bench bench-full examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -31,6 +31,15 @@ verify:
 	PYTHONPATH=src python -m repro query --snapshot $(VERIFY_TMP)/store \
 		--first-name john --surname macdonald --top 3
 	$(MAKE) serve-smoke
+
+# Fault-tolerance gate: the fault substrate's unit tests plus the chaos
+# suites — crash-resume at every checkpoint boundary must be
+# byte-identical, and degraded serving must hold 200s while backends
+# fail.  Runs as its own CI job so chaos regressions are named as such.
+chaos:
+	PYTHONPATH=src python -m pytest -q tests/test_faults.py \
+		tests/test_checkpoint.py tests/test_data_validate.py \
+		tests/test_chaos_pipeline.py tests/test_chaos_serve.py
 
 # Boot the HTTP serving subsystem on an in-process tiny graph, hit
 # /healthz, /v1/search (checked against the offline engine), a pedigree,

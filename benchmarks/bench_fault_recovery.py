@@ -1,0 +1,162 @@
+"""Fault recovery — what checkpoints and degraded serving buy.
+
+Two comparisons, both on the IOS stand-in:
+
+1. **Crash-resume**: the offline pipeline dies right after the
+   ``merging`` phase committed its checkpoint.  "Cold" recovery re-runs
+   the whole resolve from scratch; "resume" (``repro resolve --resume``)
+   restarts from the checkpoint and re-runs only what's left.  The
+   resumed pedigree graph must be byte-identical to the uninterrupted
+   one — speed means nothing if the output drifts.
+
+2. **Degraded serving**: with the search backend failing hard (injected
+   ``query.search`` faults), the serving app answers from its stale
+   cache instead of erroring.  Compares healthy search latency against
+   stale-hit latency and counts how many of the degraded requests still
+   produced a 200.
+
+Emits the text table to ``benchmarks/results/`` plus a
+machine-readable ``bench_fault_recovery.metrics.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from common import emit, emit_report, format_table, ios_dataset, telemetry
+from repro.core import SnapsConfig, SnapsResolver
+from repro.core.checkpoint import ResolveCheckpointer
+from repro.faults import InjectedFault, injected
+from repro.pedigree import build_pedigree_graph, save_pedigree_graph
+from repro.serve import ServeConfig, ServingApp
+
+CRASH_PHASE = "merging"
+N_DEGRADED_REQUESTS = 50
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    value = fn()
+    return value, time.perf_counter() - start
+
+
+def _search_body(graph):
+    entity = next(
+        e for e in graph if e.first("first_name") and e.first("surname")
+    )
+    return json.dumps({
+        "first_name": entity.first("first_name"),
+        "surname": entity.first("surname"),
+    }).encode()
+
+
+def test_fault_recovery(benchmark, tmp_path):
+    dataset = ios_dataset()
+    config = SnapsConfig()
+    trace, metrics = telemetry()
+
+    def run():
+        timings = {}
+
+        # Uninterrupted baseline (also the byte-identity reference).
+        result, timings["resolve_cold"] = _timed(
+            lambda: SnapsResolver(config).resolve(dataset)
+        )
+        graph = build_pedigree_graph(dataset, result.entities)
+        clean_path = save_pedigree_graph(graph, tmp_path / "clean.graph.json")
+
+        # Crash right after CRASH_PHASE commits its checkpoint.
+        ckdir = tmp_path / "ck"
+        checkpoint = ResolveCheckpointer.begin(ckdir, dataset, config)
+        with injected(f"checkpoint.saved.{CRASH_PHASE}:error:times=1"):
+            try:
+                SnapsResolver(config).resolve(dataset, checkpoint=checkpoint)
+                raise AssertionError("injected crash did not fire")
+            except InjectedFault:
+                pass
+
+        def resume():
+            ckpt, ck_dataset, ck_config = ResolveCheckpointer.resume(ckdir)
+            resumed = SnapsResolver(ck_config).resolve(
+                ck_dataset, checkpoint=ckpt
+            )
+            return ck_dataset, resumed
+
+        (ck_dataset, resumed), timings["resolve_resumed"] = _timed(resume)
+        resumed_path = save_pedigree_graph(
+            build_pedigree_graph(ck_dataset, resumed.entities),
+            tmp_path / "resumed.graph.json",
+        )
+        assert resumed_path.read_bytes() == clean_path.read_bytes(), (
+            "resumed run diverged from the uninterrupted one"
+        )
+
+        # Degraded serving: stale hits vs healthy backend latency.
+        now = [0.0]
+        app = ServingApp(
+            graph,
+            ServeConfig(cache_ttl_s=60.0, breaker_threshold=3),
+            metrics=metrics,
+            clock=lambda: now[0],
+        )
+        body = _search_body(graph)
+        healthy, timings["serve_healthy"] = _timed(
+            lambda: app.handle("POST", "/v1/search", body=body)
+        )
+        assert healthy.status == 200
+        now[0] += 61.0  # cache entry expires but stays recoverable
+        statuses = []
+        with injected("query.search:error:times=none"):
+            start = time.perf_counter()
+            for _ in range(N_DEGRADED_REQUESTS):
+                statuses.append(
+                    app.handle("POST", "/v1/search", body=body).status
+                )
+            timings["serve_stale"] = (
+                time.perf_counter() - start
+            ) / N_DEGRADED_REQUESTS
+        return timings, statuses
+
+    timings, statuses = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    resume_speedup = timings["resolve_cold"] / max(
+        timings["resolve_resumed"], 1e-9
+    )
+    stale_speedup = timings["serve_healthy"] / max(timings["serve_stale"], 1e-9)
+    ok_rate = statuses.count(200) / len(statuses)
+    rows = [
+        ["resolve", "cold re-run after crash",
+         f"{1000 * timings['resolve_cold']:.1f}", ""],
+        ["resolve", f"resume past {CRASH_PHASE} checkpoint",
+         f"{1000 * timings['resolve_resumed']:.1f}", f"{resume_speedup:.1f}x"],
+        ["serve", "healthy search (cold cache)",
+         f"{1000 * timings['serve_healthy']:.2f}", ""],
+        ["serve", f"stale hit, backend down ({100 * ok_rate:.0f}% 200s)",
+         f"{1000 * timings['serve_stale']:.2f}", f"{stale_speedup:.1f}x"],
+    ]
+    emit(
+        "bench_fault_recovery",
+        format_table(
+            "Fault recovery (IOS stand-in)",
+            ["phase", "variant", "time ms", "speedup"],
+            rows,
+        ),
+    )
+    emit_report(
+        "bench_fault_recovery",
+        trace=trace,
+        metrics=metrics,
+        meta={
+            "crash_phase": CRASH_PHASE,
+            "n_degraded_requests": N_DEGRADED_REQUESTS,
+            "timings_ms": {k: round(1000 * v, 3) for k, v in timings.items()},
+            "resume_speedup": round(resume_speedup, 3),
+            "stale_speedup": round(stale_speedup, 3),
+            "degraded_ok_rate": ok_rate,
+        },
+    )
+    assert ok_rate == 1.0, "degraded mode must not produce 5xx for warm keys"
+    assert timings["resolve_resumed"] < timings["resolve_cold"], (
+        "resume should beat a cold re-run"
+    )

@@ -81,8 +81,23 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--seed", type=int, default=11)
     simulate.add_argument("--out", required=True, help="output CSV stem")
 
+    def add_validation_flags(command: argparse.ArgumentParser) -> None:
+        mode = command.add_mutually_exclusive_group()
+        mode.add_argument(
+            "--strict", action="store_true",
+            help="fail fast on any dirty input row (the default)",
+        )
+        mode.add_argument(
+            "--quarantine", action="store_true",
+            help="drop dirty certificates/records, report them, continue",
+        )
+        command.add_argument(
+            "--quarantine-report", metavar="PATH",
+            help="write the per-row quarantine report as JSONL",
+        )
+
     resolve = sub.add_parser("resolve", help="run offline ER, save pedigree graph")
-    resolve.add_argument("--data", required=True, help="dataset CSV stem")
+    resolve.add_argument("--data", help="dataset CSV stem")
     resolve.add_argument("--out", help="pedigree graph JSON path")
     resolve.add_argument(
         "--snapshot-out", metavar="DIR",
@@ -94,6 +109,18 @@ def build_parser() -> argparse.ArgumentParser:
     resolve.add_argument("--no-ambiguity", action="store_true")
     resolve.add_argument("--no-relational", action="store_true")
     resolve.add_argument("--no-refinement", action="store_true")
+    checkpointing = resolve.add_mutually_exclusive_group()
+    checkpointing.add_argument(
+        "--checkpoint", metavar="DIR",
+        help="checkpoint every completed phase into DIR so an "
+        "interrupted run can continue with --resume",
+    )
+    checkpointing.add_argument(
+        "--resume", metavar="DIR",
+        help="continue an interrupted run from its checkpoint DIR "
+        "(dataset and flags are restored from the checkpoint)",
+    )
+    add_validation_flags(resolve)
     add_telemetry_flags(resolve)
 
     query = sub.add_parser("query", help="search the pedigree graph")
@@ -161,6 +188,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--geo", action="store_true",
         help="score parishes by geographic distance instead of spelling",
     )
+    serve.add_argument(
+        "--breaker-threshold", type=int, default=3,
+        help="consecutive backend failures that open a circuit",
+    )
+    serve.add_argument(
+        "--breaker-reset", type=float, default=30.0, metavar="SECONDS",
+        help="seconds an open circuit waits before a recovery probe",
+    )
     add_telemetry_flags(serve)
 
     report = sub.add_parser("report", help="render a saved run report")
@@ -226,6 +261,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--parent", metavar="SNAPSHOT",
         help="base snapshot id to ingest against (default: HEAD)",
     )
+    add_validation_flags(snap_ingest)
     add_telemetry_flags(snap_ingest)
     return parser
 
@@ -277,9 +313,35 @@ def _emit_telemetry(args: argparse.Namespace, report: dict) -> None:
         print(render_report(report), file=sys.stderr, end="")
 
 
+def _load_checked(args: argparse.Namespace, metrics=None):
+    """Dataset load honouring ``--strict``/``--quarantine``.
+
+    Raises :class:`~repro.data.DatasetLoadError` in strict mode (the
+    default); in quarantine mode dirty rows are dropped and summarised
+    on stderr (and written to ``--quarantine-report`` when given).
+    """
+    from repro.data import load_dataset_checked
+
+    dataset, report = load_dataset_checked(
+        args.data,
+        mode="quarantine" if args.quarantine else "strict",
+        report_path=args.quarantine_report,
+        metrics=metrics,
+    )
+    if report.issues:
+        print(report.summary(), file=sys.stderr)
+        if args.quarantine_report:
+            print(
+                f"quarantine report written to {args.quarantine_report}",
+                file=sys.stderr,
+            )
+    return dataset
+
+
 def _cmd_resolve(args: argparse.Namespace) -> int:
     from repro.core import SnapsConfig, SnapsResolver
-    from repro.data.loader import load_dataset_csv
+    from repro.core.checkpoint import CheckpointError, ResolveCheckpointer
+    from repro.data import DatasetLoadError
     from repro.eval import evaluate_linkage
     from repro.pedigree import build_pedigree_graph, save_pedigree_graph
 
@@ -289,16 +351,50 @@ def _cmd_resolve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    dataset = load_dataset_csv(args.data)
-    config = SnapsConfig(
-        merge_threshold=args.merge_threshold,
-        use_propagation=not args.no_propagation,
-        use_ambiguity=not args.no_ambiguity,
-        use_relational=not args.no_relational,
-        use_refinement=not args.no_refinement,
-    )
+    if not args.data and not args.resume:
+        print("resolve needs --data (or --resume DIR)", file=sys.stderr)
+        return 2
     trace, metrics = _telemetry(args)
-    result = SnapsResolver(config).resolve(dataset, trace=trace, metrics=metrics)
+    checkpoint = None
+    try:
+        if args.resume:
+            # Dataset and flags come from the checkpoint itself, so the
+            # resumed run cannot diverge from the interrupted one.
+            checkpoint, dataset, config = ResolveCheckpointer.resume(args.resume)
+            done = checkpoint.completed_prefix()
+            print(
+                f"resuming from {args.resume}: "
+                f"{', '.join(done) if done else 'no'} phase(s) already done",
+                file=sys.stderr,
+            )
+        else:
+            dataset = _load_checked(args, metrics)
+            config = SnapsConfig(
+                merge_threshold=args.merge_threshold,
+                use_propagation=not args.no_propagation,
+                use_ambiguity=not args.no_ambiguity,
+                use_relational=not args.no_relational,
+                use_refinement=not args.no_refinement,
+            )
+            if args.checkpoint:
+                checkpoint = ResolveCheckpointer.begin(
+                    args.checkpoint, dataset, config
+                )
+    except DatasetLoadError as error:
+        print(f"dataset error: {error}", file=sys.stderr)
+        if not args.quarantine:
+            print(
+                "hint: re-run with --quarantine to drop the bad rows "
+                "and continue (see --quarantine-report)",
+                file=sys.stderr,
+            )
+        return 2
+    except CheckpointError as error:
+        print(f"checkpoint error: {error}", file=sys.stderr)
+        return 2
+    result = SnapsResolver(config).resolve(
+        dataset, trace=trace, metrics=metrics, checkpoint=checkpoint
+    )
     print(
         f"resolved {len(dataset)} records: |N_A|={result.n_atomic} "
         f"|N_R|={result.n_relational} in {result.timings.total():.1f}s"
@@ -327,7 +423,9 @@ def _cmd_resolve(args: argparse.Namespace) -> int:
             f"{args.snapshot_out}"
         )
     if trace is not None or metrics is not None:
-        _emit_telemetry(args, result.report(meta={"data": args.data}))
+        _emit_telemetry(
+            args, result.report(meta={"data": args.data or args.resume})
+        )
     return 0
 
 
@@ -404,9 +502,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.pedigree import load_pedigree_graph
     from repro.serve import ServeConfig, ServingApp, make_server
 
+    store = None
     if args.snapshot:
         # Warm start: the snapshot carries the graph and both prebuilt
-        # indexes, so boot performs no index construction at all.
+        # indexes, so boot performs no index construction at all.  The
+        # store stays attached so POST /v1/reload can pick up new
+        # snapshots without a restart.
+        from repro.store import SnapshotStore
+
+        store = SnapshotStore(args.snapshot)
         graph, keyword_index, sim_index = _load_snapshot_engine_parts(args.snapshot)
     else:
         graph = load_pedigree_graph(args.graph)
@@ -421,6 +525,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         queue_timeout_s=args.queue_timeout,
         request_timeout_s=args.request_timeout or None,
         use_geographic_distance=args.geo,
+        breaker_threshold=args.breaker_threshold,
+        breaker_reset_s=args.breaker_reset,
     )
     # /metricz always needs a live registry; the --trace/--metrics-out
     # flags only control what is emitted at shutdown.
@@ -431,6 +537,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         metrics=metrics or MetricsRegistry(),
         keyword_index=keyword_index,
         sim_index=sim_index,
+        store=store,
     )
     server = make_server(app, config.host, config.port)
     host, port = server.server_address[:2]
@@ -574,11 +681,21 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
             print(f"snapshot {snapshot_id}: OK")
             return 0
         # ingest
-        from repro.data.loader import load_dataset_csv
+        from repro.data import DatasetLoadError
         from repro.store import IncrementalResolver
 
-        delta = load_dataset_csv(args.data)
         trace, metrics = _telemetry(args)
+        try:
+            delta = _load_checked(args, metrics)
+        except DatasetLoadError as error:
+            print(f"dataset error: {error}", file=sys.stderr)
+            if not args.quarantine:
+                print(
+                    "hint: re-run with --quarantine to drop the bad rows "
+                    "and continue (see --quarantine-report)",
+                    file=sys.stderr,
+                )
+            return 2
         result = IncrementalResolver(store).ingest(
             delta, parent=args.parent, trace=trace, metrics=metrics
         )
@@ -620,6 +737,11 @@ _COMMANDS = {
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    from repro.faults import install_from_env
+
+    # Arm fault injection when SNAPS_FAULTS is set (chaos runs only;
+    # a no-op — and no injector churn — for everyone else).
+    install_from_env()
     args = build_parser().parse_args(argv)
     if args.verbose:
         from repro.obs.logs import configure

@@ -14,7 +14,6 @@ gender consensus, and the set of source certificates.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
@@ -72,7 +71,9 @@ class EntityStore:
         self._dataset = dataset
         self._entities: dict[int, Entity] = {}
         self._entity_of: dict[int, int] = {}
-        self._next_id = itertools.count(1)
+        # Plain int (not itertools.count) so checkpointing can capture and
+        # restore the exact id sequence — see state()/from_state().
+        self._next_id = 1
         for record in dataset:
             self._new_singleton(record)
 
@@ -80,8 +81,13 @@ class EntityStore:
     # Construction helpers
     # ------------------------------------------------------------------
 
+    def _take_id(self) -> int:
+        entity_id = self._next_id
+        self._next_id += 1
+        return entity_id
+
     def _new_singleton(self, record: Record) -> Entity:
-        entity = Entity(entity_id=next(self._next_id))
+        entity = Entity(entity_id=self._take_id())
         entity.record_ids.add(record.record_id)
         lo, hi = record.birth_range()
         entity.birth_lo, entity.birth_hi = lo, hi
@@ -115,21 +121,30 @@ class EntityStore:
         return (e for e in self._entities.values() if len(e) >= min_size)
 
     def records_of(self, entity: Entity) -> list[Record]:
-        """The Record objects in ``entity``."""
-        return [self._dataset.record(rid) for rid in entity.record_ids]
+        """The Record objects in ``entity``, in record-id order.
 
-    def values_of(self, entity: Entity, attribute: str) -> set[str]:
+        The order is canonical (not merge order) so that everything
+        derived from it — pedigree-graph value lists, tie-breaks — is a
+        function of the membership alone.  A store restored from a
+        checkpoint must behave identically to the live one it mirrors,
+        and set iteration order does not survive serialisation.
+        """
+        return [self._dataset.record(rid) for rid in sorted(entity.record_ids)]
+
+    def values_of(self, entity: Entity, attribute: str) -> list[str]:
         """All non-missing values of ``attribute`` across the cluster.
 
         This is the value set PROP-A compares against: an entity that has
         been seen under both a maiden and a married surname exposes both.
+        Sorted, so similarity ties resolve the same way on every run
+        (and after a checkpoint restore).
         """
         values = set()
         for record in self.records_of(entity):
             value = record.get(attribute)
             if value is not None:
                 values.add(value)
-        return values
+        return sorted(values)
 
     def matched_pairs(self, roles_a: frozenset[Role], roles_b: frozenset[Role]) -> set[tuple[int, int]]:
         """All within-entity record pairs with one role on each side.
@@ -248,8 +263,12 @@ class EntityStore:
             adjacency[b].add(a)
         created: list[Entity] = []
         unvisited = set(record_ids)
-        while unvisited:
-            start = unvisited.pop()
+        # Seed components in record-id order so split entities get their
+        # ids in a canonical sequence (checkpoint-resume determinism).
+        for start in sorted(record_ids):
+            if start not in unvisited:
+                continue
+            unvisited.discard(start)
             component = {start}
             frontier = [start]
             while frontier:
@@ -267,11 +286,21 @@ class EntityStore:
             )
         return created
 
-    def _create_entity(self, record_ids: set[int], links: set[tuple[int, int]]) -> Entity:
-        entity = Entity(entity_id=next(self._next_id))
+    def _create_entity(
+        self,
+        record_ids: set[int],
+        links: set[tuple[int, int]],
+        entity_id: int | None = None,
+    ) -> Entity:
+        entity = Entity(
+            entity_id=self._take_id() if entity_id is None else entity_id
+        )
         entity.record_ids = set(record_ids)
         entity.links = set(links)
-        for rid in record_ids:
+        # Record-id order, so order-sensitive aggregates (first non-None
+        # gender) come out the same for a live store and one restored
+        # from a checkpoint.
+        for rid in sorted(record_ids):
             record = self._dataset.record(rid)
             lo, hi = record.birth_range()
             entity.birth_lo = max(entity.birth_lo, lo)
@@ -288,3 +317,65 @@ class EntityStore:
 
     def __len__(self) -> int:
         return len(self._entities)
+
+    # ------------------------------------------------------------------
+    # Checkpointable state
+    # ------------------------------------------------------------------
+
+    def state(self) -> dict:
+        """JSON-serialisable snapshot of the clustering, exact to the id.
+
+        Captures entity ids, membership, intra-cluster links, *and* the
+        id counter, in the store's own iteration order — everything
+        needed for :meth:`from_state` to rebuild a store whose further
+        evolution (merges, refinement splits) is indistinguishable from
+        the original's.  Aggregates are not stored: they are recomputed
+        from the dataset and are functions of the membership alone.
+        """
+        return {
+            "next_id": self._next_id,
+            "entities": [
+                {
+                    "id": entity.entity_id,
+                    "records": sorted(entity.record_ids),
+                    "links": sorted(list(link) for link in entity.links),
+                }
+                for entity in self._entities.values()
+            ],
+        }
+
+    @classmethod
+    def from_state(cls, dataset: Dataset, state: dict) -> "EntityStore":
+        """Rebuild a store from :meth:`state` output over ``dataset``."""
+        store = cls.__new__(cls)
+        store._dataset = dataset
+        store._entities = {}
+        store._entity_of = {}
+        store._next_id = 1  # placeholder while _create_entity runs
+        max_id = 0
+        for blob in state["entities"]:
+            entity_id = int(blob["id"])
+            if entity_id in store._entities:
+                raise ValueError(f"duplicate entity id {entity_id} in state")
+            store._create_entity(
+                {int(rid) for rid in blob["records"]},
+                {(int(a), int(b)) for a, b in blob["links"]},
+                entity_id=entity_id,
+            )
+            max_id = max(max_id, entity_id)
+        covered = set(store._entity_of)
+        expected = set(dataset.records)
+        if covered != expected:
+            missing = sorted(expected - covered)[:5]
+            extra = sorted(covered - expected)[:5]
+            raise ValueError(
+                "entity state does not cover the dataset "
+                f"(missing records {missing}, unknown records {extra})"
+            )
+        next_id = int(state["next_id"])
+        if next_id <= max_id:
+            raise ValueError(
+                f"next_id {next_id} not above max entity id {max_id}"
+            )
+        store._next_id = next_id
+        return store

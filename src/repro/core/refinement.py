@@ -39,8 +39,11 @@ def find_bridges(entity: Entity) -> list[tuple[int, int]]:
 
     A bridge is an edge whose removal disconnects the graph.
     """
-    adjacency: dict[int, list[int]] = {rid: [] for rid in entity.record_ids}
-    for a, b in entity.links:
+    # Canonical iteration order: the bridge list (and the split entities
+    # derived from it) must not depend on set internals, or a run resumed
+    # from a checkpoint could diverge from the uninterrupted one.
+    adjacency: dict[int, list[int]] = {rid: [] for rid in sorted(entity.record_ids)}
+    for a, b in sorted(entity.links):
         adjacency[a].append(b)
         adjacency[b].append(a)
     disc: dict[int, int] = {}
@@ -102,7 +105,10 @@ def refine_clusters(store: EntityStore, config: SnapsConfig) -> RefinementStats:
                 pending.extend(e.entity_id for e in created if len(e) >= 3)
                 continue
         while len(entity) >= 3 and entity.density() < config.density_threshold:
-            loosest = min(entity.record_ids, key=entity.degree)
+            # Tie-break equal degrees by record id (determinism).
+            loosest = min(
+                entity.record_ids, key=lambda rid: (entity.degree(rid), rid)
+            )
             created = store.remove_record(loosest)
             stats.records_removed += 1
             survivors = [e for e in created if len(e) >= 2]

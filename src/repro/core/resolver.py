@@ -184,6 +184,7 @@ class SnapsResolver:
         metrics: MetricsRegistry | None = None,
         pairs: list | None = None,
         store: EntityStore | None = None,
+        checkpoint=None,
     ) -> LinkageResult:
         """Resolve ``dataset`` and return the linkage result.
 
@@ -198,17 +199,45 @@ class SnapsResolver:
         clustering (e.g. clusters replayed from a snapshot) instead of
         all-singletons.  Merging then only happens along the given pairs,
         leaving the seeded clusters intact unless refinement touches them.
+
+        ``checkpoint`` accepts a
+        :class:`~repro.core.checkpoint.ResolveCheckpointer`: each phase
+        commits its state after completing, phases already committed are
+        skipped (their state restored instead of recomputed), and the
+        run continues from the first incomplete phase — so a crashed run
+        resumed through the same checkpointer finishes with output
+        byte-identical to an uninterrupted one.  The dependency graph is
+        always rebuilt: it is deterministic in (dataset, pairs).
         """
         config = self.config
         timings = Stopwatch()
         if trace is None:
             trace = Trace.disabled()
+        completed = checkpoint.completed_prefix() if checkpoint is not None else ()
+        if completed:
+            logger.info(
+                "resuming %s from checkpoint (completed: %s)",
+                dataset.name,
+                ", ".join(completed),
+            )
+            if metrics is not None:
+                metrics.inc("resolver.phases_resumed", len(completed))
         logger.info("resolving %s (%d records)", dataset.name, len(dataset))
         with trace.span("resolve"):
             if pairs is None:
-                with trace.span("blocking"), timings.phase("blocking"):
-                    pairs = self.block(dataset, roles=roles, metrics=metrics)
-                logger.info("blocking produced %d candidate pairs", len(pairs))
+                if "blocking" in completed:
+                    pairs = checkpoint.load_pairs()
+                    logger.info(
+                        "blocking restored from checkpoint (%d pairs)", len(pairs)
+                    )
+                else:
+                    with trace.span("blocking"), timings.phase("blocking"):
+                        pairs = self.block(dataset, roles=roles, metrics=metrics)
+                    logger.info("blocking produced %d candidate pairs", len(pairs))
+                    if checkpoint is not None:
+                        checkpoint.save_pairs(pairs)
+            elif checkpoint is not None and "blocking" not in completed:
+                checkpoint.save_pairs(pairs)
             with trace.span("graph"), timings.phase("graph_generation"):
                 graph = build_dependency_graph(dataset, pairs, config, self.registry)
             logger.info(
@@ -216,8 +245,29 @@ class SnapsResolver:
                 graph.n_atomic,
                 graph.n_relational,
             )
+            run_stats = {
+                "bootstrap_merges": 0,
+                "iterative_merges": 0,
+                "refinement": {
+                    "records_removed": 0,
+                    "bridges_cut": 0,
+                    "clusters_examined": 0,
+                },
+            }
+            restore_from = next(
+                (p for p in reversed(completed) if p != "blocking"), None
+            )
             if store is None:
-                store = EntityStore(dataset)
+                if restore_from is not None:
+                    store, run_stats = checkpoint.load_state(restore_from, dataset)
+                    logger.info(
+                        "entity state restored from %r checkpoint "
+                        "(%d entities)",
+                        restore_from,
+                        len(store),
+                    )
+                else:
+                    store = EntityStore(dataset)
             frequency_index = NameFrequencyIndex(dataset)
             scorer = PairScorer(dataset, config, self.registry, frequency_index)
             checker = ConstraintChecker(
@@ -225,29 +275,51 @@ class SnapsResolver:
                 propagate=config.use_propagation,
                 metrics=metrics,
             )
-            with trace.span("bootstrap"), timings.phase("bootstrap"):
-                bootstrap_merges = bootstrap_merge(
-                    graph, store, scorer, checker, config, metrics
-                )
-            logger.info("bootstrap merged %d nodes", bootstrap_merges)
-            refinement = RefinementStats()
-            if config.use_refinement:
+
+            def commit(phase: str) -> None:
+                if checkpoint is not None:
+                    checkpoint.save_state(phase, store, run_stats)
+
+            refinement = RefinementStats(**run_stats["refinement"])
+
+            def refine(phase: str) -> None:
+                stats = refine_clusters(store, config)
+                refinement.records_removed += stats.records_removed
+                refinement.bridges_cut += stats.bridges_cut
+                refinement.clusters_examined += stats.clusters_examined
+                run_stats["refinement"] = {
+                    "records_removed": refinement.records_removed,
+                    "bridges_cut": refinement.bridges_cut,
+                    "clusters_examined": refinement.clusters_examined,
+                }
+                commit(phase)
+
+            if "bootstrap" in completed:
+                bootstrap_merges = run_stats["bootstrap_merges"]
+            else:
+                with trace.span("bootstrap"), timings.phase("bootstrap"):
+                    bootstrap_merges = bootstrap_merge(
+                        graph, store, scorer, checker, config, metrics
+                    )
+                logger.info("bootstrap merged %d nodes", bootstrap_merges)
+                run_stats["bootstrap_merges"] = bootstrap_merges
+                commit("bootstrap")
+            if config.use_refinement and "refine_bootstrap" not in completed:
                 with trace.span("refine"), timings.phase("refine_bootstrap"):
-                    stats = refine_clusters(store, config)
-                    refinement.records_removed += stats.records_removed
-                    refinement.bridges_cut += stats.bridges_cut
-                    refinement.clusters_examined += stats.clusters_examined
-            with trace.span("merge"), timings.phase("merging"):
-                iterative_merges = iterative_merge(
-                    graph, store, scorer, checker, config, metrics
-                )
-            logger.info("iterative merging merged %d nodes", iterative_merges)
-            if config.use_refinement:
+                    refine("refine_bootstrap")
+            if "merging" in completed:
+                iterative_merges = run_stats["iterative_merges"]
+            else:
+                with trace.span("merge"), timings.phase("merging"):
+                    iterative_merges = iterative_merge(
+                        graph, store, scorer, checker, config, metrics
+                    )
+                logger.info("iterative merging merged %d nodes", iterative_merges)
+                run_stats["iterative_merges"] = iterative_merges
+                commit("merging")
+            if config.use_refinement and "refine_merge" not in completed:
                 with trace.span("refine"), timings.phase("refine_merge"):
-                    stats = refine_clusters(store, config)
-                    refinement.records_removed += stats.records_removed
-                    refinement.bridges_cut += stats.bridges_cut
-                    refinement.clusters_examined += stats.clusters_examined
+                    refine("refine_merge")
                 logger.info(
                     "refinement removed %d records, cut %d bridges",
                     refinement.records_removed,

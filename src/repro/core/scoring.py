@@ -25,6 +25,7 @@ from repro.core.dependency_graph import AtomicNode, DependencyGraph, RelationalN
 from repro.core.entities import EntityStore
 from repro.data.records import Dataset, Record
 from repro.data.schema import AttributeCategory
+from repro.faults import fire
 from repro.similarity.registry import ComparatorRegistry, default_registry
 
 __all__ = ["NameFrequencyIndex", "PairScorer"]
@@ -96,6 +97,7 @@ class PairScorer:
         key = (attribute, lo, hi)
         cached = self._sim_cache.get(key)
         if cached is None:
+            fire("similarity.compare")
             cached = self.registry.compare(attribute, value_a, value_b) or 0.0
             self._sim_cache[key] = cached
         return cached

@@ -33,7 +33,17 @@ from repro.data.synthetic import (
     make_kil_dataset,
     make_tiny_dataset,
 )
-from repro.data.loader import load_dataset_csv, save_dataset_csv
+from repro.data.loader import (
+    load_dataset_checked,
+    load_dataset_csv,
+    save_dataset_csv,
+)
+from repro.data.validate import (
+    DatasetLoadError,
+    QuarantineReport,
+    ValidationIssue,
+    validate_dataset_parts,
+)
 
 __all__ = [
     "CertificateType",
@@ -60,5 +70,10 @@ __all__ = [
     "make_bhic_dataset",
     "make_tiny_dataset",
     "load_dataset_csv",
+    "load_dataset_checked",
     "save_dataset_csv",
+    "DatasetLoadError",
+    "QuarantineReport",
+    "ValidationIssue",
+    "validate_dataset_parts",
 ]

@@ -4,6 +4,12 @@ Two files are written per dataset: ``<stem>.records.csv`` (one row per
 record, QID attributes as columns, plus role/certificate/person columns)
 and ``<stem>.certs.csv`` (one row per certificate).  The format round
 trips exactly, including missing values (empty cells).
+
+Loading reports malformed rows as :class:`~repro.data.validate.
+DatasetLoadError` carrying the file name and row number; with
+``on_error="skip"`` bad rows are logged, recorded as validation issues,
+and skipped.  :func:`load_dataset_checked` layers full schema validation
+(``repro.data.validate``) on top, with strict and quarantine modes.
 """
 
 from __future__ import annotations
@@ -13,8 +19,25 @@ from pathlib import Path
 
 from repro.data.records import Certificate, Dataset, Record
 from repro.data.roles import CertificateType, Role
+from repro.data.validate import (
+    DatasetLoadError,
+    QuarantineReport,
+    ValidationIssue,
+    clean_dataset,
+    format_issues,
+    validate_dataset_parts,
+)
+from repro.obs.logs import get_logger
+from repro.obs.metrics import MetricsRegistry
 
-__all__ = ["save_dataset_csv", "load_dataset_csv"]
+__all__ = [
+    "save_dataset_csv",
+    "load_dataset_csv",
+    "load_dataset_checked",
+    "read_dataset_rows",
+]
+
+logger = get_logger("data.loader")
 
 _RECORD_FIXED = ("record_id", "cert_id", "role", "person_id")
 _CERT_FIXED = ("cert_id", "cert_type", "year", "parish")
@@ -57,55 +80,156 @@ def save_dataset_csv(dataset: Dataset, stem: str | Path) -> tuple[Path, Path]:
     return records_path, certs_path
 
 
-def load_dataset_csv(stem: str | Path, name: str | None = None) -> Dataset:
-    """Load a dataset previously written by :func:`save_dataset_csv`."""
+def _record_from_row(row: dict) -> Record:
+    attributes = {
+        key: value
+        for key, value in row.items()
+        if key is not None
+        and key not in _RECORD_FIXED
+        and value not in ("", None)
+    }
+    return Record(
+        record_id=int(row["record_id"]),
+        cert_id=int(row["cert_id"]),
+        role=Role(row["role"]),
+        attributes=attributes,
+        person_id=int(row["person_id"]),
+    )
+
+
+def _certificate_from_row(row: dict) -> Certificate:
+    roles = {role: int(row[role.value]) for role in Role if row.get(role.value)}
+    # Multi-member census columns are absent from files written by
+    # older versions; treat them as empty.
+    children = [int(rid) for rid in (row.get("children") or "").split(";") if rid]
+    others = [int(rid) for rid in (row.get("others") or "").split(";") if rid]
+    return Certificate(
+        cert_id=int(row["cert_id"]),
+        cert_type=CertificateType(row["cert_type"]),
+        year=int(row["year"]),
+        parish=row["parish"],
+        roles=roles,
+        children=children,
+        others=others,
+    )
+
+
+def _read_rows(path, parse, on_error, issues, out):
+    """Parse every CSV row of ``path``; bad rows raise or are skipped.
+
+    Row numbers are 1-based file lines (the header is line 1), so the
+    error message points at the exact line to inspect.
+    """
+    try:
+        handle = path.open(newline="")
+    except OSError as exc:
+        raise DatasetLoadError(str(exc), path=path) from exc
+    with handle:
+        reader = csv.DictReader(handle)
+        for lineno, row in enumerate(reader, start=2):
+            try:
+                out.append(parse(row))
+            except (KeyError, TypeError, ValueError) as exc:
+                message = f"cannot parse row: {type(exc).__name__}: {exc}"
+                if on_error == "raise":
+                    raise DatasetLoadError(message, path=path, row=lineno) from exc
+                logger.warning("%s, row %d skipped: %s", path.name, lineno, message)
+                if issues is not None:
+                    issues.append(
+                        ValidationIssue(
+                            "unparseable_row",
+                            message,
+                            file=path.name,
+                            row=lineno,
+                        )
+                    )
+
+
+def read_dataset_rows(
+    stem: str | Path,
+    on_error: str = "raise",
+    issues: list[ValidationIssue] | None = None,
+) -> tuple[list[Record], list[Certificate]]:
+    """Parse the two CSVs into raw record/certificate lists.
+
+    No cross-referential validation happens here — that is
+    :func:`repro.data.validate.validate_dataset_parts`'s job, and
+    ``Dataset`` construction enforces its own invariants.
+    """
+    if on_error not in ("raise", "skip"):
+        raise ValueError(f"on_error must be 'raise' or 'skip', got {on_error!r}")
     stem = Path(stem)
-    records_path = stem.with_suffix(".records.csv")
-    certs_path = stem.with_suffix(".certs.csv")
     records: list[Record] = []
-    with records_path.open(newline="") as handle:
-        reader = csv.DictReader(handle)
-        for row in reader:
-            attributes = {
-                key: value
-                for key, value in row.items()
-                if key not in _RECORD_FIXED and value != ""
-            }
-            records.append(
-                Record(
-                    record_id=int(row["record_id"]),
-                    cert_id=int(row["cert_id"]),
-                    role=Role(row["role"]),
-                    attributes=attributes,
-                    person_id=int(row["person_id"]),
-                )
-            )
     certificates: list[Certificate] = []
-    with certs_path.open(newline="") as handle:
-        reader = csv.DictReader(handle)
-        for row in reader:
-            roles = {
-                role: int(row[role.value])
-                for role in Role
-                if row.get(role.value)
-            }
-            # Multi-member census columns are absent from files written by
-            # older versions; treat them as empty.
-            children = [
-                int(rid) for rid in (row.get("children") or "").split(";") if rid
-            ]
-            others = [
-                int(rid) for rid in (row.get("others") or "").split(";") if rid
-            ]
-            certificates.append(
-                Certificate(
-                    cert_id=int(row["cert_id"]),
-                    cert_type=CertificateType(row["cert_type"]),
-                    year=int(row["year"]),
-                    parish=row["parish"],
-                    roles=roles,
-                    children=children,
-                    others=others,
-                )
+    _read_rows(
+        stem.with_suffix(".records.csv"), _record_from_row, on_error, issues, records
+    )
+    _read_rows(
+        stem.with_suffix(".certs.csv"),
+        _certificate_from_row,
+        on_error,
+        issues,
+        certificates,
+    )
+    return records, certificates
+
+
+def load_dataset_csv(
+    stem: str | Path,
+    name: str | None = None,
+    on_error: str = "raise",
+    issues: list[ValidationIssue] | None = None,
+) -> Dataset:
+    """Load a dataset previously written by :func:`save_dataset_csv`.
+
+    Malformed rows raise :class:`DatasetLoadError` naming the file and
+    row (or, with ``on_error="skip"``, are logged and skipped —
+    appending to ``issues`` when given).  Cross-reference problems that
+    survive row parsing surface as ``DatasetLoadError`` too.
+    """
+    stem = Path(stem)
+    records, certificates = read_dataset_rows(stem, on_error, issues)
+    try:
+        return Dataset(name or stem.name, records, certificates)
+    except ValueError as exc:
+        raise DatasetLoadError(str(exc), path=stem) from exc
+
+
+def load_dataset_checked(
+    stem: str | Path,
+    name: str | None = None,
+    mode: str = "strict",
+    report_path: str | Path | None = None,
+    metrics: MetricsRegistry | None = None,
+) -> tuple[Dataset, QuarantineReport]:
+    """Load with full schema validation (``repro.data.validate``).
+
+    ``mode="strict"`` fails fast: the first unparseable row, or any
+    structural/value issue, raises an actionable
+    :class:`DatasetLoadError`.  ``mode="quarantine"`` drops the
+    offending certificates instead and returns the surviving dataset
+    plus a :class:`QuarantineReport` (written to ``report_path`` as
+    JSONL when given, mirrored into ``metrics``).
+    """
+    if mode not in ("strict", "quarantine"):
+        raise ValueError(f"mode must be 'strict' or 'quarantine', got {mode!r}")
+    stem = Path(stem)
+    issues: list[ValidationIssue] = []
+    on_error = "raise" if mode == "strict" else "skip"
+    records, certificates = read_dataset_rows(stem, on_error, issues)
+    issues.extend(validate_dataset_parts(records, certificates, source=stem.name))
+    if mode == "strict":
+        if issues:
+            raise DatasetLoadError(
+                format_issues(issues), path=stem, issues=issues
             )
-    return Dataset(name or stem.name, records, certificates)
+        dataset = Dataset(name or stem.name, records, certificates)
+        report = QuarantineReport()
+    else:
+        dataset, report = clean_dataset(
+            name or stem.name, records, certificates, issues
+        )
+    report.to_metrics(metrics)
+    if report_path is not None and report.issues:
+        report.write_jsonl(report_path)
+    return dataset, report

@@ -1,0 +1,392 @@
+"""Ingest hardening: schema validation and dirty-row quarantine.
+
+Real vital-record transcriptions are dirty by construction (OCR noise,
+missing values — paper Table 1), and a multi-hour offline run must not
+abort on row 3 million.  This module checks a parsed batch of records
+and certificates for structural and value-level problems:
+
+- duplicate record/certificate ids,
+- certificate role entries referencing missing records (dangling
+  role→record references) or records whose role/cert disagrees,
+- records referencing a certificate that does not exist,
+- unparseable or out-of-range years and ages,
+- invalid gender codes and out-of-range geo coordinates.
+
+In **strict** mode the issues become one actionable
+:class:`DatasetLoadError`.  In **quarantine** mode the offending
+*certificates* (the atomic unit whose removal keeps the dataset
+self-consistent) are dropped wholesale, and a :class:`QuarantineReport`
+records every issue — writable as JSONL and mirrored into the metrics
+registry.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.data.records import Certificate, Dataset, Record
+from repro.data.roles import Role
+from repro.faults.taxonomy import DataFault
+from repro.obs.logs import get_logger
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "DatasetLoadError",
+    "QuarantineReport",
+    "ValidationIssue",
+    "clean_dataset",
+    "format_issues",
+    "validate_dataset_parts",
+]
+
+logger = get_logger("data.validate")
+
+# Plausible registration/birth years for historical vital records; the
+# reproduced datasets span 1861–1901, the guard band is generous.
+YEAR_RANGE = (1500, 2100)
+AGE_RANGE = (0, 130)
+GENDERS = ("m", "f")
+
+
+class DatasetLoadError(DataFault):
+    """A dataset could not be loaded/validated; names file and row."""
+
+    def __init__(
+        self,
+        message: str,
+        path: str | Path | None = None,
+        row: int | None = None,
+        issues: Sequence["ValidationIssue"] = (),
+    ) -> None:
+        where = ""
+        if path is not None:
+            where = str(path)
+        if row is not None:
+            where += f", row {row}"
+        super().__init__(f"{where}: {message}" if where else message)
+        self.path = str(path) if path is not None else None
+        self.row = row
+        self.issues = list(issues)
+
+
+@dataclass
+class ValidationIssue:
+    """One problem found in the source data."""
+
+    code: str
+    message: str
+    file: str | None = None
+    row: int | None = None
+    record_id: int | None = None
+    cert_id: int | None = None
+
+    def as_dict(self) -> dict:
+        return {k: v for k, v in self.__dict__.items() if v is not None}
+
+    def __str__(self) -> str:
+        where = ", ".join(
+            part
+            for part in (
+                self.file,
+                f"row {self.row}" if self.row is not None else None,
+                f"record {self.record_id}" if self.record_id is not None else None,
+                f"cert {self.cert_id}" if self.cert_id is not None else None,
+            )
+            if part
+        )
+        return f"[{self.code}] {self.message}" + (f" ({where})" if where else "")
+
+
+@dataclass
+class QuarantineReport:
+    """Everything quarantined during one load, and why."""
+
+    issues: list[ValidationIssue] = field(default_factory=list)
+    certificates_dropped: int = 0
+    records_dropped: int = 0
+
+    def counts(self) -> dict[str, int]:
+        """Issue counts keyed by issue code (sorted for stable output)."""
+        counts: dict[str, int] = {}
+        for issue in self.issues:
+            counts[issue.code] = counts.get(issue.code, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def write_jsonl(self, path: str | Path) -> Path:
+        """One JSON object per issue, plus a trailing summary line."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w") as handle:
+            for issue in self.issues:
+                handle.write(json.dumps(issue.as_dict(), sort_keys=True) + "\n")
+            handle.write(
+                json.dumps(
+                    {
+                        "summary": self.counts(),
+                        "certificates_dropped": self.certificates_dropped,
+                        "records_dropped": self.records_dropped,
+                    },
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+        return path
+
+    def to_metrics(self, metrics: MetricsRegistry | None) -> None:
+        if metrics is None:
+            return
+        metrics.inc("data.quarantine.issues", len(self.issues))
+        metrics.inc("data.quarantine.certificates_dropped", self.certificates_dropped)
+        metrics.inc("data.quarantine.records_dropped", self.records_dropped)
+        for code, count in self.counts().items():
+            metrics.inc(f"data.quarantine.{code}", count)
+
+    def summary(self) -> str:
+        parts = ", ".join(f"{code}={n}" for code, n in self.counts().items())
+        return (
+            f"quarantined {self.certificates_dropped} certificate(s) / "
+            f"{self.records_dropped} record(s)"
+            + (f" [{parts}]" if parts else "")
+        )
+
+
+def _int_or_none(value: str | None) -> int | None:
+    if value in (None, ""):
+        return None
+    return int(value)
+
+
+def _check_year(
+    issues: list[ValidationIssue],
+    record: Record,
+    attribute: str,
+    source: str | None,
+) -> None:
+    raw = record.attributes.get(attribute)
+    try:
+        year = _int_or_none(raw)
+    except (TypeError, ValueError):
+        issues.append(
+            ValidationIssue(
+                "unparseable_year",
+                f"{attribute} {raw!r} is not a year",
+                file=source,
+                record_id=record.record_id,
+                cert_id=record.cert_id,
+            )
+        )
+        return
+    if year is not None and not YEAR_RANGE[0] <= year <= YEAR_RANGE[1]:
+        issues.append(
+            ValidationIssue(
+                "year_out_of_range",
+                f"{attribute} {year} outside {YEAR_RANGE}",
+                file=source,
+                record_id=record.record_id,
+                cert_id=record.cert_id,
+            )
+        )
+
+
+def validate_dataset_parts(
+    records: Iterable[Record],
+    certificates: Iterable[Certificate],
+    source: str | None = None,
+) -> list[ValidationIssue]:
+    """All structural and value-level issues in a parsed batch.
+
+    Works on plain lists — *before* ``Dataset`` construction, whose own
+    ``_validate`` raises on the first dangling reference.
+    """
+    records = list(records)
+    certificates = list(certificates)
+    issues: list[ValidationIssue] = []
+
+    by_rid: dict[int, Record] = {}
+    for record in records:
+        if record.record_id in by_rid:
+            issues.append(
+                ValidationIssue(
+                    "duplicate_record_id",
+                    f"record id {record.record_id} appears more than once",
+                    file=source,
+                    record_id=record.record_id,
+                    cert_id=record.cert_id,
+                )
+            )
+        by_rid[record.record_id] = record
+    by_cid: dict[int, Certificate] = {}
+    for cert in certificates:
+        if cert.cert_id in by_cid:
+            issues.append(
+                ValidationIssue(
+                    "duplicate_cert_id",
+                    f"certificate id {cert.cert_id} appears more than once",
+                    file=source,
+                    cert_id=cert.cert_id,
+                )
+            )
+        by_cid[cert.cert_id] = cert
+
+    # Certificate → record references (the dependency graph is built from
+    # these; a dangling one crashes relationship extraction much later).
+    for cert in certificates:
+        members = [(role, rid) for role, rid in cert.roles.items()]
+        members += [(Role.CC, rid) for rid in cert.children]
+        members += [(Role.CO, rid) for rid in cert.others]
+        for role, rid in members:
+            record = by_rid.get(rid)
+            if record is None:
+                issues.append(
+                    ValidationIssue(
+                        "dangling_reference",
+                        f"certificate {cert.cert_id} role {role.value} "
+                        f"references missing record {rid}",
+                        file=source,
+                        cert_id=cert.cert_id,
+                    )
+                )
+            elif record.role is not role or record.cert_id != cert.cert_id:
+                issues.append(
+                    ValidationIssue(
+                        "role_mismatch",
+                        f"record {rid} (role {record.role.value}, cert "
+                        f"{record.cert_id}) inconsistent with certificate "
+                        f"{cert.cert_id} role {role.value}",
+                        file=source,
+                        record_id=rid,
+                        cert_id=cert.cert_id,
+                    )
+                )
+        if not YEAR_RANGE[0] <= cert.year <= YEAR_RANGE[1]:
+            issues.append(
+                ValidationIssue(
+                    "year_out_of_range",
+                    f"certificate year {cert.year} outside {YEAR_RANGE}",
+                    file=source,
+                    cert_id=cert.cert_id,
+                )
+            )
+
+    for record in records:
+        if record.cert_id not in by_cid:
+            issues.append(
+                ValidationIssue(
+                    "missing_certificate",
+                    f"record {record.record_id} references missing "
+                    f"certificate {record.cert_id}",
+                    file=source,
+                    record_id=record.record_id,
+                )
+            )
+        _check_year(issues, record, "event_year", source)
+        _check_year(issues, record, "birth_year", source)
+        raw_age = record.attributes.get("age")
+        try:
+            age = _int_or_none(raw_age)
+        except (TypeError, ValueError):
+            age = None
+            issues.append(
+                ValidationIssue(
+                    "unparseable_age",
+                    f"age {raw_age!r} is not a number",
+                    file=source,
+                    record_id=record.record_id,
+                    cert_id=record.cert_id,
+                )
+            )
+        if age is not None and not AGE_RANGE[0] <= age <= AGE_RANGE[1]:
+            issues.append(
+                ValidationIssue(
+                    "age_out_of_range",
+                    f"age {age} outside {AGE_RANGE}",
+                    file=source,
+                    record_id=record.record_id,
+                    cert_id=record.cert_id,
+                )
+            )
+        gender = record.attributes.get("gender")
+        if gender not in (None, "") and gender not in GENDERS:
+            issues.append(
+                ValidationIssue(
+                    "bad_gender",
+                    f"gender {gender!r} not in {GENDERS}",
+                    file=source,
+                    record_id=record.record_id,
+                    cert_id=record.cert_id,
+                )
+            )
+        for attribute, bound in (("latitude", 90.0), ("longitude", 180.0)):
+            raw = record.attributes.get(attribute)
+            if raw in (None, ""):
+                continue
+            try:
+                value = float(raw)
+            except (TypeError, ValueError):
+                value = None
+            if value is None or not -bound <= value <= bound:
+                issues.append(
+                    ValidationIssue(
+                        "bad_geo",
+                        f"{attribute} {raw!r} outside ±{bound:g}",
+                        file=source,
+                        record_id=record.record_id,
+                        cert_id=record.cert_id,
+                    )
+                )
+    return issues
+
+
+def clean_dataset(
+    name: str,
+    records: Iterable[Record],
+    certificates: Iterable[Certificate],
+    issues: list[ValidationIssue],
+) -> tuple[Dataset, QuarantineReport]:
+    """Drop everything implicated by ``issues`` and build a clean Dataset.
+
+    The quarantine unit is the *certificate*: dropping any single record
+    would leave its certificate with a dangling role reference, so a
+    record-level issue takes the whole certificate (and all its records)
+    with it.  Records whose certificate does not exist are dropped alone.
+    """
+    records = list(records)
+    certificates = list(certificates)
+    bad_certs = {i.cert_id for i in issues if i.cert_id is not None}
+    bad_rids = {
+        i.record_id
+        for i in issues
+        if i.code == "missing_certificate" and i.record_id is not None
+    }
+    kept_records = [
+        r
+        for r in records
+        if r.cert_id not in bad_certs and r.record_id not in bad_rids
+    ]
+    kept_certs = [c for c in certificates if c.cert_id not in bad_certs]
+    report = QuarantineReport(
+        issues=list(issues),
+        certificates_dropped=len(certificates) - len(kept_certs),
+        records_dropped=len(records) - len(kept_records),
+    )
+    try:
+        dataset = Dataset(name, kept_records, kept_certs)
+    except ValueError as exc:  # pragma: no cover - quarantine invariant
+        raise DatasetLoadError(
+            f"dataset still inconsistent after quarantine: {exc}"
+        ) from exc
+    if report.issues:
+        logger.warning("%s: %s", name, report.summary())
+    return dataset, report
+
+
+def format_issues(issues: Sequence[ValidationIssue], limit: int = 5) -> str:
+    """Human-readable digest of ``issues`` (first ``limit`` + a count)."""
+    shown = "; ".join(str(issue) for issue in issues[:limit])
+    extra = len(issues) - limit
+    if extra > 0:
+        shown += f"; ... and {extra} more issue(s)"
+    return shown

@@ -1,0 +1,73 @@
+"""Fault-tolerance substrate: taxonomy, injection, retries, breakers.
+
+One module classifies every failure (transient/permanent/data) so the
+loader, resolver, store, and server react consistently; the injector
+lets chaos tests (or ``SNAPS_FAULTS``) raise those failures on demand at
+named production sites.
+"""
+
+from repro.faults.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+    CircuitOpen,
+)
+from repro.faults.inject import (
+    ENV_VAR,
+    FaultInjector,
+    FaultSpec,
+    InjectedFault,
+    active,
+    corrupt_write,
+    fire,
+    injected,
+    install,
+    install_from_env,
+    parse_specs,
+    uninstall,
+)
+from repro.faults.retry import RetryPolicy
+from repro.faults.taxonomy import (
+    CATEGORIES,
+    DATA,
+    PERMANENT,
+    TRANSIENT,
+    DataFault,
+    FaultError,
+    PermanentFault,
+    TransientFault,
+    classify,
+    register,
+)
+
+__all__ = [
+    "CATEGORIES",
+    "CLOSED",
+    "DATA",
+    "ENV_VAR",
+    "HALF_OPEN",
+    "OPEN",
+    "PERMANENT",
+    "TRANSIENT",
+    "CircuitBreaker",
+    "CircuitOpen",
+    "DataFault",
+    "FaultError",
+    "FaultInjector",
+    "FaultSpec",
+    "InjectedFault",
+    "PermanentFault",
+    "RetryPolicy",
+    "TransientFault",
+    "active",
+    "classify",
+    "corrupt_write",
+    "fire",
+    "injected",
+    "install",
+    "install_from_env",
+    "parse_specs",
+    "register",
+    "uninstall",
+]

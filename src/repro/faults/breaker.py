@@ -1,0 +1,142 @@
+"""Circuit breaker: stop hammering a failing backend, probe for recovery.
+
+Standard three-state machine:
+
+- ``closed`` — calls flow; consecutive failures are counted.
+- ``open`` — after ``failure_threshold`` consecutive failures, calls
+  are refused immediately (callers serve stale data or shed load)
+  until ``reset_timeout_s`` has elapsed.
+- ``half_open`` — after the timeout, up to ``half_open_probes`` calls
+  are let through as recovery probes.  One success closes the breaker;
+  one failure re-opens it and restarts the timer.
+
+The clock is injectable so chaos tests drive recovery without real
+sleeps.  All transitions are lock-guarded; the breaker is shared by the
+threaded HTTP server.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from repro.faults.taxonomy import TRANSIENT, FaultError
+from repro.obs.logs import get_logger
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["CircuitBreaker", "CircuitOpen", "CLOSED", "OPEN", "HALF_OPEN"]
+
+logger = get_logger("faults.breaker")
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitOpen(FaultError):
+    """Refused without calling the backend: the circuit is open."""
+
+    category = TRANSIENT
+
+    def __init__(self, name: str, retry_after_s: float):
+        super().__init__(
+            f"circuit {name!r} is open; retry in {retry_after_s:.1f}s"
+        )
+        self.name = name
+        self.retry_after_s = retry_after_s
+
+
+class CircuitBreaker:
+    def __init__(
+        self,
+        name: str,
+        failure_threshold: int = 3,
+        reset_timeout_s: float = 30.0,
+        half_open_probes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self.half_open_probes = half_open_probes
+        self._clock = clock
+        self._metrics = metrics
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probes = 0
+
+    # ------------------------------------------------------------------
+
+    def _tick(self) -> None:
+        """Lazy open→half_open transition (caller holds the lock)."""
+        if (
+            self._state == OPEN
+            and self._clock() - self._opened_at >= self.reset_timeout_s
+        ):
+            self._state = HALF_OPEN
+            self._probes = 0
+            logger.info("circuit %s: open -> half_open (probing)", self.name)
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._tick()
+            return self._state
+
+    def retry_after_s(self) -> float:
+        """Seconds until the breaker would next admit a probe (>= 0)."""
+        with self._lock:
+            self._tick()
+            if self._state != OPEN:
+                return 0.0
+            return max(
+                0.0, self._opened_at + self.reset_timeout_s - self._clock()
+            )
+
+    def allow(self) -> bool:
+        """May a call proceed right now?  (Half-open admits probes.)"""
+        with self._lock:
+            self._tick()
+            if self._state == CLOSED:
+                return True
+            if self._state == HALF_OPEN and self._probes < self.half_open_probes:
+                self._probes += 1
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            if self._state != CLOSED:
+                logger.info("circuit %s: %s -> closed", self.name, self._state)
+            self._state = CLOSED
+            self._failures = 0
+
+    def record_failure(self, exc: BaseException | None = None) -> None:
+        with self._lock:
+            self._tick()
+            self._failures += 1
+            reopen = self._state == HALF_OPEN
+            if reopen or (
+                self._state == CLOSED
+                and self._failures >= self.failure_threshold
+            ):
+                self._state = OPEN
+                self._opened_at = self._clock()
+                if self._metrics is not None:
+                    self._metrics.inc(f"breaker.{self.name}.opened")
+                logger.warning(
+                    "circuit %s opened after %d failure(s)%s",
+                    self.name,
+                    self._failures,
+                    f" ({exc})" if exc is not None else "",
+                )
+
+    def reject(self) -> CircuitOpen:
+        """The exception an `allow() == False` caller should raise/serve."""
+        return CircuitOpen(self.name, max(self.retry_after_s(), 0.0))

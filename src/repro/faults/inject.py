@@ -1,0 +1,256 @@
+"""Deterministic fault injection for chaos testing.
+
+Production code is sprinkled with named *sites*::
+
+    from repro.faults import fire
+    fire("store.load.graph")
+
+With no injector installed, ``fire`` is one global read and a ``None``
+check — free.  A chaos test (or an operator via the ``SNAPS_FAULTS``
+environment variable) installs a :class:`FaultInjector` built from
+:class:`FaultSpec` rules, and matching sites then raise, sleep, or tear
+a just-written file — deterministically: a spec fires on exact call
+counts (``after``/``times``), never on a coin flip, so every chaos run
+is reproducible.
+
+Spec string syntax (``;``-separated rules)::
+
+    site-glob:mode[:key=value...]
+
+    checkpoint.saved.merging:error:times=1
+    store.load.*:error:times=2:category=transient
+    query.search:latency:latency_s=0.05
+    checkpoint.torn.blocking:torn_write:times=1
+
+Modes: ``error`` raises :class:`InjectedFault`, ``latency`` sleeps
+``latency_s`` then proceeds, ``torn_write`` (honoured only by
+:func:`corrupt_write` call sites) truncates the target file to half its
+bytes and then raises — simulating a crash mid-flush.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import os
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.faults.taxonomy import CATEGORIES, TRANSIENT, FaultError
+
+__all__ = [
+    "ENV_VAR",
+    "FaultInjector",
+    "FaultSpec",
+    "InjectedFault",
+    "active",
+    "corrupt_write",
+    "fire",
+    "injected",
+    "install",
+    "install_from_env",
+    "parse_specs",
+    "uninstall",
+]
+
+ENV_VAR = "SNAPS_FAULTS"
+MODES = ("error", "latency", "torn_write")
+
+
+class InjectedFault(FaultError):
+    """Raised by a firing fault site; ``category`` set per spec."""
+
+    def __init__(self, site: str, category: str = TRANSIENT, mode: str = "error"):
+        super().__init__(f"injected fault at {site!r} ({mode}, {category})")
+        self.site = site
+        self.category = category
+        self.mode = mode
+
+
+@dataclass
+class FaultSpec:
+    """One injection rule.
+
+    ``site`` is an ``fnmatch`` glob over site names.  The rule skips the
+    first ``after`` matching calls, then fires on the next ``times``
+    calls (``None`` = forever).
+    """
+
+    site: str
+    mode: str = "error"
+    after: int = 0
+    times: int | None = 1
+    category: str = TRANSIENT
+    latency_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ValueError(f"unknown fault mode {self.mode!r} (want {MODES})")
+        if self.category not in CATEGORIES:
+            raise ValueError(f"unknown fault category {self.category!r}")
+
+    def matches(self, site: str) -> bool:
+        return fnmatch.fnmatchcase(site, self.site)
+
+
+@dataclass
+class _SpecState:
+    spec: FaultSpec
+    seen: int = 0
+    fired: int = 0
+
+
+class FaultInjector:
+    """Evaluates specs at fault sites; thread-safe, deterministic."""
+
+    def __init__(
+        self,
+        specs: list[FaultSpec],
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self._states = [_SpecState(spec) for spec in specs]
+        self._sleep = sleep
+        self._lock = threading.Lock()
+
+    @property
+    def specs(self) -> list[FaultSpec]:
+        return [state.spec for state in self._states]
+
+    def fired(self, site_glob: str = "*") -> int:
+        """Total fires across specs whose site pattern equals/matches."""
+        with self._lock:
+            return sum(
+                s.fired
+                for s in self._states
+                if fnmatch.fnmatchcase(s.spec.site, site_glob)
+            )
+
+    def _arm(self, site: str, modes: tuple[str, ...]) -> FaultSpec | None:
+        """Advance counters for ``site``; return the spec to fire, if any."""
+        with self._lock:
+            for state in self._states:
+                spec = state.spec
+                if spec.mode not in modes or not spec.matches(site):
+                    continue
+                state.seen += 1
+                if state.seen <= spec.after:
+                    continue
+                if spec.times is not None and state.fired >= spec.times:
+                    continue
+                state.fired += 1
+                return spec
+        return None
+
+    def fire(self, site: str) -> None:
+        """Raise or delay if an ``error``/``latency`` spec covers ``site``."""
+        spec = self._arm(site, ("error", "latency"))
+        if spec is None:
+            return
+        if spec.mode == "latency":
+            self._sleep(spec.latency_s)
+            return
+        raise InjectedFault(site, spec.category, spec.mode)
+
+    def corrupt_write(self, site: str, path: os.PathLike | str) -> None:
+        """Tear ``path`` (truncate to half) and raise, if a spec covers it."""
+        spec = self._arm(site, ("torn_write",))
+        if spec is None:
+            return
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.truncate(size // 2)
+        raise InjectedFault(site, spec.category, spec.mode)
+
+
+def parse_specs(text: str) -> list[FaultSpec]:
+    """Parse the ``SNAPS_FAULTS`` spec-string syntax (see module doc)."""
+    specs: list[FaultSpec] = []
+    for chunk in text.split(";"):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        parts = chunk.split(":")
+        site = parts[0]
+        if not site:
+            raise ValueError(f"fault spec {chunk!r}: empty site pattern")
+        kwargs: dict[str, object] = {}
+        if len(parts) > 1:
+            kwargs["mode"] = parts[1]
+        for option in parts[2:]:
+            key, sep, value = option.partition("=")
+            if not sep:
+                raise ValueError(
+                    f"fault spec {chunk!r}: option {option!r} is not key=value"
+                )
+            if key in ("after", "times"):
+                kwargs[key] = None if value == "none" else int(value)
+            elif key == "latency_s":
+                kwargs[key] = float(value)
+            elif key in ("category", "mode"):
+                kwargs[key] = value
+            else:
+                raise ValueError(f"fault spec {chunk!r}: unknown option {key!r}")
+        specs.append(FaultSpec(site, **kwargs))  # type: ignore[arg-type]
+    return specs
+
+
+# ----------------------------------------------------------------------
+# Module-level installation — the production fast path
+# ----------------------------------------------------------------------
+
+_ACTIVE: FaultInjector | None = None
+
+
+def install(injector: FaultInjector) -> FaultInjector:
+    global _ACTIVE
+    _ACTIVE = injector
+    return injector
+
+
+def uninstall() -> None:
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def active() -> FaultInjector | None:
+    return _ACTIVE
+
+
+def install_from_env(environ: dict | None = None) -> FaultInjector | None:
+    """Install an injector from ``SNAPS_FAULTS`` if set; else leave as-is."""
+    text = (environ if environ is not None else os.environ).get(ENV_VAR, "")
+    if not text.strip():
+        return None
+    return install(FaultInjector(parse_specs(text)))
+
+
+def fire(site: str) -> None:
+    """Production hook: no-op unless an injector is installed."""
+    injector = _ACTIVE
+    if injector is not None:
+        injector.fire(site)
+
+
+def corrupt_write(site: str, path: os.PathLike | str) -> None:
+    """Production hook for torn-write sites (call after writing ``path``)."""
+    injector = _ACTIVE
+    if injector is not None:
+        injector.corrupt_write(site, path)
+
+
+@contextmanager
+def injected(
+    specs: str | list[FaultSpec],
+    sleep: Callable[[float], None] = time.sleep,
+) -> Iterator[FaultInjector]:
+    """Install an injector for the duration of a ``with`` block (tests)."""
+    if isinstance(specs, str):
+        specs = parse_specs(specs)
+    previous = _ACTIVE
+    injector = install(FaultInjector(specs, sleep=sleep))
+    try:
+        yield injector
+    finally:
+        install(previous) if previous is not None else uninstall()

@@ -1,0 +1,77 @@
+"""Bounded retries with exponential backoff and deterministic jitter.
+
+Only *transient*-classified failures (see :mod:`repro.faults.taxonomy`)
+are retried by default — a schema mismatch or a corrupt payload will
+fail the same way every time, so retrying it just delays the error.
+
+Jitter is drawn from a seeded :class:`random.Random`, so the delay
+sequence of a policy instance is reproducible — chaos tests assert on
+the exact backoff schedule.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, TypeVar
+
+from repro.faults.taxonomy import TRANSIENT, classify
+
+__all__ = ["RetryPolicy"]
+
+T = TypeVar("T")
+
+
+@dataclass
+class RetryPolicy:
+    """``call(fn)`` runs ``fn`` up to ``max_attempts`` times.
+
+    Delay before retry *i* (0-based) is
+    ``min(max_delay_s, base_delay_s * 2**i) * (1 + jitter * u_i)`` with
+    ``u_i`` drawn from ``Random(seed)`` — exponential growth, capped,
+    spread by up to ``jitter`` (a fraction) to avoid thundering herds.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.05
+    max_delay_s: float = 2.0
+    jitter: float = 0.25
+    seed: int = 0
+    retry_on: tuple[str, ...] = (TRANSIENT,)
+    sleep: Callable[[float], None] = time.sleep
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self._rng = random.Random(self.seed)
+
+    def backoff_s(self, attempt: int) -> float:
+        """Delay after failed attempt ``attempt`` (0-based)."""
+        base = min(self.max_delay_s, self.base_delay_s * (2**attempt))
+        return base * (1.0 + self.jitter * self._rng.random())
+
+    def call(
+        self,
+        fn: Callable[[], T],
+        on_retry: Callable[[int, BaseException], None] | None = None,
+    ) -> T:
+        """Run ``fn``, retrying retryable failures with backoff.
+
+        ``on_retry(attempt, exc)`` is invoked before each sleep (for
+        metrics/logging).  The final failure is re-raised unchanged.
+        """
+        for attempt in range(self.max_attempts):
+            try:
+                return fn()
+            except Exception as exc:
+                if (
+                    classify(exc) not in self.retry_on
+                    or attempt == self.max_attempts - 1
+                ):
+                    raise
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                self.sleep(self.backoff_s(attempt))
+        raise AssertionError("unreachable")  # pragma: no cover

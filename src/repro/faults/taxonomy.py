@@ -1,0 +1,108 @@
+"""Failure taxonomy shared by every fault-tolerance layer.
+
+Errors in the pipeline fall into three categories, and each layer reacts
+to them differently:
+
+``transient``
+    The operation might succeed if simply retried: interrupted I/O,
+    timeouts, a store briefly mid-commit.  Retry policies only retry
+    these; circuit breakers treat a run of them as "backend down".
+
+``permanent``
+    Retrying is pointless: schema-version mismatches, programming
+    errors, invalid arguments.  Fail fast and surface the message.
+
+``data``
+    The *input* is bad, not the code or the environment: malformed CSV
+    rows, dangling certificate references, corrupt snapshot payloads.
+    These route to quarantine/diagnostic paths rather than retries.
+
+Classification is deliberately name-based for repro's own exception
+types so this module stays import-light (no dependency on ``repro.store``
+or ``repro.data``, both of which import *us* for fault sites).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CATEGORIES",
+    "DATA",
+    "PERMANENT",
+    "TRANSIENT",
+    "DataFault",
+    "FaultError",
+    "PermanentFault",
+    "TransientFault",
+    "classify",
+    "register",
+]
+
+TRANSIENT = "transient"
+PERMANENT = "permanent"
+DATA = "data"
+CATEGORIES = (TRANSIENT, PERMANENT, DATA)
+
+
+class FaultError(Exception):
+    """Base for exceptions that carry their own category."""
+
+    category: str = PERMANENT
+
+
+class TransientFault(FaultError):
+    category = TRANSIENT
+
+
+class PermanentFault(FaultError):
+    category = PERMANENT
+
+
+class DataFault(FaultError):
+    category = DATA
+
+
+# repro's own exception types, classified by class name so the taxonomy
+# has no imports back into the layers that raise them.
+_BY_NAME: dict[str, str] = {
+    "SnapshotIntegrityError": DATA,  # corrupt/truncated payload on disk
+    "SnapshotSchemaError": PERMANENT,  # version skew: retrying cannot help
+    "DatasetLoadError": DATA,
+    "CheckpointError": DATA,
+}
+
+# Stdlib types, most specific first (isinstance walk).
+_BY_TYPE: list[tuple[type[BaseException], str]] = [
+    (TimeoutError, TRANSIENT),
+    (InterruptedError, TRANSIENT),
+    (ConnectionError, TRANSIENT),
+    (BlockingIOError, TRANSIENT),
+    (OSError, TRANSIENT),
+    (MemoryError, TRANSIENT),
+]
+
+
+def register(exc_type: type[BaseException], category: str) -> None:
+    """Classify ``exc_type`` (and subclasses) as ``category``."""
+    if category not in CATEGORIES:
+        raise ValueError(f"unknown fault category {category!r}")
+    _BY_TYPE.insert(0, (exc_type, category))
+
+
+def classify(exc: BaseException) -> str:
+    """Category of ``exc``: one of ``transient``/``permanent``/``data``.
+
+    Self-describing :class:`FaultError` subclasses win; then repro's own
+    exception names; then stdlib types; everything else — ``KeyError``,
+    ``ValueError``, arbitrary bugs — is ``permanent`` (retrying a bug
+    never helps).
+    """
+    if isinstance(exc, FaultError):
+        return exc.category
+    for klass in type(exc).__mro__:
+        category = _BY_NAME.get(klass.__name__)
+        if category is not None:
+            return category
+    for exc_type, category in _BY_TYPE:
+        if isinstance(exc, exc_type):
+            return category
+    return PERMANENT

@@ -20,6 +20,7 @@ without locking.
 
 from __future__ import annotations
 
+from repro.faults import fire
 from repro.pedigree.graph import PedigreeGraph
 
 __all__ = ["KeywordIndex"]
@@ -33,6 +34,7 @@ class KeywordIndex:
     """Inverted index from QID values to pedigree-graph entity ids."""
 
     def __init__(self, graph: PedigreeGraph) -> None:
+        fire("index.keyword.build")
         self._by_value: dict[tuple[str, str], set[int]] = {}
         self._years: dict[int, set[int]] = {}
         self._genders: dict[str, set[int]] = {}

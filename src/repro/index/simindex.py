@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import threading
 
+from repro.faults import fire
 from repro.similarity.jaro import jaro_winkler_similarity
 from repro.similarity.qgram import bigrams
 
@@ -37,6 +38,8 @@ class SimilarityAwareIndex:
     ) -> None:
         if not 0.0 < threshold < 1.0:
             raise ValueError(f"threshold must be in (0, 1), got {threshold}")
+        if precompute:
+            fire("index.simindex.build")
         self.threshold = threshold
         self._values = sorted(set(v.lower() for v in values))
         # Bigram inverted index over the value universe.

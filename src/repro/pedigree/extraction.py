@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.faults import fire
 from repro.pedigree.graph import PedigreeEntity, PedigreeGraph
 
 __all__ = ["Pedigree", "extract_pedigree"]
@@ -78,6 +79,7 @@ def extract_pedigree(
     """
     if generations < 0:
         raise ValueError(f"generations must be non-negative, got {generations}")
+    fire("pedigree.extract")
     root = graph.entity(entity_id)
     pedigree = Pedigree(root_id=entity_id)
     pedigree.entities[entity_id] = root

@@ -171,7 +171,10 @@ def build_pedigree_graph(dataset: Dataset, store: EntityStore) -> PedigreeGraph:
             PedigreeEntity(
                 entity_id=entity.entity_id,
                 record_ids=tuple(sorted(entity.record_ids)),
-                values={k: tuple(v) for k, v in values.items()},
+                # Sorted keys: attribute order must not leak the source
+                # dict's insertion history (a CSV round trip alphabetises
+                # columns; checkpoint-resume must stay byte-identical).
+                values={k: tuple(values[k]) for k in sorted(values)},
                 gender=gender,
                 roles=tuple(roles),
             )

@@ -32,6 +32,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.data.roles import Role
+from repro.faults import fire
 from repro.index.keyword import KeywordIndex
 from repro.index.simindex import SimilarityAwareIndex
 from repro.obs.logs import get_logger
@@ -234,6 +235,7 @@ class QueryEngine:
         value the user provided.
         """
         start = time.perf_counter()
+        fire("query.search")
         with self.trace.span("query"):
             with self.trace.span("accumulate"):
                 accumulator = self._name_accumulator(query)

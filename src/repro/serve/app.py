@@ -14,7 +14,9 @@ logic is unit-testable without sockets, and the thin
 
 * ``POST /v1/search`` — ranked matches for a JSON query body;
 * ``GET /v1/pedigree/<id>?generations=N&format=json|ascii|dot|gedcom``;
-* ``GET /healthz`` — liveness + graph size;
+* ``POST /v1/reload`` — re-load graph + indexes from the attached
+  snapshot store (bounded retries, atomic engine swap);
+* ``GET /healthz`` — ``ok | degraded | failing`` + breaker states;
 * ``GET /metricz`` — the :class:`~repro.obs.metrics.MetricsRegistry`
   rendered as text (or JSON with ``?format=json``).
 
@@ -22,6 +24,16 @@ Every request runs under its own :class:`~repro.obs.trace.Trace` (the
 span stack is not shareable across threads), emits a per-endpoint
 latency histogram, and expensive endpoints pass through the
 :class:`~repro.serve.admission.AdmissionController`.
+
+**Degraded mode** (``repro.faults``): search, pedigree extraction, and
+snapshot reload each run behind a :class:`~repro.faults.CircuitBreaker`.
+When a backend fails — or its circuit is already open — the app serves
+the last good answer from the result cache (kept past its TTL via
+``keep_stale``) with a ``Warning: 110`` header and an
+``X-Snaps-Stale-Age`` header, falling back to ``503`` + ``Retry-After``
+only when nothing cached exists.  After ``breaker_reset_s`` the breaker
+half-opens and lets one live probe through; a success closes it and
+``/healthz`` returns to ``ok``.
 """
 
 from __future__ import annotations
@@ -35,6 +47,13 @@ from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
 
+from repro.faults import (
+    CLOSED,
+    OPEN,
+    CircuitBreaker,
+    RetryPolicy,
+    classify,
+)
 from repro.obs.logs import get_logger
 from repro.obs.metrics import LATENCY_BUCKETS_S, MetricsRegistry
 from repro.obs.report import build_report, render_report
@@ -76,6 +95,13 @@ class ServeConfig:
     use_geographic_distance: bool = False
     # Keep per-request span trees in ``ServingApp.recent_traces``.
     tracing: bool = True
+    # Degraded mode: consecutive failures that open a circuit, seconds
+    # before a half-open recovery probe, and the bounded-retry policy
+    # around snapshot store reads.
+    breaker_threshold: int = 3
+    breaker_reset_s: float = 30.0
+    retry_attempts: int = 3
+    retry_base_delay_s: float = 0.05
 
 
 @dataclass
@@ -117,12 +143,22 @@ class ServingApp:
         metrics: MetricsRegistry | None = None,
         keyword_index=None,
         sim_index=None,
+        store=None,
+        clock=time.monotonic,
+        sleep=time.sleep,
     ) -> None:
         """``keyword_index``/``sim_index`` (from a ``repro.store``
         snapshot) warm-start the engine so boot skips index construction
-        entirely; both default to building from ``graph``."""
+        entirely; both default to building from ``graph``.  ``store`` is
+        an optional :class:`~repro.store.SnapshotStore` backing
+        ``POST /v1/reload``; ``clock``/``sleep`` are injectable so chaos
+        tests drive breaker recovery and retry backoff without waiting.
+        """
         self.config = config or ServeConfig()
         self.graph = graph
+        self.store = store
+        self._clock = clock
+        self._sleep = sleep
         # /metricz needs a real registry, so unlike the offline pipeline
         # telemetry here is always on (it is thread-safe and cheap).
         self.metrics = metrics if metrics is not None else MetricsRegistry()
@@ -137,10 +173,13 @@ class ServingApp:
             keyword_index=keyword_index,
             sim_index=sim_index,
         )
+        # keep_stale: expired entries stay recoverable for degraded mode.
         self.cache = LRUTTLCache(
             max_size=self.config.cache_size,
             ttl_s=self.config.cache_ttl_s,
             metrics=self.metrics,
+            clock=clock,
+            keep_stale=True,
         )
         self.gate = AdmissionController(
             max_concurrency=self.config.max_concurrency,
@@ -148,7 +187,18 @@ class ServingApp:
             queue_timeout_s=self.config.queue_timeout_s,
             metrics=self.metrics,
         )
-        self.started_at = time.monotonic()
+        self.breakers = {
+            name: CircuitBreaker(
+                name,
+                failure_threshold=self.config.breaker_threshold,
+                reset_timeout_s=self.config.breaker_reset_s,
+                clock=clock,
+                metrics=self.metrics,
+            )
+            for name in ("search", "pedigree", "reload")
+        }
+        self._reload_lock = threading.Lock()
+        self.started_at = clock()
         # Last few request span trees, for debugging and tests.
         self.recent_traces: deque[Trace] = deque(maxlen=32)
         self._traces_lock = threading.Lock()
@@ -181,6 +231,8 @@ class ServingApp:
                     response = self._handle_metricz(params)
                 elif endpoint == "search":
                     response = self._handle_search(body, trace)
+                elif endpoint == "reload":
+                    response = self._handle_reload()
                 else:
                     response = self._handle_pedigree(path, params, trace)
         except Exception:  # pragma: no cover - defensive: bugs become 500s
@@ -205,11 +257,13 @@ class ServingApp:
             endpoint = "metricz"
         elif path == "/v1/search":
             endpoint = "search"
+        elif path == "/v1/reload":
+            endpoint = "reload"
         elif path.startswith("/v1/pedigree/"):
             endpoint = "pedigree"
         else:
             return "", _error_response(404, f"unknown path: {path}")
-        wanted = "POST" if endpoint == "search" else "GET"
+        wanted = "POST" if endpoint in ("search", "reload") else "GET"
         if method != wanted:
             return endpoint, _error_response(
                 405, f"{endpoint} requires {wanted}", {"Allow": wanted}
@@ -228,17 +282,80 @@ class ServingApp:
         )
 
     # ------------------------------------------------------------------
+    # Degraded mode
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _stale_headers(age_s: float) -> dict[str, str]:
+        # RFC 7234 warn-code 110 ("Response is stale").
+        return {
+            "Warning": '110 snaps-serve "Response is stale"',
+            "X-Snaps-Stale-Age": str(round(age_s, 3)),
+        }
+
+    def _breaker_unavailable(
+        self, breaker: CircuitBreaker, message: str
+    ) -> Response:
+        return _error_response(
+            503,
+            message,
+            {"Retry-After": str(max(1, round(breaker.retry_after_s())))},
+        )
+
+    def _stale_search(self, key) -> Response | None:
+        """The last good answer for ``key`` with staleness headers."""
+        stale = self.cache.get_stale(key)
+        if stale is MISS:
+            return None
+        value, age_s = stale
+        self.metrics.inc("serve.degraded.stale_served")
+        return _json_response(
+            200,
+            {**value, "cached": True, "stale": True},
+            self._stale_headers(age_s),
+        )
+
+    def _stale_pedigree(self, key) -> Response | None:
+        stale = self.cache.get_stale(key)
+        if stale is MISS:
+            return None
+        (kind, payload), age_s = stale
+        self.metrics.inc("serve.degraded.stale_served")
+        headers = self._stale_headers(age_s)
+        if kind == "json":
+            return _json_response(200, {**payload, "stale": True}, headers)
+        response = _text_response(200, payload)
+        response.headers.update(headers)
+        return response
+
+    # ------------------------------------------------------------------
     # Endpoints
     # ------------------------------------------------------------------
 
     def _handle_healthz(self) -> Response:
+        breakers = {
+            name: {
+                "state": breaker.state,
+                "retry_after_s": round(breaker.retry_after_s(), 3),
+            }
+            for name, breaker in self.breakers.items()
+        }
+        states = {name: info["state"] for name, info in breakers.items()}
+        if all(state == CLOSED for state in states.values()):
+            status = "ok"
+        elif states["search"] == OPEN and states["pedigree"] == OPEN:
+            # Both read paths refusing work: this replica is useless.
+            status = "failing"
+        else:
+            status = "degraded"
         return _json_response(
-            200,
+            200 if status != "failing" else 503,
             {
-                "status": "ok",
+                "status": status,
                 "entities": len(self.graph),
                 "edges": self.graph.n_edges(),
-                "uptime_s": round(time.monotonic() - self.started_at, 3),
+                "uptime_s": round(self._clock() - self.started_at, 3),
+                "breakers": breakers,
             },
         )
 
@@ -246,7 +363,7 @@ class ServingApp:
         stats = self.cache.stats()
         self.metrics.set_gauge("serve.cache.size", stats["size"])
         self.metrics.set_gauge(
-            "serve.uptime_seconds", time.monotonic() - self.started_at
+            "serve.uptime_seconds", self._clock() - self.started_at
         )
         if params.get("format") == "json":
             return _json_response(200, self.metrics.as_dict())
@@ -267,6 +384,12 @@ class ServingApp:
             cached = self.cache.get(key)
         if cached is not MISS:
             return _json_response(200, {**cached, "cached": True})
+        breaker = self.breakers["search"]
+        if not breaker.allow():
+            # Open circuit: don't touch the backend at all.
+            return self._stale_search(key) or self._breaker_unavailable(
+                breaker, "search backend unavailable (circuit open)"
+            )
         deadline = Deadline.after(self.config.request_timeout_s)
         with ExitStack() as held:
             try:
@@ -275,9 +398,22 @@ class ServingApp:
                 with trace.span("admission"):
                     held.enter_context(self.gate.admit(deadline))
             except Rejected as rejected:
+                # Load shedding is not a backend fault: the breaker
+                # must not open under a traffic spike.
                 return self._rejected(rejected)
             with trace.span("search"):
-                hits = self.engine.search(query, top_m=top_m)
+                try:
+                    hits = self.engine.search(query, top_m=top_m)
+                except Exception as error:
+                    breaker.record_failure(error)
+                    logger.warning(
+                        "search backend failure (%s): %s",
+                        classify(error), error,
+                    )
+                    return self._stale_search(key) or self._breaker_unavailable(
+                        breaker, f"search backend failing: {error}"
+                    )
+        breaker.record_success()
         with trace.span("serialize"):
             result = search_payload(hits)
         self.cache.put(key, result)
@@ -304,6 +440,12 @@ class ServingApp:
             return _error_response(
                 400, f"format must be one of {', '.join(_PEDIGREE_FORMATS)}"
             )
+        breaker = self.breakers["pedigree"]
+        key = ("pedigree", entity_id, generations, fmt)
+        if not breaker.allow():
+            return self._stale_pedigree(key) or self._breaker_unavailable(
+                breaker, "pedigree backend unavailable (circuit open)"
+            )
         deadline = Deadline.after(self.config.request_timeout_s)
         with ExitStack() as held:
             try:
@@ -315,15 +457,93 @@ class ServingApp:
                 try:
                     pedigree = extract_pedigree(self.graph, entity_id, generations)
                 except KeyError:
+                    # The backend worked; the entity just doesn't exist.
+                    breaker.record_success()
                     return _error_response(404, f"unknown entity id: {entity_id}")
+                except Exception as error:
+                    breaker.record_failure(error)
+                    logger.warning(
+                        "pedigree backend failure (%s): %s",
+                        classify(error), error,
+                    )
+                    return self._stale_pedigree(key) or self._breaker_unavailable(
+                        breaker, f"pedigree backend failing: {error}"
+                    )
+            breaker.record_success()
             with trace.span("serialize"):
                 if fmt == "json":
-                    return _json_response(200, pedigree_payload(pedigree))
+                    payload = pedigree_payload(pedigree)
+                    self.cache.put(key, ("json", payload))
+                    return _json_response(200, payload)
                 if fmt == "dot":
-                    return _text_response(200, render_dot(pedigree))
-                if fmt == "gedcom":
-                    return _text_response(200, render_gedcom(pedigree))
-                return _text_response(200, render_ascii_tree(pedigree))
+                    text = render_dot(pedigree)
+                elif fmt == "gedcom":
+                    text = render_gedcom(pedigree)
+                else:
+                    text = render_ascii_tree(pedigree)
+                self.cache.put(key, ("text", text))
+                return _text_response(200, text)
+
+    def _handle_reload(self) -> Response:
+        """Swap in the latest snapshot's graph + indexes, atomically.
+
+        Store reads get bounded retries with exponential backoff (only
+        transient faults retry — a corrupt snapshot fails immediately);
+        repeated failures open the ``reload`` breaker so callers back
+        off while the old graph keeps serving.
+        """
+        if self.store is None:
+            return _error_response(
+                409, "no snapshot store attached; start with --snapshot"
+            )
+        breaker = self.breakers["reload"]
+        if not breaker.allow():
+            return self._breaker_unavailable(
+                breaker, "snapshot reload circuit is open"
+            )
+        policy = RetryPolicy(
+            max_attempts=self.config.retry_attempts,
+            base_delay_s=self.config.retry_base_delay_s,
+            sleep=self._sleep,
+        )
+        try:
+            loaded = policy.call(
+                lambda: self.store.load(artifacts=("graph", "indexes"))
+            )
+        except Exception as error:
+            breaker.record_failure(error)
+            logger.warning(
+                "snapshot reload failed (%s): %s", classify(error), error
+            )
+            return self._breaker_unavailable(
+                breaker, f"snapshot reload failed: {error}"
+            )
+        breaker.record_success()
+        engine = QueryEngine(
+            loaded.graph,
+            similarity_threshold=self.config.similarity_threshold,
+            use_geographic_distance=self.config.use_geographic_distance,
+            metrics=self.metrics,
+            keyword_index=loaded.keyword_index,
+            sim_index=loaded.sim_index,
+        )
+        with self._reload_lock:
+            self.graph = loaded.graph
+            self.engine = engine
+        self.metrics.inc("serve.reloads")
+        logger.info(
+            "reloaded snapshot %s (%d entities)",
+            loaded.manifest.snapshot_id, len(loaded.graph),
+        )
+        return _json_response(
+            200,
+            {
+                "status": "reloaded",
+                "snapshot": loaded.manifest.snapshot_id,
+                "entities": len(loaded.graph),
+                "edges": loaded.graph.n_edges(),
+            },
+        )
 
 
 # ----------------------------------------------------------------------

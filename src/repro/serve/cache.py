@@ -58,6 +58,12 @@ class LRUTTLCache:
     ``put`` is a no-op) — the serving benchmark uses this for its
     cache-off baseline.  ``ttl_s=None`` (or ``0``) stores entries
     forever.  ``clock`` is injectable for deterministic TTL tests.
+
+    With ``keep_stale`` the cache retains expired entries (still subject
+    to LRU bounds): ``get`` treats them as misses, but
+    :meth:`get_stale` can recover them for degraded-mode serving — a
+    stale answer with a ``Warning`` header beats a 503 when the backend
+    is broken.
     """
 
     def __init__(
@@ -67,6 +73,7 @@ class LRUTTLCache:
         clock: Callable[[], float] = time.monotonic,
         metrics: Any = None,
         prefix: str = "serve.cache",
+        keep_stale: bool = False,
     ) -> None:
         if max_size < 0:
             raise ValueError(f"max_size must be >= 0, got {max_size}")
@@ -74,16 +81,19 @@ class LRUTTLCache:
             raise ValueError(f"ttl_s must be >= 0 or None, got {ttl_s}")
         self.max_size = max_size
         self.ttl_s = ttl_s if ttl_s else None
+        self.keep_stale = keep_stale
         self._clock = clock
         self._metrics = metrics
         self._prefix = prefix
-        # key -> (value, expires_at | None); insertion order == recency.
-        self._entries: OrderedDict[Hashable, tuple[Any, float | None]] = OrderedDict()
+        # key -> [value, expires_at | None, stored_at, expiry_counted];
+        # insertion order == recency.
+        self._entries: OrderedDict[Hashable, list] = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.expirations = 0
+        self.stale_hits = 0
 
     def _count(self, what: str, n: int = 1) -> None:
         if self._metrics is not None:
@@ -94,13 +104,19 @@ class LRUTTLCache:
     def get(self, key: Hashable) -> Any:
         """The cached value for ``key``, or the :data:`MISS` sentinel."""
         now = self._clock()
+        expired = False
         with self._lock:
             entry = self._entries.get(key)
             if entry is not None:
-                value, expires_at = entry
+                value, expires_at, _, counted = entry
                 if expires_at is not None and now >= expires_at:
-                    del self._entries[key]
-                    self.expirations += 1
+                    expired = not counted
+                    if self.keep_stale:
+                        entry[3] = True  # count the expiry only once
+                    else:
+                        del self._entries[key]
+                    if expired:
+                        self.expirations += 1
                     self.misses += 1
                 else:
                     self._entries.move_to_end(key)
@@ -110,20 +126,37 @@ class LRUTTLCache:
             else:
                 self.misses += 1
         self._count("misses")
-        if entry is not None:  # expired above, outside the hit path
+        if expired:
             self._count("expirations")
         return MISS
+
+    def get_stale(self, key: Hashable) -> Any:
+        """``(value, age_s)`` for ``key`` even if expired, or ``MISS``.
+
+        Only meaningful with ``keep_stale``; degraded-mode serving uses
+        the age for its staleness header.  Does not refresh recency.
+        """
+        now = self._clock()
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return MISS
+            value, _, stored_at, _ = entry
+            self.stale_hits += 1
+        self._count("stale_hits")
+        return value, max(0.0, now - stored_at)
 
     def put(self, key: Hashable, value: Any) -> None:
         """Insert/refresh ``key``, evicting the LRU entry on overflow."""
         if self.max_size == 0:
             return
-        expires_at = self._clock() + self.ttl_s if self.ttl_s is not None else None
+        now = self._clock()
+        expires_at = now + self.ttl_s if self.ttl_s is not None else None
         evicted = 0
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)
-            self._entries[key] = (value, expires_at)
+            self._entries[key] = [value, expires_at, now, False]
             while len(self._entries) > self.max_size:
                 self._entries.popitem(last=False)
                 self.evictions += 1
@@ -154,4 +187,5 @@ class LRUTTLCache:
                 "misses": self.misses,
                 "evictions": self.evictions,
                 "expirations": self.expirations,
+                "stale_hits": self.stale_hits,
             }

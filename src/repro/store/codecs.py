@@ -21,23 +21,31 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.blocking.candidates import CandidatePair
 from repro.core.entities import EntityStore
+from repro.data.records import Dataset
 from repro.index.keyword import KeywordIndex
 from repro.index.simindex import SimilarityAwareIndex
 from repro.store.manifest import SnapshotIntegrityError, SnapshotSchemaError
 
 __all__ = [
     "decode_clusters",
+    "decode_entity_state",
     "encode_clusters",
+    "encode_entity_state",
+    "load_candidate_pairs",
     "load_clusters",
     "load_keyword_index",
     "load_sim_indexes",
+    "save_candidate_pairs",
     "save_keyword_index",
     "save_sim_indexes",
 ]
 
 _CLUSTERS_FORMAT = "snaps-clusters"
 _CLUSTERS_VERSION = 1
+_ENTITY_STATE_FORMAT = "snaps-entity-state"
+_ENTITY_STATE_VERSION = 1
 
 
 def _postings_arrays(
@@ -260,3 +268,63 @@ def load_clusters(path: Path) -> tuple[list[dict], dict]:
             f"corrupt clusters payload {path}: {exc}"
         ) from None
     return decode_clusters(blob)
+
+
+# ----------------------------------------------------------------------
+# Resolver checkpoint payloads (pipeline crash-resume)
+# ----------------------------------------------------------------------
+
+
+def save_candidate_pairs(pairs: list[CandidatePair], path: Path) -> None:
+    """Serialise a candidate-pair list to ``.npz``, order-preserving.
+
+    Order matters: the resumed run must feed the dependency graph the
+    exact sequence the crashed run produced, or merge iteration order —
+    and therefore entity ids — could drift.
+    """
+    flat = np.asarray(
+        [[pair.rid_a, pair.rid_b] for pair in pairs], dtype=np.int64
+    ).reshape(-1, 2)
+    with path.open("wb") as handle:
+        np.savez_compressed(handle, pairs=flat)
+
+
+def load_candidate_pairs(path: Path) -> list[CandidatePair]:
+    """Inverse of :func:`save_candidate_pairs`."""
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            flat = data["pairs"]
+    except FileNotFoundError:
+        raise SnapshotIntegrityError(f"missing pairs payload: {path}") from None
+    except (KeyError, ValueError, OSError) as exc:
+        raise SnapshotIntegrityError(
+            f"corrupt pairs payload {path}: {exc}"
+        ) from None
+    return [CandidatePair(int(a), int(b)) for a, b in flat]
+
+
+def encode_entity_state(store: EntityStore) -> dict:
+    """Exact :class:`EntityStore` state (ids, order, counter) as JSON.
+
+    Unlike :func:`encode_clusters` — which normalises order and drops
+    singletons for compact *final* output — a checkpoint must preserve
+    everything resumption needs for bit-identical continuation.
+    """
+    return {
+        "format": _ENTITY_STATE_FORMAT,
+        "version": _ENTITY_STATE_VERSION,
+        **store.state(),
+    }
+
+
+def decode_entity_state(blob: dict, dataset: Dataset) -> EntityStore:
+    """Validate and rebuild :func:`encode_entity_state` output."""
+    if blob.get("format") != _ENTITY_STATE_FORMAT:
+        raise SnapshotSchemaError(
+            f"not an entity-state payload (format={blob.get('format')!r})"
+        )
+    if blob.get("version") != _ENTITY_STATE_VERSION:
+        raise SnapshotSchemaError(
+            f"unsupported entity-state version {blob.get('version')!r}"
+        )
+    return EntityStore.from_state(dataset, blob)

@@ -43,6 +43,7 @@ from typing import TYPE_CHECKING, Iterable
 
 from repro.data.loader import load_dataset_csv, save_dataset_csv
 from repro.data.records import Dataset
+from repro.faults import FaultError, fire
 from repro.index.keyword import KeywordIndex
 from repro.index.simindex import SimilarityAwareIndex
 from repro.obs.logs import get_logger
@@ -89,6 +90,31 @@ _GROUPS = {
     "graph": ("graph",),
     "indexes": ("keyword_index", "simindex"),
 }
+
+
+def _load_artifact(name: str, snapshot_id: str, loader):
+    """Run ``loader``, naming the artefact and snapshot on any failure.
+
+    Codec internals can surface truncation as raw ``KeyError`` /
+    ``struct.error`` / ``zipfile.BadZipFile``; callers should never have
+    to guess which artefact of which snapshot died.  Injected faults
+    pass through untouched so retry policies see their true category.
+    """
+    fire(f"store.load.{name}")
+    try:
+        return loader()
+    except FaultError:
+        raise
+    except SnapshotError as exc:
+        raise type(exc)(
+            f"snapshot {snapshot_id}, artefact {name!r}: {exc}"
+        ) from exc
+    except Exception as exc:
+        raise SnapshotIntegrityError(
+            f"snapshot {snapshot_id}: artefact {name!r} failed to decode "
+            f"({type(exc).__name__}: {exc}); payload is likely truncated "
+            "or corrupt"
+        ) from exc
 
 
 @dataclass
@@ -267,6 +293,7 @@ class SnapshotStore:
             )
             try:
                 with trace.span("write_payloads"):
+                    fire("store.save.payloads")
                     save_dataset_csv(result.dataset, tmp / "dataset")
                     clusters_blob = codecs.encode_clusters(
                         result.entities,
@@ -328,6 +355,7 @@ class SnapshotStore:
                     )
                     manifest.save(tmp / MANIFEST_FILENAME)
                 with trace.span("commit"):
+                    fire("store.save.commit")
                     final = self.path_of(snapshot_id)
                     if final.exists():
                         # Content-addressed: identical content already
@@ -392,6 +420,7 @@ class SnapshotStore:
         snapshot_id = self._resolve_id(snapshot_id)
         directory = self.path_of(snapshot_id)
         with trace.span("snapshot_load"):
+            fire("store.load.manifest")
             manifest = Manifest.load(directory / MANIFEST_FILENAME)
             if verify:
                 with trace.span("verify"):
@@ -399,31 +428,47 @@ class SnapshotStore:
             loaded = LoadedSnapshot(manifest=manifest, path=directory)
             if "dataset" in groups:
                 with trace.span("load_dataset"):
-                    loaded.dataset = load_dataset_csv(
-                        directory / "dataset", name=manifest.dataset.get("name")
+                    loaded.dataset = _load_artifact(
+                        "dataset",
+                        snapshot_id,
+                        lambda: load_dataset_csv(
+                            directory / "dataset",
+                            name=manifest.dataset.get("name"),
+                        ),
                     )
             if "clusters" in groups:
                 with trace.span("load_clusters"):
-                    loaded.clusters, loaded.graph_summary = codecs.load_clusters(
-                        directory / _ARTIFACT_FILES["clusters"]
+                    loaded.clusters, loaded.graph_summary = _load_artifact(
+                        "clusters",
+                        snapshot_id,
+                        lambda: codecs.load_clusters(
+                            directory / _ARTIFACT_FILES["clusters"]
+                        ),
                     )
             if "graph" in groups:
                 with trace.span("load_graph"):
-                    try:
-                        loaded.graph = load_pedigree_graph(
+                    loaded.graph = _load_artifact(
+                        "graph",
+                        snapshot_id,
+                        lambda: load_pedigree_graph(
                             directory / _ARTIFACT_FILES["graph"]
-                        )
-                    except ValueError as exc:
-                        raise SnapshotIntegrityError(
-                            f"pedigree graph payload of {snapshot_id}: {exc}"
-                        ) from None
+                        ),
+                    )
             if "indexes" in groups:
                 with trace.span("load_indexes"):
-                    loaded.keyword_index = codecs.load_keyword_index(
-                        directory / _ARTIFACT_FILES["keyword_index"]
+                    loaded.keyword_index = _load_artifact(
+                        "keyword_index",
+                        snapshot_id,
+                        lambda: codecs.load_keyword_index(
+                            directory / _ARTIFACT_FILES["keyword_index"]
+                        ),
                     )
-                    loaded.sim_index = codecs.load_sim_indexes(
-                        directory / _ARTIFACT_FILES["simindex"]
+                    loaded.sim_index = _load_artifact(
+                        "simindex",
+                        snapshot_id,
+                        lambda: codecs.load_sim_indexes(
+                            directory / _ARTIFACT_FILES["simindex"]
+                        ),
                     )
         if metrics is not None:
             metrics.inc("store.snapshots_loaded")

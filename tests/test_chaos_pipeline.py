@@ -1,0 +1,145 @@
+"""Chaos suite: crash-resume at every phase boundary is byte-identical.
+
+Each test kills the resolver CLI with an injected fault at a checkpoint
+boundary, then resumes from the checkpoint directory and asserts the
+final pedigree graph is byte-for-byte identical to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.core.checkpoint import ALL_PHASES, ResolveCheckpointer
+from repro.data.loader import save_dataset_csv
+from repro.data.synthetic import make_tiny_dataset
+from repro.faults import InjectedFault, injected
+from repro.faults.inject import uninstall
+
+
+@pytest.fixture(scope="module")
+def stem(tmp_path_factory):
+    root = tmp_path_factory.mktemp("chaos-data")
+    stem = root / "tiny"
+    save_dataset_csv(make_tiny_dataset(seed=3), stem)
+    return stem
+
+
+@pytest.fixture(scope="module")
+def clean_graph(stem, tmp_path_factory):
+    """Pedigree graph bytes from one uninterrupted run."""
+    out = tmp_path_factory.mktemp("chaos-clean") / "graph.json"
+    assert main(["resolve", "--data", str(stem), "--out", str(out)]) == 0
+    return out.read_bytes()
+
+
+def _crash_resolve(stem, ckdir, out, fault):
+    """Run `resolve --checkpoint` expecting the injected fault to kill it."""
+    with injected(fault):
+        with pytest.raises(InjectedFault):
+            main([
+                "resolve", "--data", str(stem),
+                "--checkpoint", str(ckdir), "--out", str(out),
+            ])
+    assert not out.exists()  # died before writing the final graph
+
+
+class TestCrashResume:
+    @pytest.mark.parametrize("phase", ALL_PHASES)
+    def test_crash_after_each_phase(
+        self, phase, stem, clean_graph, tmp_path, capsys
+    ):
+        """Crash immediately after `phase` commits; resume is identical."""
+        ckdir, out = tmp_path / "ck", tmp_path / "graph.json"
+        _crash_resolve(stem, ckdir, out, f"checkpoint.saved.{phase}:error:times=1")
+        ckpt, _dataset, _config = ResolveCheckpointer.resume(ckdir)
+        assert phase in ckpt.completed_prefix()
+
+        capsys.readouterr()
+        assert main(["resolve", "--resume", str(ckdir), "--out", str(out)]) == 0
+        captured = capsys.readouterr()
+        assert f"resuming from {ckdir}" in captured.err
+        assert phase in captured.err
+        assert out.read_bytes() == clean_graph
+
+    @pytest.mark.parametrize("phase", ALL_PHASES)
+    def test_torn_payload_reruns_phase(
+        self, phase, stem, clean_graph, tmp_path
+    ):
+        """A torn payload fails its checksum; the phase re-runs on resume."""
+        ckdir, out = tmp_path / "ck", tmp_path / "graph.json"
+        _crash_resolve(stem, ckdir, out, f"checkpoint.torn.{phase}:torn_write:times=1")
+        ckpt, _dataset, _config = ResolveCheckpointer.resume(ckdir)
+        assert phase not in ckpt.completed_prefix()
+
+        assert main(["resolve", "--resume", str(ckdir), "--out", str(out)]) == 0
+        assert out.read_bytes() == clean_graph
+
+    def test_crash_mid_commit_loses_only_that_phase(
+        self, stem, clean_graph, tmp_path
+    ):
+        """A crash between payload write and rename leaves no payload."""
+        ckdir, out = tmp_path / "ck", tmp_path / "graph.json"
+        _crash_resolve(stem, ckdir, out, "checkpoint.commit.merging:error:times=1")
+        ckpt, _dataset, _config = ResolveCheckpointer.resume(ckdir)
+        assert ckpt.completed_prefix() == (
+            "blocking", "bootstrap", "refine_bootstrap"
+        )
+        # No stray temp files pollute the phase directory.
+        leftovers = [
+            p for p in (ckdir / "phases").iterdir() if p.name.startswith(".tmp-")
+        ]
+        assert leftovers == []
+
+        assert main(["resolve", "--resume", str(ckdir), "--out", str(out)]) == 0
+        assert out.read_bytes() == clean_graph
+
+    def test_repeated_crashes_still_converge(self, stem, clean_graph, tmp_path):
+        """Crash twice at different phases; the second resume finishes."""
+        ckdir, out = tmp_path / "ck", tmp_path / "graph.json"
+        _crash_resolve(stem, ckdir, out, "checkpoint.saved.blocking:error:times=1")
+        with injected("checkpoint.saved.merging:error:times=1"):
+            with pytest.raises(InjectedFault):
+                main(["resolve", "--resume", str(ckdir), "--out", str(out)])
+        assert main(["resolve", "--resume", str(ckdir), "--out", str(out)]) == 0
+        assert out.read_bytes() == clean_graph
+
+
+class TestSnapshotCommitFault:
+    def test_no_partial_snapshot_visible(self, stem, tmp_path):
+        """A crash at snapshot commit leaves the store empty and reusable."""
+        store = tmp_path / "store"
+        with injected("store.save.commit:error:times=1"):
+            with pytest.raises(InjectedFault):
+                main([
+                    "resolve", "--data", str(stem),
+                    "--snapshot-out", str(store),
+                ])
+        assert not (store / "HEAD").exists()
+        snapshots = store / "snapshots"
+        assert not snapshots.exists() or not any(snapshots.iterdir())
+        # No stray temp directories in the store root either.
+        if store.exists():
+            assert [p for p in store.iterdir() if p.name.startswith(".tmp-")] == []
+
+        # The same store works on retry.
+        assert main([
+            "resolve", "--data", str(stem), "--snapshot-out", str(store),
+        ]) == 0
+        assert (store / "HEAD").exists()
+
+
+class TestEnvActivation:
+    def test_snaps_faults_env_reaches_cli(self, stem, tmp_path, monkeypatch):
+        """`SNAPS_FAULTS` injects through the real CLI entry point."""
+        monkeypatch.setenv("SNAPS_FAULTS", "checkpoint.saved.blocking:error:times=1")
+        ckdir, out = tmp_path / "ck", tmp_path / "graph.json"
+        try:
+            with pytest.raises(InjectedFault):
+                main([
+                    "resolve", "--data", str(stem),
+                    "--checkpoint", str(ckdir), "--out", str(out),
+                ])
+        finally:
+            uninstall()
+        assert (ckdir / "phases" / "blocking.npz").exists()

@@ -1,0 +1,296 @@
+"""Chaos suite: degraded-mode serving under injected backend faults.
+
+All tests drive :class:`ServingApp` with a fake clock and fake sleep so
+breaker recovery and retry backoff run instantly, and inject faults at
+the production sites (``query.search``, ``pedigree.extract``,
+``store.load.*``) via :mod:`repro.faults`.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+
+import pytest
+
+from repro.cli import main
+from repro.data.loader import save_dataset_csv
+from repro.data.synthetic import make_tiny_dataset
+from repro.faults import OPEN, injected
+from repro.serve import Rejected, ServeConfig, ServingApp
+from repro.store import SnapshotStore
+
+TTL_S = 60.0
+RESET_S = 30.0
+
+
+@pytest.fixture()
+def harness(tiny_pedigree_graph):
+    return _make_harness(tiny_pedigree_graph)
+
+
+def _make_harness(graph, store=None, **overrides):
+    config_kwargs = dict(
+        cache_ttl_s=TTL_S,
+        breaker_threshold=2,
+        breaker_reset_s=RESET_S,
+        retry_attempts=3,
+        retry_base_delay_s=0.01,
+    )
+    config_kwargs.update(overrides)
+    now = [0.0]
+    slept: list[float] = []
+    app = ServingApp(
+        graph,
+        ServeConfig(**config_kwargs),
+        store=store,
+        clock=lambda: now[0],
+        sleep=slept.append,
+    )
+    return app, now, slept
+
+
+def _search_body(graph, suffix=""):
+    entity = next(
+        e for e in graph if e.first("first_name") and e.first("surname")
+    )
+    return json.dumps({
+        "first_name": entity.first("first_name") + suffix,
+        "surname": entity.first("surname"),
+    }).encode()
+
+
+def _health(app):
+    return app.handle("GET", "/healthz").json()["status"]
+
+
+@contextmanager
+def search_fault():
+    with injected("query.search:error:times=none") as injector:
+        yield injector
+
+
+class TestSearchDegradedMode:
+    def test_stale_served_instead_of_5xx_storm(self, harness, tiny_pedigree_graph):
+        app, now, _slept = harness
+        body = _search_body(tiny_pedigree_graph)
+        fresh = app.handle("POST", "/v1/search", body=body)
+        assert fresh.status == 200 and fresh.json()["cached"] is False
+        now[0] += TTL_S + 5.0  # entry expires but stays recoverable
+
+        with search_fault() as injector:
+            for _ in range(6):
+                response = app.handle("POST", "/v1/search", body=body)
+                assert response.status == 200  # never a 5xx
+                payload = response.json()
+                assert payload["stale"] is True and payload["cached"] is True
+                assert payload["matches"] == fresh.json()["matches"]
+                assert response.headers["Warning"].startswith("110 ")
+                assert float(response.headers["X-Snaps-Stale-Age"]) >= 5.0
+            # The circuit opened after breaker_threshold failures; the
+            # remaining requests never touched the broken backend.
+            assert injector.fired("query.search") == 2
+        assert app.breakers["search"].state == OPEN
+        assert _health(app) == "degraded"
+        assert app.metrics.counter_value("serve.degraded.stale_served") == 6
+
+    def test_uncached_query_gets_503_with_retry_after(
+        self, harness, tiny_pedigree_graph
+    ):
+        app, _now, _slept = harness
+        with search_fault():
+            for _ in range(2):  # open the circuit
+                app.handle(
+                    "POST", "/v1/search",
+                    body=_search_body(tiny_pedigree_graph),
+                )
+            response = app.handle(
+                "POST", "/v1/search",
+                body=_search_body(tiny_pedigree_graph, suffix="-unseen"),
+            )
+        assert response.status == 503
+        assert int(response.headers["Retry-After"]) >= 1
+        assert "circuit open" in response.json()["error"]["message"]
+
+    def test_breaker_recovers_through_half_open_probe(
+        self, harness, tiny_pedigree_graph
+    ):
+        app, now, _slept = harness
+        body = _search_body(tiny_pedigree_graph)
+        app.handle("POST", "/v1/search", body=body)
+        now[0] += TTL_S + 1.0
+        with search_fault():
+            for _ in range(3):
+                app.handle("POST", "/v1/search", body=body)
+        assert _health(app) == "degraded"
+
+        # Fault cleared but the reset timeout not yet elapsed: still stale.
+        early = app.handle("POST", "/v1/search", body=body)
+        assert early.json().get("stale") is True
+
+        now[0] += RESET_S + 1.0  # half-open: one live probe allowed
+        probed = app.handle("POST", "/v1/search", body=body)
+        assert probed.status == 200
+        assert probed.json()["cached"] is False  # a real backend answer
+        assert "Warning" not in probed.headers
+        assert _health(app) == "ok"
+
+    def test_load_shedding_does_not_trip_breaker(
+        self, harness, tiny_pedigree_graph
+    ):
+        app, _now, _slept = harness
+
+        class SheddingGate:
+            def admit(self, deadline=None):
+                raise Rejected(429, 2.0, "pending queue full")
+
+        app.gate = SheddingGate()
+        for _ in range(5):
+            response = app.handle(
+                "POST", "/v1/search", body=_search_body(tiny_pedigree_graph)
+            )
+            assert response.status == 429
+        # A traffic spike is not a backend fault.
+        assert app.breakers["search"].state != OPEN
+        assert _health(app) == "ok"
+
+
+class TestPedigreeDegradedMode:
+    def _warm(self, app, graph, fmt="json"):
+        entity = next(iter(graph))
+        path = f"/v1/pedigree/{entity.entity_id}"
+        response = app.handle("GET", path, {"format": fmt})
+        assert response.status == 200
+        return path
+
+    def test_stale_json_pedigree(self, harness, tiny_pedigree_graph):
+        app, now, _slept = harness
+        path = self._warm(app, tiny_pedigree_graph)
+        now[0] += TTL_S + 2.0
+        with injected("pedigree.extract:error:times=none"):
+            response = app.handle("GET", path)
+        assert response.status == 200
+        assert response.json()["stale"] is True
+        assert response.headers["Warning"].startswith("110 ")
+
+    def test_stale_text_pedigree_keeps_content_type(
+        self, harness, tiny_pedigree_graph
+    ):
+        app, now, _slept = harness
+        path = self._warm(app, tiny_pedigree_graph, fmt="ascii")
+        fresh_text = app.handle("GET", path, {"format": "ascii"}).body
+        now[0] += TTL_S + 2.0
+        with injected("pedigree.extract:error:times=none"):
+            response = app.handle("GET", path, {"format": "ascii"})
+        assert response.status == 200
+        assert response.body == fresh_text
+        assert response.content_type.startswith("text/plain")
+        assert response.headers["Warning"].startswith("110 ")
+
+    def test_unknown_entity_404_does_not_trip_breaker(self, harness):
+        app, _now, _slept = harness
+        for _ in range(5):
+            assert app.handle("GET", "/v1/pedigree/999999").status == 404
+        assert app.breakers["pedigree"].state != OPEN
+        assert _health(app) == "ok"
+
+    def test_uncached_pedigree_503_when_circuit_open(
+        self, harness, tiny_pedigree_graph
+    ):
+        app, _now, _slept = harness
+        with injected("pedigree.extract:error:times=none"):
+            for _ in range(2):
+                app.handle("GET", "/v1/pedigree/1")
+            response = app.handle("GET", "/v1/pedigree/2")
+        assert response.status == 503
+        assert int(response.headers["Retry-After"]) >= 1
+
+
+class TestHealthz:
+    def test_failing_when_both_read_paths_open(self, harness):
+        app, _now, _slept = harness
+        for name in ("search", "pedigree"):
+            for _ in range(2):
+                app.breakers[name].record_failure()
+        response = app.handle("GET", "/healthz")
+        assert response.status == 503
+        payload = response.json()
+        assert payload["status"] == "failing"
+        assert payload["breakers"]["search"]["state"] == OPEN
+        assert payload["breakers"]["search"]["retry_after_s"] > 0
+
+    def test_degraded_with_one_breaker_open(self, harness):
+        app, _now, _slept = harness
+        for _ in range(2):
+            app.breakers["reload"].record_failure()
+        response = app.handle("GET", "/healthz")
+        assert response.status == 200
+        assert response.json()["status"] == "degraded"
+
+
+class TestReload:
+    @pytest.fixture(scope="class")
+    def snapshot_dir(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("chaos-serve-store")
+        stem = root / "tiny"
+        save_dataset_csv(make_tiny_dataset(seed=3), stem)
+        store = root / "store"
+        assert main([
+            "resolve", "--data", str(stem), "--snapshot-out", str(store),
+        ]) == 0
+        return store
+
+    def test_reload_without_store_is_409(self, harness):
+        app, _now, _slept = harness
+        response = app.handle("POST", "/v1/reload")
+        assert response.status == 409
+        assert "--snapshot" in response.json()["error"]["message"]
+
+    def test_reload_swaps_engine(self, tiny_pedigree_graph, snapshot_dir):
+        app, _now, _slept = _make_harness(
+            tiny_pedigree_graph, store=SnapshotStore(snapshot_dir)
+        )
+        old_engine = app.engine
+        response = app.handle("POST", "/v1/reload")
+        assert response.status == 200
+        payload = response.json()
+        assert payload["status"] == "reloaded" and payload["entities"] > 0
+        assert app.engine is not old_engine
+        assert app.metrics.counter_value("serve.reloads") == 1
+        # The reloaded engine serves searches.
+        search = app.handle(
+            "POST", "/v1/search", body=_search_body(app.graph)
+        )
+        assert search.status == 200
+
+    def test_transient_store_faults_are_retried(
+        self, tiny_pedigree_graph, snapshot_dir
+    ):
+        app, _now, slept = _make_harness(
+            tiny_pedigree_graph, store=SnapshotStore(snapshot_dir)
+        )
+        with injected("store.load.manifest:error:times=2"):
+            response = app.handle("POST", "/v1/reload")
+        assert response.status == 200
+        assert len(slept) == 2  # two backoffs before the third try won
+        assert app.breakers["reload"].state != OPEN
+
+    def test_persistent_store_faults_keep_old_graph_serving(
+        self, tiny_pedigree_graph, snapshot_dir
+    ):
+        app, _now, _slept = _make_harness(
+            tiny_pedigree_graph, store=SnapshotStore(snapshot_dir)
+        )
+        old_engine = app.engine
+        with injected("store.load.manifest:error:times=none"):
+            for _ in range(2):
+                response = app.handle("POST", "/v1/reload")
+                assert response.status == 503
+        assert app.breakers["reload"].state == OPEN
+        assert app.engine is old_engine
+        assert _health(app) == "degraded"
+        # Read paths are unaffected by a broken reload backend.
+        search = app.handle(
+            "POST", "/v1/search", body=_search_body(app.graph)
+        )
+        assert search.status == 200

@@ -64,7 +64,9 @@ class TestEntityStoreBasics:
         dataset, store = small_store
         dataset.record(2).attributes["surname"] = "taylor"
         entity = store.merge(1, 2)
-        assert store.values_of(entity, "surname") == {"ross", "taylor"}
+        # Sorted list: canonical order is part of the contract (PROP-A
+        # tie-breaks and checkpoint-resume determinism rely on it).
+        assert store.values_of(entity, "surname") == ["ross", "taylor"]
 
 
 class TestDensityAndDegree:

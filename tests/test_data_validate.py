@@ -1,0 +1,343 @@
+"""Tests for ingest hardening: validation, quarantine, strict/skip loads."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.data.loader import (
+    load_dataset_checked,
+    read_dataset_rows,
+    save_dataset_csv,
+)
+from repro.data.records import Certificate, Dataset, Record
+from repro.data.roles import CertificateType, Role
+from repro.data.synthetic import make_tiny_dataset
+from repro.data.validate import (
+    DatasetLoadError,
+    QuarantineReport,
+    ValidationIssue,
+    clean_dataset,
+    format_issues,
+    validate_dataset_parts,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def _birth(cert_id, mother_rid, year=1875, **mother_attrs):
+    """One birth certificate with a single mother record."""
+    attrs = {"first_name": "mary", "surname": "ross", "event_year": str(year)}
+    attrs.update(mother_attrs)
+    record = Record(mother_rid, cert_id, Role.BM, attrs, person_id=mother_rid)
+    cert = Certificate(
+        cert_id, CertificateType.BIRTH, year, "uig", {Role.BM: mother_rid}
+    )
+    return [record], cert
+
+
+def _parts(n=3, **attrs):
+    records, certs = [], []
+    for i in range(1, n + 1):
+        recs, cert = _birth(i, 100 + i, **attrs)
+        records += recs
+        certs.append(cert)
+    return records, certs
+
+
+def _codes(issues):
+    return [issue.code for issue in issues]
+
+
+class TestValidateDatasetParts:
+    def test_clean_parts_have_no_issues(self):
+        records, certs = _parts()
+        assert validate_dataset_parts(records, certs) == []
+
+    def test_duplicate_record_id(self):
+        records, certs = _parts(1)
+        dup = Record(101, 1, Role.BM, {}, person_id=9)
+        issues = validate_dataset_parts(records + [dup], certs)
+        assert "duplicate_record_id" in _codes(issues)
+
+    def test_duplicate_cert_id(self):
+        records, certs = _parts(1)
+        issues = validate_dataset_parts(records, certs + [certs[0]])
+        assert "duplicate_cert_id" in _codes(issues)
+
+    def test_dangling_reference(self):
+        records, certs = _parts(1)
+        certs[0].roles[Role.BF] = 999  # no such record
+        issues = validate_dataset_parts(records, certs)
+        (issue,) = [i for i in issues if i.code == "dangling_reference"]
+        assert "999" in issue.message and issue.cert_id == 1
+
+    def test_role_mismatch(self):
+        records, certs = _parts(1)
+        certs[0].roles[Role.BF] = 101  # 101 exists but is the BM record
+        issues = validate_dataset_parts(records, certs)
+        assert "role_mismatch" in _codes(issues)
+
+    def test_cert_year_out_of_range(self):
+        records, certs = _parts(1)
+        bad = Certificate(2, CertificateType.BIRTH, 1200, "uig", {})
+        issues = validate_dataset_parts(records, certs + [bad])
+        assert "year_out_of_range" in _codes(issues)
+
+    def test_missing_certificate(self):
+        records, certs = _parts(1)
+        orphan = Record(200, 77, Role.DD, {}, person_id=200)
+        issues = validate_dataset_parts(records + [orphan], certs)
+        (issue,) = [i for i in issues if i.code == "missing_certificate"]
+        assert issue.record_id == 200
+
+    def test_unparseable_year(self):
+        records, certs = _parts(1, event_year="eighteen-seventy")
+        assert "unparseable_year" in _codes(validate_dataset_parts(records, certs))
+
+    def test_unparseable_and_out_of_range_age(self):
+        bad_records, certs = _parts(2)
+        bad_records[0].attributes["age"] = "old"
+        bad_records[1].attributes["age"] = "300"
+        codes = _codes(validate_dataset_parts(bad_records, certs))
+        assert "unparseable_age" in codes and "age_out_of_range" in codes
+
+    def test_bad_gender(self):
+        records, certs = _parts(1, gender="x")
+        assert "bad_gender" in _codes(validate_dataset_parts(records, certs))
+
+    def test_bad_geo(self):
+        records, certs = _parts(2)
+        records[0].attributes["latitude"] = "95.0"
+        records[1].attributes["longitude"] = "east"
+        codes = _codes(validate_dataset_parts(records, certs))
+        assert codes.count("bad_geo") == 2
+
+
+class TestCleanDataset:
+    def test_record_issue_drops_whole_certificate(self):
+        records, certs = _parts(3)
+        records[0].attributes["gender"] = "x"
+        issues = validate_dataset_parts(records, certs)
+        dataset, report = clean_dataset("d", records, certs, issues)
+        assert report.certificates_dropped == 1
+        assert report.records_dropped == 1
+        assert len(dataset.certificates) == 2
+        assert 101 not in {r.record_id for r in dataset}
+
+    def test_orphan_record_dropped_alone(self):
+        records, certs = _parts(2)
+        orphan = Record(200, 77, Role.DD, {}, person_id=200)
+        issues = validate_dataset_parts(records + [orphan], certs)
+        dataset, report = clean_dataset("d", records + [orphan], certs, issues)
+        assert report.certificates_dropped == 0
+        assert report.records_dropped == 1
+        assert len(dataset.certificates) == 2
+
+    def test_clean_input_passes_through(self):
+        records, certs = _parts(3)
+        dataset, report = clean_dataset("d", records, certs, [])
+        assert len(dataset) == 3
+        assert report.certificates_dropped == 0 and not report.issues
+
+
+class TestQuarantineReport:
+    def _report(self):
+        return QuarantineReport(
+            issues=[
+                ValidationIssue("bad_gender", "gender 'x'", record_id=1, cert_id=1),
+                ValidationIssue("bad_gender", "gender 'q'", record_id=2, cert_id=2),
+                ValidationIssue("unparseable_year", "year 'abc'", cert_id=3),
+            ],
+            certificates_dropped=3,
+            records_dropped=5,
+        )
+
+    def test_counts_sorted_by_code(self):
+        assert self._report().counts() == {
+            "bad_gender": 2, "unparseable_year": 1
+        }
+
+    def test_write_jsonl(self, tmp_path):
+        path = self._report().write_jsonl(tmp_path / "report.jsonl")
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(lines) == 4  # three issues + summary
+        assert lines[0] == {
+            "code": "bad_gender", "message": "gender 'x'",
+            "record_id": 1, "cert_id": 1,
+        }
+        assert lines[-1] == {
+            "summary": {"bad_gender": 2, "unparseable_year": 1},
+            "certificates_dropped": 3,
+            "records_dropped": 5,
+        }
+
+    def test_to_metrics(self):
+        metrics = MetricsRegistry()
+        self._report().to_metrics(metrics)
+        assert metrics.counter_value("data.quarantine.issues") == 3
+        assert metrics.counter_value("data.quarantine.certificates_dropped") == 3
+        assert metrics.counter_value("data.quarantine.records_dropped") == 5
+        assert metrics.counter_value("data.quarantine.bad_gender") == 2
+
+    def test_summary_mentions_counts(self):
+        summary = self._report().summary()
+        assert "3 certificate(s)" in summary and "bad_gender=2" in summary
+
+    def test_format_issues_limits(self):
+        issues = [ValidationIssue("bad_geo", f"issue {i}") for i in range(8)]
+        digest = format_issues(issues, limit=5)
+        assert "issue 4" in digest and "issue 5" not in digest
+        assert "and 3 more issue(s)" in digest
+
+
+class TestLoaderRowErrors:
+    @pytest.fixture()
+    def stem(self, tmp_path):
+        records, certs = _parts(3)
+        stem = tmp_path / "tiny"
+        save_dataset_csv(Dataset("tiny", records, certs), stem)
+        return stem
+
+    def _garble_record_row(self, stem):
+        path = stem.with_suffix(".records.csv")
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1].replace("101", "not-an-id", 1)
+        path.write_text("\n".join(lines) + "\n")
+
+    def test_raise_names_file_and_row(self, stem):
+        self._garble_record_row(stem)
+        with pytest.raises(DatasetLoadError) as raised:
+            read_dataset_rows(stem)
+        message = str(raised.value)
+        assert "tiny.records.csv" in message and "row 2" in message
+        assert raised.value.row == 2
+
+    def test_skip_records_issue_and_continues(self, stem):
+        self._garble_record_row(stem)
+        issues = []
+        records, certs = read_dataset_rows(stem, on_error="skip", issues=issues)
+        assert len(records) == 2 and len(certs) == 3
+        (issue,) = [i for i in issues if i.code == "unparseable_row"]
+        assert issue.file == "tiny.records.csv" and issue.row == 2
+
+    def test_missing_file_is_actionable(self, tmp_path):
+        with pytest.raises(DatasetLoadError, match="records.csv"):
+            read_dataset_rows(tmp_path / "nope")
+
+
+class TestLoadDatasetChecked:
+    @pytest.fixture()
+    def dirty_stem(self, tmp_path):
+        records, certs = _parts(4)
+        records[1].attributes["gender"] = "x"
+        stem = tmp_path / "dirty"
+        save_dataset_csv(Dataset("dirty", records, certs), stem)
+        return stem
+
+    def test_strict_raises_with_issues_attached(self, dirty_stem):
+        with pytest.raises(DatasetLoadError) as raised:
+            load_dataset_checked(dirty_stem, mode="strict")
+        assert "bad_gender" in str(raised.value)
+        assert _codes(raised.value.issues) == ["bad_gender"]
+
+    def test_quarantine_returns_clean_dataset_and_report(self, dirty_stem):
+        metrics = MetricsRegistry()
+        dataset, report = load_dataset_checked(
+            dirty_stem, mode="quarantine", metrics=metrics
+        )
+        assert len(dataset) == 3
+        assert report.certificates_dropped == 1
+        assert metrics.counter_value("data.quarantine.bad_gender") == 1
+
+    def test_report_path_written_only_when_dirty(self, dirty_stem, tmp_path):
+        report_path = tmp_path / "q.jsonl"
+        load_dataset_checked(
+            dirty_stem, mode="quarantine", report_path=report_path
+        )
+        assert report_path.exists()
+        clean = tmp_path / "clean"
+        records, certs = _parts(2)
+        save_dataset_csv(Dataset("c", records, certs), clean)
+        other = tmp_path / "other.jsonl"
+        load_dataset_checked(clean, mode="quarantine", report_path=other)
+        assert not other.exists()
+
+    def test_bad_mode_rejected(self, dirty_stem):
+        with pytest.raises(ValueError, match="mode"):
+            load_dataset_checked(dirty_stem, mode="lenient")
+
+
+class TestValidationCLI:
+    @pytest.fixture()
+    def dirty_stem(self, tmp_path):
+        dataset = make_tiny_dataset(seed=3)
+        stem = tmp_path / "dirty"
+        save_dataset_csv(dataset, stem)
+        # Poison one record row: non-numeric event_year survives row
+        # parsing but fails schema validation.
+        path = stem.with_suffix(".records.csv")
+        lines = path.read_text().splitlines()
+        header = lines[0].split(",")
+        year_col = header.index("event_year")
+        cells = lines[1].split(",")
+        cells[year_col] = "eighteen77"
+        lines[1] = ",".join(cells)
+        path.write_text("\n".join(lines) + "\n")
+        return stem
+
+    def test_resolve_strict_fails_fast(self, dirty_stem, tmp_path, capsys):
+        code = main([
+            "resolve", "--data", str(dirty_stem), "--strict",
+            "--out", str(tmp_path / "g.json"),
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "dataset error" in err and "unparseable_year" in err
+        assert "--quarantine" in err  # actionable hint
+        assert not (tmp_path / "g.json").exists()
+
+    def test_resolve_default_is_strict(self, dirty_stem, tmp_path, capsys):
+        code = main([
+            "resolve", "--data", str(dirty_stem),
+            "--out", str(tmp_path / "g.json"),
+        ])
+        assert code == 2
+        assert "dataset error" in capsys.readouterr().err
+
+    def test_resolve_quarantine_continues(self, dirty_stem, tmp_path, capsys):
+        report = tmp_path / "report.jsonl"
+        code = main([
+            "resolve", "--data", str(dirty_stem), "--quarantine",
+            "--quarantine-report", str(report),
+            "--out", str(tmp_path / "g.json"),
+        ])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "quarantined 1 certificate(s)" in captured.err
+        assert "quarantine report written" in captured.err
+        assert (tmp_path / "g.json").exists()
+        lines = [json.loads(l) for l in report.read_text().splitlines()]
+        assert lines[0]["code"] == "unparseable_year"
+        assert lines[-1]["summary"] == {"unparseable_year": 1}
+
+    def test_snapshot_ingest_strict_fails_fast(
+        self, dirty_stem, tmp_path, capsys
+    ):
+        store = tmp_path / "store"
+        clean = make_tiny_dataset(seed=3)
+        clean_stem = tmp_path / "clean"
+        save_dataset_csv(clean, clean_stem)
+        assert main([
+            "resolve", "--data", str(clean_stem),
+            "--snapshot-out", str(store),
+        ]) == 0
+        capsys.readouterr()
+        code = main([
+            "snapshot", "ingest", "--store", str(store),
+            "--data", str(dirty_stem), "--strict",
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "dataset error" in err and "--quarantine" in err

@@ -1,0 +1,303 @@
+"""Tests for the fault-tolerance substrate (repro.faults)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import (
+    CLOSED,
+    DATA,
+    HALF_OPEN,
+    OPEN,
+    PERMANENT,
+    TRANSIENT,
+    CircuitBreaker,
+    CircuitOpen,
+    DataFault,
+    FaultInjector,
+    FaultSpec,
+    InjectedFault,
+    PermanentFault,
+    RetryPolicy,
+    TransientFault,
+    active,
+    classify,
+    fire,
+    injected,
+    parse_specs,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+# ----------------------------------------------------------------------
+# Taxonomy
+# ----------------------------------------------------------------------
+
+
+class TestClassify:
+    def test_fault_error_category_wins(self):
+        assert classify(TransientFault("x")) == TRANSIENT
+        assert classify(PermanentFault("x")) == PERMANENT
+        assert classify(DataFault("x")) == DATA
+
+    def test_stdlib_transients(self):
+        assert classify(TimeoutError()) == TRANSIENT
+        assert classify(OSError("disk momentarily gone")) == TRANSIENT
+
+    def test_named_domain_errors(self):
+        from repro.core.checkpoint import CheckpointError
+        from repro.data import DatasetLoadError
+        from repro.store import SnapshotIntegrityError, SnapshotSchemaError
+
+        assert classify(SnapshotIntegrityError("bad sha")) == DATA
+        assert classify(SnapshotSchemaError("old version")) == PERMANENT
+        assert classify(DatasetLoadError("bad row")) == DATA
+        assert classify(CheckpointError("torn")) == DATA
+
+    def test_unknown_defaults_to_permanent(self):
+        assert classify(ValueError("nope")) == PERMANENT
+        assert classify(RuntimeError("nope")) == PERMANENT
+
+
+# ----------------------------------------------------------------------
+# Spec parsing
+# ----------------------------------------------------------------------
+
+
+class TestParseSpecs:
+    def test_full_syntax(self):
+        specs = parse_specs(
+            "store.load.*:error:times=2:category=data;"
+            "query.search:latency:latency_s=0.25;"
+            "checkpoint.torn.blocking:torn_write"
+        )
+        assert [s.site for s in specs] == [
+            "store.load.*", "query.search", "checkpoint.torn.blocking"
+        ]
+        assert specs[0].mode == "error"
+        assert specs[0].times == 2
+        assert specs[0].category == "data"
+        assert specs[1].mode == "latency"
+        assert specs[1].latency_s == 0.25
+        assert specs[2].mode == "torn_write"
+
+    def test_times_none_means_forever(self):
+        (spec,) = parse_specs("a.b:error:times=none")
+        assert spec.times is None
+
+    def test_empty_chunks_skipped(self):
+        assert parse_specs(" ; ;") == []
+
+    @pytest.mark.parametrize("text", [
+        ":error",                    # empty site
+        "a.b:explode",               # unknown mode
+        "a.b:error:times",           # option without =
+        "a.b:error:bogus=1",         # unknown option
+        "a.b:error:category=nope",   # unknown category
+    ])
+    def test_bad_specs_raise(self, text):
+        with pytest.raises(ValueError):
+            parse_specs(text)
+
+
+# ----------------------------------------------------------------------
+# Injector
+# ----------------------------------------------------------------------
+
+
+class TestFaultInjector:
+    def test_after_and_times_window(self):
+        injector = FaultInjector(parse_specs("site:error:after=2:times=2"))
+        injector.fire("site")          # 1: skipped (after)
+        injector.fire("site")          # 2: skipped (after)
+        with pytest.raises(InjectedFault):
+            injector.fire("site")      # 3: fires
+        with pytest.raises(InjectedFault):
+            injector.fire("site")      # 4: fires
+        injector.fire("site")          # 5: exhausted
+        assert injector.fired("site") == 2
+
+    def test_glob_matching(self):
+        injector = FaultInjector(parse_specs("store.load.*:error:times=none"))
+        with pytest.raises(InjectedFault):
+            injector.fire("store.load.graph")
+        with pytest.raises(InjectedFault):
+            injector.fire("store.load.manifest")
+        injector.fire("store.save.commit")  # no match → no fire
+
+    def test_latency_mode_sleeps(self):
+        slept = []
+        injector = FaultInjector(
+            parse_specs("slow:latency:latency_s=0.5"), sleep=slept.append
+        )
+        injector.fire("slow")
+        assert slept == [0.5]
+
+    def test_injected_fault_carries_site_and_category(self):
+        injector = FaultInjector(parse_specs("x:error:category=data"))
+        with pytest.raises(InjectedFault) as raised:
+            injector.fire("x")
+        assert raised.value.site == "x"
+        assert classify(raised.value) == DATA
+
+    def test_corrupt_write_truncates_and_raises(self, tmp_path):
+        path = tmp_path / "payload.bin"
+        path.write_bytes(b"0123456789")
+        injector = FaultInjector(parse_specs("torn:torn_write"))
+        with pytest.raises(InjectedFault):
+            injector.corrupt_write("torn", path)
+        assert path.read_bytes() == b"01234"
+        # Exhausted: the next write survives.
+        path.write_bytes(b"0123456789")
+        injector.corrupt_write("torn", path)
+        assert path.read_bytes() == b"0123456789"
+
+    def test_module_hook_is_noop_without_injector(self):
+        assert active() is None
+        fire("anything")  # must not raise
+
+    def test_injected_context_installs_and_restores(self):
+        with injected("ctx:error") as injector:
+            assert active() is injector
+            with pytest.raises(InjectedFault):
+                fire("ctx")
+        assert active() is None
+        fire("ctx")  # uninstalled again
+
+
+# ----------------------------------------------------------------------
+# Retry policy
+# ----------------------------------------------------------------------
+
+
+class TestRetryPolicy:
+    def test_retries_transient_until_success(self):
+        slept = []
+        attempts = []
+        policy = RetryPolicy(max_attempts=3, sleep=slept.append)
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise TransientFault("blip")
+            return "ok"
+
+        assert policy.call(flaky) == "ok"
+        assert len(attempts) == 3
+        assert len(slept) == 2
+        # Exponential: the second delay grows from the first.
+        assert slept[1] > slept[0]
+
+    def test_permanent_fails_immediately(self):
+        slept = []
+        policy = RetryPolicy(max_attempts=5, sleep=slept.append)
+        calls = []
+
+        def broken():
+            calls.append(1)
+            raise PermanentFault("schema mismatch")
+
+        with pytest.raises(PermanentFault):
+            policy.call(broken)
+        assert len(calls) == 1 and slept == []
+
+    def test_exhaustion_reraises_last_error(self):
+        policy = RetryPolicy(max_attempts=2, sleep=lambda _s: None)
+        with pytest.raises(TransientFault, match="always"):
+            policy.call(lambda: (_ for _ in ()).throw(TransientFault("always")))
+
+    def test_backoff_is_deterministic_and_capped(self):
+        a = RetryPolicy(base_delay_s=0.1, max_delay_s=0.5, seed=7)
+        b = RetryPolicy(base_delay_s=0.1, max_delay_s=0.5, seed=7)
+        schedule_a = [a.backoff_s(i) for i in range(5)]
+        schedule_b = [b.backoff_s(i) for i in range(5)]
+        assert schedule_a == schedule_b
+        # Cap: 0.5 * (1 + 0.25 jitter) is the most any delay can be.
+        assert all(delay <= 0.5 * 1.25 for delay in schedule_a)
+
+    def test_on_retry_callback(self):
+        seen = []
+        policy = RetryPolicy(max_attempts=3, sleep=lambda _s: None)
+        state = {"n": 0}
+
+        def flaky():
+            state["n"] += 1
+            if state["n"] < 3:
+                raise TransientFault("blip")
+            return state["n"]
+
+        assert policy.call(flaky, on_retry=lambda i, e: seen.append(i)) == 3
+        assert seen == [0, 1]
+
+
+# ----------------------------------------------------------------------
+# Circuit breaker
+# ----------------------------------------------------------------------
+
+
+class TestCircuitBreaker:
+    def _breaker(self, **kwargs):
+        now = [0.0]
+        defaults = dict(
+            failure_threshold=3, reset_timeout_s=10.0, clock=lambda: now[0]
+        )
+        defaults.update(kwargs)
+        return CircuitBreaker("test", **defaults), now
+
+    def test_opens_after_threshold(self):
+        breaker, _now = self._breaker()
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == CLOSED and breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        assert breaker.retry_after_s() == pytest.approx(10.0)
+
+    def test_success_resets_failure_count(self):
+        breaker, _now = self._breaker()
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_half_open_probe_then_close(self):
+        breaker, now = self._breaker()
+        for _ in range(3):
+            breaker.record_failure()
+        now[0] = 10.5
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()       # the one probe
+        assert not breaker.allow()   # probes exhausted
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_half_open_failure_reopens(self):
+        breaker, now = self._breaker()
+        for _ in range(3):
+            breaker.record_failure()
+        now[0] = 10.5
+        assert breaker.allow()
+        breaker.record_failure()     # probe failed
+        assert breaker.state == OPEN
+        assert breaker.retry_after_s() == pytest.approx(10.0)
+
+    def test_reject_is_a_transient_fault(self):
+        breaker, _now = self._breaker()
+        for _ in range(3):
+            breaker.record_failure()
+        rejection = breaker.reject()
+        assert isinstance(rejection, CircuitOpen)
+        assert classify(rejection) == TRANSIENT
+        assert rejection.retry_after_s == pytest.approx(10.0)
+
+    def test_open_metric(self):
+        metrics = MetricsRegistry()
+        breaker = CircuitBreaker(
+            "db", failure_threshold=1, clock=lambda: 0.0, metrics=metrics
+        )
+        breaker.record_failure()
+        assert metrics.counter_value("breaker.db.opened") == 1

@@ -113,6 +113,44 @@ class TestLRUTTLCache:
         assert key_a == key_b
         assert key_a != key_c
 
+    def test_keep_stale_retains_expired_entries(self):
+        now = [0.0]
+        cache = LRUTTLCache(
+            max_size=4, ttl_s=10.0, clock=lambda: now[0], keep_stale=True
+        )
+        cache.put("a", 1)
+        now[0] = 11.0
+        # Expired for get(), but the entry survives for degraded mode.
+        assert cache.get("a") is MISS
+        assert cache.stats()["expirations"] == 1
+        assert len(cache) == 1
+        value, age_s = cache.get_stale("a")
+        assert value == 1 and age_s == pytest.approx(11.0)
+        # Repeated expired gets count the expiration only once.
+        assert cache.get("a") is MISS
+        assert cache.stats()["expirations"] == 1
+
+    def test_get_stale_counts_hits_and_misses(self):
+        now = [0.0]
+        cache = LRUTTLCache(
+            max_size=4, ttl_s=10.0, clock=lambda: now[0], keep_stale=True
+        )
+        cache.put("a", 1)
+        now[0] = 3.0
+        value, age_s = cache.get_stale("a")  # works on fresh entries too
+        assert value == 1 and age_s == pytest.approx(3.0)
+        assert cache.get_stale("missing") is MISS
+        assert cache.stats()["stale_hits"] == 1
+
+    def test_without_keep_stale_expired_entries_vanish(self):
+        now = [0.0]
+        cache = LRUTTLCache(max_size=4, ttl_s=10.0, clock=lambda: now[0])
+        cache.put("a", 1)
+        now[0] = 11.0
+        assert cache.get("a") is MISS
+        assert cache.get_stale("a") is MISS
+        assert len(cache) == 0
+
 
 # ----------------------------------------------------------------------
 # Admission-control unit tests
@@ -187,6 +225,51 @@ class TestAdmissionController:
         assert not Deadline.after(None).expired()
         assert Deadline.after(60).remaining() > 0
         assert Deadline.after(0).expired()
+
+    def test_rejection_reasons_are_actionable(self):
+        gate = AdmissionController(max_concurrency=1, max_pending=0,
+                                   queue_timeout_s=0.05)
+        release = threading.Event()
+        occupied = threading.Event()
+
+        def occupy():
+            with gate.admit():
+                occupied.set()
+                release.wait(timeout=5)
+
+        thread = threading.Thread(target=occupy)
+        thread.start()
+        assert occupied.wait(timeout=5)
+        try:
+            with pytest.raises(Rejected) as rejected:
+                with gate.admit():
+                    pass  # pragma: no cover
+            assert rejected.value.reason == "pending queue full"
+            assert rejected.value.retry_after_s >= 1.0
+        finally:
+            release.set()
+            thread.join(timeout=5)
+
+    def test_deadline_expired_while_queued_reason(self):
+        # The request's own deadline passed before a slot opened: shed it
+        # with the queued-specific reason, not a generic timeout.
+        gate = AdmissionController(max_concurrency=1, max_pending=4,
+                                   queue_timeout_s=5.0)
+        with pytest.raises(Rejected) as rejected:
+            with gate.admit(Deadline.after(-0.1)):
+                pass  # pragma: no cover
+        assert rejected.value.status == 503
+        assert "deadline expired" in rejected.value.reason
+        assert rejected.value.retry_after_s >= 1.0
+
+    def test_metrics_distinguish_rejection_kinds(self):
+        metrics = MetricsRegistry()
+        gate = AdmissionController(max_concurrency=1, max_pending=4,
+                                   queue_timeout_s=1.0, metrics=metrics)
+        with pytest.raises(Rejected):
+            with gate.admit(Deadline.after(-0.1)):
+                pass  # pragma: no cover
+        assert metrics.counter_value("serve.admission.rejected_deadline") == 1
 
 
 # ----------------------------------------------------------------------
