@@ -11,12 +11,29 @@ from __future__ import annotations
 
 from common import ios_dataset
 from repro.blocking.lsh import LshBlocker
+from repro.blocking.minhash import MinHasher
 from repro.core import SnapsConfig, SnapsResolver
+from repro.core.scoring import PairScorer
 from repro.pedigree import build_pedigree_graph, extract_pedigree
 from repro.query import Query, QueryEngine
 from repro.similarity.jaro import jaro_winkler_similarity
 from repro.similarity.levenshtein import levenshtein_distance
 from repro.similarity.phonetic import soundex
+
+
+def _name_strings(n: int = 512) -> list[str]:
+    """Distinct lowercased name phrases from the IOS stand-in."""
+    values: list[str] = []
+    seen: set[str] = set()
+    for record in ios_dataset():
+        parts = [record.get(a) or "" for a in ("first_name", "surname")]
+        joined = " ".join(p for p in parts if p).strip().lower()
+        if joined and joined not in seen:
+            seen.add(joined)
+            values.append(joined)
+            if len(values) >= n:
+                break
+    return values
 
 
 def test_micro_jaro_winkler(benchmark):
@@ -42,6 +59,54 @@ def test_micro_lsh_block_keys(benchmark):
         return blocker.block_keys(record)
 
     assert len(benchmark(keys)) == blocker.n_bands
+
+
+def test_micro_minhash_scalar_batch(benchmark):
+    """One scalar ``signature()`` call per name — the pre-vectorised path."""
+    hasher = MinHasher()
+    values = _name_strings()
+    signatures = benchmark(lambda: [hasher.signature(v) for v in values])
+    assert len(signatures) == len(values)
+
+
+def test_micro_minhash_vectorized_batch(benchmark):
+    """The same names through one ``signature_matrix()`` pass."""
+    hasher = MinHasher()
+    values = _name_strings()
+    matrix = benchmark(hasher.signature_matrix, values)
+    assert matrix.shape == (len(values), hasher.n_hashes)
+    # Parity is pinned by tests/test_parallel_parity.py; spot-check here
+    # so the two micro benches provably measure the same computation.
+    assert tuple(matrix[0].tolist()) == hasher.signature(values[0])
+
+
+def _scoring_pairs(n: int = 256) -> list[tuple[str, str]]:
+    names = _name_strings(2 * n)
+    return list(zip(names[0::2], names[1::2]))
+
+
+def test_micro_sim_cache_cold(benchmark):
+    """Comparator cost when every value pair misses the sim cache."""
+    scorer = PairScorer(ios_dataset(), SnapsConfig())
+    pairs = _scoring_pairs()
+
+    def cold():
+        scorer._sim_cache.clear()
+        return [scorer.value_similarity("surname", a, b) for a, b in pairs]
+
+    assert len(benchmark(cold)) == len(pairs)
+
+
+def test_micro_sim_cache_seeded(benchmark):
+    """The same pairs served from a precomputed sim cache (parallel path)."""
+    scorer = PairScorer(ios_dataset(), SnapsConfig())
+    pairs = _scoring_pairs()
+    for a, b in pairs:  # warm exactly the entries the precompute would seed
+        scorer.value_similarity("surname", a, b)
+    scores = benchmark(
+        lambda: [scorer.value_similarity("surname", a, b) for a, b in pairs]
+    )
+    assert len(scores) == len(pairs)
 
 
 def test_micro_query(benchmark):

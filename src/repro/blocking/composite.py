@@ -48,6 +48,13 @@ class CompositeBlocker:
             raise ValueError("need at least one member blocker")
         self.blockers = blockers
 
+    def prepare(self, records: list[Record]) -> None:
+        """Forward batch preparation to members that support it."""
+        for blocker in self.blockers:
+            prepare = getattr(blocker, "prepare", None)
+            if prepare is not None:
+                prepare(records)
+
     def block_keys(self, record: Record) -> list[str]:
         keys: list[str] = []
         for index, blocker in enumerate(self.blockers):

@@ -14,7 +14,7 @@ familiar S-curve whose threshold is tuned by (b, r).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterable
 
 from repro.blocking.minhash import MinHasher
 from repro.data.normalize import canonical_name_phrase
@@ -65,6 +65,34 @@ class LshBlocker:
         # Standardise documented name variants so "effie"/"euphemia" share
         # a signature; scoring still compares the raw values.
         return canonical_name_phrase(joined)
+
+    def prepare(self, records: Iterable[Record]) -> None:
+        """Pre-fill the signature cache with one vectorised MinHash pass.
+
+        Computes every distinct blocking string's signature via
+        :meth:`MinHasher.signature_matrix` — the rows are bit-identical to
+        scalar :meth:`MinHasher.signature`, so subsequent ``block_keys``
+        calls produce exactly the keys the scalar path would.  Prepared
+        values count as cache hits when ``block_keys`` later reads them;
+        ``lsh.signatures_vectorized`` counts the entries filled here.
+        """
+        values: list[str] = []
+        seen: set[str] = set()
+        for record in records:
+            value = self._blocking_string(record)
+            if value is None or value in seen or value in self._signature_cache:
+                continue
+            seen.add(value)
+            values.append(value)
+        if not values:
+            return
+        matrix = self._hasher.signature_matrix(values)
+        # .tolist() yields plain Python ints, so the cached tuples are
+        # indistinguishable (hash and equality) from scalar signatures.
+        for value, row in zip(values, matrix.tolist()):
+            self._signature_cache[value] = tuple(row)
+        if self.metrics is not None:
+            self.metrics.inc("lsh.signatures_vectorized", len(values))
 
     def block_keys(self, record: Record) -> list[str]:
         value = self._blocking_string(record)

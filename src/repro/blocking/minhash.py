@@ -4,19 +4,40 @@ A MinHash signature of a string's bigram set approximates its Jaccard
 similarity to other strings: the probability that two signatures agree at
 one position equals the Jaccard coefficient of the underlying sets.  The
 LSH blocker bands these signatures to bucket likely-similar names.
+
+Two computation paths produce bit-identical signatures:
+
+* :meth:`MinHasher.signature` — the scalar reference path, one string at
+  a time;
+* :meth:`MinHasher.signature_matrix` — a vectorised numpy pass over a
+  batch of strings, used by the parallel resolution pipeline.  All
+  arithmetic stays in exact 64-bit integer operations (the 61-bit
+  Mersenne modulus is reduced with shift/mask identities, never
+  floating point), so every matrix row equals the scalar signature —
+  a property test enforces this.
 """
 
 from __future__ import annotations
 
 import zlib
+from typing import Sequence
 
 from repro.similarity.qgram import qgrams
 from repro.utils.rng import make_rng
+
+try:  # numpy accelerates the batch path; the scalar path needs nothing.
+    import numpy as _np
+except ImportError:  # pragma: no cover - the toolchain ships numpy
+    _np = None
 
 __all__ = ["MinHasher"]
 
 _MERSENNE_PRIME = (1 << 61) - 1
 _MAX_HASH = (1 << 32) - 1
+# Low 29 bits of a 61-bit value: used to reduce ``x * 2**32 mod p`` via
+# ``x*2**32 = (x >> 29) * 2**61 + (x & MASK29) * 2**32 ≡ (x >> 29) +
+# ((x & MASK29) << 32)  (mod 2**61 - 1)``.
+_MASK_29 = (1 << 29) - 1
 
 
 class MinHasher:
@@ -37,6 +58,20 @@ class MinHasher:
             (rng.randrange(1, _MERSENNE_PRIME), rng.randrange(0, _MERSENNE_PRIME))
             for _ in range(n_hashes)
         ]
+        # The all-max sentinel for gram-less strings is immutable and
+        # requested for every such string, so it is built exactly once.
+        self._empty_signature: tuple[int, ...] = tuple(
+            [_MAX_HASH + 1] * n_hashes
+        )
+        self._param_matrix = None  # lazy (n_hashes, 2) uint64 array
+
+    def _gram_hashes(self, value: str) -> list[int]:
+        # crc32 rather than built-in hash(): string hashing is randomised
+        # per process, and signatures must be stable across runs.
+        return [
+            zlib.crc32(g.encode("utf-8")) & _MAX_HASH
+            for g in qgrams(value, q=self.q)
+        ]
 
     def signature(self, value: str) -> tuple[int, ...]:
         """MinHash signature of ``value``'s bigram set.
@@ -44,18 +79,70 @@ class MinHasher:
         The empty string gets a sentinel all-max signature that collides
         with nothing real.
         """
-        grams = qgrams(value, q=self.q)
-        if not grams:
-            return tuple([_MAX_HASH + 1] * self.n_hashes)
-        # crc32 rather than built-in hash(): string hashing is randomised
-        # per process, and signatures must be stable across runs.
-        gram_hashes = [zlib.crc32(g.encode("utf-8")) & _MAX_HASH for g in grams]
+        gram_hashes = self._gram_hashes(value)
+        if not gram_hashes:
+            return self._empty_signature
         signature = []
         for a, b in self._params:
             signature.append(
                 min(((a * gh + b) % _MERSENNE_PRIME) & _MAX_HASH for gh in gram_hashes)
             )
         return tuple(signature)
+
+    def signature_matrix(self, values: Sequence[str]) -> "_np.ndarray":
+        """Signatures of ``values`` as one ``(len(values), n_hashes)`` pass.
+
+        Row ``i`` equals ``signature(values[i])`` exactly: the universal
+        hashes are evaluated with 64-bit integer arithmetic only, the
+        Mersenne modulus reduced by shift/mask identities (``2**61 ≡ 1``
+        mod ``p``), and the per-string minimum taken with a segmented
+        reduction — no rounding anywhere.
+        """
+        if _np is None:  # pragma: no cover - numpy is a baked-in dep
+            raise RuntimeError("signature_matrix requires numpy")
+        out = _np.empty((len(values), self.n_hashes), dtype=_np.uint64)
+        rows: list[int] = []
+        starts: list[int] = []
+        flat: list[int] = []
+        for i, value in enumerate(values):
+            gram_hashes = self._gram_hashes(value)
+            if not gram_hashes:
+                out[i, :] = _MAX_HASH + 1
+                continue
+            rows.append(i)
+            starts.append(len(flat))
+            flat.extend(gram_hashes)
+        if not rows:
+            return out
+        if self._param_matrix is None:
+            self._param_matrix = _np.array(self._params, dtype=_np.uint64)
+        prime = _np.uint64(_MERSENNE_PRIME)
+
+        def mod_mersenne(x: "_np.ndarray") -> "_np.ndarray":
+            # For x < 2**64: x ≡ (x >> 61) + (x & p) (mod p), and the sum
+            # is at most p + 7, so one conditional subtract normalises.
+            folded = (x >> _np.uint64(61)) + (x & prime)
+            return _np.where(folded >= prime, folded - prime, folded)
+
+        grams = _np.asarray(flat, dtype=_np.uint64)[None, :]  # (1, G)
+        a = self._param_matrix[:, 0:1]  # (H, 1)
+        b = self._param_matrix[:, 1:2]
+        # a < 2**61 and gram < 2**32, so a*gram would overflow uint64;
+        # split a into 32-bit halves and reduce each product separately.
+        a_lo = a & _np.uint64(0xFFFFFFFF)
+        a_hi = a >> _np.uint64(32)
+        low = mod_mersenne(a_lo * grams)  # a_lo*g < 2**64
+        high = a_hi * grams  # < 2**61; still to be scaled by 2**32 mod p
+        high = (high >> _np.uint64(29)) + (
+            (high & _np.uint64(_MASK_29)) << _np.uint64(32)
+        )
+        # low < p, high < 2**61 + 2**32, b < p: the sum fits in 63 bits.
+        hashed = mod_mersenne(low + high + b) & _np.uint64(_MAX_HASH)
+        mins = _np.minimum.reduceat(
+            hashed, _np.asarray(starts, dtype=_np.int64), axis=1
+        )  # (H, n_nonempty): segment j spans gram range of value rows[j]
+        out[_np.asarray(rows, dtype=_np.int64), :] = mins.T
+        return out
 
     def estimate_jaccard(self, sig_a: tuple[int, ...], sig_b: tuple[int, ...]) -> float:
         """Fraction of agreeing positions — an unbiased Jaccard estimate."""

@@ -105,6 +105,12 @@ def build_parser() -> argparse.ArgumentParser:
         "indexes) as a snapshot in this store directory",
     )
     resolve.add_argument("--merge-threshold", type=float, default=0.85)
+    resolve.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="parallel resolution workers: 0 forces the serial path, "
+        "N >= 1 forces the parallel path with N processes "
+        "(default: auto — parallel on large datasets only)",
+    )
     resolve.add_argument("--no-propagation", action="store_true")
     resolve.add_argument("--no-ambiguity", action="store_true")
     resolve.add_argument("--no-relational", action="store_true")
@@ -261,6 +267,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--parent", metavar="SNAPSHOT",
         help="base snapshot id to ingest against (default: HEAD)",
     )
+    snap_ingest.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="parallel resolution workers for the re-resolve step "
+        "(0 = serial, N >= 1 = parallel, default: auto)",
+    )
     add_validation_flags(snap_ingest)
     add_telemetry_flags(snap_ingest)
     return parser
@@ -392,8 +403,14 @@ def _cmd_resolve(args: argparse.Namespace) -> int:
     except CheckpointError as error:
         print(f"checkpoint error: {error}", file=sys.stderr)
         return 2
+    from repro.parallel import ParallelConfig
+
     result = SnapsResolver(config).resolve(
-        dataset, trace=trace, metrics=metrics, checkpoint=checkpoint
+        dataset,
+        trace=trace,
+        metrics=metrics,
+        checkpoint=checkpoint,
+        parallel=ParallelConfig(workers=args.workers),
     )
     print(
         f"resolved {len(dataset)} records: |N_A|={result.n_atomic} "
@@ -697,7 +714,11 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
                 )
             return 2
         result = IncrementalResolver(store).ingest(
-            delta, parent=args.parent, trace=trace, metrics=metrics
+            delta,
+            parent=args.parent,
+            trace=trace,
+            metrics=metrics,
+            workers=args.workers,
         )
         stats = result.stats
         print(

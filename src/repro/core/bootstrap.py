@@ -17,6 +17,7 @@ from repro.core.constraints import ConstraintChecker
 from repro.core.dependency_graph import DependencyGraph
 from repro.core.entities import EntityStore
 from repro.core.scoring import PairScorer
+from repro.obs.metrics import SIMILARITY_BUCKETS
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
     from repro.obs.metrics import MetricsRegistry
@@ -42,10 +43,13 @@ def bootstrap_merge(
     ``metrics`` receives the group mean-similarity distribution
     (``similarity.bootstrap_group_mean``) and merge counters — the means
     are computed anyway, so observing them costs one histogram insert.
+
+    Under parallel resolution both hot calls below resolve from seeded
+    caches: ``scorer.atomic_similarity`` reads the node-score table and
+    ``checker.records_compatible``/``can_merge`` read the precomputed
+    pair-validity verdicts — same numbers, same decisions, no recompute.
     """
     if metrics is not None:
-        from repro.obs.metrics import SIMILARITY_BUCKETS
-
         mean_histogram = metrics.histogram(
             "similarity.bootstrap_group_mean", SIMILARITY_BUCKETS
         )

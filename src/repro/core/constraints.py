@@ -55,6 +55,26 @@ class ConstraintChecker:
         self.slack = temporal_slack_years
         self.propagate = propagate
         self.metrics = metrics
+        # (rid_a, rid_b) -> rejection level, precomputed by the parallel
+        # pipeline under the both-entities-are-singletons assumption:
+        # 0 = mergeable, 1 = record-level reject, 2 = entity-level reject.
+        self._pair_validity: dict[tuple[int, int], int] | None = None
+        # Entity-level verdict memo, active alongside the seeded table.
+        # (entity_id, size) identifies an entity state exactly — ids are
+        # never reused, and every membership change either grows the
+        # entity or replaces it with a fresh id — so a verdict computed
+        # once holds for every record pair meeting in the same states.
+        self._entity_memo: dict[tuple[int, int, int, int], bool] = {}
+
+    def seed_pair_validity(self, table: dict[tuple[int, int], int]) -> None:
+        """Install precomputed singleton-state :meth:`can_merge` outcomes.
+
+        Level 1 (record-level) entries are valid forever — record checks
+        never depend on merge state.  Levels 0 and 2 encode the verdict
+        for *singleton* entities, so :meth:`can_merge` only consults them
+        while both records still sit in single-record entities.
+        """
+        self._pair_validity = table
 
     # ------------------------------------------------------------------
     # Record-level checks (always applied)
@@ -62,6 +82,12 @@ class ConstraintChecker:
 
     def records_compatible(self, a: Record, b: Record) -> bool:
         """Constraints between the two raw records only."""
+        if self._pair_validity is not None:
+            rid_a, rid_b = a.record_id, b.record_id
+            key = (rid_a, rid_b) if rid_a < rid_b else (rid_b, rid_a)
+            level = self._pair_validity.get(key)
+            if level is not None:
+                return level != 1
         if a.cert_id == b.cert_id:
             return False
         if not roles_linkable(a.role, b.role):
@@ -93,6 +119,22 @@ class ConstraintChecker:
         gender consensus, the intersection of birth-year intervals, and
         pairwise role linkability across the clusters.
         """
+        if self._pair_validity is not None:
+            key = (
+                ea.entity_id,
+                len(ea.record_ids),
+                eb.entity_id,
+                len(eb.record_ids),
+            )
+            verdict = self._entity_memo.get(key)
+            if verdict is None:
+                verdict = self._entity_memo[key] = self._entities_compatible(
+                    ea, eb
+                )
+            return verdict
+        return self._entities_compatible(ea, eb)
+
+    def _entities_compatible(self, ea: Entity, eb: Entity) -> bool:
         if ea.entity_id == eb.entity_id:
             return True
         if ea.cert_ids & eb.cert_ids:
@@ -128,6 +170,26 @@ class ConstraintChecker:
         link contributes negative evidence.  Without propagation only the
         two records themselves are checked (Table 3 ablation).
         """
+        if self._pair_validity is not None:
+            rid_a, rid_b = a.record_id, b.record_id
+            key = (rid_a, rid_b) if rid_a < rid_b else (rid_b, rid_a)
+            level = self._pair_validity.get(key)
+            if level is not None and (
+                level == 1
+                or (
+                    len(store.entity_of(rid_a).record_ids) == 1
+                    and len(store.entity_of(rid_b).record_ids) == 1
+                )
+            ):
+                if level == 0:
+                    return True
+                if self.metrics is not None:
+                    self.metrics.inc(
+                        "constraints.rejected_record_level"
+                        if level == 1
+                        else "constraints.rejected_entity_level"
+                    )
+                return False
         if not self.records_compatible(a, b):
             if self.metrics is not None:
                 self.metrics.inc("constraints.rejected_record_level")

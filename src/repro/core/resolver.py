@@ -20,6 +20,7 @@ histograms.  Both default to off and cost nothing when absent.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.blocking.lsh import LshBlocker
 from repro.blocking.composite import CompositeBlocker, PhoneticNameKeyBlocker
@@ -37,8 +38,11 @@ from repro.data.roles import Role
 from repro.obs.logs import get_logger
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Trace
-from repro.similarity.registry import ComparatorRegistry, default_registry
+from repro.similarity.registry import ComparatorRegistry, registry_for_config
 from repro.utils.timer import Stopwatch
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
+    from repro.parallel import ParallelConfig
 
 __all__ = ["LinkageResult", "SnapsResolver"]
 
@@ -133,25 +137,48 @@ class SnapsResolver:
         registry: ComparatorRegistry | None = None,
     ) -> None:
         self.config = config or SnapsConfig()
+        # Worker processes rebuild the registry from config alone, so the
+        # parallel path is only sound for the config-implied registry; a
+        # custom registry forces the serial path.
+        self._registry_from_config = registry is None
         if registry is None:
-            registry = default_registry()
-            if self.config.use_geocoded_addresses:
-                from repro.geocode import geo_address_comparator
-
-                registry.register("address", geo_address_comparator())
+            registry = registry_for_config(self.config)
         self.registry = registry
+
+    def _effective_workers(
+        self, dataset: Dataset, parallel: "ParallelConfig | None"
+    ) -> int:
+        """Worker count for this run; 0 means the serial reference path."""
+        if parallel is None:
+            return 0
+        if not self._registry_from_config:
+            logger.warning(
+                "parallel resolution requires the config-derived comparator "
+                "registry; falling back to serial"
+            )
+            return 0
+        from repro.blocking import minhash
+
+        if minhash._np is None:  # pragma: no cover - numpy is baked in
+            logger.warning("numpy unavailable; falling back to serial")
+            return 0
+        return parallel.effective_workers(len(dataset))
 
     def block(
         self,
         dataset: Dataset,
         roles: list[Role] | None = None,
         metrics: MetricsRegistry | None = None,
+        parallel: "ParallelConfig | None" = None,
+        trace: Trace | None = None,
     ) -> list:
         """Run the configured blocking stack alone; return candidate pairs.
 
         The same pairs :meth:`resolve` would generate internally — exposed
         so callers (incremental ingest, diagnostics) can inspect or
-        restrict them before resolution.
+        restrict them before resolution.  ``parallel`` enables the
+        vectorised-signature + chunked-filter path (same pairs, same
+        order, same metric totals as serial).
         """
         config = self.config
         blocker: object = LshBlocker(
@@ -166,6 +193,20 @@ class SnapsResolver:
             from repro.blocking.phonetic import PhoneticBlocker
 
             blocker = CompositeBlocker([blocker, PhoneticBlocker()])
+        workers = self._effective_workers(dataset, parallel)
+        if workers >= 1:
+            from repro.parallel import parallel_candidate_pairs
+
+            return parallel_candidate_pairs(
+                dataset,
+                blocker,
+                config,
+                workers,
+                parallel,
+                roles=roles,
+                trace=trace,
+                metrics=metrics,
+            )
         return list(
             generate_candidate_pairs(
                 dataset,
@@ -185,6 +226,7 @@ class SnapsResolver:
         pairs: list | None = None,
         store: EntityStore | None = None,
         checkpoint=None,
+        parallel: "ParallelConfig | None" = None,
     ) -> LinkageResult:
         """Resolve ``dataset`` and return the linkage result.
 
@@ -208,11 +250,19 @@ class SnapsResolver:
         resumed through the same checkpointer finishes with output
         byte-identical to an uninterrupted one.  The dependency graph is
         always rebuilt: it is deterministic in (dataset, pairs).
+
+        ``parallel`` selects the :mod:`repro.parallel` execution
+        substrate (vectorised MinHash, chunked/pooled pair scoring,
+        seeded similarity caches).  Output is byte-identical to serial
+        for any worker count — ``parallel`` is an execution detail, not
+        part of the run's configuration fingerprint, so checkpointed
+        runs may freely resume under a different worker count.
         """
         config = self.config
         timings = Stopwatch()
         if trace is None:
             trace = Trace.disabled()
+        workers = self._effective_workers(dataset, parallel)
         completed = checkpoint.completed_prefix() if checkpoint is not None else ()
         if completed:
             logger.info(
@@ -232,14 +282,36 @@ class SnapsResolver:
                     )
                 else:
                     with trace.span("blocking"), timings.phase("blocking"):
-                        pairs = self.block(dataset, roles=roles, metrics=metrics)
+                        pairs = self.block(
+                            dataset,
+                            roles=roles,
+                            metrics=metrics,
+                            parallel=parallel,
+                            trace=trace,
+                        )
                     logger.info("blocking produced %d candidate pairs", len(pairs))
                     if checkpoint is not None:
                         checkpoint.save_pairs(pairs)
             elif checkpoint is not None and "blocking" not in completed:
                 checkpoint.save_pairs(pairs)
+            seeds = None
             with trace.span("graph"), timings.phase("graph_generation"):
-                graph = build_dependency_graph(dataset, pairs, config, self.registry)
+                if workers >= 1:
+                    from repro.parallel import parallel_graph_and_seeds
+
+                    graph, seeds = parallel_graph_and_seeds(
+                        dataset,
+                        pairs,
+                        config,
+                        workers,
+                        parallel,
+                        trace=trace,
+                        metrics=metrics,
+                    )
+                else:
+                    graph = build_dependency_graph(
+                        dataset, pairs, config, self.registry
+                    )
             logger.info(
                 "dependency graph: |N_A|=%d |N_R|=%d",
                 graph.n_atomic,
@@ -275,6 +347,11 @@ class SnapsResolver:
                 propagate=config.use_propagation,
                 metrics=metrics,
             )
+            if seeds is not None:
+                scorer.seed_caches(seeds.sim_table, seeds.node_scores)
+                checker.seed_pair_validity(seeds.pair_validity)
+                if metrics is not None:
+                    metrics.set_gauge("parallel.workers", workers)
 
             def commit(phase: str) -> None:
                 if checkpoint is not None:
@@ -325,6 +402,7 @@ class SnapsResolver:
                     refinement.records_removed,
                     refinement.bridges_cut,
                 )
+        scorer.publish_cache_metrics(metrics)
         if metrics is not None:
             metrics.inc("resolver.runs")
             metrics.inc("resolver.records", len(dataset))

@@ -20,6 +20,8 @@ woman's maiden-name records to her married-name records.
 
 from __future__ import annotations
 
+import math
+
 from repro.core.config import SnapsConfig
 from repro.core.dependency_graph import AtomicNode, DependencyGraph, RelationalNode
 from repro.core.entities import EntityStore
@@ -86,6 +88,26 @@ class PairScorer:
         self.registry = registry or default_registry()
         self.frequencies = frequency_index or NameFrequencyIndex(dataset)
         self._sim_cache: dict[tuple[str, str, str], float] = {}
+        # Per-node score cache, active only when the parallel precompute
+        # has seeded it: (rid_a, rid_b) -> [s_a | None, s_d | None].  s_d
+        # is a pure function of the two records and is never invalidated;
+        # s_a is dropped whenever PROP-A actually changes ``node.atomic``.
+        self._node_scores: dict[tuple[int, int], list] = {}
+        self._cache_active = False
+        # PROP-A result memo, also parallel-only.  The best value pair per
+        # attribute is a pure function of the two entities' value sets, so
+        # one computation serves every node whose records sit in the same
+        # pair of entity states.  (entity_id, size) identifies a state
+        # exactly: ids are never reused and every membership change either
+        # grows the entity or replaces it with a fresh id.
+        self._propagate_memo: dict[tuple, dict[str, AtomicNode | None]] = {}
+        self._entity_values: dict[tuple[int, int, str], list[str]] = {}
+        self._sim_hits = 0
+        self._sim_misses = 0
+        self._node_hits = 0
+        self._node_misses = 0
+        self._propagate_hits = 0
+        self._propagate_misses = 0
 
     # ------------------------------------------------------------------
     # Cached value-pair similarity
@@ -97,10 +119,43 @@ class PairScorer:
         key = (attribute, lo, hi)
         cached = self._sim_cache.get(key)
         if cached is None:
+            self._sim_misses += 1
             fire("similarity.compare")
             cached = self.registry.compare(attribute, value_a, value_b) or 0.0
             self._sim_cache[key] = cached
+        else:
+            self._sim_hits += 1
         return cached
+
+    def seed_caches(
+        self,
+        sim_table: dict[tuple[str, str, str], float],
+        node_scores: dict[tuple[int, int], list],
+    ) -> None:
+        """Install precomputed similarity and node-score tables.
+
+        The parallel precompute supplies every comparator output implied
+        by the candidate pairs plus each node's initial ``s_a``/``s_d``,
+        all computed by the same code paths the scorer would run — the
+        caches change where numbers come from, never what they are.
+        """
+        self._sim_cache.update(sim_table)
+        self._node_scores.update(node_scores)
+        self._cache_active = True
+
+    def publish_cache_metrics(self, metrics) -> None:
+        """Record cache hit/miss/size under ``scoring.*`` metrics."""
+        if metrics is None:
+            return
+        metrics.inc("scoring.sim_cache.hits", self._sim_hits)
+        metrics.inc("scoring.sim_cache.misses", self._sim_misses)
+        metrics.set_gauge("scoring.sim_cache.size", len(self._sim_cache))
+        metrics.inc("scoring.node_cache.hits", self._node_hits)
+        metrics.inc("scoring.node_cache.misses", self._node_misses)
+        metrics.set_gauge("scoring.node_cache.size", len(self._node_scores))
+        metrics.inc("scoring.propagate_memo.hits", self._propagate_hits)
+        metrics.inc("scoring.propagate_memo.misses", self._propagate_misses)
+        metrics.set_gauge("scoring.propagate_memo.size", len(self._propagate_memo))
 
     # ------------------------------------------------------------------
     # PROP-A: re-point atomic nodes using entity value sets
@@ -122,22 +177,118 @@ class PairScorer:
         """
         entity_a = store.entity_of(node.rid_a)
         entity_b = store.entity_of(node.rid_b)
+        if (
+            self._cache_active
+            and len(entity_a.record_ids) == 1
+            and len(entity_b.record_ids) == 1
+        ):
+            # Both entities are still singletons, so each value set is
+            # exactly the record's own values — the same values the graph
+            # build already chose the best pair from.  Every branch below
+            # is then a proven no-op: the winning pair equals the existing
+            # atomic node (same values, same comparator), its key is
+            # already registered, and the delete branch cannot trigger
+            # (an atomic node's build-time similarity cannot drop).
+            return
+        if self._cache_active:
+            # The winning pair per attribute depends only on the two
+            # entities' value sets, never on the node — memoise it per
+            # entity-state pair and replay the per-node application.
+            state = (
+                entity_a.entity_id,
+                len(entity_a.record_ids),
+                entity_b.entity_id,
+                len(entity_b.record_ids),
+            )
+            memo = self._propagate_memo.get(state)
+            if memo is None:
+                self._propagate_misses += 1
+                memo = self._propagate_memo[state] = self._best_pairs(
+                    store, entity_a, entity_b
+                )
+            else:
+                self._propagate_hits += 1
+            changed = False
+            for attribute, best in memo.items():
+                if best is not None:
+                    if node.atomic.get(attribute) != best:
+                        changed = True
+                    node.atomic[attribute] = best
+                    graph.register_atomic(best)
+                elif attribute in node.atomic:
+                    del node.atomic[attribute]
+                    changed = True
+            if changed:
+                # The node's atomic evidence moved: its cached s_a is stale.
+                entry = self._node_scores.get((node.rid_a, node.rid_b))
+                if entry is not None:
+                    entry[0] = None
+            return
+        changed = False
         for attribute in self.config.schema.names():
             values_a = store.values_of(entity_a, attribute)
             values_b = store.values_of(entity_b, attribute)
             if not values_a or not values_b:
                 continue
-            best: AtomicNode | None = None
-            for va in values_a:
-                for vb in values_b:
-                    similarity = self.value_similarity(attribute, va, vb)
-                    if best is None or similarity > best.similarity:
-                        best = AtomicNode(attribute, va, vb, similarity)
+            best = self._best_pair(attribute, values_a, values_b)
             if best is not None and best.similarity >= self.config.atomic_threshold:
+                if node.atomic.get(attribute) != best:
+                    changed = True
                 node.atomic[attribute] = best
                 graph.register_atomic(best)
             elif attribute in node.atomic:
                 del node.atomic[attribute]
+                changed = True
+
+    def _best_pair(
+        self, attribute: str, values_a: list[str], values_b: list[str]
+    ) -> AtomicNode | None:
+        """Highest-similarity cross pair of the two value lists."""
+        best: AtomicNode | None = None
+        for va in values_a:
+            if best is not None and best.similarity >= 1.0:
+                break
+            for vb in values_b:
+                similarity = self.value_similarity(attribute, va, vb)
+                if best is None or similarity > best.similarity:
+                    best = AtomicNode(attribute, va, vb, similarity)
+                    if similarity >= 1.0:
+                        # Comparators are bounded by 1.0 and the update
+                        # test is strict `>`: nothing can displace an
+                        # exact match, so stop scanning.
+                        break
+        return best
+
+    def _best_pairs(
+        self, store: EntityStore, entity_a, entity_b
+    ) -> dict[str, AtomicNode | None]:
+        """PROP-A outcome per attribute for one entity-state pair.
+
+        An attribute maps to its qualifying best pair, to ``None`` when
+        both sides have values but the best falls below ``t_a`` (the
+        delete case), and is absent when either side has no value (the
+        skip case) — mirroring the three branches of the serial loop.
+        """
+        memo: dict[str, AtomicNode | None] = {}
+        for attribute in self.config.schema.names():
+            values_a = self._values_of(entity_a, attribute, store)
+            values_b = self._values_of(entity_b, attribute, store)
+            if not values_a or not values_b:
+                continue
+            best = self._best_pair(attribute, values_a, values_b)
+            if best is not None and best.similarity >= self.config.atomic_threshold:
+                memo[attribute] = best
+            else:
+                memo[attribute] = None
+        return memo
+
+    def _values_of(self, entity, attribute: str, store: EntityStore) -> list[str]:
+        """Memoised ``store.values_of`` keyed by entity state."""
+        key = (entity.entity_id, len(entity.record_ids), attribute)
+        values = self._entity_values.get(key)
+        if values is None:
+            values = self._entity_values[key] = store.values_of(entity, attribute)
+        return values
 
     # ------------------------------------------------------------------
     # Equations (1)-(3)
@@ -156,6 +307,23 @@ class PairScorer:
         return any(attribute in node.atomic for attribute in must)
 
     def atomic_similarity(self, node: RelationalNode) -> float:
+        """Equation (1), memoised per node when the cache is seeded."""
+        if not self._cache_active:
+            return self._atomic_similarity_uncached(node)
+        key = (node.rid_a, node.rid_b)
+        entry = self._node_scores.get(key)
+        if entry is not None and entry[0] is not None:
+            self._node_hits += 1
+            return entry[0]
+        self._node_misses += 1
+        value = self._atomic_similarity_uncached(node)
+        if entry is not None:
+            entry[0] = value
+        else:
+            self._node_scores[key] = [value, None]
+        return value
+
+    def _atomic_similarity_uncached(self, node: RelationalNode) -> float:
         """Equation (1): weighted Must/Core/Extra category combination.
 
         An attribute present on both records but lacking an atomic node
@@ -207,9 +375,29 @@ class PairScorer:
         return weighted_sum / weight_total
 
     def disambiguation_similarity(self, node: RelationalNode) -> float:
-        """Equation (2): normalised IDF of the two records' name combos."""
-        import math
+        """Equation (2), memoised per node when the cache is seeded.
 
+        ``s_d`` depends only on the two records and the frequency index,
+        neither of which changes during a run, so a cached value is never
+        invalidated.
+        """
+        if not self._cache_active:
+            return self._disambiguation_similarity_uncached(node)
+        key = (node.rid_a, node.rid_b)
+        entry = self._node_scores.get(key)
+        if entry is not None and entry[1] is not None:
+            self._node_hits += 1
+            return entry[1]
+        self._node_misses += 1
+        value = self._disambiguation_similarity_uncached(node)
+        if entry is not None:
+            entry[1] = value
+        else:
+            self._node_scores[key] = [None, value]
+        return value
+
+    def _disambiguation_similarity_uncached(self, node: RelationalNode) -> float:
+        """Equation (2): normalised IDF of the two records' name combos."""
         a, b = self.dataset.record(node.rid_a), self.dataset.record(node.rid_b)
         n = max(2, self.frequencies.total_records)
         freq = self.frequencies.frequency(a) + self.frequencies.frequency(b)

@@ -133,7 +133,14 @@ class Certificate:
         parent to child, ``Sof`` links spouses symmetrically (emitted once).
         Census households relate the head and wife as spouses and both as
         parents of the household's children.
+
+        Memoised: certificate role structure is immutable after loading,
+        and graph construction asks for each certificate's triples once
+        per certificate-pair group it appears in.
         """
+        cached = self.__dict__.get("_relationships")
+        if cached is not None:
+            return cached
         triples: list[tuple[int, str, int]] = []
 
         def rel(role_a: Role, relation: str, role_b: Role) -> None:
@@ -161,6 +168,7 @@ class Certificate:
                     triples.append((head, "Fof", child))
                 if wife is not None:
                     triples.append((wife, "Mof", child))
+        self.__dict__["_relationships"] = triples
         return triples
 
 

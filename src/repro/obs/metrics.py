@@ -30,6 +30,7 @@ __all__ = [
     "NULL_METRICS",
     "linear_buckets",
     "exponential_buckets",
+    "merge_counts",
     "SIMILARITY_BUCKETS",
     "LATENCY_BUCKETS_S",
 ]
@@ -61,6 +62,20 @@ def exponential_buckets(start: float, factor: float, count: int) -> list[float]:
 # steps); latencies from 0.1 ms to ~13 s in doubling steps.
 SIMILARITY_BUCKETS = linear_buckets(0.05, 0.05, 20)
 LATENCY_BUCKETS_S = exponential_buckets(0.0001, 2, 18)
+
+
+def merge_counts(metrics, counts: dict[str, int], prefix: str = "") -> None:
+    """Fold a plain ``name -> count`` dict into ``metrics`` counters.
+
+    Worker processes can't share a registry, so they return counter
+    deltas as plain dicts; the parent folds them in here.  ``metrics``
+    may be ``None`` (the uninstrumented fast path).
+    """
+    if metrics is None:
+        return
+    for name, count in counts.items():
+        if count:
+            metrics.inc(f"{prefix}{name}", count)
 
 
 class Counter:

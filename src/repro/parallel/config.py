@@ -1,0 +1,67 @@
+"""Parallel execution configuration.
+
+``ParallelConfig`` is deliberately *not* part of
+:class:`~repro.core.config.SnapsConfig`: worker count is an execution
+detail with no influence on output (the parallel path is byte-identical
+to serial), so it must not enter config fingerprints — a run
+checkpointed under ``--workers 4`` resumes cleanly under ``--workers 1``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = ["ParallelConfig", "available_cpus"]
+
+
+def available_cpus() -> int:
+    """CPUs this process may schedule on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """How the offline phases fan out.
+
+    ``workers``:
+
+    * ``None`` (default, ``auto``) — pick a worker count from the
+      machine, but stay serial for datasets below ``min_records``
+      (process fan-out costs more than it saves on tiny inputs);
+    * ``0`` — force the serial reference path;
+    * ``1`` — run the parallel pipeline in-process (vectorised MinHash,
+      batch scoring, seeded caches) without spawning workers;
+    * ``N >= 2`` — additionally score chunks in up to ``N`` pool
+      processes.  The pool never exceeds the CPUs actually available —
+      oversubscribing a CPU-bound pool only adds scheduling and IPC
+      overhead — so on a small machine a large ``N`` degrades gracefully
+      to the in-process pipeline.  ``oversubscribe=True`` removes that
+      clamp (tests use it to exercise the real pool everywhere).
+
+    Chunk boundaries depend on the *requested* worker count, never on
+    the machine, and chunk results merge in submission order — output is
+    identical whatever runs where.
+    """
+
+    workers: int | None = None
+    min_records: int = 1000
+    max_auto_workers: int = 8
+    chunks_per_worker: int = 4
+    min_chunk_size: int = 512
+    oversubscribe: bool = False
+
+    def __post_init__(self) -> None:
+        if self.workers is not None and self.workers < 0:
+            raise ValueError(f"workers cannot be negative, got {self.workers}")
+
+    def effective_workers(self, n_records: int) -> int:
+        """Worker count for a dataset of ``n_records`` (0 = serial)."""
+        if self.workers is not None:
+            return self.workers
+        if n_records < self.min_records:
+            return 0
+        return max(1, min(available_cpus(), self.max_auto_workers))

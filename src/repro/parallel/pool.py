@@ -1,0 +1,136 @@
+"""Deterministic chunk execution over an optional process pool.
+
+``ChunkRunner`` maps worker chunk functions over task lists and returns
+results **in submission order** — the merge step's determinism comes
+from here, not from any property of the pool.  With ``workers == 1``
+the chunks run in-process (the parallel pipeline without fan-out);
+with ``workers >= 2`` they run in a ``ProcessPoolExecutor``.
+
+Payload shipping prefers the ``fork`` start method: the payload is
+installed in this process's worker module *before* the pool is created,
+so children inherit it without pickling the dataset.  Where only
+``spawn`` is available the payload travels once per worker through the
+pool initializer.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable
+
+from repro.obs.metrics import LATENCY_BUCKETS_S, MetricsRegistry
+from repro.obs.trace import Trace
+from repro.parallel import worker
+from repro.parallel.config import ParallelConfig, available_cpus
+
+__all__ = ["ChunkRunner", "make_tasks"]
+
+
+def make_tasks(
+    items: list,
+    workers: int,
+    fingerprint: str,
+    parallel: ParallelConfig,
+) -> list[dict]:
+    """Split ``items`` into contiguous, deterministic chunk tasks.
+
+    Chunk boundaries depend only on the item count and the runner shape;
+    results are merged back in chunk order, so chunking never influences
+    output — only load balance.
+    """
+    if not items:
+        return []
+    target = max(1, workers * parallel.chunks_per_worker)
+    size = max(parallel.min_chunk_size, -(-len(items) // target))
+    return [
+        {
+            "chunk": index,
+            "fingerprint": fingerprint,
+            "pairs": items[offset : offset + size],
+        }
+        for index, offset in enumerate(range(0, len(items), size))
+    ]
+
+
+class ChunkRunner:
+    """Runs chunk tasks in-process or across a process pool."""
+
+    def __init__(
+        self,
+        payload: dict,
+        workers: int,
+        trace: Trace | None = None,
+        metrics: MetricsRegistry | None = None,
+        oversubscribe: bool = False,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"ChunkRunner needs workers >= 1, got {workers}")
+        self.payload = payload
+        self.workers = workers
+        # A CPU-bound pool gains nothing from more processes than cores —
+        # clamp unless explicitly asked to oversubscribe.  Pool size never
+        # affects output (results merge in submission order).
+        self.pool_workers = (
+            workers if oversubscribe else min(workers, available_cpus())
+        )
+        self.trace = trace if trace is not None else Trace.disabled()
+        self.metrics = metrics
+        self._pool: ProcessPoolExecutor | None = None
+
+    def __enter__(self) -> "ChunkRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            if "fork" in multiprocessing.get_all_start_methods():
+                # Children inherit the payload through fork: install it
+                # in this process's worker module first, ship nothing.
+                worker.set_payload(self.payload)
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.pool_workers,
+                    mp_context=multiprocessing.get_context("fork"),
+                )
+            else:  # pragma: no cover - non-fork platforms
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.pool_workers,
+                    mp_context=multiprocessing.get_context(),
+                    initializer=worker.init_worker,
+                    initargs=(self.payload,),
+                )
+        return self._pool
+
+    def map(self, fn: Callable[[dict], dict], tasks: list[dict], label: str) -> list[dict]:
+        """Run ``fn`` over ``tasks``; results come back in task order."""
+        results: list[dict] = []
+        if self.pool_workers == 1:
+            worker.set_payload(self.payload)
+            for task in tasks:
+                with self.trace.span(f"parallel.{label}.chunk{task['chunk']}"):
+                    result = fn(task)
+                self._note(result)
+                results.append(result)
+            return results
+        pool = self._ensure_pool()
+        futures = [pool.submit(fn, task) for task in tasks]
+        for task, future in zip(tasks, futures):
+            with self.trace.span(f"parallel.{label}.chunk{task['chunk']}"):
+                result = future.result()
+            self._note(result)
+            results.append(result)
+        return results
+
+    def _note(self, result: dict) -> None:
+        if self.metrics is not None:
+            self.metrics.inc("parallel.chunks")
+            self.metrics.observe(
+                "parallel.chunk_seconds", result["elapsed"], LATENCY_BUCKETS_S
+            )

@@ -16,7 +16,12 @@ from repro.similarity.jaccard import token_jaccard
 from repro.similarity.jaro import jaro_winkler_similarity
 from repro.similarity.numeric import max_abs_diff_similarity
 
-__all__ = ["ComparatorRegistry", "default_registry", "name_similarity"]
+__all__ = [
+    "ComparatorRegistry",
+    "default_registry",
+    "name_similarity",
+    "registry_for_config",
+]
 
 Comparator = Callable[[str, str], float]
 
@@ -99,4 +104,22 @@ def default_registry() -> ComparatorRegistry:
     registry.register("occupation", token_jaccard)
     registry.register("birth_year", _year_comparator(max_diff=3.0))
     registry.register("event_year", _year_comparator(max_diff=3.0))
+    return registry
+
+
+def registry_for_config(config) -> ComparatorRegistry:
+    """The registry a :class:`SnapsConfig`-like object implies.
+
+    The default registry, with the geocode-aware address comparator
+    swapped in when ``config.use_geocoded_addresses`` is set.  Both the
+    resolver and the parallel worker processes build their registries
+    through this helper, so a worker reconstructs *exactly* the
+    comparators the main process would use (comparator closures are not
+    picklable, hence reconstruction rather than shipping).
+    """
+    registry = default_registry()
+    if getattr(config, "use_geocoded_addresses", False):
+        from repro.geocode import geo_address_comparator
+
+        registry.register("address", geo_address_comparator())
     return registry

@@ -102,9 +102,18 @@ class IncrementalResolver:
         parent: str | None = None,
         trace: Trace | None = None,
         metrics: MetricsRegistry | None = None,
+        workers: int | None = None,
     ) -> IngestResult:
         """Fold ``delta`` into the snapshot ``parent`` (default HEAD);
-        returns the new child snapshot's manifest and linkage result."""
+        returns the new child snapshot's manifest and linkage result.
+
+        ``workers`` selects the resolution path for the re-resolve step
+        (0 = serial, N >= 1 = parallel, ``None`` = auto by dataset size);
+        the output is byte-identical either way.
+        """
+        from repro.parallel import ParallelConfig
+
+        parallel = ParallelConfig(workers=workers)
         trace = trace if trace is not None else Trace.disabled()
         with trace.span("ingest"):
             with trace.span("load_base"):
@@ -127,7 +136,9 @@ class IncrementalResolver:
             combined = concat_datasets(base.dataset, delta)
             delta_ids = set(delta.records)
             with trace.span("blocking"):
-                pairs = resolver.block(combined, metrics=metrics)
+                pairs = resolver.block(
+                    combined, metrics=metrics, parallel=parallel, trace=trace
+                )
             with trace.span("dirty_closure"):
                 dirty_pairs, dirty_records, seeded, replayed = self._partition(
                     combined, pairs, base.clusters, delta_ids
@@ -150,6 +161,7 @@ class IncrementalResolver:
                     metrics=metrics,
                     pairs=dirty_pairs,
                     store=seeded,
+                    parallel=parallel,
                 )
             with trace.span("save"):
                 manifest = self.store.save(
