@@ -1,6 +1,6 @@
 # Developer entry points for the SNAPS reproduction.
 
-.PHONY: install test verify serve-smoke chaos bench bench-full examples clean
+.PHONY: install test verify serve-smoke obs-smoke chaos bench bench-full examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -46,6 +46,33 @@ chaos:
 # and /metricz, then shut down.  See src/repro/serve/smoke.py.
 serve-smoke:
 	PYTHONPATH=src python -m repro.serve.smoke
+
+# Observability gate: a multi-worker resolve with durable tracing and
+# the sampling profiler on must stay byte-identical to serial, leave a
+# walkable single-tree trace file and a checkable report/prom rendering
+# (scripts/check_obs.py), and the bench regression tracker must build a
+# baseline and pass --check across two quick bench runs.  Artefacts stay
+# in $(OBS_TMP) for CI upload; the directory is recreated per run.
+OBS_TMP = /tmp/snaps-obs-smoke
+
+obs-smoke:
+	rm -rf $(OBS_TMP) && mkdir -p $(OBS_TMP); \
+	set -e; \
+	PYTHONPATH=src python -m repro simulate --dataset tiny --out $(OBS_TMP)/data; \
+	SNAPS_OBS=durable PYTHONPATH=src python -m repro resolve \
+		--data $(OBS_TMP)/data --workers 2 --out $(OBS_TMP)/graph.json \
+		--trace-out $(OBS_TMP)/trace.jsonl --metrics-out $(OBS_TMP)/run.json \
+		--profile --profile-out $(OBS_TMP)/profile.txt; \
+	PYTHONPATH=src python -m repro resolve --data $(OBS_TMP)/data \
+		--workers 0 --out $(OBS_TMP)/serial.json; \
+	cmp $(OBS_TMP)/graph.json $(OBS_TMP)/serial.json; \
+	PYTHONPATH=src python scripts/check_obs.py $(OBS_TMP)/trace.jsonl \
+		$(OBS_TMP)/run.json $(OBS_TMP)/profile.txt; \
+	PYTHONPATH=src python -m repro report $(OBS_TMP)/run.json --format prom > /dev/null; \
+	REPRO_BENCH_SCALE=0.05 PYTHONPATH=src python benchmarks/bench_parallel_scaling.py --quick; \
+	PYTHONPATH=src python -m repro bench-history --history $(OBS_TMP)/history.jsonl; \
+	REPRO_BENCH_SCALE=0.05 PYTHONPATH=src python benchmarks/bench_parallel_scaling.py --quick; \
+	PYTHONPATH=src python -m repro bench-history --history $(OBS_TMP)/history.jsonl --check
 
 # The full evaluation harness: one bench per paper table/figure plus the
 # design-choice ablations.  REPRO_BENCH_SCALE=1.0 approximates paper-sized

@@ -91,10 +91,24 @@ def emit_report(
 
     Written to ``benchmarks/results/<bench>.metrics.json`` (overwritten
     per run — the text table keeps history, the artefact keeps the
-    latest structured numbers for downstream tooling).
+    latest structured numbers for downstream tooling).  With
+    ``SNAPS_BENCH_HISTORY=1`` the report is also appended straight into
+    ``BENCH_HISTORY.jsonl`` at the repo root (same row format as
+    ``repro bench-history``), so a bench run leaves its trajectory row
+    without a second command.
     """
     RESULTS_DIR.mkdir(exist_ok=True)
     base_meta = {"bench": bench_name, "scale": BENCH_SCALE}
     base_meta.update(meta or {})
     report = build_report(trace=trace, metrics=metrics, meta=base_meta)
-    return save_report(report, RESULTS_DIR / f"{bench_name}.metrics.json")
+    path = save_report(report, RESULTS_DIR / f"{bench_name}.metrics.json")
+    if os.environ.get("SNAPS_BENCH_HISTORY", "") in ("1", "true"):
+        from datetime import datetime, timezone
+
+        from repro.obs.history import append_rows, history_row
+
+        row = history_row(
+            report, str(path), datetime.now(timezone.utc).isoformat()
+        )
+        append_rows(Path(__file__).parent.parent / "BENCH_HISTORY.jsonl", [row])
+    return path

@@ -69,8 +69,22 @@ def build_parser() -> argparse.ArgumentParser:
             help="write the run report (spans + metrics) as JSON",
         )
         command.add_argument(
+            "--trace-out", metavar="PATH",
+            help="stream every closed span to a JSONL trace file as the "
+            "run progresses (crash-safe with SNAPS_OBS=durable)",
+        )
+        command.add_argument(
             "--trace-memory", action="store_true",
             help="also capture tracemalloc peaks per span (slower)",
+        )
+        command.add_argument(
+            "--profile", action="store_true",
+            help="sample Python stacks during the run (also via "
+            "SNAPS_PROFILE=1) and add a top-N table to the run report",
+        )
+        command.add_argument(
+            "--profile-out", metavar="PATH",
+            help="write collapsed-stack (flamegraph) profile output here",
         )
 
     simulate = sub.add_parser("simulate", help="generate a synthetic dataset")
@@ -202,10 +216,73 @@ def build_parser() -> argparse.ArgumentParser:
         "--breaker-reset", type=float, default=30.0, metavar="SECONDS",
         help="seconds an open circuit waits before a recovery probe",
     )
+    serve.add_argument(
+        "--slo-deadline", type=float, default=0.5, metavar="SECONDS",
+        help="latency objective deadline for search/pedigree requests",
+    )
+    serve.add_argument(
+        "--slo-latency-target", type=float, default=0.99,
+        help="fraction of read requests that must meet the deadline",
+    )
+    serve.add_argument(
+        "--slo-availability", type=float, default=0.999,
+        help="fraction of requests that must not be server errors",
+    )
+    serve.add_argument(
+        "--slo-window", type=float, default=300.0, metavar="SECONDS",
+        help="rolling window the SLO burn rates are computed over",
+    )
     add_telemetry_flags(serve)
 
     report = sub.add_parser("report", help="render a saved run report")
     report.add_argument("report", help="path to a --metrics-out JSON file")
+    report.add_argument(
+        "--format", choices=("text", "prom"), default="text",
+        help="text tables (default) or Prometheus exposition format",
+    )
+
+    bench_history = sub.add_parser(
+        "bench-history",
+        help="fold benchmark run reports into BENCH_HISTORY.jsonl and "
+        "compare against the rolling baseline",
+    )
+    bench_history.add_argument(
+        "--results-dir", default="benchmarks/results", metavar="DIR",
+        help="directory holding <bench>.metrics.json artefacts",
+    )
+    bench_history.add_argument(
+        "--history", default="BENCH_HISTORY.jsonl", metavar="PATH",
+        help="history file to append to and compare against",
+    )
+    bench_history.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero when a time-like measure regressed past "
+        "the threshold vs its rolling baseline",
+    )
+    bench_history.add_argument(
+        "--threshold", type=float, default=1.5,
+        help="regression ratio: latest/baseline above this fails --check",
+    )
+    bench_history.add_argument(
+        "--min-delta", type=float, default=0.05, metavar="SECONDS",
+        help="absolute slowdown below this never fails (noise floor)",
+    )
+    bench_history.add_argument(
+        "--window", type=int, default=5,
+        help="rolling-baseline size (median of up to N previous runs)",
+    )
+    bench_history.add_argument(
+        "--sha", metavar="GITSHA",
+        help="record this sha instead of asking git",
+    )
+    bench_history.add_argument(
+        "--no-append", action="store_true",
+        help="only compare; do not add new rows to the history",
+    )
+    bench_history.add_argument(
+        "--show", action="store_true",
+        help="also print every history row for the touched benches",
+    )
 
     pedigree = sub.add_parser("pedigree", help="extract one entity's pedigree")
     pedigree_source = pedigree.add_mutually_exclusive_group(required=True)
@@ -302,12 +379,47 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 def _telemetry(args: argparse.Namespace):
     """(trace, metrics) for a subcommand with telemetry flags, or Nones
-    when neither output was requested."""
-    if not (args.trace or args.metrics_out):
+    when no telemetry output was requested.  ``--trace-out`` attaches a
+    streaming JSONL writer to the trace (fsync per span under
+    ``SNAPS_OBS=durable``)."""
+    trace_out = getattr(args, "trace_out", None)
+    if not (args.trace or args.metrics_out or trace_out):
         return None, None
-    from repro.obs import MetricsRegistry, default_trace
+    from repro.obs import MetricsRegistry, TraceWriter, default_trace
 
-    return default_trace(capture_memory=args.trace_memory), MetricsRegistry()
+    trace = default_trace(capture_memory=args.trace_memory)
+    if trace_out and trace.enabled:
+        trace.writer = TraceWriter(trace_out)
+    return trace, MetricsRegistry()
+
+
+def _profiler(args: argparse.Namespace):
+    """A started :class:`SamplingProfiler` when ``--profile`` or
+    ``SNAPS_PROFILE`` asks for one, else ``None``."""
+    from repro.obs import SamplingProfiler, profile_from_env
+
+    profiler = (
+        SamplingProfiler()
+        if getattr(args, "profile", False)
+        else profile_from_env()
+    )
+    if profiler is not None:
+        profiler.start()
+    return profiler
+
+
+def _finish_profile(args: argparse.Namespace, profiler, report: dict | None) -> None:
+    """Stop a profiler, fold it into the run report, write collapsed
+    stacks when ``--profile-out`` was given."""
+    if profiler is None:
+        return
+    profiler.stop()
+    if report is not None:
+        report["profile"] = profiler.as_dict()
+    profile_out = getattr(args, "profile_out", None)
+    if profile_out:
+        path = profiler.write_collapsed(profile_out)
+        print(f"collapsed-stack profile written to {path}", file=sys.stderr)
 
 
 def _emit_telemetry(args: argparse.Namespace, report: dict) -> None:
@@ -405,6 +517,7 @@ def _cmd_resolve(args: argparse.Namespace) -> int:
         return 2
     from repro.parallel import ParallelConfig
 
+    profiler = _profiler(args)
     result = SnapsResolver(config).resolve(
         dataset,
         trace=trace,
@@ -439,21 +552,21 @@ def _cmd_resolve(args: argparse.Namespace) -> int:
             f"({manifest.counts['entities']} entities) written to "
             f"{args.snapshot_out}"
         )
-    if trace is not None or metrics is not None:
-        _emit_telemetry(
-            args, result.report(meta={"data": args.data or args.resume})
-        )
+    if trace is not None or metrics is not None or profiler is not None:
+        report = result.report(meta={"data": args.data or args.resume})
+        _finish_profile(args, profiler, report)
+        _emit_telemetry(args, report)
     return 0
 
 
 def _load_snapshot_engine_parts(store_dir: str, graph_only: bool = False):
-    """(graph, keyword_index, sim_index) from a snapshot store's HEAD."""
+    """(graph, keyword_index, sim_index, manifest) from a store's HEAD."""
     from repro.store import SnapshotStore
 
     loaded = SnapshotStore(store_dir).load(
         artifacts=("graph",) if graph_only else ("graph", "indexes")
     )
-    return loaded.graph, loaded.keyword_index, loaded.sim_index
+    return loaded.graph, loaded.keyword_index, loaded.sim_index, loaded.manifest
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
@@ -461,7 +574,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
     from repro.query import Query, QueryEngine
 
     if args.snapshot:
-        graph, keyword_index, sim_index = _load_snapshot_engine_parts(args.snapshot)
+        graph, keyword_index, sim_index, _ = _load_snapshot_engine_parts(
+            args.snapshot
+        )
     else:
         graph = load_pedigree_graph(args.graph)
         keyword_index = sim_index = None
@@ -528,10 +643,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         from repro.store import SnapshotStore
 
         store = SnapshotStore(args.snapshot)
-        graph, keyword_index, sim_index = _load_snapshot_engine_parts(args.snapshot)
+        graph, keyword_index, sim_index, manifest = _load_snapshot_engine_parts(
+            args.snapshot
+        )
     else:
         graph = load_pedigree_graph(args.graph)
-        keyword_index = sim_index = None
+        keyword_index = sim_index = manifest = None
     config = ServeConfig(
         host=args.host,
         port=args.port,
@@ -544,6 +661,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         use_geographic_distance=args.geo,
         breaker_threshold=args.breaker_threshold,
         breaker_reset_s=args.breaker_reset,
+        slo_availability=args.slo_availability,
+        slo_latency_target=args.slo_latency_target,
+        slo_deadline_s=args.slo_deadline,
+        slo_window_s=args.slo_window,
     )
     # /metricz always needs a live registry; the --trace/--metrics-out
     # flags only control what is emitted at shutdown.
@@ -555,6 +676,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         keyword_index=keyword_index,
         sim_index=sim_index,
         store=store,
+        manifest=manifest,
     )
     server = make_server(app, config.host, config.port)
     host, port = server.server_address[:2]
@@ -564,6 +686,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         "— Ctrl-C to stop",
         file=sys.stderr,
     )
+    profiler = _profiler(args)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -571,28 +694,126 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         server.shutdown()
         server.server_close()
-        if args.trace or args.metrics_out:
+        if args.trace or args.metrics_out or profiler is not None:
             from repro.obs import build_report
 
-            _emit_telemetry(
-                args,
-                build_report(
-                    metrics=app.metrics,
-                    meta={"kind": "serve", "graph": args.graph or args.snapshot},
-                ),
+            report = build_report(
+                metrics=app.metrics,
+                meta={"kind": "serve", "graph": args.graph or args.snapshot},
             )
+            _finish_profile(args, profiler, report)
+            _emit_telemetry(args, report)
     return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    from repro.obs import load_report, render_report
+    from repro.obs import load_report, render_prometheus, render_report
 
     try:
         report = load_report(args.report)
     except (OSError, ValueError) as error:
         print(f"cannot read run report: {error}", file=sys.stderr)
         return 1
+    if args.format == "prom":
+        info = {
+            key: str(value)
+            for key, value in report.get("meta", {}).items()
+            if isinstance(value, (str, int)) and not key.startswith("time_")
+        }
+        print(render_prometheus(report.get("metrics", {}), info=info or None), end="")
+        return 0
     print(render_report(report), end="")
+    return 0
+
+
+def _cmd_bench_history(args: argparse.Namespace) -> int:
+    import glob
+    import os
+    from datetime import datetime, timezone
+
+    from repro.obs import load_report
+    from repro.obs.history import (
+        append_rows,
+        compute_deltas,
+        find_regressions,
+        git_sha,
+        history_row,
+        load_history,
+    )
+
+    pattern = os.path.join(args.results_dir, "*.metrics.json")
+    sources = sorted(glob.glob(pattern))
+    sha = args.sha if args.sha else git_sha()
+    recorded_at = datetime.now(timezone.utc).isoformat()
+    rows = []
+    for source in sources:
+        try:
+            report = load_report(source)
+        except (OSError, ValueError) as error:
+            print(f"skipping {source}: {error}", file=sys.stderr)
+            continue
+        rows.append(history_row(report, source, recorded_at, sha=sha))
+    if not sources:
+        print(f"no *.metrics.json artefacts under {args.results_dir}", file=sys.stderr)
+    try:
+        if args.no_append:
+            appended = []
+        else:
+            appended = append_rows(args.history, rows)
+        history = load_history(args.history)
+    except ValueError as error:
+        print(f"history error: {error}", file=sys.stderr)
+        return 1
+    print(
+        f"{args.history}: {len(history)} row(s), {len(appended)} new"
+    )
+    if args.show:
+        for row in history:
+            print(
+                f"  {row['recorded_at']}  {row['bench']}"
+                f" scale={row.get('scale')} sha={row.get('git_sha')}"
+                f" measures={len(row.get('measures', {}))}"
+            )
+    deltas = compute_deltas(history, window=args.window)
+    for entry in deltas:
+        if not entry["baseline_runs"]:
+            print(
+                f"  {entry['bench']} (scale={entry['scale']}): first run, "
+                "no baseline yet"
+            )
+            continue
+        times = {
+            name: cmp
+            for name, cmp in entry["measures"].items()
+            if name.startswith("span:") or name.startswith("meta:time_")
+        }
+        shown = sorted(
+            times.items(), key=lambda kv: -abs(kv[1]["delta"])
+        )[:4]
+        print(
+            f"  {entry['bench']} (scale={entry['scale']}, "
+            f"baseline of {entry['baseline_runs']}):"
+        )
+        for name, cmp in shown:
+            ratio = cmp["ratio"]
+            print(
+                f"    {name:<38} {cmp['value']:>9.3f} vs {cmp['baseline']:>9.3f}"
+                f"  ({'x%.2f' % ratio if ratio is not None else 'n/a'})"
+            )
+    if args.check:
+        regressions = find_regressions(
+            deltas, threshold=args.threshold, min_delta=args.min_delta
+        )
+        if regressions:
+            print(f"REGRESSION: {len(regressions)} measure(s) past x{args.threshold}:")
+            for reg in regressions:
+                print(
+                    f"  {reg['bench']} {reg['measure']}: "
+                    f"{reg['value']:.3f} vs baseline {reg['baseline']:.3f} "
+                    f"(x{reg['ratio']:.2f})"
+                )
+            return 3
+        print(f"regression check passed (threshold x{args.threshold})")
     return 0
 
 
@@ -606,7 +827,7 @@ def _cmd_pedigree(args: argparse.Namespace) -> int:
     )
 
     if args.snapshot:
-        graph, _, _ = _load_snapshot_engine_parts(args.snapshot, graph_only=True)
+        graph, _, _, _ = _load_snapshot_engine_parts(args.snapshot, graph_only=True)
     else:
         graph = load_pedigree_graph(args.graph)
     try:
@@ -713,6 +934,7 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
                     file=sys.stderr,
                 )
             return 2
+        profiler = _profiler(args)
         result = IncrementalResolver(store).ingest(
             delta,
             parent=args.parent,
@@ -731,13 +953,12 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
             f"snapshot {result.manifest.snapshot_id} written "
             f"(parent {result.manifest.parent})"
         )
-        if trace is not None or metrics is not None:
-            _emit_telemetry(
-                args,
-                result.linkage.report(
-                    meta={"kind": "ingest", "store": args.store, "data": args.data}
-                ),
+        if trace is not None or metrics is not None or profiler is not None:
+            report = result.linkage.report(
+                meta={"kind": "ingest", "store": args.store, "data": args.data}
             )
+            _finish_profile(args, profiler, report)
+            _emit_telemetry(args, report)
         return 0
     except (SnapshotError, ValueError) as error:
         print(f"snapshot error: {error}", file=sys.stderr)
@@ -750,6 +971,7 @@ _COMMANDS = {
     "query": _cmd_query,
     "serve": _cmd_serve,
     "report": _cmd_report,
+    "bench-history": _cmd_bench_history,
     "pedigree": _cmd_pedigree,
     "anonymise": _cmd_anonymise,
     "snapshot": _cmd_snapshot,

@@ -8,8 +8,21 @@ The telemetry layer under the SNAPS pipeline (see DESIGN.md):
   fixed-bucket histograms in a :class:`MetricsRegistry`;
 * :mod:`repro.obs.report` — run-report artefacts (JSON) and their
   human-readable rendering (the ``repro report`` command);
+* :mod:`repro.obs.prom` — Prometheus text exposition (plus a strict
+  parser/validator and standard process gauges);
+* :mod:`repro.obs.profile` — stdlib-only sampling profiler with
+  collapsed-stack (flamegraph) output;
+* :mod:`repro.obs.history` — the benchmark history store behind
+  ``repro bench-history`` (``BENCH_HISTORY.jsonl``);
 * :mod:`repro.obs.logs` — stderr logging setup behind the CLI's
   ``-v/-vv`` flags.
+
+Telemetry crosses process boundaries: a :class:`TraceContext` rides in
+worker task payloads, workers answer with detached spans and
+:class:`MetricsRegistry` deltas, and the parent stitches both back in
+(``Trace.attach`` / ``MetricsRegistry.merge``).  Attaching a
+:class:`TraceWriter` streams every closed span to a JSONL trace file;
+``SNAPS_OBS=durable`` makes those writes fsync per span.
 
 Everything is optional and zero-cost when off: pipeline entry points
 take ``trace=None, metrics=None`` and fall back to no-op instruments,
@@ -30,16 +43,43 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NullMetrics,
     exponential_buckets,
+    histogram_quantile,
     linear_buckets,
 )
+from repro.obs.profile import SamplingProfiler, profile_from_env
+from repro.obs.prom import (
+    check_exposition,
+    parse_prometheus,
+    process_gauges,
+    render_prometheus,
+)
 from repro.obs.report import build_report, load_report, render_report, save_report
-from repro.obs.trace import Span, Trace, default_trace
+from repro.obs.trace import (
+    Span,
+    Trace,
+    TraceContext,
+    TraceWriter,
+    context_span,
+    default_trace,
+    read_trace_jsonl,
+)
 from repro.utils.timer import Stopwatch, Timer
 
 __all__ = [
     "Span",
     "Trace",
+    "TraceContext",
+    "TraceWriter",
+    "context_span",
     "default_trace",
+    "read_trace_jsonl",
+    "histogram_quantile",
+    "render_prometheus",
+    "parse_prometheus",
+    "check_exposition",
+    "process_gauges",
+    "SamplingProfiler",
+    "profile_from_env",
     "Counter",
     "Gauge",
     "Histogram",

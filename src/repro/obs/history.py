@@ -1,0 +1,275 @@
+"""Benchmark history: the repo's persisted performance trajectory.
+
+Every benchmark run already leaves a machine-readable run report
+(``benchmarks/results/<bench>.metrics.json``).  This module folds those
+artefacts into ``BENCH_HISTORY.jsonl`` — one schema-versioned row per
+run, keyed by (bench, scale, config fingerprint, git sha) — and
+answers the two questions a perf log exists for:
+
+* **deltas** — how does the latest run of each benchmark compare to its
+  rolling baseline (the median of the previous ``window`` runs at the
+  same bench + scale)?
+* **regressions** — did any *time-like* measure grow past a threshold
+  ratio?  ``repro bench-history --check`` exits non-zero when one did,
+  which is the CI gate ROADMAP perf work runs behind.
+
+Rows store a flat ``measures`` map extracted from the report: numeric
+metadata (``meta:<key>``), root-span wall times (``span:<name>``),
+counters, gauges, and histogram count/mean/p95 (``hist:<name>.*``).
+Only time-like measures (span times, ``meta:time_*``, anything named
+``*seconds*``) can *fail* the check — counters legitimately move when
+the workload changes — but every measure is recorded, so non-time
+drifts are visible in the deltas.
+
+Appends are idempotent: a row whose (bench, source sha256) pair is
+already present is skipped, so re-running ``bench-history`` after a
+bench that produced no new artefact does not duplicate history.
+Medians, not means, anchor the baseline — one noisy CI run must not
+drag the reference.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import statistics
+import subprocess
+from pathlib import Path
+
+__all__ = [
+    "HISTORY_VERSION",
+    "extract_measures",
+    "history_row",
+    "load_history",
+    "append_rows",
+    "compute_deltas",
+    "find_regressions",
+    "git_sha",
+]
+
+HISTORY_VERSION = 1
+
+# Thresholds below which a ratio regression is noise, not signal: a
+# 2 ms span doubling to 4 ms should not fail CI.
+DEFAULT_THRESHOLD = 1.5
+DEFAULT_MIN_DELTA_S = 0.05
+DEFAULT_WINDOW = 5
+
+
+def git_sha(repo_root: str | Path | None = None) -> str:
+    """The current short commit sha, or ``"unknown"`` outside git."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=str(repo_root) if repo_root else None,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
+def is_time_measure(name: str) -> bool:
+    """Whether a measure is wall-time-like (and so can fail --check)."""
+    return (
+        name.startswith("span:")
+        or name.startswith("meta:time_")
+        or "seconds" in name
+    )
+
+
+def _flatten_meta(meta: dict, prefix: str, out: dict[str, float]) -> None:
+    for key, value in meta.items():
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            out[f"{prefix}{key}"] = float(value)
+        elif isinstance(value, dict):
+            _flatten_meta(value, f"{prefix}{key}.", out)
+
+
+def extract_measures(report: dict) -> dict[str, float]:
+    """Flatten a run report into comparable numeric measures."""
+    measures: dict[str, float] = {}
+    _flatten_meta(report.get("meta", {}), "meta:", measures)
+    for root in report.get("spans", ()):
+        measures[f"span:{root['name']}"] = float(root.get("elapsed_s", 0.0))
+    metrics = report.get("metrics", {})
+    for name, value in metrics.get("counters", {}).items():
+        measures[f"counter:{name}"] = float(value)
+    for name, value in metrics.get("gauges", {}).items():
+        measures[f"gauge:{name}"] = float(value)
+    for name, data in metrics.get("histograms", {}).items():
+        measures[f"hist:{name}.count"] = float(data.get("count", 0))
+        count = data.get("count", 0)
+        if count:
+            measures[f"hist:{name}.mean"] = float(data.get("sum", 0.0)) / count
+            p95 = data.get("p95")
+            if p95 is not None:
+                measures[f"hist:{name}.p95"] = float(p95)
+    return measures
+
+
+def _fingerprint(report: dict) -> str:
+    """A stable identity for the run's configuration.
+
+    Prefers an explicit ``config_fingerprint`` in the metadata; else
+    hashes the string/bool metadata only (dataset names, flags) — any
+    numeric or nested value is a measurement, not an identity, and must
+    not split one bench's runs into incomparable series.
+    """
+    meta = report.get("meta", {})
+    explicit = meta.get("config_fingerprint")
+    if explicit:
+        return str(explicit)
+    stable = {
+        k: v for k, v in meta.items() if isinstance(v, (str, bool))
+    }
+    blob = json.dumps(stable, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()[:12]
+
+
+def history_row(
+    report: dict,
+    source: str,
+    recorded_at: str,
+    sha: str | None = None,
+) -> dict:
+    """One BENCH_HISTORY.jsonl row for a run report."""
+    meta = report.get("meta", {})
+    blob = json.dumps(report, sort_keys=True).encode("utf-8")
+    return {
+        "version": HISTORY_VERSION,
+        "bench": str(meta.get("bench") or Path(source).stem.replace(".metrics", "")),
+        "scale": meta.get("scale"),
+        "fingerprint": _fingerprint(report),
+        "git_sha": sha if sha is not None else git_sha(),
+        "recorded_at": recorded_at,
+        "source": str(source),
+        "source_sha256": hashlib.sha256(blob).hexdigest(),
+        "measures": extract_measures(report),
+    }
+
+
+def load_history(path: str | Path) -> list[dict]:
+    """All rows of a history file (missing file = empty history)."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    rows: list[dict] = []
+    for n, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:{n}: corrupt history row") from exc
+        if row.get("version") != HISTORY_VERSION:
+            raise ValueError(
+                f"{path}:{n}: unsupported history version {row.get('version')!r}"
+            )
+        rows.append(row)
+    return rows
+
+
+def append_rows(path: str | Path, rows: list[dict]) -> list[dict]:
+    """Append ``rows`` (skipping already-recorded ones); returns the
+    rows actually written."""
+    path = Path(path)
+    existing = load_history(path)
+    seen = {(row["bench"], row["source_sha256"]) for row in existing}
+    fresh = []
+    for row in rows:
+        key = (row["bench"], row["source_sha256"])
+        if key in seen:
+            continue
+        seen.add(key)
+        fresh.append(row)
+    if fresh:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "a", encoding="utf-8") as handle:
+            for row in fresh:
+                handle.write(json.dumps(row, sort_keys=True) + "\n")
+    return fresh
+
+
+def _series_key(row: dict) -> tuple:
+    return (row["bench"], row.get("scale"), row.get("fingerprint"))
+
+
+def compute_deltas(rows: list[dict], window: int = DEFAULT_WINDOW) -> list[dict]:
+    """Latest-vs-baseline comparison per (bench, scale, fingerprint).
+
+    The baseline for each measure is the median over up to ``window``
+    rows preceding the latest.  Series with no history yet get
+    ``baseline_runs == 0`` and no per-measure deltas.
+    """
+    by_series: dict[tuple, list[dict]] = {}
+    for row in rows:
+        by_series.setdefault(_series_key(row), []).append(row)
+    deltas: list[dict] = []
+    for key, series in sorted(by_series.items(), key=lambda kv: str(kv[0])):
+        latest = series[-1]
+        previous = series[:-1][-window:]
+        entry = {
+            "bench": latest["bench"],
+            "scale": latest.get("scale"),
+            "fingerprint": latest.get("fingerprint"),
+            "git_sha": latest.get("git_sha"),
+            "runs": len(series),
+            "baseline_runs": len(previous),
+            "measures": {},
+        }
+        if previous:
+            for name, value in sorted(latest.get("measures", {}).items()):
+                history = [
+                    row["measures"][name]
+                    for row in previous
+                    if name in row.get("measures", {})
+                ]
+                if not history:
+                    continue
+                baseline = statistics.median(history)
+                entry["measures"][name] = {
+                    "value": value,
+                    "baseline": baseline,
+                    "delta": value - baseline,
+                    "ratio": (value / baseline) if baseline else None,
+                }
+        deltas.append(entry)
+    return deltas
+
+
+def find_regressions(
+    deltas: list[dict],
+    threshold: float = DEFAULT_THRESHOLD,
+    min_delta: float = DEFAULT_MIN_DELTA_S,
+) -> list[dict]:
+    """Time-like measures whose ratio exceeds ``threshold``.
+
+    A regression needs both a relative breach (ratio > threshold) and
+    an absolute one (delta > ``min_delta`` seconds) — tiny spans ratio
+    around wildly and must not gate CI.
+    """
+    regressions: list[dict] = []
+    for entry in deltas:
+        for name, comparison in entry.get("measures", {}).items():
+            if not is_time_measure(name):
+                continue
+            ratio = comparison.get("ratio")
+            if ratio is None:
+                continue
+            if ratio > threshold and comparison["delta"] > min_delta:
+                regressions.append(
+                    {
+                        "bench": entry["bench"],
+                        "scale": entry.get("scale"),
+                        "measure": name,
+                        **comparison,
+                        "threshold": threshold,
+                    }
+                )
+    return regressions

@@ -30,6 +30,7 @@ __all__ = [
     "NULL_METRICS",
     "linear_buckets",
     "exponential_buckets",
+    "histogram_quantile",
     "merge_counts",
     "SIMILARITY_BUCKETS",
     "LATENCY_BUCKETS_S",
@@ -62,6 +63,49 @@ def exponential_buckets(start: float, factor: float, count: int) -> list[float]:
 # steps); latencies from 0.1 ms to ~13 s in doubling steps.
 SIMILARITY_BUCKETS = linear_buckets(0.05, 0.05, 20)
 LATENCY_BUCKETS_S = exponential_buckets(0.0001, 2, 18)
+
+
+def histogram_quantile(
+    buckets: Sequence[float],
+    counts: Sequence[int],
+    q: float,
+    minimum: float | None = None,
+    maximum: float | None = None,
+) -> float:
+    """Prometheus-style quantile estimate from cumulative-able buckets.
+
+    ``buckets`` are the upper bounds, ``counts`` the per-bucket counts
+    with one trailing overflow slot (the :class:`Histogram` layout).
+    Linearly interpolates inside the bucket the target rank falls in;
+    the first bucket's lower edge is ``minimum`` (default 0.0) and a
+    rank landing in the overflow bucket returns ``maximum`` (default the
+    last finite bound).  The result is clamped into ``[minimum,
+    maximum]`` when those are known, matching what an exact-sample
+    estimator could return.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("quantile must be in [0, 1]")
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    rank = q * total
+    seen = 0.0
+    for i, bound in enumerate(buckets):
+        in_bucket = counts[i]
+        if seen + in_bucket >= rank and in_bucket > 0:
+            lo = buckets[i - 1] if i > 0 else (minimum if minimum is not None else 0.0)
+            estimate = lo + (bound - lo) * ((rank - seen) / in_bucket)
+            break
+        seen += in_bucket
+    else:
+        # Rank falls in the overflow bucket: the bound is unknown, so
+        # report the observed maximum (or the last finite bound).
+        estimate = maximum if maximum is not None else float(buckets[-1])
+    if minimum is not None and estimate < minimum:
+        estimate = minimum
+    if maximum is not None and estimate > maximum:
+        estimate = maximum
+    return estimate
 
 
 def merge_counts(metrics, counts: dict[str, int], prefix: str = "") -> None:
@@ -97,6 +141,16 @@ class Counter:
             raise ValueError("counters only go up")
         with self._lock:
             self._value += n
+
+    # Locks don't pickle; drop them on the way out and mint a fresh one
+    # on the way in so registries can cross process boundaries.
+    def __getstate__(self) -> dict:
+        return {"name": self.name, "_value": self._value}
+
+    def __setstate__(self, state: dict) -> None:
+        self.name = state["name"]
+        self._value = state["_value"]
+        self._lock = threading.Lock()
 
 
 class Gauge:
@@ -154,6 +208,15 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Bucket-interpolated quantile estimate (see
+        :func:`histogram_quantile`)."""
+        if not self.count:
+            return 0.0
+        return histogram_quantile(
+            self.buckets, self.counts, q, minimum=self.min, maximum=self.max
+        )
+
     def as_dict(self) -> dict:
         return {
             "buckets": list(self.buckets),
@@ -162,7 +225,20 @@ class Histogram:
             "sum": round(self.total, 9),
             "min": self.min if self.count else None,
             "max": self.max if self.count else None,
+            "p50": round(self.quantile(0.50), 9) if self.count else None,
+            "p95": round(self.quantile(0.95), 9) if self.count else None,
+            "p99": round(self.quantile(0.99), 9) if self.count else None,
         }
+
+    def __getstate__(self) -> dict:
+        return {
+            slot: getattr(self, slot) for slot in self.__slots__ if slot != "_lock"
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        for slot, value in state.items():
+            setattr(self, slot, value)
+        self._lock = threading.Lock()
 
 
 class MetricsRegistry:
@@ -230,6 +306,19 @@ class MetricsRegistry:
                 n: h.as_dict() for n, h in sorted(self.histograms.items())
             },
         }
+
+    def __getstate__(self) -> dict:
+        return {
+            "counters": self.counters,
+            "gauges": self.gauges,
+            "histograms": self.histograms,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.counters = state["counters"]
+        self.gauges = state["gauges"]
+        self.histograms = state["histograms"]
+        self._lock = threading.Lock()
 
     def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
         """Fold ``other``'s instruments into this registry (for multi-run

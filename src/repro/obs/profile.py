@@ -1,0 +1,169 @@
+"""Stdlib-only sampling profiler with flamegraph-compatible output.
+
+:class:`SamplingProfiler` runs a daemon thread that snapshots every
+thread's Python stack via ``sys._current_frames()`` at a fixed interval
+and accumulates counts per unique stack.  A thread-based sampler is
+used instead of ``signal.setitimer`` because signals are only delivered
+to the main thread — the serving tier and the process-pool parent both
+do their interesting work off the main thread, and a thread sampler
+sees every thread for free (at the cost of a little timer jitter, which
+is irrelevant at the default 5 ms interval).
+
+Output comes in two shapes:
+
+* :meth:`collapsed` — Brendan Gregg collapsed-stack lines
+  (``mod.fn;mod.fn;mod.fn <count>``), directly consumable by
+  ``flamegraph.pl`` / speedscope;
+* :meth:`top` / :meth:`as_dict` — per-frame self/cumulative seconds
+  (sample share × wall time), the top-N table the run report prints.
+
+Activation is opt-in via ``--profile`` on the CLI or the
+``SNAPS_PROFILE`` environment variable (``1``/``true`` for the default
+interval, a float for a custom interval in seconds) — see
+:func:`profile_from_env`.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import time
+from collections import Counter
+from pathlib import Path
+
+__all__ = ["SamplingProfiler", "profile_from_env"]
+
+_PROFILE_ENV_VAR = "SNAPS_PROFILE"
+DEFAULT_INTERVAL_S = 0.005
+
+
+class SamplingProfiler:
+    """Samples Python stacks on a timer; start()/stop() bracket a run."""
+
+    def __init__(self, interval_s: float = DEFAULT_INTERVAL_S) -> None:
+        if interval_s <= 0:
+            raise ValueError("interval must be positive")
+        self.interval_s = interval_s
+        self.stacks: Counter[tuple[str, ...]] = Counter()
+        self.samples = 0
+        self.elapsed_s = 0.0
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        self._started_at = 0.0
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> "SamplingProfiler":
+        if self._thread is not None:
+            raise RuntimeError("profiler already running")
+        self._stop.clear()
+        self._started_at = time.perf_counter()
+        self._thread = threading.Thread(
+            target=self._run, name="snaps-profiler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> "SamplingProfiler":
+        if self._thread is None:
+            return self
+        self._stop.set()
+        self._thread.join()
+        self._thread = None
+        self.elapsed_s += time.perf_counter() - self._started_at
+        return self
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- sampling -------------------------------------------------------
+
+    def _run(self) -> None:
+        own_id = threading.get_ident()
+        while not self._stop.wait(self.interval_s):
+            for thread_id, frame in sys._current_frames().items():
+                if thread_id == own_id:
+                    continue
+                stack: list[str] = []
+                while frame is not None:
+                    code = frame.f_code
+                    module = frame.f_globals.get("__name__", "?")
+                    stack.append(f"{module}.{code.co_name}")
+                    frame = frame.f_back
+                stack.reverse()  # root → leaf, the collapsed-stack order
+                self.stacks[tuple(stack)] += 1
+                self.samples += 1
+
+    # -- output ---------------------------------------------------------
+
+    def collapsed(self) -> str:
+        """Collapsed-stack lines, ``frame;frame;frame count``."""
+        return "\n".join(
+            ";".join(stack) + f" {count}"
+            for stack, count in sorted(self.stacks.items())
+        )
+
+    def write_collapsed(self, path: str | os.PathLike) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        text = self.collapsed()
+        path.write_text(text + "\n" if text else "")
+        return path
+
+    def top(self, n: int = 15) -> list[dict]:
+        """Top-``n`` frames by self time (seconds estimated from share).
+
+        ``self`` counts samples where the frame is the leaf; ``cum``
+        counts samples where it appears anywhere in the stack (once per
+        sample, so recursion doesn't double-count).
+        """
+        if not self.samples:
+            return []
+        self_counts: Counter[str] = Counter()
+        cum_counts: Counter[str] = Counter()
+        for stack, count in self.stacks.items():
+            self_counts[stack[-1]] += count
+            for frame in set(stack):
+                cum_counts[frame] += count
+        per_sample = self.elapsed_s / self.samples if self.samples else 0.0
+        return [
+            {
+                "frame": frame,
+                "self_samples": count,
+                "self_s": round(count * per_sample, 6),
+                "cum_samples": cum_counts[frame],
+                "cum_s": round(cum_counts[frame] * per_sample, 6),
+            }
+            for frame, count in self_counts.most_common(n)
+        ]
+
+    def as_dict(self, top_n: int = 15) -> dict:
+        """Run-report block: sample counts plus the top-N table."""
+        return {
+            "interval_s": self.interval_s,
+            "samples": self.samples,
+            "elapsed_s": round(self.elapsed_s, 6),
+            "unique_stacks": len(self.stacks),
+            "top": self.top(top_n),
+        }
+
+
+def profile_from_env() -> SamplingProfiler | None:
+    """A profiler when ``SNAPS_PROFILE`` asks for one, else ``None``.
+
+    ``SNAPS_PROFILE=1``/``true`` uses the default interval; a float
+    value is a custom interval in seconds; anything else is off.
+    """
+    raw = os.environ.get(_PROFILE_ENV_VAR, "").strip().lower()
+    if not raw or raw in ("0", "false", "off"):
+        return None
+    if raw in ("1", "true", "on"):
+        return SamplingProfiler()
+    try:
+        return SamplingProfiler(interval_s=float(raw))
+    except ValueError:
+        return None

@@ -1,0 +1,307 @@
+"""Prometheus text exposition for :class:`MetricsRegistry` snapshots.
+
+:func:`render_prometheus` turns the ``as_dict()`` snapshot of a registry
+into the Prometheus text exposition format (version 0.0.4): counters
+become ``<prefix>_<name>_total``, gauges plain gauges, histograms the
+standard ``_bucket{le=...}``/``_sum``/``_count`` family with cumulative
+bucket counts, plus a companion ``_quantile{quantile="..."}`` gauge
+family carrying the same bucket-interpolated p50/p95/p99 the run
+reports print — one estimator everywhere (satellite: serve and offline
+reports must agree).
+
+The module also ships its own :func:`parse_prometheus` /
+:func:`check_exposition` pair — a small strict parser used by tests,
+the serve smoke, and CI to prove the exposition is well-formed without
+needing a real Prometheus binary — and :func:`process_gauges`, the
+standard process-level gauges (RSS, open FDs, CPU and uptime seconds)
+scraped from ``/proc`` and ``os``/``resource`` with graceful fallbacks
+off Linux.
+
+Dotted internal metric names (``serve.search.latency_seconds``) map to
+underscored exposition names (``snaps_serve_search_latency_seconds``);
+any character outside ``[a-zA-Z0-9_:]`` is an underscore.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import time
+
+from repro.obs.metrics import histogram_quantile
+
+__all__ = [
+    "render_prometheus",
+    "parse_prometheus",
+    "check_exposition",
+    "process_gauges",
+]
+
+_QUANTILES = (0.5, 0.95, 0.99)
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)\s*$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+# Uptime baseline: first import of the telemetry layer is close enough
+# to process start for an observability gauge.
+_PROCESS_START_S = time.monotonic()
+
+
+def _sanitize(name: str, prefix: str) -> str:
+    return f"{prefix}_{_NAME_RE.sub('_', name)}"
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    as_float = float(value)
+    if as_float == int(as_float) and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def render_prometheus(
+    metrics: dict, prefix: str = "snaps", info: dict | None = None
+) -> str:
+    """The exposition-format text for one registry snapshot.
+
+    ``metrics`` is ``MetricsRegistry.as_dict()`` output (or the
+    ``metrics`` block of a saved run report).  ``info`` renders as a
+    constant ``<prefix>_info{...} 1`` gauge, the conventional carrier
+    for identity labels (snapshot id, git sha, version).
+    """
+    lines: list[str] = []
+    if info:
+        name = f"{prefix}_info"
+        labels = ",".join(
+            f'{_NAME_RE.sub("_", k)}="{_escape_label(str(v))}"'
+            for k, v in sorted(info.items())
+        )
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name}{{{labels}}} 1")
+    for raw, value in sorted(metrics.get("counters", {}).items()):
+        name = _sanitize(raw, prefix) + "_total"
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name} {_format_value(value)}")
+    for raw, value in sorted(metrics.get("gauges", {}).items()):
+        name = _sanitize(raw, prefix)
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {_format_value(value)}")
+    for raw, data in sorted(metrics.get("histograms", {}).items()):
+        name = _sanitize(raw, prefix)
+        lines.append(f"# TYPE {name} histogram")
+        cumulative = 0
+        for bound, count in zip(data["buckets"], data["counts"]):
+            cumulative += count
+            lines.append(
+                f'{name}_bucket{{le="{_format_value(bound)}"}} {cumulative}'
+            )
+        lines.append(f'{name}_bucket{{le="+Inf"}} {data["count"]}')
+        lines.append(f"{name}_sum {_format_value(data['sum'])}")
+        lines.append(f"{name}_count {data['count']}")
+        if data["count"]:
+            qname = f"{name}_quantile"
+            lines.append(f"# TYPE {qname} gauge")
+            for q in _QUANTILES:
+                key = f"p{int(q * 100)}"
+                estimate = data.get(key)
+                if estimate is None:
+                    estimate = histogram_quantile(
+                        data["buckets"],
+                        data["counts"],
+                        q,
+                        minimum=data.get("min"),
+                        maximum=data.get("max"),
+                    )
+                lines.append(
+                    f'{qname}{{quantile="{q:g}"}} {_format_value(estimate)}'
+                )
+    return "\n".join(lines) + "\n"
+
+
+def process_gauges() -> dict[str, float]:
+    """Standard process-level gauges, keyed by internal metric name."""
+    gauges: dict[str, float] = {
+        "process.uptime_seconds": time.monotonic() - _PROCESS_START_S,
+        "process.cpu_seconds": sum(os.times()[:2]),
+    }
+    try:
+        with open("/proc/self/status", encoding="ascii", errors="replace") as fh:
+            for line in fh:
+                if line.startswith("VmRSS:"):
+                    gauges["process.rss_bytes"] = float(line.split()[1]) * 1024.0
+                    break
+    except OSError:  # pragma: no cover - non-Linux
+        pass
+    try:
+        import resource
+
+        rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        gauges["process.max_rss_bytes"] = float(rss_kb) * 1024.0
+    except (ImportError, ValueError):  # pragma: no cover - non-POSIX
+        pass
+    try:
+        gauges["process.open_fds"] = float(len(os.listdir("/proc/self/fd")))
+    except OSError:  # pragma: no cover - non-Linux
+        pass
+    return gauges
+
+
+# ----------------------------------------------------------------------
+# Parsing / validation (test- and smoke-facing)
+# ----------------------------------------------------------------------
+
+
+def _family_of(sample_name: str) -> str:
+    for suffix in ("_bucket", "_sum", "_count", "_total"):
+        if sample_name.endswith(suffix):
+            return sample_name[: -len(suffix)]
+    return sample_name
+
+
+def parse_prometheus(text: str) -> dict:
+    """Parse exposition text into ``{family: {"type", "samples"}}``.
+
+    ``samples`` is a list of ``(sample_name, labels_dict, value)``
+    tuples.  Raises ``ValueError`` on any line that is neither a
+    comment nor a well-formed sample.
+    """
+    families: dict[str, dict] = {}
+    declared: dict[str, str] = {}
+    for n, line in enumerate(text.splitlines(), start=1):
+        line = line.rstrip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in (
+                "counter",
+                "gauge",
+                "histogram",
+                "summary",
+                "untyped",
+            ):
+                raise ValueError(f"line {n}: malformed TYPE comment: {line!r}")
+            declared[parts[2]] = parts[3]
+            families.setdefault(parts[2], {"type": parts[3], "samples": []})
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {n}: malformed sample: {line!r}")
+        labels: dict[str, str] = {}
+        raw_labels = match.group("labels")
+        if raw_labels:
+            for lm in _LABEL_RE.finditer(raw_labels):
+                labels[lm.group(1)] = (
+                    lm.group(2)
+                    .replace("\\n", "\n")
+                    .replace('\\"', '"')
+                    .replace("\\\\", "\\")
+                )
+            if not labels:
+                raise ValueError(f"line {n}: malformed labels: {line!r}")
+        raw_value = match.group("value")
+        if raw_value in ("+Inf", "Inf"):
+            value = float("inf")
+        elif raw_value == "-Inf":
+            value = float("-inf")
+        else:
+            try:
+                value = float(raw_value)
+            except ValueError as exc:
+                raise ValueError(f"line {n}: bad value: {line!r}") from exc
+        sample_name = match.group("name")
+        family_name = _family_of(sample_name)
+        # A bare gauge named like a suffix form should fall back to its
+        # own declared family if one exists.
+        if sample_name in declared:
+            family_name = sample_name
+        family = families.setdefault(
+            family_name, {"type": declared.get(family_name), "samples": []}
+        )
+        family["samples"].append((sample_name, labels, value))
+    return families
+
+
+def check_exposition(text: str) -> dict:
+    """Validate exposition text beyond mere parseability.
+
+    Checks, raising ``ValueError`` on the first violation:
+
+    * every sample belongs to a family with a ``# TYPE`` declared
+      *before* its first sample;
+    * no duplicate ``(sample name, labels)`` series;
+    * histogram buckets are cumulative (non-decreasing in ``le`` order),
+      end in ``le="+Inf"``, and the +Inf count equals ``_count``.
+
+    Returns the parsed families (so callers can make content
+    assertions on the same pass).
+    """
+    families = parse_prometheus(text)
+    # TYPE-before-sample ordering.
+    seen_types: set[str] = set()
+    for n, line in enumerate(text.splitlines(), start=1):
+        line = line.rstrip()
+        if line.startswith("# TYPE "):
+            seen_types.add(line.split()[2])
+        elif line and not line.startswith("#"):
+            match = _SAMPLE_RE.match(line)
+            sample_name = match.group("name")
+            family = (
+                sample_name if sample_name in seen_types else _family_of(sample_name)
+            )
+            if family not in seen_types:
+                raise ValueError(
+                    f"line {n}: sample {sample_name!r} before TYPE for {family!r}"
+                )
+    seen_series: set[tuple] = set()
+    for family_name, family in families.items():
+        for sample_name, labels, _ in family["samples"]:
+            series = (sample_name, tuple(sorted(labels.items())))
+            if series in seen_series:
+                raise ValueError(f"duplicate series {series!r}")
+            seen_series.add(series)
+        if family["type"] != "histogram":
+            continue
+        buckets = [
+            (labels, value)
+            for sample_name, labels, value in family["samples"]
+            if sample_name == f"{family_name}_bucket"
+        ]
+        counts = [
+            value
+            for sample_name, _, value in family["samples"]
+            if sample_name == f"{family_name}_count"
+        ]
+        if not buckets:
+            raise ValueError(f"histogram {family_name!r} has no buckets")
+        bounds = []
+        for labels, value in buckets:
+            le = labels.get("le")
+            if le is None:
+                raise ValueError(f"histogram {family_name!r} bucket missing le")
+            bounds.append((float("inf") if le == "+Inf" else float(le), value))
+        ordered = sorted(bounds, key=lambda item: item[0])
+        values = [value for _, value in ordered]
+        if values != sorted(values):
+            raise ValueError(f"histogram {family_name!r} buckets not cumulative")
+        if ordered[-1][0] != float("inf"):
+            raise ValueError(f"histogram {family_name!r} missing +Inf bucket")
+        if counts and ordered[-1][1] != counts[0]:
+            raise ValueError(
+                f"histogram {family_name!r} +Inf bucket != _count "
+                f"({ordered[-1][1]} vs {counts[0]})"
+            )
+    return families

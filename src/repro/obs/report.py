@@ -26,14 +26,23 @@ def build_report(
     trace: Trace | None = None,
     metrics: MetricsRegistry | None = None,
     meta: dict | None = None,
+    profile: dict | None = None,
 ) -> dict:
-    """Assemble the JSON-serialisable run-report dict."""
-    return {
+    """Assemble the JSON-serialisable run-report dict.
+
+    ``profile`` is the optional ``SamplingProfiler.as_dict()`` summary
+    (sample counts + top self/cumulative stacks); it is only included
+    when a run was profiled, keeping unprofiled reports unchanged.
+    """
+    report = {
         "version": REPORT_VERSION,
         "meta": dict(meta or {}),
         "spans": trace.tree() if trace is not None else [],
         "metrics": metrics.as_dict() if metrics is not None else {},
     }
+    if profile is not None:
+        report["profile"] = profile
+    return report
 
 
 def save_report(report: dict, path: str | Path) -> Path:
@@ -87,13 +96,46 @@ def _render_span(node: dict, depth: int, parent_elapsed: float, lines: list[str]
         _render_span(child, depth + 1, elapsed, lines)
 
 
+def _histogram_quantiles(data: dict) -> dict[str, float] | None:
+    """p50/p95/p99 for a histogram snapshot dict.
+
+    Prefers the values baked into the snapshot; falls back to computing
+    them, so reports written before quantiles were recorded still render
+    with percentiles.
+    """
+    if not data.get("count"):
+        return None
+    from repro.obs.metrics import histogram_quantile
+
+    out: dict[str, float] = {}
+    for key, q in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99)):
+        value = data.get(key)
+        if value is None:
+            value = histogram_quantile(
+                data["buckets"],
+                data["counts"],
+                q,
+                minimum=data.get("min"),
+                maximum=data.get("max"),
+            )
+        out[key] = value
+    return out
+
+
 def _render_histogram(name: str, data: dict, lines: list[str]) -> None:
     low = f"{data['min']:.4g}" if data["min"] is not None else "-"
     high = f"{data['max']:.4g}" if data["max"] is not None else "-"
-    lines.append(
+    quantiles = _histogram_quantiles(data)
+    summary = (
         f"  {name}  (n={data['count']}, sum={data['sum']:.4g}, "
-        f"min={low}, max={high})"
+        f"min={low}, max={high}"
     )
+    if quantiles is not None:
+        summary += (
+            f", p50={quantiles['p50']:.4g}, p95={quantiles['p95']:.4g}, "
+            f"p99={quantiles['p99']:.4g}"
+        )
+    lines.append(summary + ")")
     counts = data["counts"]
     peak = max(counts) if counts else 0
     bounds = [f"<= {b:g}" for b in data["buckets"]] + ["> last"]
@@ -140,6 +182,23 @@ def render_report(report: dict) -> str:
         lines.append("histograms")
         for name, data in histograms.items():
             _render_histogram(name, data, lines)
+        lines.append("")
+    profile = report.get("profile")
+    if profile:
+        lines.append(
+            f"profile  (samples={profile.get('samples', 0)}, "
+            f"interval={profile.get('interval_s', 0):.4g}s, "
+            f"elapsed={profile.get('elapsed_s', 0):.4g}s)"
+        )
+        top = profile.get("top", [])
+        if top:
+            width = max(len(entry["frame"]) for entry in top)
+            lines.append(f"  {'frame':<{width}}     self      cum")
+            for entry in top:
+                lines.append(
+                    f"  {entry['frame']:<{width}} {entry['self_s']:>8.3f}s"
+                    f" {entry['cum_s']:>7.3f}s"
+                )
         lines.append("")
     if not lines:
         lines.append("(empty report)")

@@ -16,16 +16,45 @@ across runs.
 Tracing must cost nothing when off: :meth:`Trace.disabled` returns a
 trace whose ``span()`` hands back one shared no-op context manager, and
 ``default_trace()`` honours the ``SNAPS_OBS=off`` environment switch.
+
+**Cross-process propagation.**  Every enabled trace owns a ``trace_id``
+and assigns each span a ``span_id``/``parent_id`` pair.
+:meth:`Trace.context` captures the current position as a serialisable
+:class:`TraceContext` (trace id, parent span id, baggage) that travels
+inside worker task payloads; workers build detached spans against it
+with :func:`context_span` and ship them back as dicts, which the parent
+stitches into its live tree via :meth:`Trace.attach` — so a ``--workers
+4`` resolve exports one coherent span tree.
+
+**Streaming trace files.**  Attaching a :class:`TraceWriter` makes the
+trace append one JSON event per *closed* span to a JSONL file as the
+run progresses (flat events linked by ``parent_id``, unlike
+:meth:`Trace.to_jsonl`'s one-line-per-root format).  Each line is
+written and flushed atomically so a crash cannot truncate an already
+recorded span; ``SNAPS_OBS=durable`` additionally fsyncs per span.
+:func:`read_trace_jsonl` rebuilds the tree from such a file, tolerating
+a torn final line left by a hard kill.
 """
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
 import time
+import uuid
+from pathlib import Path
 from typing import Iterator
 
-__all__ = ["Span", "Trace", "default_trace"]
+__all__ = [
+    "Span",
+    "Trace",
+    "TraceContext",
+    "TraceWriter",
+    "context_span",
+    "default_trace",
+    "read_trace_jsonl",
+]
 
 _OBS_ENV_VAR = "SNAPS_OBS"
 
@@ -40,6 +69,9 @@ class Span:
         "mem_alloc_bytes",
         "mem_peak_bytes",
         "error",
+        "span_id",
+        "parent_id",
+        "attrs",
         "_start",
         "_mem_start",
     )
@@ -54,20 +86,39 @@ class Span:
         self.mem_peak_bytes: int | None = None
         # Name of the exception type that escaped the span, if any.
         self.error: str | None = None
+        # Identity for cross-process stitching and streamed trace files;
+        # assigned by the owning Trace (or context_span), else None.
+        self.span_id: str | None = None
+        self.parent_id: str | None = None
+        # Free-form annotations (worker pid, chunk index, ...).
+        self.attrs: dict | None = None
         self._start = 0.0
         self._mem_start = 0
 
     def as_dict(self) -> dict:
         """This span and its subtree as plain JSON-serialisable dicts."""
         node: dict = {"name": self.name, "elapsed_s": round(self.elapsed, 6)}
+        if self.span_id is not None:
+            node["span_id"] = self.span_id
         if self.mem_alloc_bytes is not None:
             node["mem_alloc_bytes"] = self.mem_alloc_bytes
             node["mem_peak_bytes"] = self.mem_peak_bytes
         if self.error is not None:
             node["error"] = self.error
+        if self.attrs:
+            node["attrs"] = dict(self.attrs)
         if self.children:
             node["children"] = [child.as_dict() for child in self.children]
         return node
+
+    def as_event(self, trace_id: str) -> dict:
+        """This span alone as a flat trace-file event (no children)."""
+        event = self.as_dict()
+        event.pop("children", None)
+        event["trace_id"] = trace_id
+        if self.parent_id is not None:
+            event["parent_id"] = self.parent_id
+        return event
 
     @classmethod
     def from_dict(cls, node: dict) -> "Span":
@@ -76,8 +127,80 @@ class Span:
         span.mem_alloc_bytes = node.get("mem_alloc_bytes")
         span.mem_peak_bytes = node.get("mem_peak_bytes")
         span.error = node.get("error")
+        span.span_id = node.get("span_id")
+        span.parent_id = node.get("parent_id")
+        span.attrs = node.get("attrs")
         span.children = [cls.from_dict(c) for c in node.get("children", ())]
         return span
+
+
+class TraceContext:
+    """Serialisable position in a trace, for crossing process boundaries.
+
+    Carries the owning ``trace_id``, the ``parent_span_id`` the remote
+    work should hang under, and free-form string ``baggage``.  Travels
+    as a plain dict inside worker task payloads (:meth:`to_dict` /
+    :meth:`from_dict`), so it survives any pickle/json hop.
+    """
+
+    __slots__ = ("trace_id", "parent_span_id", "baggage")
+
+    def __init__(
+        self,
+        trace_id: str,
+        parent_span_id: str | None = None,
+        baggage: dict | None = None,
+    ) -> None:
+        self.trace_id = trace_id
+        self.parent_span_id = parent_span_id
+        self.baggage = dict(baggage or {})
+
+    def to_dict(self) -> dict:
+        payload: dict = {"trace_id": self.trace_id}
+        if self.parent_span_id is not None:
+            payload["parent_span_id"] = self.parent_span_id
+        if self.baggage:
+            payload["baggage"] = dict(self.baggage)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TraceContext":
+        return cls(
+            trace_id=payload["trace_id"],
+            parent_span_id=payload.get("parent_span_id"),
+            baggage=payload.get("baggage"),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TraceContext(trace_id={self.trace_id!r}, "
+            f"parent_span_id={self.parent_span_id!r}, baggage={self.baggage!r})"
+        )
+
+
+# Per-process sequence for spans created against a TraceContext; with the
+# pid baked into the span id this makes worker span ids globally unique.
+_CTX_SEQ = itertools.count(1)
+
+
+def context_span(ctx: dict | TraceContext | None, name: str, **attrs) -> Span | None:
+    """A detached span created in a worker against a shipped context.
+
+    Returns ``None`` when ``ctx`` is ``None`` (tracing off in the
+    parent).  The caller owns timing: set ``span.elapsed`` before
+    serialising with ``span.as_dict()`` and shipping it home, where
+    :meth:`Trace.attach` folds it into the parent tree.
+    """
+    if ctx is None:
+        return None
+    if isinstance(ctx, TraceContext):
+        ctx = ctx.to_dict()
+    span = Span(name)
+    pid = os.getpid()
+    span.span_id = f"{ctx['trace_id']}.p{pid:x}.{next(_CTX_SEQ)}"
+    span.parent_id = ctx.get("parent_span_id")
+    span.attrs = {"pid": pid, **attrs}
+    return span
 
 
 class _SpanContext:
@@ -129,6 +252,37 @@ class _NullSpanContext:
 _NULL_CONTEXT = _NullSpanContext()
 
 
+class TraceWriter:
+    """Streams closed spans of one trace to a JSONL file.
+
+    The file is truncated when the writer is created, then each closed
+    span is appended as one flat event line.  Every write opens the file
+    in append mode, writes the whole line, flushes, and closes — no
+    long-lived handle to leak through forks or lose on crash.  With
+    ``durable=True`` (default when ``SNAPS_OBS=durable``) each line is
+    also fsynced, so even a hard kill leaves every previously closed
+    span on disk and at worst one torn final line.
+    """
+
+    __slots__ = ("path", "durable")
+
+    def __init__(self, path: str | os.PathLike, durable: bool | None = None) -> None:
+        self.path = Path(path)
+        if durable is None:
+            durable = os.environ.get(_OBS_ENV_VAR, "").lower() == "durable"
+        self.durable = durable
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text("")
+
+    def write(self, event: dict) -> None:
+        line = json.dumps(event) + "\n"
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line)
+            handle.flush()
+            if self.durable:
+                os.fsync(handle.fileno())
+
+
 class Trace:
     """A tree of timed spans for one pipeline run.
 
@@ -142,11 +296,20 @@ class Trace:
     ['blocking']
     """
 
-    def __init__(self, capture_memory: bool = False, enabled: bool = True) -> None:
+    def __init__(
+        self,
+        capture_memory: bool = False,
+        enabled: bool = True,
+        writer: TraceWriter | None = None,
+    ) -> None:
         self.capture_memory = capture_memory
         self.enabled = enabled
+        # Disabled traces never mint ids: keeps Trace.disabled() free.
+        self.trace_id = uuid.uuid4().hex[:12] if enabled else ""
+        self.writer = writer
         self.roots: list[Span] = []
         self._stack: list[Span] = []
+        self._seq = itertools.count(1)
 
     @classmethod
     def disabled(cls) -> "Trace":
@@ -158,12 +321,62 @@ class Trace:
         if not self.enabled:
             return _NULL_CONTEXT
         span = Span(name)
+        span.span_id = f"{self.trace_id}.{next(self._seq)}"
         if self._stack:
-            self._stack[-1].children.append(span)
+            parent = self._stack[-1]
+            span.parent_id = parent.span_id
+            parent.children.append(span)
         else:
             self.roots.append(span)
         self._stack.append(span)
         return _SpanContext(self, span)
+
+    def annotate(self, **attrs) -> None:
+        """Attach key/value attributes to the currently open span."""
+        if not self.enabled or not self._stack:
+            return
+        span = self._stack[-1]
+        if span.attrs is None:
+            span.attrs = {}
+        span.attrs.update(attrs)
+
+    def context(self, **baggage) -> TraceContext | None:
+        """The current position as a shippable context (None if disabled)."""
+        if not self.enabled:
+            return None
+        parent = self._stack[-1].span_id if self._stack else None
+        return TraceContext(self.trace_id, parent, baggage or None)
+
+    def attach(self, node: dict | Span, parent: Span | None = None) -> Span | None:
+        """Graft a span that was built elsewhere (a worker) into this tree.
+
+        ``node`` is a ``Span`` or its ``as_dict()`` form.  It becomes a
+        child of ``parent`` (default: the currently open span, else a new
+        root), its ``parent_id`` is rewritten to match, and — like
+        locally closed spans — it is appended to the trace file when a
+        writer is attached.  Returns the grafted span, or ``None`` when
+        the trace is disabled.
+        """
+        if not self.enabled or node is None:
+            return None
+        span = Span.from_dict(node) if isinstance(node, dict) else node
+        if parent is None:
+            parent = self._stack[-1] if self._stack else None
+        if parent is not None:
+            span.parent_id = parent.span_id
+            parent.children.append(span)
+        else:
+            span.parent_id = None
+            self.roots.append(span)
+        for grafted in _walk_span(span):
+            # as_dict() does not carry parent links, so re-derive them for
+            # any nested children before the events hit the trace file.
+            for child in grafted.children:
+                if child.parent_id is None:
+                    child.parent_id = grafted.span_id
+            if self.writer is not None:
+                self.writer.write(grafted.as_event(self.trace_id))
+        return span
 
     def _pop(self, span: Span) -> None:
         # Exception-safe unwind: drop everything above the closing span,
@@ -171,6 +384,8 @@ class Trace:
         while self._stack:
             if self._stack.pop() is span:
                 break
+        if self.writer is not None:
+            self.writer.write(span.as_event(self.trace_id))
 
     # ------------------------------------------------------------------
     # Export / import
@@ -212,6 +427,52 @@ class Trace:
             if line:
                 trace.roots.append(Span.from_dict(json.loads(line)))
         return trace
+
+
+def _walk_span(span: Span) -> Iterator[Span]:
+    stack = [span]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(reversed(node.children))
+
+
+def read_trace_jsonl(path: str | os.PathLike) -> Trace:
+    """Rebuild a trace from a :class:`TraceWriter` event file.
+
+    Events are flat (no nested children) and may arrive child-before-
+    parent — worker spans are streamed at attach time, while their
+    enclosing local span is only written when it closes — so linking is
+    a second pass over all parsed events.  A torn *final* line (crash
+    mid-write) is ignored; a torn line anywhere else is a real error.
+    """
+    lines = Path(path).read_text(encoding="utf-8").splitlines()
+    events: list[dict] = []
+    for n, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError:
+            if n == len(lines) - 1:
+                break
+            raise
+    trace = Trace()
+    trace.trace_id = events[0]["trace_id"] if events else ""
+    by_id = {}
+    for event in events:
+        span = Span.from_dict(event)
+        span.parent_id = event.get("parent_id")
+        if span.span_id is not None:
+            by_id[span.span_id] = span
+    for span in by_id.values():
+        parent = by_id.get(span.parent_id) if span.parent_id else None
+        if parent is not None:
+            parent.children.append(span)
+        else:
+            trace.roots.append(span)
+    return trace
 
 
 def default_trace(capture_memory: bool = False) -> Trace:

@@ -109,27 +109,49 @@ class ChunkRunner:
         return self._pool
 
     def map(self, fn: Callable[[dict], dict], tasks: list[dict], label: str) -> list[dict]:
-        """Run ``fn`` over ``tasks``; results come back in task order."""
+        """Run ``fn`` over ``tasks``; results come back in task order.
+
+        When tracing/metrics are live, each shipped task carries the
+        parent's serialised :class:`TraceContext` plus a ``collect``
+        flag; workers answer with a detached span and a metrics-delta
+        registry, which :meth:`_absorb` grafts under the chunk's wait
+        span and folds into the parent registry — one coherent span
+        tree and one registry regardless of worker count.
+        """
+        ctx = self.trace.context(label=label)
+        ctx_dict = ctx.to_dict() if ctx is not None else None
+        collect = self.metrics is not None
+        if ctx_dict is not None or collect:
+            tasks = [
+                {**task, "ctx": ctx_dict, "collect": collect} for task in tasks
+            ]
         results: list[dict] = []
         if self.pool_workers == 1:
             worker.set_payload(self.payload)
             for task in tasks:
-                with self.trace.span(f"parallel.{label}.chunk{task['chunk']}"):
+                with self.trace.span(f"parallel.{label}.chunk{task['chunk']}") as wait:
                     result = fn(task)
-                self._note(result)
+                self._absorb(result, wait)
                 results.append(result)
             return results
         pool = self._ensure_pool()
         futures = [pool.submit(fn, task) for task in tasks]
         for task, future in zip(tasks, futures):
-            with self.trace.span(f"parallel.{label}.chunk{task['chunk']}"):
+            with self.trace.span(f"parallel.{label}.chunk{task['chunk']}") as wait:
                 result = future.result()
-            self._note(result)
+            self._absorb(result, wait)
             results.append(result)
         return results
 
-    def _note(self, result: dict) -> None:
+    def _absorb(self, result: dict, wait_span) -> None:
+        """Merge one chunk result's telemetry into the parent's."""
+        node = result.pop("span", None)
+        if node is not None:
+            self.trace.attach(node, parent=wait_span)
+        wmetrics = result.pop("wmetrics", None)
         if self.metrics is not None:
+            if wmetrics is not None:
+                self.metrics.merge(wmetrics)
             self.metrics.inc("parallel.chunks")
             self.metrics.observe(
                 "parallel.chunk_seconds", result["elapsed"], LATENCY_BUCKETS_S

@@ -28,6 +28,8 @@ import numpy as np
 from repro.blocking.candidates import roles_linkable
 from repro.core.scoring import NameFrequencyIndex
 from repro.data.roles import CENSUS_ROLES, SINGLETON_ROLES, Role
+from repro.obs.metrics import LATENCY_BUCKETS_S, MetricsRegistry
+from repro.obs.trace import context_span
 from repro.parallel.batchscore import batch_atomic_similarity
 from repro.similarity.registry import registry_for_config
 
@@ -183,6 +185,36 @@ def _context(fingerprint: str) -> _Context:
     return _CONTEXT
 
 
+def _finish(task: dict, result: dict, label: str, counters: dict[str, int]) -> dict:
+    """Attach the telemetry the parent asked for to a chunk result.
+
+    When the task carries a trace context, a detached ``worker.<label>``
+    span (pid/chunk/pairs annotated, elapsed = chunk wall time) rides
+    home as a dict; when ``collect`` is set, a fresh
+    :class:`MetricsRegistry` of this chunk's deltas does too.  The
+    parent grafts/merges both — see ``ChunkRunner._absorb``.
+    """
+    elapsed = result["elapsed"]
+    ctx = task.get("ctx")
+    if ctx is not None:
+        span = context_span(
+            ctx,
+            f"worker.{label}.chunk{task['chunk']}",
+            chunk=task["chunk"],
+            pairs=len(task["pairs"]),
+        )
+        span.elapsed = elapsed
+        result["span"] = span.as_dict()
+    if task.get("collect"):
+        deltas = MetricsRegistry()
+        for name, n in counters.items():
+            if n:
+                deltas.inc(name, n)
+        deltas.observe("parallel.worker.chunk_seconds", elapsed, LATENCY_BUCKETS_S)
+        result["wmetrics"] = deltas
+    return result
+
+
 def _pair_masks(table: _RecordTable, ia: np.ndarray, ib: np.ndarray, slack: int):
     """The five filter rejection masks, in serial application order."""
     role_a, role_b = table.role[ia], table.role[ib]
@@ -221,12 +253,21 @@ def filter_pairs_chunk(task: dict) -> dict:
             rejected[name] = int(hits.sum())
             alive &= ~mask
         kept = [pairs[i] for i in np.nonzero(alive)[0]]
-    return {
+    result = {
         "chunk": task["chunk"],
         "elapsed": time.perf_counter() - started,
         "kept": kept,
         "rejected": rejected,
     }
+    return _finish(
+        task,
+        result,
+        "filter",
+        {
+            "parallel.worker.pairs_in": len(pairs),
+            "parallel.worker.pairs_kept": len(kept),
+        },
+    )
 
 
 def score_pairs_chunk(task: dict) -> dict:
@@ -340,7 +381,7 @@ def score_pairs_chunk(task: dict) -> dict:
             value = min(1.0, max(0.0, math.log2(n_total / freq) / math.log2(n_total)))
             sd_table[freq] = value
         s_d.append(value)
-    return {
+    result = {
         "chunk": task["chunk"],
         "elapsed": time.perf_counter() - started,
         "specs": specs,
@@ -349,3 +390,12 @@ def score_pairs_chunk(task: dict) -> dict:
         "valid": levels,
         "sims": new_sims,
     }
+    return _finish(
+        task,
+        result,
+        "score",
+        {
+            "parallel.worker.pairs_scored": n_pairs,
+            "parallel.worker.sim_cache_misses": len(new_sims),
+        },
+    )

@@ -56,6 +56,7 @@ from repro.faults import (
 )
 from repro.obs.logs import get_logger
 from repro.obs.metrics import LATENCY_BUCKETS_S, MetricsRegistry
+from repro.obs.prom import process_gauges, render_prometheus
 from repro.obs.report import build_report, render_report
 from repro.obs.trace import Trace
 from repro.pedigree import extract_pedigree
@@ -70,6 +71,7 @@ from repro.serve.serialization import (
     query_from_mapping,
     search_payload,
 )
+from repro.serve.slo import SloMonitor, SloObjectives
 
 __all__ = ["Response", "ServeConfig", "ServeHTTPServer", "ServingApp", "make_server"]
 
@@ -102,6 +104,13 @@ class ServeConfig:
     breaker_reset_s: float = 30.0
     retry_attempts: int = 3
     retry_base_delay_s: float = 0.05
+    # SLO objectives tracked by the rolling-window monitor (see
+    # repro.serve.slo): availability and latency-within-deadline targets
+    # over a sliding window, surfaced on /healthz and /metricz.
+    slo_availability: float = 0.999
+    slo_latency_target: float = 0.99
+    slo_deadline_s: float = 0.5
+    slo_window_s: float = 300.0
 
 
 @dataclass
@@ -144,6 +153,7 @@ class ServingApp:
         keyword_index=None,
         sim_index=None,
         store=None,
+        manifest=None,
         clock=time.monotonic,
         sleep=time.sleep,
     ) -> None:
@@ -151,12 +161,15 @@ class ServingApp:
         snapshot) warm-start the engine so boot skips index construction
         entirely; both default to building from ``graph``.  ``store`` is
         an optional :class:`~repro.store.SnapshotStore` backing
-        ``POST /v1/reload``; ``clock``/``sleep`` are injectable so chaos
-        tests drive breaker recovery and retry backoff without waiting.
+        ``POST /v1/reload``; ``manifest`` identifies the loaded snapshot
+        on ``/metricz`` (id + age gauges); ``clock``/``sleep`` are
+        injectable so chaos tests drive breaker recovery and retry
+        backoff without waiting.
         """
         self.config = config or ServeConfig()
         self.graph = graph
         self.store = store
+        self.manifest = manifest
         self._clock = clock
         self._sleep = sleep
         # /metricz needs a real registry, so unlike the offline pipeline
@@ -197,6 +210,16 @@ class ServingApp:
             )
             for name in ("search", "pedigree", "reload")
         }
+        self.slo = SloMonitor(
+            SloObjectives(
+                availability=self.config.slo_availability,
+                latency_target=self.config.slo_latency_target,
+                latency_deadline_s=self.config.slo_deadline_s,
+                window_s=self.config.slo_window_s,
+            ),
+            clock=clock,
+            metrics=self.metrics,
+        )
         self._reload_lock = threading.Lock()
         self.started_at = clock()
         # Last few request span trees, for debugging and tests.
@@ -244,6 +267,17 @@ class ServingApp:
         self.metrics.observe(
             f"serve.{endpoint}.latency_seconds", elapsed, LATENCY_BUCKETS_S
         )
+        # The latency objective covers the read paths; probes and admin
+        # endpoints count toward availability only.  Health transitions
+        # (breaker opens/closes) become SLO events here, so degraded-mode
+        # entry/exit is visible in /metricz without log archaeology.
+        self.slo.record(
+            endpoint,
+            response.status,
+            elapsed,
+            latency_eligible=endpoint in ("search", "pedigree"),
+        )
+        self.slo.note_health(self._health_state()[0])
         if trace.enabled:
             with self._traces_lock:
                 self.recent_traces.append(trace)
@@ -332,7 +366,8 @@ class ServingApp:
     # Endpoints
     # ------------------------------------------------------------------
 
-    def _handle_healthz(self) -> Response:
+    def _health_state(self) -> tuple[str, dict]:
+        """(ok | degraded | failing, per-breaker detail) right now."""
         breakers = {
             name: {
                 "state": breaker.state,
@@ -348,6 +383,10 @@ class ServingApp:
             status = "failing"
         else:
             status = "degraded"
+        return status, breakers
+
+    def _handle_healthz(self) -> Response:
+        status, breakers = self._health_state()
         return _json_response(
             200 if status != "failing" else 503,
             {
@@ -356,8 +395,20 @@ class ServingApp:
                 "edges": self.graph.n_edges(),
                 "uptime_s": round(self._clock() - self.started_at, 3),
                 "breakers": breakers,
+                "slo": self.slo.snapshot(),
             },
         )
+
+    def _snapshot_age_s(self) -> float | None:
+        if self.manifest is None:
+            return None
+        try:
+            from datetime import datetime, timezone
+
+            created = datetime.fromisoformat(self.manifest.created_at)
+            return (datetime.now(timezone.utc) - created).total_seconds()
+        except (TypeError, ValueError, AttributeError):
+            return None
 
     def _handle_metricz(self, params: dict[str, str]) -> Response:
         stats = self.cache.stats()
@@ -365,6 +416,19 @@ class ServingApp:
         self.metrics.set_gauge(
             "serve.uptime_seconds", self._clock() - self.started_at
         )
+        for name, value in process_gauges().items():
+            self.metrics.set_gauge(name, value)
+        self.slo.publish(self.metrics)
+        age_s = self._snapshot_age_s()
+        if age_s is not None:
+            self.metrics.set_gauge("serve.snapshot.age_seconds", age_s)
+        if params.get("format") == "prom":
+            info = {"service": "snaps-serve"}
+            if self.manifest is not None:
+                info["snapshot_id"] = str(self.manifest.snapshot_id)
+            return _text_response(
+                200, render_prometheus(self.metrics.as_dict(), info=info)
+            )
         if params.get("format") == "json":
             return _json_response(200, self.metrics.as_dict())
         report = build_report(metrics=self.metrics, meta={"kind": "serve"})
@@ -530,6 +594,7 @@ class ServingApp:
         with self._reload_lock:
             self.graph = loaded.graph
             self.engine = engine
+            self.manifest = loaded.manifest
         self.metrics.inc("serve.reloads")
         logger.info(
             "reloaded snapshot %s (%d entities)",

@@ -80,6 +80,11 @@ class ServeClient:
         _, _, raw = self._request("GET", "/metricz")
         return raw.decode("utf-8")
 
+    def metricz_prom(self) -> str:
+        """Prometheus text exposition of the replica's metrics."""
+        _, _, raw = self._request("GET", "/metricz?format=prom")
+        return raw.decode("utf-8")
+
     def search(self, first_name: str, surname: str, **options) -> dict:
         """POST /v1/search; keyword options mirror the JSON body fields
         (``gender``, ``year_from``, ``year_to``, ``parish``,

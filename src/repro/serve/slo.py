@@ -1,0 +1,239 @@
+"""Rolling-window SLO tracking for the serving tier.
+
+A service-level objective gives the serving tier a yes/no answer to "is
+this replica healthy *as experienced by callers*", where breaker states
+only say whether backends are failing.  :class:`SloMonitor` tracks two
+objectives over a rolling window (default five minutes):
+
+* **availability** — the fraction of requests answered without a server
+  error (5xx), target e.g. 99.9%;
+* **latency** — the fraction of read requests answered within a
+  deadline, target e.g. 99% under 500 ms.
+
+Each is summarised as a **burn rate**: observed bad fraction divided by
+the objective's error budget (``1 - objective``).  Burn rate 1.0 means
+the replica is consuming budget exactly as fast as the objective
+allows; above 1.0 the objective will be violated if the window is
+representative.  Burn rates are the standard paging signal because they
+are dimensionless and comparable across objectives.
+
+The window is a ring of time buckets (width = window/buckets); a bucket
+is lazily reset when the clock wraps onto it, so recording is O(1) and
+no background thread is needed.  The monitor shares the app's
+injectable clock, which lets the chaos suite replay breaker trips and
+recovery and watch SLO events fire deterministically.
+
+Degraded-mode transitions (breaker opens, stale serving) are reported
+by the app via :meth:`note_health`; every state change is kept as an
+SLO *event* (bounded deque) and counted on ``serve.slo.events`` — so
+"when did this replica degrade and recover" is a metrics query, not a
+log grep.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["SloObjectives", "SloMonitor"]
+
+
+@dataclass(frozen=True)
+class SloObjectives:
+    """The targets one serving replica is held to."""
+
+    availability: float = 0.999
+    latency_target: float = 0.99
+    latency_deadline_s: float = 0.5
+    window_s: float = 300.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.availability < 1.0:
+            raise ValueError("availability objective must be in (0, 1)")
+        if not 0.0 < self.latency_target < 1.0:
+            raise ValueError("latency target must be in (0, 1)")
+        if self.latency_deadline_s <= 0 or self.window_s <= 0:
+            raise ValueError("deadline and window must be positive")
+
+
+class _Bucket:
+    __slots__ = ("index", "requests", "errors", "in_deadline", "latency_eligible")
+
+    def __init__(self) -> None:
+        self.reset(-1)
+
+    def reset(self, index: int) -> None:
+        self.index = index
+        self.requests = 0
+        self.errors = 0
+        self.in_deadline = 0
+        self.latency_eligible = 0
+
+
+class SloMonitor:
+    """Tracks availability/latency objectives over a rolling window."""
+
+    def __init__(
+        self,
+        objectives: SloObjectives | None = None,
+        clock=time.monotonic,
+        metrics: MetricsRegistry | None = None,
+        buckets: int = 30,
+    ) -> None:
+        if buckets < 2:
+            raise ValueError("need at least 2 window buckets")
+        self.objectives = objectives or SloObjectives()
+        self._clock = clock
+        self._metrics = metrics
+        self._width = self.objectives.window_s / buckets
+        self._ring = [_Bucket() for _ in range(buckets)]
+        self._lock = threading.Lock()
+        self._health = "ok"
+        self.events: deque[dict] = deque(maxlen=64)
+        self._availability_burning = False
+        self._latency_burning = False
+
+    # -- recording ------------------------------------------------------
+
+    def _bucket(self, now: float) -> _Bucket:
+        index = int(now / self._width)
+        bucket = self._ring[index % len(self._ring)]
+        if bucket.index != index:
+            bucket.reset(index)
+        return bucket
+
+    def record(
+        self, endpoint: str, status: int, latency_s: float, latency_eligible: bool = True
+    ) -> None:
+        """Record one answered request.
+
+        ``latency_eligible`` excludes endpoints the latency objective
+        does not cover (health/metrics probes); availability always
+        counts.
+        """
+        now = self._clock()
+        with self._lock:
+            bucket = self._bucket(now)
+            bucket.requests += 1
+            if status >= 500:
+                bucket.errors += 1
+            if latency_eligible:
+                bucket.latency_eligible += 1
+                if latency_s <= self.objectives.latency_deadline_s:
+                    bucket.in_deadline += 1
+            self._check_burn(now)
+
+    def note_health(self, state: str) -> None:
+        """Record the app's health state; transitions become SLO events."""
+        with self._lock:
+            if state == self._health:
+                return
+            previous, self._health = self._health, state
+            self._event("health", now=self._clock(), from_=previous, to=state)
+
+    # -- derivation -----------------------------------------------------
+
+    def _window_totals(self, now: float) -> tuple[int, int, int, int]:
+        """(requests, errors, latency_eligible, in_deadline) over the
+        live window; stale ring slots (older than the window) are
+        skipped without being reset."""
+        current = int(now / self._width)
+        oldest = current - len(self._ring) + 1
+        requests = errors = eligible = in_deadline = 0
+        for bucket in self._ring:
+            if bucket.index < oldest:
+                continue
+            requests += bucket.requests
+            errors += bucket.errors
+            eligible += bucket.latency_eligible
+            in_deadline += bucket.in_deadline
+        return requests, errors, eligible, in_deadline
+
+    def _rates(self, now: float) -> dict:
+        requests, errors, eligible, in_deadline = self._window_totals(now)
+        availability = 1.0 - errors / requests if requests else 1.0
+        attainment = in_deadline / eligible if eligible else 1.0
+        return {
+            "window_requests": requests,
+            "window_errors": errors,
+            "availability": availability,
+            "availability_burn_rate": (
+                (1.0 - availability) / (1.0 - self.objectives.availability)
+            ),
+            "latency_eligible": eligible,
+            "latency_attainment": attainment,
+            "latency_burn_rate": (
+                (1.0 - attainment) / (1.0 - self.objectives.latency_target)
+            ),
+        }
+
+    def _check_burn(self, now: float) -> None:
+        # Caller holds the lock.  Emits an event whenever either burn
+        # rate crosses 1.0 in either direction.
+        rates = self._rates(now)
+        for key, flag_attr in (
+            ("availability_burn_rate", "_availability_burning"),
+            ("latency_burn_rate", "_latency_burning"),
+        ):
+            burning = rates[key] >= 1.0
+            if burning != getattr(self, flag_attr):
+                setattr(self, flag_attr, burning)
+                self._event(
+                    "burn",
+                    now=now,
+                    objective=key.removesuffix("_burn_rate"),
+                    burn_rate=round(rates[key], 4),
+                    breached=burning,
+                )
+
+    def _event(self, kind: str, now: float, from_: str | None = None, **extra) -> None:
+        event = {"kind": kind, "at_s": round(now, 3)}
+        if from_ is not None:
+            event["from"] = from_
+        event.update(extra)
+        self.events.append(event)
+        if self._metrics is not None:
+            self._metrics.inc("serve.slo.events")
+
+    # -- export ---------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-ready SLO state for ``/healthz`` and ``/metricz``."""
+        now = self._clock()
+        with self._lock:
+            rates = self._rates(now)
+            payload = {
+                "objectives": {
+                    "availability": self.objectives.availability,
+                    "latency_target": self.objectives.latency_target,
+                    "latency_deadline_s": self.objectives.latency_deadline_s,
+                    "window_s": self.objectives.window_s,
+                },
+                **{k: round(v, 6) if isinstance(v, float) else v
+                   for k, v in rates.items()},
+                "health": self._health,
+                "events": list(self.events),
+            }
+        return payload
+
+    def publish(self, metrics: MetricsRegistry) -> None:
+        """Write the current SLO state to gauges (the /metricz path)."""
+        now = self._clock()
+        with self._lock:
+            rates = self._rates(now)
+            health = self._health
+        metrics.set_gauge("serve.slo.availability", rates["availability"])
+        metrics.set_gauge(
+            "serve.slo.availability_burn_rate", rates["availability_burn_rate"]
+        )
+        metrics.set_gauge(
+            "serve.slo.latency_attainment", rates["latency_attainment"]
+        )
+        metrics.set_gauge(
+            "serve.slo.latency_burn_rate", rates["latency_burn_rate"]
+        )
+        metrics.set_gauge("serve.slo.degraded", 0.0 if health == "ok" else 1.0)

@@ -1,10 +1,12 @@
 """End-to-end serving smoke check (the ``make serve-smoke`` gate).
 
 Builds a tiny dataset in-process, resolves it, boots the HTTP server on
-an ephemeral port, and drives it through the client: ``/healthz``, one
-``/v1/search`` (verified against an offline ``QueryEngine.search`` on
-the same graph), one pedigree fetch, and ``/metricz``.  Exits non-zero
-on any mismatch so CI catches serving regressions immediately.
+an ephemeral port, and drives it through the client: ``/healthz`` (with
+SLO snapshot), one ``/v1/search`` (verified against an offline
+``QueryEngine.search`` on the same graph), one pedigree fetch,
+``/metricz``, and ``/metricz?format=prom`` (validated with the repo's
+own exposition checker).  Exits non-zero on any mismatch so CI catches
+serving regressions immediately.
 
 Run with ``python -m repro.serve.smoke``.
 """
@@ -15,6 +17,7 @@ import sys
 import threading
 
 from repro.core import SnapsConfig, SnapsResolver
+from repro.obs.prom import check_exposition
 from repro.data.synthetic import make_tiny_dataset
 from repro.pedigree import build_pedigree_graph
 from repro.query import Query, QueryEngine
@@ -75,10 +78,31 @@ def main(argv: list[str] | None = None) -> int:
         if metrics["counters"].get("serve.requests", 0) < 3:
             print("serve-smoke: /metricz missing request counters", file=sys.stderr)
             return 1
+        if health.get("slo", {}).get("health") != "ok":
+            print(f"serve-smoke: bad SLO health in /healthz: {health.get('slo')}",
+                  file=sys.stderr)
+            return 1
+        prom = client.metricz_prom()
+        try:
+            families = check_exposition(prom)
+        except ValueError as exc:
+            print(f"serve-smoke: invalid prom exposition: {exc}", file=sys.stderr)
+            return 1
+        for family in (
+            "snaps_serve_search_latency_seconds",
+            "snaps_serve_slo_availability",
+            "snaps_serve_slo_latency_burn_rate",
+            "snaps_process_rss_bytes",
+        ):
+            if family not in families:
+                print(f"serve-smoke: prom exposition missing {family}",
+                      file=sys.stderr)
+                return 1
         print(
             f"serve-smoke ok: {health['entities']} entities, "
             f"{served['count']} hits for {first} {surname}, "
-            f"pedigree of {top_id} has {pedigree['count']} people"
+            f"pedigree of {top_id} has {pedigree['count']} people, "
+            f"{len(families)} prom families"
         )
         return 0
     finally:

@@ -154,6 +154,12 @@ class IncrementalResolver:
                 len(pairs),
                 replayed,
             )
+            trace.annotate(
+                delta_records=len(delta_ids),
+                dirty_records=len(dirty_records),
+                dirty_pairs=len(dirty_pairs),
+                replayed_clusters=replayed,
+            )
             with trace.span("resolve"):
                 linkage = resolver.resolve(
                     combined,

@@ -105,6 +105,41 @@ class TestTelemetry:
         bad.write_text("not json")
         assert main(["report", str(bad)]) == 1
 
+    def test_resolve_profile_lands_in_report(self, simulated, tmp_path):
+        import json
+
+        graph = tmp_path / "g.json"
+        run = tmp_path / "run.json"
+        collapsed = tmp_path / "profile.txt"
+        code = main([
+            "resolve", "--data", str(simulated), "--out", str(graph),
+            "--metrics-out", str(run),
+            "--profile", "--profile-out", str(collapsed),
+        ])
+        assert code == 0
+        profile = json.loads(run.read_text())["profile"]
+        assert profile["samples"] >= 0 and profile["interval_s"] > 0
+        assert collapsed.exists()
+        for line in collapsed.read_text().splitlines():
+            stack, count = line.rsplit(" ", 1)
+            assert stack and int(count) > 0
+
+    def test_report_format_prom(self, simulated, tmp_path, capsys):
+        from repro.obs.prom import check_exposition
+
+        graph = tmp_path / "g.json"
+        run = tmp_path / "run.json"
+        assert main([
+            "resolve", "--data", str(simulated), "--out", str(graph),
+            "--metrics-out", str(run),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["report", str(run), "--format", "prom"]) == 0
+        text = capsys.readouterr().out
+        families = check_exposition(text)
+        assert "snaps_blocking_candidate_pairs_total" in families
+        assert families["snaps_blocking_block_size"]["type"] == "histogram"
+
 
 class TestQuery:
     def test_query_finds_hits(self, resolved, capsys):

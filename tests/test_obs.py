@@ -2,6 +2,8 @@
 
 import json
 import logging
+import pickle
+import time
 from concurrent.futures import ThreadPoolExecutor
 
 import pytest
@@ -12,14 +14,24 @@ from repro.obs import (
     Histogram,
     MetricsRegistry,
     NullMetrics,
+    SamplingProfiler,
     Trace,
+    TraceContext,
+    TraceWriter,
     build_report,
+    check_exposition,
     configure,
+    context_span,
     default_trace,
     exponential_buckets,
     get_logger,
+    histogram_quantile,
     linear_buckets,
     load_report,
+    parse_prometheus,
+    process_gauges,
+    read_trace_jsonl,
+    render_prometheus,
     render_report,
     save_report,
 )
@@ -405,6 +417,324 @@ class TestQueryTelemetry:
         assert [s.name for s in refine.children] == ["parish_match"]
         assert metrics.counter_value("query.searches") == 1
         assert metrics.histograms["query.latency_seconds"].count == 1
+
+
+class TestHistogramQuantiles:
+    # Shared fixture shape: buckets [1, 2, 4], per-bucket counts with a
+    # trailing overflow slot — observations 0.5, 1.0, 1.5, 2.0, 4.0, 5.0.
+    BUCKETS = [1.0, 2.0, 4.0]
+    COUNTS = [2, 2, 1, 1]
+
+    def test_interpolates_inside_bucket(self):
+        # rank 3 of 6 lands in the (1, 2] bucket, halfway through it.
+        assert histogram_quantile(self.BUCKETS, self.COUNTS, 0.5) == pytest.approx(1.5)
+
+    def test_overflow_rank_reports_maximum(self):
+        assert histogram_quantile(
+            self.BUCKETS, self.COUNTS, 1.0, maximum=5.0
+        ) == pytest.approx(5.0)
+        # Without a known max, the last finite bound stands in.
+        assert histogram_quantile(self.BUCKETS, self.COUNTS, 1.0) == pytest.approx(4.0)
+
+    def test_clamps_to_observed_minimum(self):
+        assert histogram_quantile(
+            self.BUCKETS, self.COUNTS, 0.0, minimum=0.5
+        ) == pytest.approx(0.5)
+
+    def test_uniform_single_bucket(self):
+        assert histogram_quantile([10.0], [10, 0], 0.5) == pytest.approx(5.0)
+
+    def test_empty_and_bad_inputs(self):
+        assert histogram_quantile(self.BUCKETS, [0, 0, 0, 0], 0.5) == 0.0
+        with pytest.raises(ValueError):
+            histogram_quantile(self.BUCKETS, self.COUNTS, 1.5)
+
+    def test_histogram_quantile_method_and_as_dict(self):
+        h = Histogram("h", self.BUCKETS)
+        for value in (0.5, 1.0, 1.5, 2.0, 4.0, 5.0):
+            h.observe(value)
+        assert h.quantile(0.5) == pytest.approx(1.5)
+        snapshot = h.as_dict()
+        assert snapshot["p50"] == pytest.approx(1.5)
+        assert snapshot["p99"] == pytest.approx(5.0)  # clamped to observed max
+
+    def test_empty_histogram_quantiles_are_none(self):
+        snapshot = Histogram("h", [1.0]).as_dict()
+        assert snapshot["p50"] is None and snapshot["p95"] is None
+        assert Histogram("h", [1.0]).quantile(0.95) == 0.0
+
+
+class TestPromExposition:
+    def _registry(self):
+        registry = MetricsRegistry()
+        registry.inc("blocking.candidate_pairs", 42)
+        registry.set_gauge("blocking.reduction_ratio", 0.98)
+        for value in (0.5, 1.0, 1.5, 2.0, 4.0, 5.0):
+            registry.observe("resolve.latency_seconds", value, buckets=[1.0, 2.0, 4.0])
+        return registry
+
+    def test_render_passes_own_checker(self):
+        text = render_prometheus(
+            self._registry().as_dict(), info={"snapshot_id": "snap-1"}
+        )
+        families = check_exposition(text)
+        assert families["snaps_blocking_candidate_pairs_total"]["type"] == "counter"
+        assert families["snaps_blocking_reduction_ratio"]["type"] == "gauge"
+        assert families["snaps_resolve_latency_seconds"]["type"] == "histogram"
+        info = families["snaps_info"]["samples"][0]
+        assert info[1] == {"snapshot_id": "snap-1"} and info[2] == 1.0
+
+    def test_round_trip_values(self):
+        families = parse_prometheus(render_prometheus(self._registry().as_dict()))
+        (_, _, counter) = families["snaps_blocking_candidate_pairs_total"]["samples"][0]
+        assert counter == 42.0
+        hist = families["snaps_resolve_latency_seconds"]["samples"]
+        by_le = {
+            labels["le"]: value
+            for name, labels, value in hist
+            if name.endswith("_bucket")
+        }
+        # Cumulative: <=1 → 2, <=2 → 4, <=4 → 5, +Inf → 6.
+        assert by_le == {"1": 2.0, "2": 4.0, "4": 5.0, "+Inf": 6.0}
+
+    def test_quantile_gauges_match_report_estimator(self):
+        registry = self._registry()
+        families = parse_prometheus(render_prometheus(registry.as_dict()))
+        quantiles = {
+            labels["quantile"]: value
+            for _, labels, value in
+            families["snaps_resolve_latency_seconds_quantile"]["samples"]
+        }
+        hist = registry.histograms["resolve.latency_seconds"]
+        assert quantiles["0.5"] == pytest.approx(hist.quantile(0.5))
+        assert quantiles["0.99"] == pytest.approx(hist.quantile(0.99))
+
+    def test_checker_rejects_malformed(self):
+        with pytest.raises(ValueError, match="before TYPE"):
+            check_exposition("snaps_x_total 1\n# TYPE snaps_x_total counter\n")
+        with pytest.raises(ValueError, match="duplicate"):
+            check_exposition(
+                "# TYPE snaps_g gauge\nsnaps_g 1\nsnaps_g 2\n"
+            )
+        with pytest.raises(ValueError, match="cumulative"):
+            check_exposition(
+                "# TYPE snaps_h histogram\n"
+                'snaps_h_bucket{le="1"} 5\n'
+                'snaps_h_bucket{le="+Inf"} 3\n'
+                "snaps_h_sum 1\nsnaps_h_count 3\n"
+            )
+        with pytest.raises(ValueError, match="malformed sample"):
+            parse_prometheus("!!! not a sample\n")
+
+    def test_process_gauges_on_linux(self):
+        gauges = process_gauges()
+        assert gauges["process.uptime_seconds"] >= 0.0
+        assert gauges["process.cpu_seconds"] > 0.0
+        assert gauges["process.rss_bytes"] > 1024 * 1024
+        assert gauges["process.open_fds"] >= 3  # stdio at minimum
+
+
+class TestTracePropagation:
+    def test_context_captures_current_position(self):
+        trace = Trace()
+        with trace.span("resolve") as span:
+            ctx = trace.context(label="score")
+        assert ctx.trace_id == trace.trace_id
+        assert ctx.parent_span_id == span.span_id
+        assert ctx.baggage == {"label": "score"}
+        rebuilt = TraceContext.from_dict(ctx.to_dict())
+        assert rebuilt.trace_id == ctx.trace_id
+        assert rebuilt.parent_span_id == ctx.parent_span_id
+        assert rebuilt.baggage == ctx.baggage
+
+    def test_disabled_trace_has_no_context(self):
+        assert Trace.disabled().context() is None
+        assert context_span(None, "worker") is None
+
+    def test_context_span_identity(self):
+        trace = Trace()
+        with trace.span("resolve") as parent:
+            ctx = trace.context()
+        span = context_span(ctx, "worker.chunk0", chunk=0)
+        assert span.parent_id == parent.span_id
+        assert span.span_id.startswith(f"{trace.trace_id}.p")
+        assert span.attrs["chunk"] == 0 and span.attrs["pid"] > 0
+
+    def test_attach_grafts_under_open_span(self):
+        trace = Trace()
+        worker = context_span(TraceContext("dead"), "worker.chunk0")
+        worker.elapsed = 0.25
+        with trace.span("resolve") as resolve:
+            with trace.span("wait") as wait:
+                grafted = trace.attach(worker.as_dict())
+        assert grafted.parent_id == wait.span_id
+        assert [s.name for s in wait.children] == ["worker.chunk0"]
+        assert resolve.children[0] is wait
+
+    def test_attach_fixes_nested_parent_links(self, tmp_path):
+        # A worker span carrying children of its own must stream with
+        # re-derived parent ids, or the file would read back as forests.
+        path = tmp_path / "trace.jsonl"
+        trace = Trace(writer=TraceWriter(path))
+        worker = context_span(TraceContext("dead"), "worker.chunk0")
+        child = context_span(TraceContext("dead"), "worker.inner")
+        child.parent_id = None
+        worker.children.append(child)
+        with trace.span("resolve"):
+            trace.attach(worker)
+        rebuilt = read_trace_jsonl(path)
+        assert [s.name for s in rebuilt.roots] == ["resolve"]
+        chunk = rebuilt.roots[0].children[0]
+        assert chunk.name == "worker.chunk0"
+        assert [s.name for s in chunk.children] == ["worker.inner"]
+
+
+class TestTraceWriter:
+    def _traced_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        trace = Trace(writer=TraceWriter(path))
+        with trace.span("resolve"):
+            with trace.span("blocking"):
+                pass
+            with trace.span("graph"):
+                pass
+        return path, trace
+
+    def test_streams_one_event_per_span(self, tmp_path):
+        path, trace = self._traced_file(tmp_path)
+        events = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [e["name"] for e in events] == ["blocking", "graph", "resolve"]
+        assert {e["trace_id"] for e in events} == {trace.trace_id}
+
+    def test_read_trace_jsonl_rebuilds_tree(self, tmp_path):
+        path, trace = self._traced_file(tmp_path)
+        rebuilt = read_trace_jsonl(path)
+        assert rebuilt.trace_id == trace.trace_id
+        assert [s.name for s in rebuilt.roots] == ["resolve"]
+        assert [s.name for s in rebuilt.roots[0].children] == ["blocking", "graph"]
+
+    def test_torn_final_line_is_tolerated(self, tmp_path):
+        path, _ = self._traced_file(tmp_path)
+        with open(path, "a") as handle:
+            handle.write('{"name": "torn", "elapsed_s": 0.')  # crash mid-write
+        rebuilt = read_trace_jsonl(path)
+        assert [s.name for s in rebuilt.roots] == ["resolve"]
+
+    def test_torn_middle_line_is_an_error(self, tmp_path):
+        path, _ = self._traced_file(tmp_path)
+        lines = path.read_text().splitlines()
+        lines[0] = lines[0][:10]
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(json.JSONDecodeError):
+            read_trace_jsonl(path)
+
+    def test_durable_follows_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("SNAPS_OBS", "durable")
+        assert TraceWriter(tmp_path / "a.jsonl").durable
+        monkeypatch.delenv("SNAPS_OBS")
+        assert not TraceWriter(tmp_path / "b.jsonl").durable
+        assert TraceWriter(tmp_path / "c.jsonl", durable=True).durable
+
+    def test_writer_truncates_stale_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"name": "stale", "elapsed_s": 1.0, "trace_id": "x"}\n')
+        trace = Trace(writer=TraceWriter(path))
+        with trace.span("fresh"):
+            pass
+        assert [s.name for s in read_trace_jsonl(path).roots] == ["fresh"]
+
+
+class TestRegistryPickle:
+    def test_round_trip_preserves_instruments(self):
+        registry = MetricsRegistry()
+        registry.inc("pairs", 5)
+        registry.set_gauge("ratio", 0.25)
+        registry.observe("sizes", 3, buckets=[2.0, 4.0])
+        clone = pickle.loads(pickle.dumps(registry))
+        assert clone.as_dict() == registry.as_dict()
+
+    def test_clone_is_live_after_unpickle(self):
+        # Locks are dropped in __getstate__ and must come back usable.
+        registry = MetricsRegistry()
+        registry.inc("pairs", 1)
+        registry.observe("sizes", 1, buckets=[2.0])
+        clone = pickle.loads(pickle.dumps(registry))
+        clone.inc("pairs", 2)
+        clone.observe("sizes", 3)
+        assert clone.counter_value("pairs") == 3
+        assert clone.histograms["sizes"].count == 2
+        assert registry.counter_value("pairs") == 1  # deep copy, not shared
+
+    def test_merge_after_round_trip(self):
+        parent, worker = MetricsRegistry(), MetricsRegistry()
+        parent.inc("pairs", 2)
+        worker.inc("pairs", 3)
+        worker.observe("chunk_seconds", 0.5, buckets=LATENCY_BUCKETS_S)
+        parent.merge(pickle.loads(pickle.dumps(worker)))
+        assert parent.counter_value("pairs") == 5
+        assert parent.histograms["chunk_seconds"].count == 1
+
+
+class TestSamplingProfiler:
+    def test_captures_stacks_from_busy_loop(self):
+        def busy_leaf(deadline):
+            total = 0
+            while time.perf_counter() < deadline:
+                total += sum(range(50))
+            return total
+
+        profiler = SamplingProfiler(interval_s=0.001)
+        with profiler:
+            busy_leaf(time.perf_counter() + 0.15)
+        assert profiler.samples > 10
+        collapsed = profiler.collapsed()
+        assert "busy_leaf" in collapsed
+        # Collapsed format: "frame;frame;... count" one stack per line.
+        for line in collapsed.splitlines():
+            stack, count = line.rsplit(" ", 1)
+            assert stack and int(count) > 0
+
+    def test_top_and_as_dict(self, tmp_path):
+        profiler = SamplingProfiler(interval_s=0.001)
+        with profiler:
+            deadline = time.perf_counter() + 0.1
+            while time.perf_counter() < deadline:
+                sum(range(100))
+        top = profiler.top(5)
+        assert top and all(
+            {"frame", "self_samples", "self_s", "cum_samples", "cum_s"}
+            <= set(entry)
+            for entry in top
+        )
+        assert all(
+            entry["cum_samples"] >= entry["self_samples"] >= 0 for entry in top
+        )
+        data = profiler.as_dict(top_n=3)
+        assert data["samples"] == profiler.samples
+        assert data["interval_s"] == 0.001
+        assert len(data["top"]) <= 3
+        out = profiler.write_collapsed(tmp_path / "profile.txt")
+        assert out.read_text() == profiler.collapsed() + "\n"
+
+    def test_stop_is_idempotent(self):
+        profiler = SamplingProfiler(interval_s=0.001).start()
+        time.sleep(0.01)
+        profiler.stop()
+        elapsed = profiler.elapsed_s
+        profiler.stop()
+        assert profiler.elapsed_s == elapsed
+
+    def test_env_gate(self, monkeypatch):
+        from repro.obs import profile_from_env
+
+        monkeypatch.delenv("SNAPS_PROFILE", raising=False)
+        assert profile_from_env() is None
+        monkeypatch.setenv("SNAPS_PROFILE", "1")
+        assert profile_from_env().interval_s == pytest.approx(0.005)
+        monkeypatch.setenv("SNAPS_PROFILE", "0.002")
+        assert profile_from_env().interval_s == pytest.approx(0.002)
+        monkeypatch.setenv("SNAPS_PROFILE", "")
+        assert profile_from_env() is None
 
 
 class TestProfilingMetrics:

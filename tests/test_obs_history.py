@@ -1,0 +1,220 @@
+"""Tests for the benchmark regression tracker (repro.obs.history).
+
+Rows, dedupe, rolling-median baselines, the time-like-only regression
+gate, and the ``repro bench-history`` CLI — including the acceptance
+scenario: a synthetic 2x slowdown must flip ``--check`` to a non-zero
+exit while an unchanged re-run stays green.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import MetricsRegistry, Trace, build_report, save_report
+from repro.obs.history import (
+    HISTORY_VERSION,
+    append_rows,
+    compute_deltas,
+    extract_measures,
+    find_regressions,
+    history_row,
+    is_time_measure,
+    load_history,
+)
+
+
+def make_report(resolve_s=1.0, pairs=100, scale=0.1, dataset="ios"):
+    """A synthetic run report with a controllable resolve wall time."""
+    trace = Trace()
+    with trace.span("resolve"):
+        pass
+    trace.roots[0].elapsed = resolve_s
+    metrics = MetricsRegistry()
+    metrics.inc("blocking.candidate_pairs", pairs)
+    metrics.observe("resolve.latency_seconds", resolve_s, buckets=[0.5, 2.0])
+    return build_report(
+        trace,
+        metrics,
+        meta={
+            "bench": "bench_fake",
+            "scale": scale,
+            "dataset": dataset,
+            "time_total_s": resolve_s,
+            # Nested numeric metadata (per-run raw timings) must land in
+            # the measures, never in the config fingerprint.
+            "runs": {"0": {"seconds": resolve_s}},
+        },
+    )
+
+
+def make_row(resolve_s=1.0, n=0, **kwargs):
+    return history_row(
+        make_report(resolve_s=resolve_s, **kwargs),
+        source=f"results/bench_fake.metrics.json#{n}",
+        recorded_at=f"2026-08-0{(n % 9) + 1}T00:00:00+00:00",
+        sha=f"sha{n}",
+    )
+
+
+class TestMeasures:
+    def test_extract_flattens_every_block(self):
+        measures = extract_measures(make_report(resolve_s=2.0, pairs=7))
+        assert measures["span:resolve"] == pytest.approx(2.0)
+        assert measures["meta:time_total_s"] == pytest.approx(2.0)
+        assert measures["meta:scale"] == pytest.approx(0.1)
+        assert measures["meta:runs.0.seconds"] == pytest.approx(2.0)
+        assert measures["counter:blocking.candidate_pairs"] == 7.0
+        assert measures["hist:resolve.latency_seconds.count"] == 1.0
+        assert measures["hist:resolve.latency_seconds.mean"] == pytest.approx(2.0)
+
+    def test_time_measure_classification(self):
+        assert is_time_measure("span:resolve")
+        assert is_time_measure("meta:time_total_s")
+        assert is_time_measure("hist:query.latency_seconds.p95")
+        assert not is_time_measure("counter:blocking.candidate_pairs")
+        assert not is_time_measure("meta:scale")
+
+    def test_fingerprint_ignores_measurements(self):
+        # Different wall times and nested timings, same configuration →
+        # same fingerprint, so the runs form one comparable series.
+        fast = make_row(resolve_s=0.5, n=0)
+        slow = make_row(resolve_s=5.0, n=1)
+        assert fast["fingerprint"] == slow["fingerprint"]
+        other = make_row(resolve_s=0.5, n=2, dataset="kil")
+        assert other["fingerprint"] != fast["fingerprint"]
+
+    def test_explicit_fingerprint_wins(self):
+        report = make_report()
+        report["meta"]["config_fingerprint"] = "pinned"
+        assert history_row(report, "s", "t")["fingerprint"] == "pinned"
+
+    def test_row_shape(self):
+        row = make_row()
+        assert row["version"] == HISTORY_VERSION
+        assert row["bench"] == "bench_fake"
+        assert row["scale"] == 0.1
+        assert row["git_sha"] == "sha0"
+        assert len(row["source_sha256"]) == 64
+
+
+class TestAppendAndLoad:
+    def test_append_and_round_trip(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        rows = [make_row(n=0), make_row(resolve_s=1.1, n=1)]
+        assert append_rows(path, rows) == rows
+        assert load_history(path) == rows
+
+    def test_append_is_idempotent(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        report = make_report()
+        assert len(append_rows(path, [history_row(report, "s", "t1")])) == 1
+        # Same artefact again (identical report → identical sha) skips,
+        # even when re-recorded at a different time.
+        assert append_rows(path, [history_row(report, "s", "t2")]) == []
+        assert len(load_history(path)) == 1
+
+    def test_missing_file_is_empty_history(self, tmp_path):
+        assert load_history(tmp_path / "absent.jsonl") == []
+
+    def test_load_rejects_corruption(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        path.write_text('{"version": 1, "bench": "a"\n')
+        with pytest.raises(ValueError, match="corrupt"):
+            load_history(path)
+        path.write_text(json.dumps({"version": 99, "bench": "a"}) + "\n")
+        with pytest.raises(ValueError, match="version"):
+            load_history(path)
+
+
+class TestDeltasAndRegressions:
+    def test_baseline_is_median_of_window(self):
+        rows = [make_row(resolve_s=s, n=i)
+                for i, s in enumerate([1.0, 3.0, 2.0, 2.0])]
+        (entry,) = compute_deltas(rows, window=5)
+        comparison = entry["measures"]["span:resolve"]
+        assert entry["baseline_runs"] == 3
+        assert comparison["baseline"] == pytest.approx(2.0)  # median(1, 3, 2)
+        assert comparison["ratio"] == pytest.approx(1.0)
+
+    def test_first_run_has_no_baseline(self):
+        (entry,) = compute_deltas([make_row()])
+        assert entry["baseline_runs"] == 0 and entry["measures"] == {}
+
+    def test_series_split_by_scale(self):
+        rows = [make_row(n=0, scale=0.1), make_row(n=1, scale=1.0)]
+        deltas = compute_deltas(rows)
+        assert len(deltas) == 2
+        assert all(entry["baseline_runs"] == 0 for entry in deltas)
+
+    def test_synthetic_2x_slowdown_is_caught(self):
+        rows = [make_row(resolve_s=1.0, n=0), make_row(resolve_s=2.0, n=1)]
+        regressions = find_regressions(compute_deltas(rows))
+        names = {r["measure"] for r in regressions}
+        assert "span:resolve" in names and "meta:time_total_s" in names
+        worst = next(r for r in regressions if r["measure"] == "span:resolve")
+        assert worst["ratio"] == pytest.approx(2.0)
+        assert worst["bench"] == "bench_fake"
+
+    def test_counters_never_regress(self):
+        # A counter doubling is a workload change, not a perf regression.
+        rows = [make_row(n=0, pairs=100), make_row(n=1, pairs=200)]
+        assert find_regressions(compute_deltas(rows)) == []
+
+    def test_min_delta_filters_noise(self):
+        # 3x ratio but only 2 ms absolute: below the floor, not a page.
+        rows = [make_row(resolve_s=0.001, n=0), make_row(resolve_s=0.003, n=1)]
+        assert find_regressions(compute_deltas(rows)) == []
+        assert find_regressions(compute_deltas(rows), min_delta=0.0)
+
+
+class TestBenchHistoryCli:
+    def _emit(self, results_dir, resolve_s):
+        results_dir.mkdir(exist_ok=True)
+        save_report(
+            make_report(resolve_s=resolve_s),
+            results_dir / "bench_fake.metrics.json",
+        )
+
+    def _run(self, results_dir, history, sha, check=False):
+        argv = [
+            "bench-history",
+            "--results-dir", str(results_dir),
+            "--history", str(history),
+            "--sha", sha,
+        ]
+        if check:
+            argv.append("--check")
+        return main(argv)
+
+    def test_append_dedupe_and_check(self, tmp_path, capsys):
+        results, history = tmp_path / "results", tmp_path / "history.jsonl"
+
+        self._emit(results, resolve_s=1.0)
+        assert self._run(results, history, "aaa111") == 0
+        assert "1 new" in capsys.readouterr().out
+        # Unchanged artefact: re-run appends nothing and stays green.
+        assert self._run(results, history, "aaa111", check=True) == 0
+        assert "0 new" in capsys.readouterr().out
+        assert len(load_history(history)) == 1
+
+        # A mild change appends a second row and passes the gate.
+        self._emit(results, resolve_s=1.1)
+        assert self._run(results, history, "bbb222", check=True) == 0
+        out = capsys.readouterr().out
+        assert "baseline of 1" in out and "regression check passed" in out
+        assert len(load_history(history)) == 2
+
+        # The acceptance scenario: a synthetic 2x slowdown fails --check.
+        self._emit(results, resolve_s=2.2)
+        assert self._run(results, history, "ccc333", check=True) == 3
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out and "span:resolve" in out
+
+    def test_empty_results_dir_is_not_an_error(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        results.mkdir()
+        assert self._run(results, tmp_path / "h.jsonl", "abc") == 0
+        assert "no *.metrics.json artefacts" in capsys.readouterr().err

@@ -611,3 +611,169 @@ class TestSnapshotWarmStart:
             graph, ServeConfig(), keyword_index=keyword_index, sim_index=sim_index
         )
         assert warm.handle("GET", "/healthz").status == 200
+
+
+# ----------------------------------------------------------------------
+# SLO monitor + Prometheus exposition
+# ----------------------------------------------------------------------
+
+
+class _Clock:
+    def __init__(self, now: float = 1000.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestSloMonitor:
+    def _monitor(self, metrics=None, **objectives):
+        from repro.serve.slo import SloMonitor, SloObjectives
+
+        clock = _Clock()
+        return clock, SloMonitor(
+            SloObjectives(window_s=30.0, **objectives),
+            clock=clock,
+            metrics=metrics,
+        )
+
+    def test_objective_validation(self):
+        from repro.serve.slo import SloMonitor, SloObjectives
+
+        with pytest.raises(ValueError):
+            SloObjectives(availability=1.5)
+        with pytest.raises(ValueError):
+            SloObjectives(latency_deadline_s=0.0)
+        with pytest.raises(ValueError):
+            SloMonitor(buckets=1)
+
+    def test_healthy_traffic_has_zero_burn(self):
+        _, monitor = self._monitor()
+        for _ in range(10):
+            monitor.record("search", 200, 0.01)
+        snap = monitor.snapshot()
+        assert snap["availability"] == 1.0
+        assert snap["availability_burn_rate"] == 0.0
+        assert snap["latency_attainment"] == 1.0
+        assert snap["window_requests"] == 10
+
+    def test_burn_event_fires_and_recovers(self):
+        metrics = MetricsRegistry()
+        clock, monitor = self._monitor(metrics=metrics)
+        for _ in range(9):
+            monitor.record("search", 200, 0.01)
+        monitor.record("search", 500, 0.01)
+        snap = monitor.snapshot()
+        assert snap["availability"] == pytest.approx(0.9)
+        assert snap["availability_burn_rate"] > 1.0
+        burn = [e for e in monitor.events if e["kind"] == "burn"]
+        assert burn[-1]["objective"] == "availability"
+        assert burn[-1]["breached"] is True
+        # Errors age out of the rolling window: burn clears, with a
+        # recovery event on the crossing back under 1.0.
+        clock.now += 31.0
+        monitor.record("search", 200, 0.01)
+        assert monitor.snapshot()["availability"] == 1.0
+        burn = [e for e in monitor.events if e["kind"] == "burn"]
+        assert burn[-1]["breached"] is False
+        assert metrics.counter_value("serve.slo.events") == len(monitor.events)
+
+    def test_latency_objective_skips_ineligible_endpoints(self):
+        _, monitor = self._monitor(latency_deadline_s=0.1)
+        monitor.record("healthz", 200, 5.0, latency_eligible=False)
+        assert monitor.snapshot()["latency_attainment"] == 1.0
+        monitor.record("search", 200, 5.0)
+        snap = monitor.snapshot()
+        assert snap["latency_attainment"] == 0.0
+        assert snap["latency_burn_rate"] > 1.0
+        assert snap["availability"] == 1.0  # slow but not erroring
+
+    def test_health_transitions_become_events(self):
+        _, monitor = self._monitor()
+        monitor.note_health("ok")  # no transition, no event
+        assert not monitor.events
+        monitor.note_health("degraded")
+        monitor.note_health("degraded")  # steady state, still one event
+        monitor.note_health("ok")
+        health = [e for e in monitor.events if e["kind"] == "health"]
+        assert [(e["from"], e["to"]) for e in health] == [
+            ("ok", "degraded"), ("degraded", "ok"),
+        ]
+
+    def test_publish_writes_gauges(self):
+        registry = MetricsRegistry()
+        _, monitor = self._monitor()
+        monitor.record("search", 200, 0.01)
+        monitor.note_health("degraded")
+        monitor.publish(registry)
+        gauges = registry.as_dict()["gauges"]
+        assert gauges["serve.slo.availability"] == 1.0
+        assert gauges["serve.slo.degraded"] == 1.0
+        for name in ("availability_burn_rate", "latency_attainment",
+                     "latency_burn_rate"):
+            assert f"serve.slo.{name}" in gauges
+
+
+class TestPromAndSloRoutes:
+    def test_healthz_carries_slo_snapshot(self, app):
+        payload = app.handle("GET", "/healthz").json()
+        slo = payload["slo"]
+        assert slo["health"] == "ok"
+        assert slo["objectives"]["availability"] == 0.999
+        assert slo["objectives"]["latency_deadline_s"] == 0.5
+        assert "availability_burn_rate" in slo
+        assert "latency_burn_rate" in slo
+        assert isinstance(slo["events"], list)
+
+    def test_metricz_prom_parses_with_checker(self, app, tiny_pedigree_graph):
+        from repro.obs.prom import check_exposition
+
+        probe = _named_entity(tiny_pedigree_graph)
+        body = (
+            f'{{"first_name": "{probe.first("first_name")}", '
+            f'"surname": "{probe.first("surname")}"}}'
+        ).encode()
+        app.handle("GET", "/healthz")
+        app.handle("POST", "/v1/search", body=body)
+        response = app.handle("GET", "/metricz", {"format": "prom"})
+        assert response.status == 200
+        assert response.content_type.startswith("text/plain")
+        families = check_exposition(response.body.decode())
+        # Latency histogram with the shared quantile companion family.
+        search = families["snaps_serve_search_latency_seconds"]
+        assert search["type"] == "histogram"
+        assert "snaps_serve_search_latency_seconds_quantile" in families
+        # SLO gauges, process gauges, and the identity info series.
+        for family in (
+            "snaps_serve_slo_availability",
+            "snaps_serve_slo_latency_burn_rate",
+            "snaps_serve_slo_degraded",
+            "snaps_process_rss_bytes",
+            "snaps_process_open_fds",
+            "snaps_serve_requests_total",
+        ):
+            assert family in families, family
+        (sample,) = families["snaps_info"]["samples"]
+        assert sample[1]["service"] == "snaps-serve"
+
+    def test_slo_degrades_with_breaker(self, tiny_pedigree_graph):
+        """A tripping breaker flips health; the SLO monitor records the
+        degraded-mode entry as an event and the degraded gauge goes 1."""
+        config = ServeConfig(breaker_threshold=2, breaker_reset_s=60.0)
+        app = ServingApp(tiny_pedigree_graph, config)
+
+        def explode(query, top_m=10):
+            raise RuntimeError("backend down")
+
+        app.engine.search = explode
+        body = b'{"first_name": "mary", "surname": "macdonald"}'
+        for _ in range(3):
+            assert app.handle("POST", "/v1/search", body=body).status >= 500
+        payload = app.handle("GET", "/healthz").json()
+        assert payload["status"] != "ok"
+        assert payload["slo"]["health"] != "ok"
+        kinds = {e["kind"] for e in app.slo.events}
+        assert "health" in kinds
+        app.handle("GET", "/metricz", {"format": "json"})
+        assert app.metrics.gauges["serve.slo.degraded"].value == 1.0
+        assert app.metrics.counter_value("serve.slo.events") >= 1
