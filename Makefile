@@ -1,6 +1,6 @@
 # Developer entry points for the SNAPS reproduction.
 
-.PHONY: install test verify serve-smoke obs-smoke chaos bench bench-full examples clean
+.PHONY: install test verify serve-smoke stream-smoke obs-smoke chaos bench bench-full examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -31,6 +31,7 @@ verify:
 	PYTHONPATH=src python -m repro query --snapshot $(VERIFY_TMP)/store \
 		--first-name john --surname macdonald --top 3
 	$(MAKE) serve-smoke
+	$(MAKE) stream-smoke
 
 # Fault-tolerance gate: the fault substrate's unit tests plus the chaos
 # suites — crash-resume at every checkpoint boundary must be
@@ -39,13 +40,21 @@ verify:
 chaos:
 	PYTHONPATH=src python -m pytest -q tests/test_faults.py \
 		tests/test_checkpoint.py tests/test_data_validate.py \
-		tests/test_chaos_pipeline.py tests/test_chaos_serve.py
+		tests/test_chaos_pipeline.py tests/test_chaos_serve.py \
+		tests/test_stream.py
 
 # Boot the HTTP serving subsystem on an in-process tiny graph, hit
 # /healthz, /v1/search (checked against the offline engine), a pedigree,
 # and /metricz, then shut down.  See src/repro/serve/smoke.py.
 serve-smoke:
 	PYTHONPATH=src python -m repro.serve.smoke
+
+# Spool three micro-batches through a live replica: every batch must
+# ingest, promote with zero downtime, and show up in the stream.*
+# gauges/prom exposition.  Artefacts land in /tmp/snaps-stream-smoke
+# for CI upload.  See src/repro/stream/smoke.py.
+stream-smoke:
+	PYTHONPATH=src python -m repro.stream.smoke
 
 # Observability gate: a multi-worker resolve with durable tracing and
 # the sampling profiler on must stay byte-identical to serial, leave a

@@ -1,0 +1,207 @@
+"""Streaming ingest — zero-downtime promotion under live search load.
+
+The deployment the paper's incremental path (Section 6.3) implies:
+certificate micro-batches keep arriving while genealogists keep
+searching.  This bench measures the sustained ingest rate of
+``repro.stream`` (records/sec through validate → ingest → commit →
+promote) and — the actual point — verifies the serving replica never
+degrades while its snapshot is swapped underneath the traffic: a
+concurrent load thread hammers ``/v1/search`` throughout and every
+response must be 2xx with p99 staying flat against a no-ingest
+baseline, across at least three back-to-back promotions.
+
+Ingest resolution runs in worker processes (``workers=2``), so the
+serving threads are not starved of the GIL by re-resolution CPU — the
+same separation a production deployment gets from running the ingester
+in its own process.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from common import emit, emit_report, format_table
+from repro.core import SnapsConfig, SnapsResolver
+from repro.data.synthetic import make_tiny_dataset, split_stream
+from repro.serve import ServeClient, ServeConfig, ServingApp, make_server
+from repro.store import SnapshotStore
+from repro.stream import StreamConfig, StreamPipeline, write_batch
+from repro.utils.rng import make_rng
+
+N_BATCHES = 4
+BASELINE_SECONDS = 2.0
+# Small-sample p99 on shared hardware is noisy; the flatness assertion
+# uses the 1.5x target with an absolute floor so a 3 ms -> 6 ms blip on
+# a busy CI box does not fail a bench whose SLO is ~500 ms.
+P99_RATIO_LIMIT = 1.5
+P99_FLOOR_S = 0.25
+
+
+def _build_parts(tmp_path):
+    dataset = make_tiny_dataset(seed=3)
+    base, batches = split_stream(dataset, N_BATCHES)
+    store = SnapshotStore(tmp_path / "store")
+    store.save(SnapsResolver(SnapsConfig()).resolve(base))
+    return store, base, batches
+
+
+def _queries(graph, n=16, seed=31):
+    rng = make_rng(seed)
+    named = [e for e in graph if e.first("first_name") and e.first("surname")]
+    return [
+        (e.first("first_name"), e.first("surname"))
+        for e in (rng.choice(named) for _ in range(n))
+    ]
+
+
+class _LoadThread:
+    """Closed-loop search traffic; records (latency, ok) per request."""
+
+    def __init__(self, base_url, queries, seed=47):
+        self.client = ServeClient(base_url)
+        self.queries = queries
+        self.rng = make_rng(seed)
+        self.latencies: list[float] = []
+        self.failures: list[str] = []
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        while not self._stop.is_set():
+            first, surname = self.queries[
+                self.rng.randrange(len(self.queries))
+            ]
+            start = time.perf_counter()
+            try:
+                self.client.search(first, surname, top=5)
+            except Exception as exc:  # any non-2xx or transport error
+                self.failures.append(f"{type(exc).__name__}: {exc}")
+            self.latencies.append(time.perf_counter() - start)
+
+    def start(self):
+        self._thread.start()
+        return self
+
+    def stop(self):
+        self._stop.set()
+        self._thread.join(timeout=10)
+
+
+def _percentile(values, fraction):
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, round(fraction * (len(ordered) - 1)))
+    return ordered[index]
+
+
+def test_streaming_ingest(benchmark, tmp_path):
+    store, base, batches = _build_parts(tmp_path)
+    loaded = store.load(artifacts=("graph", "indexes"))
+    app = ServingApp(
+        loaded.graph,
+        ServeConfig(max_concurrency=8),
+        keyword_index=loaded.keyword_index,
+        sim_index=loaded.sim_index,
+        store=store,
+        manifest=loaded.manifest,
+    )
+    server = make_server(app, "127.0.0.1", 0)
+    host, port = server.server_address[:2]
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    base_url = f"http://{host}:{port}"
+    queries = _queries(loaded.graph)
+    delta_records = sum(len(b.records) for b in batches)
+
+    try:
+        # Phase 1: no-ingest baseline of the load loop.
+        baseline = _LoadThread(base_url, queries, seed=47).start()
+        time.sleep(BASELINE_SECONDS)
+        baseline.stop()
+
+        # Phase 2: same load while the pipeline drains the spool.
+        spool = tmp_path / "spool"
+        for batch in batches:
+            write_batch(spool, batch.name, batch)
+        pipeline = StreamPipeline(
+            store,
+            StreamConfig(
+                spool=spool,
+                serve_url=base_url,
+                poll_interval_s=0.05,
+                coalesce=False,  # every batch promotes: N_BATCHES swaps
+                drain=True,
+                workers=2,
+            ),
+        )
+        load = _LoadThread(base_url, queries, seed=53).start()
+
+        def drain():
+            start = time.perf_counter()
+            ingested = pipeline.run()
+            return ingested, time.perf_counter() - start
+
+        ingested, wall = benchmark.pedantic(drain, rounds=1, iterations=1)
+        load.stop()
+    finally:
+        server.shutdown()
+        server.server_close()
+
+    promotions = pipeline.metrics.counter_value("stream.promotions")
+    base_p99 = _percentile(baseline.latencies, 0.99)
+    stream_p99 = _percentile(load.latencies, 0.99)
+    records_per_s = delta_records / wall
+    rows = [
+        [
+            "baseline (no ingest)",
+            len(baseline.latencies),
+            f"{1000 * _percentile(baseline.latencies, 0.50):.2f}",
+            f"{1000 * base_p99:.2f}",
+            "-",
+        ],
+        [
+            "during streaming ingest",
+            len(load.latencies),
+            f"{1000 * _percentile(load.latencies, 0.50):.2f}",
+            f"{1000 * stream_p99:.2f}",
+            f"{stream_p99 / max(base_p99, 1e-9):.2f}x",
+        ],
+    ]
+    emit(
+        "streaming_ingest",
+        format_table(
+            f"Streaming ingest — {ingested} batches ({delta_records} records) "
+            f"in {wall:.1f}s = {records_per_s:.0f} records/s sustained, "
+            f"{promotions} zero-downtime promotions, "
+            f"{len(load.failures)} failed requests",
+            ["serving traffic", "requests", "p50 ms", "p99 ms", "p99 vs base"],
+            rows,
+        ),
+    )
+    emit_report(
+        "streaming_ingest",
+        metrics=pipeline.metrics,
+        meta={
+            "records_per_s": round(records_per_s, 1),
+            "promotions": promotions,
+            "ingest_wall_s": round(wall, 2),
+            "baseline_p99_ms": round(1000 * base_p99, 2),
+            "streaming_p99_ms": round(1000 * stream_p99, 2),
+            "load_requests": len(load.latencies),
+            "load_failures": len(load.failures),
+        },
+    )
+
+    # Zero downtime: every request during >= 3 promotions answered 2xx.
+    assert ingested == N_BATCHES
+    assert promotions >= 3, f"only {promotions} promotions"
+    assert not load.failures, f"non-2xx during ingest: {load.failures[:5]}"
+    assert len(load.latencies) > 50, "load thread starved"
+    assert not pipeline.journal.unpromoted()
+    # Flat p99: within the 1.5x target (absolute floor absorbs noise on
+    # a millisecond-scale baseline).
+    assert stream_p99 < max(P99_RATIO_LIMIT * base_p99, P99_FLOOR_S), (
+        f"p99 degraded {base_p99 * 1000:.1f}ms -> {stream_p99 * 1000:.1f}ms"
+    )
+    # The replica really moved: it now serves the terminal snapshot.
+    lineage = pipeline.journal.snapshot_lineage()
+    assert app.manifest is not None and app.manifest.snapshot_id == lineage[-1]

@@ -29,6 +29,15 @@ batches fold in incrementally::
     python -m repro snapshot log    --store data/store
     python -m repro snapshot verify --store data/store
 
+Streaming (``repro.stream``) keeps a replica fresh continuously: spool
+micro-batch CSV pairs into a directory and ``stream`` validates,
+ingests, and promotes each one into the serving process with zero
+downtime (crash-safe; re-running resumes exactly once)::
+
+    python -m repro serve  --snapshot data/store --port 8080
+    python -m repro stream --spool data/spool --store data/store \
+        --serve-url http://localhost:8080
+
 Telemetry: ``resolve`` and ``query`` accept ``--trace`` (print the span
 tree after the run) and ``--metrics-out run.json`` (write the full run
 report); ``report`` renders a saved report; ``-v/-vv`` before the
@@ -351,6 +360,62 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_validation_flags(snap_ingest)
     add_telemetry_flags(snap_ingest)
+
+    stream = sub.add_parser(
+        "stream",
+        help="continuously ingest spooled micro-batches and promote "
+        "snapshots into a live replica",
+    )
+    stream.add_argument(
+        "--spool", required=True, metavar="DIR",
+        help="spool directory micro-batches arrive in (CSV pairs, "
+        "optional .ready markers / batches.list manifest)",
+    )
+    stream.add_argument(
+        "--store", required=True, metavar="DIR", help="snapshot store root"
+    )
+    stream.add_argument(
+        "--serve-url", metavar="URL",
+        help="replica base URL to promote new snapshots into via "
+        "POST /v1/reload (omit to ingest without promotion)",
+    )
+    stream.add_argument(
+        "--checkpoint", metavar="DIR",
+        help="journal/checkpoint directory (default: <spool>/.stream)",
+    )
+    stream.add_argument(
+        "--poll-interval", type=float, default=1.0, metavar="SECONDS",
+        help="idle delay between spool polls (default: 1.0)",
+    )
+    stream.add_argument(
+        "--max-lag-batches", type=int, default=4, metavar="N",
+        help="backlog size beyond which pending batches coalesce into "
+        "one ingest window (default: 4)",
+    )
+    stream.add_argument(
+        "--no-coalesce", action="store_true",
+        help="never merge batches; every batch becomes its own snapshot",
+    )
+    stream.add_argument(
+        "--require-ready", action="store_true",
+        help="only pick up batches with an explicit .ready marker "
+        "(skip stable-file detection)",
+    )
+    stream.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="parallel resolution workers per ingest (0 = serial, "
+        "default: auto)",
+    )
+    stream.add_argument(
+        "--drain", action="store_true",
+        help="exit once the spool is caught up and promoted (batch mode)",
+    )
+    stream.add_argument(
+        "--max-batches", type=int, default=None, metavar="N",
+        help="stop after ingesting N batches",
+    )
+    add_validation_flags(stream)
+    add_telemetry_flags(stream)
     return parser
 
 
@@ -965,6 +1030,74 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
         return 1
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.store import SnapshotError, SnapshotStore
+    from repro.stream import StreamConfig, StreamPipeline
+
+    try:
+        config = StreamConfig(
+            spool=args.spool,
+            serve_url=args.serve_url,
+            checkpoint=args.checkpoint,
+            poll_interval_s=args.poll_interval,
+            max_lag_batches=args.max_lag_batches,
+            coalesce=not args.no_coalesce,
+            workers=args.workers,
+            validation="quarantine" if args.quarantine else "strict",
+            require_ready=args.require_ready,
+            drain=args.drain,
+            max_batches=args.max_batches,
+        )
+    except ValueError as error:
+        print(f"stream error: {error}", file=sys.stderr)
+        return 2
+    trace, metrics = _telemetry(args)
+    profiler = _profiler(args)
+    pipeline = StreamPipeline(
+        SnapshotStore(args.store), config, metrics=metrics, trace=trace
+    )
+
+    def _request_stop(signum, frame):  # pragma: no cover - signal path
+        print("stopping after the in-flight window...", file=sys.stderr)
+        pipeline.stop()
+
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            signal.signal(signum, _request_stop)
+        except ValueError:  # pragma: no cover - non-main thread
+            pass
+    try:
+        ingested = pipeline.run()
+    except SnapshotError as error:
+        print(f"stream error: {error}", file=sys.stderr)
+        return 1
+    lineage = pipeline.journal.snapshot_lineage()
+    print(
+        f"ingested {ingested} batch(es) into {len(lineage)} snapshot(s)"
+        + (f"; HEAD {lineage[-1]}" if lineage else "")
+    )
+    unpromoted = pipeline.journal.unpromoted() if args.serve_url else []
+    if unpromoted:
+        print(
+            f"warning: {len(unpromoted)} window(s) committed but not "
+            "promoted (replica unreachable?); re-run to retry",
+            file=sys.stderr,
+        )
+    if trace is not None or metrics is not None or profiler is not None:
+        from repro.obs import build_report
+
+        report = build_report(
+            trace,
+            pipeline.metrics,
+            meta={"kind": "stream", "spool": str(args.spool), "store": args.store},
+        )
+        _finish_profile(args, profiler, report)
+        _emit_telemetry(args, report)
+    return 1 if unpromoted else 0
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "resolve": _cmd_resolve,
@@ -975,6 +1108,7 @@ _COMMANDS = {
     "pedigree": _cmd_pedigree,
     "anonymise": _cmd_anonymise,
     "snapshot": _cmd_snapshot,
+    "stream": _cmd_stream,
 }
 
 

@@ -29,6 +29,7 @@ __all__ = [
     "make_kil_dataset",
     "make_bhic_dataset",
     "make_tiny_dataset",
+    "split_stream",
 ]
 
 
@@ -140,3 +141,49 @@ def make_tiny_dataset(seed: int = 3) -> Dataset:
         seed=seed,
     )
     return _build("tiny", config)
+
+
+def split_stream(
+    dataset: Dataset, n_batches: int, base_fraction: float = 0.5
+) -> tuple[Dataset, list[Dataset]]:
+    """``(base, micro-batches)`` for streaming-ingest tests and benches.
+
+    Certificates are ordered by id (the simulator issues ids
+    chronologically, so this approximates arrival order); the first
+    ``base_fraction`` become the ``base`` snapshot dataset and the rest
+    are dealt round-robin-free into ``n_batches`` contiguous delta
+    batches named ``b001`` … ``bNNN``.  Every certificate lands in
+    exactly one part, so ingesting all batches reproduces the full
+    dataset.
+    """
+    if n_batches < 1:
+        raise ValueError("n_batches must be >= 1")
+    cert_ids = sorted(dataset.certificates)
+    n_base = max(1, int(len(cert_ids) * base_fraction))
+    if len(cert_ids) - n_base < n_batches:
+        raise ValueError(
+            f"dataset has only {len(cert_ids) - n_base} delta certificates "
+            f"for {n_batches} batches; lower base_fraction or n_batches"
+        )
+
+    def subset(name: str, keep: set[int]) -> Dataset:
+        certs = [c for cid, c in dataset.certificates.items() if cid in keep]
+        rids = {rid for c in certs for rid in c.member_record_ids()}
+        return Dataset(
+            name,
+            [r for r in dataset.records.values() if r.record_id in rids],
+            certs,
+        )
+
+    base = subset("base", set(cert_ids[:n_base]))
+    delta_ids = cert_ids[n_base:]
+    per_batch = len(delta_ids) // n_batches
+    remainder = len(delta_ids) % n_batches
+    batches: list[Dataset] = []
+    cursor = 0
+    for index in range(n_batches):
+        size = per_batch + (1 if index < remainder else 0)
+        chunk = set(delta_ids[cursor : cursor + size])
+        cursor += size
+        batches.append(subset(f"b{index + 1:03d}", chunk))
+    return base, batches

@@ -255,7 +255,7 @@ class ServingApp:
                 elif endpoint == "search":
                     response = self._handle_search(body, trace)
                 elif endpoint == "reload":
-                    response = self._handle_reload()
+                    response = self._handle_reload(body)
                 else:
                     response = self._handle_pedigree(path, params, trace)
         except Exception:  # pragma: no cover - defensive: bugs become 500s
@@ -548,17 +548,56 @@ class ServingApp:
                 self.cache.put(key, ("text", text))
                 return _text_response(200, text)
 
-    def _handle_reload(self) -> Response:
-        """Swap in the latest snapshot's graph + indexes, atomically.
+    def _handle_reload(self, body: bytes | None = None) -> Response:
+        """Swap in a snapshot's graph + indexes, atomically.
 
-        Store reads get bounded retries with exponential backoff (only
-        transient faults retry — a corrupt snapshot fails immediately);
-        repeated failures open the ``reload`` breaker so callers back
-        off while the old graph keeps serving.
+        The optional JSON body ``{"snapshot": "<id>"}`` names the exact
+        snapshot to load (promotion and rollback target a specific id);
+        without it the store's HEAD is loaded.  Re-requesting the
+        snapshot already being served is an idempotent no-op — a crashed
+        promoter can re-send its promotion safely.  Store reads get
+        bounded retries with exponential backoff (only transient faults
+        retry — a corrupt snapshot fails immediately); repeated failures
+        open the ``reload`` breaker so callers back off while the old
+        graph keeps serving.  A successful swap bumps the result-cache
+        epoch, so answers computed from the predecessor snapshot can
+        only resurface through the explicit ``Warning: 110`` stale path.
         """
         if self.store is None:
             return _error_response(
                 409, "no snapshot store attached; start with --snapshot"
+            )
+        requested: str | None = None
+        if body:
+            try:
+                payload = json.loads(body.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                return _error_response(
+                    400, f"reload body is not valid JSON: {error}"
+                )
+            if payload is not None:
+                if not isinstance(payload, dict) or (
+                    payload.get("snapshot") is not None
+                    and not isinstance(payload["snapshot"], str)
+                ):
+                    return _error_response(
+                        400, 'reload body must be {"snapshot": "<id>"}'
+                    )
+                requested = payload.get("snapshot")
+        previous = (
+            self.manifest.snapshot_id if self.manifest is not None else None
+        )
+        if requested is not None and requested == previous:
+            self.metrics.inc("serve.reloads_noop")
+            return _json_response(
+                200,
+                {
+                    "status": "unchanged",
+                    "snapshot": previous,
+                    "previous": previous,
+                    "entities": len(self.graph),
+                    "edges": self.graph.n_edges(),
+                },
             )
         breaker = self.breakers["reload"]
         if not breaker.allow():
@@ -572,7 +611,7 @@ class ServingApp:
         )
         try:
             loaded = policy.call(
-                lambda: self.store.load(artifacts=("graph", "indexes"))
+                lambda: self.store.load(requested, artifacts=("graph", "indexes"))
             )
         except Exception as error:
             breaker.record_failure(error)
@@ -595,6 +634,10 @@ class ServingApp:
             self.graph = loaded.graph
             self.engine = engine
             self.manifest = loaded.manifest
+            # Results computed from the predecessor must not come back
+            # as fresh hits; degraded mode can still reach them via
+            # get_stale (Warning: 110).
+            self.cache.bump_epoch()
         self.metrics.inc("serve.reloads")
         logger.info(
             "reloaded snapshot %s (%d entities)",
@@ -605,6 +648,7 @@ class ServingApp:
             {
                 "status": "reloaded",
                 "snapshot": loaded.manifest.snapshot_id,
+                "previous": previous,
                 "entities": len(loaded.graph),
                 "edges": loaded.graph.n_edges(),
             },

@@ -64,6 +64,13 @@ class LRUTTLCache:
     :meth:`get_stale` can recover them for degraded-mode serving — a
     stale answer with a ``Warning`` header beats a 503 when the backend
     is broken.
+
+    Entries are additionally tagged with the cache *epoch*.
+    :meth:`bump_epoch` (called on snapshot promotion) marks everything
+    cached so far as belonging to the previous snapshot: ``get`` treats
+    old-epoch entries exactly like expired ones, so a freshly promoted
+    snapshot can never serve a predecessor's results as a normal cache
+    hit — only via the explicitly-marked ``get_stale`` degraded path.
     """
 
     def __init__(
@@ -85,15 +92,17 @@ class LRUTTLCache:
         self._clock = clock
         self._metrics = metrics
         self._prefix = prefix
-        # key -> [value, expires_at | None, stored_at, expiry_counted];
-        # insertion order == recency.
+        # key -> [value, expires_at | None, stored_at, expiry_counted,
+        # epoch]; insertion order == recency.
         self._entries: OrderedDict[Hashable, list] = OrderedDict()
         self._lock = threading.Lock()
+        self._epoch = 0
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.expirations = 0
         self.stale_hits = 0
+        self.invalidations = 0
 
     def _count(self, what: str, n: int = 1) -> None:
         if self._metrics is not None:
@@ -108,8 +117,10 @@ class LRUTTLCache:
         with self._lock:
             entry = self._entries.get(key)
             if entry is not None:
-                value, expires_at, _, counted = entry
-                if expires_at is not None and now >= expires_at:
+                value, expires_at, _, counted, epoch = entry
+                if (expires_at is not None and now >= expires_at) or (
+                    epoch != self._epoch
+                ):
                     expired = not counted
                     if self.keep_stale:
                         entry[3] = True  # count the expiry only once
@@ -141,7 +152,7 @@ class LRUTTLCache:
             entry = self._entries.get(key)
             if entry is None:
                 return MISS
-            value, _, stored_at, _ = entry
+            value, _, stored_at, _, _ = entry
             self.stale_hits += 1
         self._count("stale_hits")
         return value, max(0.0, now - stored_at)
@@ -156,13 +167,26 @@ class LRUTTLCache:
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)
-            self._entries[key] = [value, expires_at, now, False]
+            self._entries[key] = [value, expires_at, now, False, self._epoch]
             while len(self._entries) > self.max_size:
                 self._entries.popitem(last=False)
                 self.evictions += 1
                 evicted += 1
         if evicted:
             self._count("evictions", evicted)
+
+    def bump_epoch(self) -> None:
+        """Mark everything cached so far as pre-promotion.
+
+        Without ``keep_stale`` the old entries are simply dropped; with
+        it they stay recoverable through :meth:`get_stale` (degraded
+        mode) but ``get`` will never return them as a fresh hit.
+        """
+        with self._lock:
+            self._epoch += 1
+            self.invalidations += 1
+            if not self.keep_stale:
+                self._entries.clear()
 
     def clear(self) -> None:
         with self._lock:
@@ -188,4 +212,5 @@ class LRUTTLCache:
                 "evictions": self.evictions,
                 "expirations": self.expirations,
                 "stale_hits": self.stale_hits,
+                "invalidations": self.invalidations,
             }

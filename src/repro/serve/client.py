@@ -11,11 +11,23 @@ import json
 import urllib.error
 import urllib.request
 
+from repro.faults import PERMANENT, TRANSIENT, FaultError, RetryPolicy
+
 __all__ = ["ServeClient", "ServeError"]
 
+# Statuses a client may retry: the server is overloaded or mid-failure,
+# not rejecting the request itself.
+_RETRYABLE_STATUSES = (429, 500, 502, 503, 504)
 
-class ServeError(Exception):
-    """A non-2xx response, carrying status, body, and Retry-After."""
+
+class ServeError(FaultError):
+    """A non-2xx response, carrying status, body, and Retry-After.
+
+    Overload/failure statuses classify as *transient* so a
+    :class:`~repro.faults.RetryPolicy` around a client call retries
+    them; 4xx rejections stay *permanent* (re-sending a bad request
+    never helps).
+    """
 
     def __init__(
         self, status: int, message: str, retry_after_s: float | None = None
@@ -24,6 +36,9 @@ class ServeError(Exception):
         self.status = status
         self.message = message
         self.retry_after_s = retry_after_s
+        self.category = (
+            TRANSIENT if status in _RETRYABLE_STATUSES else PERMANENT
+        )
 
 
 class ServeClient:
@@ -84,6 +99,27 @@ class ServeClient:
         """Prometheus text exposition of the replica's metrics."""
         _, _, raw = self._request("GET", "/metricz?format=prom")
         return raw.decode("utf-8")
+
+    def reload(
+        self,
+        snapshot_id: str | None = None,
+        retry: RetryPolicy | None = None,
+    ) -> dict:
+        """POST /v1/reload — swap the server onto a snapshot.
+
+        ``snapshot_id`` targets an exact snapshot (promotion/rollback);
+        ``None`` reloads the store's HEAD.  ``retry`` wraps the call in
+        a :class:`~repro.faults.RetryPolicy` so transient failures (a
+        store briefly mid-commit, an overloaded replica) are retried
+        with backoff — the promoter and operator tooling share this one
+        code path.
+        """
+        payload = {"snapshot": snapshot_id} if snapshot_id is not None else {}
+
+        def send() -> dict:
+            return self._json("POST", "/v1/reload", payload)
+
+        return retry.call(send) if retry is not None else send()
 
     def search(self, first_name: str, surname: str, **options) -> dict:
         """POST /v1/search; keyword options mirror the JSON body fields

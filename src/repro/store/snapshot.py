@@ -175,6 +175,16 @@ class SnapshotStore:
         snapshot_id = self._resolve_id(snapshot_id)
         return Manifest.load(self.path_of(snapshot_id) / MANIFEST_FILENAME)
 
+    def has_snapshot(self, snapshot_id: str) -> bool:
+        """Whether ``snapshot_id`` exists on disk with a manifest."""
+        return (self.path_of(snapshot_id) / MANIFEST_FILENAME).exists()
+
+    def lineage_ids(self, snapshot_id: str | None = None) -> list[str]:
+        """Snapshot ids from ``snapshot_id`` (default HEAD) back to the
+        root, newest first — the cheap form of :meth:`log` the streaming
+        journal reconciles itself against."""
+        return [manifest.snapshot_id for manifest in self.log(snapshot_id)]
+
     def log(self, snapshot_id: str | None = None) -> list[Manifest]:
         """Lineage chain from ``snapshot_id`` (default HEAD) back to the
         root snapshot, newest first."""

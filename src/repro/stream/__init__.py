@@ -1,0 +1,39 @@
+"""repro.stream — continuous micro-batch ingest with zero-downtime
+snapshot promotion.
+
+The offline pipeline (``repro snapshot`` / ``repro ingest``) assumes an
+operator runs each step; ``repro.stream`` closes the loop for the
+archive-maintenance deployment the paper targets, where transcription
+batches keep arriving:
+
+* :mod:`~repro.stream.source` — spool-directory watcher with
+  stable-file detection and an optional ordered batch manifest;
+* :mod:`~repro.stream.journal` — append-only, content-hash-idempotent
+  batch journal giving exactly-once crash-resume;
+* :mod:`~repro.stream.pipeline` — the validate → ingest → commit →
+  promote state machine with coalescing backpressure and
+  ``stream.lag_batches`` / ``stream.staleness_seconds`` gauges;
+* :mod:`~repro.stream.promote` — retrying, circuit-broken, health-
+  verified promotion of new snapshots into a live serving replica.
+
+Entry point: ``repro stream --spool … --serve-url …`` (see
+:mod:`repro.cli`).
+"""
+
+from repro.stream.journal import BatchJournal, JournalEntry
+from repro.stream.pipeline import StreamConfig, StreamPipeline
+from repro.stream.promote import PromoteError, SnapshotPromoter
+from repro.stream.source import SpoolBatch, SpoolSource, batch_sha256, write_batch
+
+__all__ = [
+    "BatchJournal",
+    "JournalEntry",
+    "PromoteError",
+    "SnapshotPromoter",
+    "SpoolBatch",
+    "SpoolSource",
+    "StreamConfig",
+    "StreamPipeline",
+    "batch_sha256",
+    "write_batch",
+]

@@ -1,0 +1,221 @@
+"""Append-only batch journal: the pipeline's exactly-once memory.
+
+Every ingest window the streaming pipeline completes is recorded as one
+JSONL line in ``journal.jsonl``:
+
+.. code-block:: json
+
+    {"seq": 3, "state": "ingested", "window": "b002+b003",
+     "batches": ["b002", "b003"], "shas": ["ab…", "cd…"],
+     "snapshot": "1f2e…", "parent": "9a0b…", "at": "…"}
+    {"seq": 3, "state": "promoted", "window": "b002+b003",
+     "snapshot": "1f2e…", "at": "…"}
+
+Identity is the batch content hash (``shas``), never the file name — a
+renamed or re-spooled copy of an already-ingested batch is recognised
+and skipped.  Combined with content-addressed snapshots this gives
+crash-resume **exactly-once convergence** with no write-ahead locking:
+
+* crash *before* the ``ingested`` line: the re-run re-ingests the batch
+  against the same parent; resolution is deterministic, so the store
+  produces the **identical snapshot id** and simply reuses the existing
+  directory — the lineage cannot fork or duplicate;
+* crash *after* ``ingested`` but before promotion: the re-run skips the
+  ingest entirely and promotes the recorded snapshot id;
+* crash *after* promotion but before the ``promoted`` line: the re-run
+  re-sends the promotion, which the server answers as an idempotent
+  no-op (``status: unchanged``).
+
+Appends are flushed and fsynced per line; a crash mid-append leaves at
+worst a torn final line, which :meth:`BatchJournal.load` discards (the
+affected window then replays, converging as above).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro.obs.logs import get_logger
+
+__all__ = ["BatchJournal", "JournalEntry", "INGESTED", "PROMOTED", "QUARANTINED"]
+
+logger = get_logger("stream.journal")
+
+JOURNAL_NAME = "journal.jsonl"
+
+INGESTED = "ingested"
+PROMOTED = "promoted"
+# A whole window dropped by strict-mode validation failure: recorded so
+# the poison batch is not retried forever.
+QUARANTINED = "quarantined"
+_STATES = (INGESTED, PROMOTED, QUARANTINED)
+
+
+@dataclass
+class JournalEntry:
+    """One state transition of one ingest window."""
+
+    seq: int
+    state: str
+    window: str
+    shas: list[str] = field(default_factory=list)
+    batches: list[str] = field(default_factory=list)
+    snapshot: str | None = None
+    parent: str | None = None
+    at: str = ""
+
+    def as_dict(self) -> dict:
+        payload = {
+            "seq": self.seq,
+            "state": self.state,
+            "window": self.window,
+            "batches": self.batches,
+            "shas": self.shas,
+        }
+        if self.snapshot is not None:
+            payload["snapshot"] = self.snapshot
+        if self.parent is not None:
+            payload["parent"] = self.parent
+        payload["at"] = self.at
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JournalEntry":
+        if data.get("state") not in _STATES:
+            raise ValueError(f"journal entry has unknown state: {data!r}")
+        return cls(
+            seq=int(data["seq"]),
+            state=data["state"],
+            window=data["window"],
+            shas=list(data.get("shas", [])),
+            batches=list(data.get("batches", [])),
+            snapshot=data.get("snapshot"),
+            parent=data.get("parent"),
+            at=data.get("at", ""),
+        )
+
+
+class BatchJournal:
+    """Durable, torn-line-tolerant record of completed pipeline steps."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.path = self.directory / JOURNAL_NAME
+        self.entries: list[JournalEntry] = self._load()
+
+    # ------------------------------------------------------------------
+
+    def _load(self) -> list[JournalEntry]:
+        entries: list[JournalEntry] = []
+        try:
+            raw = self.path.read_bytes()
+        except FileNotFoundError:
+            return entries
+        lines = raw.split(b"\n")
+        for index, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                entries.append(
+                    JournalEntry.from_dict(json.loads(line.decode("utf-8")))
+                )
+            except (ValueError, KeyError, UnicodeDecodeError) as exc:
+                if any(later.strip() for later in lines[index + 1:]):
+                    raise ValueError(
+                        f"journal {self.path} is corrupt at line "
+                        f"{index + 1}: {exc}"
+                    ) from exc
+                # Torn final line from a crash mid-append: drop it — the
+                # affected window replays and converges.
+                logger.warning(
+                    "journal %s: dropping torn final line (%s)",
+                    self.path, exc,
+                )
+                break
+        return entries
+
+    def record(
+        self,
+        state: str,
+        window: str,
+        shas: list[str],
+        batches: list[str],
+        snapshot: str | None = None,
+        parent: str | None = None,
+        seq: int | None = None,
+    ) -> JournalEntry:
+        """Append one entry durably (flush + fsync) and index it."""
+        if state not in _STATES:
+            raise ValueError(f"unknown journal state {state!r}")
+        entry = JournalEntry(
+            seq=self.next_seq() if seq is None else seq,
+            state=state,
+            window=window,
+            shas=list(shas),
+            batches=list(batches),
+            snapshot=snapshot,
+            parent=parent,
+            at=datetime.now(timezone.utc).isoformat(),
+        )
+        self.directory.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(entry.as_dict(), sort_keys=True) + "\n"
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(line)
+            handle.flush()
+            os.fsync(handle.fileno())
+        self.entries.append(entry)
+        return entry
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def next_seq(self) -> int:
+        return max((entry.seq for entry in self.entries), default=0) + 1
+
+    def completed_shas(self) -> set[str]:
+        """Batch hashes that reached at least the ``ingested`` state."""
+        return {
+            sha
+            for entry in self.entries
+            if entry.state in (INGESTED, QUARANTINED)
+            for sha in entry.shas
+        }
+
+    def unpromoted(self) -> list[JournalEntry]:
+        """``ingested`` windows with no matching ``promoted`` entry, in
+        commit order — the crash-recovery work list."""
+        promoted = {
+            entry.seq for entry in self.entries if entry.state == PROMOTED
+        }
+        return [
+            entry
+            for entry in self.entries
+            if entry.state == INGESTED and entry.seq not in promoted
+        ]
+
+    def snapshot_lineage(self) -> list[str]:
+        """Snapshot ids committed by this journal, oldest first."""
+        return [
+            entry.snapshot
+            for entry in sorted(
+                (e for e in self.entries if e.state == INGESTED),
+                key=lambda e: e.seq,
+            )
+            if entry.snapshot is not None
+        ]
+
+    def ingest_counts(self) -> dict[str, int]:
+        """How many ``ingested`` entries each batch hash appears in —
+        the exactly-once assertion is ``max(values) == 1``."""
+        counts: dict[str, int] = {}
+        for entry in self.entries:
+            if entry.state != INGESTED:
+                continue
+            for sha in entry.shas:
+                counts[sha] = counts.get(sha, 0) + 1
+        return counts

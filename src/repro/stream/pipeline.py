@@ -1,0 +1,366 @@
+"""The streaming ingest state machine.
+
+One :class:`StreamPipeline` turns a spool directory of micro-batches
+into a lineage of promoted snapshots:
+
+.. code-block:: text
+
+    poll ──▶ validate ──▶ ingest ──▶ commit ──▶ promote ──▶ done
+             (schema)     (resolve    (journal    (reload     (journal
+                           + save)    INGESTED)   replica)    PROMOTED)
+
+Each arrow is a durability boundary with a named fault-injection site
+(``stream.validate`` … ``stream.done``), so chaos tests can kill the
+process at every transition and assert that a fresh pipeline resumes to
+the *identical* snapshot lineage (see :mod:`repro.stream.journal` for
+the convergence argument).
+
+Backpressure is **bounded staleness via coalescing**: the spool is
+polled continuously, but when the backlog exceeds
+``max_lag_batches`` — the replica is slow to reload, or a burst of
+batches landed — pending batches are merged into one ingest window
+instead of being replayed one-by-one.  Freshness degrades (fewer
+intermediate snapshots) before throughput does; the
+``stream.lag_batches`` and ``stream.staleness_seconds`` gauges expose
+exactly how far behind the serving replica is.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from functools import reduce
+from pathlib import Path
+
+from repro.data.loader import DatasetLoadError, load_dataset_checked
+from repro.data.records import Dataset, concat_datasets
+from repro.faults import fire
+from repro.obs.logs import get_logger
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Trace
+from repro.store.incremental import IncrementalResolver
+from repro.store.snapshot import SnapshotStore
+from repro.stream.journal import INGESTED, PROMOTED, QUARANTINED, BatchJournal
+from repro.stream.promote import PromoteError, SnapshotPromoter
+from repro.stream.source import SpoolBatch, SpoolSource
+
+__all__ = ["StreamConfig", "StreamPipeline"]
+
+logger = get_logger("stream.pipeline")
+
+CHECKPOINT_DIRNAME = ".stream"
+BASE_FILENAME = "base.txt"
+
+
+@dataclass
+class StreamConfig:
+    """Operator-tunable knobs of one streaming pipeline."""
+
+    spool: Path
+    serve_url: str | None = None
+    checkpoint: Path | None = None  # default: <spool>/.stream
+    poll_interval_s: float = 1.0
+    max_lag_batches: int = 4
+    coalesce: bool = True
+    workers: int | None = None
+    validation: str = "strict"  # or "quarantine"
+    require_ready: bool = False
+    drain: bool = False  # exit once the spool is fully caught up
+    max_batches: int | None = None  # stop after ingesting this many
+
+    def __post_init__(self) -> None:
+        self.spool = Path(self.spool)
+        if self.checkpoint is None:
+            self.checkpoint = self.spool / CHECKPOINT_DIRNAME
+        self.checkpoint = Path(self.checkpoint)
+        if self.validation not in ("strict", "quarantine"):
+            raise ValueError(
+                f"validation must be 'strict' or 'quarantine', "
+                f"got {self.validation!r}"
+            )
+        if self.max_lag_batches < 1:
+            raise ValueError("max_lag_batches must be >= 1")
+
+
+class StreamPipeline:
+    """Continuous micro-batch ingest with zero-downtime promotion."""
+
+    def __init__(
+        self,
+        store: SnapshotStore,
+        config: StreamConfig,
+        metrics: MetricsRegistry | None = None,
+        trace: Trace | None = None,
+        promoter: SnapshotPromoter | None = None,
+        source: SpoolSource | None = None,
+    ) -> None:
+        self.store = store
+        self.config = config
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.trace = trace if trace is not None else Trace.disabled()
+        self.journal = BatchJournal(config.checkpoint)
+        self.source = (
+            source
+            if source is not None
+            else SpoolSource(config.spool, require_ready=config.require_ready)
+        )
+        if promoter is None and config.serve_url:
+            promoter = SnapshotPromoter(config.serve_url, metrics=self.metrics)
+        self.promoter = promoter
+        self.resolver = IncrementalResolver(store)
+        self._pending: list[SpoolBatch] = []
+        self._stop = threading.Event()
+        self._fresh_t = time.monotonic()
+        self._parent = self._resolve_parent()
+        self.batches_done = 0
+
+    # ------------------------------------------------------------------
+    # Parent tracking
+    # ------------------------------------------------------------------
+
+    def _resolve_parent(self) -> str | None:
+        """The snapshot the next ingest window folds into.
+
+        The journal — not the store's HEAD — is the source of truth: a
+        crash between snapshot save and the ``ingested`` journal line
+        advances HEAD past the last committed entry, and the replay of
+        that window must run against the *recorded* parent so the
+        deterministic re-ingest converges onto the already-saved child.
+        The pre-stream base snapshot is pinned in ``base.txt`` on first
+        construction, before any ingest can move HEAD.
+        """
+        lineage = self.journal.snapshot_lineage()
+        if lineage:
+            return lineage[-1]
+        base_path = self.config.checkpoint / BASE_FILENAME
+        if base_path.exists():
+            base = base_path.read_text().strip()
+            return base or None
+        base = self.store.latest()
+        self.config.checkpoint.mkdir(parents=True, exist_ok=True)
+        base_path.write_text(f"{base}\n" if base else "\n")
+        return base
+
+    # ------------------------------------------------------------------
+    # Gauges
+    # ------------------------------------------------------------------
+
+    def _update_gauges(self) -> None:
+        lag = len(self._pending)
+        if self.promoter is not None:
+            lag += len(self.journal.unpromoted())
+        self.metrics.set_gauge("stream.lag_batches", lag)
+        staleness = 0.0 if lag == 0 else time.monotonic() - self._fresh_t
+        self.metrics.set_gauge("stream.staleness_seconds", staleness)
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+
+    def recover(self) -> list[str]:
+        """Promote committed-but-unpromoted windows (crash catch-up).
+
+        Returns the snapshot ids promoted.  Windows whose promotion
+        still fails stay unpromoted and are retried on later cycles;
+        later windows are *not* attempted past a failed earlier one, so
+        the replica only ever moves forward along the lineage.
+        """
+        if self.promoter is None:
+            return []
+        promoted: list[str] = []
+        for entry in self.journal.unpromoted():
+            assert entry.snapshot is not None
+            try:
+                self.promoter.promote(entry.snapshot)
+            except PromoteError as exc:
+                self.metrics.inc("stream.promote_failures")
+                logger.warning("recovery promotion pending: %s", exc)
+                break
+            fire("stream.done")
+            self.journal.record(
+                PROMOTED,
+                entry.window,
+                entry.shas,
+                entry.batches,
+                snapshot=entry.snapshot,
+                seq=entry.seq,
+            )
+            self._fresh_t = time.monotonic()
+            promoted.append(entry.snapshot)
+        return promoted
+
+    # ------------------------------------------------------------------
+    # One cycle
+    # ------------------------------------------------------------------
+
+    def cycle(self) -> int:
+        """Poll, then ingest+promote at most one window.
+
+        Returns the number of batches folded into snapshots this cycle
+        (0 when idle).  Fault-injection or I/O errors propagate — the
+        surrounding ``run()`` loop (or a chaos test) decides whether
+        that is fatal.
+        """
+        self.recover()
+        completed = self.journal.completed_shas()
+        queued = {batch.sha256 for batch in self._pending}
+        for batch in self.source.poll():
+            if batch.sha256 in completed:
+                logger.info(
+                    "batch %s already ingested (sha %.12s…); skipping",
+                    batch.name, batch.sha256,
+                )
+                continue
+            if batch.sha256 not in queued:
+                queued.add(batch.sha256)
+                self._pending.append(batch)
+        self._update_gauges()
+        if not self._pending:
+            return 0
+
+        if self.config.coalesce and len(self._pending) > self.config.max_lag_batches:
+            window, self._pending = self._pending, []
+            self.metrics.inc("stream.batches_coalesced", len(window) - 1)
+            logger.info(
+                "lag %d exceeds max_lag_batches=%d: coalescing %d batches "
+                "into one window",
+                len(window), self.config.max_lag_batches, len(window),
+            )
+        else:
+            window = [self._pending.pop(0)]
+
+        ingested = self._process_window(window)
+        self.batches_done += ingested
+        self._update_gauges()
+        return ingested
+
+    def _process_window(self, window: list[SpoolBatch]) -> int:
+        """validate → ingest → commit → promote → done for one window."""
+        fire("stream.validate")
+        datasets: list[Dataset] = []
+        members: list[SpoolBatch] = []
+        for batch in window:
+            try:
+                dataset, _report = load_dataset_checked(
+                    batch.stem,
+                    name=batch.name,
+                    mode=self.config.validation,
+                    report_path=self.config.checkpoint / "quarantine.jsonl",
+                    metrics=self.metrics,
+                )
+            except DatasetLoadError as exc:
+                # Poison batch: journal it so it is never retried, keep
+                # the rest of the window.
+                self.metrics.inc("stream.batches_quarantined")
+                logger.error("quarantining batch %s: %s", batch.name, exc)
+                self.journal.record(
+                    QUARANTINED, batch.name, [batch.sha256], [batch.name]
+                )
+                continue
+            if len(dataset.certificates) == 0:
+                self.metrics.inc("stream.batches_quarantined")
+                logger.error(
+                    "quarantining batch %s: no valid certificates survived "
+                    "validation", batch.name,
+                )
+                self.journal.record(
+                    QUARANTINED, batch.name, [batch.sha256], [batch.name]
+                )
+                continue
+            datasets.append(dataset)
+            members.append(batch)
+        if not members:
+            return 0
+
+        window_name = "+".join(batch.name for batch in members)
+        delta = reduce(
+            lambda a, b: concat_datasets(a, b), datasets[1:], datasets[0]
+        )
+
+        fire("stream.ingest")
+        result = self.resolver.ingest(
+            delta,
+            parent=self._parent,
+            trace=self.trace,
+            metrics=self.metrics,
+            workers=self.config.workers,
+        )
+        snapshot_id = result.manifest.snapshot_id
+
+        fire("stream.commit")
+        entry = self.journal.record(
+            INGESTED,
+            window_name,
+            [batch.sha256 for batch in members],
+            [batch.name for batch in members],
+            snapshot=snapshot_id,
+            parent=self._parent,
+        )
+        self._parent = snapshot_id
+        self.metrics.inc("stream.batches_ingested", len(members))
+        self.metrics.inc("stream.windows_ingested")
+        logger.info(
+            "window %s -> snapshot %s (%d batches, %d certificates)",
+            window_name, snapshot_id, len(members), len(delta.certificates),
+        )
+
+        if self.promoter is not None:
+            try:
+                self.promoter.promote(snapshot_id)
+            except PromoteError as exc:
+                # Keep-old-on-failure: the replica stays on its previous
+                # snapshot, the window stays journalled as unpromoted,
+                # and recover() retries on later cycles.
+                self.metrics.inc("stream.promote_failures")
+                logger.warning("promotion deferred: %s", exc)
+                return len(members)
+            fire("stream.done")
+            self.journal.record(
+                PROMOTED,
+                entry.window,
+                entry.shas,
+                entry.batches,
+                snapshot=snapshot_id,
+                seq=entry.seq,
+            )
+            self._fresh_t = time.monotonic()
+        return len(members)
+
+    # ------------------------------------------------------------------
+    # Run loop
+    # ------------------------------------------------------------------
+
+    def stop(self) -> None:
+        """Ask ``run()`` to exit after the in-flight cycle."""
+        self._stop.set()
+
+    def _caught_up(self) -> bool:
+        if self._pending:
+            return False
+        # Without a replica to promote into, committed == caught up.
+        return self.promoter is None or not self.journal.unpromoted()
+
+    def run(self) -> int:
+        """Poll until stopped (or drained); returns batches ingested.
+
+        ``config.drain`` exits once a poll finds nothing new and all
+        committed windows are promoted — the batch-mode invocation used
+        by the smoke gate and the benchmark.  ``config.max_batches``
+        bounds total ingest either way.
+        """
+        config = self.config
+        while not self._stop.is_set():
+            ingested = self.cycle()
+            if (
+                config.max_batches is not None
+                and self.batches_done >= config.max_batches
+            ):
+                break
+            if ingested:
+                continue  # hot loop while there is a backlog
+            if config.drain and self._caught_up():
+                break
+            self._stop.wait(config.poll_interval_s)
+        self._update_gauges()
+        return self.batches_done

@@ -1,0 +1,142 @@
+"""Zero-downtime snapshot promotion into a live serving replica.
+
+The server's ``POST /v1/reload`` already swaps graph + indexes
+atomically and keeps the old snapshot serving when the load fails.
+:class:`SnapshotPromoter` wraps that endpoint with the operational
+policy a continuous pipeline needs:
+
+* targeted promotion — the exact snapshot id the ingest committed, not
+  whatever HEAD happens to be by the time the request lands;
+* transient-error **retries** (:class:`~repro.faults.RetryPolicy`) and a
+  **circuit breaker** so a down replica stalls promotion (backpressure)
+  instead of being hammered;
+* post-swap **health verification** with automatic **rollback**: if the
+  replica reports ``failing`` right after the swap, the previous
+  snapshot is promoted back and the attempt is reported as a failure —
+  traffic never stays pinned to a bad snapshot.
+
+The promoter speaks through :meth:`repro.serve.client.ServeClient.reload`
+— the same code path operators use by hand — so there is exactly one
+reload client implementation to harden.
+"""
+
+from __future__ import annotations
+
+from repro.faults import CircuitBreaker, RetryPolicy, TransientFault, classify, fire
+from repro.obs.logs import get_logger
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.client import ServeClient
+
+__all__ = ["PromoteError", "SnapshotPromoter"]
+
+logger = get_logger("stream.promote")
+
+
+class PromoteError(TransientFault):
+    """A promotion attempt failed; the previous snapshot keeps serving."""
+
+    def __init__(self, snapshot_id: str, reason: str) -> None:
+        super().__init__(f"promotion of {snapshot_id} failed: {reason}")
+        self.snapshot_id = snapshot_id
+        self.reason = reason
+
+
+class SnapshotPromoter:
+    """Promotes committed snapshots into one serving replica."""
+
+    def __init__(
+        self,
+        client: ServeClient | str,
+        retry: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        metrics: MetricsRegistry | None = None,
+        verify_health: bool = True,
+    ) -> None:
+        self.client = (
+            ServeClient(client) if isinstance(client, str) else client
+        )
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.breaker = (
+            breaker
+            if breaker is not None
+            else CircuitBreaker("stream.promote", metrics=metrics)
+        )
+        self.metrics = metrics
+        self.verify_health = verify_health
+
+    def _count(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.inc(name)
+
+    # ------------------------------------------------------------------
+
+    def promote(self, snapshot_id: str) -> dict:
+        """Swap the replica onto ``snapshot_id``; returns the reload
+        payload.  Raises :class:`PromoteError` when the replica stays on
+        its previous snapshot (reload failed, circuit open, or the
+        post-swap health check triggered a rollback)."""
+        fire("stream.promote")
+        if not self.breaker.allow():
+            self._count("stream.promote.rejected")
+            raise PromoteError(
+                snapshot_id,
+                f"promotion circuit open; retry in "
+                f"{self.breaker.retry_after_s():.1f}s",
+            )
+        try:
+            result = self.client.reload(snapshot_id, retry=self.retry)
+        except Exception as exc:
+            self.breaker.record_failure(exc)
+            self._count("stream.promote.failures")
+            logger.warning(
+                "promotion of %s failed (%s): %s",
+                snapshot_id, classify(exc), exc,
+            )
+            raise PromoteError(snapshot_id, str(exc)) from exc
+        previous = result.get("previous")
+        if self.verify_health and result.get("status") == "reloaded":
+            problem = self._post_swap_problem()
+            if problem is not None:
+                self._rollback(snapshot_id, previous)
+                self.breaker.record_failure()
+                self._count("stream.promote.rollbacks")
+                raise PromoteError(
+                    snapshot_id, f"post-swap health check failed: {problem}"
+                )
+        self.breaker.record_success()
+        self._count("stream.promotions")
+        logger.info(
+            "promoted snapshot %s (%s, previous %s)",
+            snapshot_id, result.get("status"), previous,
+        )
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _post_swap_problem(self) -> str | None:
+        """A reason the freshly-swapped replica is unhealthy, or None."""
+        try:
+            health = self.client.healthz()
+        except Exception as exc:  # the replica vanished mid-promotion
+            return f"healthz unreachable: {exc}"
+        if health.get("status") == "failing":
+            return f"replica reports failing: {health.get('breakers')}"
+        return None
+
+    def _rollback(self, snapshot_id: str, previous: str | None) -> None:
+        if previous is None:
+            logger.error(
+                "cannot roll back %s: no previous snapshot id", snapshot_id
+            )
+            return
+        try:
+            self.client.reload(previous, retry=self.retry)
+            logger.warning(
+                "rolled back %s -> %s after failed health check",
+                snapshot_id, previous,
+            )
+        except Exception as exc:  # keep the original failure primary
+            logger.error(
+                "rollback from %s to %s also failed: %s",
+                snapshot_id, previous, exc,
+            )

@@ -1,0 +1,192 @@
+"""Micro-batch sources: where the streaming pipeline gets its input.
+
+A *spool directory* is the hand-off point between whatever delivers
+certificates (a transcription vendor's upload job, an archive export)
+and the ingester: each micro-batch is one dataset CSV pair
+
+.. code-block:: text
+
+    <spool>/
+      2024-03-b001.records.csv
+      2024-03-b001.certs.csv
+      2024-03-b001.ready          # optional explicit commit marker
+      batches.list                # optional ordered manifest
+
+:class:`SpoolSource` polls the directory and yields batches exactly
+once, in a deterministic order, only when they are *complete*:
+
+* a ``<stem>.ready`` marker makes a batch eligible immediately — the
+  writer's explicit commit;
+* without a marker, **stable-file detection** applies: both CSVs must
+  have identical (size, mtime) across two consecutive polls, so a
+  half-uploaded file is never ingested.
+
+Ordering is the line order of ``batches.list`` when present (an ordered
+batch manifest — reprocessing a historical backlog in archival order),
+else lexicographic by stem name.  Each batch carries a SHA-256 over its
+two payload files; that hash is the batch's identity everywhere
+downstream (journal idempotence, crash-resume reconciliation).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.obs.logs import get_logger
+
+__all__ = ["SpoolBatch", "SpoolSource", "batch_sha256", "write_batch"]
+
+logger = get_logger("stream.source")
+
+MANIFEST_NAME = "batches.list"
+READY_SUFFIX = ".ready"
+
+
+def batch_sha256(stem: Path) -> str:
+    """Content identity of one batch: SHA-256 over both CSV payloads."""
+    digest = hashlib.sha256()
+    for suffix in (".records.csv", ".certs.csv"):
+        path = stem.with_suffix(suffix)
+        digest.update(path.name.encode("utf-8") + b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class SpoolBatch:
+    """One complete micro-batch waiting in the spool."""
+
+    name: str
+    stem: Path
+    sha256: str
+
+    @property
+    def records_path(self) -> Path:
+        return self.stem.with_suffix(".records.csv")
+
+    @property
+    def certs_path(self) -> Path:
+        return self.stem.with_suffix(".certs.csv")
+
+
+def write_batch(spool: Path, name: str, dataset, ready: bool = True) -> Path:
+    """Spool ``dataset`` as one batch (test/benchmark producer helper).
+
+    Writes the CSV pair under a temporary name first and renames into
+    place, then drops the ``.ready`` marker — the same commit protocol a
+    careful external producer would use.
+    """
+    from repro.data.loader import save_dataset_csv
+
+    spool = Path(spool)
+    spool.mkdir(parents=True, exist_ok=True)
+    tmp_stem = spool / f".tmp-{name}"
+    records_tmp, certs_tmp = save_dataset_csv(dataset, tmp_stem)
+    stem = spool / name
+    records_tmp.rename(stem.with_suffix(".records.csv"))
+    certs_tmp.rename(stem.with_suffix(".certs.csv"))
+    if ready:
+        stem.with_suffix(READY_SUFFIX).touch()
+    return stem
+
+
+@dataclass
+class _Sighting:
+    """(size, mtime_ns) of both CSVs when a stem was last polled."""
+
+    fingerprint: tuple
+
+
+class SpoolSource:
+    """Ordered, exactly-once discovery of complete spool batches.
+
+    ``poll()`` returns the batches that became ready since the previous
+    call, oldest first.  A batch is returned at most once per source
+    instance; cross-process/run deduplication is the journal's job (the
+    pipeline filters on ``sha256``).
+    """
+
+    def __init__(self, spool: str | Path, require_ready: bool = False) -> None:
+        """``require_ready`` disables stable-file detection: only
+        batches with an explicit ``.ready`` marker are eligible (use
+        when producers are known to write markers — detection then
+        never waits an extra poll)."""
+        self.spool = Path(spool)
+        self.require_ready = require_ready
+        self._sightings: dict[str, _Sighting] = {}
+        self._returned: set[str] = set()
+
+    # ------------------------------------------------------------------
+
+    def _ordered_stems(self) -> list[str]:
+        """Candidate stem names in processing order."""
+        manifest = self.spool / MANIFEST_NAME
+        if manifest.exists():
+            names = [
+                line.strip()
+                for line in manifest.read_text().splitlines()
+                if line.strip() and not line.strip().startswith("#")
+            ]
+            return names
+        names = sorted(
+            path.name[: -len(".records.csv")]
+            for path in self.spool.glob("*.records.csv")
+            if not path.name.startswith(".")
+        )
+        return names
+
+    def _fingerprint(self, stem: Path) -> tuple | None:
+        parts = []
+        for suffix in (".records.csv", ".certs.csv"):
+            path = stem.with_suffix(suffix)
+            try:
+                stat = path.stat()
+            except FileNotFoundError:
+                return None
+            parts.append((stat.st_size, stat.st_mtime_ns))
+        return tuple(parts)
+
+    def _is_ready(self, name: str, stem: Path) -> bool:
+        if stem.with_suffix(READY_SUFFIX).exists():
+            return True
+        if self.require_ready:
+            return False
+        fingerprint = self._fingerprint(stem)
+        if fingerprint is None:
+            return False
+        sighting = self._sightings.get(name)
+        if sighting is not None and sighting.fingerprint == fingerprint:
+            return True
+        self._sightings[name] = _Sighting(fingerprint)
+        return False
+
+    def poll(self) -> list[SpoolBatch]:
+        """New complete batches, in processing order."""
+        if not self.spool.is_dir():
+            return []
+        ready: list[SpoolBatch] = []
+        for name in self._ordered_stems():
+            if name in self._returned:
+                continue
+            stem = self.spool / name
+            if self._fingerprint(stem) is None:
+                # Listed in the manifest but not (fully) delivered yet:
+                # later batches must wait to preserve the order.
+                if (self.spool / MANIFEST_NAME).exists():
+                    break
+                continue
+            if not self._is_ready(name, stem):
+                continue
+            self._returned.add(name)
+            ready.append(SpoolBatch(name, stem, batch_sha256(stem)))
+        if ready:
+            logger.info(
+                "spool %s: %d new batch(es): %s",
+                self.spool,
+                len(ready),
+                ", ".join(b.name for b in ready),
+            )
+        return ready

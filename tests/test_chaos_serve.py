@@ -263,6 +263,66 @@ class TestReload:
         )
         assert search.status == 200
 
+    def test_reload_body_targets_exact_snapshot(
+        self, tiny_pedigree_graph, snapshot_dir
+    ):
+        store = SnapshotStore(snapshot_dir)
+        head = store.latest()
+        app, _now, _slept = _make_harness(tiny_pedigree_graph, store=store)
+        body = json.dumps({"snapshot": head}).encode()
+        response = app.handle("POST", "/v1/reload", body=body)
+        assert response.status == 200
+        payload = response.json()
+        assert payload["status"] == "reloaded"
+        assert payload["snapshot"] == head
+        assert payload["previous"] is None  # cold boot had no manifest
+        assert app.manifest.snapshot_id == head
+
+    def test_reload_same_snapshot_is_idempotent_noop(
+        self, tiny_pedigree_graph, snapshot_dir
+    ):
+        store = SnapshotStore(snapshot_dir)
+        head = store.latest()
+        app, _now, _slept = _make_harness(tiny_pedigree_graph, store=store)
+        body = json.dumps({"snapshot": head}).encode()
+        assert app.handle("POST", "/v1/reload", body=body).status == 200
+        engine = app.engine
+        again = app.handle("POST", "/v1/reload", body=body)
+        assert again.status == 200
+        payload = again.json()
+        assert payload["status"] == "unchanged"
+        assert payload["previous"] == head
+        assert app.engine is engine  # no swap, no rebuild
+        assert app.metrics.counter_value("serve.reloads_noop") == 1
+        assert app.metrics.counter_value("serve.reloads") == 1
+
+    def test_reload_bad_body_is_400(self, tiny_pedigree_graph, snapshot_dir):
+        app, _now, _slept = _make_harness(
+            tiny_pedigree_graph, store=SnapshotStore(snapshot_dir)
+        )
+        for body in (b"{not json", b'["list"]', b'{"snapshot": 7}'):
+            response = app.handle("POST", "/v1/reload", body=body)
+            assert response.status == 400, body
+
+    def test_reload_invalidates_result_cache(
+        self, tiny_pedigree_graph, snapshot_dir
+    ):
+        """Promoted snapshots must not serve the predecessor's cached
+        results as fresh hits."""
+        app, _now, _slept = _make_harness(
+            tiny_pedigree_graph, store=SnapshotStore(snapshot_dir)
+        )
+        body = _search_body(app.graph)
+        assert app.handle("POST", "/v1/search", body=body).status == 200
+        assert app.handle("POST", "/v1/search", body=body).status == 200
+        assert app.cache.stats()["hits"] == 1
+        assert app.handle("POST", "/v1/reload").status == 200
+        assert app.cache.stats()["invalidations"] == 1
+        # Same query again: recomputed on the new snapshot, not a hit.
+        assert app.handle("POST", "/v1/search", body=body).status == 200
+        assert app.cache.stats()["hits"] == 1
+        assert app.cache.stats()["misses"] >= 2
+
     def test_transient_store_faults_are_retried(
         self, tiny_pedigree_graph, snapshot_dir
     ):

@@ -151,6 +151,37 @@ class TestLRUTTLCache:
         assert cache.get_stale("a") is MISS
         assert len(cache) == 0
 
+    def test_bump_epoch_invalidates_without_keep_stale(self):
+        cache = LRUTTLCache(max_size=4, ttl_s=None)
+        cache.put("a", 1)
+        cache.bump_epoch()
+        assert cache.get("a") is MISS
+        assert len(cache) == 0
+        assert cache.stats()["invalidations"] == 1
+
+    def test_bump_epoch_keeps_entries_for_stale_path(self):
+        """After a snapshot swap, predecessor results must not come back
+        as fresh hits — only via the explicit stale (Warning: 110) path."""
+        now = [0.0]
+        cache = LRUTTLCache(
+            max_size=4, ttl_s=60.0, clock=lambda: now[0], keep_stale=True
+        )
+        cache.put("a", 1)
+        cache.bump_epoch()
+        now[0] = 2.0  # well within TTL: only the epoch expired it
+        assert cache.get("a") is MISS
+        value, age_s = cache.get_stale("a")
+        assert value == 1 and age_s == pytest.approx(2.0)
+        # Entries written after the bump are fresh again.
+        cache.put("b", 2)
+        assert cache.get("b") == 2
+
+    def test_entries_written_after_bump_are_fresh(self):
+        cache = LRUTTLCache(max_size=4, ttl_s=None)
+        cache.bump_epoch()
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+
 
 # ----------------------------------------------------------------------
 # Admission-control unit tests
@@ -499,6 +530,76 @@ class TestEndToEnd:
         assert cold["cached"] is False
         assert warm["cached"] is True
         assert warm["matches"] == cold["matches"]
+
+
+# ----------------------------------------------------------------------
+# Client reload wrapper (promotion path)
+# ----------------------------------------------------------------------
+
+
+class TestClientReload:
+    def _client_with_script(self, monkeypatch, outcomes):
+        """ServeClient whose _json pops scripted outcomes (exc or dict)."""
+        client = ServeClient("http://127.0.0.1:1")
+        calls = []
+
+        def scripted(method, path, payload=None):
+            calls.append((method, path, payload))
+            outcome = outcomes.pop(0)
+            if isinstance(outcome, Exception):
+                raise outcome
+            return outcome
+
+        monkeypatch.setattr(client, "_json", scripted)
+        return client, calls
+
+    def test_reload_posts_snapshot_body(self, monkeypatch):
+        client, calls = self._client_with_script(
+            monkeypatch, [{"status": "reloaded"}]
+        )
+        client.reload("abc123")
+        assert calls == [("POST", "/v1/reload", {"snapshot": "abc123"})]
+
+    def test_reload_without_id_sends_empty_body(self, monkeypatch):
+        client, calls = self._client_with_script(
+            monkeypatch, [{"status": "reloaded"}]
+        )
+        client.reload()
+        assert calls == [("POST", "/v1/reload", {})]
+
+    def test_retry_policy_retries_transient_statuses(self, monkeypatch):
+        from repro.faults import RetryPolicy
+
+        client, calls = self._client_with_script(
+            monkeypatch,
+            [ServeError(503, "replica busy"), {"status": "reloaded", "snapshot": "x"}],
+        )
+        result = client.reload(
+            "x", retry=RetryPolicy(max_attempts=3, base_delay_s=0.0)
+        )
+        assert result["status"] == "reloaded"
+        assert len(calls) == 2
+
+    def test_retry_policy_does_not_retry_rejections(self, monkeypatch):
+        from repro.faults import RetryPolicy
+
+        client, calls = self._client_with_script(
+            monkeypatch, [ServeError(400, "bad body"), {"status": "reloaded"}]
+        )
+        with pytest.raises(ServeError) as error:
+            client.reload(
+                "x", retry=RetryPolicy(max_attempts=3, base_delay_s=0.0)
+            )
+        assert error.value.status == 400
+        assert len(calls) == 1  # permanent: no second attempt
+
+    def test_serve_error_categories(self):
+        from repro.faults import PERMANENT, TRANSIENT, classify
+
+        assert classify(ServeError(503, "overloaded")) == TRANSIENT
+        assert classify(ServeError(429, "shed")) == TRANSIENT
+        assert classify(ServeError(404, "missing")) == PERMANENT
+        assert classify(ServeError(400, "bad")) == PERMANENT
 
 
 # ----------------------------------------------------------------------

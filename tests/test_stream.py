@@ -1,0 +1,578 @@
+"""Tests for the streaming ingest subsystem (repro.stream).
+
+Covers the spool source, the exactly-once journal, the end-to-end
+pipeline under live concurrent search traffic (zero non-2xx across
+back-to-back promotions, terminal state byte-identical to a one-shot
+ingest), and chaos: a crash at every state-machine boundary must resume
+to the identical snapshot lineage with no duplicate ingests.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.core import SnapsConfig, SnapsResolver
+from repro.data.loader import save_dataset_csv
+from repro.data.records import concat_datasets
+from repro.data.synthetic import make_tiny_dataset, split_stream
+from repro.faults import InjectedFault, RetryPolicy, injected
+from repro.serve import ServeClient, ServeConfig, ServingApp, make_server
+from repro.store import IncrementalResolver, SnapshotStore
+from repro.stream import (
+    BatchJournal,
+    PromoteError,
+    SnapshotPromoter,
+    SpoolSource,
+    StreamConfig,
+    StreamPipeline,
+    batch_sha256,
+    write_batch,
+)
+from repro.stream.journal import INGESTED, PROMOTED
+
+N_BATCHES = 3
+
+
+# ----------------------------------------------------------------------
+# Shared material: one base + micro-batches, resolved once
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def stream_parts(tiny_dataset):
+    base, batches = split_stream(tiny_dataset, N_BATCHES)
+    return base, batches
+
+
+@pytest.fixture(scope="module")
+def base_resolved(stream_parts):
+    base, _ = stream_parts
+    return SnapsResolver(SnapsConfig()).resolve(base)
+
+
+def _new_store(tmp_path, base_resolved):
+    store = SnapshotStore(tmp_path / "store")
+    store.save(base_resolved)
+    return store
+
+
+def _fill_spool(tmp_path, batches):
+    spool = tmp_path / "spool"
+    for batch in batches:
+        write_batch(spool, batch.name, batch)
+    return spool
+
+
+def _graph_bytes(store, snapshot_id):
+    manifest = store.manifest(snapshot_id)
+    blob = manifest.artifacts["graph"]
+    return (store.path_of(snapshot_id) / blob["path"]).read_bytes()
+
+
+class _DirectClient:
+    """In-process stand-in for ServeClient (no sockets; chaos speed)."""
+
+    def __init__(self, app):
+        self.app = app
+
+    def reload(self, snapshot_id=None, retry=None):
+        body = json.dumps(
+            {"snapshot": snapshot_id} if snapshot_id else {}
+        ).encode()
+        response = self.app.handle("POST", "/v1/reload", body=body)
+        if response.status != 200:
+            raise AssertionError(f"reload -> {response.status}: {response.body}")
+        return json.loads(response.body)
+
+    def healthz(self):
+        return json.loads(self.app.handle("GET", "/healthz").body)
+
+
+def _app_from_store(store):
+    loaded = store.load(artifacts=("graph", "indexes"))
+    return ServingApp(
+        loaded.graph,
+        ServeConfig(),
+        keyword_index=loaded.keyword_index,
+        sim_index=loaded.sim_index,
+        store=store,
+        manifest=loaded.manifest,
+    )
+
+
+# ----------------------------------------------------------------------
+# Spool source
+# ----------------------------------------------------------------------
+
+
+class TestSpoolSource:
+    def test_ready_marker_batch_is_picked_up_immediately(
+        self, tmp_path, stream_parts
+    ):
+        _, batches = stream_parts
+        write_batch(tmp_path, "b001", batches[0], ready=True)
+        source = SpoolSource(tmp_path)
+        polled = source.poll()
+        assert [b.name for b in polled] == ["b001"]
+        assert polled[0].sha256 == batch_sha256(tmp_path / "b001")
+        assert source.poll() == []  # at most once per instance
+
+    def test_unmarked_batch_needs_two_stable_polls(self, tmp_path, stream_parts):
+        _, batches = stream_parts
+        write_batch(tmp_path, "b001", batches[0], ready=False)
+        source = SpoolSource(tmp_path)
+        assert source.poll() == []  # first sighting only records
+        assert [b.name for b in source.poll()] == ["b001"]  # unchanged -> ready
+
+    def test_growing_file_is_not_picked_up(self, tmp_path, stream_parts):
+        _, batches = stream_parts
+        stem = write_batch(tmp_path, "b001", batches[0], ready=False)
+        source = SpoolSource(tmp_path)
+        assert source.poll() == []
+        # The file changes between polls: still mid-upload.
+        time.sleep(0.01)
+        with stem.with_suffix(".records.csv").open("a") as handle:
+            handle.write("# trailing\n")
+        assert source.poll() == []
+
+    def test_require_ready_ignores_stable_unmarked_batches(
+        self, tmp_path, stream_parts
+    ):
+        _, batches = stream_parts
+        write_batch(tmp_path, "b001", batches[0], ready=False)
+        source = SpoolSource(tmp_path, require_ready=True)
+        assert source.poll() == []
+        assert source.poll() == []
+
+    def test_manifest_fixes_order_and_blocks_on_gaps(
+        self, tmp_path, stream_parts
+    ):
+        _, batches = stream_parts
+        write_batch(tmp_path, "early", batches[0])
+        write_batch(tmp_path, "late", batches[1])
+        (tmp_path / "batches.list").write_text("# backlog\nlate\nmissing\nearly\n")
+        source = SpoolSource(tmp_path)
+        # 'late' leads (manifest order); 'missing' gates 'early'.
+        assert [b.name for b in source.poll()] == ["late"]
+        write_batch(tmp_path, "missing", batches[2])
+        assert [b.name for b in source.poll()] == ["missing", "early"]
+
+    def test_sha_identity_ignores_rename(self, tmp_path, stream_parts):
+        _, batches = stream_parts
+        a = write_batch(tmp_path, "a", batches[0])
+        b = write_batch(tmp_path, "b", batches[0])
+        assert batch_sha256(a) != batch_sha256(b)  # name is hashed...
+        # ...but identical content under the same name matches.
+        other = tmp_path / "other"
+        c = write_batch(other, "a", batches[0])
+        assert batch_sha256(a) == batch_sha256(c)
+
+
+# ----------------------------------------------------------------------
+# Journal
+# ----------------------------------------------------------------------
+
+
+class TestBatchJournal:
+    def test_round_trip_and_queries(self, tmp_path):
+        journal = BatchJournal(tmp_path)
+        entry = journal.record(INGESTED, "b001", ["sha1"], ["b001"],
+                               snapshot="s1", parent="s0")
+        journal.record(PROMOTED, "b001", ["sha1"], ["b001"],
+                       snapshot="s1", seq=entry.seq)
+        journal.record(INGESTED, "b002+b003", ["sha2", "sha3"],
+                       ["b002", "b003"], snapshot="s2", parent="s1")
+        reloaded = BatchJournal(tmp_path)
+        assert reloaded.completed_shas() == {"sha1", "sha2", "sha3"}
+        assert [e.window for e in reloaded.unpromoted()] == ["b002+b003"]
+        assert reloaded.snapshot_lineage() == ["s1", "s2"]
+        assert reloaded.ingest_counts() == {"sha1": 1, "sha2": 1, "sha3": 1}
+        assert reloaded.next_seq() == 3
+
+    def test_torn_final_line_is_dropped(self, tmp_path):
+        journal = BatchJournal(tmp_path)
+        journal.record(INGESTED, "b001", ["sha1"], ["b001"], snapshot="s1")
+        with journal.path.open("a") as handle:
+            handle.write('{"seq": 2, "state": "inges')  # crash mid-append
+        reloaded = BatchJournal(tmp_path)
+        assert len(reloaded.entries) == 1
+        assert reloaded.snapshot_lineage() == ["s1"]
+
+    def test_corrupt_middle_line_raises(self, tmp_path):
+        journal = BatchJournal(tmp_path)
+        journal.record(INGESTED, "b001", ["sha1"], ["b001"], snapshot="s1")
+        lines = journal.path.read_text().splitlines()
+        journal.path.write_text("GARBAGE\n" + "\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="corrupt at line 1"):
+            BatchJournal(tmp_path)
+
+    def test_unknown_state_rejected(self, tmp_path):
+        journal = BatchJournal(tmp_path)
+        with pytest.raises(ValueError, match="unknown journal state"):
+            journal.record("exploded", "w", [], [])
+
+
+# ----------------------------------------------------------------------
+# End to end: live traffic across back-to-back promotions
+# ----------------------------------------------------------------------
+
+
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def streamed(self, tmp_path_factory, base_resolved, stream_parts):
+        """Drain all batches through a live server under search load."""
+        _, batches = stream_parts
+        tmp_path = tmp_path_factory.mktemp("stream-e2e")
+        store = _new_store(tmp_path, base_resolved)
+        spool = _fill_spool(tmp_path, batches)
+        app = _app_from_store(store)
+        server = make_server(app, "127.0.0.1", 0)
+        host, port = server.server_address[:2]
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        base_url = f"http://{host}:{port}"
+
+        graph = app.graph
+        probe = next(
+            e for e in graph if e.first("first_name") and e.first("surname")
+        )
+        stop = threading.Event()
+        failures: list[str] = []
+        counts = [0, 0]
+
+        def hammer(index):
+            client = ServeClient(base_url)
+            while not stop.is_set():
+                try:
+                    client.search(
+                        probe.first("first_name"), probe.first("surname"), top=3
+                    )
+                except Exception as exc:
+                    failures.append(f"{type(exc).__name__}: {exc}")
+                counts[index] += 1
+
+        threads = [
+            threading.Thread(target=hammer, args=(i,), daemon=True)
+            for i in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        pipeline = StreamPipeline(
+            store,
+            StreamConfig(
+                spool=spool,
+                serve_url=base_url,
+                poll_interval_s=0.05,
+                coalesce=False,
+                drain=True,
+            ),
+            metrics=app.metrics,
+        )
+        try:
+            ingested = pipeline.run()
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=10)
+            server.shutdown()
+            server.server_close()
+        return store, app, pipeline, ingested, failures, sum(counts)
+
+    def test_all_batches_promoted(self, streamed):
+        store, app, pipeline, ingested, _failures, _n = streamed
+        assert ingested == N_BATCHES
+        lineage = pipeline.journal.snapshot_lineage()
+        assert len(lineage) == N_BATCHES
+        assert pipeline.metrics.counter_value("stream.promotions") >= 3
+        assert not pipeline.journal.unpromoted()
+        # The replica serves the terminal snapshot...
+        assert app.manifest.snapshot_id == lineage[-1]
+        # ...which is also the store's HEAD, parent-chained to the base.
+        assert store.latest() == lineage[-1]
+        assert store.lineage_ids() == list(reversed(lineage)) + [
+            store.lineage_ids()[-1]
+        ]
+
+    def test_zero_non_2xx_under_promotions(self, streamed):
+        _store, _app, _pipeline, _ingested, failures, n_requests = streamed
+        assert n_requests > 20, "load threads starved"
+        assert failures == [], f"non-2xx during promotion: {failures[:5]}"
+
+    def test_terminal_graph_byte_parity_with_one_shot_ingest(
+        self, streamed, tmp_path, base_resolved, stream_parts
+    ):
+        """Batch-at-a-time streaming must converge to the same graph as
+        ingesting every certificate in one shot."""
+        _, batches = stream_parts
+        store, _app, pipeline, _ingested, _failures, _n = streamed
+        one_shot_store = _new_store(tmp_path, base_resolved)
+        delta = batches[0]
+        for batch in batches[1:]:
+            delta = concat_datasets(delta, batch)
+        result = IncrementalResolver(one_shot_store).ingest(delta)
+        streamed_bytes = _graph_bytes(
+            store, pipeline.journal.snapshot_lineage()[-1]
+        )
+        one_shot_bytes = _graph_bytes(
+            one_shot_store, result.manifest.snapshot_id
+        )
+        assert streamed_bytes == one_shot_bytes
+
+    def test_staleness_gauges_reported(self, streamed):
+        _store, _app, pipeline, _ingested, _failures, _n = streamed
+        gauges = pipeline.metrics.as_dict()["gauges"]
+        assert gauges["stream.lag_batches"] == 0
+        assert gauges["stream.staleness_seconds"] == 0.0
+
+
+# ----------------------------------------------------------------------
+# Coalescing backpressure
+# ----------------------------------------------------------------------
+
+
+class TestCoalescing:
+    def test_backlog_coalesces_into_one_window(
+        self, tmp_path, base_resolved, stream_parts
+    ):
+        _, batches = stream_parts
+        store = _new_store(tmp_path, base_resolved)
+        spool = _fill_spool(tmp_path, batches)
+        pipeline = StreamPipeline(
+            store,
+            StreamConfig(
+                spool=spool, coalesce=True, max_lag_batches=1, drain=True,
+                poll_interval_s=0.01,
+            ),
+        )
+        ingested = pipeline.run()
+        assert ingested == N_BATCHES
+        # One coalesced window (3 > max_lag 1), so a single snapshot.
+        lineage = pipeline.journal.snapshot_lineage()
+        assert len(lineage) == 1
+        counters = pipeline.metrics.as_dict()["counters"]
+        assert counters["stream.batches_coalesced"] == N_BATCHES - 1
+        assert counters["stream.batches_ingested"] == N_BATCHES
+        entry = pipeline.journal.entries[0]
+        assert entry.window == "+".join(b.name for b in batches)
+
+    def test_no_coalesce_keeps_batch_granularity(
+        self, tmp_path, base_resolved, stream_parts
+    ):
+        _, batches = stream_parts
+        store = _new_store(tmp_path, base_resolved)
+        spool = _fill_spool(tmp_path, batches)
+        pipeline = StreamPipeline(
+            store,
+            StreamConfig(
+                spool=spool, coalesce=False, max_lag_batches=1, drain=True,
+                poll_interval_s=0.01,
+            ),
+        )
+        assert pipeline.run() == N_BATCHES
+        assert len(pipeline.journal.snapshot_lineage()) == N_BATCHES
+
+
+# ----------------------------------------------------------------------
+# Quarantine
+# ----------------------------------------------------------------------
+
+
+class TestQuarantine:
+    def test_poison_batch_is_journalled_not_retried(
+        self, tmp_path, base_resolved, stream_parts
+    ):
+        _, batches = stream_parts
+        store = _new_store(tmp_path, base_resolved)
+        spool = _fill_spool(tmp_path, [batches[0]])
+        # A batch whose records CSV is garbage after the header.
+        bad_stem = spool / "b999"
+        save_dataset_csv(batches[1], bad_stem)
+        records = bad_stem.with_suffix(".records.csv")
+        records.write_text(
+            records.read_text() + "not,a,valid,row,at,all\n"
+        )
+        bad_stem.with_suffix(".ready").touch()
+        (spool / "b001.ready").touch()
+        pipeline = StreamPipeline(
+            store,
+            StreamConfig(
+                spool=spool, coalesce=False, drain=True, poll_interval_s=0.01,
+                validation="strict",
+            ),
+        )
+        ingested = pipeline.run()
+        assert ingested == 1  # only the good batch
+        counters = pipeline.metrics.as_dict()["counters"]
+        assert counters["stream.batches_quarantined"] == 1
+        # The poison batch is journalled: a second pipeline over the
+        # same spool does not retry it forever.
+        again = StreamPipeline(
+            store,
+            StreamConfig(
+                spool=spool, coalesce=False, drain=True, poll_interval_s=0.01,
+            ),
+        )
+        assert again.run() == 0
+
+
+# ----------------------------------------------------------------------
+# Promoter policy
+# ----------------------------------------------------------------------
+
+
+class _FlakyClient:
+    def __init__(self, fail_times=1, healthy=True):
+        self.fail_times = fail_times
+        self.healthy = healthy
+        self.reloads: list[str | None] = []
+
+    def reload(self, snapshot_id=None, retry=None):
+        def send():
+            self.reloads.append(snapshot_id)
+            if len(self.reloads) <= self.fail_times:
+                raise OSError("connection refused")  # transient
+            return {"status": "reloaded", "snapshot": snapshot_id,
+                    "previous": "prev"}
+
+        return retry.call(send) if retry is not None else send()
+
+    def healthz(self):
+        return {"status": "ok" if self.healthy else "failing",
+                "breakers": {}}
+
+
+class TestSnapshotPromoter:
+    def test_transient_reload_failures_are_retried(self):
+        client = _FlakyClient(fail_times=2)
+        promoter = SnapshotPromoter(
+            client, retry=RetryPolicy(max_attempts=3, base_delay_s=0.0)
+        )
+        result = promoter.promote("abc")
+        assert result["status"] == "reloaded"
+        assert len(client.reloads) == 3
+
+    def test_unhealthy_swap_rolls_back(self):
+        client = _FlakyClient(fail_times=0, healthy=False)
+        promoter = SnapshotPromoter(
+            client, retry=RetryPolicy(max_attempts=1, base_delay_s=0.0)
+        )
+        with pytest.raises(PromoteError, match="health check failed"):
+            promoter.promote("abc")
+        # Second reload call is the rollback to the previous snapshot.
+        assert client.reloads == ["abc", "prev"]
+
+    def test_open_breaker_rejects_without_touching_replica(self):
+        client = _FlakyClient(fail_times=10**6)
+        promoter = SnapshotPromoter(
+            client, retry=RetryPolicy(max_attempts=1, base_delay_s=0.0)
+        )
+        for _ in range(promoter.breaker.failure_threshold):
+            with pytest.raises(PromoteError):
+                promoter.promote("abc")
+        calls_before = len(client.reloads)
+        with pytest.raises(PromoteError, match="circuit open"):
+            promoter.promote("abc")
+        assert len(client.reloads) == calls_before
+
+
+# ----------------------------------------------------------------------
+# Chaos: crash at every state boundary, resume exactly once
+# ----------------------------------------------------------------------
+
+SITES = (
+    "stream.validate",
+    "stream.ingest",
+    "stream.commit",
+    "stream.promote",
+    "stream.done",
+)
+
+
+@pytest.fixture(scope="module")
+def reference_lineage(tmp_path_factory, base_resolved, stream_parts):
+    """Snapshot lineage of an uninterrupted batch-per-window run.
+
+    Snapshot ids are content-addressed, so every correct run over the
+    same base + batches — in any store directory, crashed or not — must
+    produce exactly these ids.
+    """
+    _, batches = stream_parts
+    tmp_path = tmp_path_factory.mktemp("stream-ref")
+    store = _new_store(tmp_path, base_resolved)
+    spool = _fill_spool(tmp_path, batches)
+    pipeline = StreamPipeline(
+        store,
+        StreamConfig(
+            spool=spool, coalesce=False, drain=True, poll_interval_s=0.01
+        ),
+    )
+    assert pipeline.run() == N_BATCHES
+    lineage = pipeline.journal.snapshot_lineage()
+    assert len(lineage) == N_BATCHES
+    terminal_bytes = _graph_bytes(store, lineage[-1])
+    return lineage, terminal_bytes
+
+
+@pytest.mark.parametrize("site", SITES)
+def test_crash_at_boundary_resumes_to_identical_lineage(
+    site, tmp_path, base_resolved, stream_parts, reference_lineage
+):
+    _, batches = stream_parts
+    lineage_want, terminal_bytes = reference_lineage
+    store = _new_store(tmp_path, base_resolved)
+    spool = _fill_spool(tmp_path, batches)
+    config = StreamConfig(
+        spool=spool, coalesce=False, drain=True, poll_interval_s=0.01
+    )
+
+    def pipeline_with_replica():
+        app = _app_from_store(store)
+        promoter = SnapshotPromoter(
+            _DirectClient(app),
+            retry=RetryPolicy(max_attempts=1, base_delay_s=0.0),
+        )
+        return StreamPipeline(store, config, promoter=promoter), app
+
+    # Run 1: the injected fault kills the pipeline mid-window.
+    pipeline, _app = pipeline_with_replica()
+    with injected(f"{site}:error:times=1"):
+        with pytest.raises(InjectedFault):
+            pipeline.run()
+
+    # Run 2: a fresh pipeline (fresh process, same checkpoint dir)
+    # resumes and drains.
+    resumed, app = pipeline_with_replica()
+    resumed.run()
+
+    journal = BatchJournal(config.checkpoint)
+    assert journal.snapshot_lineage() == lineage_want
+    assert _graph_bytes(store, journal.snapshot_lineage()[-1]) == terminal_bytes
+    # Exactly once: no batch has two ingested entries, nothing pending.
+    assert max(journal.ingest_counts().values()) == 1
+    assert not journal.unpromoted()
+    # The resumed replica ends up serving the terminal snapshot.
+    assert app.manifest.snapshot_id == lineage_want[-1]
+    # The store's lineage matches the journal's (plus the base root).
+    assert store.latest() == lineage_want[-1]
+
+
+def test_clean_runs_are_deterministic(
+    tmp_path, base_resolved, stream_parts, reference_lineage
+):
+    """Two uninterrupted runs in different directories agree end to end."""
+    _, batches = stream_parts
+    lineage_want, terminal_bytes = reference_lineage
+    store = _new_store(tmp_path, base_resolved)
+    spool = _fill_spool(tmp_path, batches)
+    pipeline = StreamPipeline(
+        store,
+        StreamConfig(
+            spool=spool, coalesce=False, drain=True, poll_interval_s=0.01
+        ),
+    )
+    assert pipeline.run() == N_BATCHES
+    assert pipeline.journal.snapshot_lineage() == lineage_want
+    assert _graph_bytes(store, lineage_want[-1]) == terminal_bytes
