@@ -51,6 +51,7 @@ subcommand turns on INFO/DEBUG logging on stderr::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
 
@@ -133,6 +134,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="parallel resolution workers: 0 forces the serial path, "
         "N >= 1 forces the parallel path with N processes "
         "(default: auto — parallel on large datasets only)",
+    )
+    resolve.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="partition the resolve into N shards, each resolved in an "
+        "isolated process; output is byte-identical to the serial path, "
+        "and --snapshot-out snapshots gain a shard sidecar so later "
+        "ingests re-resolve only dirty shards",
     )
     resolve.add_argument("--no-propagation", action="store_true")
     resolve.add_argument("--no-ambiguity", action="store_true")
@@ -358,6 +366,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="parallel resolution workers for the re-resolve step "
         "(0 = serial, N >= 1 = parallel, default: auto)",
     )
+    snap_ingest.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="shard count for the child snapshot's sidecar (default: "
+        "inherit the parent snapshot's partition)",
+    )
     add_validation_flags(snap_ingest)
     add_telemetry_flags(snap_ingest)
 
@@ -539,6 +552,9 @@ def _cmd_resolve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.shards is not None and args.shards < 1:
+        print("--shards must be >= 1", file=sys.stderr)
+        return 2
     if not args.data and not args.resume:
         print("resolve needs --data (or --resume DIR)", file=sys.stderr)
         return 2
@@ -583,13 +599,42 @@ def _cmd_resolve(args: argparse.Namespace) -> int:
     from repro.parallel import ParallelConfig
 
     profiler = _profiler(args)
-    result = SnapsResolver(config).resolve(
-        dataset,
-        trace=trace,
-        metrics=metrics,
-        checkpoint=checkpoint,
-        parallel=ParallelConfig(workers=args.workers),
-    )
+    sharded = None
+    if args.shards is not None:
+        from repro.shard import resolve_sharded
+
+        # Shard count is an execution detail: it is not part of the
+        # config fingerprint, so a checkpoint taken serially resumes
+        # sharded (and vice versa), and the output stays byte-identical.
+        sharded = resolve_sharded(
+            dataset,
+            config,
+            n_shards=args.shards,
+            trace=trace,
+            metrics=metrics,
+            checkpoint=checkpoint,
+            parallel=ParallelConfig(workers=args.workers),
+        )
+        result = sharded.result
+        print(
+            f"sharded across {sharded.plan.n_shards} shard(s), plan "
+            f"{sharded.plan.fingerprint}: "
+            f"{sharded.n_boundary_pairs} boundary pair(s)"
+        )
+        for stat in sharded.shard_stats:
+            print(
+                f"  shard {stat['shard']}: {stat['records']} records "
+                f"(+{stat['passengers']} passengers), {stat['pairs']} pairs "
+                f"-> {stat['clusters']} clusters in {stat['elapsed']:.2f}s"
+            )
+    else:
+        result = SnapsResolver(config).resolve(
+            dataset,
+            trace=trace,
+            metrics=metrics,
+            checkpoint=checkpoint,
+            parallel=ParallelConfig(workers=args.workers),
+        )
     print(
         f"resolved {len(dataset)} records: |N_A|={result.n_atomic} "
         f"|N_R|={result.n_relational} in {result.timings.total():.1f}s"
@@ -609,8 +654,21 @@ def _cmd_resolve(args: argparse.Namespace) -> int:
     if args.snapshot_out:
         from repro.store import SnapshotStore
 
+        sidecar_writer = None
+        if sharded is not None:
+            from repro.store.shards import write_shard_sidecar
+
+            plan = sharded.plan
+            sidecar_writer = lambda directory: write_shard_sidecar(  # noqa: E731
+                directory, plan, result.entities
+            )
         manifest = SnapshotStore(args.snapshot_out).save(
-            result, graph=graph, config=config, trace=trace, metrics=metrics
+            result,
+            graph=graph,
+            config=config,
+            trace=trace,
+            metrics=metrics,
+            sidecar_writer=sidecar_writer,
         )
         print(
             f"snapshot {manifest.snapshot_id} "
@@ -952,10 +1010,14 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
                 )
             return 0
         if args.snapshot_command == "inspect":
+            from repro.store.shards import has_shard_sidecar, load_merge_manifest
+
             manifest = store.manifest(args.id)
+            depth = len(store.log(manifest.snapshot_id)) - 1
             print(f"snapshot {manifest.snapshot_id}")
             print(f"  schema version:     {manifest.schema_version}")
             print(f"  parent:             {manifest.parent or '(root)'}")
+            print(f"  chain depth:        {depth} ancestor(s) to root")
             print(f"  created:            {manifest.created_at}")
             print(f"  config fingerprint: {manifest.config_fingerprint}")
             print(
@@ -967,11 +1029,28 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
             for key, value in sorted(manifest.counts.items()):
                 print(f"  {key + ':':<19} {value}")
             print("  artifacts:")
+            total_bytes = 0
             for name, blob in sorted(manifest.artifacts.items()):
+                total_bytes += blob["bytes"]
                 print(
                     f"    {name:<16} {blob['path']:<22} "
                     f"{blob['bytes']:>9} B  sha256 {blob['sha256'][:16]}…"
                 )
+            print(f"    {'(total)':<16} {'':<22} {total_bytes:>9} B")
+            directory = store.path_of(manifest.snapshot_id)
+            if has_shard_sidecar(directory):
+                merge = load_merge_manifest(directory)
+                print(
+                    f"  shards:             {merge['n_shards']} "
+                    f"(partition {merge['partition_fingerprint']}, "
+                    f"{merge['covered_records']} covered records)"
+                )
+                for entry in sorted(merge["shards"], key=lambda e: e["shard"]):
+                    print(
+                        f"    shard {entry['shard']:<10} {entry['path']:<22} "
+                        f"{entry['bytes']:>9} B  {entry['records']} records, "
+                        f"{entry['clusters']} clusters"
+                    )
             return 0
         if args.snapshot_command == "verify":
             snapshot_id = args.id or store.latest()
@@ -1006,6 +1085,7 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
             trace=trace,
             metrics=metrics,
             workers=args.workers,
+            shards=args.shards,
         )
         stats = result.stats
         print(
@@ -1014,6 +1094,12 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
             f"({stats['dirty_records']}/{stats['combined_records']} records "
             f"dirty), replayed {stats['replayed_clusters']} clean clusters"
         )
+        if "shards_total" in stats:
+            print(
+                f"  shards: re-resolved {stats['shards_reresolved']}"
+                f"/{stats['shards_total']} dirty shard(s); the rest "
+                f"replayed untouched"
+            )
         print(
             f"snapshot {result.manifest.snapshot_id} written "
             f"(parent {result.manifest.parent})"
@@ -1124,7 +1210,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro.obs.logs import configure
 
         configure(args.verbose)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # Downstream pager/grep closed the pipe early (e.g.
+        # `repro snapshot inspect | head`); exit quietly like other
+        # well-behaved CLI tools.  Detach stdout so the interpreter's
+        # shutdown flush doesn't raise a second time.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141  # 128 + SIGPIPE
 
 
 if __name__ == "__main__":  # pragma: no cover

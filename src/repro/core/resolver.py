@@ -227,6 +227,7 @@ class SnapsResolver:
         store: EntityStore | None = None,
         checkpoint=None,
         parallel: "ParallelConfig | None" = None,
+        frequency_index: NameFrequencyIndex | None = None,
     ) -> LinkageResult:
         """Resolve ``dataset`` and return the linkage result.
 
@@ -340,7 +341,10 @@ class SnapsResolver:
                     )
                 else:
                     store = EntityStore(dataset)
-            frequency_index = NameFrequencyIndex(dataset)
+            # Shard workers pass the *global* dataset's index so Eq. (2)
+            # scores against full-population frequencies, not the shard's.
+            if frequency_index is None:
+                frequency_index = NameFrequencyIndex(dataset)
             scorer = PairScorer(dataset, config, self.registry, frequency_index)
             checker = ConstraintChecker(
                 temporal_slack_years=config.temporal_slack_years,

@@ -143,10 +143,21 @@ class PedigreeGraph:
 
 def build_pedigree_graph(dataset: Dataset, store: EntityStore) -> PedigreeGraph:
     """Algorithm 1: lift resolved entities and certificate relationships
-    into the pedigree graph."""
+    into the pedigree graph.
+
+    Pedigree entity ids are *canonical*: entities are ranked by their
+    smallest member record id and numbered 1..K.  ``EntityStore`` ids
+    depend on merge order (and therefore on worker/shard/ingest
+    schedules); re-ranking here makes the pedigree graph — and every
+    artefact serialized from it — a pure function of the dataset and the
+    final clustering, which is what lets sharded and incremental resolves
+    stay byte-identical to the serial path.
+    """
     graph = PedigreeGraph()
     # Pass 1: nodes — one per entity, carrying merged QID values.
     seen_entities: set[int] = set()
+    pending: list[PedigreeEntity] = []
+    canonical: dict[int, int] = {}  # store entity id -> canonical id
     for record in dataset:
         entity = store.entity_of(record.record_id)
         if entity.entity_id in seen_entities:
@@ -167,7 +178,7 @@ def build_pedigree_graph(dataset: Dataset, store: EntityStore) -> PedigreeGraph:
                 bucket = values.setdefault(attribute, [])
                 if value not in bucket:
                     bucket.append(value)
-        graph.add_entity(
+        pending.append(
             PedigreeEntity(
                 entity_id=entity.entity_id,
                 record_ids=tuple(sorted(entity.record_ids)),
@@ -179,11 +190,20 @@ def build_pedigree_graph(dataset: Dataset, store: EntityStore) -> PedigreeGraph:
                 roles=tuple(roles),
             )
         )
+    pending.sort(key=lambda e: e.record_ids[0])
+    for rank, entity in enumerate(pending, start=1):
+        canonical[entity.entity_id] = rank
+        entity.entity_id = rank
+        graph.add_entity(entity)
     # Pass 2: edges — from each certificate's relationship structure
     # (covers statutory certificates and census households alike).
     for cert in dataset.certificates.values():
         for rid_a, relationship, rid_b in cert.relationships():
             entity_a = store.entity_of(rid_a)
             entity_b = store.entity_of(rid_b)
-            graph.add_edge(entity_a.entity_id, relationship, entity_b.entity_id)
+            graph.add_edge(
+                canonical[entity_a.entity_id],
+                relationship,
+                canonical[entity_b.entity_id],
+            )
     return graph

@@ -1,0 +1,59 @@
+"""Cross-shard boundary extraction: every pair resolved exactly once.
+
+Given a pair list and a :class:`~repro.shard.partition.ShardPlan`,
+:func:`split_pairs` routes each closure component either
+
+* **in-shard** — all of the plan's records for the component live on one
+  shard, so the component's pairs go to that shard's list; or
+* **boundary** — the component's records span shards (possible when a
+  plan built against older evidence is reused, e.g. incremental ingest),
+  or contain records the plan has never seen.  *All* of the component's
+  pairs are pulled into the boundary set, which the orchestrator
+  resolves in the parent process against the merged per-shard clusters —
+  where those records are still singletons, exactly as the serial
+  resolver would first see them.
+
+Both per-shard lists and the boundary list preserve the global pair
+order (they are order-preserving subsequences), which is what keeps
+group iteration — and therefore merge order — identical to serial.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.data.records import Dataset
+from repro.shard.partition import ShardPlan, closure_union_find
+
+__all__ = ["split_pairs"]
+
+# Sentinel component target for pairs routed to the boundary pass.
+BOUNDARY = -1
+
+
+def split_pairs(
+    dataset: Dataset, pairs: list, plan: ShardPlan
+) -> tuple[list[list], list]:
+    """Split ``pairs`` into per-shard lists plus the boundary list.
+
+    Returns ``(shard_pairs, boundary_pairs)`` where ``shard_pairs[i]``
+    holds shard ``i``'s pairs in global order.  Every input pair lands in
+    exactly one output list (in-shard xor boundary).
+    """
+    uf = closure_union_find(dataset, pairs)
+    members = uf.groups()
+    target: dict[int, int] = {}
+    for root, component in members.items():
+        shards = {
+            plan.shard_of[rid] for rid in component if rid in plan.shard_of
+        }
+        target[root] = shards.pop() if len(shards) == 1 else BOUNDARY
+    shard_pairs: list[list] = [[] for _ in range(plan.n_shards)]
+    boundary: list = []
+    for pair in pairs:
+        shard = target[uf.find(pair.rid_a)]
+        if shard == BOUNDARY:
+            boundary.append(pair)
+        else:
+            shard_pairs[shard].append(pair)
+    return shard_pairs, boundary

@@ -1,0 +1,95 @@
+"""Submission-ordered execution of shard tasks over a process pool.
+
+Mirrors :class:`repro.parallel.pool.ChunkRunner`'s contract — results
+come back in task order, so pool scheduling never influences the merge —
+but ships a *different payload per task* (each shard's own records and
+pairs) instead of one shared payload.  Telemetry propagation is the
+PR-6 pattern: each task carries the parent's serialised
+:class:`~repro.obs.trace.TraceContext` plus a ``collect`` flag; workers
+answer with a detached span and a metrics-delta registry, grafted under
+the shard's wait span and merged into the parent registry — one span
+tree and one registry across all shard processes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.obs.metrics import LATENCY_BUCKETS_S, MetricsRegistry
+from repro.obs.trace import Trace
+from repro.parallel.config import available_cpus
+from repro.shard import worker
+
+__all__ = ["ShardRunner"]
+
+
+class ShardRunner:
+    """Runs shard tasks in-process or across a process pool."""
+
+    def __init__(
+        self,
+        workers: int,
+        trace: Trace | None = None,
+        metrics: MetricsRegistry | None = None,
+        oversubscribe: bool = False,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"ShardRunner needs workers >= 1, got {workers}")
+        self.workers = workers
+        # Like ParallelConfig: never oversubscribe a CPU-bound pool,
+        # except in tests that need the real pool on a small machine.
+        self.pool_workers = (
+            workers if oversubscribe else min(workers, available_cpus())
+        )
+        self.trace = trace if trace is not None else Trace.disabled()
+        self.metrics = metrics
+
+    def run(self, tasks: list[dict], label: str = "shard.resolve") -> list[dict]:
+        """Resolve every task; results return in submission order."""
+        ctx = self.trace.context(label=label)
+        ctx_dict = ctx.to_dict() if ctx is not None else None
+        collect = self.metrics is not None
+        if ctx_dict is not None or collect:
+            tasks = [
+                {**task, "ctx": ctx_dict, "collect": collect} for task in tasks
+            ]
+        results: list[dict] = []
+        if self.pool_workers == 1 or len(tasks) == 1:
+            for task in tasks:
+                with self.trace.span(f"shard.s{task['shard']}") as wait:
+                    result = worker.resolve_shard_task(task)
+                self._absorb(result, wait)
+                results.append(result)
+            return results
+        if "fork" in multiprocessing.get_all_start_methods():
+            mp_context = multiprocessing.get_context("fork")
+        else:  # pragma: no cover - non-fork platforms
+            mp_context = multiprocessing.get_context()
+        with ProcessPoolExecutor(
+            max_workers=min(self.pool_workers, len(tasks)),
+            mp_context=mp_context,
+        ) as pool:
+            futures = [
+                pool.submit(worker.resolve_shard_task, task) for task in tasks
+            ]
+            for task, future in zip(tasks, futures):
+                with self.trace.span(f"shard.s{task['shard']}") as wait:
+                    result = future.result()
+                self._absorb(result, wait)
+                results.append(result)
+        return results
+
+    def _absorb(self, result: dict, wait_span) -> None:
+        """Merge one shard result's telemetry into the parent's."""
+        node = result.pop("span", None)
+        if node is not None:
+            self.trace.attach(node, parent=wait_span)
+        wmetrics = result.pop("wmetrics", None)
+        if self.metrics is not None:
+            if wmetrics is not None:
+                self.metrics.merge(wmetrics)
+            self.metrics.inc("shard.resolved")
+            self.metrics.observe(
+                "shard.resolve_seconds", result["elapsed"], LATENCY_BUCKETS_S
+            )

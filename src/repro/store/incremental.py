@@ -103,6 +103,7 @@ class IncrementalResolver:
         trace: Trace | None = None,
         metrics: MetricsRegistry | None = None,
         workers: int | None = None,
+        shards: int | None = None,
     ) -> IngestResult:
         """Fold ``delta`` into the snapshot ``parent`` (default HEAD);
         returns the new child snapshot's manifest and linkage result.
@@ -110,8 +111,24 @@ class IncrementalResolver:
         ``workers`` selects the resolution path for the re-resolve step
         (0 = serial, N >= 1 = parallel, ``None`` = auto by dataset size);
         the output is byte-identical either way.
+
+        When the parent snapshot carries a shard sidecar, the dirty
+        closure is mapped onto the parent's partition: shards untouched
+        by the delta are never re-resolved (their clusters are replayed
+        verbatim), and ``stats`` reports ``shards_total`` /
+        ``shards_reresolved``.  The child snapshot gets a fresh sidecar
+        partitioned over the combined dataset, with ``shards``
+        overriding the inherited shard count.  ``shards`` on a parent
+        without a sidecar starts a sharded lineage.
         """
+        # Lazy: repro.shard pulls in the store layer and vice versa.
         from repro.parallel import ParallelConfig
+        from repro.shard.partition import build_shard_plan
+        from repro.store.shards import (
+            has_shard_sidecar,
+            load_shard_plan,
+            write_shard_sidecar,
+        )
 
         parallel = ParallelConfig(workers=workers)
         trace = trace if trace is not None else Trace.disabled()
@@ -133,6 +150,10 @@ class IncrementalResolver:
                 else base.manifest.similarity_threshold
             )
             resolver = SnapsResolver(config)
+            base_dir = self.store.path_of(base.manifest.snapshot_id)
+            parent_plan = (
+                load_shard_plan(base_dir) if has_shard_sidecar(base_dir) else None
+            )
             combined = concat_datasets(base.dataset, delta)
             delta_ids = set(delta.records)
             with trace.span("blocking"):
@@ -154,6 +175,19 @@ class IncrementalResolver:
                 len(pairs),
                 replayed,
             )
+            dirty_shards: set[int] = set()
+            if parent_plan is not None:
+                dirty_shards = {
+                    parent_plan.shard_of[rid]
+                    for rid in dirty_records
+                    if rid in parent_plan.shard_of
+                }
+                logger.info(
+                    "ingest %s: dirty closure touches %d/%d parent shards",
+                    delta.name,
+                    len(dirty_shards),
+                    parent_plan.n_shards,
+                )
             trace.annotate(
                 delta_records=len(delta_ids),
                 dirty_records=len(dirty_records),
@@ -169,6 +203,20 @@ class IncrementalResolver:
                     store=seeded,
                     parallel=parallel,
                 )
+            n_child_shards = (
+                shards
+                if shards is not None
+                else (parent_plan.n_shards if parent_plan is not None else None)
+            )
+            sidecar_writer = None
+            if n_child_shards is not None:
+                # The child partitions the *combined* dataset afresh: the
+                # delta's pairs may have fused parent components, and the
+                # sidecar must describe the snapshot it sits next to.
+                child_plan = build_shard_plan(combined, pairs, n_child_shards)
+                sidecar_writer = lambda directory: write_shard_sidecar(  # noqa: E731
+                    directory, child_plan, linkage.entities
+                )
             with trace.span("save"):
                 manifest = self.store.save(
                     linkage,
@@ -177,6 +225,7 @@ class IncrementalResolver:
                     config=config,
                     trace=trace,
                     metrics=metrics,
+                    sidecar_writer=sidecar_writer,
                 )
         stats = {
             "delta_records": len(delta_ids),
@@ -186,6 +235,9 @@ class IncrementalResolver:
             "dirty_pairs": len(dirty_pairs),
             "replayed_clusters": replayed,
         }
+        if parent_plan is not None:
+            stats["shards_total"] = parent_plan.n_shards
+            stats["shards_reresolved"] = len(dirty_shards)
         if metrics is not None:
             metrics.inc("store.ingests")
             metrics.inc("store.ingest.delta_records", len(delta_ids))
@@ -195,6 +247,12 @@ class IncrementalResolver:
                 "store.ingest.dirty_fraction",
                 len(dirty_records) / max(1, len(combined)),
             )
+            if parent_plan is not None:
+                metrics.inc("store.ingest.shards_reresolved", len(dirty_shards))
+                metrics.inc(
+                    "store.ingest.shards_skipped",
+                    parent_plan.n_shards - len(dirty_shards),
+                )
         return IngestResult(manifest=manifest, linkage=linkage, stats=stats)
 
     # ------------------------------------------------------------------

@@ -1,0 +1,232 @@
+"""Shard-aware snapshot sidecar: per-shard artefacts + merge manifest.
+
+A sharded resolve leaves, next to the ordinary snapshot payloads, a
+``shards/`` sidecar directory:
+
+.. code-block:: text
+
+    snapshots/<id>/shards/
+      merge-manifest.json       # schema version, per-shard SHA-256,
+                                # partition fingerprint
+      shard-0000.json           # shard 0's record assignment + clusters
+      shard-0001.json
+      ...
+
+Each per-shard payload holds the records the partition assigned to that
+shard and the final clusters restricted to them — enough for
+:class:`~repro.store.incremental.IncrementalResolver` to map a delta's
+dirty closure onto parent shards and re-resolve only the dirty ones.
+The sidecar is deliberately **excluded from the snapshot's content
+address**: artefact bytes are identical across shard counts (that is
+the parity guarantee), so two resolves of the same dataset must produce
+the same snapshot id whether they ran serial, 2-sharded, or 8-sharded.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.entities import EntityStore
+from repro.shard.partition import ShardPlan
+from repro.store.manifest import (
+    SnapshotIntegrityError,
+    SnapshotSchemaError,
+    file_sha256,
+)
+
+__all__ = [
+    "MERGE_MANIFEST_FILENAME",
+    "SHARDS_DIRNAME",
+    "SHARD_SCHEMA_VERSION",
+    "has_shard_sidecar",
+    "load_merge_manifest",
+    "load_shard_payload",
+    "load_shard_plan",
+    "shard_clusters",
+    "verify_shard_sidecar",
+    "write_shard_sidecar",
+]
+
+SHARDS_DIRNAME = "shards"
+MERGE_MANIFEST_FILENAME = "merge-manifest.json"
+_MERGE_FORMAT = "snaps-shard-merge"
+_SHARD_FORMAT = "snaps-shard"
+SHARD_SCHEMA_VERSION = 1
+
+
+def _shard_filename(index: int) -> str:
+    return f"shard-{index:04d}.json"
+
+
+def shard_clusters(entities: EntityStore, plan: ShardPlan) -> list[list[dict]]:
+    """Final non-singleton clusters restricted to each shard.
+
+    Merges only happen along candidate pairs, so every cluster lies
+    within one closure component — and a plan built for this resolve
+    keeps components whole, so assigning a cluster by its smallest
+    record id is assigning it by all of them.
+    """
+    buckets: list[list[dict]] = [[] for _ in range(plan.n_shards)]
+    for entity in sorted(
+        entities.entities(min_size=2), key=lambda entity: min(entity.record_ids)
+    ):
+        shard = plan.shard_of.get(min(entity.record_ids))
+        if shard is None:
+            continue
+        buckets[shard].append(
+            {
+                "records": sorted(entity.record_ids),
+                "links": sorted(list(link) for link in entity.links),
+            }
+        )
+    return buckets
+
+
+def write_shard_sidecar(
+    directory: Path, plan: ShardPlan, entities: EntityStore
+) -> dict:
+    """Write the ``shards/`` sidecar into a snapshot ``directory``.
+
+    Returns the merge-manifest blob.  Meant to run against the
+    snapshot's temporary assembly directory (see
+    ``SnapshotStore.save(sidecar_writer=...)``) so the sidecar commits
+    atomically with the snapshot itself.
+    """
+    shards_dir = directory / SHARDS_DIRNAME
+    shards_dir.mkdir(parents=True, exist_ok=True)
+    buckets = shard_clusters(entities, plan)
+    entries = []
+    for index in range(plan.n_shards):
+        payload = {
+            "format": _SHARD_FORMAT,
+            "schema_version": SHARD_SCHEMA_VERSION,
+            "shard": index,
+            "records": plan.shard_records[index],
+            "clusters": buckets[index],
+        }
+        path = shards_dir / _shard_filename(index)
+        path.write_text(json.dumps(payload))
+        entries.append(
+            {
+                "shard": index,
+                "path": _shard_filename(index),
+                "sha256": file_sha256(path),
+                "bytes": path.stat().st_size,
+                "records": len(plan.shard_records[index]),
+                "clusters": len(buckets[index]),
+            }
+        )
+    manifest = {
+        "format": _MERGE_FORMAT,
+        "schema_version": SHARD_SCHEMA_VERSION,
+        "n_shards": plan.n_shards,
+        "partition_fingerprint": plan.fingerprint,
+        "covered_records": plan.covered_records(),
+        "shards": entries,
+    }
+    (shards_dir / MERGE_MANIFEST_FILENAME).write_text(
+        json.dumps(manifest, indent=2, sort_keys=True)
+    )
+    return manifest
+
+
+def has_shard_sidecar(directory: Path) -> bool:
+    """Whether a snapshot directory carries a shard sidecar."""
+    return (directory / SHARDS_DIRNAME / MERGE_MANIFEST_FILENAME).exists()
+
+
+def load_merge_manifest(directory: Path) -> dict:
+    """Read and validate a snapshot's shard merge manifest."""
+    path = directory / SHARDS_DIRNAME / MERGE_MANIFEST_FILENAME
+    try:
+        blob = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise SnapshotIntegrityError(f"missing shard merge manifest: {path}") from None
+    except json.JSONDecodeError as exc:
+        raise SnapshotIntegrityError(
+            f"corrupt shard merge manifest {path}: {exc}"
+        ) from None
+    if blob.get("format") != _MERGE_FORMAT:
+        raise SnapshotSchemaError(
+            f"not a shard merge manifest (format={blob.get('format')!r})"
+        )
+    if blob.get("schema_version") != SHARD_SCHEMA_VERSION:
+        raise SnapshotSchemaError(
+            f"unsupported shard merge manifest version "
+            f"{blob.get('schema_version')!r} (this build reads "
+            f"{SHARD_SCHEMA_VERSION})"
+        )
+    return blob
+
+
+def load_shard_payload(directory: Path, index: int, verify: bool = True) -> dict:
+    """One shard's payload, checksum-verified against the merge manifest."""
+    manifest = load_merge_manifest(directory)
+    try:
+        entry = next(e for e in manifest["shards"] if e["shard"] == index)
+    except StopIteration:
+        raise SnapshotIntegrityError(
+            f"merge manifest lists no shard {index}"
+        ) from None
+    path = directory / SHARDS_DIRNAME / entry["path"]
+    if verify:
+        if not path.exists():
+            raise SnapshotIntegrityError(f"missing shard payload {path}")
+        actual = file_sha256(path)
+        if actual != entry["sha256"]:
+            raise SnapshotIntegrityError(
+                f"shard payload {entry['path']} is corrupt (manifest sha256 "
+                f"{entry['sha256'][:12]}…, on disk {actual[:12]}…)"
+            )
+    blob = json.loads(path.read_text())
+    if blob.get("format") != _SHARD_FORMAT:
+        raise SnapshotSchemaError(
+            f"not a shard payload (format={blob.get('format')!r})"
+        )
+    return blob
+
+
+def load_shard_plan(directory: Path, verify: bool = True) -> ShardPlan:
+    """Rebuild the partition a snapshot's sidecar records."""
+    manifest = load_merge_manifest(directory)
+    records = [
+        load_shard_payload(directory, entry["shard"], verify=verify)["records"]
+        for entry in sorted(manifest["shards"], key=lambda e: e["shard"])
+    ]
+    plan = ShardPlan(int(manifest["n_shards"]), records)
+    stored = manifest.get("partition_fingerprint")
+    if stored is not None and stored != plan.fingerprint:
+        raise SnapshotIntegrityError(
+            f"shard partition fingerprint mismatch (manifest {stored}, "
+            f"recomputed {plan.fingerprint})"
+        )
+    return plan
+
+
+def verify_shard_sidecar(directory: Path) -> list[str]:
+    """Human-readable sidecar problems; empty means intact or absent."""
+    if not has_shard_sidecar(directory):
+        return []
+    problems: list[str] = []
+    try:
+        manifest = load_merge_manifest(directory)
+    except (SnapshotIntegrityError, SnapshotSchemaError) as exc:
+        return [f"shards: {exc}"]
+    for entry in manifest.get("shards", []):
+        path = directory / SHARDS_DIRNAME / entry["path"]
+        if not path.exists():
+            problems.append(f"shards: missing payload {entry['path']}")
+            continue
+        actual = file_sha256(path)
+        if actual != entry["sha256"]:
+            problems.append(
+                f"shards: {entry['path']} checksum mismatch "
+                f"(manifest {entry['sha256'][:12]}…, disk {actual[:12]}…)"
+            )
+    if not problems:
+        try:
+            load_shard_plan(directory)
+        except (SnapshotIntegrityError, SnapshotSchemaError, ValueError) as exc:
+            problems.append(f"shards: {exc}")
+    return problems

@@ -240,6 +240,9 @@ class SnapshotStore:
                 f"content address mismatch: manifest id {manifest.snapshot_id}, "
                 f"recomputed {expected_id}"
             )
+        from repro.store.shards import verify_shard_sidecar
+
+        problems.extend(verify_shard_sidecar(directory))
         return problems
 
     def _resolve_id(self, snapshot_id: str | None) -> str:
@@ -270,6 +273,7 @@ class SnapshotStore:
         config=None,
         trace: Trace | None = None,
         metrics: MetricsRegistry | None = None,
+        sidecar_writer=None,
     ) -> Manifest:
         """Persist one resolver run as a new snapshot; returns its manifest.
 
@@ -278,6 +282,13 @@ class SnapshotStore:
         is derived here from ``result``.  ``parent`` links the snapshot
         into a lineage (incremental ingest sets it).  ``config`` defaults
         to the paper configuration when the result does not carry one.
+
+        ``sidecar_writer`` is called with the snapshot's assembly
+        directory after the payloads are written, so auxiliary data (the
+        shard sidecar — see :mod:`repro.store.shards`) commits atomically
+        with the snapshot.  Sidecar files are *not* part of the content
+        address: artefact bytes are identical across shard counts, and so
+        must be the snapshot id.
         """
         from repro.core.config import SnapsConfig
 
@@ -322,6 +333,9 @@ class SnapshotStore:
                     codecs.save_sim_indexes(
                         sim_index, tmp / _ARTIFACT_FILES["simindex"]
                     )
+                if sidecar_writer is not None:
+                    with trace.span("sidecar"):
+                        sidecar_writer(tmp)
                 with trace.span("manifest"):
                     artifacts = {
                         name: {
@@ -369,7 +383,16 @@ class SnapshotStore:
                     final = self.path_of(snapshot_id)
                     if final.exists():
                         # Content-addressed: identical content already
-                        # stored; keep the existing directory.
+                        # stored; keep the existing directory.  A fresh
+                        # sidecar still moves in if the stored snapshot
+                        # lacks one (a serial save followed by a sharded
+                        # one lands on the same id).
+                        from repro.store.shards import SHARDS_DIRNAME
+
+                        tmp_sidecar = tmp / SHARDS_DIRNAME
+                        final_sidecar = final / SHARDS_DIRNAME
+                        if tmp_sidecar.is_dir() and not final_sidecar.exists():
+                            os.replace(tmp_sidecar, final_sidecar)
                         shutil.rmtree(tmp)
                         logger.info("snapshot %s already exists; reusing", snapshot_id)
                     else:
