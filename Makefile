@@ -1,6 +1,6 @@
 # Developer entry points for the SNAPS reproduction.
 
-.PHONY: install test verify serve-smoke stream-smoke obs-smoke shard-smoke chaos bench bench-full examples clean
+.PHONY: install test verify serve-smoke stream-smoke obs-smoke shard-smoke supervise-smoke chaos bench bench-full examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -33,6 +33,7 @@ verify:
 	$(MAKE) serve-smoke
 	$(MAKE) stream-smoke
 	$(MAKE) shard-smoke
+	$(MAKE) supervise-smoke
 
 # Fault-tolerance gate: the fault substrate's unit tests plus the chaos
 # suites — crash-resume at every checkpoint boundary must be
@@ -42,7 +43,7 @@ chaos:
 	PYTHONPATH=src python -m pytest -q tests/test_faults.py \
 		tests/test_checkpoint.py tests/test_data_validate.py \
 		tests/test_chaos_pipeline.py tests/test_chaos_serve.py \
-		tests/test_stream.py
+		tests/test_stream.py tests/test_supervise.py
 
 # Boot the HTTP serving subsystem on an in-process tiny graph, hit
 # /healthz, /v1/search (checked against the offline engine), a pedigree,
@@ -125,6 +126,47 @@ shard-smoke:
 		--data $(SHARD_TMP)/delta | tee $(SHARD_TMP)/ingest.out; \
 	grep -q "re-resolved 1/4 dirty shard" $(SHARD_TMP)/ingest.out; \
 	PYTHONPATH=src python -m repro snapshot verify --store $(SHARD_TMP)/store-ingest
+
+# Supervised-execution gate: a worker killed (or hung) mid-resolve must
+# recover to byte-identical output with the restart counted in the run
+# report; a poison task must leave a quarantine artifact and an
+# actionable error; injected ENOSPC during snapshot commit must abort
+# with a hint and leave no partial snapshot.  SNAPS_OVERSUBSCRIBE lifts
+# the pool-size CPU clamp so the real multi-worker pool runs even on
+# 1-CPU CI boxes.  Artefacts stay in $(SUPERVISE_TMP) for CI upload.
+SUPERVISE_TMP = /tmp/snaps-supervise-smoke
+
+supervise-smoke:
+	rm -rf $(SUPERVISE_TMP) && mkdir -p $(SUPERVISE_TMP); \
+	set -e; \
+	PYTHONPATH=src python -m repro simulate --dataset tiny --out $(SUPERVISE_TMP)/data; \
+	PYTHONPATH=src python -m repro resolve --data $(SUPERVISE_TMP)/data \
+		--workers 0 --out $(SUPERVISE_TMP)/serial.json; \
+	SNAPS_OVERSUBSCRIBE=1 SNAPS_FAULTS='supervise.task.score.t0.a0:worker_crash' \
+		PYTHONPATH=src python -m repro resolve --data $(SUPERVISE_TMP)/data \
+		--workers 2 --out $(SUPERVISE_TMP)/crash.json \
+		--metrics-out $(SUPERVISE_TMP)/crash-run.json; \
+	cmp $(SUPERVISE_TMP)/serial.json $(SUPERVISE_TMP)/crash.json; \
+	grep -q '"supervise.restarts": 1' $(SUPERVISE_TMP)/crash-run.json; \
+	SNAPS_OVERSUBSCRIBE=1 SNAPS_FAULTS='supervise.task.score.t0.a0:hang:latency_s=30' \
+		PYTHONPATH=src python -m repro resolve --data $(SUPERVISE_TMP)/data \
+		--workers 2 --task-timeout 1 --out $(SUPERVISE_TMP)/hang.json \
+		--metrics-out $(SUPERVISE_TMP)/hang-run.json; \
+	cmp $(SUPERVISE_TMP)/serial.json $(SUPERVISE_TMP)/hang.json; \
+	grep -q '"supervise.hung_tasks": 1' $(SUPERVISE_TMP)/hang-run.json; \
+	SNAPS_OVERSUBSCRIBE=1 SNAPS_FAULTS='supervise.task.score.t0.a*:error:times=none' \
+		PYTHONPATH=src python -m repro resolve --data $(SUPERVISE_TMP)/data \
+		--workers 2 --task-retries 0 --quarantine-dir $(SUPERVISE_TMP)/quarantine \
+		--out $(SUPERVISE_TMP)/poison.json 2>$(SUPERVISE_TMP)/poison.err \
+		&& exit 1 || test $$? -eq 2; \
+	grep -q "quarantined" $(SUPERVISE_TMP)/poison.err; \
+	test -s $(SUPERVISE_TMP)/quarantine/tasks.jsonl; \
+	SNAPS_FAULTS='store.save.payloads:enospc' \
+		PYTHONPATH=src python -m repro resolve --data $(SUPERVISE_TMP)/data \
+		--snapshot-out $(SUPERVISE_TMP)/store 2>$(SUPERVISE_TMP)/enospc.err \
+		&& exit 1 || test $$? -eq 2; \
+	grep -q "free disk space" $(SUPERVISE_TMP)/enospc.err; \
+	test ! -d $(SUPERVISE_TMP)/store/snapshots || test -z "$$(ls -A $(SUPERVISE_TMP)/store/snapshots)"
 
 # The full evaluation harness: one bench per paper table/figure plus the
 # design-choice ablations.  REPRO_BENCH_SCALE=1.0 approximates paper-sized

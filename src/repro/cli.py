@@ -120,6 +120,26 @@ def build_parser() -> argparse.ArgumentParser:
             help="write the per-row quarantine report as JSONL",
         )
 
+    def add_supervise_flags(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "--task-timeout", type=float, default=None, metavar="SECONDS",
+            help="per-task deadline for pool workers; a task running "
+            "longer is killed and re-executed (default: no deadline; "
+            "also via SNAPS_TASK_TIMEOUT)",
+        )
+        command.add_argument(
+            "--task-retries", type=int, default=None, metavar="K",
+            help="re-execution budget per crashed/hung/failed task "
+            "before it is quarantined (default: 2; also via "
+            "SNAPS_TASK_RETRIES)",
+        )
+        command.add_argument(
+            "--quarantine-dir", metavar="DIR",
+            help="where poison-task artifacts (tasks.jsonl) are written "
+            "(default: <tmp>/snaps-quarantine; also via "
+            "SNAPS_QUARANTINE_DIR)",
+        )
+
     resolve = sub.add_parser("resolve", help="run offline ER, save pedigree graph")
     resolve.add_argument("--data", help="dataset CSV stem")
     resolve.add_argument("--out", help="pedigree graph JSON path")
@@ -158,6 +178,7 @@ def build_parser() -> argparse.ArgumentParser:
         "(dataset and flags are restored from the checkpoint)",
     )
     add_validation_flags(resolve)
+    add_supervise_flags(resolve)
     add_telemetry_flags(resolve)
 
     query = sub.add_parser("query", help="search the pedigree graph")
@@ -372,6 +393,7 @@ def build_parser() -> argparse.ArgumentParser:
         "inherit the parent snapshot's partition)",
     )
     add_validation_flags(snap_ingest)
+    add_supervise_flags(snap_ingest)
     add_telemetry_flags(snap_ingest)
 
     stream = sub.add_parser(
@@ -427,7 +449,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-batches", type=int, default=None, metavar="N",
         help="stop after ingesting N batches",
     )
+    stream.add_argument(
+        "--journal-max-entries", type=int, default=None, metavar="N",
+        help="compact the ingest journal whenever its live entry count "
+        "exceeds N (settled windows fold into a state header; "
+        "exactly-once is preserved; default: never compact)",
+    )
     add_validation_flags(stream)
+    add_supervise_flags(stream)
     add_telemetry_flags(stream)
     return parser
 
@@ -539,12 +568,69 @@ def _load_checked(args: argparse.Namespace, metrics=None):
     return dataset
 
 
+def _supervise_config(args: argparse.Namespace):
+    """Worker-supervision config from flags, layered over the SNAPS_TASK_*
+    environment (flags win where given)."""
+    import dataclasses
+
+    from repro.supervise import SuperviseConfig
+
+    config = SuperviseConfig.from_env()
+    overrides = {}
+    if getattr(args, "task_timeout", None) is not None:
+        overrides["task_timeout_s"] = args.task_timeout
+    if getattr(args, "task_retries", None) is not None:
+        overrides["max_task_retries"] = args.task_retries
+    if getattr(args, "quarantine_dir", None):
+        overrides["quarantine_dir"] = args.quarantine_dir
+    return dataclasses.replace(config, **overrides) if overrides else config
+
+
+def _parallel_config(args: argparse.Namespace):
+    """ParallelConfig carrying the worker count plus supervision knobs.
+
+    SNAPS_OVERSUBSCRIBE=1 lifts the pool-size CPU clamp so multi-worker
+    chaos/smoke runs exercise real pools even on single-CPU boxes.
+    """
+    from repro.parallel import ParallelConfig
+
+    return ParallelConfig(
+        workers=args.workers,
+        oversubscribe=os.environ.get("SNAPS_OVERSUBSCRIBE") == "1",
+        supervise=_supervise_config(args),
+    )
+
+
+def _install_stop_handlers(checkpoint) -> None:
+    """Route SIGINT/SIGTERM to the checkpointer as a graceful-stop
+    request: the in-flight phase finishes and commits, then the run
+    exits 128+signum with a --resume hint."""
+    import signal
+
+    def _handler(signum: int, frame) -> None:  # pragma: no cover - signal
+        checkpoint.request_stop(signum)
+        print(
+            f"received signal {signum}: finishing the current phase, "
+            "committing it, then stopping",
+            file=sys.stderr,
+        )
+
+    signal.signal(signal.SIGINT, _handler)
+    signal.signal(signal.SIGTERM, _handler)
+
+
 def _cmd_resolve(args: argparse.Namespace) -> int:
     from repro.core import SnapsConfig, SnapsResolver
-    from repro.core.checkpoint import CheckpointError, ResolveCheckpointer
+    from repro.core.checkpoint import (
+        CheckpointError,
+        GracefulExit,
+        ResolveCheckpointer,
+    )
     from repro.data import DatasetLoadError
     from repro.eval import evaluate_linkage
+    from repro.faults import ResourceFault
     from repro.pedigree import build_pedigree_graph, save_pedigree_graph
+    from repro.supervise import TaskQuarantinedError
 
     if not args.out and not args.snapshot_out:
         print(
@@ -596,45 +682,61 @@ def _cmd_resolve(args: argparse.Namespace) -> int:
     except CheckpointError as error:
         print(f"checkpoint error: {error}", file=sys.stderr)
         return 2
-    from repro.parallel import ParallelConfig
+    if checkpoint is not None:
+        _install_stop_handlers(checkpoint)
 
+    parallel = _parallel_config(args)
     profiler = _profiler(args)
     sharded = None
-    if args.shards is not None:
-        from repro.shard import resolve_sharded
+    try:
+        if args.shards is not None:
+            from repro.shard import resolve_sharded
 
-        # Shard count is an execution detail: it is not part of the
-        # config fingerprint, so a checkpoint taken serially resumes
-        # sharded (and vice versa), and the output stays byte-identical.
-        sharded = resolve_sharded(
-            dataset,
-            config,
-            n_shards=args.shards,
-            trace=trace,
-            metrics=metrics,
-            checkpoint=checkpoint,
-            parallel=ParallelConfig(workers=args.workers),
-        )
-        result = sharded.result
-        print(
-            f"sharded across {sharded.plan.n_shards} shard(s), plan "
-            f"{sharded.plan.fingerprint}: "
-            f"{sharded.n_boundary_pairs} boundary pair(s)"
-        )
-        for stat in sharded.shard_stats:
-            print(
-                f"  shard {stat['shard']}: {stat['records']} records "
-                f"(+{stat['passengers']} passengers), {stat['pairs']} pairs "
-                f"-> {stat['clusters']} clusters in {stat['elapsed']:.2f}s"
+            # Shard count is an execution detail: it is not part of the
+            # config fingerprint, so a checkpoint taken serially resumes
+            # sharded (and vice versa), and the output stays byte-identical.
+            sharded = resolve_sharded(
+                dataset,
+                config,
+                n_shards=args.shards,
+                trace=trace,
+                metrics=metrics,
+                checkpoint=checkpoint,
+                parallel=parallel,
             )
-    else:
-        result = SnapsResolver(config).resolve(
-            dataset,
-            trace=trace,
-            metrics=metrics,
-            checkpoint=checkpoint,
-            parallel=ParallelConfig(workers=args.workers),
+            result = sharded.result
+            print(
+                f"sharded across {sharded.plan.n_shards} shard(s), plan "
+                f"{sharded.plan.fingerprint}: "
+                f"{sharded.n_boundary_pairs} boundary pair(s)"
+            )
+            for stat in sharded.shard_stats:
+                print(
+                    f"  shard {stat['shard']}: {stat['records']} records "
+                    f"(+{stat['passengers']} passengers), {stat['pairs']} pairs "
+                    f"-> {stat['clusters']} clusters in {stat['elapsed']:.2f}s"
+                )
+        else:
+            result = SnapsResolver(config).resolve(
+                dataset,
+                trace=trace,
+                metrics=metrics,
+                checkpoint=checkpoint,
+                parallel=parallel,
+            )
+    except GracefulExit as stop:
+        print(
+            f"{stop}; resume with: repro resolve --resume "
+            f"{args.checkpoint or args.resume}",
+            file=sys.stderr,
         )
+        return 128 + stop.signum
+    except TaskQuarantinedError as error:
+        print(f"supervised execution error: {error}", file=sys.stderr)
+        return 2
+    except ResourceFault as error:
+        print(f"resource error: {error}", file=sys.stderr)
+        return 2
     print(
         f"resolved {len(dataset)} records: |N_A|={result.n_atomic} "
         f"|N_R|={result.n_relational} in {result.timings.total():.1f}s"
@@ -662,14 +764,18 @@ def _cmd_resolve(args: argparse.Namespace) -> int:
             sidecar_writer = lambda directory: write_shard_sidecar(  # noqa: E731
                 directory, plan, result.entities
             )
-        manifest = SnapshotStore(args.snapshot_out).save(
-            result,
-            graph=graph,
-            config=config,
-            trace=trace,
-            metrics=metrics,
-            sidecar_writer=sidecar_writer,
-        )
+        try:
+            manifest = SnapshotStore(args.snapshot_out).save(
+                result,
+                graph=graph,
+                config=config,
+                trace=trace,
+                metrics=metrics,
+                sidecar_writer=sidecar_writer,
+            )
+        except ResourceFault as error:
+            print(f"resource error: {error}", file=sys.stderr)
+            return 2
         print(
             f"snapshot {manifest.snapshot_id} "
             f"({manifest.counts['entities']} entities) written to "
@@ -1079,14 +1185,25 @@ def _cmd_snapshot(args: argparse.Namespace) -> int:
                 )
             return 2
         profiler = _profiler(args)
-        result = IncrementalResolver(store).ingest(
-            delta,
-            parent=args.parent,
-            trace=trace,
-            metrics=metrics,
-            workers=args.workers,
-            shards=args.shards,
-        )
+        from repro.faults import ResourceFault
+        from repro.supervise import TaskQuarantinedError
+
+        try:
+            result = IncrementalResolver(store).ingest(
+                delta,
+                parent=args.parent,
+                trace=trace,
+                metrics=metrics,
+                workers=args.workers,
+                shards=args.shards,
+                supervise=_supervise_config(args),
+            )
+        except TaskQuarantinedError as error:
+            print(f"supervised execution error: {error}", file=sys.stderr)
+            return 2
+        except ResourceFault as error:
+            print(f"resource error: {error}", file=sys.stderr)
+            return 2
         stats = result.stats
         print(
             f"ingested {stats['delta_records']} delta records: re-resolved "
@@ -1135,6 +1252,8 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             require_ready=args.require_ready,
             drain=args.drain,
             max_batches=args.max_batches,
+            journal_max_entries=args.journal_max_entries,
+            supervise=_supervise_config(args),
         )
     except ValueError as error:
         print(f"stream error: {error}", file=sys.stderr)

@@ -43,6 +43,7 @@ from repro.core.config import SnapsConfig
 from repro.data.loader import load_dataset_csv, save_dataset_csv
 from repro.data.records import Dataset
 from repro.faults import corrupt_write, fire
+from repro.faults.resources import as_resource_fault, check_free_space
 from repro.faults.taxonomy import DataFault
 from repro.obs.logs import get_logger
 from repro.store import codecs
@@ -57,7 +58,12 @@ if TYPE_CHECKING:  # pragma: no cover - hints only
     from repro.blocking.candidates import CandidatePair
     from repro.core.entities import EntityStore
 
-__all__ = ["CheckpointError", "ResolveCheckpointer", "pipeline_phases"]
+__all__ = [
+    "CheckpointError",
+    "GracefulExit",
+    "ResolveCheckpointer",
+    "pipeline_phases",
+]
 
 logger = get_logger("core.checkpoint")
 
@@ -77,6 +83,23 @@ class CheckpointError(DataFault):
     """A checkpoint directory is unusable for the requested operation."""
 
 
+class GracefulExit(Exception):
+    """A stop signal arrived and the in-flight phase has been committed.
+
+    Raised by :meth:`ResolveCheckpointer.check_stop` at the first phase
+    boundary after :meth:`ResolveCheckpointer.request_stop` — i.e. only
+    once the phase's checkpoint is durably on disk, so ``--resume``
+    continues from exactly here with byte-identical final output.
+    """
+
+    def __init__(self, signum: int, phase: str):
+        super().__init__(
+            f"stopped by signal {signum} after committing phase {phase!r}"
+        )
+        self.signum = signum
+        self.phase = phase
+
+
 def pipeline_phases(config: SnapsConfig) -> tuple[str, ...]:
     """The phases a resolver run under ``config`` will execute."""
     phases = ["blocking", "bootstrap"]
@@ -94,6 +117,39 @@ class ResolveCheckpointer:
     def __init__(self, directory: str | Path, phases: tuple[str, ...]) -> None:
         self.directory = Path(directory)
         self.phases = phases
+        self._stop_signum: int | None = None
+
+    # ------------------------------------------------------------------
+    # Graceful stop (SIGTERM/SIGINT drain)
+    # ------------------------------------------------------------------
+
+    def request_stop(self, signum: int) -> None:
+        """Note a stop signal; honoured at the next phase boundary.
+
+        Safe to call from a signal handler: it only sets a flag.  The
+        resolver keeps running until the in-flight phase's checkpoint is
+        durably committed, then :meth:`check_stop` raises
+        :class:`GracefulExit` — never mid-phase, never mid-commit.
+        """
+        self._stop_signum = signum
+
+    @property
+    def stop_requested(self) -> bool:
+        return self._stop_signum is not None
+
+    def check_stop(self, phase: str) -> None:
+        """Raise :class:`GracefulExit` if a stop was requested.
+
+        Call immediately *after* committing ``phase`` so the exception
+        always means "resume will pick up from here".
+        """
+        if self._stop_signum is not None:
+            logger.info(
+                "graceful stop: phase %s committed, exiting on signal %d",
+                phase,
+                self._stop_signum,
+            )
+            raise GracefulExit(self._stop_signum, phase)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -265,6 +321,7 @@ class ResolveCheckpointer:
             )
         payload = self._payload_path(phase)
         payload.parent.mkdir(parents=True, exist_ok=True)
+        check_free_space(payload.parent, 1 << 20, "resolve checkpoint")
         fd, tmp_name = tempfile.mkstemp(prefix=".tmp-", dir=payload.parent)
         os.close(fd)
         tmp = Path(tmp_name)
@@ -272,8 +329,16 @@ class ResolveCheckpointer:
             write_payload(tmp)
             fire(f"checkpoint.commit.{phase}")
             os.replace(tmp, payload)
-        except BaseException:
+        except BaseException as exc:
             tmp.unlink(missing_ok=True)
+            fault = as_resource_fault(
+                exc,
+                f"checkpoint commit for phase {phase!r}",
+                "the phase was not committed and earlier checkpoints are "
+                "intact; free disk space and re-run with --resume",
+            )
+            if fault is not None:
+                raise fault from exc
             raise
         self._atomic_write(self._marker_path(phase), file_sha256(payload) + "\n")
         logger.info("checkpointed phase %s (%s)", phase, payload.name)

@@ -293,8 +293,10 @@ class SnapsResolver:
                     logger.info("blocking produced %d candidate pairs", len(pairs))
                     if checkpoint is not None:
                         checkpoint.save_pairs(pairs)
+                        checkpoint.check_stop("blocking")
             elif checkpoint is not None and "blocking" not in completed:
                 checkpoint.save_pairs(pairs)
+                checkpoint.check_stop("blocking")
             seeds = None
             with trace.span("graph"), timings.phase("graph_generation"):
                 if workers >= 1:
@@ -360,6 +362,9 @@ class SnapsResolver:
             def commit(phase: str) -> None:
                 if checkpoint is not None:
                     checkpoint.save_state(phase, store, run_stats)
+                    # A SIGTERM/SIGINT requested mid-phase drains here:
+                    # the phase just committed, so resume is loss-free.
+                    checkpoint.check_stop(phase)
 
             refinement = RefinementStats(**run_stats["refinement"])
 

@@ -27,15 +27,23 @@ from repro.faults.inject import (
     parse_specs,
     uninstall,
 )
+from repro.faults.resources import (
+    as_resource_fault,
+    check_free_space,
+    free_bytes,
+    is_exhaustion,
+)
 from repro.faults.retry import RetryPolicy
 from repro.faults.taxonomy import (
     CATEGORIES,
     DATA,
     PERMANENT,
+    RESOURCE,
     TRANSIENT,
     DataFault,
     FaultError,
     PermanentFault,
+    ResourceFault,
     TransientFault,
     classify,
     register,
@@ -49,6 +57,7 @@ __all__ = [
     "HALF_OPEN",
     "OPEN",
     "PERMANENT",
+    "RESOURCE",
     "TRANSIENT",
     "CircuitBreaker",
     "CircuitOpen",
@@ -58,11 +67,16 @@ __all__ = [
     "FaultSpec",
     "InjectedFault",
     "PermanentFault",
+    "ResourceFault",
     "RetryPolicy",
     "TransientFault",
     "active",
+    "as_resource_fault",
+    "check_free_space",
     "classify",
     "corrupt_write",
+    "free_bytes",
+    "is_exhaustion",
     "fire",
     "injected",
     "install",

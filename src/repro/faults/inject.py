@@ -26,10 +26,31 @@ Modes: ``error`` raises :class:`InjectedFault`, ``latency`` sleeps
 ``latency_s`` then proceeds, ``torn_write`` (honoured only by
 :func:`corrupt_write` call sites) truncates the target file to half its
 bytes and then raises — simulating a crash mid-flush.
+
+Three modes exist for supervised-execution chaos (``repro.supervise``):
+
+``worker_crash``
+    ``os._exit(86)`` — the process dies without cleanup, exactly like a
+    segfault or an OOM kill.  As a safety net it only *exits* when fired
+    in a process other than the one that built the injector (i.e. a pool
+    worker); fired in the supervisor process itself it raises a
+    ``permanent`` :class:`InjectedFault` instead of killing the test
+    runner or CLI.
+
+``hang``
+    Sleeps ``latency_s`` (default 60s) — long past any sane task
+    deadline, so the supervisor's heartbeat monitor must detect and kill
+    it.  If nothing kills it, the task eventually completes: a hang spec
+    can never wedge a test run forever.
+
+``enospc``
+    Raises a real ``OSError(errno.ENOSPC, ...)`` so production
+    classification and atomic-abort paths are exercised end to end.
 """
 
 from __future__ import annotations
 
+import errno as _errno
 import fnmatch
 import os
 import threading
@@ -38,7 +59,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, Iterator
 
-from repro.faults.taxonomy import CATEGORIES, TRANSIENT, FaultError
+from repro.faults.taxonomy import CATEGORIES, PERMANENT, TRANSIENT, FaultError
 
 __all__ = [
     "ENV_VAR",
@@ -56,7 +77,15 @@ __all__ = [
 ]
 
 ENV_VAR = "SNAPS_FAULTS"
-MODES = ("error", "latency", "torn_write")
+MODES = ("error", "latency", "torn_write", "worker_crash", "hang", "enospc")
+
+#: Exit status of a ``worker_crash`` fire — distinctive in worker logs.
+CRASH_EXIT_CODE = 86
+
+#: A ``hang`` spec with no explicit ``latency_s`` oversleeps by this
+#: much — far past any reasonable task deadline, but bounded so an
+#: unsupervised code path cannot wedge forever.
+DEFAULT_HANG_S = 60.0
 
 
 class InjectedFault(FaultError):
@@ -67,6 +96,12 @@ class InjectedFault(FaultError):
         self.site = site
         self.category = category
         self.mode = mode
+
+    def __reduce__(self):
+        # Default Exception pickling would re-call ``__init__`` with the
+        # rendered message as ``site``, double-wrapping the text every
+        # time the fault crosses a process boundary.
+        return (type(self), (self.site, self.category, self.mode))
 
 
 @dataclass
@@ -113,6 +148,9 @@ class FaultInjector:
         self._states = [_SpecState(spec) for spec in specs]
         self._sleep = sleep
         self._lock = threading.Lock()
+        # Recorded so worker_crash only ever _exits forked children, not
+        # the process that installed the injector (pytest, the CLI).
+        self._owner_pid = os.getpid()
 
     @property
     def specs(self) -> list[FaultSpec]:
@@ -144,13 +182,26 @@ class FaultInjector:
         return None
 
     def fire(self, site: str) -> None:
-        """Raise or delay if an ``error``/``latency`` spec covers ``site``."""
-        spec = self._arm(site, ("error", "latency"))
+        """Raise, delay, crash, or oversleep if a spec covers ``site``."""
+        spec = self._arm(
+            site, ("error", "latency", "worker_crash", "hang", "enospc")
+        )
         if spec is None:
             return
         if spec.mode == "latency":
             self._sleep(spec.latency_s)
             return
+        if spec.mode == "hang":
+            self._sleep(spec.latency_s if spec.latency_s > 0 else DEFAULT_HANG_S)
+            return
+        if spec.mode == "worker_crash":
+            if os.getpid() != self._owner_pid:
+                os._exit(CRASH_EXIT_CODE)
+            # Fired in the installing process: dying here would take the
+            # test runner/CLI with it, so fail loudly instead.
+            raise InjectedFault(site, PERMANENT, spec.mode)
+        if spec.mode == "enospc":
+            raise OSError(_errno.ENOSPC, f"injected ENOSPC at {site!r}")
         raise InjectedFault(site, spec.category, spec.mode)
 
     def corrupt_write(self, site: str, path: os.PathLike | str) -> None:

@@ -1,0 +1,81 @@
+"""Resource-exhaustion guards for durable writers.
+
+Snapshot commits, journal appends, and checkpoint saves must either
+complete or leave no trace — a half-written snapshot directory or a torn
+journal head is worse than a clean failure.  Two helpers enforce that:
+
+:func:`check_free_space`
+    Preflight before a writer starts: raise :class:`ResourceFault` with
+    a remediation hint if the target filesystem has less headroom than
+    the write plausibly needs.  The estimate errs low on purpose — the
+    goal is catching the obviously-full disk *before* payload bytes hit
+    it, not byte-exact accounting (the writers stay atomic either way).
+
+:func:`as_resource_fault`
+    Translate an exhaustion-class :class:`OSError` (ENOSPC/EMFILE/...)
+    caught mid-write into a :class:`ResourceFault` whose message names
+    the writer and what the operator should do about it.  Returns
+    ``None`` for any other exception so callers can re-raise unchanged.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.faults.taxonomy import RESOURCE, ResourceFault, classify
+
+__all__ = [
+    "as_resource_fault",
+    "check_free_space",
+    "free_bytes",
+    "is_exhaustion",
+]
+
+#: Minimum headroom any durable writer insists on, even for tiny writes:
+#: a filesystem this close to full will tear the *next* write anyway.
+MIN_HEADROOM_BYTES = 1 << 20  # 1 MiB
+
+
+def free_bytes(path: os.PathLike | str) -> int:
+    """Free bytes (for an unprivileged writer) on ``path``'s filesystem."""
+    stats = os.statvfs(path)
+    return stats.f_bavail * stats.f_frsize
+
+
+def is_exhaustion(exc: BaseException) -> bool:
+    """True when ``exc`` signals machine-resource exhaustion."""
+    return classify(exc) == RESOURCE
+
+
+def check_free_space(
+    path: os.PathLike | str,
+    need_bytes: int,
+    what: str,
+) -> None:
+    """Raise :class:`ResourceFault` unless ``path`` has room for the write.
+
+    ``what`` names the writer in the error ("snapshot store", "stream
+    journal", ...); ``need_bytes`` is the caller's (low) size estimate.
+    """
+    need = max(int(need_bytes), MIN_HEADROOM_BYTES)
+    try:
+        available = free_bytes(path)
+    except OSError:
+        return  # exotic filesystem without statvfs: let the write decide
+    if available < need:
+        raise ResourceFault(
+            f"{what}: refusing to write — only {available} bytes free under "
+            f"{os.fspath(path)!r}, need at least {need}; free disk space or "
+            f"point the {what} at a volume with headroom, then re-run"
+        )
+
+
+def as_resource_fault(
+    exc: BaseException,
+    what: str,
+    hint: str,
+) -> ResourceFault | None:
+    """Wrap an exhaustion-class error with writer context, else ``None``."""
+    if not is_exhaustion(exc):
+        return None
+    return ResourceFault(f"{what}: {exc}; {hint}")

@@ -17,6 +17,12 @@ to them differently:
     rows, dangling certificate references, corrupt snapshot payloads.
     These route to quarantine/diagnostic paths rather than retries.
 
+``resource``
+    The *machine* is exhausted: disk full (ENOSPC), file-descriptor
+    limits (EMFILE/ENFILE), quota exceeded.  Retrying immediately is
+    pointless — the operator must free the resource — so writers fail
+    fast and atomically, with a remediation hint in the message.
+
 Classification is deliberately name-based for repro's own exception
 types so this module stays import-light (no dependency on ``repro.store``
 or ``repro.data``, both of which import *us* for fault sites).
@@ -24,14 +30,18 @@ or ``repro.data``, both of which import *us* for fault sites).
 
 from __future__ import annotations
 
+import errno
+
 __all__ = [
     "CATEGORIES",
     "DATA",
     "PERMANENT",
+    "RESOURCE",
     "TRANSIENT",
     "DataFault",
     "FaultError",
     "PermanentFault",
+    "ResourceFault",
     "TransientFault",
     "classify",
     "register",
@@ -40,7 +50,21 @@ __all__ = [
 TRANSIENT = "transient"
 PERMANENT = "permanent"
 DATA = "data"
-CATEGORIES = (TRANSIENT, PERMANENT, DATA)
+RESOURCE = "resource"
+CATEGORIES = (TRANSIENT, PERMANENT, DATA, RESOURCE)
+
+# OSError errnos that mean "the machine ran out", not "the call was
+# unlucky".  A bare OSError with no errno stays transient (below).
+_RESOURCE_ERRNOS = frozenset(
+    code
+    for code in (
+        errno.ENOSPC,  # no space left on device
+        errno.EMFILE,  # process file-descriptor table full
+        errno.ENFILE,  # system file table full
+        getattr(errno, "EDQUOT", None),  # disk quota exceeded
+    )
+    if code is not None
+)
 
 
 class FaultError(Exception):
@@ -61,13 +85,24 @@ class DataFault(FaultError):
     category = DATA
 
 
+class ResourceFault(FaultError):
+    category = RESOURCE
+
+
 # repro's own exception types, classified by class name so the taxonomy
-# has no imports back into the layers that raise them.
+# has no imports back into the layers that raise them.  The pool-death
+# pair (BrokenProcessPool from a crashed worker, EOFError from its dead
+# pipe) is transient: the supervisor rebuilds the pool and resubmits, so
+# RetryPolicy treats pool death like any other retryable blip instead of
+# leaking provider-specific exceptions.
 _BY_NAME: dict[str, str] = {
     "SnapshotIntegrityError": DATA,  # corrupt/truncated payload on disk
     "SnapshotSchemaError": PERMANENT,  # version skew: retrying cannot help
     "DatasetLoadError": DATA,
     "CheckpointError": DATA,
+    "BrokenProcessPool": TRANSIENT,  # worker died; pool is rebuildable
+    "BrokenExecutor": TRANSIENT,
+    "TaskQuarantinedError": DATA,  # poison input isolated by the supervisor
 }
 
 # Stdlib types, most specific first (isinstance walk).
@@ -76,6 +111,7 @@ _BY_TYPE: list[tuple[type[BaseException], str]] = [
     (InterruptedError, TRANSIENT),
     (ConnectionError, TRANSIENT),
     (BlockingIOError, TRANSIENT),
+    (EOFError, TRANSIENT),  # dead worker pipe
     (OSError, TRANSIENT),
     (MemoryError, TRANSIENT),
 ]
@@ -102,6 +138,8 @@ def classify(exc: BaseException) -> str:
         category = _BY_NAME.get(klass.__name__)
         if category is not None:
             return category
+    if isinstance(exc, OSError) and exc.errno in _RESOURCE_ERRNOS:
+        return RESOURCE
     for exc_type, category in _BY_TYPE:
         if isinstance(exc, exc_type):
             return category

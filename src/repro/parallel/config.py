@@ -12,6 +12,8 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 
+from repro.supervise.config import SuperviseConfig
+
 __all__ = ["ParallelConfig", "available_cpus"]
 
 
@@ -45,6 +47,11 @@ class ParallelConfig:
     Chunk boundaries depend on the *requested* worker count, never on
     the machine, and chunk results merge in submission order — output is
     identical whatever runs where.
+
+    ``supervise`` carries the worker-supervision knobs (deadlines, retry
+    budget, quarantine) down to every pool; like the rest of this config
+    it is an execution detail that never enters fingerprints.  ``None``
+    means "read ``SNAPS_TASK_*`` from the environment at pool time".
     """
 
     workers: int | None = None
@@ -53,6 +60,7 @@ class ParallelConfig:
     chunks_per_worker: int = 4
     min_chunk_size: int = 512
     oversubscribe: bool = False
+    supervise: SuperviseConfig | None = None
 
     def __post_init__(self) -> None:
         if self.workers is not None and self.workers < 0:

@@ -11,18 +11,27 @@ installed in this process's worker module *before* the pool is created,
 so children inherit it without pickling the dataset.  Where only
 ``spawn`` is available the payload travels once per worker through the
 pool initializer.
+
+Pool execution is *supervised* (:mod:`repro.supervise`): every chunk
+attempt heartbeats, hung attempts are killed at the task deadline, a
+crashed worker triggers a pool rebuild that resubmits only incomplete
+chunks, and a chunk failing its whole retry budget is quarantined with
+an artifact.  Recovery never changes output — chunks are pure functions
+of their inputs and results still merge in submission order.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 from concurrent.futures import ProcessPoolExecutor
+from dataclasses import replace
 from typing import Callable
 
 from repro.obs.metrics import LATENCY_BUCKETS_S, MetricsRegistry
 from repro.obs.trace import Trace
 from repro.parallel import worker
 from repro.parallel.config import ParallelConfig, available_cpus
+from repro.supervise import SupervisedExecutor, SuperviseConfig
 
 __all__ = ["ChunkRunner", "make_tasks"]
 
@@ -63,6 +72,7 @@ class ChunkRunner:
         trace: Trace | None = None,
         metrics: MetricsRegistry | None = None,
         oversubscribe: bool = False,
+        supervise: SuperviseConfig | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"ChunkRunner needs workers >= 1, got {workers}")
@@ -76,7 +86,14 @@ class ChunkRunner:
         )
         self.trace = trace if trace is not None else Trace.disabled()
         self.metrics = metrics
-        self._pool: ProcessPoolExecutor | None = None
+        # A silently skipped chunk would break byte-identical output, so
+        # the resolve paths always abort on quarantine regardless of the
+        # requested policy.
+        supervise = supervise if supervise is not None else SuperviseConfig.from_env()
+        if supervise.on_quarantine != "abort":
+            supervise = replace(supervise, on_quarantine="abort")
+        self.supervise = supervise
+        self._executor: SupervisedExecutor | None = None
 
     def __enter__(self) -> "ChunkRunner":
         return self
@@ -85,28 +102,37 @@ class ChunkRunner:
         self.close()
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown()
-            self._pool = None
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
 
-    def _ensure_pool(self) -> ProcessPoolExecutor:
-        if self._pool is None:
-            if "fork" in multiprocessing.get_all_start_methods():
-                # Children inherit the payload through fork: install it
-                # in this process's worker module first, ship nothing.
-                worker.set_payload(self.payload)
-                self._pool = ProcessPoolExecutor(
-                    max_workers=self.pool_workers,
-                    mp_context=multiprocessing.get_context("fork"),
-                )
-            else:  # pragma: no cover - non-fork platforms
-                self._pool = ProcessPoolExecutor(
-                    max_workers=self.pool_workers,
-                    mp_context=multiprocessing.get_context(),
-                    initializer=worker.init_worker,
-                    initargs=(self.payload,),
-                )
-        return self._pool
+    def _make_pool(self) -> ProcessPoolExecutor:
+        """Build one pool generation (also the supervisor's rebuild hook)."""
+        if "fork" in multiprocessing.get_all_start_methods():
+            # Children inherit the payload through fork: install it
+            # in this process's worker module first, ship nothing.
+            worker.set_payload(self.payload)
+            return ProcessPoolExecutor(
+                max_workers=self.pool_workers,
+                mp_context=multiprocessing.get_context("fork"),
+            )
+        return ProcessPoolExecutor(  # pragma: no cover - non-fork platforms
+            max_workers=self.pool_workers,
+            mp_context=multiprocessing.get_context(),
+            initializer=worker.init_worker,
+            initargs=(self.payload,),
+        )
+
+    def _ensure_executor(self) -> SupervisedExecutor:
+        if self._executor is None:
+            self._executor = SupervisedExecutor(
+                self._make_pool,
+                self.supervise,
+                metrics=self.metrics,
+                label="chunk",
+                task_name=lambda task, index: f"chunk {task['chunk']}",
+            )
+        return self._executor
 
     def map(self, fn: Callable[[dict], dict], tasks: list[dict], label: str) -> list[dict]:
         """Run ``fn`` over ``tasks``; results come back in task order.
@@ -134,11 +160,14 @@ class ChunkRunner:
                 self._absorb(result, wait)
                 results.append(result)
             return results
-        pool = self._ensure_pool()
-        futures = [pool.submit(fn, task) for task in tasks]
-        for task, future in zip(tasks, futures):
+        executor = self._ensure_executor()
+        outputs = executor.map(fn, tasks, label)
+        for task, result in zip(tasks, outputs):
+            # The wait happened inside the supervisor; the span is kept
+            # (near-zero duration) so the trace tree keeps its per-chunk
+            # wait nodes with the worker span grafted beneath each.
             with self.trace.span(f"parallel.{label}.chunk{task['chunk']}") as wait:
-                result = future.result()
+                pass
             self._absorb(result, wait)
             results.append(result)
         return results

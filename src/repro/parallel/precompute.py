@@ -100,6 +100,7 @@ def parallel_candidate_pairs(
         trace=trace,
         metrics=metrics,
         oversubscribe=parallel.oversubscribe,
+        supervise=parallel.supervise,
     ) as runner:
         results = runner.map(filter_pairs_chunk, tasks, "filter")
     pairs: list[CandidatePair] = []
@@ -144,6 +145,7 @@ def parallel_graph_and_seeds(
         trace=trace,
         metrics=metrics,
         oversubscribe=parallel.oversubscribe,
+        supervise=parallel.supervise,
     ) as runner:
         results = runner.map(score_pairs_chunk, tasks, "score")
     attributes = config.schema.names()

@@ -117,6 +117,7 @@ def resolve_sharded(
                 )
             if checkpoint is not None:
                 checkpoint.save_pairs(pairs)
+                checkpoint.check_stop("blocking")
         with trace.span("partition"), timings.phase("partition"):
             if plan is None:
                 plan = build_shard_plan(dataset, pairs, n_shards)
@@ -156,7 +157,9 @@ def resolve_sharded(
             workers if workers is not None else max(1, min(plan.n_shards, available_cpus())),
             trace=trace,
             metrics=metrics,
-            oversubscribe=oversubscribe,
+            oversubscribe=oversubscribe
+            or (parallel is not None and parallel.oversubscribe),
+            supervise=parallel.supervise if parallel is not None else None,
         )
         with timings.phase("shard_resolve"):
             results = runner.run(tasks)

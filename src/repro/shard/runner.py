@@ -9,23 +9,32 @@ PR-6 pattern: each task carries the parent's serialised
 answer with a detached span and a metrics-delta registry, grafted under
 the shard's wait span and merged into the parent registry — one span
 tree and one registry across all shard processes.
+
+Pool execution is supervised (:mod:`repro.supervise`): shard attempts
+heartbeat, hung shards are killed at the task deadline, a crashed
+worker rebuilds the pool and resubmits only unresolved shards, and a
+shard failing its retry budget is quarantined with an artifact naming
+it.  Shard tasks are pure functions of their partition, so recovery
+keeps the merge byte-identical to serial.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 from concurrent.futures import ProcessPoolExecutor
+from dataclasses import replace
 
 from repro.obs.metrics import LATENCY_BUCKETS_S, MetricsRegistry
 from repro.obs.trace import Trace
 from repro.parallel.config import available_cpus
 from repro.shard import worker
+from repro.supervise import SupervisedExecutor, SuperviseConfig
 
 __all__ = ["ShardRunner"]
 
 
 class ShardRunner:
-    """Runs shard tasks in-process or across a process pool."""
+    """Runs shard tasks in-process or across a supervised process pool."""
 
     def __init__(
         self,
@@ -33,6 +42,7 @@ class ShardRunner:
         trace: Trace | None = None,
         metrics: MetricsRegistry | None = None,
         oversubscribe: bool = False,
+        supervise: SuperviseConfig | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"ShardRunner needs workers >= 1, got {workers}")
@@ -44,6 +54,12 @@ class ShardRunner:
         )
         self.trace = trace if trace is not None else Trace.disabled()
         self.metrics = metrics
+        # A skipped shard would drop its clusters from the merge, so the
+        # resolve path always aborts on quarantine.
+        supervise = supervise if supervise is not None else SuperviseConfig.from_env()
+        if supervise.on_quarantine != "abort":
+            supervise = replace(supervise, on_quarantine="abort")
+        self.supervise = supervise
 
     def run(self, tasks: list[dict], label: str = "shard.resolve") -> list[dict]:
         """Resolve every task; results return in submission order."""
@@ -62,22 +78,33 @@ class ShardRunner:
                 self._absorb(result, wait)
                 results.append(result)
             return results
+
         if "fork" in multiprocessing.get_all_start_methods():
             mp_context = multiprocessing.get_context("fork")
         else:  # pragma: no cover - non-fork platforms
             mp_context = multiprocessing.get_context()
-        with ProcessPoolExecutor(
-            max_workers=min(self.pool_workers, len(tasks)),
-            mp_context=mp_context,
-        ) as pool:
-            futures = [
-                pool.submit(worker.resolve_shard_task, task) for task in tasks
-            ]
-            for task, future in zip(tasks, futures):
-                with self.trace.span(f"shard.s{task['shard']}") as wait:
-                    result = future.result()
-                self._absorb(result, wait)
-                results.append(result)
+
+        def make_pool() -> ProcessPoolExecutor:
+            return ProcessPoolExecutor(
+                max_workers=min(self.pool_workers, len(tasks)),
+                mp_context=mp_context,
+            )
+
+        with SupervisedExecutor(
+            make_pool,
+            self.supervise,
+            metrics=self.metrics,
+            label="shard",
+            task_name=lambda task, index: f"shard {task['shard']}",
+        ) as executor:
+            outputs = executor.map(worker.resolve_shard_task, tasks, "shard")
+        for task, result in zip(tasks, outputs):
+            # The wait happened inside the supervisor; the near-zero span
+            # keeps the per-shard wait node for worker-span grafting.
+            with self.trace.span(f"shard.s{task['shard']}") as wait:
+                pass
+            self._absorb(result, wait)
+            results.append(result)
         return results
 
     def _absorb(self, result: dict, wait_span) -> None:

@@ -104,13 +104,16 @@ class IncrementalResolver:
         metrics: MetricsRegistry | None = None,
         workers: int | None = None,
         shards: int | None = None,
+        supervise=None,
     ) -> IngestResult:
         """Fold ``delta`` into the snapshot ``parent`` (default HEAD);
         returns the new child snapshot's manifest and linkage result.
 
         ``workers`` selects the resolution path for the re-resolve step
         (0 = serial, N >= 1 = parallel, ``None`` = auto by dataset size);
-        the output is byte-identical either way.
+        the output is byte-identical either way.  ``supervise`` carries
+        worker-supervision knobs (deadlines/retries/quarantine) into
+        those pools.
 
         When the parent snapshot carries a shard sidecar, the dirty
         closure is mapped onto the parent's partition: shards untouched
@@ -130,7 +133,7 @@ class IncrementalResolver:
             write_shard_sidecar,
         )
 
-        parallel = ParallelConfig(workers=workers)
+        parallel = ParallelConfig(workers=workers, supervise=supervise)
         trace = trace if trace is not None else Trace.disabled()
         with trace.span("ingest"):
             with trace.span("load_base"):

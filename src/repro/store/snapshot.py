@@ -44,6 +44,7 @@ from typing import TYPE_CHECKING, Iterable
 from repro.data.loader import load_dataset_csv, save_dataset_csv
 from repro.data.records import Dataset
 from repro.faults import FaultError, fire
+from repro.faults.resources import as_resource_fault, check_free_space
 from repro.index.keyword import KeywordIndex
 from repro.index.simindex import SimilarityAwareIndex
 from repro.obs.logs import get_logger
@@ -309,6 +310,15 @@ class SnapshotStore:
                         for attribute in SIM_ATTRIBUTES
                     }
             self.snapshots_dir.mkdir(parents=True, exist_ok=True)
+            # Preflight: catch an obviously-full disk before any payload
+            # bytes land.  The estimate is a deliberate floor (records
+            # dominate snapshot size); the commit stays atomic even if
+            # the disk fills mid-write.
+            check_free_space(
+                self.root,
+                max(1 << 20, len(result.dataset) * 1024),
+                "snapshot store",
+            )
             tmp = Path(
                 tempfile.mkdtemp(prefix=".tmp-snapshot-", dir=self.root)
             )
@@ -398,8 +408,19 @@ class SnapshotStore:
                     else:
                         os.replace(tmp, final)
                     self._write_head(snapshot_id)
-            except Exception:
+            except Exception as exc:
+                # Atomic abort: the assembly directory goes whatever the
+                # failure was, so `snapshots/` never gains a partial id.
                 shutil.rmtree(tmp, ignore_errors=True)
+                fault = as_resource_fault(
+                    exc,
+                    f"snapshot commit under {self.root}",
+                    "no partial snapshot was left behind; free disk space "
+                    "(or point --snapshot-out at a roomier volume) and "
+                    "re-run — the resolve output itself is unaffected",
+                )
+                if fault is not None:
+                    raise fault from exc
                 raise
         if metrics is not None:
             metrics.inc("store.snapshots_saved")

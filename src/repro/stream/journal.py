@@ -29,23 +29,50 @@ crash-resume **exactly-once convergence** with no write-ahead locking:
 Appends are flushed and fsynced per line; a crash mid-append leaves at
 worst a torn final line, which :meth:`BatchJournal.load` discards (the
 affected window then replays, converging as above).
+
+**Compaction.**  A long-lived stream appends forever, so
+:meth:`BatchJournal.compact` folds every *settled* entry (quarantined
+windows, promoted windows, and — in promoterless pipelines, where
+``ingested`` is terminal — all ingested windows) into one state-header
+line and keeps only the live tail of unpromoted work.  The header
+preserves everything exactly-once depends on: the folded batch hashes,
+per-hash ingest counts, the snapshot lineage, and the highest folded
+``seq``.  The rewrite goes through a temp file and one ``os.replace``,
+so a crash on either side of the boundary (fault sites
+``journal.compact.commit`` before the rename, ``journal.compact.done``
+after) leaves either the original or the compacted journal — both load
+to identical query answers.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import tempfile
 from dataclasses import dataclass, field
 from datetime import datetime, timezone
 from pathlib import Path
 
+from repro.faults import fire
+from repro.faults.resources import as_resource_fault, check_free_space
 from repro.obs.logs import get_logger
 
-__all__ = ["BatchJournal", "JournalEntry", "INGESTED", "PROMOTED", "QUARANTINED"]
+__all__ = [
+    "BatchJournal",
+    "JournalEntry",
+    "JournalHeader",
+    "INGESTED",
+    "PROMOTED",
+    "QUARANTINED",
+]
 
 logger = get_logger("stream.journal")
 
 JOURNAL_NAME = "journal.jsonl"
+
+# The state-header line a compaction writes as line 1 of the journal.
+HEADER_STATE = "compacted"
+HEADER_VERSION = 1
 
 INGESTED = "ingested"
 PROMOTED = "promoted"
@@ -99,31 +126,82 @@ class JournalEntry:
         )
 
 
+@dataclass
+class JournalHeader:
+    """Folded state of every settled entry a compaction removed."""
+
+    through_seq: int = 0
+    shas: list[str] = field(default_factory=list)
+    counts: dict[str, int] = field(default_factory=dict)
+    lineage: list[str] = field(default_factory=list)
+    at: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "state": HEADER_STATE,
+            "version": HEADER_VERSION,
+            "through_seq": self.through_seq,
+            "shas": sorted(self.shas),
+            "counts": dict(sorted(self.counts.items())),
+            "lineage": list(self.lineage),
+            "at": self.at,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JournalHeader":
+        if data.get("version") != HEADER_VERSION:
+            raise ValueError(
+                f"journal header version {data.get('version')!r} unsupported "
+                f"(this build reads {HEADER_VERSION})"
+            )
+        return cls(
+            through_seq=int(data.get("through_seq", 0)),
+            shas=list(data.get("shas", [])),
+            counts={k: int(v) for k, v in data.get("counts", {}).items()},
+            lineage=list(data.get("lineage", [])),
+            at=data.get("at", ""),
+        )
+
+
 class BatchJournal:
     """Durable, torn-line-tolerant record of completed pipeline steps."""
 
     def __init__(self, directory: str | Path) -> None:
         self.directory = Path(directory)
         self.path = self.directory / JOURNAL_NAME
-        self.entries: list[JournalEntry] = self._load()
+        self.header, self.entries = self._load()
 
     # ------------------------------------------------------------------
 
-    def _load(self) -> list[JournalEntry]:
+    def _load(self) -> tuple[JournalHeader | None, list[JournalEntry]]:
+        header: JournalHeader | None = None
         entries: list[JournalEntry] = []
         try:
             raw = self.path.read_bytes()
         except FileNotFoundError:
-            return entries
+            return header, entries
         lines = raw.split(b"\n")
         for index, line in enumerate(lines):
             if not line.strip():
                 continue
             try:
-                entries.append(
-                    JournalEntry.from_dict(json.loads(line.decode("utf-8")))
-                )
+                data = json.loads(line.decode("utf-8"))
+                if data.get("state") == HEADER_STATE:
+                    if index != 0 or header is not None:
+                        # A complete header in the wrong place is
+                        # structural corruption, not a torn append —
+                        # never eligible for final-line tolerance.
+                        raise ValueError(
+                            f"journal {self.path} is corrupt at line "
+                            f"{index + 1}: compaction header found past "
+                            "line 1"
+                        ) from None
+                    header = JournalHeader.from_dict(data)
+                    continue
+                entries.append(JournalEntry.from_dict(data))
             except (ValueError, KeyError, UnicodeDecodeError) as exc:
+                if "compaction header found past" in str(exc):
+                    raise
                 if any(later.strip() for later in lines[index + 1:]):
                     raise ValueError(
                         f"journal {self.path} is corrupt at line "
@@ -136,7 +214,7 @@ class BatchJournal:
                     self.path, exc,
                 )
                 break
-        return entries
+        return header, entries
 
     def record(
         self,
@@ -162,11 +240,33 @@ class BatchJournal:
             at=datetime.now(timezone.utc).isoformat(),
         )
         self.directory.mkdir(parents=True, exist_ok=True)
+        check_free_space(self.directory, 1 << 16, "stream journal")
         line = json.dumps(entry.as_dict(), sort_keys=True) + "\n"
-        with self.path.open("a", encoding="utf-8") as handle:
-            handle.write(line)
-            handle.flush()
-            os.fsync(handle.fileno())
+        size_before = self.path.stat().st_size if self.path.exists() else 0
+        try:
+            with self.path.open("a", encoding="utf-8") as handle:
+                handle.write(line)
+                handle.flush()
+                os.fsync(handle.fileno())
+        except OSError as exc:
+            # Never leave a torn head: roll the file back to its
+            # pre-append length so the journal stays parseable even if
+            # some bytes of the failed line reached the disk.
+            try:
+                with self.path.open("r+b") as handle:
+                    handle.truncate(size_before)
+            except OSError:
+                pass  # reload's torn-final-line tolerance still covers it
+            fault = as_resource_fault(
+                exc,
+                f"stream journal append to {self.path}",
+                "the entry was not recorded and the journal was rolled "
+                "back to its previous length; free disk space under the "
+                "spool and re-run — the window replays exactly once",
+            )
+            if fault is not None:
+                raise fault from exc
+            raise
         self.entries.append(entry)
         return entry
 
@@ -175,16 +275,20 @@ class BatchJournal:
     # ------------------------------------------------------------------
 
     def next_seq(self) -> int:
-        return max((entry.seq for entry in self.entries), default=0) + 1
+        floor = self.header.through_seq if self.header is not None else 0
+        return max((entry.seq for entry in self.entries), default=floor) + 1
 
     def completed_shas(self) -> set[str]:
         """Batch hashes that reached at least the ``ingested`` state."""
-        return {
+        shas = {
             sha
             for entry in self.entries
             if entry.state in (INGESTED, QUARANTINED)
             for sha in entry.shas
         }
+        if self.header is not None:
+            shas.update(self.header.shas)
+        return shas
 
     def unpromoted(self) -> list[JournalEntry]:
         """``ingested`` windows with no matching ``promoted`` entry, in
@@ -200,22 +304,110 @@ class BatchJournal:
 
     def snapshot_lineage(self) -> list[str]:
         """Snapshot ids committed by this journal, oldest first."""
-        return [
+        lineage = list(self.header.lineage) if self.header is not None else []
+        lineage.extend(
             entry.snapshot
             for entry in sorted(
                 (e for e in self.entries if e.state == INGESTED),
                 key=lambda e: e.seq,
             )
             if entry.snapshot is not None
-        ]
+        )
+        return lineage
 
     def ingest_counts(self) -> dict[str, int]:
         """How many ``ingested`` entries each batch hash appears in —
         the exactly-once assertion is ``max(values) == 1``."""
-        counts: dict[str, int] = {}
+        counts: dict[str, int] = (
+            dict(self.header.counts) if self.header is not None else {}
+        )
         for entry in self.entries:
             if entry.state != INGESTED:
                 continue
             for sha in entry.shas:
                 counts[sha] = counts.get(sha, 0) + 1
         return counts
+
+    # ------------------------------------------------------------------
+    # Compaction
+    # ------------------------------------------------------------------
+
+    def compact(self, require_promoted: bool = True) -> dict:
+        """Fold settled entries into the state header; keep the live tail.
+
+        ``require_promoted`` keeps unpromoted ``ingested`` windows live
+        (they are the crash-recovery work list); promoterless pipelines
+        pass ``False`` because ``ingested`` is terminal for them.  The
+        rewrite is atomic (temp file + rename): a crash before the
+        rename leaves the original journal, after it the compacted one —
+        :meth:`completed_shas`, :meth:`snapshot_lineage`,
+        :meth:`ingest_counts`, and :meth:`next_seq` answer identically
+        either way, which is what keeps exactly-once intact across a
+        mid-compaction crash.
+        """
+        promoted_seqs = {
+            entry.seq for entry in self.entries if entry.state == PROMOTED
+        }
+
+        def settled(entry: JournalEntry) -> bool:
+            if entry.state in (QUARANTINED, PROMOTED):
+                return True
+            return not require_promoted or entry.seq in promoted_seqs
+
+        folded = [entry for entry in self.entries if settled(entry)]
+        tail = [entry for entry in self.entries if not settled(entry)]
+        header = JournalHeader(
+            through_seq=self.header.through_seq if self.header else 0,
+            shas=list(self.header.shas) if self.header else [],
+            counts=dict(self.header.counts) if self.header else {},
+            lineage=list(self.header.lineage) if self.header else [],
+            at=datetime.now(timezone.utc).isoformat(),
+        )
+        for entry in folded:
+            header.through_seq = max(header.through_seq, entry.seq)
+            if entry.state in (INGESTED, QUARANTINED):
+                for sha in entry.shas:
+                    if sha not in header.shas:
+                        header.shas.append(sha)
+            if entry.state == INGESTED:
+                for sha in entry.shas:
+                    header.counts[sha] = header.counts.get(sha, 0) + 1
+        for entry in sorted(
+            (e for e in folded if e.state == INGESTED), key=lambda e: e.seq
+        ):
+            if entry.snapshot is not None:
+                header.lineage.append(entry.snapshot)
+
+        self.directory.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=".tmp-journal-", dir=self.directory
+        )
+        tmp = Path(tmp_name)
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(json.dumps(header.as_dict(), sort_keys=True) + "\n")
+                for entry in tail:
+                    handle.write(
+                        json.dumps(entry.as_dict(), sort_keys=True) + "\n"
+                    )
+                handle.flush()
+                os.fsync(handle.fileno())
+            # Crash here (site fires *before* the rename): the original
+            # journal is untouched; the stale temp file is inert.
+            fire("journal.compact.commit")
+            os.replace(tmp, self.path)
+            # Crash here (site fires *after* the rename): the compacted
+            # journal is already durable and loads identically.
+            fire("journal.compact.done")
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
+        self.header = header
+        self.entries = tail
+        logger.info(
+            "journal %s compacted: folded %d entries, kept %d",
+            self.path,
+            len(folded),
+            len(tail),
+        )
+        return {"folded": len(folded), "kept": len(tail)}

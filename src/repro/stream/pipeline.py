@@ -44,6 +44,7 @@ from repro.store.snapshot import SnapshotStore
 from repro.stream.journal import INGESTED, PROMOTED, QUARANTINED, BatchJournal
 from repro.stream.promote import PromoteError, SnapshotPromoter
 from repro.stream.source import SpoolBatch, SpoolSource
+from repro.supervise import SuperviseConfig
 
 __all__ = ["StreamConfig", "StreamPipeline"]
 
@@ -68,6 +69,13 @@ class StreamConfig:
     require_ready: bool = False
     drain: bool = False  # exit once the spool is fully caught up
     max_batches: int | None = None  # stop after ingesting this many
+    # Compact the journal once its live entry count exceeds this bound
+    # (None = never): settled windows fold into the state header, so a
+    # long-lived stream's journal stays O(unpromoted) instead of O(all
+    # windows ever ingested).
+    journal_max_entries: int | None = None
+    # Worker-supervision knobs for the ingest re-resolve pools.
+    supervise: SuperviseConfig | None = None
 
     def __post_init__(self) -> None:
         self.spool = Path(self.spool)
@@ -81,6 +89,8 @@ class StreamConfig:
             )
         if self.max_lag_batches < 1:
             raise ValueError("max_lag_batches must be >= 1")
+        if self.journal_max_entries is not None and self.journal_max_entries < 1:
+            raise ValueError("journal_max_entries must be >= 1")
 
 
 class StreamPipeline:
@@ -203,6 +213,12 @@ class StreamPipeline:
         that is fatal.
         """
         self.recover()
+        bound = self.config.journal_max_entries
+        if bound is not None and len(self.journal.entries) > bound:
+            # Fold settled windows; the live tail (unpromoted work) and
+            # the exactly-once state both survive in the header.
+            self.journal.compact(require_promoted=self.promoter is not None)
+            self.metrics.inc("stream.journal_compactions")
         completed = self.journal.completed_shas()
         queued = {batch.sha256 for batch in self._pending}
         for batch in self.source.poll():
@@ -285,6 +301,7 @@ class StreamPipeline:
             trace=self.trace,
             metrics=self.metrics,
             workers=self.config.workers,
+            supervise=self.config.supervise,
         )
         snapshot_id = result.manifest.snapshot_id
 

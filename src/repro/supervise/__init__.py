@@ -1,0 +1,37 @@
+"""Supervised worker execution shared by every multiprocess path.
+
+Chunk pools (``repro.parallel``), shard fan-out (``repro.shard``), and
+streaming ingest (``repro.stream``) all run pure tasks in worker
+processes; this package gives them one substrate for liveness
+(heartbeats + per-task deadlines), crash recovery (pool rebuild +
+resubmit of incomplete tasks, byte-identical output), and poison-task
+quarantine with durable JSONL evidence.  The planned pre-fork serving
+tier reuses the same substrate for worker liveness.
+"""
+
+from repro.supervise.config import SuperviseConfig
+from repro.supervise.executor import SupervisedExecutor, run_supervised
+from repro.supervise.heartbeat import (
+    HeartbeatWriter,
+    clear_heartbeats,
+    read_heartbeats,
+)
+from repro.supervise.quarantine import (
+    TaskQuarantinedError,
+    default_quarantine_dir,
+    inputs_digest,
+    write_quarantine_record,
+)
+
+__all__ = [
+    "HeartbeatWriter",
+    "SuperviseConfig",
+    "SupervisedExecutor",
+    "TaskQuarantinedError",
+    "clear_heartbeats",
+    "default_quarantine_dir",
+    "inputs_digest",
+    "read_heartbeats",
+    "run_supervised",
+    "write_quarantine_record",
+]

@@ -1,0 +1,134 @@
+"""Worker heartbeats: mtime-touched files the supervisor can read.
+
+Each worker process writes one file, ``<dir>/<pid>.hb``, at the start of
+every task attempt.  The JSON body identifies the attempt::
+
+    {"pid": 1234, "index": 3, "label": "score", "attempt": 0,
+     "started": 1723111111.5, "state": "running"}
+
+A daemon thread then touches the file's *mtime* every interval while the
+task runs — touching is one ``os.utime`` call, so a busy worker pays
+almost nothing.  The supervisor derives everything from the files:
+
+- hung-task detection from ``now - started`` versus the deadline (the
+  ``started`` stamp, not the mtime — a task that keeps touching while
+  overrunning its deadline is still hung);
+- the ``supervise.heartbeat_age_seconds`` gauge from ``now - mtime``;
+- crash attribution from which entries were ``running`` when the pool
+  broke — a worker that dies abruptly leaves its file in ``running``,
+  which is exactly the evidence wanted.
+
+Files survive their writer by design; the supervisor clears the
+directory when it rebuilds the pool so stale evidence never implicates
+the next generation of workers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+__all__ = ["HeartbeatWriter", "clear_heartbeats", "read_heartbeats"]
+
+HB_SUFFIX = ".hb"
+
+RUNNING = "running"
+IDLE = "idle"
+
+
+class HeartbeatWriter:
+    """Worker-side context manager: announce an attempt, touch while alive."""
+
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        *,
+        index: int,
+        label: str,
+        attempt: int,
+        interval_s: float = 0.2,
+    ) -> None:
+        self.path = Path(directory) / f"{os.getpid()}{HB_SUFFIX}"
+        self.interval_s = max(0.01, float(interval_s))
+        self._body = {
+            "pid": os.getpid(),
+            "index": int(index),
+            "label": label,
+            "attempt": int(attempt),
+            "started": time.time(),
+            "state": RUNNING,
+        }
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def _write(self) -> None:
+        tmp = self.path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(self._body), encoding="utf-8")
+        os.replace(tmp, self.path)
+
+    def _touch_loop(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            try:
+                os.utime(self.path)
+            except OSError:
+                return  # directory vanished (supervisor cleanup): stop quietly
+
+    def __enter__(self) -> "HeartbeatWriter":
+        try:
+            self._write()
+        except OSError:
+            return self  # heartbeats are best-effort: never fail the task
+        self._thread = threading.Thread(
+            target=self._touch_loop, name="snaps-heartbeat", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=1.0)
+        self._body["state"] = IDLE
+        try:
+            self._write()
+        except OSError:
+            pass
+
+
+def read_heartbeats(directory: str | os.PathLike) -> list[dict]:
+    """Parse every heartbeat in ``directory``, adding ``mtime`` per entry.
+
+    Torn or vanished files (a worker mid-replace, a crash mid-write) are
+    skipped: heartbeats are advisory evidence, not a ledger.
+    """
+    beats: list[dict] = []
+    root = Path(directory)
+    try:
+        entries = sorted(root.glob(f"*{HB_SUFFIX}"))
+    except OSError:
+        return beats
+    for path in entries:
+        try:
+            body = json.loads(path.read_text(encoding="utf-8"))
+            body["mtime"] = path.stat().st_mtime
+        except (OSError, ValueError):
+            continue
+        beats.append(body)
+    return beats
+
+
+def clear_heartbeats(directory: str | os.PathLike) -> None:
+    """Drop all heartbeat files — called when the pool is rebuilt."""
+    root = Path(directory)
+    try:
+        entries = list(root.glob(f"*{HB_SUFFIX}")) + list(root.glob("*.tmp"))
+    except OSError:
+        return
+    for path in entries:
+        try:
+            path.unlink()
+        except OSError:
+            pass

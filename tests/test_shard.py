@@ -367,13 +367,31 @@ class TestChaosShardWorker:
         )
         assert clusters_of(sharded.result) == clusters_of(reference)
 
-    def test_worker_death_in_real_pool_fails_loudly(self, tiny):
+    def test_worker_error_in_real_pool_is_retried_to_parity(self, tiny):
+        # Supervised execution (PR 9): a transient in-worker error no
+        # longer kills the run — the shard is re-executed and the output
+        # still matches serial exactly.
         with injected("shard.resolve.worker:error:times=1"):
-            with pytest.raises(InjectedFault):
-                # fork inherits the installed injector into pool workers
+            # fork inherits the installed injector into pool workers
+            sharded = resolve_sharded(
+                tiny, SnapsConfig(), n_shards=2, workers=2,
+                oversubscribe=True,
+            )
+        reference = SnapsResolver(SnapsConfig()).resolve(
+            tiny, parallel=ParallelConfig(workers=0)
+        )
+        assert clusters_of(sharded.result) == clusters_of(reference)
+
+    def test_worker_error_past_budget_fails_loudly(self, tiny):
+        from repro.supervise import SuperviseConfig, TaskQuarantinedError
+
+        supervise = SuperviseConfig(max_task_retries=0)
+        with injected("shard.resolve.worker:error:times=none"):
+            with pytest.raises(TaskQuarantinedError):
                 resolve_sharded(
                     tiny, SnapsConfig(), n_shards=2, workers=2,
                     oversubscribe=True,
+                    parallel=ParallelConfig(supervise=supervise),
                 )
 
 

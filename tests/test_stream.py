@@ -215,6 +215,152 @@ class TestBatchJournal:
         with pytest.raises(ValueError, match="unknown journal state"):
             journal.record("exploded", "w", [], [])
 
+    def test_enospc_mid_append_rolls_back(self, tmp_path, monkeypatch):
+        import errno
+
+        from repro.faults import ResourceFault
+
+        journal = BatchJournal(tmp_path)
+        journal.record(INGESTED, "b001", ["sha1"], ["b001"], snapshot="s1")
+        size_before = journal.path.stat().st_size
+
+        import repro.stream.journal as journal_module
+
+        def boom(fd):
+            raise OSError(errno.ENOSPC, "disk full")
+
+        monkeypatch.setattr(journal_module.os, "fsync", boom)
+        with pytest.raises(ResourceFault, match="free disk space"):
+            journal.record(INGESTED, "b002", ["sha2"], ["b002"], snapshot="s2")
+        monkeypatch.undo()
+        # The failed append left no torn head: same length, still loads.
+        assert journal.path.stat().st_size == size_before
+        reloaded = BatchJournal(tmp_path)
+        assert reloaded.snapshot_lineage() == ["s1"]
+        # And the journal keeps working once space frees up.
+        journal.record(INGESTED, "b002", ["sha2"], ["b002"], snapshot="s2")
+        assert BatchJournal(tmp_path).snapshot_lineage() == ["s1", "s2"]
+
+
+class TestJournalCompaction:
+    def _seed(self, tmp_path):
+        """Journal with a settled window, a quarantined one, and an
+        ingested-but-unpromoted one."""
+        journal = BatchJournal(tmp_path)
+        journal.record(INGESTED, "b0", ["sha0"], ["b0"],
+                       snapshot="s0", parent=None, seq=1)
+        journal.record(PROMOTED, "b0", [], [], snapshot="s0", seq=1)
+        journal.record("quarantined", "b1", ["sha1"], ["b1"], seq=2)
+        journal.record(INGESTED, "b2", ["sha2"], ["b2"],
+                       snapshot="s2", parent="s0", seq=3)
+        return journal
+
+    @staticmethod
+    def _views(journal):
+        return (
+            journal.completed_shas(),
+            journal.snapshot_lineage(),
+            journal.next_seq(),
+            journal.ingest_counts(),
+            [entry.seq for entry in journal.unpromoted()],
+        )
+
+    def test_compact_folds_settled_keeps_live_tail(self, tmp_path):
+        journal = self._seed(tmp_path)
+        before = self._views(journal)
+        stats = journal.compact()
+        assert stats == {"folded": 3, "kept": 1}
+        reloaded = BatchJournal(tmp_path)
+        # Every query answer survives compaction bit-for-bit...
+        assert self._views(reloaded) == before
+        # ...while the file holds just the header plus the live tail.
+        assert reloaded.header is not None
+        assert len(reloaded.entries) == 1
+        assert reloaded.entries[0].seq == 3
+
+    def test_crash_before_rename_leaves_original(self, tmp_path):
+        journal = self._seed(tmp_path)
+        before = self._views(journal)
+        with injected("journal.compact.commit:error"):
+            with pytest.raises(InjectedFault):
+                journal.compact()
+        reloaded = BatchJournal(tmp_path)
+        assert self._views(reloaded) == before
+        assert reloaded.header is None
+        assert len(reloaded.entries) == 4
+        assert not list(tmp_path.glob("*.tmp-journal-*"))
+
+    def test_crash_after_rename_loads_compacted(self, tmp_path):
+        journal = self._seed(tmp_path)
+        before = self._views(journal)
+        with injected("journal.compact.done:error"):
+            with pytest.raises(InjectedFault):
+                journal.compact()
+        reloaded = BatchJournal(tmp_path)
+        assert self._views(reloaded) == before
+        assert reloaded.header is not None
+        assert len(reloaded.entries) == 1
+
+    def test_double_compact_merges_headers(self, tmp_path):
+        journal = self._seed(tmp_path)
+        journal.compact()
+        journal.record(PROMOTED, "b2", [], [], snapshot="s2", seq=3)
+        journal.compact()
+        reloaded = BatchJournal(tmp_path)
+        assert reloaded.completed_shas() == {"sha0", "sha1", "sha2"}
+        assert reloaded.snapshot_lineage() == ["s0", "s2"]
+        assert reloaded.next_seq() == 4
+        assert max(reloaded.ingest_counts().values()) == 1
+        assert reloaded.entries == []
+
+    def test_promoterless_fold_includes_ingested(self, tmp_path):
+        journal = BatchJournal(tmp_path)
+        journal.record(INGESTED, "b0", ["x0"], ["b0"], snapshot="t0", seq=1)
+        journal.compact(require_promoted=False)
+        reloaded = BatchJournal(tmp_path)
+        assert reloaded.completed_shas() == {"x0"}
+        assert reloaded.snapshot_lineage() == ["t0"]
+        assert reloaded.next_seq() == 2
+        assert reloaded.entries == []
+
+    def test_header_past_first_line_is_corrupt(self, tmp_path):
+        journal = self._seed(tmp_path)
+        journal.compact()
+        header_line = journal.path.read_text().splitlines()[0]
+        with journal.path.open("a") as handle:
+            handle.write(header_line + "\n")
+        with pytest.raises(ValueError, match="past line 1"):
+            BatchJournal(tmp_path)
+
+
+def test_pipeline_compaction_preserves_exactly_once(
+    tmp_path, base_resolved, stream_parts, reference_lineage
+):
+    """A pipeline with a tight journal bound compacts as it drains, and
+    the compacted journal tells the exact same story as an unbounded
+    one: same lineage, no double ingests."""
+    _, batches = stream_parts
+    lineage_want, terminal_bytes = reference_lineage
+    store = _new_store(tmp_path, base_resolved)
+    spool = _fill_spool(tmp_path, batches)
+    pipeline = StreamPipeline(
+        store,
+        StreamConfig(
+            spool=spool,
+            coalesce=False,
+            drain=True,
+            poll_interval_s=0.01,
+            journal_max_entries=1,
+        ),
+    )
+    assert pipeline.run() == N_BATCHES
+    assert pipeline.metrics.counter_value("stream.journal_compactions") >= 1
+    journal = BatchJournal(pipeline.config.checkpoint)
+    assert journal.header is not None
+    assert journal.snapshot_lineage() == lineage_want
+    assert max(journal.ingest_counts().values()) == 1
+    assert _graph_bytes(store, lineage_want[-1]) == terminal_bytes
+
 
 # ----------------------------------------------------------------------
 # End to end: live traffic across back-to-back promotions
