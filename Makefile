@@ -1,6 +1,6 @@
 # Developer entry points for the SNAPS reproduction.
 
-.PHONY: install test verify serve-smoke stream-smoke obs-smoke shard-smoke supervise-smoke chaos bench bench-full examples clean
+.PHONY: install test verify serve-smoke prefork-smoke stream-smoke obs-smoke shard-smoke supervise-smoke chaos bench bench-full examples clean
 
 install:
 	pip install -e . --no-build-isolation
@@ -31,6 +31,7 @@ verify:
 	PYTHONPATH=src python -m repro query --snapshot $(VERIFY_TMP)/store \
 		--first-name john --surname macdonald --top 3
 	$(MAKE) serve-smoke
+	$(MAKE) prefork-smoke
 	$(MAKE) stream-smoke
 	$(MAKE) shard-smoke
 	$(MAKE) supervise-smoke
@@ -50,6 +51,13 @@ chaos:
 # and /metricz, then shut down.  See src/repro/serve/smoke.py.
 serve-smoke:
 	PYTHONPATH=src python -m repro.serve.smoke
+
+# Pre-fork fleet gate: boot 4 workers over one memory-mapped snapshot,
+# SIGKILL a worker mid-traffic (supervised restart, zero non-2xx), then
+# one zero-downtime reload onto a second snapshot (rolling rotation,
+# zero non-2xx).  See src/repro/serve/prefork_smoke.py.
+prefork-smoke:
+	PYTHONPATH=src python -m repro.serve.prefork_smoke
 
 # Spool three micro-batches through a live replica: every batch must
 # ingest, promote with zero downtime, and show up in the stream.*

@@ -270,6 +270,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--slo-window", type=float, default=300.0, metavar="SECONDS",
         help="rolling window the SLO burn rates are computed over",
     )
+    serve.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="pre-fork N worker processes sharing one memory-mapped "
+        "snapshot and one listening socket (requires --snapshot; "
+        "0 = classic single-process threaded server)",
+    )
+    serve.add_argument(
+        "--prefork", action="store_true",
+        help="shorthand for --workers <cpu count>",
+    )
+    serve.add_argument(
+        "--reuse-port", action="store_true",
+        help="per-worker SO_REUSEPORT sockets instead of one inherited "
+        "listening fd (prefork mode only)",
+    )
+    serve.add_argument(
+        "--run-dir", metavar="DIR",
+        help="prefork scratch directory for heartbeats/control/metrics "
+        "files (default: private tempdir)",
+    )
     add_telemetry_flags(serve)
 
     report = sub.add_parser("report", help="render a saved run report")
@@ -858,11 +878,65 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_prefork(args: argparse.Namespace, workers: int) -> int:
+    from repro.serve import PreforkConfig, PreforkMaster, ServeConfig
+
+    serve_config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        cache_size=args.cache_size,
+        cache_ttl_s=args.cache_ttl or None,
+        max_concurrency=args.max_concurrency,
+        max_pending=args.max_pending,
+        queue_timeout_s=args.queue_timeout,
+        request_timeout_s=args.request_timeout or None,
+        use_geographic_distance=args.geo,
+        breaker_threshold=args.breaker_threshold,
+        breaker_reset_s=args.breaker_reset,
+        slo_availability=args.slo_availability,
+        slo_latency_target=args.slo_latency_target,
+        slo_deadline_s=args.slo_deadline,
+        slo_window_s=args.slo_window,
+    )
+    master = PreforkMaster(
+        args.snapshot,
+        config=PreforkConfig(
+            workers=workers,
+            reuse_port=args.reuse_port,
+            run_dir=args.run_dir,
+        ),
+        serve_config=serve_config,
+    )
+    print(
+        f"prefork master: {workers} workers on "
+        f"http://{args.host}:{args.port} (snapshot store {args.snapshot}, "
+        f"run dir {master.run_dir}) — Ctrl-C to stop",
+        file=sys.stderr,
+    )
+    try:
+        master.start()
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.obs import MetricsRegistry
     from repro.pedigree import load_pedigree_graph
     from repro.serve import ServeConfig, ServingApp, make_server
 
+    workers = args.workers
+    if args.prefork and not workers:
+        workers = os.cpu_count() or 1
+    if workers:
+        if not args.snapshot:
+            print(
+                "error: --workers/--prefork requires --snapshot (the "
+                "workers share one memory-mapped snapshot)",
+                file=sys.stderr,
+            )
+            return 2
+        return _cmd_serve_prefork(args, workers)
     store = None
     if args.snapshot:
         # Warm start: the snapshot carries the graph and both prebuilt

@@ -8,9 +8,21 @@
   (CIKM 2009): for every indexed string, all other indexed strings
   sharing at least one bigram whose Jaro-Winkler similarity reaches
   ``s_t`` (default 0.5), with the similarity stored.
+
+Both indexes also come in memory-mapped variants
+(:class:`~repro.index.keyword.MemmapKeywordIndex`,
+:class:`~repro.index.simindex.MemmapSimilarityIndex`) that back their
+bulk arrays with read-only ``numpy.memmap`` views of a snapshot's raw
+artefacts — the substrate of the pre-fork serving tier, where N worker
+processes share one mapped copy of the index data.
 """
 
-from repro.index.keyword import KeywordIndex
-from repro.index.simindex import SimilarityAwareIndex
+from repro.index.keyword import KeywordIndex, MemmapKeywordIndex
+from repro.index.simindex import MemmapSimilarityIndex, SimilarityAwareIndex
 
-__all__ = ["KeywordIndex", "SimilarityAwareIndex"]
+__all__ = [
+    "KeywordIndex",
+    "MemmapKeywordIndex",
+    "MemmapSimilarityIndex",
+    "SimilarityAwareIndex",
+]

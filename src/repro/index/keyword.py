@@ -23,7 +23,7 @@ from __future__ import annotations
 from repro.faults import fire
 from repro.pedigree.graph import PedigreeGraph
 
-__all__ = ["KeywordIndex"]
+__all__ = ["KeywordIndex", "MemmapKeywordIndex"]
 
 # Attributes the query interface exposes (Figure 5): names, gender, year,
 # and location (parish/district).
@@ -118,3 +118,114 @@ class KeywordIndex:
     def n_keys(self) -> int:
         """Total number of distinct (attribute, value) keys."""
         return len(self._by_value) + len(self._years) + len(self._genders)
+
+
+class MemmapKeywordIndex(KeywordIndex):
+    """A :class:`KeywordIndex` whose posting lists stay on disk.
+
+    Built by :func:`repro.store.codecs.load_keyword_index_memmap` from the
+    raw ``.npy`` snapshot artefacts: the (attribute, value) → row lookup
+    tables are small python dicts materialised once, but the posting-id
+    arrays — the bulk of the index — remain read-only ``numpy.memmap``
+    views.  A pre-fork serving master maps the snapshot once and forks;
+    every worker then shares the same physical pages, so per-worker
+    incremental RSS is near zero and lookups fault pages in on demand.
+
+    Lookups return plain python ``set[int]`` copies exactly like the
+    eager index, so query results are byte-identical either way (proven
+    by the memmap parity suite).
+    """
+
+    def __init__(
+        self,
+        kv_keys: list[tuple[str, str]],
+        kv_offsets,
+        kv_postings,
+        year_keys: list[int],
+        year_offsets,
+        year_postings,
+        gender_keys: list[str],
+        gender_offsets,
+        gender_postings,
+    ) -> None:
+        # Row-index tables: key -> position into the offset arrays.  The
+        # keys are materialised (they are small next to the postings);
+        # the int64 posting arrays stay memory-mapped.
+        self._kv_rows = {key: i for i, key in enumerate(kv_keys)}
+        self._kv_offsets = kv_offsets
+        self._kv_postings = kv_postings
+        self._year_rows = {int(year): i for i, year in enumerate(year_keys)}
+        self._year_offsets = year_offsets
+        self._year_postings = year_postings
+        self._gender_rows = {gender: i for i, gender in enumerate(gender_keys)}
+        self._gender_offsets = gender_offsets
+        self._gender_postings = gender_postings
+
+    def _slice(self, offsets, postings, row: int) -> list[int]:
+        # .tolist() converts numpy int64 to python int, keeping the
+        # public contract (and JSON serialisation) identical to the
+        # eager index.
+        return postings[int(offsets[row]):int(offsets[row + 1])].tolist()
+
+    def lookup(self, attribute: str, value: str) -> set[int]:
+        row = self._kv_rows.get((attribute, value.lower()))
+        if row is None:
+            return set()
+        return set(self._slice(self._kv_offsets, self._kv_postings, row))
+
+    def lookup_year_range(self, year_from: int, year_to: int) -> set[int]:
+        if year_to < year_from:
+            raise ValueError(f"empty year range: {year_from}..{year_to}")
+        out: set[int] = set()
+        for year in range(year_from, year_to + 1):
+            row = self._year_rows.get(year)
+            if row is not None:
+                out.update(
+                    self._slice(self._year_offsets, self._year_postings, row)
+                )
+        return out
+
+    def lookup_gender(self, gender: str) -> set[int]:
+        row = self._gender_rows.get(gender)
+        if row is None:
+            return set()
+        return set(
+            self._slice(self._gender_offsets, self._gender_postings, row)
+        )
+
+    def values(self, attribute: str) -> list[str]:
+        return sorted(
+            value for (attr, value) in self._kv_rows if attr == attribute
+        )
+
+    def n_keys(self) -> int:
+        return len(self._kv_rows) + len(self._year_rows) + len(self._gender_rows)
+
+    def postings(
+        self,
+    ) -> tuple[
+        dict[tuple[str, str], list[int]],
+        dict[int, list[int]],
+        dict[str, list[int]],
+    ]:
+        """Materialise the full state (for re-serialisation parity)."""
+        return (
+            {
+                key: sorted(self._slice(self._kv_offsets, self._kv_postings, row))
+                for key, row in self._kv_rows.items()
+            },
+            {
+                year: sorted(
+                    self._slice(self._year_offsets, self._year_postings, row)
+                )
+                for year, row in self._year_rows.items()
+            },
+            {
+                gender: sorted(
+                    self._slice(
+                        self._gender_offsets, self._gender_postings, row
+                    )
+                )
+                for gender, row in self._gender_rows.items()
+            },
+        )

@@ -19,11 +19,13 @@ from __future__ import annotations
 
 import threading
 
+import numpy as np
+
 from repro.faults import fire
 from repro.similarity.jaro import jaro_winkler_similarity
 from repro.similarity.qgram import bigrams
 
-__all__ = ["SimilarityAwareIndex"]
+__all__ = ["MemmapSimilarityIndex", "SimilarityAwareIndex"]
 
 
 class SimilarityAwareIndex:
@@ -141,3 +143,108 @@ class SimilarityAwareIndex:
         """Total stored (value, neighbour) similarity entries."""
         with self._cache_lock:
             return sum(len(v) for v in self._neighbours.values())
+
+
+class MemmapSimilarityIndex(SimilarityAwareIndex):
+    """A :class:`SimilarityAwareIndex` whose neighbour lists stay on disk.
+
+    Built by :func:`repro.store.codecs.load_sim_indexes_memmap` from the
+    raw ``.npy`` snapshot artefacts.  The precomputed neighbour lists —
+    the expensive all-pairs payload — remain read-only ``numpy.memmap``
+    views looked up by binary search over the sorted key array; only
+    *unseen* query values (misspellings outside the universe) fall back
+    to the eager path, which lazily builds the bigram inverted index on
+    first need and caches the computed list exactly like the parent.
+
+    A pre-fork serving master maps the arrays once and forks, so workers
+    share the pages; per-worker private memory holds only the lazy
+    query-time cache.
+    """
+
+    def __init__(
+        self,
+        values,
+        nb_keys,
+        nb_offsets,
+        nb_targets,
+        nb_sims,
+        threshold: float,
+    ) -> None:
+        if not 0.0 < threshold < 1.0:
+            raise ValueError(f"threshold must be in (0, 1), got {threshold}")
+        self.threshold = threshold
+        # The value universe stays a (memory-mapped) unicode array; the
+        # eager parent's membership / iteration uses still work on it.
+        self._values = values
+        self._nb_keys = nb_keys          # sorted unicode array
+        self._nb_offsets = nb_offsets    # int64, len(nb_keys) + 1
+        self._nb_targets = nb_targets    # unicode, flattened lists
+        self._nb_sims = nb_sims          # float64, parallel to targets
+        # Query-time cache of values not in the precomputed key array;
+        # same contract as the parent's _neighbours growth.
+        self._neighbours = {}
+        self._cache_lock = threading.Lock()
+        # Bigram index is only needed for unseen values: build lazily so
+        # a fork-shared worker that never sees a misspelling pays nothing.
+        self._gram_index = None
+        self._gram_lock = threading.Lock()
+
+    def _mapped_row(self, value: str) -> int | None:
+        n = len(self._nb_keys)
+        if n == 0:
+            return None
+        row = int(np.searchsorted(self._nb_keys, value))
+        if row < n and str(self._nb_keys[row]) == value:
+            return row
+        return None
+
+    def _mapped_list(self, row: int) -> list[tuple[str, float]]:
+        start = int(self._nb_offsets[row])
+        end = int(self._nb_offsets[row + 1])
+        targets = self._nb_targets[start:end]
+        sims = self._nb_sims[start:end]
+        return [(str(t), float(s)) for t, s in zip(targets, sims)]
+
+    def _candidates(self, value: str) -> set[str]:
+        if self._gram_index is None:
+            with self._gram_lock:
+                if self._gram_index is None:
+                    gram_index: dict[str, list[str]] = {}
+                    for stored in self._values:
+                        stored = str(stored)
+                        for gram in bigrams(stored):
+                            gram_index.setdefault(gram, []).append(stored)
+                    self._gram_index = gram_index
+        return super()._candidates(value)
+
+    def matches(self, value: str) -> list[tuple[str, float]]:
+        value = value.lower()
+        row = self._mapped_row(value)
+        if row is not None:
+            return self._mapped_list(row)
+        cached = self._neighbours.get(value)
+        if cached is None:
+            cached = self._compute_neighbours(value)
+            with self._cache_lock:
+                self._neighbours[value] = cached
+        return list(cached)
+
+    def __contains__(self, value: str) -> bool:
+        value = value.lower()
+        return self._mapped_row(value) is not None or value in self._neighbours
+
+    def neighbour_state(self) -> dict[str, list[tuple[str, float]]]:
+        """Materialise every stored list (mapped + query-time cached)."""
+        out = {
+            str(key): self._mapped_list(row)
+            for row, key in enumerate(self._nb_keys)
+        }
+        with self._cache_lock:
+            for key, pairs in self._neighbours.items():
+                out.setdefault(key, list(pairs))
+        return out
+
+    def n_precomputed_pairs(self) -> int:
+        with self._cache_lock:
+            cached = sum(len(v) for v in self._neighbours.values())
+        return int(self._nb_offsets[-1]) + cached

@@ -7,7 +7,11 @@ concurrent JSON requests from a ``ThreadingHTTPServer`` — with an LRU+TTL
 result cache (:mod:`repro.serve.cache`), a bounded concurrency gate
 (:mod:`repro.serve.admission`), per-endpoint latency histograms and
 request span trees via :mod:`repro.obs`, and a stdlib client
-(:mod:`repro.serve.client`).  Start it with ``repro serve`` or embed it:
+(:mod:`repro.serve.client`).  For multi-core machines,
+:mod:`repro.serve.prefork` scales the same app across N forked worker
+processes sharing one memory-mapped snapshot and one listening socket,
+with request coalescing (:mod:`repro.serve.coalesce`) deduplicating
+identical in-flight queries.  Start it with ``repro serve`` or embed it:
 
 >>> from repro.serve import ServeConfig, ServingApp, make_server  # doctest: +SKIP
 >>> app = ServingApp(graph, ServeConfig(cache_size=512))          # doctest: +SKIP
@@ -24,6 +28,13 @@ from repro.serve.app import (
 )
 from repro.serve.cache import LRUTTLCache, MISS, query_cache_key
 from repro.serve.client import ServeClient, ServeError
+from repro.serve.coalesce import SingleFlight
+from repro.serve.prefork import (
+    PreforkConfig,
+    PreforkMaster,
+    merge_metric_snapshots,
+    proc_private_bytes,
+)
 from repro.serve.serialization import (
     entity_to_dict,
     match_to_dict,
@@ -46,6 +57,11 @@ __all__ = [
     "query_cache_key",
     "ServeClient",
     "ServeError",
+    "SingleFlight",
+    "PreforkConfig",
+    "PreforkMaster",
+    "merge_metric_snapshots",
+    "proc_private_bytes",
     "entity_to_dict",
     "match_to_dict",
     "pedigree_payload",

@@ -66,6 +66,7 @@ from repro.pedigree.visualize import render_ascii_tree, render_dot
 from repro.query import QueryEngine
 from repro.serve.admission import AdmissionController, Deadline, Rejected
 from repro.serve.cache import MISS, LRUTTLCache, query_cache_key
+from repro.serve.coalesce import SingleFlight
 from repro.serve.serialization import (
     pedigree_payload,
     query_from_mapping,
@@ -187,13 +188,23 @@ class ServingApp:
             sim_index=sim_index,
         )
         # keep_stale: expired entries stay recoverable for degraded mode.
+        # The cache is bound to the serving snapshot's id so entries
+        # inherited across fork from a process serving a *different*
+        # snapshot can never come back as fresh hits (see LRUTTLCache).
         self.cache = LRUTTLCache(
             max_size=self.config.cache_size,
             ttl_s=self.config.cache_ttl_s,
             metrics=self.metrics,
             clock=clock,
             keep_stale=True,
+            token=(
+                str(manifest.snapshot_id) if manifest is not None else None
+            ),
         )
+        # Burst deduplication: identical in-flight searches share one
+        # backend computation (the result cache only helps *after* the
+        # first answer lands).
+        self.flights = SingleFlight(metrics=self.metrics)
         self.gate = AdmissionController(
             max_concurrency=self.config.max_concurrency,
             max_pending=self.config.max_pending,
@@ -221,6 +232,12 @@ class ServingApp:
             metrics=self.metrics,
         )
         self._reload_lock = threading.Lock()
+        # Pre-fork deployment hooks (see repro.serve.prefork).  A worker
+        # process cannot swap the whole fleet's snapshot by itself, so
+        # when set, /v1/reload forwards to the master via this delegate;
+        # /metricz renders the fleet-merged view from ``metrics_view``.
+        self.reload_delegate = None
+        self.metrics_view = None
         self.started_at = clock()
         # Last few request span trees, for debugging and tests.
         self.recent_traces: deque[Trace] = deque(maxlen=32)
@@ -422,15 +439,20 @@ class ServingApp:
         age_s = self._snapshot_age_s()
         if age_s is not None:
             self.metrics.set_gauge("serve.snapshot.age_seconds", age_s)
+        # In a pre-fork fleet the machine-readable formats render the
+        # fleet-merged view (every worker's counters summed, histograms
+        # merged); single-process serving renders its own registry.
+        view = (
+            self.metrics_view() if self.metrics_view is not None
+            else self.metrics.as_dict()
+        )
         if params.get("format") == "prom":
             info = {"service": "snaps-serve"}
             if self.manifest is not None:
                 info["snapshot_id"] = str(self.manifest.snapshot_id)
-            return _text_response(
-                200, render_prometheus(self.metrics.as_dict(), info=info)
-            )
+            return _text_response(200, render_prometheus(view, info=info))
         if params.get("format") == "json":
-            return _json_response(200, self.metrics.as_dict())
+            return _json_response(200, view)
         report = build_report(metrics=self.metrics, meta={"kind": "serve"})
         return _text_response(200, render_report(report))
 
@@ -448,6 +470,14 @@ class ServingApp:
             cached = self.cache.get(key)
         if cached is not MISS:
             return _json_response(200, {**cached, "cached": True})
+        # Coalesce the miss path: concurrent identical queries share the
+        # leader's computation (and its Response — built fresh per
+        # flight, treated as read-only by the transport).
+        return self.flights.do(
+            key, lambda: self._search_miss(key, query, top_m, trace)
+        )
+
+    def _search_miss(self, key, query, top_m: int, trace: Trace) -> Response:
         breaker = self.breakers["search"]
         if not breaker.allow():
             # Open circuit: don't touch the backend at all.
@@ -563,7 +593,7 @@ class ServingApp:
         epoch, so answers computed from the predecessor snapshot can
         only resurface through the explicit ``Warning: 110`` stale path.
         """
-        if self.store is None:
+        if self.store is None and self.reload_delegate is None:
             return _error_response(
                 409, "no snapshot store attached; start with --snapshot"
             )
@@ -584,6 +614,11 @@ class ServingApp:
                         400, 'reload body must be {"snapshot": "<id>"}'
                     )
                 requested = payload.get("snapshot")
+        if self.reload_delegate is not None:
+            # Pre-fork worker: one process cannot swap the fleet.  The
+            # delegate forwards the request to the master, which maps
+            # the new snapshot and rotates every worker through it.
+            return self.reload_delegate(requested)
         previous = (
             self.manifest.snapshot_id if self.manifest is not None else None
         )
@@ -636,8 +671,10 @@ class ServingApp:
             self.manifest = loaded.manifest
             # Results computed from the predecessor must not come back
             # as fresh hits; degraded mode can still reach them via
-            # get_stale (Warning: 110).
-            self.cache.bump_epoch()
+            # get_stale (Warning: 110).  Rebinding to the new snapshot's
+            # id both bumps the epoch locally and marks the entries so
+            # any process that later fork-inherits them refuses them too.
+            self.cache.rebind(str(loaded.manifest.snapshot_id))
         self.metrics.inc("serve.reloads")
         logger.info(
             "reloaded snapshot %s (%d entities)",

@@ -71,6 +71,18 @@ class LRUTTLCache:
     old-epoch entries exactly like expired ones, so a freshly promoted
     snapshot can never serve a predecessor's results as a normal cache
     hit — only via the explicitly-marked ``get_stale`` degraded path.
+
+    The epoch alone is a *per-process* counter, which is not enough once
+    processes fork: a pre-fork worker inherits its parent's warm cache
+    together with the parent's epoch counter, so entries computed
+    against a previous snapshot would look perfectly fresh in the child.
+    Entries are therefore also tagged with the **snapshot token** (the
+    snapshot id) that was bound when they were stored; :meth:`rebind`
+    declares which snapshot the process is now serving, and ``get``
+    refuses entries stored under any other token exactly like expired
+    ones.  A post-reload worker rotation thus can never serve a
+    pre-reload result without the ``Warning: 110`` stale marking, no
+    matter which process the cache bytes were inherited from.
     """
 
     def __init__(
@@ -81,6 +93,7 @@ class LRUTTLCache:
         metrics: Any = None,
         prefix: str = "serve.cache",
         keep_stale: bool = False,
+        token: str | None = None,
     ) -> None:
         if max_size < 0:
             raise ValueError(f"max_size must be >= 0, got {max_size}")
@@ -93,10 +106,11 @@ class LRUTTLCache:
         self._metrics = metrics
         self._prefix = prefix
         # key -> [value, expires_at | None, stored_at, expiry_counted,
-        # epoch]; insertion order == recency.
+        # epoch, token]; insertion order == recency.
         self._entries: OrderedDict[Hashable, list] = OrderedDict()
         self._lock = threading.Lock()
         self._epoch = 0
+        self._token = token
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -117,9 +131,11 @@ class LRUTTLCache:
         with self._lock:
             entry = self._entries.get(key)
             if entry is not None:
-                value, expires_at, _, counted, epoch = entry
-                if (expires_at is not None and now >= expires_at) or (
-                    epoch != self._epoch
+                value, expires_at, _, counted, epoch, token = entry
+                if (
+                    (expires_at is not None and now >= expires_at)
+                    or epoch != self._epoch
+                    or token != self._token
                 ):
                     expired = not counted
                     if self.keep_stale:
@@ -152,7 +168,7 @@ class LRUTTLCache:
             entry = self._entries.get(key)
             if entry is None:
                 return MISS
-            value, _, stored_at, _, _ = entry
+            value, _, stored_at, _, _, _ = entry
             self.stale_hits += 1
         self._count("stale_hits")
         return value, max(0.0, now - stored_at)
@@ -167,7 +183,9 @@ class LRUTTLCache:
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)
-            self._entries[key] = [value, expires_at, now, False, self._epoch]
+            self._entries[key] = [
+                value, expires_at, now, False, self._epoch, self._token,
+            ]
             while len(self._entries) > self.max_size:
                 self._entries.popitem(last=False)
                 self.evictions += 1
@@ -187,6 +205,30 @@ class LRUTTLCache:
             self.invalidations += 1
             if not self.keep_stale:
                 self._entries.clear()
+
+    def rebind(self, token: str | None) -> None:
+        """Declare which snapshot this process now serves.
+
+        A no-op when ``token`` matches the currently bound one (an
+        idempotent re-promotion must not blow the cache); otherwise the
+        change invalidates every stored entry — both those stored under
+        the old token *and* any inherited across a ``fork`` from a
+        parent bound elsewhere — exactly like :meth:`bump_epoch` does.
+        """
+        with self._lock:
+            if token == self._token:
+                return
+            self._token = token
+            self._epoch += 1
+            self.invalidations += 1
+            if not self.keep_stale:
+                self._entries.clear()
+
+    @property
+    def token(self) -> str | None:
+        """The currently bound snapshot token (None = unbound)."""
+        with self._lock:
+            return self._token
 
     def clear(self) -> None:
         with self._lock:

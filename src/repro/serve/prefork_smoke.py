@@ -1,0 +1,288 @@
+"""Pre-fork serving smoke check (the ``make prefork-smoke`` gate).
+
+Builds a store with two snapshots of tiny synthetic datasets, boots a
+:class:`~repro.serve.prefork.PreforkMaster` with four workers on an
+ephemeral port, and drives the fleet through its failure modes under
+continuous client traffic:
+
+1. **Kill one worker mid-traffic** — SIGKILL a worker while requests
+   are in flight and assert the supervisor restarts it AND that not a
+   single request observed a non-2xx status (the kernel re-balances
+   accepts onto the surviving workers; nothing is dropped).
+2. **One zero-downtime reload** — POST ``/v1/reload`` targeting the
+   second snapshot and assert the one-at-a-time worker rotation
+   completes with zero non-2xx responses, after which ``/healthz``
+   reports the new snapshot's entity count.
+
+Exits non-zero on any violated invariant.  Run with
+``python -m repro.serve.prefork_smoke``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import signal
+import sys
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+from repro.core import SnapsConfig, SnapsResolver
+from repro.data.synthetic import make_tiny_dataset
+from repro.pedigree import build_pedigree_graph
+from repro.serve.app import ServeConfig
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.prefork import (
+    HEARTBEAT_DIRNAME,
+    PreforkConfig,
+    PreforkMaster,
+)
+from repro.store import SnapshotStore
+
+__all__ = ["main"]
+
+WORKERS = 4
+BOOT_TIMEOUT_S = 60.0
+RESTART_TIMEOUT_S = 30.0
+
+
+class _Traffic:
+    """Background request loop that tallies statuses, never raises."""
+
+    def __init__(self, base_url: str, payload: dict) -> None:
+        self._url = base_url + "/v1/search"
+        self._body = json.dumps(payload).encode("utf-8")
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self.ok = 0
+        self.bad: list[tuple[int | str, str]] = []
+
+    def _one(self) -> None:
+        request = urllib.request.Request(
+            self._url,
+            data=self._body,
+            method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=15.0) as response:
+                if 200 <= response.status < 300:
+                    self.ok += 1
+                else:  # pragma: no cover - urlopen raises on non-2xx
+                    self.bad.append((response.status, ""))
+                response.read()
+        except urllib.error.HTTPError as error:
+            self.bad.append((error.code, error.read().decode("utf-8", "replace")))
+        except OSError as error:
+            # A refused/reset connection is downtime just as much as a
+            # 5xx — count it against the zero-non-2xx budget.
+            self.bad.append(("conn", str(error)))
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            self._one()
+            time.sleep(0.02)
+
+    def __enter__(self) -> "_Traffic":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._stop.set()
+        self._thread.join(timeout=30.0)
+
+
+def _build_store(store_dir: Path) -> tuple[str, str, dict, int]:
+    """Two snapshots (different datasets) in one store.
+
+    Returns ``(first_id, second_id, probe_payload, second_entities)``
+    where the probe payload is a search body valid against the *first*
+    snapshot.
+    """
+    store = SnapshotStore(store_dir)
+    config = SnapsConfig()
+    ids = []
+    probe: dict | None = None
+    second_entities = 0
+    for seed in (3, 7):
+        dataset = make_tiny_dataset(seed=seed)
+        result = SnapsResolver(config).resolve(dataset)
+        graph = build_pedigree_graph(dataset, result.entities)
+        manifest = store.save(result, graph=graph, config=config)
+        ids.append(manifest.snapshot_id)
+        if probe is None:
+            entity = next(
+                e for e in graph if e.first("first_name") and e.first("surname")
+            )
+            probe = {
+                "first_name": entity.first("first_name"),
+                "surname": entity.first("surname"),
+                "top": 5,
+            }
+        second_entities = len(graph)
+    if ids[0] == ids[1]:
+        raise RuntimeError("expected two distinct snapshots, got one")
+    assert probe is not None
+    return ids[0], ids[1], probe, second_entities
+
+
+def _worker_pids(run_dir: Path) -> set[int]:
+    return {
+        int(path.stem)
+        for path in (run_dir / HEARTBEAT_DIRNAME).glob("*.hb")
+    }
+
+
+def _wait_for(predicate, timeout_s: float, what: str) -> None:
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.1)
+    raise TimeoutError(f"timed out after {timeout_s:.0f}s waiting for {what}")
+
+
+def _start_master(store_dir: Path, run_dir: Path, snapshot_id: str) -> int:
+    """Fork a child that runs the pre-fork master; returns its pid."""
+    master = PreforkMaster(
+        store_dir,
+        config=PreforkConfig(workers=WORKERS, run_dir=run_dir),
+        serve_config=ServeConfig(host="127.0.0.1", port=0),
+        snapshot_id=snapshot_id,
+    )
+    pid = os.fork()
+    if pid == 0:
+        status = 0
+        try:
+            master.start()
+        except BaseException:  # pragma: no cover - crash path
+            import traceback
+
+            traceback.print_exc()
+            status = 1
+        finally:
+            os._exit(status)
+    return pid
+
+
+def main(argv: list[str] | None = None) -> int:
+    tmp = Path(tempfile.mkdtemp(prefix="prefork-smoke-"))
+    store_dir = tmp / "store"
+    run_dir = tmp / "run"
+    master_pid = 0
+    try:
+        first_id, second_id, probe, second_entities = _build_store(store_dir)
+        master_pid = _start_master(store_dir, run_dir, first_id)
+
+        address_file = run_dir / "address.json"
+        _wait_for(address_file.exists, BOOT_TIMEOUT_S, "address.json")
+        address = json.loads(address_file.read_text())
+        base_url = f"http://{address['host']}:{address['port']}"
+        _wait_for(
+            lambda: len(_worker_pids(run_dir)) >= WORKERS,
+            BOOT_TIMEOUT_S,
+            f"{WORKERS} worker heartbeats",
+        )
+        client = ServeClient(base_url, timeout_s=30.0)
+        health = client.healthz()
+        if health["status"] != "ok":
+            print(f"prefork-smoke: bad /healthz: {health}", file=sys.stderr)
+            return 1
+
+        # 1. Kill one worker mid-traffic: supervised restart, zero
+        #    non-2xx observed by clients.
+        before = _worker_pids(run_dir)
+        victim = sorted(before)[0]
+        with _Traffic(base_url, probe) as traffic:
+            time.sleep(0.5)  # traffic flowing before the kill
+            os.kill(victim, signal.SIGKILL)
+            _wait_for(
+                lambda: len(_worker_pids(run_dir) - {victim}) >= WORKERS,
+                RESTART_TIMEOUT_S,
+                "supervised worker restart",
+            )
+            time.sleep(0.5)  # traffic flowing after the restart
+        restarted = _worker_pids(run_dir) - before
+        if not restarted:
+            print("prefork-smoke: no replacement worker appeared", file=sys.stderr)
+            return 1
+        if traffic.bad:
+            print(
+                f"prefork-smoke: {len(traffic.bad)} non-2xx during worker "
+                f"kill (first: {traffic.bad[0]})",
+                file=sys.stderr,
+            )
+            return 1
+        if traffic.ok < 10:
+            print(
+                f"prefork-smoke: only {traffic.ok} requests during kill "
+                "window — traffic loop is broken",
+                file=sys.stderr,
+            )
+            return 1
+        kill_ok = traffic.ok
+
+        # 2. Zero-downtime reload onto the second snapshot: rolling
+        #    worker rotation, zero non-2xx, new snapshot visible after.
+        with _Traffic(base_url, probe) as traffic:
+            time.sleep(0.3)
+            try:
+                reloaded = client.reload(second_id)
+            except ServeError as error:
+                print(f"prefork-smoke: reload failed: {error}", file=sys.stderr)
+                return 1
+            time.sleep(0.3)
+        if reloaded.get("status") != "reloaded" or reloaded.get("snapshot") != second_id:
+            print(f"prefork-smoke: bad reload payload: {reloaded}", file=sys.stderr)
+            return 1
+        if traffic.bad:
+            print(
+                f"prefork-smoke: {len(traffic.bad)} non-2xx during reload "
+                f"(first: {traffic.bad[0]})",
+                file=sys.stderr,
+            )
+            return 1
+        # The worker that relayed the reload response drains briefly
+        # before exiting; once it is gone every replica serves the new
+        # snapshot.
+        _wait_for(
+            lambda: client.healthz()["entities"] == second_entities,
+            RESTART_TIMEOUT_S,
+            f"every worker to report {second_entities} entities",
+        )
+
+        print(
+            f"prefork-smoke ok: {WORKERS} workers, worker {victim} killed "
+            f"and restarted with {kill_ok} requests and 0 non-2xx, reload "
+            f"{first_id} -> {second_id} with {traffic.ok} requests and "
+            "0 non-2xx"
+        )
+        return 0
+    except TimeoutError as error:
+        print(f"prefork-smoke: {error}", file=sys.stderr)
+        return 1
+    finally:
+        if master_pid:
+            try:
+                os.kill(master_pid, signal.SIGTERM)
+            except ProcessLookupError:
+                pass
+            deadline = time.monotonic() + 15.0
+            while time.monotonic() < deadline:
+                done, _ = os.waitpid(master_pid, os.WNOHANG)
+                if done == master_pid:
+                    break
+                time.sleep(0.1)
+            else:  # pragma: no cover - hung master
+                os.kill(master_pid, signal.SIGKILL)
+                os.waitpid(master_pid, 0)
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via make prefork-smoke
+    raise SystemExit(main())

@@ -24,11 +24,12 @@ import numpy as np
 from repro.blocking.candidates import CandidatePair
 from repro.core.entities import EntityStore
 from repro.data.records import Dataset
-from repro.index.keyword import KeywordIndex
-from repro.index.simindex import SimilarityAwareIndex
+from repro.index.keyword import KeywordIndex, MemmapKeywordIndex
+from repro.index.simindex import MemmapSimilarityIndex, SimilarityAwareIndex
 from repro.store.manifest import SnapshotIntegrityError, SnapshotSchemaError
 
 __all__ = [
+    "RAW_DIRNAME",
     "decode_clusters",
     "decode_entity_state",
     "encode_clusters",
@@ -36,16 +37,36 @@ __all__ = [
     "load_candidate_pairs",
     "load_clusters",
     "load_keyword_index",
+    "load_keyword_index_memmap",
     "load_sim_indexes",
+    "load_sim_indexes_memmap",
     "save_candidate_pairs",
     "save_keyword_index",
+    "save_keyword_index_raw",
     "save_sim_indexes",
+    "save_sim_indexes_raw",
 ]
 
 _CLUSTERS_FORMAT = "snaps-clusters"
 _CLUSTERS_VERSION = 1
 _ENTITY_STATE_FORMAT = "snaps-entity-state"
 _ENTITY_STATE_VERSION = 1
+
+# Raw memmap tier: uncompressed .npy flat-binary variants of the two
+# index artefacts, living in <snapshot>/raw/.  Unlike the canonical
+# compressed .npz payloads they can back read-only numpy.memmap views,
+# which is what lets a pre-fork serving master map a snapshot once and
+# share the physical pages across every forked worker.
+RAW_DIRNAME = "raw"
+_RAW_SIM_META = "sim.meta.json"
+_RAW_SIM_FORMAT = "snaps-raw-sim"
+_RAW_SIM_VERSION = 1
+_RAW_KEYWORD_ARRAYS = (
+    "kv_attrs", "kv_values", "kv_offsets", "kv_postings",
+    "year_keys", "year_offsets", "year_postings",
+    "gender_keys", "gender_offsets", "gender_postings",
+)
+_RAW_SIM_ARRAYS = ("values", "nb_keys", "nb_offsets", "nb_targets", "nb_sims")
 
 
 def _postings_arrays(
@@ -73,8 +94,8 @@ def _str_array(values: list[str]) -> np.ndarray:
 # ----------------------------------------------------------------------
 
 
-def save_keyword_index(index: KeywordIndex, path: Path) -> None:
-    """Serialise ``index`` to an ``.npz`` file at ``path``."""
+def _keyword_index_arrays(index: KeywordIndex) -> dict[str, np.ndarray]:
+    """The canonical flat-array form of a keyword index (sorted keys)."""
     by_value, years, genders = index.postings()
     kv_keys = sorted(by_value)
     year_keys = sorted(years)
@@ -84,20 +105,24 @@ def save_keyword_index(index: KeywordIndex, path: Path) -> None:
     gender_offsets, gender_postings = _postings_arrays(
         [genders[k] for k in gender_keys]
     )
+    return {
+        "kv_attrs": _str_array([attr for attr, _ in kv_keys]),
+        "kv_values": _str_array([value for _, value in kv_keys]),
+        "kv_offsets": kv_offsets,
+        "kv_postings": kv_postings,
+        "year_keys": np.asarray(year_keys, dtype=np.int64),
+        "year_offsets": year_offsets,
+        "year_postings": year_postings,
+        "gender_keys": _str_array(gender_keys),
+        "gender_offsets": gender_offsets,
+        "gender_postings": gender_postings,
+    }
+
+
+def save_keyword_index(index: KeywordIndex, path: Path) -> None:
+    """Serialise ``index`` to an ``.npz`` file at ``path``."""
     with path.open("wb") as handle:
-        np.savez_compressed(
-            handle,
-            kv_attrs=_str_array([attr for attr, _ in kv_keys]),
-            kv_values=_str_array([value for _, value in kv_keys]),
-            kv_offsets=kv_offsets,
-            kv_postings=kv_postings,
-            year_keys=np.asarray(year_keys, dtype=np.int64),
-            year_offsets=year_offsets,
-            year_postings=year_postings,
-            gender_keys=_str_array(gender_keys),
-            gender_offsets=gender_offsets,
-            gender_postings=gender_postings,
-        )
+        np.savez_compressed(handle, **_keyword_index_arrays(index))
 
 
 def load_keyword_index(path: Path) -> KeywordIndex:
@@ -147,6 +172,30 @@ def load_keyword_index(path: Path) -> KeywordIndex:
 # ----------------------------------------------------------------------
 
 
+def _sim_index_arrays(
+    index: SimilarityAwareIndex,
+) -> dict[str, np.ndarray]:
+    """The canonical flat-array form of one S index (sorted keys)."""
+    neighbours = index.neighbour_state()
+    keys = sorted(neighbours)
+    offsets = np.zeros(len(keys) + 1, dtype=np.int64)
+    targets: list[str] = []
+    sims: list[float] = []
+    for i, key in enumerate(keys):
+        pairs = neighbours[key]
+        offsets[i + 1] = offsets[i] + len(pairs)
+        for target, sim in pairs:
+            targets.append(target)
+            sims.append(sim)
+    return {
+        "values": _str_array(sorted(str(v) for v in index._values)),
+        "nb_keys": _str_array(keys),
+        "nb_offsets": offsets,
+        "nb_targets": _str_array(targets),
+        "nb_sims": np.asarray(sims, dtype=np.float64),
+    }
+
+
 def save_sim_indexes(sim_index: dict[str, SimilarityAwareIndex], path: Path) -> None:
     """Serialise all per-attribute S indexes into one ``.npz`` file."""
     arrays: dict[str, np.ndarray] = {
@@ -154,22 +203,12 @@ def save_sim_indexes(sim_index: dict[str, SimilarityAwareIndex], path: Path) -> 
     }
     for attr in sorted(sim_index):
         index = sim_index[attr]
-        neighbours = index.neighbour_state()
-        keys = sorted(neighbours)
-        offsets = np.zeros(len(keys) + 1, dtype=np.int64)
-        targets: list[str] = []
-        sims: list[float] = []
-        for i, key in enumerate(keys):
-            pairs = neighbours[key]
-            offsets[i + 1] = offsets[i] + len(pairs)
-            for target, sim in pairs:
-                targets.append(target)
-                sims.append(sim)
-        arrays[f"{attr}__values"] = _str_array(sorted(index._values))
-        arrays[f"{attr}__nb_keys"] = _str_array(keys)
-        arrays[f"{attr}__nb_offsets"] = offsets
-        arrays[f"{attr}__nb_target"] = _str_array(targets)
-        arrays[f"{attr}__nb_sim"] = np.asarray(sims, dtype=np.float64)
+        flat = _sim_index_arrays(index)
+        arrays[f"{attr}__values"] = flat["values"]
+        arrays[f"{attr}__nb_keys"] = flat["nb_keys"]
+        arrays[f"{attr}__nb_offsets"] = flat["nb_offsets"]
+        arrays[f"{attr}__nb_target"] = flat["nb_targets"]
+        arrays[f"{attr}__nb_sim"] = flat["nb_sims"]
         arrays[f"{attr}__threshold"] = np.asarray([index.threshold], dtype=np.float64)
     with path.open("wb") as handle:
         np.savez_compressed(handle, **arrays)
@@ -210,6 +249,136 @@ def load_sim_indexes(path: Path) -> dict[str, SimilarityAwareIndex]:
         }
         out[attr] = SimilarityAwareIndex.from_precomputed(
             values, neighbours, threshold
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# Raw memmap tier (uncompressed .npy variants of K and S)
+# ----------------------------------------------------------------------
+
+
+def _save_npy(path: Path, array: np.ndarray) -> None:
+    with path.open("wb") as handle:
+        np.save(handle, array, allow_pickle=False)
+
+
+def _load_npy_memmap(path: Path) -> np.ndarray:
+    try:
+        return np.load(path, mmap_mode="r", allow_pickle=False)
+    except FileNotFoundError:
+        raise SnapshotIntegrityError(f"missing raw artefact: {path}") from None
+    except (ValueError, OSError) as exc:
+        raise SnapshotIntegrityError(
+            f"corrupt raw artefact {path}: {exc}"
+        ) from None
+
+
+def save_keyword_index_raw(index: KeywordIndex, directory: Path) -> list[Path]:
+    """Write the keyword index as flat ``.npy`` files under ``directory``.
+
+    The array *content* is identical to :func:`save_keyword_index` —
+    only the container differs (uncompressed ``.npy`` per array instead
+    of one compressed ``.npz``), so the raw tier is byte-deterministic
+    given the index state.  Returns the written paths (for manifest
+    checksumming).
+    """
+    directory.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    for name, array in _keyword_index_arrays(index).items():
+        path = directory / f"keyword.{name}.npy"
+        _save_npy(path, array)
+        written.append(path)
+    return written
+
+
+def load_keyword_index_memmap(directory: Path) -> MemmapKeywordIndex:
+    """Map the raw keyword artefacts read-only; inverse of
+    :func:`save_keyword_index_raw`.
+
+    Key lookup tables are materialised (small); the int64 posting
+    arrays stay memory-mapped so forked serving workers share them.
+    """
+    arrays = {
+        name: _load_npy_memmap(directory / f"keyword.{name}.npy")
+        for name in _RAW_KEYWORD_ARRAYS
+    }
+    kv_keys = [
+        (str(attr), str(value))
+        for attr, value in zip(arrays["kv_attrs"], arrays["kv_values"])
+    ]
+    return MemmapKeywordIndex(
+        kv_keys,
+        arrays["kv_offsets"],
+        arrays["kv_postings"],
+        [int(y) for y in arrays["year_keys"]],
+        arrays["year_offsets"],
+        arrays["year_postings"],
+        [str(g) for g in arrays["gender_keys"]],
+        arrays["gender_offsets"],
+        arrays["gender_postings"],
+    )
+
+
+def save_sim_indexes_raw(
+    sim_index: dict[str, SimilarityAwareIndex], directory: Path
+) -> list[Path]:
+    """Write every S index as flat ``.npy`` files under ``directory``.
+
+    One ``sim.<attr>.<array>.npy`` file per array plus a ``sim.meta.json``
+    carrying the attribute list and thresholds.  Returns the written
+    paths (meta file first).
+    """
+    directory.mkdir(parents=True, exist_ok=True)
+    meta = {
+        "format": _RAW_SIM_FORMAT,
+        "version": _RAW_SIM_VERSION,
+        "attrs": sorted(sim_index),
+        "thresholds": {
+            attr: sim_index[attr].threshold for attr in sorted(sim_index)
+        },
+    }
+    meta_path = directory / _RAW_SIM_META
+    meta_path.write_text(json.dumps(meta, sort_keys=True))
+    written = [meta_path]
+    for attr in sorted(sim_index):
+        for name, array in _sim_index_arrays(sim_index[attr]).items():
+            path = directory / f"sim.{attr}.{name}.npy"
+            _save_npy(path, array)
+            written.append(path)
+    return written
+
+
+def load_sim_indexes_memmap(directory: Path) -> dict[str, MemmapSimilarityIndex]:
+    """Map the raw S artefacts read-only; inverse of
+    :func:`save_sim_indexes_raw`."""
+    meta_path = directory / _RAW_SIM_META
+    try:
+        meta = json.loads(meta_path.read_text())
+    except FileNotFoundError:
+        raise SnapshotIntegrityError(f"missing raw sim meta: {meta_path}") from None
+    except json.JSONDecodeError as exc:
+        raise SnapshotIntegrityError(
+            f"corrupt raw sim meta {meta_path}: {exc}"
+        ) from None
+    if meta.get("format") != _RAW_SIM_FORMAT or meta.get("version") != _RAW_SIM_VERSION:
+        raise SnapshotSchemaError(
+            f"unsupported raw sim meta {meta_path}: "
+            f"format={meta.get('format')!r} version={meta.get('version')!r}"
+        )
+    out: dict[str, MemmapSimilarityIndex] = {}
+    for attr in meta["attrs"]:
+        arrays = {
+            name: _load_npy_memmap(directory / f"sim.{attr}.{name}.npy")
+            for name in _RAW_SIM_ARRAYS
+        }
+        out[attr] = MemmapSimilarityIndex(
+            arrays["values"],
+            arrays["nb_keys"],
+            arrays["nb_offsets"],
+            arrays["nb_targets"],
+            arrays["nb_sims"],
+            float(meta["thresholds"][attr]),
         )
     return out
 

@@ -32,6 +32,7 @@ from repro.data.schema import AttributeCategory, AttributeSpec, Schema
 __all__ = [
     "MANIFEST_FILENAME",
     "SCHEMA_VERSION",
+    "SUPPORTED_SCHEMA_VERSIONS",
     "Manifest",
     "SnapshotError",
     "SnapshotIntegrityError",
@@ -44,7 +45,12 @@ __all__ = [
 
 MANIFEST_FILENAME = "manifest.json"
 _FORMAT = "snaps-snapshot"
-SCHEMA_VERSION = 1
+# Version 2 added the optional raw memmap artefact tier (raw/*.npy,
+# recorded under ``raw_artifacts``).  Version-1 snapshots — written
+# before the tier existed — still load; they simply have no raw
+# artefacts, so memmap loads fall back to the eager .npz path.
+SCHEMA_VERSION = 2
+SUPPORTED_SCHEMA_VERSIONS = (1, 2)
 
 
 class SnapshotError(RuntimeError):
@@ -130,6 +136,12 @@ class Manifest:
     dataset: dict            # {"name", "records", "certificates", "sha256"}
     counts: dict             # entity/cluster/index cardinalities
     artifacts: dict[str, dict] = field(default_factory=dict)
+    # Raw memmap-friendly artefact variants (raw/*.npy).  Checksummed
+    # and verified like ``artifacts``, but — exactly like the shard
+    # sidecar — EXCLUDED from the content-addressed snapshot id: the
+    # raw tier is derived byte-deterministically from the canonical
+    # .npz payloads, so its presence must not change the id.
+    raw_artifacts: dict[str, dict] = field(default_factory=dict)
     schema_version: int = SCHEMA_VERSION
 
     @staticmethod
@@ -155,7 +167,7 @@ class Manifest:
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
     def to_dict(self) -> dict:
-        return {
+        blob = {
             "format": _FORMAT,
             "schema_version": self.schema_version,
             "snapshot_id": self.snapshot_id,
@@ -168,6 +180,9 @@ class Manifest:
             "counts": self.counts,
             "artifacts": self.artifacts,
         }
+        if self.raw_artifacts:
+            blob["raw_artifacts"] = self.raw_artifacts
+        return blob
 
     @classmethod
     def from_dict(cls, blob: dict) -> "Manifest":
@@ -176,10 +191,11 @@ class Manifest:
                 f"not a snapshot manifest (format={blob.get('format')!r})"
             )
         version = blob.get("schema_version")
-        if version != SCHEMA_VERSION:
+        if version not in SUPPORTED_SCHEMA_VERSIONS:
             raise SnapshotSchemaError(
                 f"snapshot schema version {version!r} is not supported "
-                f"(this build reads version {SCHEMA_VERSION}); "
+                f"(this build reads versions "
+                f"{', '.join(str(v) for v in SUPPORTED_SCHEMA_VERSIONS)}); "
                 "re-create the snapshot with `repro resolve --snapshot-out`"
             )
         return cls(
@@ -192,6 +208,8 @@ class Manifest:
             dataset=blob["dataset"],
             counts=blob.get("counts", {}),
             artifacts=blob.get("artifacts", {}),
+            raw_artifacts=blob.get("raw_artifacts", {}),
+            schema_version=version,
         )
 
     def save(self, path: Path) -> None:

@@ -130,6 +130,11 @@ class LoadedSnapshot:
     graph: PedigreeGraph | None = None
     keyword_index: KeywordIndex | None = None
     sim_index: dict[str, SimilarityAwareIndex] | None = None
+    # True when the indexes are memmap-backed views of the raw tier
+    # (requested via ``load(..., memmap=True)`` and the snapshot has raw
+    # artefacts); False on the eager .npz path, including the fallback
+    # for version-1 snapshots that predate the raw tier.
+    memmapped: bool = False
 
 
 class SnapshotStore:
@@ -219,17 +224,24 @@ class SnapshotStore:
             problems.append(
                 f"manifest says id {manifest.snapshot_id}, directory is {snapshot_id}"
             )
-        for name, blob in sorted(manifest.artifacts.items()):
-            path = directory / blob["path"]
-            if not path.exists():
-                problems.append(f"{name}: missing payload {blob['path']}")
-                continue
-            actual = file_sha256(path)
-            if actual != blob["sha256"]:
-                problems.append(
-                    f"{name}: checksum mismatch "
-                    f"(manifest {blob['sha256'][:12]}…, disk {actual[:12]}…)"
-                )
+        checked = [
+            ("", manifest.artifacts),
+            ("raw ", manifest.raw_artifacts),
+        ]
+        for kind, blobs in checked:
+            for name, blob in sorted(blobs.items()):
+                path = directory / blob["path"]
+                if not path.exists():
+                    problems.append(
+                        f"{name}: missing {kind}payload {blob['path']}"
+                    )
+                    continue
+                actual = file_sha256(path)
+                if actual != blob["sha256"]:
+                    problems.append(
+                        f"{name}: {kind}checksum mismatch "
+                        f"(manifest {blob['sha256'][:12]}…, disk {actual[:12]}…)"
+                    )
         expected_id = Manifest.compute_snapshot_id(
             manifest.artifacts,
             manifest.config_fingerprint,
@@ -343,6 +355,25 @@ class SnapshotStore:
                     codecs.save_sim_indexes(
                         sim_index, tmp / _ARTIFACT_FILES["simindex"]
                     )
+                with trace.span("write_raw"):
+                    # Memmap tier: uncompressed .npy variants of both
+                    # indexes, derived from the same in-memory state as
+                    # the .npz payloads.  Checksummed in the manifest but
+                    # excluded from the content address (see Manifest).
+                    fire("store.save.raw")
+                    raw_dir = tmp / codecs.RAW_DIRNAME
+                    raw_paths = codecs.save_keyword_index_raw(
+                        keyword_index, raw_dir
+                    )
+                    raw_paths += codecs.save_sim_indexes_raw(sim_index, raw_dir)
+                    raw_artifacts = {
+                        str(path.relative_to(tmp)): {
+                            "path": str(path.relative_to(tmp)),
+                            "sha256": file_sha256(path),
+                            "bytes": path.stat().st_size,
+                        }
+                        for path in raw_paths
+                    }
                 if sidecar_writer is not None:
                     with trace.span("sidecar"):
                         sidecar_writer(tmp)
@@ -386,6 +417,7 @@ class SnapshotStore:
                             },
                         },
                         artifacts=artifacts,
+                        raw_artifacts=raw_artifacts,
                     )
                     manifest.save(tmp / MANIFEST_FILENAME)
                 with trace.span("commit"):
@@ -403,6 +435,19 @@ class SnapshotStore:
                         final_sidecar = final / SHARDS_DIRNAME
                         if tmp_sidecar.is_dir() and not final_sidecar.exists():
                             os.replace(tmp_sidecar, final_sidecar)
+                        # Same for the raw tier: a snapshot saved before
+                        # the tier existed gains it on re-save (the raw
+                        # bytes are derived from identical content, and
+                        # the tier is outside the content address, so
+                        # the id is unchanged).  The stored manifest is
+                        # rewritten to record the new checksums.
+                        final_raw = final / codecs.RAW_DIRNAME
+                        if not final_raw.exists():
+                            os.replace(tmp / codecs.RAW_DIRNAME, final_raw)
+                            stored = Manifest.load(final / MANIFEST_FILENAME)
+                            stored.raw_artifacts = raw_artifacts
+                            stored.schema_version = manifest.schema_version
+                            stored.save(final / MANIFEST_FILENAME)
                         shutil.rmtree(tmp)
                         logger.info("snapshot %s already exists; reusing", snapshot_id)
                     else:
@@ -453,6 +498,7 @@ class SnapshotStore:
         verify: bool = True,
         trace: Trace | None = None,
         metrics: MetricsRegistry | None = None,
+        memmap: bool = False,
     ) -> LoadedSnapshot:
         """Materialise a snapshot (default: HEAD) from disk.
 
@@ -462,6 +508,15 @@ class SnapshotStore:
         With ``verify`` (the default) every loaded payload's checksum is
         compared against the manifest first; mismatches raise
         :class:`SnapshotIntegrityError`.
+
+        ``memmap=True`` loads the indexes as read-only ``numpy.memmap``
+        views of the snapshot's raw artefact tier instead of eagerly
+        decompressing the ``.npz`` payloads — the substrate of the
+        pre-fork serving tier, where a master maps once and N forked
+        workers share the pages.  Snapshots written before the raw tier
+        existed (schema version 1) fall back to the eager path; check
+        :attr:`LoadedSnapshot.memmapped` for what actually happened.
+        Query results are identical either way.
         """
         trace = trace if trace is not None else Trace.disabled()
         groups = tuple(artifacts)
@@ -509,27 +564,69 @@ class SnapshotStore:
                         ),
                     )
             if "indexes" in groups:
-                with trace.span("load_indexes"):
-                    loaded.keyword_index = _load_artifact(
-                        "keyword_index",
+                use_raw = memmap and bool(manifest.raw_artifacts)
+                if memmap and not use_raw:
+                    logger.warning(
+                        "snapshot %s has no raw artefact tier (schema v%d); "
+                        "memmap load falling back to eager .npz indexes",
                         snapshot_id,
-                        lambda: codecs.load_keyword_index(
-                            directory / _ARTIFACT_FILES["keyword_index"]
-                        ),
+                        manifest.schema_version,
                     )
-                    loaded.sim_index = _load_artifact(
-                        "simindex",
-                        snapshot_id,
-                        lambda: codecs.load_sim_indexes(
-                            directory / _ARTIFACT_FILES["simindex"]
-                        ),
-                    )
+                if use_raw:
+                    if verify:
+                        with trace.span("verify_raw"):
+                            self._verify_raw_artifacts(manifest, directory)
+                    with trace.span("load_indexes_memmap"):
+                        raw_dir = directory / codecs.RAW_DIRNAME
+                        loaded.keyword_index = _load_artifact(
+                            "keyword_index",
+                            snapshot_id,
+                            lambda: codecs.load_keyword_index_memmap(raw_dir),
+                        )
+                        loaded.sim_index = _load_artifact(
+                            "simindex",
+                            snapshot_id,
+                            lambda: codecs.load_sim_indexes_memmap(raw_dir),
+                        )
+                        loaded.memmapped = True
+                else:
+                    with trace.span("load_indexes"):
+                        loaded.keyword_index = _load_artifact(
+                            "keyword_index",
+                            snapshot_id,
+                            lambda: codecs.load_keyword_index(
+                                directory / _ARTIFACT_FILES["keyword_index"]
+                            ),
+                        )
+                        loaded.sim_index = _load_artifact(
+                            "simindex",
+                            snapshot_id,
+                            lambda: codecs.load_sim_indexes(
+                                directory / _ARTIFACT_FILES["simindex"]
+                            ),
+                        )
         if metrics is not None:
             metrics.inc("store.snapshots_loaded")
         logger.info(
             "loaded snapshot %s (%s)", snapshot_id, ", ".join(groups) or "nothing"
         )
         return loaded
+
+    def _verify_raw_artifacts(self, manifest: Manifest, directory: Path) -> None:
+        for name, blob in sorted(manifest.raw_artifacts.items()):
+            path = directory / blob["path"]
+            if not path.exists():
+                raise SnapshotIntegrityError(
+                    f"snapshot {manifest.snapshot_id}: missing raw payload "
+                    f"{blob['path']}"
+                )
+            actual = file_sha256(path)
+            if actual != blob["sha256"]:
+                raise SnapshotIntegrityError(
+                    f"snapshot {manifest.snapshot_id}: raw payload "
+                    f"{blob['path']} is corrupt (manifest sha256 "
+                    f"{blob['sha256'][:12]}…, on disk {actual[:12]}…)"
+                )
 
     def _verify_artifacts(
         self, manifest: Manifest, directory: Path, groups: tuple[str, ...]

@@ -433,7 +433,13 @@ class TestRoutes:
             assert snapshot[f"serve.{endpoint}.latency_seconds"]["count"] == 1
 
     def test_admission_rejection_over_http_route(self, app, tiny_pedigree_graph):
-        """Saturating a 1-slot gate returns 429/503, never a hang."""
+        """Saturating a 1-slot gate returns 429/503, never a hang.
+
+        The two concurrent requests must be *distinct* queries: an
+        identical duplicate would be coalesced by SingleFlight into the
+        occupant's computation (sharing its 200) before ever reaching
+        admission control — that dedup path has its own test below.
+        """
         probe = _named_entity(tiny_pedigree_graph)
         config = ServeConfig(max_concurrency=1, max_pending=0, queue_timeout_s=0.05)
         slow_app = ServingApp(tiny_pedigree_graph, config)
@@ -450,18 +456,59 @@ class TestRoutes:
             f'{{"first_name": "{probe.first("first_name")}", '
             f'"surname": "{probe.first("surname")}"}}'
         ).encode()
+        other_body = (
+            f'{{"first_name": "{probe.first("first_name")}", '
+            f'"surname": "{probe.first("surname")}", "top": 3}}'
+        ).encode()
+
+        def request(payload):
+            return slow_app.handle("POST", "/v1/search", body=payload)
+
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            occupant = pool.submit(request, body)
+            assert started.wait(timeout=5)
+            blocked = pool.submit(request, other_body)
+            rejected = blocked.result(timeout=5)
+            assert rejected.status in (429, 503)
+            assert int(rejected.headers["Retry-After"]) >= 1
+            assert occupant.result(timeout=5).status == 200
+
+    def test_identical_inflight_requests_coalesce(self, tiny_pedigree_graph):
+        """An identical concurrent duplicate shares the occupant's
+        computation instead of burning the saturated admission slot."""
+        probe = _named_entity(tiny_pedigree_graph)
+        config = ServeConfig(
+            max_concurrency=1, max_pending=0, queue_timeout_s=0.05,
+            cache_size=0,
+        )
+        slow_app = ServingApp(tiny_pedigree_graph, config)
+        real_search = slow_app.engine.search
+        started = threading.Event()
+        searches = []
+
+        def slow_search(query, top_m=10):
+            searches.append(1)
+            started.set()
+            time.sleep(0.5)
+            return real_search(query, top_m=top_m)
+
+        slow_app.engine.search = slow_search
+        body = (
+            f'{{"first_name": "{probe.first("first_name")}", '
+            f'"surname": "{probe.first("surname")}"}}'
+        ).encode()
 
         def request():
             return slow_app.handle("POST", "/v1/search", body=body)
 
         with ThreadPoolExecutor(max_workers=2) as pool:
-            occupant = pool.submit(request)
+            leader = pool.submit(request)
             assert started.wait(timeout=5)
-            blocked = pool.submit(request)
-            rejected = blocked.result(timeout=5)
-            assert rejected.status in (429, 503)
-            assert int(rejected.headers["Retry-After"]) >= 1
-            assert occupant.result(timeout=5).status == 200
+            follower = pool.submit(request)
+            assert follower.result(timeout=5).status == 200
+            assert leader.result(timeout=5).status == 200
+        assert searches == [1], "duplicate must not run a second search"
+        assert slow_app.flights.stats()["followers"] == 1
 
 
 # ----------------------------------------------------------------------
